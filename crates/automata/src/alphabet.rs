@@ -1,0 +1,156 @@
+//! Finite alphabets for the automata learners.
+//!
+//! L-Star and RPNI work over an explicit finite alphabet. In the paper's
+//! setting the alphabet is taken from the bytes observed in the seed inputs
+//! (Section 8.2): learners cannot invent terminals they have never seen, and
+//! a full 256-symbol alphabet makes the observation table intractably wide.
+
+use std::fmt;
+
+/// An ordered set of distinct byte symbols with O(1) byte→index lookup.
+///
+/// # Examples
+///
+/// ```
+/// use glade_automata::Alphabet;
+///
+/// let sigma = Alphabet::from_bytes(b"abcab");
+/// assert_eq!(sigma.len(), 3);
+/// assert_eq!(sigma.index_of(b'b'), Some(1));
+/// assert_eq!(sigma.index_of(b'z'), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Alphabet {
+    symbols: Vec<u8>,
+    index: [Option<u8>; 256],
+}
+
+impl Alphabet {
+    /// Builds an alphabet from the distinct bytes of `bytes`, in ascending
+    /// byte order.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut present = [false; 256];
+        for &b in bytes {
+            present[b as usize] = true;
+        }
+        let symbols: Vec<u8> = (0..=255u8).filter(|&b| present[b as usize]).collect();
+        Self::from_sorted(symbols)
+    }
+
+    /// Builds an alphabet from the distinct bytes occurring in any of the
+    /// given strings.
+    pub fn from_strings<I, S>(strings: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let mut present = [false; 256];
+        for s in strings {
+            for &b in s.as_ref() {
+                present[b as usize] = true;
+            }
+        }
+        let symbols: Vec<u8> = (0..=255u8).filter(|&b| present[b as usize]).collect();
+        Self::from_sorted(symbols)
+    }
+
+    /// The printable ASCII alphabet (0x20..=0x7e).
+    pub fn printable_ascii() -> Self {
+        Self::from_sorted((0x20..=0x7eu8).collect())
+    }
+
+    fn from_sorted(symbols: Vec<u8>) -> Self {
+        let mut index = [None; 256];
+        for (i, &b) in symbols.iter().enumerate() {
+            index[b as usize] = Some(i as u8);
+        }
+        Alphabet { symbols, index }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbol at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn symbol(&self, idx: usize) -> u8 {
+        self.symbols[idx]
+    }
+
+    /// The index of byte `b`, or `None` if `b` is not in the alphabet.
+    pub fn index_of(&self, b: u8) -> Option<usize> {
+        self.index[b as usize].map(|i| i as usize)
+    }
+
+    /// Iterates over the symbols in order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        self.symbols.iter().copied()
+    }
+
+    /// The symbols as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.symbols
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, b) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:?}", *b as char)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_dedups_and_sorts() {
+        let a = Alphabet::from_bytes(b"cbaab");
+        assert_eq!(a.as_slice(), b"abc");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let a = Alphabet::from_bytes(b"xz");
+        for (i, b) in a.iter().enumerate() {
+            assert_eq!(a.index_of(b), Some(i));
+            assert_eq!(a.symbol(i), b);
+        }
+        assert_eq!(a.index_of(b'y'), None);
+    }
+
+    #[test]
+    fn from_strings_unions_bytes() {
+        let a = Alphabet::from_strings([b"ab".as_slice(), b"bc".as_slice()]);
+        assert_eq!(a.as_slice(), b"abc");
+    }
+
+    #[test]
+    fn printable_ascii_has_95_symbols() {
+        assert_eq!(Alphabet::printable_ascii().len(), 95);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let a = Alphabet::from_bytes(b"");
+        assert!(a.is_empty());
+        assert_eq!(a.index_of(b'a'), None);
+    }
+}

@@ -1,0 +1,458 @@
+//! Deterministic finite automata.
+//!
+//! DFAs are the hypothesis space of the L-Star and RPNI baselines
+//! (Section 8.2 of the paper). This module provides a complete-transition
+//! DFA with minimization, equivalence checking (used to build perfect
+//! equivalence oracles in tests), and language sampling (used to estimate
+//! the precision of learned DFAs).
+
+use crate::Alphabet;
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A complete deterministic finite automaton over an [`Alphabet`].
+///
+/// Every state has a transition for every alphabet symbol; inputs containing
+/// bytes outside the alphabet are rejected outright.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    /// `trans[state * alphabet.len() + sym]` = successor state.
+    trans: Vec<u32>,
+    accepting: Vec<bool>,
+    start: u32,
+}
+
+impl Dfa {
+    /// Creates a DFA from explicit tables.
+    ///
+    /// `trans[s][a]` is the successor of state `s` on symbol index `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are ragged, reference out-of-range states, or if
+    /// `start` is out of range.
+    pub fn new(alphabet: Alphabet, trans: Vec<Vec<u32>>, accepting: Vec<bool>, start: u32) -> Self {
+        let n = trans.len();
+        assert_eq!(accepting.len(), n, "accepting table length mismatch");
+        assert!((start as usize) < n.max(1), "start state out of range");
+        let k = alphabet.len();
+        let mut flat = Vec::with_capacity(n * k);
+        for row in &trans {
+            assert_eq!(row.len(), k, "transition row length mismatch");
+            for &t in row {
+                assert!((t as usize) < n, "transition target out of range");
+                flat.push(t);
+            }
+        }
+        Dfa { alphabet, trans: flat, accepting, start }
+    }
+
+    /// The single-state DFA rejecting every string.
+    pub fn empty(alphabet: Alphabet) -> Self {
+        let k = alphabet.len();
+        Dfa { alphabet, trans: vec![0; k], accepting: vec![false], start: 0 }
+    }
+
+    /// The DFA accepting exactly the given finite set of strings (a trie
+    /// with a dead state).
+    pub fn from_strings<I, S>(alphabet: Alphabet, strings: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let k = alphabet.len();
+        // State 0 = dead.
+        let mut trans: Vec<Vec<u32>> = vec![vec![0; k]];
+        let mut accepting = vec![false];
+        let start = {
+            trans.push(vec![0; k]);
+            accepting.push(false);
+            1u32
+        };
+        for s in strings {
+            let mut cur = start as usize;
+            for &b in s.as_ref() {
+                let Some(a) = alphabet.index_of(b) else { break };
+                let next = trans[cur][a];
+                let next = if next == 0 {
+                    let id = trans.len() as u32;
+                    trans.push(vec![0; k]);
+                    accepting.push(false);
+                    trans[cur][a] = id;
+                    id
+                } else {
+                    next
+                };
+                cur = next as usize;
+            }
+            accepting[cur] = true;
+        }
+        Dfa::new(alphabet, trans, accepting, start)
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: u32) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// The successor of `state` on symbol index `sym`.
+    pub fn step(&self, state: u32, sym: usize) -> u32 {
+        self.trans[state as usize * self.alphabet.len() + sym]
+    }
+
+    /// Runs the DFA; returns the final state, or `None` if some byte is
+    /// outside the alphabet.
+    pub fn run(&self, input: &[u8]) -> Option<u32> {
+        let mut cur = self.start;
+        for &b in input {
+            let a = self.alphabet.index_of(b)?;
+            cur = self.step(cur, a);
+        }
+        Some(cur)
+    }
+
+    /// Whether the DFA accepts `input`.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.run(input).map_or(false, |s| self.is_accepting(s))
+    }
+
+    /// Whether the language is empty.
+    pub fn is_language_empty(&self) -> bool {
+        self.reachable().iter().all(|&s| !self.accepting[s as usize])
+    }
+
+    fn reachable(&self) -> Vec<u32> {
+        let mut seen = vec![false; self.num_states()];
+        let mut order = Vec::new();
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            order.push(s);
+            for a in 0..self.alphabet.len() {
+                let t = self.step(s, a);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        order
+    }
+
+    /// Minimizes the DFA (reachable-state restriction + Moore partition
+    /// refinement), preserving the language.
+    pub fn minimize(&self) -> Dfa {
+        let reach = self.reachable();
+        let mut id_map = vec![u32::MAX; self.num_states()];
+        for (i, &s) in reach.iter().enumerate() {
+            id_map[s as usize] = i as u32;
+        }
+        let k = self.alphabet.len();
+        let n = reach.len();
+        // Initial partition: accepting vs rejecting.
+        let mut class: Vec<u32> = reach
+            .iter()
+            .map(|&s| u32::from(self.accepting[s as usize]))
+            .collect();
+        loop {
+            // Signature = (class, classes of successors).
+            let mut sig_map: HashMap<Vec<u32>, u32> = HashMap::new();
+            let mut next_class = vec![0u32; n];
+            for (i, &s) in reach.iter().enumerate() {
+                let mut sig = Vec::with_capacity(k + 1);
+                sig.push(class[i]);
+                for a in 0..k {
+                    let t = self.step(s, a);
+                    sig.push(class[id_map[t as usize] as usize]);
+                }
+                let fresh = sig_map.len() as u32;
+                let c = *sig_map.entry(sig).or_insert(fresh);
+                next_class[i] = c;
+            }
+            let stable = next_class == class;
+            class = next_class;
+            if stable {
+                break;
+            }
+        }
+        let num_classes = class.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut trans = vec![vec![0u32; k]; num_classes];
+        let mut accepting = vec![false; num_classes];
+        for (i, &s) in reach.iter().enumerate() {
+            let c = class[i] as usize;
+            accepting[c] = self.accepting[s as usize];
+            for a in 0..k {
+                let t = self.step(s, a);
+                trans[c][a] = class[id_map[t as usize] as usize];
+            }
+        }
+        let start = class[id_map[self.start as usize] as usize];
+        Dfa::new(self.alphabet.clone(), trans, accepting, start)
+    }
+
+    /// Searches for a string on which `self` and `other` disagree, via BFS
+    /// over the product automaton. Returns `None` iff the languages are
+    /// equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn difference_witness(&self, other: &Dfa) -> Option<Vec<u8>> {
+        assert_eq!(self.alphabet, other.alphabet, "alphabet mismatch");
+        let k = self.alphabet.len();
+        let mut seen: HashMap<(u32, u32), Option<(u32, u32, usize)>> = HashMap::new();
+        let startp = (self.start, other.start);
+        seen.insert(startp, None);
+        let mut queue = std::collections::VecDeque::from([startp]);
+        while let Some((s1, s2)) = queue.pop_front() {
+            if self.is_accepting(s1) != other.is_accepting(s2) {
+                // Reconstruct the witness.
+                let mut path = Vec::new();
+                let mut cur = (s1, s2);
+                while let Some(&Some((p1, p2, a))) = seen.get(&cur) {
+                    path.push(self.alphabet.symbol(a));
+                    cur = (p1, p2);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for a in 0..k {
+                let np = (self.step(s1, a), other.step(s2, a));
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(np) {
+                    e.insert(Some((s1, s2, a)));
+                    queue.push_back(np);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `self` and `other` accept the same language (requires equal
+    /// alphabets).
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.difference_witness(other).is_none()
+    }
+
+    /// Samples a random accepted string of length at most `max_len`.
+    ///
+    /// Lengths are chosen with probability proportional to the number of
+    /// accepted strings of that length (approximated in `f64`), then a
+    /// uniform path of that length is drawn. Returns `None` if no string of
+    /// length ≤ `max_len` is accepted.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, max_len: usize) -> Option<Vec<u8>> {
+        let k = self.alphabet.len();
+        let n = self.num_states();
+        // counts[len][state] = number of accepted strings of length `len`
+        // starting at `state`.
+        let mut counts: Vec<Vec<f64>> = Vec::with_capacity(max_len + 1);
+        counts.push(self.accepting.iter().map(|&a| f64::from(u8::from(a))).collect());
+        for len in 1..=max_len {
+            let prev = &counts[len - 1];
+            let mut row = vec![0.0f64; n];
+            for (s, cell) in row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for a in 0..k {
+                    acc += prev[self.step(s as u32, a) as usize];
+                }
+                *cell = acc;
+            }
+            counts.push(row);
+        }
+        let total: f64 = (0..=max_len).map(|l| counts[l][self.start as usize]).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        // Pick a length weighted by count.
+        let mut pick = rng.gen_range(0.0..total);
+        let mut len = max_len;
+        for l in 0..=max_len {
+            let c = counts[l][self.start as usize];
+            if pick < c {
+                len = l;
+                break;
+            }
+            pick -= c;
+        }
+        // Walk, weighting each symbol by the count of completions.
+        let mut out = Vec::with_capacity(len);
+        let mut state = self.start;
+        for remaining in (1..=len).rev() {
+            let weights: Vec<f64> = (0..k)
+                .map(|a| counts[remaining - 1][self.step(state, a) as usize])
+                .collect();
+            let total: f64 = weights.iter().sum();
+            debug_assert!(total > 0.0);
+            let mut pick = rng.gen_range(0.0..total);
+            let mut chosen = k - 1;
+            for (a, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    chosen = a;
+                    break;
+                }
+                pick -= w;
+            }
+            out.push(self.alphabet.symbol(chosen));
+            state = self.step(state, chosen);
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DFA over {} ({} states, start q{})",
+            self.alphabet,
+            self.num_states(),
+            self.start
+        )?;
+        for s in 0..self.num_states() as u32 {
+            let marker = if self.is_accepting(s) { "*" } else { " " };
+            write!(f, "{marker}q{s}:")?;
+            for (a, b) in self.alphabet.iter().enumerate() {
+                write!(f, " {:?}->q{}", b as char, self.step(s, a))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// DFA for (ab)* over {a, b}.
+    fn ab_star() -> Dfa {
+        let sigma = Alphabet::from_bytes(b"ab");
+        // q0 accepting; q0 -a-> q1, q1 -b-> q0, others -> q2 dead.
+        Dfa::new(
+            sigma,
+            vec![vec![1, 2], vec![2, 0], vec![2, 2]],
+            vec![true, false, false],
+            0,
+        )
+    }
+
+    #[test]
+    fn accepts_ab_star() {
+        let d = ab_star();
+        assert!(d.accepts(b""));
+        assert!(d.accepts(b"abab"));
+        assert!(!d.accepts(b"aba"));
+        assert!(!d.accepts(b"ba"));
+        // Byte outside alphabet rejects.
+        assert!(!d.accepts(b"abx"));
+    }
+
+    #[test]
+    fn from_strings_builds_trie_acceptor() {
+        let sigma = Alphabet::from_bytes(b"abc");
+        let d = Dfa::from_strings(sigma, [b"ab".as_slice(), b"c".as_slice(), b"".as_slice()]);
+        assert!(d.accepts(b"ab"));
+        assert!(d.accepts(b"c"));
+        assert!(d.accepts(b""));
+        assert!(!d.accepts(b"a"));
+        assert!(!d.accepts(b"abc"));
+    }
+
+    #[test]
+    fn minimize_collapses_equivalent_states() {
+        // Build a redundant automaton for (ab)* with duplicated states.
+        let sigma = Alphabet::from_bytes(b"ab");
+        let d = Dfa::new(
+            sigma,
+            vec![
+                vec![1, 4], // q0 (accepting)
+                vec![4, 2], // q1
+                vec![3, 4], // q2 (accepting, same as q0)
+                vec![4, 2], // q3 (same as q1)
+                vec![4, 4], // q4 dead
+            ],
+            vec![true, false, true, false, false],
+            0,
+        );
+        let m = d.minimize();
+        assert_eq!(m.num_states(), 3);
+        assert!(m.equivalent(&d));
+        assert!(m.accepts(b"abab"));
+        assert!(!m.accepts(b"a"));
+    }
+
+    #[test]
+    fn minimize_drops_unreachable() {
+        let sigma = Alphabet::from_bytes(b"a");
+        let d = Dfa::new(
+            sigma,
+            vec![vec![0], vec![1]], // q1 unreachable
+            vec![true, true],
+            0,
+        );
+        assert_eq!(d.minimize().num_states(), 1);
+    }
+
+    #[test]
+    fn difference_witness_finds_disagreement() {
+        let d1 = ab_star();
+        let sigma = Alphabet::from_bytes(b"ab");
+        let all = Dfa::new(sigma, vec![vec![0, 0]], vec![true], 0);
+        let w = d1.difference_witness(&all).expect("languages differ");
+        assert_ne!(d1.accepts(&w), all.accepts(&w));
+        assert!(d1.equivalent(&d1.minimize()));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        let sigma = Alphabet::from_bytes(b"ab");
+        assert!(Dfa::empty(sigma).is_language_empty());
+        assert!(!ab_star().is_language_empty());
+    }
+
+    #[test]
+    fn sampling_draws_members() {
+        let d = ab_star();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut saw_nonempty = false;
+        for _ in 0..100 {
+            let s = d.sample(&mut rng, 8).expect("nonempty up to len 8");
+            assert!(d.accepts(&s), "sample {s:?}");
+            saw_nonempty |= !s.is_empty();
+        }
+        assert!(saw_nonempty, "sampler should produce nonempty members");
+    }
+
+    #[test]
+    fn sampling_empty_language_returns_none() {
+        let sigma = Alphabet::from_bytes(b"ab");
+        let d = Dfa::empty(sigma);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng, 6), None);
+    }
+
+    #[test]
+    fn display_lists_states() {
+        let s = ab_star().to_string();
+        assert!(s.contains("3 states"), "{s}");
+        assert!(s.contains("*q0"), "{s}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Nondeterministic finite automata and the regex → NFA → DFA pipeline.
+//!
+//! Handwritten target languages in the evaluation (e.g. the URL regex of
+//! Section 8.2) are regular expressions; the learners and the perfect
+//! equivalence oracles used in tests need DFAs. This module provides the
+//! classic Thompson construction and subset construction to bridge the two.
+
+use crate::{Alphabet, Dfa};
+use glade_grammar::Regex;
+use std::collections::{BTreeSet, HashMap};
+
+/// A Thompson-style NFA with ε-transitions and byte-class edges.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// ε-successors per state.
+    eps: Vec<Vec<u32>>,
+    /// Labelled edges per state.
+    edges: Vec<Vec<(glade_grammar::CharClass, u32)>>,
+    start: u32,
+    accept: u32,
+}
+
+impl Nfa {
+    /// Builds an NFA recognizing `L(regex)` by Thompson's construction.
+    pub fn from_regex(regex: &Regex) -> Nfa {
+        let mut nfa = Nfa { eps: Vec::new(), edges: Vec::new(), start: 0, accept: 0 };
+        let (s, a) = nfa.compile(regex);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let id = self.eps.len() as u32;
+        self.eps.push(Vec::new());
+        self.edges.push(Vec::new());
+        id
+    }
+
+    /// Compiles `r`, returning `(entry, exit)` states.
+    fn compile(&mut self, r: &Regex) -> (u32, u32) {
+        match r {
+            Regex::Empty => {
+                let s = self.fresh();
+                let a = self.fresh();
+                (s, a) // no path from s to a
+            }
+            Regex::Epsilon => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.eps[s as usize].push(a);
+                (s, a)
+            }
+            Regex::Class(c) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.edges[s as usize].push((*c, a));
+                (s, a)
+            }
+            Regex::Concat(parts) => {
+                let mut entry = None;
+                let mut prev_exit: Option<u32> = None;
+                for p in parts {
+                    let (s, a) = self.compile(p);
+                    if let Some(pe) = prev_exit {
+                        self.eps[pe as usize].push(s);
+                    } else {
+                        entry = Some(s);
+                    }
+                    prev_exit = Some(a);
+                }
+                match (entry, prev_exit) {
+                    (Some(s), Some(a)) => (s, a),
+                    _ => self.compile(&Regex::Epsilon),
+                }
+            }
+            Regex::Alt(parts) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                for p in parts {
+                    let (ps, pa) = self.compile(p);
+                    self.eps[s as usize].push(ps);
+                    self.eps[pa as usize].push(a);
+                }
+                (s, a)
+            }
+            Regex::Star(inner) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (is, ia) = self.compile(inner);
+                self.eps[s as usize].push(is);
+                self.eps[s as usize].push(a);
+                self.eps[ia as usize].push(is);
+                self.eps[ia as usize].push(a);
+                (s, a)
+            }
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.eps.len()
+    }
+
+    fn eps_closure(&self, states: &BTreeSet<u32>) -> BTreeSet<u32> {
+        let mut closure = states.clone();
+        let mut stack: Vec<u32> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s as usize] {
+                if closure.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        closure
+    }
+
+    /// Whether the NFA accepts `input` (direct simulation).
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        let mut cur = self.eps_closure(&BTreeSet::from([self.start]));
+        for &b in input {
+            let mut next = BTreeSet::new();
+            for &s in &cur {
+                for (c, t) in &self.edges[s as usize] {
+                    if c.contains(b) {
+                        next.insert(*t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            cur = self.eps_closure(&next);
+        }
+        cur.contains(&self.accept)
+    }
+
+    /// Determinizes over an explicit alphabet by subset construction.
+    ///
+    /// Bytes outside `alphabet` have no transitions in the result (the DFA
+    /// rejects them), so choose an alphabet covering every class in the
+    /// source regex when exactness matters.
+    pub fn to_dfa(&self, alphabet: Alphabet) -> Dfa {
+        let k = alphabet.len();
+        let start_set = self.eps_closure(&BTreeSet::from([self.start]));
+        let mut ids: HashMap<BTreeSet<u32>, u32> = HashMap::new();
+        let mut sets: Vec<BTreeSet<u32>> = Vec::new();
+        let mut trans: Vec<Vec<u32>> = Vec::new();
+
+        // State 0 is the dead state (empty subset).
+        ids.insert(BTreeSet::new(), 0);
+        sets.push(BTreeSet::new());
+        trans.push(vec![0; k]);
+
+        let start_id = if start_set.is_empty() {
+            0
+        } else {
+            ids.insert(start_set.clone(), 1);
+            sets.push(start_set);
+            trans.push(vec![0; k]);
+            1
+        };
+
+        let mut work = vec![start_id];
+        while let Some(id) = work.pop() {
+            for a in 0..k {
+                let b = alphabet.symbol(a);
+                let mut next = BTreeSet::new();
+                for &s in &sets[id as usize] {
+                    for (c, t) in &self.edges[s as usize] {
+                        if c.contains(b) {
+                            next.insert(*t);
+                        }
+                    }
+                }
+                let next = self.eps_closure(&next);
+                let next_id = match ids.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = sets.len() as u32;
+                        ids.insert(next.clone(), i);
+                        sets.push(next);
+                        trans.push(vec![0; k]);
+                        work.push(i);
+                        i
+                    }
+                };
+                trans[id as usize][a] = next_id;
+            }
+        }
+        let accepting: Vec<bool> = sets.iter().map(|s| s.contains(&self.accept)).collect();
+        Dfa::new(alphabet, trans, accepting, start_id)
+    }
+}
+
+/// Convenience: regex → minimized DFA over `alphabet`.
+///
+/// # Examples
+///
+/// ```
+/// use glade_automata::{dfa_from_regex, Alphabet};
+/// use glade_grammar::Regex;
+///
+/// let r = Regex::star(Regex::lit(b"ab"));
+/// let d = dfa_from_regex(&r, Alphabet::from_bytes(b"ab"));
+/// assert!(d.accepts(b"abab"));
+/// assert!(!d.accepts(b"aba"));
+/// ```
+pub fn dfa_from_regex(regex: &Regex, alphabet: Alphabet) -> Dfa {
+    Nfa::from_regex(regex).to_dfa(alphabet).minimize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glade_grammar::CharClass;
+
+    #[test]
+    fn thompson_on_literal() {
+        let n = Nfa::from_regex(&Regex::lit(b"ab"));
+        assert!(n.accepts(b"ab"));
+        assert!(!n.accepts(b"a"));
+        assert!(!n.accepts(b"abb"));
+    }
+
+    #[test]
+    fn thompson_on_star_and_alt() {
+        let r = Regex::star(Regex::alt(vec![Regex::lit(b"ab"), Regex::lit(b"c")]));
+        let n = Nfa::from_regex(&r);
+        assert!(n.accepts(b""));
+        assert!(n.accepts(b"abccab"));
+        assert!(!n.accepts(b"b"));
+    }
+
+    #[test]
+    fn empty_regex_accepts_nothing() {
+        let n = Nfa::from_regex(&Regex::Empty);
+        assert!(!n.accepts(b""));
+        assert!(!n.accepts(b"a"));
+    }
+
+    #[test]
+    fn subset_construction_matches_nfa() {
+        let r = Regex::concat(vec![
+            Regex::star(Regex::class(CharClass::from_bytes(b"ab"))),
+            Regex::lit(b"c"),
+        ]);
+        let n = Nfa::from_regex(&r);
+        let d = n.to_dfa(Alphabet::from_bytes(b"abc"));
+        for s in [&b""[..], b"c", b"ac", b"abbac", b"cc", b"ca", b"ab"] {
+            assert_eq!(n.accepts(s), d.accepts(s), "disagree on {s:?}");
+        }
+    }
+
+    #[test]
+    fn dfa_from_regex_minimizes() {
+        let r = Regex::alt(vec![Regex::lit(b"a"), Regex::lit(b"a")]);
+        let d = dfa_from_regex(&r, Alphabet::from_bytes(b"a"));
+        // "a" needs exactly 3 states (start, accept, dead).
+        assert_eq!(d.num_states(), 3);
+        assert!(d.accepts(b"a"));
+        assert!(!d.accepts(b""));
+        assert!(!d.accepts(b"aa"));
+    }
+
+    #[test]
+    fn determinization_of_empty_language() {
+        let d = dfa_from_regex(&Regex::Empty, Alphabet::from_bytes(b"a"));
+        assert!(d.is_language_empty());
+    }
+
+    #[test]
+    fn running_example_through_pipeline() {
+        let hi = Regex::alt(vec![Regex::lit(b"h"), Regex::lit(b"i")]);
+        let xml = Regex::star(Regex::concat(vec![
+            Regex::lit(b"<a>"),
+            Regex::star(hi),
+            Regex::lit(b"</a>"),
+        ]));
+        let d = dfa_from_regex(&xml, Alphabet::from_bytes(b"<a>/hi"));
+        assert!(d.accepts(b"<a>hi</a><a></a>"));
+        assert!(!d.accepts(b"<a>hi</a"));
+    }
+}

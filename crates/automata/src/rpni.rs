@@ -1,0 +1,370 @@
+//! The RPNI passive learner (the second baseline of Section 8.2).
+//!
+//! RPNI (Oncina & García) learns a DFA from labelled examples: it builds the
+//! prefix-tree acceptor of the positive examples, augments it with the
+//! negative examples, and then greedily merges states in breadth-first
+//! order, keeping a merge only if no negative example becomes accepted.
+//! The merge step uses the standard union-find "merge and determinize" fold.
+
+use crate::{Alphabet, Dfa};
+
+/// Labels carried by prefix-tree states during learning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Label {
+    Unknown,
+    Accept,
+    Reject,
+}
+
+impl Label {
+    fn join(self, other: Label) -> Option<Label> {
+        match (self, other) {
+            (Label::Unknown, l) | (l, Label::Unknown) => Some(l),
+            (Label::Accept, Label::Accept) => Some(Label::Accept),
+            (Label::Reject, Label::Reject) => Some(Label::Reject),
+            _ => None,
+        }
+    }
+}
+
+/// Errors reported by [`rpni`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpniError {
+    /// An example contains a byte that is not in the learning alphabet.
+    ByteOutsideAlphabet(u8),
+    /// The same string appears both as a positive and a negative example.
+    ContradictoryExamples(Vec<u8>),
+}
+
+impl std::fmt::Display for RpniError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpniError::ByteOutsideAlphabet(b) => {
+                write!(f, "example byte {b:#04x} outside the learning alphabet")
+            }
+            RpniError::ContradictoryExamples(w) => write!(
+                f,
+                "string {:?} labelled both positive and negative",
+                String::from_utf8_lossy(w)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RpniError {}
+
+/// Union-find with path compression.
+#[derive(Debug, Clone)]
+struct Partition {
+    parent: Vec<u32>,
+}
+
+impl Partition {
+    fn new(n: usize) -> Self {
+        Partition { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the classes of `a` and `b`, keeping the smaller root id as
+    /// representative (so the PTA's breadth-first canonical order survives).
+    fn union(&mut self, a: u32, b: u32) -> (u32, u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        let (keep, drop) = if ra <= rb { (ra, rb) } else { (rb, ra) };
+        self.parent[drop as usize] = keep;
+        (keep, drop)
+    }
+}
+
+/// A quotiented prefix-tree acceptor: per-representative successor rows and
+/// labels, refined destructively by merges.
+#[derive(Debug, Clone)]
+struct MergedAut {
+    part: Partition,
+    /// `children[rep][sym]` — meaningful only at representative indices;
+    /// stored targets may be stale and must be canonicalized with `find`.
+    children: Vec<Vec<Option<u32>>>,
+    labels: Vec<Label>,
+}
+
+impl MergedAut {
+    fn from_examples(
+        alphabet: &Alphabet,
+        positives: &[Vec<u8>],
+        negatives: &[Vec<u8>],
+    ) -> Result<Self, RpniError> {
+        let k = alphabet.len();
+        let mut children: Vec<Vec<Option<u32>>> = vec![vec![None; k]];
+        let mut labels = vec![Label::Unknown];
+        let insert = |word: &[u8],
+                          label: Label,
+                          children: &mut Vec<Vec<Option<u32>>>,
+                          labels: &mut Vec<Label>|
+         -> Result<(), RpniError> {
+            let mut cur = 0usize;
+            for &b in word {
+                let a = alphabet.index_of(b).ok_or(RpniError::ByteOutsideAlphabet(b))?;
+                cur = match children[cur][a] {
+                    Some(c) => c as usize,
+                    None => {
+                        let id = children.len() as u32;
+                        children.push(vec![None; k]);
+                        labels.push(Label::Unknown);
+                        children[cur][a] = Some(id);
+                        id as usize
+                    }
+                };
+            }
+            labels[cur] = labels[cur]
+                .join(label)
+                .ok_or_else(|| RpniError::ContradictoryExamples(word.to_vec()))?;
+            Ok(())
+        };
+        for p in positives {
+            insert(p, Label::Accept, &mut children, &mut labels)?;
+        }
+        for n in negatives {
+            insert(n, Label::Reject, &mut children, &mut labels)?;
+        }
+        let n = children.len();
+        Ok(MergedAut { part: Partition::new(n), children, labels })
+    }
+
+    fn num_symbols(&self) -> usize {
+        self.children[0].len()
+    }
+
+    /// The canonical successor of representative `rep` on symbol `sym`.
+    fn child(&mut self, rep: u32, sym: usize) -> Option<u32> {
+        let raw = self.children[rep as usize][sym]?;
+        Some(self.part.find(raw))
+    }
+
+    /// Merges the classes of `r` and `b`, folding successors for
+    /// determinism. Returns `None` on a positive/negative label conflict.
+    fn try_merge(&self, r: u32, b: u32) -> Option<MergedAut> {
+        let mut a = self.clone();
+        let k = a.num_symbols();
+        let mut work = vec![(r, b)];
+        while let Some((x, y)) = work.pop() {
+            let rx = a.part.find(x);
+            let ry = a.part.find(y);
+            if rx == ry {
+                continue;
+            }
+            let joined = a.labels[rx as usize].join(a.labels[ry as usize])?;
+            let (keep, drop) = a.part.union(rx, ry);
+            a.labels[keep as usize] = joined;
+            for sym in 0..k {
+                let ck = a.children[keep as usize][sym];
+                let cd = a.children[drop as usize][sym];
+                match (ck, cd) {
+                    (Some(cx), Some(cy)) => work.push((cx, cy)),
+                    (None, Some(cy)) => a.children[keep as usize][sym] = Some(cy),
+                    _ => {}
+                }
+            }
+        }
+        Some(a)
+    }
+}
+
+/// Runs RPNI on the given positive and negative examples.
+///
+/// The learned DFA accepts every positive example and rejects every negative
+/// example; states never pinned down by an example reject (the conventional
+/// completion). With an empty negative set RPNI collapses to a near-universal
+/// language — exactly the overgeneralization failure mode the paper
+/// describes (Section 8.2).
+///
+/// # Errors
+///
+/// Returns an error if an example contains bytes outside `alphabet` or if
+/// the same string is labelled both ways.
+///
+/// # Examples
+///
+/// ```
+/// use glade_automata::{rpni, Alphabet};
+///
+/// let sigma = Alphabet::from_bytes(b"ab");
+/// let positives: Vec<Vec<u8>> = vec![b"".to_vec(), b"ab".to_vec(), b"abab".to_vec()];
+/// let negatives: Vec<Vec<u8>> = vec![b"a".to_vec(), b"b".to_vec(), b"aba".to_vec()];
+/// let dfa = rpni(&sigma, &positives, &negatives)?;
+/// assert!(dfa.accepts(b"abab"));
+/// assert!(!dfa.accepts(b"aba"));
+/// # Ok::<(), glade_automata::RpniError>(())
+/// ```
+pub fn rpni(
+    alphabet: &Alphabet,
+    positives: &[Vec<u8>],
+    negatives: &[Vec<u8>],
+) -> Result<Dfa, RpniError> {
+    let mut aut = MergedAut::from_examples(alphabet, positives, negatives)?;
+    let k = alphabet.len();
+    let mut red: Vec<u32> = vec![0];
+
+    loop {
+        // Blue set: canonical successors of red classes that are not red.
+        let mut blue: Vec<u32> = Vec::new();
+        for &r in &red.clone() {
+            for sym in 0..k {
+                if let Some(c) = aut.child(r, sym) {
+                    if !red.contains(&c) && !blue.contains(&c) {
+                        blue.push(c);
+                    }
+                }
+            }
+        }
+        if blue.is_empty() {
+            break;
+        }
+        blue.sort_unstable();
+        let b = blue[0];
+        let mut merged = false;
+        for &r in &red {
+            if let Some(next) = aut.try_merge(r, b) {
+                aut = next;
+                merged = true;
+                break;
+            }
+        }
+        if merged {
+            // Merging can collapse red representatives onto each other.
+            let mut new_red: Vec<u32> = red.iter().map(|&r| aut.part.find(r)).collect();
+            new_red.sort_unstable();
+            new_red.dedup();
+            red = new_red;
+        } else {
+            red.push(b);
+            red.sort_unstable();
+        }
+    }
+
+    // Quotient automaton over representatives reachable from the root.
+    let n = aut.children.len();
+    let mut reps: Vec<u32> = (0..n as u32).map(|s| aut.part.find(s)).collect();
+    reps.sort_unstable();
+    reps.dedup();
+    let id_of = |rep: u32, reps: &[u32]| reps.binary_search(&rep).expect("rep present") as u32;
+
+    let dead = reps.len() as u32;
+    let mut trans = vec![vec![dead; k]; reps.len() + 1];
+    let mut accepting = vec![false; reps.len() + 1];
+    for &rep in &reps {
+        let id = id_of(rep, &reps) as usize;
+        accepting[id] = aut.labels[rep as usize] == Label::Accept;
+        for sym in 0..k {
+            if let Some(c) = aut.child(rep, sym) {
+                trans[id][sym] = id_of(c, &reps);
+            }
+        }
+    }
+    let start = id_of(aut.part.find(0), &reps);
+    Ok(Dfa::new(alphabet.clone(), trans, accepting, start).minimize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn learn(pos: &[&[u8]], neg: &[&[u8]]) -> Dfa {
+        let all: Vec<&[u8]> = pos.iter().chain(neg.iter()).copied().collect();
+        let sigma = Alphabet::from_strings(all);
+        rpni(
+            &sigma,
+            &pos.iter().map(|s| s.to_vec()).collect::<Vec<_>>(),
+            &neg.iter().map(|s| s.to_vec()).collect::<Vec<_>>(),
+        )
+        .expect("consistent examples")
+    }
+
+    #[test]
+    fn consistent_with_training_examples() {
+        let pos: &[&[u8]] = &[b"", b"ab", b"abab", b"ababab"];
+        let neg: &[&[u8]] = &[b"a", b"b", b"aba", b"ba", b"abb"];
+        let d = learn(pos, neg);
+        for p in pos {
+            assert!(d.accepts(p), "positive {:?}", String::from_utf8_lossy(p));
+        }
+        for n in neg {
+            assert!(!d.accepts(n), "negative {:?}", String::from_utf8_lossy(n));
+        }
+    }
+
+    #[test]
+    fn generalizes_ab_star_with_characteristic_sample() {
+        let pos: &[&[u8]] = &[b"", b"ab", b"abab"];
+        let neg: &[&[u8]] = &[b"a", b"b", b"ba", b"aba", b"abb", b"aab"];
+        let d = learn(pos, neg);
+        assert!(d.accepts(b"abababab"));
+        assert!(!d.accepts(b"ababa"));
+    }
+
+    #[test]
+    fn no_negatives_collapses_to_permissive_language() {
+        // With no negatives RPNI merges everything: the classic
+        // overgeneralization the paper criticizes.
+        let pos: &[&[u8]] = &[b"ab", b"abab"];
+        let d = learn(pos, &[]);
+        assert!(d.accepts(b"ab"));
+        assert!(d.accepts(b"ba"));
+    }
+
+    #[test]
+    fn contradictory_examples_error() {
+        let sigma = Alphabet::from_bytes(b"a");
+        let err = rpni(&sigma, &[b"a".to_vec()], &[b"a".to_vec()]).unwrap_err();
+        assert!(matches!(err, RpniError::ContradictoryExamples(_)));
+    }
+
+    #[test]
+    fn byte_outside_alphabet_error() {
+        let sigma = Alphabet::from_bytes(b"a");
+        let err = rpni(&sigma, &[b"b".to_vec()], &[]).unwrap_err();
+        assert_eq!(err, RpniError::ByteOutsideAlphabet(b'b'));
+    }
+
+    #[test]
+    fn learns_parity_language() {
+        // Even number of a's, any number of b's.
+        let pos: &[&[u8]] = &[b"", b"aa", b"aaaa", b"abab", b"aabb", b"baba", b"bb", b"baa"];
+        let neg: &[&[u8]] = &[b"a", b"aaa", b"ab", b"ba", b"bbba", b"aaab", b"abb"];
+        let d = learn(pos, neg);
+        assert!(d.accepts(b"bb"));
+        assert!(d.accepts(b"abab"));
+        assert!(!d.accepts(b"abbb"));
+    }
+
+    #[test]
+    fn empty_examples_yield_empty_language() {
+        let sigma = Alphabet::from_bytes(b"ab");
+        let d = rpni(&sigma, &[], &[]).unwrap();
+        assert!(d.is_language_empty());
+    }
+
+    #[test]
+    fn single_positive_yields_exact_string() {
+        // One positive, enough negatives to block every merge around it.
+        let pos: &[&[u8]] = &[b"ab"];
+        let neg: &[&[u8]] = &[b"", b"a", b"b", b"aa", b"ba", b"bb", b"aba", b"abb"];
+        let d = learn(pos, neg);
+        assert!(d.accepts(b"ab"));
+        for n in neg {
+            assert!(!d.accepts(n));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests cross-validating the automata stack against the
+//! regex engine from `glade-grammar`, and checking learner guarantees.
+
+use glade_automata::{dfa_from_regex, rpni, Alphabet, Dfa, LStar, PerfectEquivalence};
+use glade_grammar::Regex;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn small_byte() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(b'a'), Just(b'b')]
+}
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        3 => small_byte().prop_map(|b| Regex::lit(&[b])),
+        1 => Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(small_byte(), 0..10)
+}
+
+/// Random small DFA over {a, b}.
+fn arb_dfa() -> impl Strategy<Value = Dfa> {
+    (2usize..6).prop_flat_map(|n| {
+        let trans = proptest::collection::vec(
+            proptest::collection::vec(0u32..n as u32, 2..=2),
+            n..=n,
+        );
+        let acc = proptest::collection::vec(any::<bool>(), n..=n);
+        (trans, acc).prop_map(move |(t, a)| Dfa::new(Alphabet::from_bytes(b"ab"), t, a, 0))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Thompson + subset + minimize agrees with the derivative matcher.
+    #[test]
+    fn dfa_pipeline_matches_regex(r in arb_regex(), input in arb_input()) {
+        let d = dfa_from_regex(&r, Alphabet::from_bytes(b"ab"));
+        prop_assert_eq!(d.accepts(&input), r.is_match(&input), "regex {}", r);
+    }
+
+    /// Minimization preserves the language.
+    #[test]
+    fn minimize_preserves_language(d in arb_dfa(), input in arb_input()) {
+        let m = d.minimize();
+        prop_assert_eq!(m.accepts(&input), d.accepts(&input));
+        prop_assert!(m.num_states() <= d.num_states());
+    }
+
+    /// Minimization is idempotent in state count.
+    #[test]
+    fn minimize_is_idempotent(d in arb_dfa()) {
+        let m = d.minimize();
+        prop_assert_eq!(m.minimize().num_states(), m.num_states());
+    }
+
+    /// `difference_witness` really witnesses a difference, and equivalence
+    /// with itself always holds.
+    #[test]
+    fn difference_witness_is_sound(d1 in arb_dfa(), d2 in arb_dfa()) {
+        prop_assert!(d1.equivalent(&d1));
+        if let Some(w) = d1.difference_witness(&d2) {
+            prop_assert_ne!(d1.accepts(&w), d2.accepts(&w));
+        } else {
+            // Equal languages: spot-check agreement.
+            for s in [&b""[..], b"a", b"b", b"ab", b"ba", b"aabb"] {
+                prop_assert_eq!(d1.accepts(s), d2.accepts(s));
+            }
+        }
+    }
+
+    /// DFA samples are members of the DFA's language.
+    #[test]
+    fn dfa_samples_are_members(d in arb_dfa(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        if let Some(s) = d.sample(&mut rng, 8) {
+            prop_assert!(d.accepts(&s));
+        } else {
+            // No member of length ≤ 8 exists; verify on short strings.
+            for len in 0..=3usize {
+                for bits in 0..(1usize << len) {
+                    let s: Vec<u8> = (0..len)
+                        .map(|i| if bits >> i & 1 == 1 { b'a' } else { b'b' })
+                        .collect();
+                    prop_assert!(!d.accepts(&s));
+                }
+            }
+        }
+    }
+
+    /// L-Star with a perfect equivalence oracle learns any small DFA exactly
+    /// (Angluin's guarantee).
+    #[test]
+    fn lstar_exact_with_perfect_oracle(d in arb_dfa()) {
+        let target = d.minimize();
+        let t = target.clone();
+        let mut membership = move |w: &[u8]| t.accepts(w);
+        let mut equiv = PerfectEquivalence::new(target.clone());
+        let r = LStar::new(target.alphabet().clone()).learn(&mut membership, &mut equiv);
+        prop_assert!(r.completed);
+        prop_assert!(r.dfa.equivalent(&target));
+        prop_assert_eq!(r.dfa.minimize().num_states(), target.num_states());
+    }
+
+    /// RPNI output is always consistent with its training examples.
+    #[test]
+    fn rpni_consistent_with_examples(
+        strings in proptest::collection::vec(arb_input(), 1..12),
+        labels in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        use std::collections::HashMap;
+        let mut labelled: HashMap<Vec<u8>, bool> = HashMap::new();
+        for (i, s) in strings.iter().enumerate() {
+            labelled.entry(s.clone()).or_insert(labels[i % labels.len()]);
+        }
+        let pos: Vec<Vec<u8>> =
+            labelled.iter().filter(|(_, &v)| v).map(|(k, _)| k.clone()).collect();
+        let neg: Vec<Vec<u8>> =
+            labelled.iter().filter(|(_, &v)| !v).map(|(k, _)| k.clone()).collect();
+        let sigma = Alphabet::from_bytes(b"ab");
+        let d = rpni(&sigma, &pos, &neg).expect("deduplicated examples are consistent");
+        for p in &pos {
+            prop_assert!(d.accepts(p), "positive {:?}", p);
+        }
+        for n in &neg {
+            prop_assert!(!d.accepts(n), "negative {:?}", n);
+        }
+    }
+}

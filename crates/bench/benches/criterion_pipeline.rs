@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the synthesis pipeline and its substrates.
+//!
+//! These back the timing columns of Figures 4(b) and 6 with statistically
+//! robust per-component numbers: phase-one generalization, character
+//! generalization, the full pipeline, Earley parsing, and grammar sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glade_core::{Glade, GladeConfig};
+use glade_grammar::{Earley, Sampler};
+use glade_targets::languages::toy_xml;
+use glade_targets::programs::{Grep, Sed, Xml};
+use glade_targets::{Target, TargetOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+
+    group.bench_function("toy_xml/full", |b| {
+        let lang = toy_xml();
+        let oracle = lang.oracle();
+        b.iter(|| {
+            Glade::new()
+                .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+                .expect("valid seed")
+        })
+    });
+
+    group.bench_function("toy_xml/phase1_only", |b| {
+        let lang = toy_xml();
+        let oracle = lang.oracle();
+        let config = GladeConfig {
+            phase2: false,
+            character_generalization: false,
+            ..GladeConfig::default()
+        };
+        b.iter(|| {
+            Glade::with_config(config.clone())
+                .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+                .expect("valid seed")
+        })
+    });
+
+    for (name, target) in [("sed", &Sed as &dyn Target), ("grep", &Grep), ("xml", &Xml)] {
+        group.bench_function(format!("program/{name}"), |b| {
+            let oracle = TargetOracle::new(target);
+            let seeds = target.seeds();
+            let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
+            b.iter(|| {
+                Glade::with_config(config.clone())
+                    .synthesize(&seeds, &oracle)
+                    .expect("valid seeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    // Earley parsing of a synthesized grammar.
+    let xml = Xml;
+    let oracle = TargetOracle::new(&xml);
+    let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
+    let synthesis =
+        Glade::with_config(config).synthesize(&xml.seeds(), &oracle).expect("valid");
+    let grammar = synthesis.grammar;
+    let doc = b"<root a=\"1\"><b/>text<c x='y'>&lt;</c></root>".to_vec();
+
+    group.bench_function("earley/accepts_seed", |b| {
+        let parser = Earley::new(&grammar);
+        b.iter(|| parser.accepts(&doc))
+    });
+
+    group.bench_function("earley/parse_tree", |b| {
+        let parser = Earley::new(&grammar);
+        b.iter(|| parser.parse(&doc))
+    });
+
+    group.bench_function("sampler/xml_grammar", |b| {
+        let sampler = Sampler::new(&grammar);
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| sampler.sample(&mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("target/xml_run", |b| b.iter(|| xml.run(&doc)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 4 (a) and (b): F1 score and running time of L-Star, RPNI,
+//! GLADE-P1, and GLADE on the four handwritten target languages
+//! (URL, Grep, Lisp, XML).
+//!
+//! Paper shape to expect: GLADE near 1.0 F1 on all four languages with
+//! GLADE-P1 5–10% behind, while L-Star and RPNI fail to learn most of the
+//! languages (very low precision or recall); GLADE's running time is orders
+//! of magnitude below the baselines' timeouts.
+
+use glade_bench::{banner, mean, Scale};
+use glade_eval::{run_learner, Learner};
+use glade_targets::languages::section82_languages;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = scale.eval_config();
+    banner(&format!(
+        "Figure 4(a)+(b): language inference comparison \
+         ({} seeds, {} eval samples, {} run(s), {:?} budget)",
+        config.num_seeds, config.eval_samples, scale.runs, config.time_limit
+    ));
+
+    println!(
+        "\n{:<6} {:<10} {:>10} {:>8} {:>8} {:>10} {:>8}",
+        "lang", "learner", "precision", "recall", "F1", "time(s)", "timeout"
+    );
+    for language in section82_languages() {
+        for learner in Learner::all() {
+            let mut f1s = Vec::new();
+            let mut precs = Vec::new();
+            let mut recs = Vec::new();
+            let mut times = Vec::new();
+            let mut any_timeout = false;
+            for run in 0..scale.runs {
+                let mut rng = StdRng::seed_from_u64(0xF16_4A + run as u64);
+                let row = run_learner(&language, learner, &config, &mut rng);
+                f1s.push(row.f1());
+                precs.push(row.quality.precision);
+                recs.push(row.quality.recall);
+                times.push(row.time.as_secs_f64());
+                any_timeout |= row.timed_out;
+            }
+            println!(
+                "{:<6} {:<10} {:>10.3} {:>8.3} {:>8.3} {:>10.2} {:>8}",
+                language.name(),
+                learner.name(),
+                mean(&precs),
+                mean(&recs),
+                mean(&f1s),
+                mean(&times),
+                if any_timeout { "yes" } else { "no" }
+            );
+        }
+        println!();
+    }
+
+    println!("Paper reference (Fig 4a): GLADE ≈ 1.0 F1 everywhere; P1 close behind;");
+    println!("L-Star decent only on grep; RPNI fails on all four.");
+}

@@ -1,0 +1,76 @@
+//! Figure 5: example grammars synthesized by GLADE for simplified target
+//! languages, shown alongside the targets.
+//!
+//! The paper presents simplified URL/Grep/Lisp/XML fragments and the
+//! grammars GLADE synthesizes for them from representative seeds, noting
+//! that the synthesized structure may legally differ from the target's
+//! (e.g. the XML `>` migrating between productions).
+
+use glade_bench::banner;
+use glade_core::{Glade, GladeConfig};
+use glade_targets::languages::{section82_languages, Language};
+use glade_targets::GrammarOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Representative seed inputs per language (as in the figure, a small
+/// handpicked set rather than random samples).
+fn representative_seeds(language: &Language) -> Vec<Vec<u8>> {
+    match language.name() {
+        "url" => vec![
+            b"http://foo.com".to_vec(),
+            b"https://www.ab.org/p?k=v".to_vec(),
+        ],
+        "grep" => vec![b"a*b".to_vec(), b"\\(x\\|y\\)".to_vec(), b"[a-f]*".to_vec()],
+        "lisp" => vec![b"(+ 1 2)".to_vec(), b"(f (g x))".to_vec()],
+        "xml" => vec![
+            b"<a x=\"1\">t</a>".to_vec(),
+            b"<a><b>u</b>v</a>".to_vec(),
+        ],
+        other => panic!("unknown language {other}"),
+    }
+}
+
+fn main() {
+    banner("Figure 5: example synthesized grammars");
+
+    for language in section82_languages() {
+        let seeds = representative_seeds(&language);
+        println!("\n--- target language: {} ---", language.name());
+        println!("target grammar:");
+        for line in language.grammar().to_string().lines().take(12) {
+            println!("    {line}");
+        }
+        let oracle: GrammarOracle = language.oracle();
+        let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
+        match Glade::with_config(config).synthesize(&seeds, &oracle) {
+            Ok(result) => {
+                println!(
+                    "synthesized grammar ({} queries, {:?}):",
+                    result.stats.unique_queries,
+                    result.stats.total_time()
+                );
+                for line in result.grammar.to_string().lines() {
+                    println!("    {line}");
+                }
+                // Spot-check the synthesized language on a fresh sample.
+                let sampler = glade_grammar::Sampler::new(&result.grammar);
+                let mut rng = StdRng::seed_from_u64(5);
+                let mut ok = 0;
+                let n = 200;
+                for _ in 0..n {
+                    if let Some(s) = sampler.sample(&mut rng) {
+                        if glade_core::Oracle::accepts(&oracle, &s) {
+                            ok += 1;
+                        }
+                    }
+                }
+                println!("sample precision: {:.2}", ok as f64 / n as f64);
+            }
+            Err(e) => println!("synthesis failed: {e}"),
+        }
+    }
+
+    println!("\nPaper reference (Fig 5): synthesized grammars capture the targets'");
+    println!("structure, possibly reorganized (e.g. XML's `>` moved across rules).");
+}

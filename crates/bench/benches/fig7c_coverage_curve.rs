@@ -1,0 +1,57 @@
+//! Figure 7 (c): valid normalized incremental coverage as a function of
+//! the number of generated samples, for the Python front-end.
+//!
+//! Paper shape to expect: GLADE rises quickly and keeps finding new lines;
+//! the naive fuzzer and afl plateau early and far lower (values normalized
+//! by the naive fuzzer's final coverage).
+
+use glade_bench::{banner, Scale};
+use glade_core::{Glade, GladeConfig};
+use glade_fuzz::{coverage_curve, AflFuzzer, GrammarFuzzer, NaiveFuzzer};
+use glade_targets::programs::Python;
+use glade_targets::{Target, TargetOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let total = scale.fuzz_samples;
+    let checkpoints: Vec<usize> = (1..=10).map(|k| k * total / 10).filter(|&c| c > 0).collect();
+
+    banner(&format!("Figure 7(c): coverage vs #samples on python (total {total})"));
+
+    let python = Python;
+    let seeds = python.seeds();
+    let oracle = TargetOracle::new(&python);
+    let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
+    let synthesis =
+        Glade::with_config(config).synthesize(&seeds, &oracle).expect("seeds valid");
+
+    let mut rng = StdRng::seed_from_u64(0xF17C);
+    let mut naive = NaiveFuzzer::new(seeds.clone());
+    let naive_curve = coverage_curve(&python, &mut naive, &checkpoints, &mut rng);
+
+    let mut rng = StdRng::seed_from_u64(0xF17C);
+    let mut afl = AflFuzzer::new(seeds.clone());
+    let afl_curve = coverage_curve(&python, &mut afl, &checkpoints, &mut rng);
+
+    let mut rng = StdRng::seed_from_u64(0xF17C);
+    let mut glade = GrammarFuzzer::new(synthesis.grammar, &seeds);
+    let glade_curve = coverage_curve(&python, &mut glade, &checkpoints, &mut rng);
+
+    // Normalize by the naive fuzzer's final value (the paper's convention).
+    let base = naive_curve.last().map(|&(_, v)| v).unwrap_or(0.0).max(f64::EPSILON);
+
+    println!("\n{:>9} {:>9} {:>9} {:>9}", "#samples", "naive", "afl", "glade");
+    for i in 0..checkpoints.len() {
+        println!(
+            "{:>9} {:>9.2} {:>9.2} {:>9.2}",
+            naive_curve[i].0,
+            naive_curve[i].1 / base,
+            afl_curve[i].1 / base,
+            glade_curve[i].1 / base,
+        );
+    }
+    println!("\nPaper reference (Fig 7c): GLADE's curve dominates, reaching ~2.5x the");
+    println!("naive fuzzer's final coverage and still climbing at 50,000 samples.");
+}

@@ -1,0 +1,140 @@
+//! Character generalization (Section 6.2 of the paper).
+//!
+//! After phase one, every terminal byte in the synthesized regular
+//! expression is a literal from the seed input. This phase widens each
+//! terminal position into a byte class: for terminal string `α = σ1…σk`
+//! with context `(γ, δ)` and candidate byte `σ ≠ σi`, the check
+//! `γ·σ1…σi−1·σ·σi+1…σk·δ` is posed to the oracle; accepted bytes join the
+//! class at position `i`. Each candidate is considered exactly once.
+//!
+//! A `Const` node may carry several contexts (e.g. an alternation branch is
+//! valid both with and without its sibling); a byte is accepted only if the
+//! check passes in *every* context, which matches the two example checks
+//! the paper gives for generalizing `h` (`<a>ai</a>` and `<a>a</a>`).
+
+use crate::runner::QueryRunner;
+use crate::tree::Node;
+
+/// Widens every terminal position of `tree` against `test_bytes`.
+///
+/// Returns the number of (position, byte) pairs accepted.
+pub(crate) fn generalize_chars(
+    tree: &mut Node,
+    runner: &QueryRunner<'_>,
+    test_bytes: &[u8],
+) -> usize {
+    let mut accepted = 0usize;
+    tree.visit_consts_mut(&mut |c| {
+        for i in 0..c.original.len() {
+            for &sigma in test_bytes {
+                if sigma == c.original[i] || c.classes[i].contains(sigma) {
+                    continue;
+                }
+                let ok = c.contexts.iter().all(|ctx| {
+                    let mut probe = Vec::with_capacity(
+                        ctx.before.len() + c.original.len() + ctx.after.len(),
+                    );
+                    probe.extend_from_slice(&ctx.before);
+                    probe.extend_from_slice(&c.original[..i]);
+                    probe.push(sigma);
+                    probe.extend_from_slice(&c.original[i + 1..]);
+                    probe.extend_from_slice(&ctx.after);
+                    runner.accepts(&probe)
+                });
+                if ok {
+                    c.classes[i].insert(sigma);
+                    accepted += 1;
+                }
+            }
+        }
+    });
+    accepted
+}
+
+/// The default test alphabet: printable ASCII plus tab and newline.
+pub(crate) fn default_test_bytes() -> Vec<u8> {
+    let mut v: Vec<u8> = (0x20..=0x7eu8).collect();
+    v.push(b'\t');
+    v.push(b'\n');
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::Phase1;
+    use crate::FnOracle;
+
+    fn xml_like_accepts(input: &[u8]) -> bool {
+        fn parse(mut s: &[u8]) -> Option<&[u8]> {
+            loop {
+                if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
+                    s = &s[1..];
+                } else if s.starts_with(b"<a>") {
+                    let rest = parse(&s[3..])?;
+                    s = rest.strip_prefix(b"</a>")?;
+                } else {
+                    return Some(s);
+                }
+            }
+        }
+        parse(input).is_some_and(|rest| rest.is_empty())
+    }
+
+    #[test]
+    fn running_example_generalizes_letters_not_structure() {
+        // Section 6.2: h and i generalize to a..z; the tag bytes < a > /
+        // do not generalize.
+        let oracle = FnOracle::new(xml_like_accepts);
+        let runner = QueryRunner::new(&oracle, None, None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let mut tree = p1.generalize_seed(b"<a>hi</a>");
+        generalize_chars(&mut tree, &runner, &default_test_bytes());
+        let r = tree.to_regex();
+        // Letters widened.
+        assert!(r.is_match(b"<a>zz</a>"));
+        assert!(r.is_match(b"<a>qrs</a>"));
+        // Structure intact.
+        assert!(!r.is_match(b"<b>hh</b>"));
+        assert!(!r.is_match(b"aa>hh</a>"));
+        assert!(!r.is_match(b"<a>h h</a>")); // space not in a..z
+    }
+
+    #[test]
+    fn digits_generalize_in_digit_language() {
+        // L = nonempty digit strings.
+        let oracle =
+            FnOracle::new(|i: &[u8]| !i.is_empty() && i.iter().all(u8::is_ascii_digit));
+        let runner = QueryRunner::new(&oracle, None, None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let mut tree = p1.generalize_seed(b"7");
+        generalize_chars(&mut tree, &runner, &default_test_bytes());
+        let r = tree.to_regex();
+        for d in b'0'..=b'9' {
+            assert!(r.is_match(&[d]), "digit {}", d as char);
+        }
+        assert!(!r.is_match(b"a"));
+    }
+
+    #[test]
+    fn counts_accepted_pairs() {
+        let oracle = FnOracle::new(|i: &[u8]| i.len() == 1 && i[0].is_ascii_lowercase());
+        let runner = QueryRunner::new(&oracle, None, None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let mut tree = p1.generalize_seed(b"m");
+        let n = generalize_chars(&mut tree, &runner, &default_test_bytes());
+        // 25 other lowercase letters accepted... unless phase 1 starred the
+        // single letter; in this language "mm" is invalid so no star forms.
+        assert_eq!(n, 25);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let oracle = FnOracle::new(|_: &[u8]| true);
+        let runner = QueryRunner::new(&oracle, Some(0), None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let mut tree = p1.generalize_seed(b"q");
+        let n = generalize_chars(&mut tree, &runner, &default_test_bytes());
+        assert_eq!(n, 0, "no budget, no generalization");
+    }
+}

@@ -1,0 +1,70 @@
+//! GLADE: synthesizing program input grammars from examples and blackbox
+//! membership queries.
+//!
+//! This crate is a from-scratch reproduction of the synthesis algorithm of
+//! *Bastani, Sharma, Aiken, Liang. "Synthesizing Program Input Grammars",
+//! PLDI 2017*. Given a handful of seed inputs and an [`Oracle`] answering
+//! "is this input valid?", [`Glade::synthesize`] produces a context-free
+//! grammar approximating the program's input language:
+//!
+//! 1. **Phase one** (Section 4) generalizes each seed into a regular
+//!    expression by greedily proposing repetition and alternation
+//!    decompositions, validated by context-wrapped membership checks.
+//! 2. **Character generalization** (Section 6.2) widens literal bytes into
+//!    byte classes.
+//! 3. **Phase two** (Section 5) merges repetition subexpressions whose
+//!    cross-substitution checks pass, introducing the recursive productions
+//!    (matching-parentheses structure) that regular expressions cannot
+//!    express.
+//!
+//! The output [`Synthesis`] carries the final [`glade_grammar::Grammar`],
+//! the intermediate regular expression, and detailed [`SynthesisStats`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use glade_core::{FnOracle, Glade};
+//! use glade_grammar::{Earley, Sampler};
+//!
+//! // A toy target language: balanced square brackets.
+//! fn balanced(input: &[u8]) -> bool {
+//!     let mut depth = 0i64;
+//!     for &b in input {
+//!         match b {
+//!             b'[' => depth += 1,
+//!             b']' => depth -= 1,
+//!             _ => return false,
+//!         }
+//!         if depth < 0 {
+//!             return false;
+//!         }
+//!     }
+//!     depth == 0
+//! }
+//!
+//! // A seed with one level of nesting lets phase two discover recursion.
+//! let oracle = FnOracle::new(balanced);
+//! let result = Glade::new().synthesize(&[b"[[]]".to_vec()], &oracle)?;
+//! assert!(Earley::new(&result.grammar).accepts(b"[[]][]"));
+//! assert!(Earley::new(&result.grammar).accepts(b"[[[[]]]]"));
+//!
+//! // The grammar immediately drives a grammar-based fuzzer:
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let input = Sampler::new(&result.grammar).sample(&mut rng).unwrap();
+//! assert!(balanced(&input));
+//! # Ok::<(), glade_core::SynthesisError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod chargen;
+mod oracle;
+mod phase1;
+mod phase2;
+mod runner;
+mod synth;
+mod tree;
+
+pub use oracle::{CachingOracle, FnOracle, InputMode, Oracle, ProcessOracle};
+pub use synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};

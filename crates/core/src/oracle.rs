@@ -1,0 +1,318 @@
+//! Membership oracles: blackbox access to the program under learning.
+//!
+//! GLADE's only interface to the target program is the oracle
+//! `O(α) = 1[α ∈ L*]` (Section 2): run the program on an input and observe
+//! whether it is accepted. This module defines the [`Oracle`] trait plus the
+//! adapters used throughout the reproduction:
+//!
+//! * [`FnOracle`] — wrap any predicate closure (used for handwritten
+//!   grammars and the instrumented target parsers).
+//! * [`CachingOracle`] — memoize queries and count them (synthesis statistics
+//!   report query counts through this wrapper).
+//! * [`ProcessOracle`] — spawn an external executable per query, concluding
+//!   validity from its exit status, exactly like the paper's setup where "we
+//!   run the program on input α … and conclude that α is a valid input if
+//!   the program does not print an error message".
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+/// Blackbox membership access to a target language.
+///
+/// Implementations must be deterministic: GLADE's monotonicity argument
+/// assumes repeated queries agree.
+pub trait Oracle {
+    /// Returns whether `input` is a valid program input (`input ∈ L*`).
+    fn accepts(&self, input: &[u8]) -> bool;
+}
+
+impl<O: Oracle + ?Sized> Oracle for &O {
+    fn accepts(&self, input: &[u8]) -> bool {
+        (**self).accepts(input)
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for Box<O> {
+    fn accepts(&self, input: &[u8]) -> bool {
+        (**self).accepts(input)
+    }
+}
+
+/// An oracle backed by a predicate function.
+///
+/// # Examples
+///
+/// ```
+/// use glade_core::{FnOracle, Oracle};
+///
+/// let oracle = FnOracle::new(|input: &[u8]| input.iter().all(u8::is_ascii_lowercase));
+/// assert!(oracle.accepts(b"abc"));
+/// assert!(!oracle.accepts(b"aBc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FnOracle<F> {
+    f: F,
+}
+
+impl<F: Fn(&[u8]) -> bool> FnOracle<F> {
+    /// Wraps predicate `f`.
+    pub fn new(f: F) -> Self {
+        FnOracle { f }
+    }
+}
+
+impl<F: Fn(&[u8]) -> bool> Oracle for FnOracle<F> {
+    fn accepts(&self, input: &[u8]) -> bool {
+        (self.f)(input)
+    }
+}
+
+/// Memoizing, counting wrapper around another oracle.
+///
+/// GLADE issues many duplicate membership queries (identical checks arise
+/// from different candidates); caching them is the paper's implicit
+/// assumption that "each query to O takes constant time" (Section 4.4).
+///
+/// # Examples
+///
+/// ```
+/// use glade_core::{CachingOracle, FnOracle, Oracle};
+///
+/// let inner = FnOracle::new(|i: &[u8]| i.len() % 2 == 0);
+/// let oracle = CachingOracle::new(inner);
+/// assert!(oracle.accepts(b"ab"));
+/// assert!(oracle.accepts(b"ab"));
+/// assert_eq!(oracle.unique_queries(), 1);
+/// assert_eq!(oracle.total_queries(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CachingOracle<O> {
+    inner: O,
+    cache: RefCell<HashMap<Vec<u8>, bool>>,
+    total: Cell<usize>,
+}
+
+impl<O: Oracle> CachingOracle<O> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: O) -> Self {
+        CachingOracle { inner, cache: RefCell::new(HashMap::new()), total: Cell::new(0) }
+    }
+
+    /// Number of queries answered (including cache hits).
+    pub fn total_queries(&self) -> usize {
+        self.total.get()
+    }
+
+    /// Number of distinct inputs forwarded to the inner oracle.
+    pub fn unique_queries(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Consumes the wrapper, returning the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for CachingOracle<O> {
+    fn accepts(&self, input: &[u8]) -> bool {
+        self.total.set(self.total.get() + 1);
+        if let Some(&v) = self.cache.borrow().get(input) {
+            return v;
+        }
+        let v = self.inner.accepts(input);
+        self.cache.borrow_mut().insert(input.to_vec(), v);
+        v
+    }
+}
+
+/// How a [`ProcessOracle`] delivers the candidate input to the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputMode {
+    /// Write the input to the child's stdin.
+    Stdin,
+    /// Write the input to a temporary file and substitute its path for the
+    /// `{}` placeholder in the argument list.
+    TempFile,
+}
+
+/// Spawns an external program per membership query.
+///
+/// The input is judged valid when the process exits with status zero —
+/// mirroring the paper's blackbox setup. Use [`ProcessOracle::require_empty_stderr`]
+/// for programs that signal parse errors on stderr but still exit 0.
+///
+/// # Examples
+///
+/// ```no_run
+/// use glade_core::{InputMode, Oracle, ProcessOracle};
+///
+/// // Validate XML by exit status of `xmllint --noout <file>`.
+/// let oracle = ProcessOracle::new("xmllint")
+///     .arg("--noout")
+///     .arg("{}")
+///     .input_mode(InputMode::TempFile);
+/// let _ = oracle.accepts(b"<a>hi</a>");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessOracle {
+    program: PathBuf,
+    args: Vec<String>,
+    input_mode: InputMode,
+    require_empty_stderr: bool,
+}
+
+impl ProcessOracle {
+    /// Creates an oracle that runs `program`, feeding inputs on stdin.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        ProcessOracle {
+            program: program.into(),
+            args: Vec::new(),
+            input_mode: InputMode::Stdin,
+            require_empty_stderr: false,
+        }
+    }
+
+    /// Appends a command-line argument. The placeholder `{}` is replaced by
+    /// the temporary input file path when [`InputMode::TempFile`] is used.
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Selects how the input reaches the program.
+    pub fn input_mode(mut self, mode: InputMode) -> Self {
+        self.input_mode = mode;
+        self
+    }
+
+    /// Additionally requires stderr to be empty for an input to count as
+    /// valid (the paper's "does not print an error message" criterion).
+    pub fn require_empty_stderr(mut self, yes: bool) -> Self {
+        self.require_empty_stderr = yes;
+        self
+    }
+}
+
+impl Oracle for ProcessOracle {
+    fn accepts(&self, input: &[u8]) -> bool {
+        let run = |cmd: &mut Command, stdin_payload: Option<&[u8]>| -> Option<(bool, Vec<u8>)> {
+            cmd.stdout(Stdio::null()).stderr(Stdio::piped());
+            cmd.stdin(if stdin_payload.is_some() { Stdio::piped() } else { Stdio::null() });
+            let mut child = cmd.spawn().ok()?;
+            if let Some(payload) = stdin_payload {
+                // Ignore broken pipes: the program may legitimately stop
+                // reading after detecting an error.
+                let _ = child.stdin.take().expect("piped stdin").write_all(payload);
+            }
+            let out = child.wait_with_output().ok()?;
+            Some((out.status.success(), out.stderr))
+        };
+
+        let result = match self.input_mode {
+            InputMode::Stdin => {
+                let mut cmd = Command::new(&self.program);
+                cmd.args(&self.args);
+                run(&mut cmd, Some(input))
+            }
+            InputMode::TempFile => {
+                let path = std::env::temp_dir().join(format!(
+                    "glade-oracle-{}-{:x}.in",
+                    std::process::id(),
+                    // Distinguish concurrent queries without extra deps.
+                    input.as_ptr() as usize ^ input.len()
+                ));
+                if std::fs::write(&path, input).is_err() {
+                    return false;
+                }
+                let mut cmd = Command::new(&self.program);
+                for a in &self.args {
+                    if a == "{}" {
+                        cmd.arg(&path);
+                    } else {
+                        cmd.arg(a);
+                    }
+                }
+                let r = run(&mut cmd, None);
+                let _ = std::fs::remove_file(&path);
+                r
+            }
+        };
+        match result {
+            Some((ok, stderr)) => ok && (!self.require_empty_stderr || stderr.is_empty()),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_oracle_delegates() {
+        let o = FnOracle::new(|i: &[u8]| i.starts_with(b"ok"));
+        assert!(o.accepts(b"okay"));
+        assert!(!o.accepts(b"nope"));
+    }
+
+    #[test]
+    fn caching_oracle_counts_and_memoizes() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let o = CachingOracle::new(FnOracle::new(|i: &[u8]| {
+            calls.set(calls.get() + 1);
+            i.is_empty()
+        }));
+        assert!(o.accepts(b""));
+        assert!(o.accepts(b""));
+        assert!(!o.accepts(b"x"));
+        assert_eq!(o.total_queries(), 3);
+        assert_eq!(o.unique_queries(), 2);
+        assert_eq!(calls.get(), 2);
+    }
+
+    #[test]
+    fn oracle_by_reference_works() {
+        fn takes_oracle(o: &dyn Oracle) -> bool {
+            o.accepts(b"y")
+        }
+        let o = FnOracle::new(|i: &[u8]| i == b"y");
+        assert!(takes_oracle(&o));
+        // The blanket &O impl also composes.
+        let r = &o;
+        assert!(r.accepts(b"y"));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn process_oracle_stdin_true_false() {
+        // `grep -q x` exits 0 iff stdin contains an "x".
+        let o = ProcessOracle::new("grep").arg("-q").arg("x");
+        assert!(o.accepts(b"axb"));
+        assert!(!o.accepts(b"abc"));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn process_oracle_tempfile_mode() {
+        // `grep -q pat FILE` with the file substituted for {}.
+        let o = ProcessOracle::new("grep")
+            .arg("-q")
+            .arg("needle")
+            .arg("{}")
+            .input_mode(InputMode::TempFile);
+        assert!(o.accepts(b"hay needle stack"));
+        assert!(!o.accepts(b"just hay"));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn process_oracle_missing_program_rejects() {
+        let o = ProcessOracle::new("/nonexistent/program/glade");
+        assert!(!o.accepts(b"anything"));
+    }
+}

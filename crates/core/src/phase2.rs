@@ -1,0 +1,235 @@
+//! Phase two: learning recursive properties by merging repetition
+//! subexpressions (Section 5 of the paper).
+//!
+//! After phase one, every starred subexpression `R = (…)*` of the regular
+//! expression corresponds to a nonterminal `A'_i` of the translated
+//! context-free grammar. Phase two considers every unordered pair
+//! `(A'_i, A'_j)` once, in ascending index order, and equates the pair if
+//! two membership checks pass (Section 5.3): substituting `R_j`'s residual
+//! into `R_i`'s context and vice versa:
+//!
+//! ```text
+//! γi · ρj · δi      where ρj = α'2 α'2 is R_j's recorded residual
+//! γj · ρi · δj
+//! ```
+//!
+//! Accepted pairs accumulate in a union-find; the quotiented grammar pools
+//! the star bodies of each class (see `tree::trees_to_grammar`), which by
+//! Proposition 5.1 realizes exactly the language effect of equating the
+//! nonterminals. Merging is what lets GLADE express matching-parentheses
+//! style recursion (Definition 5.2, Proposition 5.3) that no regular
+//! expression captures.
+
+use crate::runner::QueryRunner;
+use crate::tree::{Node, StarNode, UnionFind};
+
+/// Outcome counters for phase two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct MergeStats {
+    pub pairs_tried: usize,
+    pub merges_accepted: usize,
+}
+
+/// Runs the merge phase over all star nodes of all seed trees.
+///
+/// Returns the union-find over star ids (indexed `0..num_stars`) and the
+/// counters.
+pub(crate) fn merge_stars(
+    trees: &[Node],
+    num_stars: usize,
+    runner: &QueryRunner<'_>,
+) -> (UnionFind, MergeStats) {
+    let mut stars: Vec<&StarNode> = Vec::new();
+    for t in trees {
+        t.collect_stars(&mut stars);
+    }
+    stars.sort_by_key(|s| s.id);
+    let mut uf = UnionFind::new(num_stars);
+    let mut stats = MergeStats::default();
+
+    for i in 0..stars.len() {
+        for j in i + 1..stars.len() {
+            let (si, sj) = (stars[i], stars[j]);
+            stats.pairs_tried += 1;
+            // The two candidates per pair (Section 5.2): merge, or keep the
+            // current grammar. Merge wins iff both checks pass.
+            let check_ij = si.ctx.wrap(&sj.residual());
+            let check_ji = sj.ctx.wrap(&si.residual());
+            if runner.accepts(&check_ij) && runner.accepts(&check_ji) {
+                uf.union(si.id, sj.id);
+                stats.merges_accepted += 1;
+            }
+        }
+    }
+    (uf, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::Phase1;
+    use crate::tree::trees_to_grammar;
+    use crate::FnOracle;
+    use glade_grammar::Earley;
+
+    fn xml_like_accepts(input: &[u8]) -> bool {
+        fn parse(mut s: &[u8]) -> Option<&[u8]> {
+            loop {
+                if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
+                    s = &s[1..];
+                } else if s.starts_with(b"<a>") {
+                    let rest = parse(&s[3..])?;
+                    s = rest.strip_prefix(b"</a>")?;
+                } else {
+                    return Some(s);
+                }
+            }
+        }
+        parse(input).is_some_and(|rest| rest.is_empty())
+    }
+
+    #[test]
+    fn running_example_merges_and_nests() {
+        // Figure 2 steps C1–C2: the two stars of (<a>(h+i)*</a>)* merge,
+        // yielding the recursive grammar A → (<a>A</a>)* , A → (h+i)*.
+        let oracle = FnOracle::new(xml_like_accepts);
+        let runner = QueryRunner::new(&oracle, None, None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let tree = p1.generalize_seed(b"<a>hi</a>");
+        let num_stars = p1.next_star_id();
+        assert_eq!(num_stars, 2);
+
+        let trees = vec![tree];
+        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner);
+        assert_eq!(stats.pairs_tried, 1);
+        assert_eq!(stats.merges_accepted, 1);
+
+        let g = trees_to_grammar(&trees, &mut uf);
+        let e = Earley::new(&g);
+        // Recursion now expressible…
+        assert!(e.accepts(b"<a><a>hi</a><a>hi</a></a>"));
+        assert!(e.accepts(b"<a><a><a>h</a></a></a>"));
+        // …and top-level letters.
+        assert!(e.accepts(b"hihi"));
+        // No overgeneralization.
+        assert!(!e.accepts(b"<a><a>hi</a>"));
+        assert!(!e.accepts(b"</a><a>"));
+    }
+
+    #[test]
+    fn compatible_blocks_do_merge() {
+        // Language x*y*: the cross-substitution checks (yyy and xxx) are
+        // both valid, so the paper's heuristic merges the two stars —
+        // a deliberate (if overgeneral) acceptance.
+        let oracle = FnOracle::new(|i: &[u8]| {
+            let split = i.iter().position(|&b| b == b'y').unwrap_or(i.len());
+            i[..split].iter().all(|&b| b == b'x') && i[split..].iter().all(|&b| b == b'y')
+        });
+        let runner = QueryRunner::new(&oracle, None, None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let tree = p1.generalize_seed(b"xy");
+        let num_stars = p1.next_star_id();
+        let trees = vec![tree];
+        let (_, stats) = merge_stars(&trees, num_stars, &runner);
+        assert_eq!(stats.merges_accepted, 1);
+    }
+
+    #[test]
+    fn incompatible_stars_do_not_merge() {
+        // Language a* x b*: substituting the b-star's residual into the
+        // a-star's context yields "bbxb" (invalid) and vice versa, so the
+        // merge checks reject the pair (the second candidate — keeping the
+        // grammar unchanged — wins).
+        let oracle = FnOracle::new(|i: &[u8]| {
+            let Some(x) = i.iter().position(|&b| b == b'x') else { return false };
+            i[..x].iter().all(|&b| b == b'a') && i[x + 1..].iter().all(|&b| b == b'b')
+        });
+        let runner = QueryRunner::new(&oracle, None, None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let tree = p1.generalize_seed(b"axb");
+        let num_stars = p1.next_star_id();
+        let trees = vec![tree];
+        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner);
+        assert_eq!(stats.merges_accepted, 0);
+        let g = trees_to_grammar(&trees, &mut uf);
+        let e = Earley::new(&g);
+        assert!(e.accepts(b"aaxbb"));
+        assert!(e.accepts(b"x"));
+        assert!(!e.accepts(b"bxa"));
+        assert!(!e.accepts(b"abx"));
+    }
+
+    #[test]
+    fn section7_greedy_limitation_single_seed() {
+        // Section 7: with L* = XML-like extended by <a/>, the single seed
+        // <a><a/></a> yields a suboptimal (but still valid) grammar whose
+        // stars cannot merge, because the check ><a/ is invalid.
+        fn accepts(input: &[u8]) -> bool {
+            fn parse(mut s: &[u8]) -> Option<&[u8]> {
+                loop {
+                    if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
+                        s = &s[1..];
+                    } else if s.starts_with(b"<a/>") {
+                        s = &s[4..];
+                    } else if s.starts_with(b"<a>") {
+                        let rest = parse(&s[3..])?;
+                        s = rest.strip_prefix(b"</a>")?;
+                    } else {
+                        return Some(s);
+                    }
+                }
+            }
+            parse(input).is_some_and(|rest| rest.is_empty())
+        }
+        let oracle = FnOracle::new(accepts);
+        let runner = QueryRunner::new(&oracle, None, None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let tree = p1.generalize_seed(b"<a><a/></a>");
+        let num_stars = p1.next_star_id();
+        let trees = vec![tree];
+        let (mut uf, _) = merge_stars(&trees, num_stars, &runner);
+        let g = trees_to_grammar(&trees, &mut uf);
+        let e = Earley::new(&g);
+        // The synthesized language is a valid subset…
+        assert!(e.accepts(b"<a><a/></a>"));
+        // …but greedy phase one misses the deep nesting of self-closing
+        // tags inside doubly-nested elements.
+        assert!(!e.accepts(b"<a><a><a/></a></a>"));
+    }
+
+    #[test]
+    fn section7_recovery_with_two_seeds() {
+        // Section 7 continued: seeds {<a/>, <a>hi</a>} recover the target.
+        fn accepts(input: &[u8]) -> bool {
+            fn parse(mut s: &[u8]) -> Option<&[u8]> {
+                loop {
+                    if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
+                        s = &s[1..];
+                    } else if s.starts_with(b"<a/>") {
+                        s = &s[4..];
+                    } else if s.starts_with(b"<a>") {
+                        let rest = parse(&s[3..])?;
+                        s = rest.strip_prefix(b"</a>")?;
+                    } else {
+                        return Some(s);
+                    }
+                }
+            }
+            parse(input).is_some_and(|rest| rest.is_empty())
+        }
+        let oracle = FnOracle::new(accepts);
+        let runner = QueryRunner::new(&oracle, None, None);
+        let mut p1 = Phase1::new(&runner, 0);
+        let t1 = p1.generalize_seed(b"<a/>");
+        let t2 = p1.generalize_seed(b"<a>hi</a>");
+        let num_stars = p1.next_star_id();
+        let trees = vec![t1, t2];
+        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner);
+        assert!(stats.merges_accepted > 0);
+        let g = trees_to_grammar(&trees, &mut uf);
+        let e = Earley::new(&g);
+        assert!(e.accepts(b"<a><a/></a>"));
+        assert!(e.accepts(b"<a><a><a/>hi</a></a>"));
+        assert!(!e.accepts(b"<a/></a>"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Budgeted, cached oracle access shared by all synthesis phases.
+
+use crate::Oracle;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Internal oracle front-end enforcing the query/time budget.
+///
+/// Once the budget is exhausted every further query answers `false`; since
+/// checks gate *generalization*, this gracefully degrades synthesis (pending
+/// substrings collapse to constants, pending merges are skipped) instead of
+/// aborting, mirroring the paper's timeout handling of "use the last
+/// language successfully learned".
+pub(crate) struct QueryRunner<'o> {
+    oracle: &'o dyn Oracle,
+    cache: RefCell<HashMap<Vec<u8>, bool>>,
+    total: Cell<usize>,
+    max_queries: usize,
+    deadline: Option<Instant>,
+    exhausted: Cell<bool>,
+}
+
+impl<'o> QueryRunner<'o> {
+    pub fn new(
+        oracle: &'o dyn Oracle,
+        max_queries: Option<usize>,
+        time_limit: Option<Duration>,
+    ) -> Self {
+        QueryRunner {
+            oracle,
+            cache: RefCell::new(HashMap::new()),
+            total: Cell::new(0),
+            max_queries: max_queries.unwrap_or(usize::MAX),
+            deadline: time_limit.map(|d| Instant::now() + d),
+            exhausted: Cell::new(false),
+        }
+    }
+
+    /// Budget-aware membership query.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.total.set(self.total.get() + 1);
+        if let Some(&v) = self.cache.borrow().get(input) {
+            return v;
+        }
+        if self.exhausted.get() {
+            return false;
+        }
+        if self.cache.borrow().len() >= self.max_queries
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            self.exhausted.set(true);
+            return false;
+        }
+        let v = self.oracle.accepts(input);
+        self.cache.borrow_mut().insert(input.to_vec(), v);
+        v
+    }
+
+    /// Unbudgeted query used for seed validation (seeds must be consulted
+    /// even if the budget is already gone).
+    pub fn accepts_unbudgeted(&self, input: &[u8]) -> bool {
+        if let Some(&v) = self.cache.borrow().get(input) {
+            return v;
+        }
+        let v = self.oracle.accepts(input);
+        self.cache.borrow_mut().insert(input.to_vec(), v);
+        v
+    }
+
+    /// Distinct inputs forwarded to the oracle.
+    pub fn unique_queries(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Total queries including cache hits.
+    pub fn total_queries(&self) -> usize {
+        self.total.get()
+    }
+
+    /// Whether the budget ran out at some point.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnOracle;
+
+    #[test]
+    fn caches_and_counts() {
+        let o = FnOracle::new(|i: &[u8]| i.len() < 2);
+        let r = QueryRunner::new(&o, None, None);
+        assert!(r.accepts(b"a"));
+        assert!(r.accepts(b"a"));
+        assert!(!r.accepts(b"ab"));
+        assert_eq!(r.unique_queries(), 2);
+        assert_eq!(r.total_queries(), 3);
+        assert!(!r.exhausted());
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_closed() {
+        let o = FnOracle::new(|_: &[u8]| true);
+        let r = QueryRunner::new(&o, Some(2), None);
+        assert!(r.accepts(b"1"));
+        assert!(r.accepts(b"2"));
+        // Third distinct query exceeds the budget: rejected.
+        assert!(!r.accepts(b"3"));
+        assert!(r.exhausted());
+        // Cached answers stay available.
+        assert!(r.accepts(b"1"));
+        // Unbudgeted path still works.
+        assert!(r.accepts_unbudgeted(b"4"));
+    }
+
+    #[test]
+    fn time_limit_expires() {
+        let o = FnOracle::new(|_: &[u8]| true);
+        let r = QueryRunner::new(&o, None, Some(Duration::from_nanos(1)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!r.accepts(b"x"));
+        assert!(r.exhausted());
+    }
+}

@@ -1,0 +1,436 @@
+//! The top-level GLADE synthesizer: configuration, statistics, and the
+//! driver tying phase one, character generalization, and phase two together
+//! (Algorithm 1 plus the Section 6 extensions).
+
+use crate::chargen::{default_test_bytes, generalize_chars};
+use crate::phase1::Phase1;
+use crate::phase2::merge_stars;
+use crate::runner::QueryRunner;
+use crate::tree::{trees_to_grammar, Node, UnionFind};
+use crate::Oracle;
+use glade_grammar::{Grammar, Regex};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of a synthesis run.
+///
+/// The defaults reproduce the full GLADE pipeline; the `phase2` and
+/// `character_generalization` switches provide the paper's ablations
+/// (Section 8.2 evaluates "GLADE omitting phase two" as `P1`, and a variant
+/// without character generalization).
+#[derive(Debug, Clone)]
+pub struct GladeConfig {
+    /// Run the merge phase (Section 5). Disabling restricts GLADE to
+    /// regular languages — the paper's `P1` ablation.
+    pub phase2: bool,
+    /// Run character generalization (Section 6.2).
+    pub character_generalization: bool,
+    /// Candidate bytes tried during character generalization. Defaults to
+    /// printable ASCII plus tab and newline.
+    pub char_test_bytes: Vec<u8>,
+    /// Maximum number of *distinct* oracle queries before the run degrades
+    /// gracefully (stops generalizing further). `None` = unlimited.
+    pub max_queries: Option<usize>,
+    /// Wall-clock limit, emulating the paper's 300 s timeout.
+    pub time_limit: Option<Duration>,
+    /// Section 6.1 optimization: skip a seed if it is already matched by
+    /// the disjunction of the regular expressions synthesized so far.
+    pub skip_redundant_seeds: bool,
+}
+
+impl Default for GladeConfig {
+    fn default() -> Self {
+        GladeConfig {
+            phase2: true,
+            character_generalization: true,
+            char_test_bytes: default_test_bytes(),
+            max_queries: None,
+            time_limit: None,
+            skip_redundant_seeds: true,
+        }
+    }
+}
+
+impl GladeConfig {
+    /// The `P1` ablation: phase one (plus character generalization) only.
+    pub fn phase1_only() -> Self {
+        GladeConfig { phase2: false, ..GladeConfig::default() }
+    }
+
+    /// The no-character-generalization ablation.
+    pub fn without_char_generalization() -> Self {
+        GladeConfig { character_generalization: false, ..GladeConfig::default() }
+    }
+}
+
+/// Counters and timings recorded by a synthesis run.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisStats {
+    /// Distinct membership queries sent to the oracle.
+    pub unique_queries: usize,
+    /// Total queries including cache hits.
+    pub total_queries: usize,
+    /// Seeds actually generalized.
+    pub seeds_used: usize,
+    /// Seeds skipped by the Section 6.1 redundancy optimization.
+    pub seeds_skipped: usize,
+    /// Repetition subexpressions discovered by phase one.
+    pub star_count: usize,
+    /// Total nodes in the per-seed generalization trees.
+    pub tree_nodes: usize,
+    /// Merge pairs examined by phase two.
+    pub merge_pairs_tried: usize,
+    /// Merge pairs accepted by phase two.
+    pub merges_accepted: usize,
+    /// (position, byte) pairs accepted by character generalization.
+    pub chars_generalized: usize,
+    /// Whether the query/time budget ran out mid-run.
+    pub budget_exhausted: bool,
+    /// Wall-clock time spent in phase one.
+    pub phase1_time: Duration,
+    /// Wall-clock time spent in character generalization.
+    pub chargen_time: Duration,
+    /// Wall-clock time spent in phase two.
+    pub phase2_time: Duration,
+}
+
+impl SynthesisStats {
+    /// Total synthesis time.
+    pub fn total_time(&self) -> Duration {
+        self.phase1_time + self.chargen_time + self.phase2_time
+    }
+}
+
+/// The result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The synthesized context-free grammar `Ĉ` approximating `L*`.
+    pub grammar: Grammar,
+    /// The phase-one view: the disjunction of the per-seed regular
+    /// expressions (after character generalization). Equal in language to
+    /// `grammar` when phase two is disabled or accepts no merge.
+    pub regex: Regex,
+    /// Run statistics.
+    pub stats: SynthesisStats,
+}
+
+/// Errors reported by [`Glade::synthesize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// No seed inputs were provided; GLADE needs at least one example.
+    NoSeeds,
+    /// A seed input is rejected by the oracle, violating the premise
+    /// `E_in ⊆ L*` (Section 2).
+    SeedRejected(Vec<u8>),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NoSeeds => write!(f, "no seed inputs provided"),
+            SynthesisError::SeedRejected(s) => {
+                write!(f, "seed input {:?} is rejected by the oracle", String::from_utf8_lossy(s))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// The GLADE grammar synthesizer.
+///
+/// # Examples
+///
+/// Synthesize the paper's running example (Figures 1–3) and check that the
+/// result captures recursion:
+///
+/// ```
+/// use glade_core::{FnOracle, Glade};
+/// use glade_grammar::Earley;
+///
+/// // Oracle for A → (a..z | <a>A</a>)*.
+/// fn xml_like(input: &[u8]) -> bool {
+///     fn parse(mut s: &[u8]) -> Option<&[u8]> {
+///         loop {
+///             if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
+///                 s = &s[1..];
+///             } else if s.starts_with(b"<a>") {
+///                 s = parse(&s[3..])?.strip_prefix(b"</a>")?;
+///             } else {
+///                 return Some(s);
+///             }
+///         }
+///     }
+///     parse(input).is_some_and(|r| r.is_empty())
+/// }
+///
+/// let oracle = FnOracle::new(xml_like);
+/// let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle)?;
+/// let parser = Earley::new(&result.grammar);
+/// assert!(parser.accepts(b"<a><a>xyz</a></a>"));
+/// assert!(!parser.accepts(b"<a>oops"));
+/// # Ok::<(), glade_core::SynthesisError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Glade {
+    config: GladeConfig,
+}
+
+impl Glade {
+    /// Creates a synthesizer with the default configuration.
+    pub fn new() -> Self {
+        Glade { config: GladeConfig::default() }
+    }
+
+    /// Creates a synthesizer with an explicit configuration.
+    pub fn with_config(config: GladeConfig) -> Self {
+        Glade { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GladeConfig {
+        &self.config
+    }
+
+    /// Synthesizes a grammar from `seeds` and blackbox `oracle` access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::NoSeeds`] for an empty seed set and
+    /// [`SynthesisError::SeedRejected`] if the oracle rejects a seed.
+    pub fn synthesize(
+        &self,
+        seeds: &[Vec<u8>],
+        oracle: &dyn Oracle,
+    ) -> Result<Synthesis, SynthesisError> {
+        if seeds.is_empty() {
+            return Err(SynthesisError::NoSeeds);
+        }
+        let runner = QueryRunner::new(oracle, self.config.max_queries, self.config.time_limit);
+        for seed in seeds {
+            if !runner.accepts_unbudgeted(seed) {
+                return Err(SynthesisError::SeedRejected(seed.clone()));
+            }
+        }
+
+        let mut stats = SynthesisStats::default();
+
+        // Phase one, seed by seed (Section 6.1).
+        let t0 = Instant::now();
+        let mut phase1 = Phase1::new(&runner, 0);
+        let mut trees: Vec<Node> = Vec::new();
+        let mut combined: Option<Regex> = None;
+        for seed in seeds {
+            if self.config.skip_redundant_seeds {
+                if let Some(r) = &combined {
+                    if r.is_match(seed) {
+                        stats.seeds_skipped += 1;
+                        continue;
+                    }
+                }
+            }
+            let tree = phase1.generalize_seed(seed);
+            let tree_regex = tree.to_regex();
+            combined = Some(match combined.take() {
+                Some(r) => Regex::alt(vec![r, tree_regex]),
+                None => tree_regex,
+            });
+            trees.push(tree);
+            stats.seeds_used += 1;
+        }
+        let num_stars = phase1.next_star_id();
+        stats.star_count = num_stars;
+        stats.tree_nodes = trees.iter().map(Node::size).sum();
+        stats.phase1_time = t0.elapsed();
+
+        // Character generalization (Section 6.2).
+        let t1 = Instant::now();
+        if self.config.character_generalization {
+            for tree in &mut trees {
+                stats.chars_generalized +=
+                    generalize_chars(tree, &runner, &self.config.char_test_bytes);
+            }
+        }
+        stats.chargen_time = t1.elapsed();
+
+        // Phase two (Section 5).
+        let t2 = Instant::now();
+        let mut merges = if self.config.phase2 {
+            let (uf, mstats) = merge_stars(&trees, num_stars, &runner);
+            stats.merge_pairs_tried = mstats.pairs_tried;
+            stats.merges_accepted = mstats.merges_accepted;
+            uf
+        } else {
+            UnionFind::new(num_stars)
+        };
+        stats.phase2_time = t2.elapsed();
+
+        let grammar = trees_to_grammar(&trees, &mut merges);
+        let regex = Regex::alt(trees.iter().map(Node::to_regex).collect());
+
+        stats.unique_queries = runner.unique_queries();
+        stats.total_queries = runner.total_queries();
+        stats.budget_exhausted = runner.exhausted();
+
+        Ok(Synthesis { grammar, regex, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnOracle;
+    use glade_grammar::{Earley, Sampler};
+    use rand::SeedableRng;
+
+    fn xml_like(input: &[u8]) -> bool {
+        fn parse(mut s: &[u8]) -> Option<&[u8]> {
+            loop {
+                if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
+                    s = &s[1..];
+                } else if s.starts_with(b"<a>") {
+                    let rest = parse(&s[3..])?;
+                    s = rest.strip_prefix(b"</a>")?;
+                } else {
+                    return Some(s);
+                }
+            }
+        }
+        parse(input).is_some_and(|r| r.is_empty())
+    }
+
+    #[test]
+    fn full_pipeline_on_running_example() {
+        let oracle = FnOracle::new(xml_like);
+        let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let e = Earley::new(&result.grammar);
+        // Section 6.2's conclusion: L(Ĉ'_XML) = L(C_XML) — the synthesized
+        // grammar is exactly the target on this example.
+        for member in [
+            &b""[..],
+            b"<a>hi</a>",
+            b"xyz",
+            b"<a><a>deep</a></a>",
+            b"<a></a><a>q</a>",
+            b"<a><a>a</a><a>b</a>cc</a>",
+        ] {
+            assert!(e.accepts(member), "should accept {:?}", String::from_utf8_lossy(member));
+        }
+        for nonmember in
+            [&b"<a>"[..], b"</a>", b"<a>hi</a", b"<b>x</b>", b"<a>HI</a>", b"1", b"<a><a></a>"]
+        {
+            assert!(
+                !e.accepts(nonmember),
+                "should reject {:?}",
+                String::from_utf8_lossy(nonmember)
+            );
+        }
+        assert_eq!(result.stats.star_count, 2);
+        assert_eq!(result.stats.merges_accepted, 1);
+        assert!(result.stats.unique_queries > 0);
+    }
+
+    #[test]
+    fn precision_of_samples_is_perfect_on_running_example() {
+        let oracle = FnOracle::new(xml_like);
+        let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let sampler = Sampler::new(&result.grammar);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..300 {
+            let s = sampler.sample(&mut rng).expect("productive");
+            assert!(xml_like(&s), "invalid sample {:?}", String::from_utf8_lossy(&s));
+        }
+    }
+
+    #[test]
+    fn phase1_only_ablation_is_regular() {
+        let oracle = FnOracle::new(xml_like);
+        let result = Glade::with_config(GladeConfig::phase1_only())
+            .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+            .unwrap();
+        let e = Earley::new(&result.grammar);
+        assert!(e.accepts(b"<a>hi</a>"));
+        assert!(e.accepts(b"<a>xy</a>")); // chargen widened letters inside tags
+        assert!(!e.accepts(b"xy"), "top-level letters require the phase-2 merge");
+        assert!(!e.accepts(b"<a><a>x</a></a>"), "P1 cannot nest");
+        assert_eq!(result.stats.merge_pairs_tried, 0);
+    }
+
+    #[test]
+    fn no_chargen_ablation_keeps_seed_letters_only() {
+        let oracle = FnOracle::new(xml_like);
+        let result = Glade::with_config(GladeConfig::without_char_generalization())
+            .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+            .unwrap();
+        let e = Earley::new(&result.grammar);
+        assert!(e.accepts(b"<a>hihi</a>"));
+        assert!(!e.accepts(b"<a>z</a>"), "z was never generalized");
+        assert_eq!(result.stats.chars_generalized, 0);
+    }
+
+    #[test]
+    fn errors_on_empty_and_rejected_seeds() {
+        let oracle = FnOracle::new(xml_like);
+        assert_eq!(Glade::new().synthesize(&[], &oracle).unwrap_err(), SynthesisError::NoSeeds);
+        let err = Glade::new().synthesize(&[b"<bad".to_vec()], &oracle).unwrap_err();
+        assert_eq!(err, SynthesisError::SeedRejected(b"<bad".to_vec()));
+    }
+
+    #[test]
+    fn redundant_seed_is_skipped() {
+        let oracle = FnOracle::new(xml_like);
+        // The second seed is already covered by the first seed's regex
+        // (<a>(letter)*</a>)* after phase 1.
+        let seeds = vec![b"<a>hi</a>".to_vec(), b"<a>hi</a><a>hi</a>".to_vec()];
+        let result = Glade::new().synthesize(&seeds, &oracle).unwrap();
+        assert_eq!(result.stats.seeds_used, 1);
+        assert_eq!(result.stats.seeds_skipped, 1);
+    }
+
+    #[test]
+    fn multiple_seeds_union_at_start() {
+        // L = {start,stop} ∪ digit strings: two structurally different seeds.
+        let oracle = FnOracle::new(|i: &[u8]| {
+            i == b"start" || i == b"stop" || (!i.is_empty() && i.iter().all(u8::is_ascii_digit))
+        });
+        let cfg = GladeConfig {
+            character_generalization: false,
+            ..GladeConfig::default()
+        };
+        let result = Glade::with_config(cfg)
+            .synthesize(&[b"start".to_vec(), b"42".to_vec()], &oracle)
+            .unwrap();
+        let e = Earley::new(&result.grammar);
+        assert!(e.accepts(b"start"));
+        assert!(e.accepts(b"42"));
+        assert_eq!(result.stats.seeds_used, 2);
+    }
+
+    #[test]
+    fn budget_limits_are_reported() {
+        let oracle = FnOracle::new(xml_like);
+        let cfg = GladeConfig { max_queries: Some(5), ..GladeConfig::default() };
+        let result =
+            Glade::with_config(cfg).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        assert!(result.stats.budget_exhausted);
+        // The seed is still in the synthesized language (monotonicity).
+        let e = Earley::new(&result.grammar);
+        assert!(e.accepts(b"<a>hi</a>"));
+    }
+
+    #[test]
+    fn stats_time_accounting() {
+        let oracle = FnOracle::new(xml_like);
+        let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        assert!(result.stats.total_time() >= result.stats.phase1_time);
+        assert!(result.stats.total_queries >= result.stats.unique_queries);
+    }
+
+    #[test]
+    fn regex_field_matches_phase1_language() {
+        let oracle = FnOracle::new(xml_like);
+        let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        assert!(result.regex.is_match(b"<a>qq</a>"));
+        assert!(!result.regex.is_match(b"<a><a>q</a></a>"), "regex view is pre-merge");
+    }
+}

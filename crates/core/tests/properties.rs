@@ -1,0 +1,145 @@
+//! Property-based tests of the synthesis pipeline's invariants, driven by
+//! random regular target languages (small random DFAs over {a, b}).
+
+use glade_core::{FnOracle, Glade, GladeConfig};
+use glade_grammar::{grammar_to_text, Earley};
+use proptest::prelude::*;
+
+/// A small complete DFA over {a, b} encoded as transition/accept tables.
+#[derive(Debug, Clone)]
+struct TinyDfa {
+    trans: Vec<[u8; 2]>,
+    accept: Vec<bool>,
+}
+
+impl TinyDfa {
+    fn accepts(&self, input: &[u8]) -> bool {
+        let mut s = 0usize;
+        for &b in input {
+            let a = match b {
+                b'a' => 0,
+                b'b' => 1,
+                _ => return false,
+            };
+            s = self.trans[s][a] as usize;
+        }
+        self.accept[s]
+    }
+
+    /// Finds some accepted string by BFS (shortest member), if any.
+    fn shortest_member(&self) -> Option<Vec<u8>> {
+        use std::collections::VecDeque;
+        let n = self.trans.len();
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([(0usize, Vec::new())]);
+        seen[0] = true;
+        while let Some((s, w)) = queue.pop_front() {
+            if self.accept[s] {
+                return Some(w);
+            }
+            for (i, &t) in self.trans[s].iter().enumerate() {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    let mut w2 = w.clone();
+                    w2.push(if i == 0 { b'a' } else { b'b' });
+                    queue.push_back((t as usize, w2));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn arb_dfa() -> impl Strategy<Value = TinyDfa> {
+    (2usize..5).prop_flat_map(|n| {
+        let trans = proptest::collection::vec(
+            (0..n as u8, 0..n as u8).prop_map(|(x, y)| [x, y]),
+            n..=n,
+        );
+        let accept = proptest::collection::vec(any::<bool>(), n..=n);
+        (trans, accept).prop_map(|(trans, accept)| TinyDfa { trans, accept })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Monotonicity (Proposition 4.1 and the phase-2 monotonicity): the
+    /// seed input is always a member of the synthesized grammar.
+    #[test]
+    fn seed_is_always_member(dfa in arb_dfa()) {
+        let Some(seed) = dfa.shortest_member() else { return Ok(()) };
+        let d = dfa.clone();
+        let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
+        let result = Glade::new().synthesize(&[seed.clone()], &oracle).expect("seed valid");
+        prop_assert!(Earley::new(&result.grammar).accepts(&seed));
+    }
+
+    /// Synthesis is deterministic: same seeds + same oracle ⇒ identical
+    /// grammar.
+    #[test]
+    fn synthesis_is_deterministic(dfa in arb_dfa()) {
+        let Some(seed) = dfa.shortest_member() else { return Ok(()) };
+        let d1 = dfa.clone();
+        let d2 = dfa.clone();
+        let o1 = FnOracle::new(move |w: &[u8]| d1.accepts(w));
+        let o2 = FnOracle::new(move |w: &[u8]| d2.accepts(w));
+        let r1 = Glade::new().synthesize(&[seed.clone()], &o1).expect("valid");
+        let r2 = Glade::new().synthesize(&[seed], &o2).expect("valid");
+        prop_assert_eq!(grammar_to_text(&r1.grammar), grammar_to_text(&r2.grammar));
+    }
+
+    /// Budget exhaustion degrades gracefully: the seed never falls out of
+    /// the language no matter how tight the query budget is.
+    #[test]
+    fn budget_never_loses_seed(dfa in arb_dfa(), budget in 0usize..60) {
+        let Some(seed) = dfa.shortest_member() else { return Ok(()) };
+        let d = dfa.clone();
+        let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
+        let config = GladeConfig { max_queries: Some(budget), ..GladeConfig::default() };
+        let result = Glade::with_config(config)
+            .synthesize(&[seed.clone()], &oracle)
+            .expect("seed valid");
+        prop_assert!(Earley::new(&result.grammar).accepts(&seed));
+    }
+
+    /// Multi-seed synthesis keeps every seed in the language (Section 6.1).
+    #[test]
+    fn all_seeds_stay_members(dfa in arb_dfa(),
+                              extra in proptest::collection::vec(
+                                  proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 0..6),
+                                  0..3)) {
+        let Some(first) = dfa.shortest_member() else { return Ok(()) };
+        let d0 = dfa.clone();
+        // Keep only extras the oracle actually accepts.
+        let mut seeds = vec![first];
+        for e in extra {
+            if d0.accepts(&e) && !seeds.contains(&e) {
+                seeds.push(e);
+            }
+        }
+        let d = dfa.clone();
+        let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
+        let result = Glade::new().synthesize(&seeds, &oracle).expect("seeds valid");
+        let parser = Earley::new(&result.grammar);
+        for s in &seeds {
+            prop_assert!(parser.accepts(s), "lost seed {:?}", s);
+        }
+    }
+
+    /// The phase-1 regex view and the no-merge grammar agree (translation
+    /// soundness, Section 5.1): with phase 2 disabled, the CFG and the
+    /// regex accept the same strings.
+    #[test]
+    fn p1_grammar_equals_regex(dfa in arb_dfa(),
+                               probe in proptest::collection::vec(
+                                   prop_oneof![Just(b'a'), Just(b'b')], 0..8)) {
+        let Some(seed) = dfa.shortest_member() else { return Ok(()) };
+        let d = dfa.clone();
+        let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
+        let config = GladeConfig { phase2: false, ..GladeConfig::default() };
+        let result = Glade::with_config(config).synthesize(&[seed], &oracle).expect("valid");
+        let parser = Earley::new(&result.grammar);
+        prop_assert_eq!(parser.accepts(&probe), result.regex.is_match(&probe));
+    }
+}

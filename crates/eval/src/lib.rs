@@ -1,0 +1,42 @@
+//! Evaluation machinery for the GLADE reproduction.
+//!
+//! Implements the measurement methodology of Section 8 of the paper:
+//!
+//! * [`Quality`], [`evaluate_grammar`], [`evaluate_dfa`] — sampling-based
+//!   precision/recall/F1 (Definition 2.1; 1000 samples each way in the
+//!   paper).
+//! * [`Learner`], [`run_learner`] — the four-way comparison of Figure 4a/4b
+//!   (L-Star, RPNI, GLADE-P1, GLADE) with incremental seed feeding and
+//!   timeouts.
+//! * [`seed_sweep`] — the Figure 4c precision/recall/time curves over the
+//!   number of seed inputs.
+//!
+//! ```
+//! use glade_eval::{run_learner, EvalConfig, Learner};
+//! use glade_targets::languages::toy_xml;
+//! use rand::SeedableRng;
+//! use std::time::Duration;
+//!
+//! let config = EvalConfig {
+//!     num_seeds: 10,
+//!     eval_samples: 100,
+//!     time_limit: Duration::from_secs(20),
+//!     ..EvalConfig::default()
+//! };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let row = run_learner(&toy_xml(), Learner::Glade, &config, &mut rng);
+//! assert!(row.f1() > 0.8, "F1 = {}", row.f1());
+//! ```
+
+#![warn(missing_docs)]
+
+mod learners;
+mod metrics;
+mod sweep;
+
+pub use learners::{
+    run_learner, run_learner_with_seeds, sample_negatives, sample_seeds, EvalConfig, LearnRow,
+    Learner,
+};
+pub use metrics::{evaluate_dfa, evaluate_grammar, Quality};
+pub use sweep::{seed_sweep, SweepPoint};

@@ -1,0 +1,224 @@
+//! Precision / recall / F1 estimation by sampling (Definition 2.1 and the
+//! Section 8.2 methodology).
+//!
+//! * **Precision** `Pr_{α ~ P_L̂}[α ∈ L*]`: sample the hypothesis, ask the
+//!   target oracle.
+//! * **Recall** `Pr_{α ~ P_L*}[α ∈ L̂]`: sample the target grammar, test
+//!   hypothesis membership.
+//!
+//! The paper estimates both with 1000 samples and reports
+//! `F1 = 2·p·r / (p + r)`.
+
+use glade_automata::Dfa;
+use glade_core::Oracle;
+use glade_grammar::{Earley, Grammar, Sampler};
+use rand::rngs::StdRng;
+
+/// An estimated precision/recall pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Estimated `Pr_{α ~ P_L̂}[α ∈ L*]`.
+    pub precision: f64,
+    /// Estimated `Pr_{α ~ P_L*}[α ∈ L̂]`.
+    pub recall: f64,
+}
+
+impl Quality {
+    /// The F1 score (harmonic mean); zero when both components are zero.
+    pub fn f1(&self) -> f64 {
+        let s = self.precision + self.recall;
+        if s == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / s
+        }
+    }
+}
+
+/// Estimates the quality of a hypothesis *grammar* against a target given
+/// by `target_grammar` (for recall sampling) and `oracle` (for precision).
+pub fn evaluate_grammar(
+    hypothesis: &Grammar,
+    target_grammar: &Grammar,
+    oracle: &dyn Oracle,
+    samples: usize,
+    rng: &mut StdRng,
+) -> Quality {
+    let hyp_sampler = Sampler::new(hypothesis);
+    let hyp_parser = Earley::new(hypothesis);
+    let target_sampler = Sampler::new(target_grammar);
+
+    let mut prec_hits = 0usize;
+    let mut prec_total = 0usize;
+    for _ in 0..samples {
+        if let Some(s) = hyp_sampler.sample(rng) {
+            prec_total += 1;
+            if oracle.accepts(&s) {
+                prec_hits += 1;
+            }
+        }
+    }
+
+    let mut rec_hits = 0usize;
+    let mut rec_total = 0usize;
+    for _ in 0..samples {
+        if let Some(s) = target_sampler.sample(rng) {
+            rec_total += 1;
+            if hyp_parser.accepts(&s) {
+                rec_hits += 1;
+            }
+        }
+    }
+
+    Quality {
+        precision: ratio(prec_hits, prec_total),
+        recall: ratio(rec_hits, rec_total),
+    }
+}
+
+/// Estimates the quality of a hypothesis *DFA* (an L-Star or RPNI result)
+/// against the same target. DFA precision samples use a length bound
+/// `max_len` (we use the longest target sample observed, plus slack).
+pub fn evaluate_dfa(
+    hypothesis: &Dfa,
+    target_grammar: &Grammar,
+    oracle: &dyn Oracle,
+    samples: usize,
+    max_len: usize,
+    rng: &mut StdRng,
+) -> Quality {
+    let target_sampler = Sampler::new(target_grammar);
+
+    let mut prec_hits = 0usize;
+    let mut prec_total = 0usize;
+    for _ in 0..samples {
+        if let Some(s) = hypothesis.sample(rng, max_len) {
+            prec_total += 1;
+            if oracle.accepts(&s) {
+                prec_hits += 1;
+            }
+        }
+    }
+
+    let mut rec_hits = 0usize;
+    let mut rec_total = 0usize;
+    for _ in 0..samples {
+        if let Some(s) = target_sampler.sample(rng) {
+            rec_total += 1;
+            if hypothesis.accepts(&s) {
+                rec_hits += 1;
+            }
+        }
+    }
+
+    Quality {
+        precision: ratio(prec_hits, prec_total),
+        recall: ratio(rec_hits, rec_total),
+    }
+}
+
+fn ratio(hits: usize, total: usize) -> f64 {
+    if total == 0 {
+        // An unsampleable (empty) hypothesis: zero precision by convention,
+        // mirroring the paper's treatment of degenerate learners.
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glade_core::FnOracle;
+    use glade_targets::languages::toy_xml;
+    use rand::SeedableRng;
+
+    #[test]
+    fn f1_of_perfect_hypothesis_is_one() {
+        let lang = toy_xml();
+        let oracle = lang.oracle();
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = evaluate_grammar(lang.grammar(), lang.grammar(), &oracle, 200, &mut rng);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn overgeneral_hypothesis_loses_precision_not_recall() {
+        use glade_grammar::cfg::{cls, nt, GrammarBuilder};
+        use glade_grammar::CharClass;
+        // Hypothesis Σ* (any printable bytes) vs target toy-xml.
+        let mut b = GrammarBuilder::new();
+        let s = b.nt("S");
+        b.prod(s, vec![]);
+        b.prod(s, [nt(s), cls(CharClass::printable_ascii())].concat());
+        let sigma_star = b.build(s).unwrap();
+
+        let lang = toy_xml();
+        let oracle = lang.oracle();
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = evaluate_grammar(&sigma_star, lang.grammar(), &oracle, 300, &mut rng);
+        assert_eq!(q.recall, 1.0, "Σ* contains everything");
+        // The uniform-production sampler emits many very short strings
+        // (ε is always valid), so precision is well below 1 but not tiny.
+        assert!(q.precision < 0.8, "random strings are rarely valid: {q:?}");
+        assert!(q.f1() < 0.95);
+    }
+
+    #[test]
+    fn undergeneral_hypothesis_loses_recall_not_precision() {
+        use glade_grammar::cfg::{lit, GrammarBuilder};
+        // Hypothesis {exactly "<a>hi</a>"} vs target toy-xml.
+        let mut b = GrammarBuilder::new();
+        let s = b.nt("S");
+        b.prod(s, lit(b"<a>hi</a>"));
+        let singleton = b.build(s).unwrap();
+
+        let lang = toy_xml();
+        let oracle = lang.oracle();
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = evaluate_grammar(&singleton, lang.grammar(), &oracle, 300, &mut rng);
+        assert_eq!(q.precision, 1.0);
+        assert!(q.recall < 0.2, "{q:?}");
+    }
+
+    #[test]
+    fn dfa_evaluation_matches_expectations() {
+        use glade_automata::{dfa_from_regex, Alphabet};
+        use glade_grammar::cfg::{lit, nt as cfg_nt, GrammarBuilder};
+        use glade_grammar::Regex;
+        // Target: (ab)* as a CFG; hypothesis: the same language as a DFA.
+        let mut b = GrammarBuilder::new();
+        let s = b.nt("S");
+        b.prod(s, vec![]);
+        b.prod(s, [cfg_nt(s), lit(b"ab")].concat());
+        let target = b.build(s).unwrap();
+        let oracle = FnOracle::new(|w: &[u8]| w.chunks(2).all(|c| c == b"ab"));
+
+        let dfa = dfa_from_regex(&Regex::star(Regex::lit(b"ab")), Alphabet::from_bytes(b"ab"));
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = evaluate_dfa(&dfa, &target, &oracle, 200, 20, &mut rng);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_dfa_gets_zero_precision() {
+        use glade_automata::{Alphabet, Dfa};
+        let lang = toy_xml();
+        let oracle = lang.oracle();
+        let dfa = Dfa::empty(Alphabet::from_bytes(b"ah<>/"));
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = evaluate_dfa(&dfa, lang.grammar(), &oracle, 100, 20, &mut rng);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_handles_zero_sum() {
+        let q = Quality { precision: 0.0, recall: 0.0 };
+        assert_eq!(q.f1(), 0.0);
+    }
+}

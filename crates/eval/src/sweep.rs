@@ -1,0 +1,79 @@
+//! The Figure 4c seed sweep: precision, recall, and running time of GLADE
+//! as a function of the number of seed inputs.
+
+use crate::learners::{run_learner_with_seeds, sample_seeds, EvalConfig, LearnRow, Learner};
+use glade_targets::Language;
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+/// One point of the Figure 4c curves.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Number of seed inputs.
+    pub num_seeds: usize,
+    /// Precision at this seed count.
+    pub precision: f64,
+    /// Recall at this seed count.
+    pub recall: f64,
+    /// Synthesis time.
+    pub time: Duration,
+}
+
+/// Runs GLADE at each seed count in `counts` and records quality/time.
+///
+/// Seed sets are nested (the first `n` of one master sample), matching the
+/// paper's incremental presentation.
+pub fn seed_sweep(
+    language: &Language,
+    counts: &[usize],
+    config: &EvalConfig,
+    rng: &mut StdRng,
+) -> Vec<SweepPoint> {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let master = sample_seeds(language, max, rng);
+    counts
+        .iter()
+        .map(|&n| {
+            let row: LearnRow =
+                run_learner_with_seeds(language, Learner::Glade, &master[..n], config, rng);
+            SweepPoint {
+                num_seeds: n,
+                precision: row.quality.precision,
+                recall: row.quality.recall,
+                time: row.time,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glade_targets::languages::toy_xml;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sweep_produces_one_point_per_count() {
+        let lang = toy_xml();
+        let config = EvalConfig {
+            num_seeds: 6,
+            eval_samples: 100,
+            time_limit: Duration::from_secs(10),
+            equivalence_samples: 10,
+            num_negatives: 10,
+            max_queries: 100_000,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let points = seed_sweep(&lang, &[1, 3, 6], &config, &mut rng);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].num_seeds, 1);
+        assert_eq!(points[2].num_seeds, 6);
+        for p in &points {
+            assert!(p.precision >= 0.0 && p.precision <= 1.0);
+            assert!(p.recall >= 0.0 && p.recall <= 1.0);
+        }
+        // More seeds never hurt recall much on this easy language; the last
+        // point should essentially recover the target.
+        assert!(points[2].recall > 0.9, "{points:?}");
+    }
+}

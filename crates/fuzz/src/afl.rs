@@ -1,0 +1,205 @@
+//! An afl-like coverage-guided mutation fuzzer (the paper's second
+//! baseline, Section 8.3).
+//!
+//! Reproduces the documented core loop of afl-fuzz: a queue of interesting
+//! inputs seeded with `E_in`, deterministic bit-flip/byte stages over each
+//! queue entry, a randomized havoc stage (stacked flips, byte overwrites,
+//! insertions, deletions, block copies), and coverage feedback — an input
+//! that reaches new coverage joins the queue. Queue entries are fuzzed
+//! round-robin, as the paper runs afl over multiple seeds.
+
+use crate::fuzzer::{mutation_alphabet, Fuzzer};
+use glade_targets::{Coverage, RunOutcome};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Interesting byte values borrowed from afl's mutation tables.
+const INTERESTING: &[u8] = &[0, 1, 16, 32, 64, 100, 127, 128, 255, b'\n', b' ', b'0', b'A'];
+
+/// The coverage-guided baseline fuzzer.
+pub struct AflFuzzer {
+    queue: Vec<Vec<u8>>,
+    global_coverage: Coverage,
+    /// Round-robin cursor into the queue.
+    entry: usize,
+    /// Next deterministic stage position for the current entry
+    /// (bit index for flips, then byte index for interesting values).
+    det_pos: usize,
+    alphabet: Vec<u8>,
+    max_queue: usize,
+}
+
+impl AflFuzzer {
+    /// Creates a fuzzer seeded with `seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn new(seeds: Vec<Vec<u8>>) -> Self {
+        assert!(!seeds.is_empty(), "afl fuzzer needs at least one seed");
+        AflFuzzer {
+            queue: seeds,
+            global_coverage: Coverage::new(),
+            entry: 0,
+            det_pos: 0,
+            alphabet: mutation_alphabet(),
+            max_queue: 4096,
+        }
+    }
+
+    /// Current queue length (seeds + coverage-increasing discoveries).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn havoc(&self, base: &[u8], rng: &mut StdRng) -> Vec<u8> {
+        let mut cur = base.to_vec();
+        let stack = 1 << rng.gen_range(1..=5); // 2..32 stacked ops
+        for _ in 0..stack {
+            match rng.gen_range(0..6) {
+                0 if !cur.is_empty() => {
+                    // Bit flip.
+                    let i = rng.gen_range(0..cur.len());
+                    cur[i] ^= 1 << rng.gen_range(0..8);
+                }
+                1 if !cur.is_empty() => {
+                    // Overwrite with an interesting value.
+                    let i = rng.gen_range(0..cur.len());
+                    cur[i] = INTERESTING[rng.gen_range(0..INTERESTING.len())];
+                }
+                2 if !cur.is_empty() => {
+                    // Delete a block.
+                    let i = rng.gen_range(0..cur.len());
+                    let len = rng.gen_range(1..=(cur.len() - i).min(8));
+                    cur.drain(i..i + len);
+                }
+                3 => {
+                    // Insert a random byte.
+                    let i = rng.gen_range(0..=cur.len());
+                    let b = self.alphabet[rng.gen_range(0..self.alphabet.len())];
+                    cur.insert(i, b);
+                }
+                4 if cur.len() >= 2 => {
+                    // Copy a block elsewhere (afl's block splice).
+                    let src = rng.gen_range(0..cur.len());
+                    let len = rng.gen_range(1..=(cur.len() - src).min(8));
+                    let block: Vec<u8> = cur[src..src + len].to_vec();
+                    let dst = rng.gen_range(0..=cur.len());
+                    for (k, b) in block.into_iter().enumerate() {
+                        cur.insert(dst + k, b);
+                    }
+                }
+                _ if !cur.is_empty() => {
+                    // Overwrite with a random alphabet byte.
+                    let i = rng.gen_range(0..cur.len());
+                    cur[i] = self.alphabet[rng.gen_range(0..self.alphabet.len())];
+                }
+                _ => {}
+            }
+            // Keep inputs from growing without bound.
+            if cur.len() > 4096 {
+                cur.truncate(4096);
+            }
+        }
+        cur
+    }
+}
+
+impl Fuzzer for AflFuzzer {
+    fn name(&self) -> &str {
+        "afl"
+    }
+
+    fn next_input(&mut self, rng: &mut StdRng) -> Vec<u8> {
+        let base = self.queue[self.entry].clone();
+        let bitflips = base.len() * 8;
+        let interesting_stage = bitflips + base.len();
+        
+        if self.det_pos < bitflips && !base.is_empty() {
+            // Deterministic stage 1: single bit flips.
+            let mut m = base.clone();
+            m[self.det_pos / 8] ^= 1 << (self.det_pos % 8);
+            self.det_pos += 1;
+            m
+        } else if self.det_pos < interesting_stage && !base.is_empty() {
+            // Deterministic stage 2: interesting byte overwrites.
+            let idx = self.det_pos - bitflips;
+            let mut m = base.clone();
+            m[idx] = INTERESTING[(idx + self.det_pos) % INTERESTING.len()];
+            self.det_pos += 1;
+            m
+        } else {
+            // Havoc stage, then move round-robin to the next entry.
+            let m = self.havoc(&base, rng);
+            self.entry = (self.entry + 1) % self.queue.len();
+            self.det_pos = 0;
+            m
+        }
+    }
+
+    fn observe(&mut self, input: &[u8], outcome: &RunOutcome) {
+        if self.global_coverage.would_grow(&outcome.coverage) {
+            self.global_coverage.merge(&outcome.coverage);
+            if self.queue.len() < self.max_queue {
+                self.queue.push(input.to_vec());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glade_targets::programs::Xml;
+    use glade_targets::Target;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_stage_flips_single_bits() {
+        let mut f = AflFuzzer::new(vec![b"ab".to_vec()]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = f.next_input(&mut rng);
+        // Exactly one bit differs from the seed.
+        let diff: u32 = first
+            .iter()
+            .zip(b"ab".iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn coverage_feedback_grows_queue() {
+        let xml = Xml;
+        let mut f = AflFuzzer::new(vec![b"<a></a>".to_vec()]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let initial = f.queue_len();
+        for _ in 0..500 {
+            let input = f.next_input(&mut rng);
+            let outcome = xml.run(&input);
+            f.observe(&input, &outcome);
+        }
+        assert!(f.queue_len() > initial, "coverage feedback never fired");
+    }
+
+    #[test]
+    fn havoc_reaches_after_deterministic_stages() {
+        let mut f = AflFuzzer::new(vec![b"x".to_vec()]);
+        let mut rng = StdRng::seed_from_u64(3);
+        // 8 bit flips + 1 interesting byte, then havoc.
+        for _ in 0..9 {
+            let _ = f.next_input(&mut rng);
+        }
+        let havoc_input = f.next_input(&mut rng);
+        // Havoc output is some byte string; the fuzzer must not panic and
+        // must keep cycling.
+        let _ = havoc_input;
+        let _ = f.next_input(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_empty_seed_set() {
+        let _ = AflFuzzer::new(Vec::new());
+    }
+}

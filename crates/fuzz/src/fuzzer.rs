@@ -1,0 +1,29 @@
+//! The fuzzer abstraction shared by the three Section 8.3 fuzzers.
+
+use glade_targets::RunOutcome;
+use rand::rngs::StdRng;
+
+/// A test-input generator.
+///
+/// The campaign runner repeatedly calls [`Fuzzer::next_input`], executes the
+/// target, and reports the outcome back through [`Fuzzer::observe`] (only
+/// the afl-like fuzzer uses the feedback).
+pub trait Fuzzer {
+    /// Display name ("naive", "afl", "glade", …).
+    fn name(&self) -> &str;
+
+    /// Produces the next test input.
+    fn next_input(&mut self, rng: &mut StdRng) -> Vec<u8>;
+
+    /// Receives the execution outcome of the input most recently produced.
+    fn observe(&mut self, _input: &[u8], _outcome: &RunOutcome) {}
+}
+
+/// The byte alphabet used by mutation fuzzers: printable ASCII plus tab and
+/// newline (the `Σ` of the paper's naive fuzzer).
+pub fn mutation_alphabet() -> Vec<u8> {
+    let mut v: Vec<u8> = (0x20..=0x7eu8).collect();
+    v.push(b'\t');
+    v.push(b'\n');
+    v
+}

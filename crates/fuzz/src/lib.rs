@@ -1,0 +1,43 @@
+//! Fuzzers and fuzzing campaigns for the GLADE reproduction (Section 8.3 of
+//! the paper).
+//!
+//! Three fuzzers are provided, matching the paper's evaluation:
+//!
+//! * [`GrammarFuzzer`] — the GLADE client: parses a seed with the
+//!   synthesized grammar and repeatedly resamples random subtrees.
+//! * [`NaiveFuzzer`] — grammar-oblivious random insert/delete mutations.
+//! * [`AflFuzzer`] — an afl-like coverage-guided mutation fuzzer
+//!   (deterministic bit-flip stages, havoc, queue of coverage-increasing
+//!   inputs).
+//!
+//! [`run_campaign`] executes a fuzzer against a [`glade_targets::Target`]
+//! and computes the paper's *valid (normalized) incremental coverage*
+//! metrics; [`coverage_curve`] records the Figure 7c time series and
+//! [`replay_corpus`] evaluates the Figure 7b upper-bound proxies.
+//!
+//! ```
+//! use glade_fuzz::{run_campaign, NaiveFuzzer};
+//! use glade_targets::programs::Xml;
+//! use glade_targets::Target;
+//! use rand::SeedableRng;
+//!
+//! let xml = Xml;
+//! let mut fuzzer = NaiveFuzzer::new(xml.seeds());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let result = run_campaign(&xml, &mut fuzzer, 100, &mut rng);
+//! assert_eq!(result.samples, 100);
+//! ```
+
+#![warn(missing_docs)]
+
+mod afl;
+mod campaign;
+mod fuzzer;
+mod grammar_fuzzer;
+mod naive;
+
+pub use afl::AflFuzzer;
+pub use campaign::{coverage_curve, replay_corpus, run_campaign, CampaignResult};
+pub use fuzzer::{mutation_alphabet, Fuzzer};
+pub use grammar_fuzzer::GrammarFuzzer;
+pub use naive::NaiveFuzzer;

@@ -1,0 +1,108 @@
+//! The naive mutation fuzzer (Section 8.3).
+//!
+//! "It randomly selects a seed input α ∈ E_in and performs n random
+//! modifications to α, where n is chosen randomly between 0 and 50. A
+//! single modification of α consists of randomly choosing an index i in
+//! α = σ1…σk, and either deleting the terminal σi or inserting a randomly
+//! chosen terminal σ ∈ Σ before σi."
+
+use crate::fuzzer::{mutation_alphabet, Fuzzer};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The grammar-oblivious baseline fuzzer.
+#[derive(Debug, Clone)]
+pub struct NaiveFuzzer {
+    seeds: Vec<Vec<u8>>,
+    alphabet: Vec<u8>,
+    max_mods: usize,
+}
+
+impl NaiveFuzzer {
+    /// Creates a fuzzer over the given seed inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn new(seeds: Vec<Vec<u8>>) -> Self {
+        assert!(!seeds.is_empty(), "naive fuzzer needs at least one seed");
+        NaiveFuzzer { seeds, alphabet: mutation_alphabet(), max_mods: 50 }
+    }
+
+    /// Overrides the maximum number of modifications per input (paper: 50).
+    pub fn with_max_mods(mut self, max_mods: usize) -> Self {
+        self.max_mods = max_mods;
+        self
+    }
+}
+
+impl Fuzzer for NaiveFuzzer {
+    fn name(&self) -> &str {
+        "naive"
+    }
+
+    fn next_input(&mut self, rng: &mut StdRng) -> Vec<u8> {
+        let mut cur = self.seeds[rng.gen_range(0..self.seeds.len())].clone();
+        let n = rng.gen_range(0..=self.max_mods);
+        for _ in 0..n {
+            if cur.is_empty() {
+                // Only insertion is possible.
+                let b = self.alphabet[rng.gen_range(0..self.alphabet.len())];
+                cur.push(b);
+                continue;
+            }
+            let i = rng.gen_range(0..cur.len());
+            if rng.gen_bool(0.5) {
+                cur.remove(i);
+            } else {
+                let b = self.alphabet[rng.gen_range(0..self.alphabet.len())];
+                cur.insert(i, b);
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_variations_of_seeds() {
+        let mut f = NaiveFuzzer::new(vec![b"hello world".to_vec()]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inputs: Vec<Vec<u8>> = (0..50).map(|_| f.next_input(&mut rng)).collect();
+        // Some inputs differ from the seed…
+        assert!(inputs.iter().any(|i| i != b"hello world"));
+        // …and with n=0 modifications some equal it.
+        assert!(inputs.iter().any(|i| i == b"hello world"));
+    }
+
+    #[test]
+    fn length_changes_stay_bounded() {
+        let mut f = NaiveFuzzer::new(vec![b"abc".to_vec()]).with_max_mods(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let i = f.next_input(&mut rng);
+            assert!(i.len() <= 3 + 10);
+        }
+    }
+
+    #[test]
+    fn empty_seed_grows_by_insertion() {
+        let mut f = NaiveFuzzer::new(vec![Vec::new()]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_nonempty = false;
+        for _ in 0..50 {
+            saw_nonempty |= !f.next_input(&mut rng).is_empty();
+        }
+        assert!(saw_nonempty);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_empty_seed_set() {
+        let _ = NaiveFuzzer::new(Vec::new());
+    }
+}

@@ -1,0 +1,482 @@
+//! Context-free grammars over byte strings.
+//!
+//! The synthesized languages of GLADE's phase two (Section 5) are
+//! context-free grammars whose terminals are byte classes (character
+//! generalization widens literal bytes into classes). This module provides
+//! the grammar representation shared by the synthesizer, the Earley parser,
+//! the sampler, and the handwritten target-language grammars of the
+//! evaluation (Section 8.2).
+
+use crate::CharClass;
+use std::fmt;
+
+/// Identifier of a nonterminal within one [`Grammar`].
+///
+/// `NtId`s are only meaningful relative to the grammar that created them
+/// (via [`GrammarBuilder::nt`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NtId(pub(crate) u32);
+
+impl NtId {
+    /// Index into the grammar's nonterminal tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// One symbol on the right-hand side of a production: either a terminal byte
+/// class or a nonterminal reference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sym {
+    /// A terminal: any single byte drawn from the class.
+    Class(CharClass),
+    /// A nonterminal reference.
+    Nt(NtId),
+}
+
+impl Sym {
+    /// A terminal matching exactly byte `b`.
+    pub fn byte(b: u8) -> Sym {
+        Sym::Class(CharClass::single(b))
+    }
+
+    /// Returns the terminal class, if this is a terminal.
+    pub fn as_class(&self) -> Option<&CharClass> {
+        match self {
+            Sym::Class(c) => Some(c),
+            Sym::Nt(_) => None,
+        }
+    }
+
+    /// Returns the nonterminal id, if this is a nonterminal.
+    pub fn as_nt(&self) -> Option<NtId> {
+        match self {
+            Sym::Nt(n) => Some(*n),
+            Sym::Class(_) => None,
+        }
+    }
+}
+
+/// Builds a right-hand side from a literal byte string: one single-byte
+/// terminal per byte.
+///
+/// # Examples
+///
+/// ```
+/// use glade_grammar::cfg::lit;
+/// assert_eq!(lit(b"ab").len(), 2);
+/// ```
+pub fn lit(bytes: &[u8]) -> Vec<Sym> {
+    bytes.iter().map(|&b| Sym::byte(b)).collect()
+}
+
+/// Builds a one-symbol right-hand-side fragment referencing nonterminal `n`.
+pub fn nt(n: NtId) -> Vec<Sym> {
+    vec![Sym::Nt(n)]
+}
+
+/// Builds a one-symbol right-hand-side fragment from a byte class.
+pub fn cls(c: CharClass) -> Vec<Sym> {
+    vec![Sym::Class(c)]
+}
+
+/// Errors detected when finalizing a [`GrammarBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// A production references a nonterminal id from another grammar (index
+    /// out of range).
+    UnknownNonterminal(u32),
+    /// A production contains a terminal with an empty byte class; such a
+    /// symbol can never match and would silently make rules unusable.
+    EmptyTerminalClass {
+        /// Display name of the offending nonterminal.
+        nonterminal: String,
+    },
+    /// A nonterminal has no productions at all; its language would be empty.
+    NoProductions {
+        /// Display name of the offending nonterminal.
+        nonterminal: String,
+    },
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::UnknownNonterminal(i) => {
+                write!(f, "production references unknown nonterminal N{i}")
+            }
+            GrammarError::EmptyTerminalClass { nonterminal } => {
+                write!(f, "production of {nonterminal} contains an empty terminal class")
+            }
+            GrammarError::NoProductions { nonterminal } => {
+                write!(f, "nonterminal {nonterminal} has no productions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// Incrementally constructs a [`Grammar`].
+///
+/// # Examples
+///
+/// ```
+/// use glade_grammar::cfg::{GrammarBuilder, lit, nt};
+///
+/// // A → "<a>" A "</a>" | ε   (well-nested tags)
+/// let mut b = GrammarBuilder::new();
+/// let a = b.nt("A");
+/// b.prod(a, [lit(b"<a>"), nt(a), lit(b"</a>")].concat());
+/// b.prod(a, vec![]);
+/// let g = b.build(a).unwrap();
+/// assert_eq!(g.num_nonterminals(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GrammarBuilder {
+    names: Vec<String>,
+    prods: Vec<Vec<Vec<Sym>>>,
+}
+
+impl GrammarBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a fresh nonterminal with a human-readable `name` (used only
+    /// for display).
+    pub fn nt(&mut self, name: &str) -> NtId {
+        let id = NtId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.prods.push(Vec::new());
+        id
+    }
+
+    /// Adds the production `lhs → rhs`. An empty `rhs` is the ε-production.
+    pub fn prod(&mut self, lhs: NtId, rhs: Vec<Sym>) {
+        self.prods[lhs.index()].push(rhs);
+    }
+
+    /// Finalizes the grammar with `start` as the start symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GrammarError`] if a production references an undeclared
+    /// nonterminal, contains an empty terminal class, or if some nonterminal
+    /// has no productions.
+    pub fn build(self, start: NtId) -> Result<Grammar, GrammarError> {
+        let n = self.names.len() as u32;
+        for (i, prods) in self.prods.iter().enumerate() {
+            if prods.is_empty() {
+                return Err(GrammarError::NoProductions { nonterminal: self.names[i].clone() });
+            }
+            for rhs in prods {
+                for sym in rhs {
+                    match sym {
+                        Sym::Nt(NtId(j)) if *j >= n => {
+                            return Err(GrammarError::UnknownNonterminal(*j));
+                        }
+                        Sym::Class(c) if c.is_empty() => {
+                            return Err(GrammarError::EmptyTerminalClass {
+                                nonterminal: self.names[i].clone(),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if start.0 >= n {
+            return Err(GrammarError::UnknownNonterminal(start.0));
+        }
+        Ok(Grammar { start, names: self.names, prods: self.prods })
+    }
+}
+
+/// An immutable context-free grammar over byte-class terminals.
+///
+/// Construct via [`GrammarBuilder`]. Use [`crate::Earley`] for membership and
+/// parsing, [`crate::Sampler`] for random member generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grammar {
+    start: NtId,
+    names: Vec<String>,
+    prods: Vec<Vec<Vec<Sym>>>,
+}
+
+impl Grammar {
+    /// The start symbol.
+    pub fn start(&self) -> NtId {
+        self.start
+    }
+
+    /// Number of nonterminals.
+    pub fn num_nonterminals(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Total number of productions.
+    pub fn num_productions(&self) -> usize {
+        self.prods.iter().map(Vec::len).sum()
+    }
+
+    /// Display name of nonterminal `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` belongs to a different grammar (index out of range).
+    pub fn name(&self, n: NtId) -> &str {
+        &self.names[n.index()]
+    }
+
+    /// The productions of nonterminal `n`.
+    pub fn productions(&self, n: NtId) -> &[Vec<Sym>] {
+        &self.prods[n.index()]
+    }
+
+    /// Iterates over all nonterminal ids.
+    pub fn nonterminals(&self) -> impl Iterator<Item = NtId> + '_ {
+        (0..self.names.len() as u32).map(NtId)
+    }
+
+    /// Computes the set of nullable nonterminals (those deriving ε) as a
+    /// boolean table indexed by [`NtId::index`].
+    pub fn nullable_set(&self) -> Vec<bool> {
+        let mut nullable = vec![false; self.names.len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, prods) in self.prods.iter().enumerate() {
+                if nullable[i] {
+                    continue;
+                }
+                let derives_eps = prods.iter().any(|rhs| {
+                    rhs.iter().all(|s| match s {
+                        Sym::Class(_) => false,
+                        Sym::Nt(n) => nullable[n.index()],
+                    })
+                });
+                if derives_eps {
+                    nullable[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        nullable
+    }
+
+    /// Computes, for each nonterminal, the minimum derivation-tree depth of
+    /// any string it derives (`None` if it derives no finite string, i.e. is
+    /// non-productive).
+    ///
+    /// A production with only terminals has depth 1.
+    pub fn min_depths(&self) -> Vec<Option<usize>> {
+        let n = self.names.len();
+        let mut depth: Vec<Option<usize>> = vec![None; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut best: Option<usize> = depth[i];
+                for rhs in &self.prods[i] {
+                    let mut worst = 0usize;
+                    let mut feasible = true;
+                    for s in rhs {
+                        match s {
+                            Sym::Class(_) => {}
+                            Sym::Nt(m) => match depth[m.index()] {
+                                Some(d) => worst = worst.max(d),
+                                None => {
+                                    feasible = false;
+                                    break;
+                                }
+                            },
+                        }
+                    }
+                    if feasible {
+                        let cand = worst + 1;
+                        if best.is_none_or(|b| cand < b) {
+                            best = Some(cand);
+                        }
+                    }
+                }
+                if best != depth[i] {
+                    depth[i] = best;
+                    changed = true;
+                }
+            }
+        }
+        depth
+    }
+
+    /// Returns whether every nonterminal reachable from the start symbol is
+    /// productive (derives at least one finite string).
+    pub fn is_productive(&self) -> bool {
+        let depths = self.min_depths();
+        let mut reachable = vec![false; self.names.len()];
+        let mut stack = vec![self.start];
+        reachable[self.start.index()] = true;
+        while let Some(n) = stack.pop() {
+            for rhs in self.productions(n) {
+                for s in rhs {
+                    if let Sym::Nt(m) = s {
+                        if !reachable[m.index()] {
+                            reachable[m.index()] = true;
+                            stack.push(*m);
+                        }
+                    }
+                }
+            }
+        }
+        reachable
+            .iter()
+            .enumerate()
+            .all(|(i, &r)| !r || depths[i].is_some())
+    }
+}
+
+impl fmt::Display for Grammar {
+    /// Renders one line per nonterminal: `A → rhs₁ | rhs₂ | …` with `ε` for
+    /// empty right-hand sides and the start symbol listed first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut order: Vec<usize> = (0..self.names.len()).collect();
+        let s = self.start.index();
+        order.retain(|&i| i != s);
+        order.insert(0, s);
+        for i in order {
+            write!(f, "{} →", self.names[i])?;
+            for (k, rhs) in self.prods[i].iter().enumerate() {
+                if k > 0 {
+                    write!(f, " |")?;
+                }
+                if rhs.is_empty() {
+                    write!(f, " ε")?;
+                } else {
+                    write!(f, " ")?;
+                    for sym in rhs {
+                        match sym {
+                            Sym::Class(c) => write!(f, "{c}")?,
+                            Sym::Nt(n) => write!(f, "⟨{}⟩", self.names[n.index()])?,
+                        }
+                    }
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested_tags() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        b.prod(a, [lit(b"<a>"), nt(a), lit(b"</a>")].concat());
+        b.prod(a, vec![]);
+        b.build(a).expect("valid grammar")
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let g = nested_tags();
+        assert_eq!(g.num_nonterminals(), 1);
+        assert_eq!(g.num_productions(), 2);
+        assert_eq!(g.productions(g.start()).len(), 2);
+        assert_eq!(g.name(g.start()), "A");
+    }
+
+    #[test]
+    fn build_rejects_missing_productions() {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        let _orphan = b.nt("B");
+        b.prod(a, vec![]);
+        let err = b.build(a).unwrap_err();
+        assert_eq!(err, GrammarError::NoProductions { nonterminal: "B".into() });
+    }
+
+    #[test]
+    fn build_rejects_empty_terminal_class() {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        b.prod(a, vec![Sym::Class(CharClass::EMPTY)]);
+        let err = b.build(a).unwrap_err();
+        assert!(matches!(err, GrammarError::EmptyTerminalClass { .. }));
+    }
+
+    #[test]
+    fn nullable_set_fixpoint() {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        let c = b.nt("C");
+        let d = b.nt("D");
+        // A → C D ; C → ε ; D → ε | 'x'
+        b.prod(a, [nt(c), nt(d)].concat());
+        b.prod(c, vec![]);
+        b.prod(d, vec![]);
+        b.prod(d, lit(b"x"));
+        let g = b.build(a).unwrap();
+        assert_eq!(g.nullable_set(), vec![true, true, true]);
+    }
+
+    #[test]
+    fn nullable_set_without_epsilon() {
+        let g = {
+            let mut b = GrammarBuilder::new();
+            let a = b.nt("A");
+            b.prod(a, lit(b"x"));
+            b.build(a).unwrap()
+        };
+        assert_eq!(g.nullable_set(), vec![false]);
+    }
+
+    #[test]
+    fn min_depths_on_recursive_grammar() {
+        let g = nested_tags();
+        // A → ε has depth 1.
+        assert_eq!(g.min_depths(), vec![Some(1)]);
+    }
+
+    #[test]
+    fn min_depths_detects_nonproductive() {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        // A → A only: non-productive.
+        b.prod(a, nt(a));
+        let g = b.build(a).unwrap();
+        assert_eq!(g.min_depths(), vec![None]);
+        assert!(!g.is_productive());
+    }
+
+    #[test]
+    fn productive_grammar_is_detected() {
+        assert!(nested_tags().is_productive());
+    }
+
+    #[test]
+    fn display_shows_epsilon_and_nesting() {
+        let g = nested_tags();
+        let s = g.to_string();
+        assert!(s.contains("A →"), "{s}");
+        assert!(s.contains('ε'), "{s}");
+        assert!(s.contains("⟨A⟩"), "{s}");
+    }
+
+    #[test]
+    fn lit_helper_builds_single_byte_terminals() {
+        let rhs = lit(b"ab");
+        assert_eq!(rhs[0].as_class().unwrap().first(), Some(b'a'));
+        assert_eq!(rhs[1].as_class().unwrap().first(), Some(b'b'));
+        assert!(rhs[0].as_nt().is_none());
+    }
+}

@@ -1,0 +1,378 @@
+//! Sets of bytes, used as the terminal alphabet of regular expressions and
+//! context-free grammars.
+//!
+//! GLADE operates on byte strings (program inputs are treated as sequences of
+//! ASCII bytes, Section 2 of the paper), so a terminal position in a
+//! synthesized language is a *set of bytes*: character generalization
+//! (Section 6.2) widens a single literal byte into the set of bytes the
+//! membership oracle accepts at that position.
+
+use std::fmt;
+
+/// A set of bytes represented as a 256-bit bitmap.
+///
+/// `CharClass` is the leaf alphabet unit shared by [`crate::Regex`] and
+/// [`crate::Grammar`]. It supports the usual set algebra and cheap uniform
+/// sampling.
+///
+/// # Examples
+///
+/// ```
+/// use glade_grammar::CharClass;
+///
+/// let lower = CharClass::range(b'a', b'z');
+/// assert!(lower.contains(b'q'));
+/// assert!(!lower.contains(b'Q'));
+/// assert_eq!(lower.len(), 26);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CharClass {
+    bits: [u64; 4],
+}
+
+impl CharClass {
+    /// The empty set of bytes.
+    pub const EMPTY: CharClass = CharClass { bits: [0; 4] };
+
+    /// Creates an empty class.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates the class containing every byte value.
+    pub fn full() -> Self {
+        CharClass { bits: [u64::MAX; 4] }
+    }
+
+    /// Creates the class containing exactly one byte.
+    pub fn single(b: u8) -> Self {
+        let mut c = Self::EMPTY;
+        c.insert(b);
+        c
+    }
+
+    /// Creates the class containing every byte in the inclusive range
+    /// `lo..=hi`.
+    ///
+    /// An inverted range (`lo > hi`) yields the empty class.
+    pub fn range(lo: u8, hi: u8) -> Self {
+        let mut c = Self::EMPTY;
+        if lo <= hi {
+            for b in lo..=hi {
+                c.insert(b);
+            }
+        }
+        c
+    }
+
+    /// Creates the class of all printable ASCII bytes (0x20..=0x7e).
+    pub fn printable_ascii() -> Self {
+        Self::range(0x20, 0x7e)
+    }
+
+    /// Creates the class containing every byte of `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut c = Self::EMPTY;
+        for &b in bytes {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// Adds `b` to the class.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Removes `b` from the class.
+    pub fn remove(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Returns whether `b` is a member.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Returns the number of bytes in the class.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns whether the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CharClass) -> CharClass {
+        let mut bits = self.bits;
+        for (w, o) in bits.iter_mut().zip(other.bits.iter()) {
+            *w |= o;
+        }
+        CharClass { bits }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &CharClass) -> CharClass {
+        let mut bits = self.bits;
+        for (w, o) in bits.iter_mut().zip(other.bits.iter()) {
+            *w &= o;
+        }
+        CharClass { bits }
+    }
+
+    /// Set complement relative to all 256 byte values.
+    pub fn complement(&self) -> CharClass {
+        let mut bits = self.bits;
+        for w in bits.iter_mut() {
+            *w = !*w;
+        }
+        CharClass { bits }
+    }
+
+    /// Returns the smallest byte in the class, if any.
+    pub fn first(&self) -> Option<u8> {
+        self.iter().next()
+    }
+
+    /// Iterates over member bytes in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { class: self, next: 0, done: false }
+    }
+
+    /// Picks a uniformly random member byte.
+    ///
+    /// Returns `None` if the class is empty.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<u8> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        let k = rng.gen_range(0..n);
+        self.iter().nth(k)
+    }
+
+    /// Returns whether `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &CharClass) -> bool {
+        self.intersect(other) == *self
+    }
+}
+
+impl From<u8> for CharClass {
+    fn from(b: u8) -> Self {
+        CharClass::single(b)
+    }
+}
+
+impl FromIterator<u8> for CharClass {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut c = CharClass::EMPTY;
+        for b in iter {
+            c.insert(b);
+        }
+        c
+    }
+}
+
+impl Extend<u8> for CharClass {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+/// Iterator over the member bytes of a [`CharClass`], in ascending order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    class: &'a CharClass,
+    next: u8,
+    done: bool,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        while !self.done {
+            let b = self.next;
+            if self.next == u8::MAX {
+                self.done = true;
+            } else {
+                self.next += 1;
+            }
+            if self.class.contains(b) {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+fn escape_byte(b: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match b {
+        b'\\' | b'[' | b']' | b'-' | b'^' => write!(f, "\\{}", b as char),
+        0x20..=0x7e => write!(f, "{}", b as char),
+        b'\n' => write!(f, "\\n"),
+        b'\t' => write!(f, "\\t"),
+        b'\r' => write!(f, "\\r"),
+        _ => write!(f, "\\x{b:02x}"),
+    }
+}
+
+impl fmt::Display for CharClass {
+    /// Renders in regex character-class style: single members render bare
+    /// (`a`), multi-member classes render as ranges (`[a-z0-9]`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() == 1 {
+            return escape_byte(self.first().expect("len 1"), f);
+        }
+        write!(f, "[")?;
+        // Collect maximal runs.
+        let mut members: Vec<u8> = self.iter().collect();
+        members.dedup();
+        let mut i = 0;
+        while i < members.len() {
+            let start = members[i];
+            let mut end = start;
+            while i + 1 < members.len() && members[i + 1] == end + 1 {
+                i += 1;
+                end = members[i];
+            }
+            if end > start.saturating_add(1) {
+                escape_byte(start, f)?;
+                write!(f, "-")?;
+                escape_byte(end, f)?;
+            } else {
+                escape_byte(start, f)?;
+                if end != start {
+                    escape_byte(end, f)?;
+                }
+            }
+            i += 1;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CharClass({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_class_has_no_members() {
+        let c = CharClass::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.first(), None);
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn single_contains_only_its_byte() {
+        let c = CharClass::single(b'x');
+        assert!(c.contains(b'x'));
+        assert!(!c.contains(b'y'));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.first(), Some(b'x'));
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let c = CharClass::range(b'a', b'c');
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        assert!(CharClass::range(b'z', b'a').is_empty());
+    }
+
+    #[test]
+    fn full_contains_all_bytes() {
+        let c = CharClass::full();
+        assert_eq!(c.len(), 256);
+        assert!(c.contains(0));
+        assert!(c.contains(255));
+    }
+
+    #[test]
+    fn union_and_intersect_behave_as_sets() {
+        let a = CharClass::range(b'a', b'm');
+        let b = CharClass::range(b'g', b'z');
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        assert_eq!(u, CharClass::range(b'a', b'z'));
+        assert_eq!(i, CharClass::range(b'g', b'm'));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let a = CharClass::single(b'a');
+        let c = a.complement();
+        assert!(!c.contains(b'a'));
+        assert_eq!(c.len(), 255);
+        assert_eq!(c.complement(), a);
+    }
+
+    #[test]
+    fn remove_deletes_member() {
+        let mut c = CharClass::range(b'a', b'c');
+        c.remove(b'b');
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![b'a', b'c']);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = CharClass::range(b'b', b'd');
+        let big = CharClass::range(b'a', b'z');
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(small.is_subset(&small));
+    }
+
+    #[test]
+    fn iteration_covers_boundary_bytes() {
+        let c = CharClass::from_bytes(&[0, 63, 64, 127, 128, 255]);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 255]);
+    }
+
+    #[test]
+    fn sampling_returns_members_only() {
+        let c = CharClass::from_bytes(b"xyz");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let b = c.sample(&mut rng).expect("nonempty");
+            assert!(c.contains(b));
+        }
+        assert_eq!(CharClass::EMPTY.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn display_single_and_range() {
+        assert_eq!(CharClass::single(b'a').to_string(), "a");
+        assert_eq!(CharClass::range(b'a', b'd').to_string(), "[a-d]");
+        assert_eq!(CharClass::from_bytes(b"ab").to_string(), "[ab]");
+    }
+
+    #[test]
+    fn display_escapes_metacharacters() {
+        assert_eq!(CharClass::single(b'[').to_string(), "\\[");
+        assert_eq!(CharClass::single(b'\n').to_string(), "\\n");
+        assert_eq!(CharClass::single(0x01).to_string(), "\\x01");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: CharClass = (b'a'..=b'e').collect();
+        assert_eq!(c, CharClass::range(b'a', b'e'));
+    }
+}

@@ -1,0 +1,538 @@
+//! Earley recognition and parsing for [`Grammar`]s.
+//!
+//! GLADE needs general context-free parsing in two places:
+//!
+//! * **Recall measurement** (Section 8.2): deciding whether a string sampled
+//!   from the target language belongs to the synthesized grammar.
+//! * **The grammar-based fuzzer** (Section 8.3): constructing the parse tree
+//!   of a seed input under the synthesized grammar so subtrees can be
+//!   replaced by freshly sampled derivations.
+//!
+//! Synthesized grammars are arbitrary CFGs (left-recursive star expansions,
+//! ε-productions, ambiguity), so we use an Earley chart parser with the
+//! Aycock–Horspool nullable-prediction fix, plus a memoized top-down walk of
+//! the completed chart to extract a single parse tree.
+
+use crate::cfg::{Grammar, NtId, Sym};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One node of a parse tree produced by [`Earley::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTree {
+    /// A matched terminal byte at input position `pos`.
+    Leaf {
+        /// The matched byte.
+        byte: u8,
+        /// Its position in the input.
+        pos: usize,
+    },
+    /// A nonterminal expansion.
+    Node {
+        /// The expanded nonterminal.
+        nt: NtId,
+        /// Index of the chosen production within `grammar.productions(nt)`.
+        prod: usize,
+        /// Child subtrees, one per right-hand-side symbol.
+        children: Vec<ParseTree>,
+        /// Start offset (inclusive) of the derived substring.
+        start: usize,
+        /// End offset (exclusive) of the derived substring.
+        end: usize,
+    },
+}
+
+impl ParseTree {
+    /// The `(start, end)` byte span this subtree derives.
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            ParseTree::Leaf { pos, .. } => (*pos, *pos + 1),
+            ParseTree::Node { start, end, .. } => (*start, *end),
+        }
+    }
+
+    /// Appends the derived bytes (the subtree's yield) to `out`.
+    pub fn write_yield(&self, out: &mut Vec<u8>) {
+        match self {
+            ParseTree::Leaf { byte, .. } => out.push(*byte),
+            ParseTree::Node { children, .. } => {
+                for c in children {
+                    c.write_yield(out);
+                }
+            }
+        }
+    }
+
+    /// The derived bytes as a fresh vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_yield(&mut out);
+        out
+    }
+
+    /// Collects references to every `Node` in the tree (preorder, including
+    /// the root). Used by the grammar-based fuzzer to pick a random
+    /// nonterminal occurrence.
+    pub fn nodes(&self) -> Vec<&ParseTree> {
+        let mut out = Vec::new();
+        let mut stack = vec![self];
+        while let Some(t) = stack.pop() {
+            if let ParseTree::Node { children, .. } = t {
+                out.push(t);
+                for c in children {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ParseTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &ParseTree, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            for _ in 0..depth {
+                write!(f, "  ")?;
+            }
+            match t {
+                ParseTree::Leaf { byte, pos } => {
+                    writeln!(f, "'{}' @{pos}", (*byte as char).escape_default())
+                }
+                ParseTree::Node { nt, prod, children, start, end } => {
+                    writeln!(f, "{nt}/{prod} [{start}..{end}]")?;
+                    for c in children {
+                        go(c, depth + 1, f)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self, 0, f)
+    }
+}
+
+/// Earley item: `lhs → rhs[..dot] · rhs[dot..]`, started at input position
+/// `origin`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Item {
+    nt: u32,
+    prod: u32,
+    dot: u32,
+    origin: u32,
+}
+
+/// An Earley recognizer/parser for a borrowed [`Grammar`].
+///
+/// Construction precomputes the nullable set; each call to
+/// [`Earley::accepts`] or [`Earley::parse`] runs the chart algorithm on one
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use glade_grammar::cfg::{GrammarBuilder, lit, nt};
+/// use glade_grammar::Earley;
+///
+/// let mut b = GrammarBuilder::new();
+/// let a = b.nt("A");
+/// b.prod(a, [lit(b"<a>"), nt(a), lit(b"</a>")].concat());
+/// b.prod(a, vec![]);
+/// let g = b.build(a).unwrap();
+///
+/// let parser = Earley::new(&g);
+/// assert!(parser.accepts(b"<a><a></a></a>"));
+/// assert!(!parser.accepts(b"<a></a></a>"));
+/// ```
+#[derive(Debug)]
+pub struct Earley<'g> {
+    grammar: &'g Grammar,
+    nullable: Vec<bool>,
+}
+
+impl<'g> Earley<'g> {
+    /// Creates a parser for `grammar`.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        let nullable = grammar.nullable_set();
+        Earley { grammar, nullable }
+    }
+
+    /// The underlying grammar.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.grammar
+    }
+
+    fn rhs(&self, item: &Item) -> &'g [Sym] {
+        &self.grammar.productions(NtId(item.nt))[item.prod as usize]
+    }
+
+    /// Runs the chart algorithm, returning one item set per input position
+    /// (`n + 1` sets).
+    fn chart(&self, input: &[u8]) -> Vec<Vec<Item>> {
+        let n = input.len();
+        let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+        let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+
+        let start = self.grammar.start();
+        for prod in 0..self.grammar.productions(start).len() as u32 {
+            let it = Item { nt: start.0, prod, dot: 0, origin: 0 };
+            if seen[0].insert(it) {
+                sets[0].push(it);
+            }
+        }
+
+        for k in 0..=n {
+            let mut idx = 0;
+            while idx < sets[k].len() {
+                let item = sets[k][idx];
+                idx += 1;
+                let rhs = self.rhs(&item);
+                if (item.dot as usize) < rhs.len() {
+                    match rhs[item.dot as usize] {
+                        Sym::Nt(b) => {
+                            // Predict.
+                            for prod in 0..self.grammar.productions(b).len() as u32 {
+                                let it = Item { nt: b.0, prod, dot: 0, origin: k as u32 };
+                                if seen[k].insert(it) {
+                                    sets[k].push(it);
+                                }
+                            }
+                            // Aycock–Horspool: if B is nullable, also advance
+                            // over it immediately.
+                            if self.nullable[b.index()] {
+                                let it = Item { dot: item.dot + 1, ..item };
+                                if seen[k].insert(it) {
+                                    sets[k].push(it);
+                                }
+                            }
+                        }
+                        Sym::Class(c) => {
+                            // Scan.
+                            if k < n && c.contains(input[k]) {
+                                let it = Item { dot: item.dot + 1, ..item };
+                                if seen[k + 1].insert(it) {
+                                    sets[k + 1].push(it);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // Complete: item.nt spans item.origin..k.
+                    let origin = item.origin as usize;
+                    // Note: when origin == k this loops over the growing set;
+                    // index-based iteration handles that safely.
+                    let mut j = 0;
+                    while j < sets[origin].len() {
+                        let parent = sets[origin][j];
+                        j += 1;
+                        let prhs = self.rhs(&parent);
+                        if (parent.dot as usize) < prhs.len()
+                            && prhs[parent.dot as usize] == Sym::Nt(NtId(item.nt))
+                        {
+                            let it = Item { dot: parent.dot + 1, ..parent };
+                            if seen[k].insert(it) {
+                                sets[k].push(it);
+                            }
+                        }
+                        if origin != k {
+                            // sets[origin] is frozen once k > origin; a plain
+                            // loop suffices but we keep the same structure.
+                        }
+                    }
+                }
+            }
+        }
+        sets
+    }
+
+    /// Decides membership of `input` in the grammar's language.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        let sets = self.chart(input);
+        let n = input.len();
+        let start = self.grammar.start();
+        sets[n].iter().any(|it| {
+            it.nt == start.0 && it.origin == 0 && it.dot as usize == self.rhs(it).len()
+        })
+    }
+
+    /// Parses `input`, returning one (arbitrary but deterministic) parse
+    /// tree, or `None` if the input is not in the language.
+    pub fn parse(&self, input: &[u8]) -> Option<ParseTree> {
+        let sets = self.chart(input);
+        let n = input.len();
+        let start = self.grammar.start();
+        let accepted = sets[n].iter().any(|it| {
+            it.nt == start.0 && it.origin == 0 && it.dot as usize == self.rhs(it).len()
+        });
+        if !accepted {
+            return None;
+        }
+
+        // completed[(nt, start)] = ascending list of end positions.
+        let mut completed: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for (k, set) in sets.iter().enumerate() {
+            for it in set {
+                if it.dot as usize == self.rhs(it).len() {
+                    completed.entry((it.nt, it.origin)).or_default().push(k as u32);
+                }
+            }
+        }
+        for ends in completed.values_mut() {
+            ends.sort_unstable();
+            ends.dedup();
+        }
+
+        let mut builder = TreeBuilder {
+            earley: self,
+            input,
+            completed,
+            fail: HashSet::new(),
+            in_progress: HashSet::new(),
+        };
+        builder.build(start.0, 0, n as u32)
+    }
+}
+
+struct TreeBuilder<'a, 'g> {
+    earley: &'a Earley<'g>,
+    input: &'a [u8],
+    completed: HashMap<(u32, u32), Vec<u32>>,
+    fail: HashSet<(u32, u32, u32)>,
+    in_progress: HashSet<(u32, u32, u32)>,
+}
+
+impl TreeBuilder<'_, '_> {
+    fn spans(&self, nt: u32, start: u32) -> &[u32] {
+        self.completed.get(&(nt, start)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn build(&mut self, nt: u32, start: u32, end: u32) -> Option<ParseTree> {
+        let key = (nt, start, end);
+        if self.fail.contains(&key) || !self.spans(nt, start).contains(&end) {
+            return None;
+        }
+        // A minimal derivation never revisits the same (nt, span); blocking
+        // re-entry keeps unary/ε cycles from looping forever.
+        if !self.in_progress.insert(key) {
+            return None;
+        }
+        let prods = self.earley.grammar.productions(NtId(nt));
+        let mut result = None;
+        for (pi, rhs) in prods.iter().enumerate() {
+            if let Some(children) = self.match_seq(rhs, 0, start, end) {
+                result = Some(ParseTree::Node {
+                    nt: NtId(nt),
+                    prod: pi,
+                    children,
+                    start: start as usize,
+                    end: end as usize,
+                });
+                break;
+            }
+        }
+        self.in_progress.remove(&key);
+        if result.is_none() {
+            self.fail.insert(key);
+        }
+        result
+    }
+
+    fn match_seq(&mut self, rhs: &[Sym], k: usize, pos: u32, end: u32) -> Option<Vec<ParseTree>> {
+        if k == rhs.len() {
+            return (pos == end).then(Vec::new);
+        }
+        match rhs[k] {
+            Sym::Class(c) => {
+                if pos < end && c.contains(self.input[pos as usize]) {
+                    let mut rest = self.match_seq(rhs, k + 1, pos + 1, end)?;
+                    rest.insert(0, ParseTree::Leaf {
+                        byte: self.input[pos as usize],
+                        pos: pos as usize,
+                    });
+                    Some(rest)
+                } else {
+                    None
+                }
+            }
+            Sym::Nt(n) => {
+                let mids: Vec<u32> = self
+                    .spans(n.0, pos)
+                    .iter()
+                    .copied()
+                    .filter(|&m| m <= end)
+                    .collect();
+                for mid in mids {
+                    if let Some(rest) = self.match_seq(rhs, k + 1, mid, end) {
+                        if let Some(sub) = self.build(n.0, pos, mid) {
+                            let mut children = Vec::with_capacity(rest.len() + 1);
+                            children.push(sub);
+                            children.extend(rest);
+                            return Some(children);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{cls, lit, nt, GrammarBuilder};
+    use crate::CharClass;
+
+    fn nested_tags() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        b.prod(a, [lit(b"<a>"), nt(a), lit(b"</a>")].concat());
+        b.prod(a, vec![]);
+        b.build(a).unwrap()
+    }
+
+    /// The paper's synthesized running-example grammar:
+    /// A → ε | A B ;  B → <a> A </a> | h | i   (equivalent to (<a>A</a> + h + i)*)
+    fn running_example() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        let t = b.nt("B");
+        b.prod(a, vec![]);
+        b.prod(a, [nt(a), nt(t)].concat());
+        b.prod(t, [lit(b"<a>"), nt(a), lit(b"</a>")].concat());
+        b.prod(t, lit(b"h"));
+        b.prod(t, lit(b"i"));
+        b.build(a).unwrap()
+    }
+
+    #[test]
+    fn accepts_nested_tags() {
+        let g = nested_tags();
+        let p = Earley::new(&g);
+        assert!(p.accepts(b""));
+        assert!(p.accepts(b"<a></a>"));
+        assert!(p.accepts(b"<a><a><a></a></a></a>"));
+        assert!(!p.accepts(b"<a>"));
+        assert!(!p.accepts(b"<a></a><a></a>")); // not a single nest
+    }
+
+    #[test]
+    fn accepts_left_recursive_star_expansion() {
+        let g = running_example();
+        let p = Earley::new(&g);
+        assert!(p.accepts(b""));
+        assert!(p.accepts(b"hi"));
+        assert!(p.accepts(b"<a>hi</a>"));
+        assert!(p.accepts(b"<a><a>h</a>i</a>hh"));
+        assert!(!p.accepts(b"<a>hi</a"));
+        assert!(!p.accepts(b"x"));
+    }
+
+    #[test]
+    fn rejects_byte_outside_class() {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        b.prod(a, cls(CharClass::range(b'0', b'9')));
+        let g = b.build(a).unwrap();
+        let p = Earley::new(&g);
+        assert!(p.accepts(b"7"));
+        assert!(!p.accepts(b"a"));
+        assert!(!p.accepts(b""));
+        assert!(!p.accepts(b"77"));
+    }
+
+    #[test]
+    fn parse_tree_yield_equals_input() {
+        let g = running_example();
+        let p = Earley::new(&g);
+        let input = b"<a><a>h</a>i</a>hh";
+        let tree = p.parse(input).expect("member");
+        assert_eq!(tree.to_bytes(), input.to_vec());
+        let (s, e) = tree.span();
+        assert_eq!((s, e), (0, input.len()));
+    }
+
+    #[test]
+    fn parse_rejects_nonmember() {
+        let g = running_example();
+        let p = Earley::new(&g);
+        assert!(p.parse(b"<a>").is_none());
+        assert!(p.parse(b"z").is_none());
+    }
+
+    #[test]
+    fn parse_of_empty_input_with_nullable_start() {
+        let g = running_example();
+        let p = Earley::new(&g);
+        let tree = p.parse(b"").expect("ε is a member");
+        assert_eq!(tree.to_bytes(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn parse_tree_nodes_enumerates_nonterminals() {
+        let g = running_example();
+        let p = Earley::new(&g);
+        let tree = p.parse(b"<a>h</a>").expect("member");
+        let nodes = tree.nodes();
+        // At least: root A, inner A (for "h"), B (tag), B (h), plus the
+        // left-recursion spine nodes.
+        assert!(nodes.len() >= 4, "got {} nodes", nodes.len());
+        for n in nodes {
+            let (s, e) = n.span();
+            assert!(s <= e && e <= 8);
+        }
+    }
+
+    #[test]
+    fn handles_unary_cycles() {
+        // A → B | x ; B → A. Unary cycle must not hang.
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        let bb = b.nt("B");
+        b.prod(a, nt(bb));
+        b.prod(a, lit(b"x"));
+        b.prod(bb, nt(a));
+        let g = b.build(a).unwrap();
+        let p = Earley::new(&g);
+        assert!(p.accepts(b"x"));
+        assert!(!p.accepts(b"y"));
+        let tree = p.parse(b"x").expect("member");
+        assert_eq!(tree.to_bytes(), b"x".to_vec());
+    }
+
+    #[test]
+    fn handles_ambiguity() {
+        // S → S S | 'a' | ε : highly ambiguous.
+        let mut b = GrammarBuilder::new();
+        let s = b.nt("S");
+        b.prod(s, [nt(s), nt(s)].concat());
+        b.prod(s, lit(b"a"));
+        b.prod(s, vec![]);
+        let g = b.build(s).unwrap();
+        let p = Earley::new(&g);
+        for n in 0..8 {
+            let input = b"a".repeat(n);
+            assert!(p.accepts(&input), "n={n}");
+            let t = p.parse(&input).expect("member");
+            assert_eq!(t.to_bytes(), input);
+        }
+        assert!(!p.accepts(b"b"));
+    }
+
+    #[test]
+    fn matching_parentheses_with_regular_decoration() {
+        // Generalized matching parentheses (Definition 5.2):
+        // S → ( R (S)* R' )* with R = "(", R' = ")".
+        let mut b = GrammarBuilder::new();
+        let s = b.nt("S");
+        let item = b.nt("I");
+        b.prod(s, vec![]);
+        b.prod(s, [nt(s), nt(item)].concat());
+        b.prod(item, [lit(b"("), nt(s), lit(b")")].concat());
+        let g = b.build(s).unwrap();
+        let p = Earley::new(&g);
+        assert!(p.accepts(b"()(())"));
+        assert!(p.accepts(b"((()))()"));
+        assert!(!p.accepts(b"(()"));
+        assert!(!p.accepts(b")("));
+    }
+}

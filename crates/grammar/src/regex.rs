@@ -1,0 +1,495 @@
+//! Regular expressions over byte strings.
+//!
+//! Phase one of GLADE (Section 4) synthesizes a regular expression, so the
+//! library needs a regex representation with (a) the constructs the
+//! meta-grammar `C_regex` produces — literals, alternation `+`, and Kleene
+//! star `*` — plus byte classes produced by character generalization, and
+//! (b) an exact membership test. Matching is implemented with Brzozowski
+//! derivatives over smart-normalized terms, which is simple, allocation-only
+//! (no unsafe), and fast enough for the check construction and evaluation
+//! workloads in the paper.
+
+use crate::CharClass;
+use std::fmt;
+
+/// A regular expression over bytes.
+///
+/// Values are kept in a light normal form by the smart constructors
+/// ([`Regex::concat`], [`Regex::alt`], [`Regex::star`], ...): concatenations
+/// and alternations are flattened and never contain the identity element,
+/// alternations are sorted and deduplicated, and `∅`/`ε` absorb as expected.
+/// This keeps derivative-based matching (see [`Regex::is_match`]) from
+/// blowing up syntactically.
+///
+/// # Examples
+///
+/// ```
+/// use glade_grammar::Regex;
+///
+/// // (<a>(h+i)*</a>)* — the grammar synthesized for the paper's running example.
+/// let hi = Regex::alt(vec![Regex::lit(b"h"), Regex::lit(b"i")]);
+/// let tag = Regex::concat(vec![Regex::lit(b"<a>"), Regex::star(hi), Regex::lit(b"</a>")]);
+/// let xml = Regex::star(tag);
+/// assert!(xml.is_match(b"<a>hi</a><a>ih</a>"));
+/// assert!(!xml.is_match(b"<a>hi</a"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The language containing only the empty string.
+    Epsilon,
+    /// A single byte drawn from a class.
+    Class(CharClass),
+    /// Concatenation of two or more factors (never contains `Epsilon` or
+    /// `Empty`, never nested).
+    Concat(Vec<Regex>),
+    /// Alternation of two or more branches (sorted, deduplicated, never
+    /// contains `Empty`, never nested).
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// A literal byte string. The empty string yields `Epsilon`.
+    pub fn lit(bytes: &[u8]) -> Regex {
+        Regex::concat(bytes.iter().map(|&b| Regex::Class(CharClass::single(b))).collect())
+    }
+
+    /// A single byte from `class`. An empty class yields `Empty`.
+    pub fn class(class: CharClass) -> Regex {
+        if class.is_empty() {
+            Regex::Empty
+        } else {
+            Regex::Class(class)
+        }
+    }
+
+    /// Smart concatenation: flattens nested concats, drops `ε`, and absorbs
+    /// `∅`.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().expect("len 1"),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Smart alternation: flattens nested alts, drops `∅`, sorts and
+    /// deduplicates branches, and merges single-byte classes.
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+        let mut class_acc: Option<CharClass> = None;
+        let mut stack: Vec<Regex> = parts;
+        stack.reverse();
+        while let Some(p) = stack.pop() {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => {
+                    for r in inner.into_iter().rev() {
+                        stack.push(r);
+                    }
+                }
+                Regex::Class(c) => {
+                    class_acc = Some(match class_acc {
+                        Some(acc) => acc.union(&c),
+                        None => c,
+                    });
+                }
+                other => out.push(other),
+            }
+        }
+        if let Some(c) = class_acc {
+            out.push(Regex::Class(c));
+        }
+        out.sort();
+        out.dedup();
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().expect("len 1"),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Smart Kleene star: `∅* = ε* = ε`, `(r*)* = r*`.
+    pub fn star(inner: Regex) -> Regex {
+        match inner {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// `r+` sugar: `r r*`.
+    pub fn plus(inner: Regex) -> Regex {
+        Regex::concat(vec![inner.clone(), Regex::star(inner)])
+    }
+
+    /// `r?` sugar: `ε + r`.
+    pub fn opt(inner: Regex) -> Regex {
+        Regex::alt(vec![Regex::Epsilon, inner])
+    }
+
+    /// Returns whether the language contains the empty string.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Class(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+        }
+    }
+
+    /// Returns whether the language is empty (matches no string at all).
+    ///
+    /// Thanks to the smart constructors, `∅` only ever appears as the
+    /// top-level `Empty` term.
+    pub fn is_empty_language(&self) -> bool {
+        matches!(self, Regex::Empty)
+    }
+
+    /// The Brzozowski derivative with respect to byte `b`: a regex matching
+    /// `{ w | b·w ∈ L(self) }`.
+    pub fn derivative(&self, b: u8) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Empty,
+            Regex::Class(c) => {
+                if c.contains(b) {
+                    Regex::Epsilon
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Concat(parts) => {
+                // d(r1 r2 .. rn) = d(r1) r2..rn  (+ d(r2..rn) if r1 nullable, etc.)
+                let mut branches = Vec::new();
+                for (i, part) in parts.iter().enumerate() {
+                    let mut seq = vec![part.derivative(b)];
+                    seq.extend(parts[i + 1..].iter().cloned());
+                    branches.push(Regex::concat(seq));
+                    if !part.nullable() {
+                        break;
+                    }
+                }
+                Regex::alt(branches)
+            }
+            Regex::Alt(parts) => Regex::alt(parts.iter().map(|p| p.derivative(b)).collect()),
+            Regex::Star(inner) => {
+                Regex::concat(vec![inner.derivative(b), Regex::Star(inner.clone())])
+            }
+        }
+    }
+
+    /// Exact membership test by folding derivatives over `input`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glade_grammar::Regex;
+    /// let r = Regex::star(Regex::lit(b"ab"));
+    /// assert!(r.is_match(b""));
+    /// assert!(r.is_match(b"abab"));
+    /// assert!(!r.is_match(b"aba"));
+    /// ```
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        let mut cur = self.clone();
+        for &b in input {
+            cur = cur.derivative(b);
+            if cur.is_empty_language() {
+                return false;
+            }
+        }
+        cur.nullable()
+    }
+
+    /// Number of AST nodes; a rough complexity measure used in tests and
+    /// statistics.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Class(_) => 1,
+            Regex::Concat(parts) | Regex::Alt(parts) => {
+                1 + parts.iter().map(Regex::size).sum::<usize>()
+            }
+            Regex::Star(inner) => 1 + inner.size(),
+        }
+    }
+
+    /// Samples a random member string.
+    ///
+    /// Stars draw a repetition count uniformly from `0..=max_rep`; alternation
+    /// branches are chosen uniformly. Returns `None` for the empty language.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R, max_rep: usize) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        self.sample_into(rng, max_rep, &mut out)?;
+        Some(out)
+    }
+
+    fn sample_into<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        max_rep: usize,
+        out: &mut Vec<u8>,
+    ) -> Option<()> {
+        match self {
+            Regex::Empty => None,
+            Regex::Epsilon => Some(()),
+            Regex::Class(c) => {
+                out.push(c.sample(rng)?);
+                Some(())
+            }
+            Regex::Concat(parts) => {
+                for p in parts {
+                    p.sample_into(rng, max_rep, out)?;
+                }
+                Some(())
+            }
+            Regex::Alt(parts) => {
+                let k = rng.gen_range(0..parts.len());
+                parts[k].sample_into(rng, max_rep, out)
+            }
+            Regex::Star(inner) => {
+                let n = rng.gen_range(0..=max_rep);
+                for _ in 0..n {
+                    // A star body with an empty language just contributes ε.
+                    if inner.sample_into(rng, max_rep, out).is_none() {
+                        return Some(());
+                    }
+                }
+                Some(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    /// Renders in the paper's notation: `+` for alternation, `*` for
+    /// repetition, parentheses as needed.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn needs_parens_in_concat(r: &Regex) -> bool {
+            matches!(r, Regex::Alt(_))
+        }
+        fn go(r: &Regex, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match r {
+                Regex::Empty => write!(f, "∅"),
+                Regex::Epsilon => write!(f, "ε"),
+                Regex::Class(c) => write!(f, "{c}"),
+                Regex::Concat(parts) => {
+                    for p in parts {
+                        if needs_parens_in_concat(p) {
+                            write!(f, "(")?;
+                            go(p, f)?;
+                            write!(f, ")")?;
+                        } else {
+                            go(p, f)?;
+                        }
+                    }
+                    Ok(())
+                }
+                Regex::Alt(parts) => {
+                    for (i, p) in parts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " + ")?;
+                        }
+                        go(p, f)?;
+                    }
+                    Ok(())
+                }
+                Regex::Star(inner) => {
+                    match inner.as_ref() {
+                        Regex::Class(c) => write!(f, "{c}")?,
+                        other => {
+                            write!(f, "(")?;
+                            go(other, f)?;
+                            write!(f, ")")?;
+                        }
+                    }
+                    write!(f, "*")
+                }
+            }
+        }
+        go(self, f)
+    }
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Regex({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lit_matches_exactly_itself() {
+        let r = Regex::lit(b"abc");
+        assert!(r.is_match(b"abc"));
+        assert!(!r.is_match(b"ab"));
+        assert!(!r.is_match(b"abcd"));
+        assert!(!r.is_match(b""));
+    }
+
+    #[test]
+    fn empty_lit_is_epsilon() {
+        assert_eq!(Regex::lit(b""), Regex::Epsilon);
+        assert!(Regex::lit(b"").is_match(b""));
+    }
+
+    #[test]
+    fn star_matches_repetitions() {
+        let r = Regex::star(Regex::lit(b"ab"));
+        for n in 0..5 {
+            let s = b"ab".repeat(n);
+            assert!(r.is_match(&s), "n={n}");
+        }
+        assert!(!r.is_match(b"a"));
+        assert!(!r.is_match(b"aab"));
+    }
+
+    #[test]
+    fn alt_matches_either_branch() {
+        let r = Regex::alt(vec![Regex::lit(b"cat"), Regex::lit(b"dog")]);
+        assert!(r.is_match(b"cat"));
+        assert!(r.is_match(b"dog"));
+        assert!(!r.is_match(b"catdog"));
+    }
+
+    #[test]
+    fn running_example_regex() {
+        // (<a>(h+i)*</a>)* from Figure 2, step R9.
+        let hi = Regex::alt(vec![Regex::lit(b"h"), Regex::lit(b"i")]);
+        let tag = Regex::concat(vec![
+            Regex::lit(b"<a>"),
+            Regex::star(hi),
+            Regex::lit(b"</a>"),
+        ]);
+        let xml = Regex::star(tag);
+        assert!(xml.is_match(b""));
+        assert!(xml.is_match(b"<a>hi</a>"));
+        assert!(xml.is_match(b"<a></a>"));
+        assert!(xml.is_match(b"<a>hihi</a><a>i</a>"));
+        assert!(!xml.is_match(b"<a>hi</a"));
+        assert!(!xml.is_match(b"<a>x</a>"));
+    }
+
+    #[test]
+    fn smart_constructors_normalize() {
+        // Concats flatten and drop epsilon.
+        let c = Regex::concat(vec![
+            Regex::Epsilon,
+            Regex::concat(vec![Regex::lit(b"a"), Regex::lit(b"b")]),
+            Regex::Epsilon,
+        ]);
+        assert_eq!(c, Regex::lit(b"ab"));
+        // Empty absorbs concat.
+        assert_eq!(Regex::concat(vec![Regex::lit(b"a"), Regex::Empty]), Regex::Empty);
+        // Alt drops empty and dedups.
+        let a = Regex::alt(vec![Regex::Empty, Regex::lit(b"xy"), Regex::lit(b"xy")]);
+        assert_eq!(a, Regex::lit(b"xy"));
+        // Single-byte alternations merge into one class.
+        let merged = Regex::alt(vec![Regex::lit(b"a"), Regex::lit(b"b")]);
+        assert_eq!(merged, Regex::Class(CharClass::from_bytes(b"ab")));
+        // Star normalization.
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::Epsilon), Regex::Epsilon);
+        let s = Regex::star(Regex::lit(b"ab"));
+        assert_eq!(Regex::star(s.clone()), s);
+    }
+
+    #[test]
+    fn nullable_is_accurate() {
+        assert!(!Regex::lit(b"a").nullable());
+        assert!(Regex::star(Regex::lit(b"a")).nullable());
+        assert!(Regex::opt(Regex::lit(b"a")).nullable());
+        assert!(!Regex::plus(Regex::lit(b"a")).nullable());
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::Empty.nullable());
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let r = Regex::plus(Regex::lit(b"x"));
+        assert!(!r.is_match(b""));
+        assert!(r.is_match(b"x"));
+        assert!(r.is_match(b"xxx"));
+    }
+
+    #[test]
+    fn opt_allows_empty() {
+        let r = Regex::opt(Regex::lit(b"x"));
+        assert!(r.is_match(b""));
+        assert!(r.is_match(b"x"));
+        assert!(!r.is_match(b"xx"));
+    }
+
+    #[test]
+    fn class_matches_any_member() {
+        let r = Regex::class(CharClass::range(b'0', b'9'));
+        assert!(r.is_match(b"5"));
+        assert!(!r.is_match(b"a"));
+        assert!(!r.is_match(b"55"));
+        assert_eq!(Regex::class(CharClass::EMPTY), Regex::Empty);
+    }
+
+    #[test]
+    fn samples_are_members() {
+        let hi = Regex::alt(vec![Regex::lit(b"h"), Regex::lit(b"i")]);
+        let xml = Regex::star(Regex::concat(vec![
+            Regex::lit(b"<a>"),
+            Regex::star(hi),
+            Regex::lit(b"</a>"),
+        ]));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let s = xml.sample(&mut rng, 3).expect("nonempty language");
+            assert!(xml.is_match(&s), "sample {:?} not matched", String::from_utf8_lossy(&s));
+        }
+    }
+
+    #[test]
+    fn sample_of_empty_language_is_none() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(Regex::Empty.sample(&mut rng, 3), None);
+        assert_eq!(
+            Regex::concat(vec![Regex::lit(b"a"), Regex::Empty]).sample(&mut rng, 3),
+            None
+        );
+    }
+
+    #[test]
+    fn display_roundtrip_notation() {
+        let hi = Regex::alt(vec![Regex::lit(b"h"), Regex::lit(b"i")]);
+        let xml = Regex::star(Regex::concat(vec![
+            Regex::lit(b"<a>"),
+            Regex::star(hi),
+            Regex::lit(b"</a>"),
+        ]));
+        // (h+i) merges into the class [hi]; rendered with its star.
+        assert_eq!(xml.to_string(), "(<a>[hi]*</a>)*");
+    }
+
+    #[test]
+    fn derivative_of_class() {
+        let r = Regex::class(CharClass::from_bytes(b"ab"));
+        assert_eq!(r.derivative(b'a'), Regex::Epsilon);
+        assert_eq!(r.derivative(b'c'), Regex::Empty);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Regex::Epsilon.size(), 1);
+        assert!(Regex::lit(b"abc").size() >= 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! Random sampling of grammar members (Section 8.1 of the paper).
+//!
+//! The paper converts a CFG into a probabilistic CFG by attaching a uniform
+//! distribution over each nonterminal's productions, then samples top-down.
+//! Naive uniform sampling of a recursive grammar diverges with positive
+//! probability (the expected derivation size can be infinite), so this
+//! implementation refines the scheme with a depth budget: each nonterminal's
+//! minimum derivation depth is precomputed, and at every expansion the
+//! sampler chooses uniformly *among the productions that can still terminate
+//! within the remaining budget*. With an adequate budget this is exactly the
+//! paper's uniform scheme except near the depth boundary.
+
+use crate::cfg::{Grammar, NtId, Sym};
+use rand::Rng;
+
+/// Default depth budget used by [`Sampler::sample`].
+pub const DEFAULT_MAX_DEPTH: usize = 32;
+
+/// A reusable random sampler for a borrowed [`Grammar`].
+///
+/// # Examples
+///
+/// ```
+/// use glade_grammar::cfg::{GrammarBuilder, lit, nt};
+/// use glade_grammar::{Earley, Sampler};
+/// use rand::SeedableRng;
+///
+/// let mut b = GrammarBuilder::new();
+/// let a = b.nt("A");
+/// b.prod(a, [lit(b"<a>"), nt(a), lit(b"</a>")].concat());
+/// b.prod(a, vec![]);
+/// let g = b.build(a).unwrap();
+///
+/// let sampler = Sampler::new(&g);
+/// let parser = Earley::new(&g);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// for _ in 0..50 {
+///     let s = sampler.sample(&mut rng).unwrap();
+///     assert!(parser.accepts(&s));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Sampler<'g> {
+    grammar: &'g Grammar,
+    /// Minimum derivation depth per nonterminal (`None` = non-productive).
+    min_depth: Vec<Option<usize>>,
+    max_depth: usize,
+}
+
+impl<'g> Sampler<'g> {
+    /// Creates a sampler with the default depth budget.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        Self::with_max_depth(grammar, DEFAULT_MAX_DEPTH)
+    }
+
+    /// Creates a sampler with an explicit depth budget.
+    ///
+    /// Larger budgets produce longer, more deeply nested samples.
+    pub fn with_max_depth(grammar: &'g Grammar, max_depth: usize) -> Self {
+        Sampler { grammar, min_depth: grammar.min_depths(), max_depth }
+    }
+
+    /// The underlying grammar.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.grammar
+    }
+
+    /// Samples a random member of the grammar's language.
+    ///
+    /// Returns `None` if the start symbol is non-productive (derives no
+    /// finite string).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<u8>> {
+        self.sample_nt(self.grammar.start(), rng)
+    }
+
+    /// Samples a random string derivable from nonterminal `nt`.
+    ///
+    /// This is the distribution `P_{L(C,A)}` of Section 8.1, also used by the
+    /// grammar-based fuzzer to resample subtrees.
+    pub fn sample_nt<R: Rng + ?Sized>(&self, nt: NtId, rng: &mut R) -> Option<Vec<u8>> {
+        let need = self.min_depth[nt.index()]?;
+        let mut out = Vec::new();
+        let budget = self.max_depth.max(need);
+        self.expand(nt, budget, rng, &mut out)?;
+        Some(out)
+    }
+
+    fn expand<R: Rng + ?Sized>(
+        &self,
+        nt: NtId,
+        budget: usize,
+        rng: &mut R,
+        out: &mut Vec<u8>,
+    ) -> Option<()> {
+        let prods = self.grammar.productions(nt);
+        // Productions whose every nonterminal can bottom out within the
+        // remaining budget.
+        let feasible: Vec<usize> = prods
+            .iter()
+            .enumerate()
+            .filter(|(_, rhs)| self.prod_min_depth(rhs).is_some_and(|d| d < budget.max(1)))
+            .map(|(i, _)| i)
+            .collect();
+        let chosen = if feasible.is_empty() {
+            // Budget exhausted: fall back to the globally cheapest
+            // production so sampling still terminates.
+            (0..prods.len()).min_by_key(|&i| {
+                self.prod_min_depth(&prods[i]).unwrap_or(usize::MAX)
+            })?
+        } else {
+            feasible[rng.gen_range(0..feasible.len())]
+        };
+        for sym in &prods[chosen] {
+            match sym {
+                Sym::Class(c) => out.push(c.sample(rng)?),
+                Sym::Nt(m) => self.expand(*m, budget.saturating_sub(1), rng, out)?,
+            }
+        }
+        Some(())
+    }
+
+    /// Minimum derivation depth of a production body (max over nonterminals'
+    /// minimum depths; 0 for all-terminal bodies). `None` if some
+    /// nonterminal is non-productive.
+    fn prod_min_depth(&self, rhs: &[Sym]) -> Option<usize> {
+        let mut worst = 0usize;
+        for sym in rhs {
+            if let Sym::Nt(m) = sym {
+                worst = worst.max(self.min_depth[m.index()]?);
+            }
+        }
+        Some(worst)
+    }
+
+    /// Draws `n` samples, skipping `None`s (non-productive grammars yield an
+    /// empty vector).
+    pub fn sample_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Vec<u8>> {
+        (0..n).filter_map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{cls, lit, nt, GrammarBuilder};
+    use crate::{CharClass, Earley};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn running_example() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        let t = b.nt("B");
+        b.prod(a, vec![]);
+        b.prod(a, [nt(a), nt(t)].concat());
+        b.prod(t, [lit(b"<a>"), nt(a), lit(b"</a>")].concat());
+        b.prod(t, cls(CharClass::range(b'a', b'z')));
+        b.build(a).unwrap()
+    }
+
+    #[test]
+    fn samples_are_grammar_members() {
+        let g = running_example();
+        let sampler = Sampler::new(&g);
+        let parser = Earley::new(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = sampler.sample(&mut rng).expect("productive");
+            assert!(
+                parser.accepts(&s),
+                "sample {:?} rejected",
+                String::from_utf8_lossy(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_terminates_with_tiny_budget() {
+        let g = running_example();
+        let sampler = Sampler::with_max_depth(&g, 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let s = sampler.sample(&mut rng).expect("productive");
+            // Depth 1 can only take the ε production.
+            assert!(s.is_empty(), "expected ε, got {:?}", String::from_utf8_lossy(&s));
+        }
+    }
+
+    #[test]
+    fn sample_nt_draws_from_requested_nonterminal() {
+        let g = running_example();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Nonterminal B (index 1) never derives ε.
+        let b_id = g.nonterminals().nth(1).unwrap();
+        for _ in 0..50 {
+            let s = sampler.sample_nt(b_id, &mut rng).expect("productive");
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn nonproductive_nonterminal_yields_none() {
+        let mut b = GrammarBuilder::new();
+        let a = b.nt("A");
+        let looping = b.nt("L");
+        b.prod(a, lit(b"x"));
+        b.prod(looping, nt(looping));
+        let g = b.build(a).unwrap();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(0);
+        let l_id = g.nonterminals().nth(1).unwrap();
+        assert_eq!(sampler.sample_nt(l_id, &mut rng), None);
+        // The start symbol is fine.
+        assert_eq!(sampler.sample(&mut rng), Some(b"x".to_vec()));
+    }
+
+    #[test]
+    fn larger_budget_reaches_deeper_derivations() {
+        let g = running_example();
+        let shallow = Sampler::with_max_depth(&g, 2);
+        let deep = Sampler::with_max_depth(&g, 24);
+        let mut rng = StdRng::seed_from_u64(11);
+        let max_len = |s: &Sampler<'_>, rng: &mut StdRng| {
+            (0..200).map(|_| s.sample(rng).unwrap().len()).max().unwrap()
+        };
+        let shallow_max = max_len(&shallow, &mut rng);
+        let deep_max = max_len(&deep, &mut rng);
+        assert!(deep_max > shallow_max, "deep {deep_max} vs shallow {shallow_max}");
+    }
+
+    #[test]
+    fn sample_many_collects_n() {
+        let g = running_example();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sampler.sample_many(25, &mut rng).len(), 25);
+    }
+}

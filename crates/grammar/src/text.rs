@@ -1,0 +1,304 @@
+//! A plain-text serialization format for [`Grammar`]s.
+//!
+//! Synthesized grammars are artifacts users want to keep: feed back into a
+//! fuzzer, inspect, or diff across runs. This module defines a stable,
+//! line-oriented format with full round-tripping:
+//!
+//! ```text
+//! glade-grammar v1
+//! start 0
+//! nt 0 S
+//! nt 1 R0
+//! prod 0 : N1
+//! prod 1 :
+//! prod 1 : N1 C61-7a C30
+//! ```
+//!
+//! Symbols are `N<index>` for nonterminal references and `C<ranges>` for
+//! byte classes, where ranges are comma-separated `lo[-hi]` hex pairs.
+
+use crate::cfg::{Grammar, GrammarBuilder, NtId, Sym};
+use crate::CharClass;
+use std::fmt::Write as _;
+
+/// Errors from [`grammar_from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseGrammarError {
+    /// The header line is missing or names an unsupported version.
+    BadHeader,
+    /// A line does not match any directive.
+    BadLine(usize),
+    /// A directive has a malformed field.
+    BadField(usize),
+    /// The grammar references an undeclared nonterminal or fails
+    /// validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ParseGrammarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseGrammarError::BadHeader => write!(f, "missing or unsupported header"),
+            ParseGrammarError::BadLine(n) => write!(f, "unrecognized directive on line {n}"),
+            ParseGrammarError::BadField(n) => write!(f, "malformed field on line {n}"),
+            ParseGrammarError::Invalid(e) => write!(f, "invalid grammar: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseGrammarError {}
+
+/// Serializes `grammar` to the v1 text format.
+pub fn grammar_to_text(grammar: &Grammar) -> String {
+    let mut out = String::new();
+    out.push_str("glade-grammar v1\n");
+    let _ = writeln!(out, "start {}", grammar.start().index());
+    for nt in grammar.nonterminals() {
+        let _ = writeln!(out, "nt {} {}", nt.index(), sanitize_name(grammar.name(nt)));
+    }
+    for nt in grammar.nonterminals() {
+        for rhs in grammar.productions(nt) {
+            let mut line = format!("prod {} :", nt.index());
+            for sym in rhs {
+                match sym {
+                    Sym::Nt(n) => {
+                        let _ = write!(line, " N{}", n.index());
+                    }
+                    Sym::Class(c) => {
+                        let _ = write!(line, " C{}", class_ranges(c));
+                    }
+                }
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses the v1 text format back into a [`Grammar`].
+///
+/// # Errors
+///
+/// Returns a [`ParseGrammarError`] describing the first malformed line, or
+/// the grammar-validation failure.
+pub fn grammar_from_text(text: &str) -> Result<Grammar, ParseGrammarError> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err(ParseGrammarError::BadHeader);
+    };
+    if header.trim() != "glade-grammar v1" {
+        return Err(ParseGrammarError::BadHeader);
+    }
+
+    let mut start: Option<usize> = None;
+    let mut names: Vec<(usize, String)> = Vec::new();
+    let mut prods: Vec<(usize, Vec<SymSpec>, usize)> = Vec::new();
+
+    enum SymSpec {
+        Nt(usize),
+        Class(CharClass),
+    }
+
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix("start ") {
+            start =
+                Some(rest.trim().parse().map_err(|_| ParseGrammarError::BadField(lineno))?);
+        } else if let Some(rest) = line.strip_prefix("nt ") {
+            let mut parts = rest.splitn(2, ' ');
+            let idx: usize = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or(ParseGrammarError::BadField(lineno))?;
+            let name = parts.next().unwrap_or("N").to_owned();
+            names.push((idx, name));
+        } else if let Some(rest) = line.strip_prefix("prod ") {
+            let (head, tail) =
+                rest.split_once(':').ok_or(ParseGrammarError::BadField(lineno))?;
+            let lhs: usize =
+                head.trim().parse().map_err(|_| ParseGrammarError::BadField(lineno))?;
+            let mut syms = Vec::new();
+            for tok in tail.split_whitespace() {
+                if let Some(n) = tok.strip_prefix('N') {
+                    let idx = n.parse().map_err(|_| ParseGrammarError::BadField(lineno))?;
+                    syms.push(SymSpec::Nt(idx));
+                } else if let Some(r) = tok.strip_prefix('C') {
+                    let class =
+                        parse_ranges(r).ok_or(ParseGrammarError::BadField(lineno))?;
+                    syms.push(SymSpec::Class(class));
+                } else {
+                    return Err(ParseGrammarError::BadField(lineno));
+                }
+            }
+            prods.push((lhs, syms, lineno));
+        } else {
+            return Err(ParseGrammarError::BadLine(lineno));
+        }
+    }
+
+    names.sort_by_key(|(i, _)| *i);
+    let mut b = GrammarBuilder::new();
+    let mut ids: Vec<NtId> = Vec::with_capacity(names.len());
+    for (expected, (idx, name)) in names.iter().enumerate() {
+        if *idx != expected {
+            return Err(ParseGrammarError::Invalid(format!(
+                "nonterminal indices must be dense, missing {expected}"
+            )));
+        }
+        ids.push(b.nt(name));
+    }
+    for (lhs, syms, lineno) in prods {
+        let lhs_id = *ids.get(lhs).ok_or(ParseGrammarError::BadField(lineno))?;
+        let mut rhs = Vec::with_capacity(syms.len());
+        for s in syms {
+            match s {
+                SymSpec::Nt(i) => {
+                    rhs.push(Sym::Nt(*ids.get(i).ok_or(ParseGrammarError::BadField(lineno))?));
+                }
+                SymSpec::Class(c) => rhs.push(Sym::Class(c)),
+            }
+        }
+        b.prod(lhs_id, rhs);
+    }
+    let start_idx = start.ok_or(ParseGrammarError::BadHeader)?;
+    let start_id = *ids
+        .get(start_idx)
+        .ok_or_else(|| ParseGrammarError::Invalid("start index out of range".into()))?;
+    b.build(start_id).map_err(|e| ParseGrammarError::Invalid(e.to_string()))
+}
+
+/// Encodes a class as comma-separated hex ranges (`61-7a,30`).
+fn class_ranges(c: &CharClass) -> String {
+    let mut out = String::new();
+    let members: Vec<u8> = c.iter().collect();
+    let mut i = 0;
+    while i < members.len() {
+        let lo = members[i];
+        let mut hi = lo;
+        while i + 1 < members.len() && members[i + 1] == hi + 1 {
+            i += 1;
+            hi = members[i];
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if lo == hi {
+            let _ = write!(out, "{lo:02x}");
+        } else {
+            let _ = write!(out, "{lo:02x}-{hi:02x}");
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_ranges(s: &str) -> Option<CharClass> {
+    let mut c = CharClass::new();
+    if s.is_empty() {
+        return None;
+    }
+    for part in s.split(',') {
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo = u8::from_str_radix(lo, 16).ok()?;
+                let hi = u8::from_str_radix(hi, 16).ok()?;
+                if lo > hi {
+                    return None;
+                }
+                for b in lo..=hi {
+                    c.insert(b);
+                }
+            }
+            None => c.insert(u8::from_str_radix(part, 16).ok()?),
+        }
+    }
+    Some(c)
+}
+
+/// Replaces whitespace in display names so lines stay parseable.
+fn sanitize_name(name: &str) -> String {
+    name.replace(char::is_whitespace, "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{cls, lit, nt};
+    use crate::Earley;
+
+    fn sample_grammar() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let s = b.nt("S");
+        let r = b.nt("R zero"); // name with a space: sanitized on write
+        b.prod(s, [lit(b"<a>"), nt(r), lit(b"</a>")].concat());
+        b.prod(r, vec![]);
+        b.prod(r, [nt(r), cls(CharClass::range(b'a', b'z'))].concat());
+        b.build(s).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_language() {
+        let g = sample_grammar();
+        let text = grammar_to_text(&g);
+        let g2 = grammar_from_text(&text).expect("roundtrip parses");
+        let e1 = Earley::new(&g);
+        let e2 = Earley::new(&g2);
+        for s in [&b"<a></a>"[..], b"<a>xyz</a>", b"<a>", b"zzz", b"<a>Q</a>"] {
+            assert_eq!(e1.accepts(s), e2.accepts(s), "disagree on {s:?}");
+        }
+    }
+
+    #[test]
+    fn text_format_is_stable() {
+        let g = sample_grammar();
+        let text = grammar_to_text(&g);
+        assert!(text.starts_with("glade-grammar v1\nstart 0\n"), "{text}");
+        assert!(text.contains("nt 1 R_zero"), "{text}");
+        assert!(text.contains("C61-7a"), "{text}");
+        // Idempotent through a second roundtrip.
+        let g2 = grammar_from_text(&text).unwrap();
+        assert_eq!(grammar_to_text(&g2), text);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(grammar_from_text(""), Err(ParseGrammarError::BadHeader));
+        assert_eq!(grammar_from_text("nope v9\n"), Err(ParseGrammarError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = "glade-grammar v1\nstart 0\nnt 0 S\nprod 0 : X9\n";
+        assert!(matches!(grammar_from_text(bad), Err(ParseGrammarError::BadField(_))));
+        let bad2 = "glade-grammar v1\nstart 0\nnt 0 S\nwhatever\n";
+        assert!(matches!(grammar_from_text(bad2), Err(ParseGrammarError::BadLine(_))));
+    }
+
+    #[test]
+    fn rejects_sparse_indices() {
+        let bad = "glade-grammar v1\nstart 0\nnt 0 S\nnt 2 T\nprod 0 : C61\nprod 2 : C62\n";
+        assert!(matches!(grammar_from_text(bad), Err(ParseGrammarError::Invalid(_))));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "glade-grammar v1\n# comment\n\nstart 0\nnt 0 S\nprod 0 : C61\n";
+        let g = grammar_from_text(text).unwrap();
+        assert!(Earley::new(&g).accepts(b"a"));
+    }
+
+    #[test]
+    fn class_range_encoding() {
+        let c = CharClass::from_bytes(b"abcx");
+        assert_eq!(class_ranges(&c), "61-63,78");
+        assert_eq!(parse_ranges("61-63,78"), Some(c));
+        assert_eq!(parse_ranges(""), None);
+        assert_eq!(parse_ranges("zz"), None);
+        assert_eq!(parse_ranges("63-61"), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! Evaluation subjects for the GLADE reproduction.
+//!
+//! The paper evaluates GLADE on two kinds of subjects:
+//!
+//! * **Handwritten target-language grammars** (Section 8.2): URL, Grep,
+//!   Lisp, and XML — see [`languages`]. Seed inputs are sampled from the
+//!   grammar and the membership oracle is grammar membership.
+//! * **Real programs** (Section 8.3): sed, flex, grep, bison, an XML
+//!   parser, and the Ruby/Python/JavaScript front-ends — reproduced here as
+//!   instrumented Rust parsers (see [`programs`]) that accept the same
+//!   input languages and report gcov-style line coverage (see [`cov`]).
+//!
+//! A [`Target`] bundles a program with its seeds and coverage accounting;
+//! [`TargetOracle`] adapts any target into a [`glade_core::Oracle`] so the
+//! synthesizer can learn its input grammar blackbox-style.
+//!
+//! ```
+//! use glade_targets::{programs::Grep, Target, TargetOracle};
+//! use glade_core::Oracle;
+//!
+//! let grep = Grep;
+//! let oracle = TargetOracle::new(&grep);
+//! assert!(oracle.accepts(b"^ab*c$"));
+//! assert!(!oracle.accepts(b"\\(unclosed"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cov;
+pub mod corpora;
+pub mod languages;
+pub mod programs;
+mod target;
+
+pub use cov::{count_points, Coverage, RunOutcome};
+pub use languages::{GrammarOracle, Language};
+pub use target::{Target, TargetOracle};

@@ -1,0 +1,78 @@
+//! Property-based robustness tests: the instrumented parsers are fed to
+//! fuzzers for millions of executions, so they must never panic, must be
+//! deterministic, and must keep their coverage accounting consistent on
+//! arbitrary byte strings.
+
+use glade_targets::programs::all_targets;
+use proptest::prelude::*;
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes.
+        proptest::collection::vec(any::<u8>(), 0..120),
+        // Structured-ish ASCII soup, which digs deeper into the parsers.
+        proptest::collection::vec(
+            prop_oneof![
+                Just(b'<'), Just(b'>'), Just(b'/'), Just(b'a'), Just(b'"'), Just(b'\''),
+                Just(b'\\'), Just(b'('), Just(b')'), Just(b'['), Just(b']'), Just(b'{'),
+                Just(b'}'), Just(b'%'), Just(b'\n'), Just(b' '), Just(b'='), Just(b';'),
+                Just(b':'), Just(b'|'), Just(b'*'), Just(b'0'), Just(b'x'), Just(b'#'),
+            ],
+            0..120
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// No parser panics, for any input.
+    #[test]
+    fn parsers_never_panic(input in arb_input()) {
+        for t in all_targets() {
+            let _ = t.run(&input);
+        }
+    }
+
+    /// Parsers are deterministic: same input, same verdict and coverage.
+    #[test]
+    fn parsers_are_deterministic(input in arb_input()) {
+        for t in all_targets() {
+            let r1 = t.run(&input);
+            let r2 = t.run(&input);
+            prop_assert_eq!(r1.valid, r2.valid, "{}", t.name());
+            prop_assert_eq!(r1.coverage, r2.coverage, "{}", t.name());
+        }
+    }
+
+    /// Observed coverage never exceeds the static coverable-line count.
+    #[test]
+    fn coverage_bounded_by_denominator(input in arb_input()) {
+        for t in all_targets() {
+            let r = t.run(&input);
+            prop_assert!(
+                r.coverage.len() <= t.coverable_lines(),
+                "{}: {} > {}",
+                t.name(),
+                r.coverage.len(),
+                t.coverable_lines()
+            );
+        }
+    }
+
+    /// A prefix of a valid input plus garbage is handled without panicking
+    /// (parser resynchronization paths).
+    #[test]
+    fn seed_mutations_never_panic(garbage in proptest::collection::vec(any::<u8>(), 0..20),
+                                  pos in any::<proptest::sample::Index>()) {
+        for t in all_targets() {
+            for seed in t.seeds() {
+                let cut = pos.index(seed.len() + 1);
+                let mut mutant = seed[..cut].to_vec();
+                mutant.extend_from_slice(&garbage);
+                mutant.extend_from_slice(&seed[cut..]);
+                let _ = t.run(&mutant);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Learning an input grammar for an external binary via process spawning.
+//!
+//! GLADE is blackbox: the oracle only needs to run the program and observe
+//! acceptance (Section 2). This example drives the system `grep` binary —
+//! each membership query spawns `grep -E <candidate> /dev/null` and checks
+//! the exit status (grep exits 2 on a malformed pattern), then synthesizes
+//! a grammar for the accepted pattern syntax from two tiny seeds.
+//!
+//! Run with: `cargo run --release --example process_oracle`
+//! (Requires a Unix-like system with `grep` on PATH; exits gracefully
+//! otherwise.)
+
+use glade_repro::core::{CachingOracle, Glade, GladeConfig, Oracle, ProcessOracle};
+use glade_repro::grammar::Sampler;
+use rand::SeedableRng;
+use std::process::Command;
+
+fn grep_available() -> bool {
+    Command::new("grep")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+fn main() {
+    if !grep_available() {
+        eprintln!("`grep` is not available on this system; skipping the demo.");
+        return;
+    }
+
+    // grep -E PATTERN /dev/null: exit 1 = valid pattern, no match;
+    // exit 2 = bad pattern. Wrap so "valid" means exit status 0 or 1.
+    #[derive(Debug)]
+    struct GrepPattern(ProcessOracle);
+    impl Oracle for GrepPattern {
+        fn accepts(&self, input: &[u8]) -> bool {
+            // Reject patterns with NUL/newline (argv cannot carry them).
+            if input.iter().any(|&b| b == 0 || b == b'\n') {
+                return false;
+            }
+            let Ok(pattern) = std::str::from_utf8(input) else { return false };
+            Command::new("grep")
+                .arg("-E")
+                .arg("--")
+                .arg(pattern)
+                .arg("/dev/null")
+                .output()
+                .map(|o| matches!(o.status.code(), Some(0) | Some(1)))
+                .unwrap_or(false)
+        }
+    }
+
+    let oracle = CachingOracle::new(GrepPattern(ProcessOracle::new("grep")));
+    let seeds = vec![b"(ab|c)*x".to_vec()];
+
+    println!("Learning grep -E pattern syntax by spawning grep per query…");
+    let config = GladeConfig {
+        // Each query costs a process spawn: keep the budget small and skip
+        // the expensive character-generalization sweep.
+        character_generalization: false,
+        max_queries: Some(400),
+        ..GladeConfig::default()
+    };
+    let start = std::time::Instant::now();
+    match Glade::with_config(config).synthesize(&seeds, &oracle) {
+        Ok(result) => {
+            println!(
+                "Done in {:?} after {} process spawns.",
+                start.elapsed(),
+                oracle.unique_queries()
+            );
+            println!("\nSynthesized grammar:");
+            for line in result.grammar.to_string().lines() {
+                println!("    {line}");
+            }
+            println!("\nSample patterns generated from it (all accepted by grep):");
+            let sampler = Sampler::new(&result.grammar);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut shown = 0;
+            while shown < 5 {
+                let Some(s) = sampler.sample(&mut rng) else { break };
+                if oracle.accepts(&s) {
+                    println!("    {:?}", String::from_utf8_lossy(&s));
+                    shown += 1;
+                }
+            }
+        }
+        Err(e) => println!("Synthesis failed: {e}"),
+    }
+}

@@ -1,0 +1,282 @@
+//! `glade` — command-line grammar synthesis and grammar-based fuzzing.
+//!
+//! ```text
+//! glade synth  --seed FILE...  (--cmd 'PROG ARGS…' | --target NAME)  [-o grammar.txt]
+//!              [--stdin|--tempfile] [--max-queries N] [--no-chargen] [--no-phase2]
+//! glade sample --grammar grammar.txt [--count N] [--max-depth D] [--seed-rng S]
+//! glade check  --grammar grammar.txt [FILE]       # membership test (stdin default)
+//! glade fuzz   --grammar grammar.txt --seed FILE... [--count N]    # splice fuzzing
+//! glade targets                                    # list built-in targets
+//! ```
+//!
+//! The oracle is either an external command (exit status 0 = valid input,
+//! input delivered on stdin or via a `{}` temp-file placeholder) or one of
+//! the built-in instrumented targets from `glade-targets`.
+
+use glade_repro::core::{
+    CachingOracle, Glade, GladeConfig, InputMode, Oracle, ProcessOracle,
+};
+use glade_repro::fuzz::{Fuzzer, GrammarFuzzer};
+use glade_repro::grammar::{grammar_from_text, grammar_to_text, Earley, Grammar, Sampler};
+use glade_repro::targets::programs::{all_targets, target_by_name};
+use glade_repro::targets::TargetOracle;
+use rand::SeedableRng;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("sample") => cmd_sample(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("targets") => {
+            for t in all_targets() {
+                println!(
+                    "{:<12} {:>5} source lines, {:>4} coverage points, {} seeds",
+                    t.name(),
+                    t.source_lines(),
+                    t.coverable_lines(),
+                    t.seeds().len()
+                );
+            }
+            Ok(())
+        }
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("glade: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+glade — grammar synthesis from examples and blackbox membership queries
+
+USAGE:
+  glade synth  --seed FILE... (--cmd 'PROG ARGS…' | --target NAME) [-o OUT]
+               [--stdin|--tempfile] [--max-queries N] [--no-chargen] [--no-phase2]
+  glade sample --grammar FILE [--count N] [--max-depth D] [--seed-rng S]
+  glade check  --grammar FILE [INPUT-FILE]
+  glade fuzz   --grammar FILE --seed FILE... [--count N] [--seed-rng S]
+  glade targets
+";
+
+/// Minimal argument cursor.
+struct Args<'a> {
+    argv: &'a [String],
+    i: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Args { argv, i: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let v = self.argv.get(self.i).map(String::as_str);
+        if v.is_some() {
+            self.i += 1;
+        }
+        v
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+}
+
+fn read_file(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_grammar(path: &str) -> Result<Grammar, String> {
+    let text = String::from_utf8(read_file(path)?)
+        .map_err(|_| format!("{path} is not UTF-8"))?;
+    grammar_from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_synth(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let mut seeds: Vec<Vec<u8>> = Vec::new();
+    let mut cmdline: Option<String> = None;
+    let mut target_name: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut input_mode = InputMode::Stdin;
+    let mut config = GladeConfig::default();
+
+    while let Some(flag) = args.next() {
+        match flag {
+            "--seed" => seeds.push(read_file(args.value("--seed")?)?),
+            "--cmd" => cmdline = Some(args.value("--cmd")?.to_owned()),
+            "--target" => target_name = Some(args.value("--target")?.to_owned()),
+            "-o" | "--out" => out = Some(args.value("-o")?.to_owned()),
+            "--stdin" => input_mode = InputMode::Stdin,
+            "--tempfile" => input_mode = InputMode::TempFile,
+            "--max-queries" => {
+                config.max_queries = Some(
+                    args.value("--max-queries")?
+                        .parse()
+                        .map_err(|_| "--max-queries needs an integer".to_owned())?,
+                )
+            }
+            "--no-chargen" => config.character_generalization = false,
+            "--no-phase2" => config.phase2 = false,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if seeds.is_empty() {
+        return Err("at least one --seed FILE is required".into());
+    }
+
+    let oracle: Box<dyn Oracle> = match (cmdline, target_name) {
+        (Some(cmd), None) => {
+            let mut parts = cmd.split_whitespace();
+            let prog = parts.next().ok_or("--cmd is empty")?;
+            let mut o = ProcessOracle::new(prog).input_mode(input_mode);
+            for a in parts {
+                o = o.arg(a);
+            }
+            Box::new(o)
+        }
+        (None, Some(name)) => {
+            let target = target_by_name(&name)
+                .ok_or_else(|| format!("unknown target `{name}` (see `glade targets`)"))?;
+            // Leak is fine for a one-shot CLI process.
+            let target: &'static dyn glade_repro::targets::Target = Box::leak(target);
+            Box::new(TargetOracle::new(target))
+        }
+        (Some(_), Some(_)) => return Err("--cmd and --target are mutually exclusive".into()),
+        (None, None) => return Err("one of --cmd or --target is required".into()),
+    };
+    let oracle = CachingOracle::new(oracle);
+
+    let start = std::time::Instant::now();
+    let result = Glade::with_config(config)
+        .synthesize(&seeds, &oracle)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "synthesized {} nonterminals / {} productions with {} oracle queries in {:?}",
+        result.grammar.num_nonterminals(),
+        result.grammar.num_productions(),
+        result.stats.unique_queries,
+        start.elapsed()
+    );
+    if result.stats.budget_exhausted {
+        eprintln!("warning: query budget exhausted; the grammar is under-generalized");
+    }
+
+    let text = grammar_to_text(&result.grammar);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("grammar written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_sample(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let mut grammar_path = None;
+    let mut count = 10usize;
+    let mut max_depth = 32usize;
+    let mut rng_seed = 0u64;
+    while let Some(flag) = args.next() {
+        match flag {
+            "--grammar" => grammar_path = Some(args.value("--grammar")?.to_owned()),
+            "--count" => {
+                count = args.value("--count")?.parse().map_err(|_| "bad --count")?
+            }
+            "--max-depth" => {
+                max_depth = args.value("--max-depth")?.parse().map_err(|_| "bad --max-depth")?
+            }
+            "--seed-rng" => {
+                rng_seed = args.value("--seed-rng")?.parse().map_err(|_| "bad --seed-rng")?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let grammar = load_grammar(&grammar_path.ok_or("--grammar is required")?)?;
+    let sampler = Sampler::with_max_depth(&grammar, max_depth);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+    for _ in 0..count {
+        match sampler.sample(&mut rng) {
+            Some(s) => println!("{}", String::from_utf8_lossy(&s)),
+            None => return Err("grammar is non-productive".into()),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let mut grammar_path = None;
+    let mut input_path = None;
+    while let Some(flag) = args.next() {
+        match flag {
+            "--grammar" => grammar_path = Some(args.value("--grammar")?.to_owned()),
+            other if !other.starts_with('-') => input_path = Some(other.to_owned()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let grammar = load_grammar(&grammar_path.ok_or("--grammar is required")?)?;
+    let input = match input_path {
+        Some(p) => read_file(&p)?,
+        None => {
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        }
+    };
+    if Earley::new(&grammar).accepts(&input) {
+        println!("member");
+        Ok(())
+    } else {
+        println!("NOT a member");
+        Err("input rejected".into())
+    }
+}
+
+fn cmd_fuzz(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let mut grammar_path = None;
+    let mut seeds: Vec<Vec<u8>> = Vec::new();
+    let mut count = 10usize;
+    let mut rng_seed = 0u64;
+    while let Some(flag) = args.next() {
+        match flag {
+            "--grammar" => grammar_path = Some(args.value("--grammar")?.to_owned()),
+            "--seed" => seeds.push(read_file(args.value("--seed")?)?),
+            "--count" => {
+                count = args.value("--count")?.parse().map_err(|_| "bad --count")?
+            }
+            "--seed-rng" => {
+                rng_seed = args.value("--seed-rng")?.parse().map_err(|_| "bad --seed-rng")?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let grammar = load_grammar(&grammar_path.ok_or("--grammar is required")?)?;
+    let mut fuzzer = GrammarFuzzer::new(grammar, &seeds);
+    if !seeds.is_empty() && fuzzer.parsed_seeds() == 0 {
+        eprintln!("warning: no seed parses under the grammar; falling back to pure sampling");
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+    for _ in 0..count {
+        let input = fuzzer.next_input(&mut rng);
+        println!("{}", String::from_utf8_lossy(&input));
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! # GLADE reproduction — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *Bastani, Sharma, Aiken, Liang.
+//! "Synthesizing Program Input Grammars", PLDI 2017*: an algorithm that
+//! synthesizes a context-free grammar approximating a program's input
+//! language from a handful of seed inputs and blackbox membership queries,
+//! plus the paper's full evaluation stack (language-inference baselines,
+//! instrumented target programs, and three fuzzers).
+//!
+//! This crate re-exports the workspace's public APIs under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `glade-core` | The GLADE synthesis algorithm and oracles |
+//! | [`grammar`] | `glade-grammar` | Byte classes, regexes, CFGs, Earley, sampling |
+//! | [`automata`] | `glade-automata` | DFAs/NFAs, L-Star, RPNI baselines |
+//! | [`targets`] | `glade-targets` | Instrumented subject programs + handwritten grammars |
+//! | [`fuzz`] | `glade-fuzz` | Grammar / naive / afl-like fuzzers + campaigns |
+//! | [`eval`] | `glade-eval` | Precision/recall/F1 and experiment runners |
+//!
+//! # End-to-end example
+//!
+//! Learn a grammar for the XML target program and fuzz it:
+//!
+//! ```
+//! use glade_repro::core::{Glade, GladeConfig};
+//! use glade_repro::fuzz::{run_campaign, GrammarFuzzer};
+//! use glade_repro::targets::programs::Xml;
+//! use glade_repro::targets::{Target, TargetOracle};
+//! use rand::SeedableRng;
+//!
+//! let xml = Xml;
+//! let oracle = TargetOracle::new(&xml);
+//! let config = GladeConfig { max_queries: Some(20_000), ..GladeConfig::default() };
+//! let synthesis = Glade::with_config(config)
+//!     .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+//!     .unwrap();
+//!
+//! let mut fuzzer = GrammarFuzzer::new(synthesis.grammar, &[b"<a>hi</a>".to_vec()]);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let result = run_campaign(&xml, &mut fuzzer, 200, &mut rng);
+//! assert!(result.valid_rate() > 0.5, "most grammar-fuzzed inputs are valid");
+//! ```
+
+#![warn(missing_docs)]
+
+/// The GLADE synthesis algorithm (re-export of `glade-core`).
+pub mod core {
+    pub use glade_core::*;
+}
+
+/// Grammar substrate (re-export of `glade-grammar`).
+pub mod grammar {
+    pub use glade_grammar::*;
+}
+
+/// Automata and inference baselines (re-export of `glade-automata`).
+pub mod automata {
+    pub use glade_automata::*;
+}
+
+/// Evaluation subjects (re-export of `glade-targets`).
+pub mod targets {
+    pub use glade_targets::*;
+}
+
+/// Fuzzers and campaigns (re-export of `glade-fuzz`).
+pub mod fuzz {
+    pub use glade_fuzz::*;
+}
+
+/// Evaluation machinery (re-export of `glade-eval`).
+pub mod eval {
+    pub use glade_eval::*;
+}
