@@ -130,7 +130,7 @@ impl Dfa {
 
     /// Whether the DFA accepts `input`.
     pub fn accepts(&self, input: &[u8]) -> bool {
-        self.run(input).map_or(false, |s| self.is_accepting(s))
+        self.run(input).is_some_and(|s| self.is_accepting(s))
     }
 
     /// Whether the language is empty.
@@ -167,10 +167,8 @@ impl Dfa {
         let k = self.alphabet.len();
         let n = reach.len();
         // Initial partition: accepting vs rejecting.
-        let mut class: Vec<u32> = reach
-            .iter()
-            .map(|&s| u32::from(self.accepting[s as usize]))
-            .collect();
+        let mut class: Vec<u32> =
+            reach.iter().map(|&s| u32::from(self.accepting[s as usize])).collect();
         loop {
             // Signature = (class, classes of successors).
             let mut sig_map: HashMap<Vec<u32>, u32> = HashMap::new();
@@ -198,9 +196,9 @@ impl Dfa {
         for (i, &s) in reach.iter().enumerate() {
             let c = class[i] as usize;
             accepting[c] = self.accepting[s as usize];
-            for a in 0..k {
+            for (a, slot) in trans[c].iter_mut().enumerate() {
                 let t = self.step(s, a);
-                trans[c][a] = class[id_map[t as usize] as usize];
+                *slot = class[id_map[t as usize] as usize];
             }
         }
         let start = class[id_map[self.start as usize] as usize];
@@ -217,7 +215,9 @@ impl Dfa {
     pub fn difference_witness(&self, other: &Dfa) -> Option<Vec<u8>> {
         assert_eq!(self.alphabet, other.alphabet, "alphabet mismatch");
         let k = self.alphabet.len();
-        let mut seen: HashMap<(u32, u32), Option<(u32, u32, usize)>> = HashMap::new();
+        // product state -> predecessor product state + symbol (None at start)
+        type Breadcrumbs = HashMap<(u32, u32), Option<(u32, u32, usize)>>;
+        let mut seen: Breadcrumbs = HashMap::new();
         let startp = (self.start, other.start);
         seen.insert(startp, None);
         let mut queue = std::collections::VecDeque::from([startp]);
@@ -282,8 +282,8 @@ impl Dfa {
         // Pick a length weighted by count.
         let mut pick = rng.gen_range(0.0..total);
         let mut len = max_len;
-        for l in 0..=max_len {
-            let c = counts[l][self.start as usize];
+        for (l, row) in counts.iter().enumerate().take(max_len + 1) {
+            let c = row[self.start as usize];
             if pick < c {
                 len = l;
                 break;
@@ -294,9 +294,8 @@ impl Dfa {
         let mut out = Vec::with_capacity(len);
         let mut state = self.start;
         for remaining in (1..=len).rev() {
-            let weights: Vec<f64> = (0..k)
-                .map(|a| counts[remaining - 1][self.step(state, a) as usize])
-                .collect();
+            let weights: Vec<f64> =
+                (0..k).map(|a| counts[remaining - 1][self.step(state, a) as usize]).collect();
             let total: f64 = weights.iter().sum();
             debug_assert!(total > 0.0);
             let mut pick = rng.gen_range(0.0..total);
@@ -346,12 +345,7 @@ mod tests {
     fn ab_star() -> Dfa {
         let sigma = Alphabet::from_bytes(b"ab");
         // q0 accepting; q0 -a-> q1, q1 -b-> q0, others -> q2 dead.
-        Dfa::new(
-            sigma,
-            vec![vec![1, 2], vec![2, 0], vec![2, 2]],
-            vec![true, false, false],
-            0,
-        )
+        Dfa::new(sigma, vec![vec![1, 2], vec![2, 0], vec![2, 2]], vec![true, false, false], 0)
     }
 
     #[test]

@@ -220,12 +220,8 @@ impl LStar {
         let dfa = last_hypothesis.unwrap_or_else(|| {
             // No hypothesis was ever built; return the trie of known-positive
             // prefixes so the result is at least consistent with the cache.
-            let positives: Vec<Vec<u8>> = table
-                .cache
-                .iter()
-                .filter(|(_, &v)| v)
-                .map(|(k, _)| k.clone())
-                .collect();
+            let positives: Vec<Vec<u8>> =
+                table.cache.iter().filter(|(_, &v)| v).map(|(k, _)| k.clone()).collect();
             Dfa::from_strings(self.alphabet.clone(), positives)
         });
         LearnResult {
@@ -283,10 +279,10 @@ impl ObservationTable {
             }
         }
         for w in words {
-            if !self.cache.contains_key(&w) {
+            if let std::collections::hash_map::Entry::Vacant(e) = self.cache.entry(w) {
                 *queries += 1;
-                let v = membership(&w);
-                self.cache.insert(w, v);
+                let v = membership(e.key());
+                e.insert(v);
             }
         }
     }

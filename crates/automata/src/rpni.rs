@@ -110,9 +110,9 @@ impl MergedAut {
         let mut children: Vec<Vec<Option<u32>>> = vec![vec![None; k]];
         let mut labels = vec![Label::Unknown];
         let insert = |word: &[u8],
-                          label: Label,
-                          children: &mut Vec<Vec<Option<u32>>>,
-                          labels: &mut Vec<Label>|
+                      label: Label,
+                      children: &mut Vec<Vec<Option<u32>>>,
+                      labels: &mut Vec<Label>|
          -> Result<(), RpniError> {
             let mut cur = 0usize;
             for &b in word {
@@ -267,9 +267,9 @@ pub fn rpni(
     for &rep in &reps {
         let id = id_of(rep, &reps) as usize;
         accepting[id] = aut.labels[rep as usize] == Label::Accept;
-        for sym in 0..k {
+        for (sym, slot) in trans[id].iter_mut().enumerate() {
             if let Some(c) = aut.child(rep, sym) {
-                trans[id][sym] = id_of(c, &reps);
+                *slot = id_of(c, &reps);
             }
         }
     }

@@ -31,10 +31,8 @@ fn arb_input() -> impl Strategy<Value = Vec<u8>> {
 /// Random small DFA over {a, b}.
 fn arb_dfa() -> impl Strategy<Value = Dfa> {
     (2usize..6).prop_flat_map(|n| {
-        let trans = proptest::collection::vec(
-            proptest::collection::vec(0u32..n as u32, 2..=2),
-            n..=n,
-        );
+        let trans =
+            proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 2..=2), n..=n);
         let acc = proptest::collection::vec(any::<bool>(), n..=n);
         (trans, acc).prop_map(move |(t, a)| Dfa::new(Alphabet::from_bytes(b"ab"), t, a, 0))
     })

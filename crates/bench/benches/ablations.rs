@@ -16,10 +16,7 @@ fn variants() -> Vec<(&'static str, GladeConfig)> {
         ("full", GladeConfig::default()),
         ("no-phase2 (P1)", GladeConfig::phase1_only()),
         ("no-chargen", GladeConfig::without_char_generalization()),
-        (
-            "no-seed-skip",
-            GladeConfig { skip_redundant_seeds: false, ..GladeConfig::default() },
-        ),
+        ("no-seed-skip", GladeConfig { skip_redundant_seeds: false, ..GladeConfig::default() }),
         (
             "minimal (P1, no-chargen)",
             GladeConfig {
@@ -42,17 +39,11 @@ fn run_language(language: &Language, seeds: usize, eval_samples: usize) {
         let seed_inputs = sample_seeds(language, seeds, &mut rng);
         let oracle = language.oracle();
         let start = std::time::Instant::now();
-        let result = Glade::with_config(config)
-            .synthesize(&seed_inputs, &oracle)
-            .expect("seeds valid");
+        let result =
+            Glade::with_config(config).synthesize(&seed_inputs, &oracle).expect("seeds valid");
         let elapsed = start.elapsed();
-        let q = evaluate_grammar(
-            &result.grammar,
-            language.grammar(),
-            &oracle,
-            eval_samples,
-            &mut rng,
-        );
+        let q =
+            evaluate_grammar(&result.grammar, language.grammar(), &oracle, eval_samples, &mut rng);
         println!(
             "{:<26} {:>10.3} {:>8.3} {:>8.3} {:>9} {:>9.1} {:>5}+{:<2}",
             name,

@@ -20,11 +20,7 @@ fn bench_synthesis(c: &mut Criterion) {
     group.bench_function("toy_xml/full", |b| {
         let lang = toy_xml();
         let oracle = lang.oracle();
-        b.iter(|| {
-            Glade::new()
-                .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
-                .expect("valid seed")
-        })
+        b.iter(|| Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid seed"))
     });
 
     group.bench_function("toy_xml/phase1_only", |b| {
@@ -48,9 +44,7 @@ fn bench_synthesis(c: &mut Criterion) {
             let seeds = target.seeds();
             let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
             b.iter(|| {
-                Glade::with_config(config.clone())
-                    .synthesize(&seeds, &oracle)
-                    .expect("valid seeds")
+                Glade::with_config(config.clone()).synthesize(&seeds, &oracle).expect("valid seeds")
             })
         });
     }
@@ -64,8 +58,7 @@ fn bench_substrate(c: &mut Criterion) {
     let xml = Xml;
     let oracle = TargetOracle::new(&xml);
     let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
-    let synthesis =
-        Glade::with_config(config).synthesize(&xml.seeds(), &oracle).expect("valid");
+    let synthesis = Glade::with_config(config).synthesize(&xml.seeds(), &oracle).expect("valid");
     let grammar = synthesis.grammar;
     let doc = b"<root a=\"1\"><b/>text<c x='y'>&lt;</c></root>".to_vec();
 

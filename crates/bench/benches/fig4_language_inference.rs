@@ -34,7 +34,7 @@ fn main() {
             let mut times = Vec::new();
             let mut any_timeout = false;
             for run in 0..scale.runs {
-                let mut rng = StdRng::seed_from_u64(0xF16_4A + run as u64);
+                let mut rng = StdRng::seed_from_u64(0xF164A + run as u64);
                 let row = run_learner(&language, learner, &config, &mut rng);
                 f1s.push(row.f1());
                 precs.push(row.quality.precision);

@@ -17,16 +17,10 @@ use rand::SeedableRng;
 /// handpicked set rather than random samples).
 fn representative_seeds(language: &Language) -> Vec<Vec<u8>> {
     match language.name() {
-        "url" => vec![
-            b"http://foo.com".to_vec(),
-            b"https://www.ab.org/p?k=v".to_vec(),
-        ],
+        "url" => vec![b"http://foo.com".to_vec(), b"https://www.ab.org/p?k=v".to_vec()],
         "grep" => vec![b"a*b".to_vec(), b"\\(x\\|y\\)".to_vec(), b"[a-f]*".to_vec()],
         "lisp" => vec![b"(+ 1 2)".to_vec(), b"(f (g x))".to_vec()],
-        "xml" => vec![
-            b"<a x=\"1\">t</a>".to_vec(),
-            b"<a><b>u</b>v</a>".to_vec(),
-        ],
+        "xml" => vec![b"<a x=\"1\">t</a>".to_vec(), b"<a><b>u</b>v</a>".to_vec()],
         other => panic!("unknown language {other}"),
     }
 }

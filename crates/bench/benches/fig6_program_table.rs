@@ -15,10 +15,8 @@ fn main() {
     );
     for target in all_targets() {
         let seeds = target.seeds();
-        let seed_lines: usize = seeds
-            .iter()
-            .map(|s| s.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count())
-            .sum();
+        let seed_lines: usize =
+            seeds.iter().map(|s| s.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count()).sum();
         let oracle = TargetOracle::new(target.as_ref());
         let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
         let start = std::time::Instant::now();

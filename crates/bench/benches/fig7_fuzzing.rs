@@ -150,10 +150,9 @@ fn sample_grammar_coverage(
     samples: usize,
 ) -> f64 {
     let sampler = Sampler::new(grammar);
-    let mut rng = StdRng::seed_from_u64(0xF17_B);
+    let mut rng = StdRng::seed_from_u64(0xF17B);
     let mut seeds = target.seeds();
     seeds.extend((0..32).filter_map(|_| sampler.sample(&mut rng)));
-    let mut fuzzer =
-        GrammarFuzzer::new(grammar.clone(), &seeds).with_name("handwritten");
+    let mut fuzzer = GrammarFuzzer::new(grammar.clone(), &seeds).with_name("handwritten");
     run_campaign(target, &mut fuzzer, samples, &mut rng).valid_incremental_coverage()
 }

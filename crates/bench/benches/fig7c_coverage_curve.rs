@@ -24,8 +24,7 @@ fn main() {
     let seeds = python.seeds();
     let oracle = TargetOracle::new(&python);
     let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
-    let synthesis =
-        Glade::with_config(config).synthesize(&seeds, &oracle).expect("seeds valid");
+    let synthesis = Glade::with_config(config).synthesize(&seeds, &oracle).expect("seeds valid");
 
     let mut rng = StdRng::seed_from_u64(0xF17C);
     let mut naive = NaiveFuzzer::new(seeds.clone());

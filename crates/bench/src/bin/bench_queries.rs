@@ -1,0 +1,245 @@
+//! `bench-queries` — machine-readable benchmark of the membership-query
+//! engine, emitted as `BENCH_queries.json`.
+//!
+//! Two experiment families, so the perf trajectory of the query layer is
+//! recorded in-repo from this PR onward:
+//!
+//! 1. **`parallel_speedup`** — the full pipeline on the paper's running
+//!    example (`<a>hi</a>`, Figure 2) against an artificially slowed oracle
+//!    (default 100 µs per distinct query, `GLADE_BENCH_ORACLE_US` to
+//!    override), swept over worker counts. Reports per-stage wall times,
+//!    the wall-clock speedup of the parallel stages (phase-2 merge +
+//!    character generalization) versus the sequential path, and asserts
+//!    that the synthesized grammar is byte-identical and the distinct-query
+//!    count unchanged at every worker count.
+//! 2. **`pipeline`** — the fig4/fig5 synthesis configurations: full GLADE
+//!    on each handwritten Section 8.2 language (URL, Grep, Lisp, XML) plus
+//!    the toy-XML running-example language, with grammar-membership
+//!    oracles and sampled seeds. Reports wall time, unique/total queries,
+//!    and merge-pair counts.
+//!
+//! Usage: `cargo run --release -p glade-bench --bin bench-queries`
+//! (writes `BENCH_queries.json` to the current directory, override with
+//! `GLADE_BENCH_OUT`).
+
+use glade_core::{FnOracle, Glade, GladeConfig, Oracle, SynthesisStats};
+use glade_eval::sample_seeds;
+use glade_grammar::grammar_to_text;
+use glade_targets::languages::{section82_languages, toy_xml};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct SpeedupRow {
+    workers: usize,
+    stats: SynthesisStats,
+    grammar: String,
+    wall: Duration,
+}
+
+fn run_speedup(workers: usize, oracle_delay: Duration) -> SpeedupRow {
+    // Membership delegates to the canonical running-example language
+    // (`toy_xml`) so the bench can never drift from the language it claims
+    // to measure; the configurable delay stands in for target-program cost.
+    let inner = toy_xml().oracle();
+    let oracle = FnOracle::new(move |i: &[u8]| {
+        if !oracle_delay.is_zero() {
+            std::thread::sleep(oracle_delay);
+        }
+        inner.accepts(i)
+    });
+    let cfg = GladeConfig { worker_threads: Some(workers), ..GladeConfig::default() };
+    let start = Instant::now();
+    let result =
+        Glade::with_config(cfg).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid seed");
+    SpeedupRow {
+        workers,
+        grammar: grammar_to_text(&result.grammar),
+        stats: result.stats,
+        wall: start.elapsed(),
+    }
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Minimal JSON writer (no serde in the dependency set).
+struct Json {
+    out: String,
+    needs_comma: Vec<bool>,
+}
+
+impl Json {
+    fn new() -> Self {
+        Json { out: String::new(), needs_comma: Vec::new() }
+    }
+
+    fn sep(&mut self) {
+        if let Some(need) = self.needs_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    fn open_obj(&mut self, key: Option<&str>) {
+        self.sep();
+        if let Some(k) = key {
+            write!(self.out, "{:?}:", k).unwrap();
+        }
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    fn close_obj(&mut self) {
+        self.out.push('}');
+        self.needs_comma.pop();
+    }
+
+    fn open_arr(&mut self, key: &str) {
+        self.sep();
+        write!(self.out, "{:?}:[", key).unwrap();
+        self.needs_comma.push(false);
+    }
+
+    fn close_arr(&mut self) {
+        self.out.push(']');
+        self.needs_comma.pop();
+    }
+
+    fn num(&mut self, key: &str, v: f64) {
+        self.sep();
+        write!(self.out, "{:?}:{:.6}", key, v).unwrap();
+    }
+
+    fn int(&mut self, key: &str, v: usize) {
+        self.sep();
+        write!(self.out, "{:?}:{}", key, v).unwrap();
+    }
+
+    fn boolean(&mut self, key: &str, v: bool) {
+        self.sep();
+        write!(self.out, "{:?}:{}", key, v).unwrap();
+    }
+
+    fn string(&mut self, key: &str, v: &str) {
+        self.sep();
+        write!(self.out, "{:?}:{:?}", key, v).unwrap();
+    }
+}
+
+fn stats_fields(j: &mut Json, stats: &SynthesisStats) {
+    j.int("unique_queries", stats.unique_queries);
+    j.int("total_queries", stats.total_queries);
+    j.int("merge_pairs_tried", stats.merge_pairs_tried);
+    j.int("merges_accepted", stats.merges_accepted);
+    j.int("chars_generalized", stats.chars_generalized);
+    j.num("phase1_secs", secs(stats.phase1_time));
+    j.num("chargen_secs", secs(stats.chargen_time));
+    j.num("phase2_secs", secs(stats.phase2_time));
+}
+
+fn main() {
+    let oracle_us: u64 =
+        std::env::var("GLADE_BENCH_ORACLE_US").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
+    let oracle_delay = Duration::from_micros(oracle_us);
+    let out_path = std::env::var("GLADE_BENCH_OUT").unwrap_or_else(|_| "BENCH_queries.json".into());
+
+    let mut j = Json::new();
+    j.open_obj(None);
+    j.string("bench", "glade membership-query engine");
+    j.int("oracle_delay_us", oracle_us as usize);
+    j.int("available_parallelism", std::thread::available_parallelism().map_or(1, |n| n.get()));
+
+    // ---- Experiment 1: worker-count sweep on the running example. ----
+    eprintln!("[bench-queries] parallel_speedup: oracle delay {oracle_us} µs");
+    let worker_counts = [1usize, 2, 4, 8];
+    let rows: Vec<SpeedupRow> =
+        worker_counts.iter().map(|&w| run_speedup(w, oracle_delay)).collect();
+    let baseline = &rows[0];
+    // The parallel stages of the pipeline: phase-2 merge + chargen.
+    let par_stage = |r: &SpeedupRow| r.stats.chargen_time + r.stats.phase2_time;
+
+    j.open_arr("parallel_speedup");
+    for row in &rows {
+        let stage_speedup = secs(par_stage(baseline)) / secs(par_stage(row)).max(1e-9);
+        let wall_speedup = secs(baseline.wall) / secs(row.wall).max(1e-9);
+        eprintln!(
+            "[bench-queries]   workers={} wall={:.3}s merge+chargen={:.3}s (x{:.2}) unique={}",
+            row.workers,
+            secs(row.wall),
+            secs(par_stage(row)),
+            stage_speedup,
+            row.stats.unique_queries,
+        );
+        j.open_obj(None);
+        j.int("workers", row.workers);
+        j.num("wall_secs", secs(row.wall));
+        j.num("merge_chargen_secs", secs(par_stage(row)));
+        j.num("merge_chargen_speedup_vs_sequential", stage_speedup);
+        j.num("wall_speedup_vs_sequential", wall_speedup);
+        j.boolean("grammar_identical_to_sequential", row.grammar == baseline.grammar);
+        j.boolean(
+            "unique_queries_equal_to_sequential",
+            row.stats.unique_queries == baseline.stats.unique_queries,
+        );
+        stats_fields(&mut j, &row.stats);
+        j.close_obj();
+    }
+    j.close_arr();
+
+    for row in &rows[1..] {
+        assert_eq!(row.grammar, baseline.grammar, "grammar drifted at {} workers", row.workers);
+        assert_eq!(
+            row.stats.unique_queries, baseline.stats.unique_queries,
+            "query count drifted at {} workers",
+            row.workers
+        );
+    }
+
+    // ---- Experiment 2: fig4/fig5 pipeline configs. ----
+    j.open_arr("pipeline");
+    let mut languages = section82_languages();
+    languages.push(toy_xml());
+    for language in &languages {
+        let mut rng = StdRng::seed_from_u64(17);
+        let seeds = sample_seeds(language, 10, &mut rng);
+        let oracle = language.oracle();
+        let cfg = GladeConfig { max_queries: Some(200_000), ..GladeConfig::default() };
+        let start = Instant::now();
+        match Glade::with_config(cfg).synthesize(&seeds, &oracle) {
+            Ok(result) => {
+                let wall = start.elapsed();
+                eprintln!(
+                    "[bench-queries] pipeline {}: wall={:.3}s unique={} merges={}/{}",
+                    language.name(),
+                    secs(wall),
+                    result.stats.unique_queries,
+                    result.stats.merges_accepted,
+                    result.stats.merge_pairs_tried,
+                );
+                j.open_obj(None);
+                j.string("language", language.name());
+                j.int("num_seeds", seeds.len());
+                j.num("wall_secs", secs(wall));
+                j.boolean("budget_exhausted", result.stats.budget_exhausted);
+                stats_fields(&mut j, &result.stats);
+                j.close_obj();
+            }
+            Err(e) => {
+                j.open_obj(None);
+                j.string("language", language.name());
+                j.string("error", &e.to_string());
+                j.close_obj();
+            }
+        }
+    }
+    j.close_arr();
+    j.close_obj();
+
+    std::fs::write(&out_path, format!("{}\n", j.out)).expect("write BENCH_queries.json");
+    eprintln!("[bench-queries] wrote {out_path}");
+}

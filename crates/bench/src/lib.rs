@@ -36,10 +36,11 @@ impl Scale {
     pub fn from_env() -> Scale {
         let paper = std::env::var("GLADE_SCALE").is_ok_and(|v| v == "paper");
         let get = |name: &str, dflt: usize, paper_v: usize| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(if paper { paper_v } else { dflt })
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(if paper {
+                paper_v
+            } else {
+                dflt
+            })
         };
         Scale {
             seeds: get("GLADE_SEEDS", 20, 50),

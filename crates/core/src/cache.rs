@@ -1,0 +1,122 @@
+//! Mutex-striped concurrent query cache.
+//!
+//! Both [`CachingOracle`](crate::CachingOracle) and the internal
+//! `QueryRunner` memoize membership queries. The single-threaded seed
+//! implementation used `RefCell<HashMap>`; to let checks fan out across
+//! worker threads the cache is now sharded: keys are distributed over N
+//! independently locked `HashMap` shards by hash, so concurrent lookups and
+//! inserts of different keys almost never contend on the same mutex. The
+//! entry count is tracked with a relaxed atomic incremented on successful
+//! insert, making `len()` lock-free.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of mutex stripes. 16 keeps contention negligible for the worker
+/// counts this crate spawns (bounded by available cores) at trivial memory
+/// cost.
+const SHARD_COUNT: usize = 16;
+
+/// Deterministic (unkeyed) hasher: shard choice and dedup hashing must not
+/// vary between runs, so synthesis stays reproducible.
+type FixedState = BuildHasherDefault<DefaultHasher>;
+
+/// Hashes a query string with the crate's fixed hasher.
+pub(crate) fn hash_query(key: &[u8]) -> u64 {
+    FixedState::default().hash_one(key)
+}
+
+/// A `Sync` map from query strings to oracle verdicts.
+#[derive(Debug)]
+pub(crate) struct ShardedCache {
+    shards: Vec<Mutex<HashMap<Vec<u8>, bool, FixedState>>>,
+    len: AtomicUsize,
+}
+
+impl ShardedCache {
+    pub fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::default())).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<HashMap<Vec<u8>, bool, FixedState>> {
+        // High bits: the low bits also pick the HashMap bucket.
+        let h = hash_query(key);
+        &self.shards[(h >> 59) as usize % SHARD_COUNT]
+    }
+
+    /// Looks up a cached verdict.
+    pub fn get(&self, key: &[u8]) -> Option<bool> {
+        self.shard(key).lock().expect("cache shard poisoned").get(key).copied()
+    }
+
+    /// Records a verdict; returns `true` if the key was not cached before.
+    /// An already-present key keeps its original verdict (oracles are
+    /// deterministic, so both verdicts agree).
+    pub fn insert(&self, key: Vec<u8>, verdict: bool) -> bool {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut fresh = false;
+        shard.entry(key).or_insert_with(|| {
+            fresh = true;
+            verdict
+        });
+        drop(shard);
+        if fresh {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Number of distinct cached queries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_len() {
+        let c = ShardedCache::new();
+        assert_eq!(c.get(b"x"), None);
+        assert!(c.insert(b"x".to_vec(), true));
+        assert!(!c.insert(b"x".to_vec(), false), "duplicate insert is not fresh");
+        assert_eq!(c.get(b"x"), Some(true), "first verdict wins");
+        assert!(c.insert(b"y".to_vec(), false));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_inserts_count_once_per_key() {
+        let c = ShardedCache::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        c.insert(i.to_le_bytes().to_vec(), t % 2 == 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_query(b"abc"), hash_query(b"abc"));
+        assert_ne!(hash_query(b"abc"), hash_query(b"abd"));
+    }
+
+    #[test]
+    fn cache_is_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<ShardedCache>();
+    }
+}

@@ -12,10 +12,18 @@
 //! check passes in *every* context, which matches the two example checks
 //! the paper gives for generalizing `h` (`<a>ai</a>` and `<a>a</a>`).
 
-use crate::runner::QueryRunner;
+use crate::runner::{CheckSpec, QueryRunner};
 use crate::tree::Node;
 
 /// Widens every terminal position of `tree` against `test_bytes`.
+///
+/// The per-byte probes are independent, so each terminal run's full probe
+/// set — every `(position, candidate byte, context)` triple — is described
+/// as borrowed [`CheckSpec`] segments and posed as one batch, which the
+/// [`QueryRunner`] dedups and fans out across its worker pool. A byte joins
+/// the class at a position only if its probe is accepted in *every*
+/// context; verdicts are folded sequentially, so the result is independent
+/// of worker count.
 ///
 /// Returns the number of (position, byte) pairs accepted.
 pub(crate) fn generalize_chars(
@@ -25,26 +33,33 @@ pub(crate) fn generalize_chars(
 ) -> usize {
     let mut accepted = 0usize;
     tree.visit_consts_mut(&mut |c| {
+        // One probe per context per candidate; `probes` remembers how many
+        // consecutive verdicts belong to each (position, byte) pair.
+        let mut checks: Vec<CheckSpec<'_>> = Vec::new();
+        let mut probes: Vec<(usize, u8)> = Vec::new();
         for i in 0..c.original.len() {
-            for &sigma in test_bytes {
+            for (k, &sigma) in test_bytes.iter().enumerate() {
                 if sigma == c.original[i] || c.classes[i].contains(sigma) {
                     continue;
                 }
-                let ok = c.contexts.iter().all(|ctx| {
-                    let mut probe = Vec::with_capacity(
-                        ctx.before.len() + c.original.len() + ctx.after.len(),
-                    );
-                    probe.extend_from_slice(&ctx.before);
-                    probe.extend_from_slice(&c.original[..i]);
-                    probe.push(sigma);
-                    probe.extend_from_slice(&c.original[i + 1..]);
-                    probe.extend_from_slice(&ctx.after);
-                    runner.accepts(&probe)
-                });
-                if ok {
-                    c.classes[i].insert(sigma);
-                    accepted += 1;
+                for ctx in &c.contexts {
+                    checks.push(CheckSpec::new(&[
+                        &ctx.before,
+                        &c.original[..i],
+                        &test_bytes[k..k + 1],
+                        &c.original[i + 1..],
+                        &ctx.after,
+                    ]));
                 }
+                probes.push((i, sigma));
+            }
+        }
+        let verdicts = runner.accepts_batch(&checks);
+        let per_probe = c.contexts.len();
+        for (p, &(i, sigma)) in probes.iter().enumerate() {
+            if verdicts[p * per_probe..(p + 1) * per_probe].iter().all(|&v| v) {
+                c.classes[i].insert(sigma);
+                accepted += 1;
             }
         }
     });
@@ -86,7 +101,7 @@ mod tests {
         // Section 6.2: h and i generalize to a..z; the tag bytes < a > /
         // do not generalize.
         let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let mut tree = p1.generalize_seed(b"<a>hi</a>");
         generalize_chars(&mut tree, &runner, &default_test_bytes());
@@ -103,9 +118,8 @@ mod tests {
     #[test]
     fn digits_generalize_in_digit_language() {
         // L = nonempty digit strings.
-        let oracle =
-            FnOracle::new(|i: &[u8]| !i.is_empty() && i.iter().all(u8::is_ascii_digit));
-        let runner = QueryRunner::new(&oracle, None, None);
+        let oracle = FnOracle::new(|i: &[u8]| !i.is_empty() && i.iter().all(u8::is_ascii_digit));
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let mut tree = p1.generalize_seed(b"7");
         generalize_chars(&mut tree, &runner, &default_test_bytes());
@@ -119,7 +133,7 @@ mod tests {
     #[test]
     fn counts_accepted_pairs() {
         let oracle = FnOracle::new(|i: &[u8]| i.len() == 1 && i[0].is_ascii_lowercase());
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let mut tree = p1.generalize_seed(b"m");
         let n = generalize_chars(&mut tree, &runner, &default_test_bytes());
@@ -131,7 +145,7 @@ mod tests {
     #[test]
     fn respects_budget() {
         let oracle = FnOracle::new(|_: &[u8]| true);
-        let runner = QueryRunner::new(&oracle, Some(0), None);
+        let runner = QueryRunner::new(&oracle, Some(0), None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let mut tree = p1.generalize_seed(b"q");
         let n = generalize_chars(&mut tree, &runner, &default_test_bytes());

@@ -56,8 +56,38 @@
 //! # Ok::<(), glade_core::SynthesisError>(())
 //! ```
 
+//! # Oracle thread-safety contract
+//!
+//! Membership queries dominate GLADE's cost, so the query layer is built
+//! for concurrency: phase two's pairwise merge checks and character
+//! generalization's byte probes are batched and fanned out across a scoped
+//! worker pool, and every cache on the query path is sharded and
+//! lock-striped (no `RefCell`/`Cell` anywhere on the hot path). This places
+//! two obligations on every [`Oracle`] implementation:
+//!
+//! 1. **`Send + Sync`** — the trait requires it. One oracle value is
+//!    shared by reference across worker threads and queried concurrently.
+//!    Wrap mutable instrumentation state in atomics or locks, never in
+//!    `Cell`/`RefCell`.
+//! 2. **Determinism** — repeated queries for the same input must return
+//!    the same verdict, across threads and across time. The synthesis
+//!    algorithm's monotonicity argument depends on it, and the batched
+//!    engine may let duplicate in-flight queries race to the cache
+//!    (first verdict wins — harmless only when verdicts agree).
+//!
+//! Given a deterministic oracle and no `time_limit`, synthesis itself is
+//! deterministic and *independent of the worker count*
+//! ([`GladeConfig::worker_threads`]): batches are constructed identically
+//! in every mode, only the verdicts are computed concurrently, and all
+//! merge/widening decisions are applied sequentially in a fixed order.
+//! With a `time_limit`, which queries beat the deadline depends on
+//! wall-clock speed — and therefore on the machine and the worker count —
+//! so deadline-degraded runs keep the safety guarantees (fail-closed,
+//! seeds preserved) but not byte-for-byte reproducibility.
+
 #![warn(missing_docs)]
 
+mod cache;
 mod chargen;
 mod oracle;
 mod phase1;

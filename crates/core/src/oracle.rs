@@ -13,18 +13,35 @@
 //!   validity from its exit status, exactly like the paper's setup where "we
 //!   run the program on input α … and conclude that α is a valid input if
 //!   the program does not print an error message".
+//!
+//! # Thread safety
+//!
+//! `Oracle` requires `Send + Sync`: the query engine fans batched checks out
+//! across a scoped worker pool, so one oracle value is shared by several
+//! threads and queried concurrently. See the crate-level documentation for
+//! the full contract (determinism + thread safety).
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use crate::cache::ShardedCache;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Blackbox membership access to a target language.
 ///
-/// Implementations must be deterministic: GLADE's monotonicity argument
-/// assumes repeated queries agree.
-pub trait Oracle {
+/// # Contract
+///
+/// Implementations must be **deterministic**: repeated queries for the same
+/// input must agree, across threads and across time. GLADE's monotonicity
+/// argument assumes this, and so does the parallel query engine — duplicate
+/// in-flight queries may each reach the oracle, and whichever verdict lands
+/// in the cache first is kept.
+///
+/// Implementations must be **thread-safe** (`Send + Sync`): membership
+/// checks are batched and dispatched concurrently from a scoped worker
+/// pool, all sharing `&self`.
+pub trait Oracle: Send + Sync {
     /// Returns whether `input` is a valid program input (`input ∈ L*`).
     fn accepts(&self, input: &[u8]) -> bool;
 }
@@ -41,7 +58,17 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
     }
 }
 
+impl<O: Oracle + ?Sized> Oracle for Arc<O> {
+    fn accepts(&self, input: &[u8]) -> bool {
+        (**self).accepts(input)
+    }
+}
+
 /// An oracle backed by a predicate function.
+///
+/// The predicate must be `Sync` (shared by query worker threads); any pure
+/// function qualifies. Use atomics rather than `Cell`/`RefCell` for
+/// instrumentation state inside test predicates.
 ///
 /// # Examples
 ///
@@ -57,14 +84,14 @@ pub struct FnOracle<F> {
     f: F,
 }
 
-impl<F: Fn(&[u8]) -> bool> FnOracle<F> {
+impl<F: Fn(&[u8]) -> bool + Send + Sync> FnOracle<F> {
     /// Wraps predicate `f`.
     pub fn new(f: F) -> Self {
         FnOracle { f }
     }
 }
 
-impl<F: Fn(&[u8]) -> bool> Oracle for FnOracle<F> {
+impl<F: Fn(&[u8]) -> bool + Send + Sync> Oracle for FnOracle<F> {
     fn accepts(&self, input: &[u8]) -> bool {
         (self.f)(input)
     }
@@ -75,6 +102,8 @@ impl<F: Fn(&[u8]) -> bool> Oracle for FnOracle<F> {
 /// GLADE issues many duplicate membership queries (identical checks arise
 /// from different candidates); caching them is the paper's implicit
 /// assumption that "each query to O takes constant time" (Section 4.4).
+/// The cache is mutex-striped and the counters are atomic, so a single
+/// `CachingOracle` serves all query worker threads concurrently.
 ///
 /// # Examples
 ///
@@ -91,24 +120,28 @@ impl<F: Fn(&[u8]) -> bool> Oracle for FnOracle<F> {
 #[derive(Debug)]
 pub struct CachingOracle<O> {
     inner: O,
-    cache: RefCell<HashMap<Vec<u8>, bool>>,
-    total: Cell<usize>,
+    cache: ShardedCache,
+    total: AtomicUsize,
 }
 
 impl<O: Oracle> CachingOracle<O> {
     /// Wraps `inner` with an empty cache.
     pub fn new(inner: O) -> Self {
-        CachingOracle { inner, cache: RefCell::new(HashMap::new()), total: Cell::new(0) }
+        CachingOracle { inner, cache: ShardedCache::new(), total: AtomicUsize::new(0) }
     }
 
     /// Number of queries answered (including cache hits).
     pub fn total_queries(&self) -> usize {
-        self.total.get()
+        self.total.load(Ordering::Relaxed)
     }
 
     /// Number of distinct inputs forwarded to the inner oracle.
+    ///
+    /// Under concurrency, racing misses for the same input may each reach
+    /// the inner oracle; the count reflects distinct *cached* inputs, which
+    /// is the paper's cost measure.
     pub fn unique_queries(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.len()
     }
 
     /// Consumes the wrapper, returning the inner oracle.
@@ -119,12 +152,12 @@ impl<O: Oracle> CachingOracle<O> {
 
 impl<O: Oracle> Oracle for CachingOracle<O> {
     fn accepts(&self, input: &[u8]) -> bool {
-        self.total.set(self.total.get() + 1);
-        if let Some(&v) = self.cache.borrow().get(input) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.cache.get(input) {
             return v;
         }
         let v = self.inner.accepts(input);
-        self.cache.borrow_mut().insert(input.to_vec(), v);
+        self.cache.insert(input.to_vec(), v);
         v
     }
 }
@@ -139,11 +172,61 @@ pub enum InputMode {
     TempFile,
 }
 
+/// Counting semaphore bounding concurrent child processes.
+#[derive(Debug)]
+struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore { permits: Mutex::new(permits), available: Condvar::new() }
+    }
+
+    fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("semaphore poisoned");
+        }
+        *permits -= 1;
+        SemaphoreGuard { sem: self }
+    }
+}
+
+struct SemaphoreGuard<'s> {
+    sem: &'s Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.sem.permits.lock().expect("semaphore poisoned");
+        *permits += 1;
+        self.sem.available.notify_one();
+    }
+}
+
+/// Process-wide counter distinguishing concurrent temp files. The previous
+/// scheme (`input.as_ptr() ^ input.len()`) collided for identical-length
+/// inputs whose buffers reused an address — guaranteed corruption once
+/// queries run in parallel.
+static TEMP_FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 /// Spawns an external program per membership query.
 ///
 /// The input is judged valid when the process exits with status zero —
 /// mirroring the paper's blackbox setup. Use [`ProcessOracle::require_empty_stderr`]
 /// for programs that signal parse errors on stderr but still exit 0.
+///
+/// # Concurrency
+///
+/// `ProcessOracle` is `Sync` and may be queried from many worker threads at
+/// once. Because validity is read from the *exit status*, each query
+/// inherently needs its own child process; a persistent in-process worker
+/// would change the oracle's semantics. What the paper's cost model needs
+/// is admission control, not process reuse: [`ProcessOracle::max_concurrent`]
+/// installs a counting semaphore so a large batch fan-out cannot fork-bomb
+/// the machine. Clones share the same limiter.
 ///
 /// # Examples
 ///
@@ -154,7 +237,8 @@ pub enum InputMode {
 /// let oracle = ProcessOracle::new("xmllint")
 ///     .arg("--noout")
 ///     .arg("{}")
-///     .input_mode(InputMode::TempFile);
+///     .input_mode(InputMode::TempFile)
+///     .max_concurrent(8);
 /// let _ = oracle.accepts(b"<a>hi</a>");
 /// ```
 #[derive(Debug, Clone)]
@@ -163,6 +247,7 @@ pub struct ProcessOracle {
     args: Vec<String>,
     input_mode: InputMode,
     require_empty_stderr: bool,
+    limiter: Option<Arc<Semaphore>>,
 }
 
 impl ProcessOracle {
@@ -173,6 +258,7 @@ impl ProcessOracle {
             args: Vec::new(),
             input_mode: InputMode::Stdin,
             require_empty_stderr: false,
+            limiter: None,
         }
     }
 
@@ -195,10 +281,20 @@ impl ProcessOracle {
         self.require_empty_stderr = yes;
         self
     }
+
+    /// Bounds the number of child processes in flight at once (shared by
+    /// clones of this oracle). `n` must be nonzero.
+    pub fn max_concurrent(mut self, n: usize) -> Self {
+        assert!(n > 0, "max_concurrent requires at least one permit");
+        self.limiter = Some(Arc::new(Semaphore::new(n)));
+        self
+    }
 }
 
 impl Oracle for ProcessOracle {
     fn accepts(&self, input: &[u8]) -> bool {
+        let _permit = self.limiter.as_ref().map(|l| l.acquire());
+
         let run = |cmd: &mut Command, stdin_payload: Option<&[u8]>| -> Option<(bool, Vec<u8>)> {
             cmd.stdout(Stdio::null()).stderr(Stdio::piped());
             cmd.stdin(if stdin_payload.is_some() { Stdio::piped() } else { Stdio::null() });
@@ -220,10 +316,9 @@ impl Oracle for ProcessOracle {
             }
             InputMode::TempFile => {
                 let path = std::env::temp_dir().join(format!(
-                    "glade-oracle-{}-{:x}.in",
+                    "glade-oracle-{}-{}.in",
                     std::process::id(),
-                    // Distinguish concurrent queries without extra deps.
-                    input.as_ptr() as usize ^ input.len()
+                    TEMP_FILE_COUNTER.fetch_add(1, Ordering::Relaxed),
                 ));
                 if std::fs::write(&path, input).is_err() {
                     return false;
@@ -261,10 +356,9 @@ mod tests {
 
     #[test]
     fn caching_oracle_counts_and_memoizes() {
-        use std::cell::Cell;
-        let calls = Cell::new(0usize);
+        let calls = AtomicUsize::new(0);
         let o = CachingOracle::new(FnOracle::new(|i: &[u8]| {
-            calls.set(calls.get() + 1);
+            calls.fetch_add(1, Ordering::Relaxed);
             i.is_empty()
         }));
         assert!(o.accepts(b""));
@@ -272,7 +366,25 @@ mod tests {
         assert!(!o.accepts(b"x"));
         assert_eq!(o.total_queries(), 3);
         assert_eq!(o.unique_queries(), 2);
-        assert_eq!(calls.get(), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn caching_oracle_is_consistent_under_concurrency() {
+        let o = CachingOracle::new(FnOracle::new(|i: &[u8]| i.len().is_multiple_of(2)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let o = &o;
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let input = i.to_le_bytes();
+                        assert_eq!(o.accepts(&input), input.len() % 2 == 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(o.unique_queries(), 200);
+        assert_eq!(o.total_queries(), 800);
     }
 
     #[test]
@@ -285,6 +397,17 @@ mod tests {
         // The blanket &O impl also composes.
         let r = &o;
         assert!(r.accepts(b"y"));
+    }
+
+    #[test]
+    fn oracle_impls_are_send_sync() {
+        fn assert_oracle<T: Oracle + Send + Sync>() {}
+        assert_oracle::<FnOracle<fn(&[u8]) -> bool>>();
+        assert_oracle::<CachingOracle<FnOracle<fn(&[u8]) -> bool>>>();
+        assert_oracle::<ProcessOracle>();
+        assert_oracle::<Box<dyn Oracle>>();
+        assert_oracle::<Arc<dyn Oracle>>();
+        assert_oracle::<&dyn Oracle>();
     }
 
     #[cfg(unix)]
@@ -311,8 +434,55 @@ mod tests {
 
     #[cfg(unix)]
     #[test]
+    fn process_oracle_tempfile_concurrent_queries_do_not_collide() {
+        // Identical-length inputs hammered from many threads: under the old
+        // pointer-based temp naming these raced on the same file.
+        let o = ProcessOracle::new("grep")
+            .arg("-q")
+            .arg("needle")
+            .arg("{}")
+            .input_mode(InputMode::TempFile)
+            .max_concurrent(8);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let o = &o;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        if t % 2 == 0 {
+                            assert!(o.accepts(b"needle--"), "thread {t}");
+                        } else {
+                            assert!(!o.accepts(b"haystack"), "thread {t}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[cfg(unix)]
+    #[test]
     fn process_oracle_missing_program_rejects() {
         let o = ProcessOracle::new("/nonexistent/program/glade");
         assert!(!o.accepts(b"anything"));
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sem = Semaphore::new(2);
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (sem, active, peak) = (&sem, &active, &peak);
+                s.spawn(move || {
+                    let _g = sem.acquire();
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
     }
 }

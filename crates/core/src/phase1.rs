@@ -28,7 +28,7 @@
 //! forever on the same string. This matches Figure 2 (step R3 proposes no
 //! full-star candidate) and the meta-grammar's unambiguity requirement.
 
-use crate::runner::QueryRunner;
+use crate::runner::{CheckSpec, QueryRunner};
 use crate::tree::{AltNode, ConstNode, Context, Node, RepNode, StarNode};
 
 /// Phase-one synthesizer state.
@@ -59,8 +59,15 @@ impl<'a, 'o> Phase1<'a, 'o> {
         id
     }
 
-    fn check(&self, ctx: &Context, residual: &[u8]) -> bool {
-        self.runner.accepts(&ctx.wrap(residual))
+    /// Poses the two residual checks of one candidate as a single batch:
+    /// the pair is built from borrowed segments (no per-candidate
+    /// concatenation) and can hit the oracle concurrently. The greedy
+    /// candidate loop itself stays sequential — each decision feeds the
+    /// next — but its two checks per candidate are independent.
+    fn check_pair(&self, ctx: &Context, first: &[&[u8]], second: &[&[u8]]) -> bool {
+        let checks = [CheckSpec::wrapped(ctx, first), CheckSpec::wrapped(ctx, second)];
+        let verdicts = self.runner.accepts_batch(&checks);
+        verdicts[0] && verdicts[1]
     }
 
     /// Generalizes `[α]rep` in context `(γ, δ)`.
@@ -80,22 +87,19 @@ impl<'a, 'o> Phase1<'a, 'o> {
                 let (a1, a2, a3) =
                     (&alpha[..a1_len], &alpha[a1_len..a1_len + a2_len], &alpha[a1_len + a2_len..]);
                 // Residuals: zero and two repetitions of α2.
-                let r0 = [a1, a3].concat();
-                let r2 = [a1, a2, a2, a3].concat();
-                if !(self.check(&ctx, &r0) && self.check(&ctx, &r2)) {
+                if !self.check_pair(&ctx, &[a1, a3], &[a1, a2, a2, a3]) {
                     continue;
                 }
                 // Candidate accepted: build contexts per Section 4.3.
                 let star_ctx = ctx.narrowed(a1, a3); // for [α2]alt
                 let rest_ctx = ctx.narrowed(&[a1, a2].concat(), b""); // for [α3]rep
+
                 // Character-generalization contexts for the literal α1: the
                 // zero-repetition form (γ, α3 δ) from Section 6.2's formula,
                 // plus the one-repetition form (γ, α2 α3 δ) matching the
                 // paper's `aa>hi</a>` example check.
-                let pre_contexts = vec![
-                    ctx.narrowed(b"", a3),
-                    ctx.narrowed(b"", &[a2, a3].concat()),
-                ];
+                let pre_contexts =
+                    vec![ctx.narrowed(b"", a3), ctx.narrowed(b"", &[a2, a3].concat())];
                 let inner = self.generalize_alt(a2, star_ctx.clone());
                 let rest = self.generalize_rep(a3, rest_ctx, true);
                 return Node::Rep(Box::new(RepNode {
@@ -122,7 +126,7 @@ impl<'a, 'o> Phase1<'a, 'o> {
             let (a1, a2) = (&alpha[..a1_len], &alpha[a1_len..]);
             // Residuals: each branch alone (the alternation always sits
             // inside a repetition, so a single branch is a valid residual).
-            if !(self.check(&ctx, a1) && self.check(&ctx, a2)) {
+            if !self.check_pair(&ctx, &[a1], &[a2]) {
                 continue;
             }
             let left_ctx = ctx.narrowed(b"", a2);
@@ -173,7 +177,7 @@ mod tests {
 
     fn synthesize_regex(seed: &[u8]) -> Regex {
         let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         p1.generalize_seed(seed).to_regex()
     }
@@ -205,7 +209,7 @@ mod tests {
     #[test]
     fn running_example_star_metadata() {
         let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"<a>hi</a>");
         let mut stars = Vec::new();
@@ -238,7 +242,7 @@ mod tests {
     fn fixed_format_stays_constant() {
         // Language: exactly "ab". Nothing can generalize.
         let oracle = FnOracle::new(|i: &[u8]| i == b"ab");
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let r = p1.generalize_seed(b"ab").to_regex();
         assert!(r.is_match(b"ab"));
@@ -250,7 +254,7 @@ mod tests {
     #[test]
     fn budget_exhaustion_degrades_to_seed() {
         let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, Some(0), None);
+        let runner = QueryRunner::new(&oracle, Some(0), None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let r = p1.generalize_seed(b"<a>hi</a>").to_regex();
         // With no query budget every candidate is rejected: the language
@@ -265,28 +269,32 @@ mod tests {
         // Proposition 4.1: every generalization step is monotone, so the
         // seed remains a member at every step; check the final result for a
         // few different languages.
-        let oracles: Vec<(&[u8], Box<dyn Fn(&[u8]) -> bool>)> = vec![
+        type BoxedPredicate = Box<dyn Fn(&[u8]) -> bool + Send + Sync>;
+        let oracles: Vec<(&[u8], BoxedPredicate)> = vec![
             (b"<a>hi</a>", Box::new(xml_like_accepts)),
             (b"aaa", Box::new(|i: &[u8]| i.iter().all(|&b| b == b'a'))),
-            (b"[]", Box::new(|i: &[u8]| {
-                // Balanced brackets.
-                let mut depth = 0i32;
-                for &b in i {
-                    match b {
-                        b'[' => depth += 1,
-                        b']' => depth -= 1,
-                        _ => return false,
+            (
+                b"[]",
+                Box::new(|i: &[u8]| {
+                    // Balanced brackets.
+                    let mut depth = 0i32;
+                    for &b in i {
+                        match b {
+                            b'[' => depth += 1,
+                            b']' => depth -= 1,
+                            _ => return false,
+                        }
+                        if depth < 0 {
+                            return false;
+                        }
                     }
-                    if depth < 0 {
-                        return false;
-                    }
-                }
-                depth == 0
-            })),
+                    depth == 0
+                }),
+            ),
         ];
         for (seed, f) in oracles {
             let oracle = FnOracle::new(f);
-            let runner = QueryRunner::new(&oracle, None, None);
+            let runner = QueryRunner::new(&oracle, None, None, 2);
             let mut p1 = Phase1::new(&runner, 0);
             let r = p1.generalize_seed(seed).to_regex();
             assert!(r.is_match(seed), "seed {:?} lost", String::from_utf8_lossy(seed));
@@ -297,7 +305,7 @@ mod tests {
     fn terminates_on_permissive_oracle() {
         // Σ* accepts everything: the greedy search must still terminate.
         let oracle = FnOracle::new(|_: &[u8]| true);
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let r = p1.generalize_seed(b"abcd").to_regex();
         assert!(r.is_match(b"abcd"));

@@ -20,7 +20,7 @@
 //! style recursion (Definition 5.2, Proposition 5.3) that no regular
 //! expression captures.
 
-use crate::runner::QueryRunner;
+use crate::runner::{CheckSpec, QueryRunner};
 use crate::tree::{Node, StarNode, UnionFind};
 
 /// Outcome counters for phase two.
@@ -31,6 +31,14 @@ pub(crate) struct MergeStats {
 }
 
 /// Runs the merge phase over all star nodes of all seed trees.
+///
+/// The O(stars²) cross-substitution checks are independent of one another,
+/// so all of them are described up front (as borrowed [`CheckSpec`]
+/// segments — no residual strings are materialized) and posed as one batch
+/// that the [`QueryRunner`] dedups, caches, and fans out across its worker
+/// pool. The *unions* are then applied sequentially in ascending pair
+/// order, so the resulting union-find — and therefore the synthesized
+/// grammar — is byte-identical for every worker count.
 ///
 /// Returns the union-find over star ids (indexed `0..num_stars`) and the
 /// counters.
@@ -47,18 +55,27 @@ pub(crate) fn merge_stars(
     let mut uf = UnionFind::new(num_stars);
     let mut stats = MergeStats::default();
 
+    // Two checks per unordered pair (Section 5.3): R_j's residual in R_i's
+    // context and vice versa.
+    let mut checks: Vec<CheckSpec<'_>> = Vec::with_capacity(stars.len() * stars.len());
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(checks.capacity() / 2);
     for i in 0..stars.len() {
         for j in i + 1..stars.len() {
             let (si, sj) = (stars[i], stars[j]);
-            stats.pairs_tried += 1;
-            // The two candidates per pair (Section 5.2): merge, or keep the
-            // current grammar. Merge wins iff both checks pass.
-            let check_ij = si.ctx.wrap(&sj.residual());
-            let check_ji = sj.ctx.wrap(&si.residual());
-            if runner.accepts(&check_ij) && runner.accepts(&check_ji) {
-                uf.union(si.id, sj.id);
-                stats.merges_accepted += 1;
-            }
+            checks.push(CheckSpec::wrapped(&si.ctx, &sj.residual_parts()));
+            checks.push(CheckSpec::wrapped(&sj.ctx, &si.residual_parts()));
+            pairs.push((i, j));
+        }
+    }
+    let verdicts = runner.accepts_batch(&checks);
+
+    for (p, &(i, j)) in pairs.iter().enumerate() {
+        stats.pairs_tried += 1;
+        // The two candidates per pair (Section 5.2): merge, or keep the
+        // current grammar. Merge wins iff both checks pass.
+        if verdicts[2 * p] && verdicts[2 * p + 1] {
+            uf.union(stars[i].id, stars[j].id);
+            stats.merges_accepted += 1;
         }
     }
     (uf, stats)
@@ -93,7 +110,7 @@ mod tests {
         // Figure 2 steps C1–C2: the two stars of (<a>(h+i)*</a>)* merge,
         // yielding the recursive grammar A → (<a>A</a>)* , A → (h+i)*.
         let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"<a>hi</a>");
         let num_stars = p1.next_star_id();
@@ -125,7 +142,7 @@ mod tests {
             let split = i.iter().position(|&b| b == b'y').unwrap_or(i.len());
             i[..split].iter().all(|&b| b == b'x') && i[split..].iter().all(|&b| b == b'y')
         });
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"xy");
         let num_stars = p1.next_star_id();
@@ -144,7 +161,7 @@ mod tests {
             let Some(x) = i.iter().position(|&b| b == b'x') else { return false };
             i[..x].iter().all(|&b| b == b'a') && i[x + 1..].iter().all(|&b| b == b'b')
         });
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"axb");
         let num_stars = p1.next_star_id();
@@ -182,7 +199,7 @@ mod tests {
             parse(input).is_some_and(|rest| rest.is_empty())
         }
         let oracle = FnOracle::new(accepts);
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"<a><a/></a>");
         let num_stars = p1.next_star_id();
@@ -218,7 +235,7 @@ mod tests {
             parse(input).is_some_and(|rest| rest.is_empty())
         }
         let oracle = FnOracle::new(accepts);
-        let runner = QueryRunner::new(&oracle, None, None);
+        let runner = QueryRunner::new(&oracle, None, None, 2);
         let mut p1 = Phase1::new(&runner, 0);
         let t1 = p1.generalize_seed(b"<a/>");
         let t2 = p1.generalize_seed(b"<a>hi</a>");

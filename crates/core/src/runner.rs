@@ -1,9 +1,87 @@
-//! Budgeted, cached oracle access shared by all synthesis phases.
+//! Budgeted, cached, batch-parallel oracle access shared by all synthesis
+//! phases.
+//!
+//! The paper measures synthesis cost purely in membership queries, and the
+//! query layer dominates wall-clock time for any real target (each query
+//! runs the program under test). This module is therefore built for
+//! concurrency end to end:
+//!
+//! * the query cache is a mutex-striped [`ShardedCache`] and all counters
+//!   are atomics, making [`QueryRunner`] `Sync`;
+//! * callers describe checks as segment lists ([`CheckSpec`]) instead of
+//!   pre-concatenated strings, so check construction writes into one
+//!   reusable scratch buffer and allocates only for genuine cache misses;
+//! * [`QueryRunner::accepts_batch`] deduplicates a batch, consults the
+//!   cache once per distinct check, and fans the remaining misses out
+//!   across a scoped worker pool (`std::thread::scope` — no dependencies).
+//!
+//! Determinism: with no time limit, batch results depend only on the
+//! oracle (which must be deterministic, see [`Oracle`]) and the batch
+//! contents — never on worker count or scheduling. Phase two and character
+//! generalization exploit this by batching their embarrassingly parallel
+//! check sets and applying the verdicts sequentially. A `time_limit` is the
+//! one exception: which queries beat the deadline is inherently a function
+//! of wall-clock speed (and therefore also of worker count), so
+//! deadline-degraded runs are reproducible only in their guarantees
+//! (fail-closed, seed preserved), not byte-for-byte.
 
+use crate::cache::{hash_query, ShardedCache};
+use crate::tree::Context;
 use crate::Oracle;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Maximum number of byte-slice segments in a [`CheckSpec`].
+///
+/// The widest check the synthesizer builds is phase one's two-repetition
+/// residual `γ·α1·α2·α2·α3·δ` — six segments.
+pub(crate) const MAX_SEGMENTS: usize = 6;
+
+/// Smallest number of distinct cache misses worth spawning worker threads
+/// for; below this a batch runs inline on the calling thread.
+const MIN_PARALLEL_MISSES: usize = 4;
+
+/// A membership check described as a concatenation of byte slices, built
+/// without allocating.
+///
+/// `CheckSpec` replaces the seed implementation's per-candidate
+/// `Vec::concat` + `Context::wrap` allocations: the segments are borrowed
+/// from the seed string and the context, and are materialized into a
+/// reusable scratch buffer only at lookup time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CheckSpec<'a> {
+    segments: [&'a [u8]; MAX_SEGMENTS],
+    used: usize,
+}
+
+impl<'a> CheckSpec<'a> {
+    /// Builds a spec from raw segments (at most [`MAX_SEGMENTS`]).
+    pub fn new(segments: &[&'a [u8]]) -> Self {
+        assert!(segments.len() <= MAX_SEGMENTS, "check has too many segments");
+        let mut s: [&'a [u8]; MAX_SEGMENTS] = [b""; MAX_SEGMENTS];
+        s[..segments.len()].copy_from_slice(segments);
+        CheckSpec { segments: s, used: segments.len() }
+    }
+
+    /// Builds the check `γ·parts·δ` for a residual in context `ctx`.
+    pub fn wrapped(ctx: &'a Context, parts: &[&'a [u8]]) -> Self {
+        assert!(parts.len() + 2 <= MAX_SEGMENTS, "residual has too many segments");
+        let mut s: [&'a [u8]; MAX_SEGMENTS] = [b""; MAX_SEGMENTS];
+        s[0] = &ctx.before;
+        s[1..=parts.len()].copy_from_slice(parts);
+        s[parts.len() + 1] = &ctx.after;
+        CheckSpec { segments: s, used: parts.len() + 2 }
+    }
+
+    /// Appends the concatenated check string to `out` (callers clear first).
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.segments[..self.used].iter().map(|s| s.len()).sum());
+        for seg in &self.segments[..self.used] {
+            out.extend_from_slice(seg);
+        }
+    }
+}
 
 /// Internal oracle front-end enforcing the query/time budget.
 ///
@@ -12,13 +90,23 @@ use std::time::{Duration, Instant};
 /// substrings collapse to constants, pending merges are skipped) instead of
 /// aborting, mirroring the paper's timeout handling of "use the last
 /// language successfully learned".
+///
+/// The budget counts **budgeted distinct queries only**: seed validation
+/// through [`QueryRunner::accepts_unbudgeted`] shares the cache but not the
+/// budget (the seed implementation compared the budget against the cache
+/// size, silently charging seed validation to the synthesis budget).
 pub(crate) struct QueryRunner<'o> {
     oracle: &'o dyn Oracle,
-    cache: RefCell<HashMap<Vec<u8>, bool>>,
-    total: Cell<usize>,
+    cache: ShardedCache,
+    /// All queries, including cache hits.
+    total: AtomicUsize,
+    /// Distinct budgeted queries actually charged against `max_queries`.
+    budget_used: AtomicUsize,
     max_queries: usize,
     deadline: Option<Instant>,
-    exhausted: Cell<bool>,
+    exhausted: AtomicBool,
+    /// Worker threads used by `accepts_batch` (1 = fully sequential).
+    workers: usize,
 }
 
 impl<'o> QueryRunner<'o> {
@@ -26,61 +114,181 @@ impl<'o> QueryRunner<'o> {
         oracle: &'o dyn Oracle,
         max_queries: Option<usize>,
         time_limit: Option<Duration>,
+        workers: usize,
     ) -> Self {
         QueryRunner {
             oracle,
-            cache: RefCell::new(HashMap::new()),
-            total: Cell::new(0),
+            cache: ShardedCache::new(),
+            total: AtomicUsize::new(0),
+            budget_used: AtomicUsize::new(0),
             max_queries: max_queries.unwrap_or(usize::MAX),
             deadline: time_limit.map(|d| Instant::now() + d),
-            exhausted: Cell::new(false),
+            exhausted: AtomicBool::new(false),
+            workers: workers.max(1),
         }
     }
 
-    /// Budget-aware membership query.
-    pub fn accepts(&self, input: &[u8]) -> bool {
-        self.total.set(self.total.get() + 1);
-        if let Some(&v) = self.cache.borrow().get(input) {
-            return v;
-        }
-        if self.exhausted.get() {
+    /// Reserves one budget slot, or trips the exhausted flag and fails.
+    fn reserve_budget(&self) -> bool {
+        if self.exhausted.load(Ordering::Relaxed) {
             return false;
         }
-        if self.cache.borrow().len() >= self.max_queries
-            || self.deadline.is_some_and(|d| Instant::now() >= d)
-        {
-            self.exhausted.set(true);
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.exhausted.store(true, Ordering::Relaxed);
+            return false;
+        }
+        let reserved = self
+            .budget_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                (used < self.max_queries).then_some(used + 1)
+            })
+            .is_ok();
+        if !reserved {
+            self.exhausted.store(true, Ordering::Relaxed);
+        }
+        reserved
+    }
+
+    /// Budget-aware membership query (single-check form of
+    /// [`QueryRunner::accepts_batch`]; the synthesis phases all batch, so
+    /// production builds reach this only through the batch path).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.cache.get(input) {
+            return v;
+        }
+        if !self.reserve_budget() {
             return false;
         }
         let v = self.oracle.accepts(input);
-        self.cache.borrow_mut().insert(input.to_vec(), v);
+        self.cache.insert(input.to_vec(), v);
         v
     }
 
+    /// Budget-aware batched membership query.
+    ///
+    /// Deduplicates `checks`, answers what it can from the cache, reserves
+    /// budget for the distinct misses (misses beyond the budget answer
+    /// `false`, exactly like [`QueryRunner::accepts`]), then dispatches the
+    /// misses across up to `workers` scoped threads. Results are returned
+    /// in input order and are identical for every worker count.
+    ///
+    /// Budget note: a batch charges every distinct miss it poses. Callers
+    /// that previously short-circuited (stop at the first failing check of
+    /// a candidate) now pay for the whole batch — that is the price of
+    /// posing the checks concurrently, and it is the same in sequential
+    /// mode so query counts stay worker-count-independent.
+    ///
+    /// The time budget is enforced during execution too: once the deadline
+    /// passes, remaining misses are skipped (answering `false`, *not*
+    /// cached — only real oracle verdicts enter the cache) and the runner
+    /// is marked exhausted, matching the seed implementation's
+    /// per-query deadline check.
+    pub fn accepts_batch(&self, checks: &[CheckSpec<'_>]) -> Vec<bool> {
+        let mut results = vec![false; checks.len()];
+        // Distinct cache misses to send to the oracle, with the positions
+        // in `checks` each one answers. `dedup` buckets candidate miss
+        // indices by hash; equality is confirmed on the bytes.
+        let mut miss_keys: Vec<Vec<u8>> = Vec::new();
+        let mut miss_targets: Vec<Vec<usize>> = Vec::new();
+        let mut dedup: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut scratch: Vec<u8> = Vec::new();
+
+        for (i, spec) in checks.iter().enumerate() {
+            self.total.fetch_add(1, Ordering::Relaxed);
+            scratch.clear();
+            spec.write_into(&mut scratch);
+            if let Some(v) = self.cache.get(&scratch) {
+                results[i] = v;
+                continue;
+            }
+            let h = hash_query(&scratch);
+            if let Some(candidates) = dedup.get(&h) {
+                if let Some(&m) = candidates.iter().find(|&&m| miss_keys[m] == scratch) {
+                    miss_targets[m].push(i);
+                    continue;
+                }
+            }
+            if !self.reserve_budget() {
+                // Over budget: this check (and its later duplicates, which
+                // re-enter here and fail the same way) answers false.
+                continue;
+            }
+            dedup.entry(h).or_default().push(miss_keys.len());
+            miss_targets.push(vec![i]);
+            miss_keys.push(scratch.clone());
+        }
+
+        // Fan the distinct misses out across the worker pool. `None` marks
+        // a miss skipped because the deadline expired mid-batch: it answers
+        // `false` but is not cached (only real oracle verdicts may enter
+        // the cache).
+        let run_chunk = |keys: &[Vec<u8>], out: &mut [Option<bool>]| {
+            for (key, slot) in keys.iter().zip(out.iter_mut()) {
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.exhausted.store(true, Ordering::Relaxed);
+                    break;
+                }
+                *slot = Some(self.oracle.accepts(key));
+            }
+        };
+        let mut verdicts: Vec<Option<bool>> = vec![None; miss_keys.len()];
+        // Spawning threads costs tens of microseconds; only fan out when
+        // the batch is big enough to amortize it (tiny batches — e.g.
+        // phase 1's residual pairs against an in-process oracle — run
+        // inline). Results are identical either way.
+        let threads = if miss_keys.len() >= MIN_PARALLEL_MISSES {
+            self.workers.min(miss_keys.len())
+        } else {
+            1
+        };
+        if threads > 1 {
+            let chunk = miss_keys.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (keys, out) in miss_keys.chunks(chunk).zip(verdicts.chunks_mut(chunk)) {
+                    scope.spawn(|| run_chunk(keys, out));
+                }
+            });
+        } else {
+            run_chunk(&miss_keys, &mut verdicts);
+        }
+
+        for ((key, verdict), targets) in miss_keys.into_iter().zip(verdicts).zip(miss_targets) {
+            let Some(verdict) = verdict else { continue };
+            self.cache.insert(key, verdict);
+            for i in targets {
+                results[i] = verdict;
+            }
+        }
+        results
+    }
+
     /// Unbudgeted query used for seed validation (seeds must be consulted
-    /// even if the budget is already gone).
+    /// even if the budget is already gone). Shares the cache but is not
+    /// charged against `max_queries`.
     pub fn accepts_unbudgeted(&self, input: &[u8]) -> bool {
-        if let Some(&v) = self.cache.borrow().get(input) {
+        if let Some(v) = self.cache.get(input) {
             return v;
         }
         let v = self.oracle.accepts(input);
-        self.cache.borrow_mut().insert(input.to_vec(), v);
+        self.cache.insert(input.to_vec(), v);
         v
     }
 
     /// Distinct inputs forwarded to the oracle.
     pub fn unique_queries(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.len()
     }
 
     /// Total queries including cache hits.
     pub fn total_queries(&self) -> usize {
-        self.total.get()
+        self.total.load(Ordering::Relaxed)
     }
 
     /// Whether the budget ran out at some point.
     pub fn exhausted(&self) -> bool {
-        self.exhausted.get()
+        self.exhausted.load(Ordering::Relaxed)
     }
 }
 
@@ -88,11 +296,16 @@ impl<'o> QueryRunner<'o> {
 mod tests {
     use super::*;
     use crate::FnOracle;
+    use std::sync::atomic::AtomicUsize;
+
+    fn spec<'a>(bytes: &'a [u8]) -> CheckSpec<'a> {
+        CheckSpec::new(&[bytes])
+    }
 
     #[test]
     fn caches_and_counts() {
         let o = FnOracle::new(|i: &[u8]| i.len() < 2);
-        let r = QueryRunner::new(&o, None, None);
+        let r = QueryRunner::new(&o, None, None, 1);
         assert!(r.accepts(b"a"));
         assert!(r.accepts(b"a"));
         assert!(!r.accepts(b"ab"));
@@ -104,7 +317,7 @@ mod tests {
     #[test]
     fn budget_exhaustion_fails_closed() {
         let o = FnOracle::new(|_: &[u8]| true);
-        let r = QueryRunner::new(&o, Some(2), None);
+        let r = QueryRunner::new(&o, Some(2), None, 1);
         assert!(r.accepts(b"1"));
         assert!(r.accepts(b"2"));
         // Third distinct query exceeds the budget: rejected.
@@ -117,11 +330,131 @@ mod tests {
     }
 
     #[test]
+    fn unbudgeted_queries_do_not_consume_budget() {
+        // Regression: the seed implementation compared the budget against
+        // the *cache size*, so seed validation (unbudgeted) silently ate
+        // distinct-query budget.
+        let o = FnOracle::new(|_: &[u8]| true);
+        let r = QueryRunner::new(&o, Some(2), None, 1);
+        assert!(r.accepts_unbudgeted(b"seed-1"));
+        assert!(r.accepts_unbudgeted(b"seed-2"));
+        assert!(r.accepts_unbudgeted(b"seed-3"));
+        // The full budget of 2 distinct budgeted queries remains.
+        assert!(r.accepts(b"q1"));
+        assert!(r.accepts(b"q2"));
+        assert!(!r.accepts(b"q3"));
+        assert!(r.exhausted());
+        assert_eq!(r.unique_queries(), 5, "cache still holds seeds + budgeted");
+    }
+
+    #[test]
     fn time_limit_expires() {
         let o = FnOracle::new(|_: &[u8]| true);
-        let r = QueryRunner::new(&o, None, Some(Duration::from_nanos(1)));
+        let r = QueryRunner::new(&o, None, Some(Duration::from_nanos(1)), 1);
         std::thread::sleep(Duration::from_millis(2));
         assert!(!r.accepts(b"x"));
         assert!(r.exhausted());
+    }
+
+    #[test]
+    fn batch_results_preserve_order_and_dedup() {
+        let calls = AtomicUsize::new(0);
+        let o = FnOracle::new(|i: &[u8]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i.len().is_multiple_of(2)
+        });
+        for workers in [1, 4] {
+            calls.store(0, Ordering::Relaxed);
+            let r = QueryRunner::new(&o, None, None, workers);
+            let checks =
+                [spec(b"aa"), spec(b"b"), spec(b"aa"), spec(b"cccc"), spec(b"b"), spec(b"")];
+            let verdicts = r.accepts_batch(&checks);
+            assert_eq!(verdicts, vec![true, false, true, true, false, true]);
+            assert_eq!(r.unique_queries(), 4, "workers={workers}");
+            assert_eq!(calls.load(Ordering::Relaxed), 4, "duplicates reach oracle once");
+            assert_eq!(r.total_queries(), 6);
+        }
+    }
+
+    #[test]
+    fn batch_mixed_segments_concatenate() {
+        let o = FnOracle::new(|i: &[u8]| i == b"<a>hi</a>");
+        let r = QueryRunner::new(&o, None, None, 2);
+        let (pre, mid, post) = (&b"<a>"[..], &b"hi"[..], &b"</a>"[..]);
+        let checks = [CheckSpec::new(&[pre, mid, post]), CheckSpec::new(&[pre, post])];
+        assert_eq!(r.accepts_batch(&checks), vec![true, false]);
+        // The same strings by another segmentation hit the cache.
+        let checks2 = [spec(b"<a>hi</a>"), spec(b"<a></a>")];
+        assert_eq!(r.accepts_batch(&checks2), vec![true, false]);
+        assert_eq!(r.unique_queries(), 2);
+    }
+
+    #[test]
+    fn batch_budget_answers_false_beyond_limit() {
+        let o = FnOracle::new(|_: &[u8]| true);
+        let r = QueryRunner::new(&o, Some(2), None, 4);
+        let checks = [spec(b"1"), spec(b"2"), spec(b"3"), spec(b"1")];
+        let verdicts = r.accepts_batch(&checks);
+        // First two distinct checks fit the budget; the third fails closed;
+        // the duplicate of "1" is answered from the batch's dedup set.
+        assert_eq!(verdicts, vec![true, true, false, true]);
+        assert!(r.exhausted());
+        assert_eq!(r.unique_queries(), 2);
+    }
+
+    #[test]
+    fn deadline_expiring_mid_batch_stops_querying() {
+        // Regression: the deadline must be honored between queries *inside*
+        // a batch, not just at reservation time — a slow oracle must not
+        // run an hour-long batch past a 30 ms limit.
+        let calls = AtomicUsize::new(0);
+        let o = FnOracle::new(|_: &[u8]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(20));
+            true
+        });
+        let r = QueryRunner::new(&o, None, Some(Duration::from_millis(30)), 1);
+        let inputs: Vec<Vec<u8>> = (0..10u8).map(|b| vec![b]).collect();
+        let specs: Vec<CheckSpec<'_>> = inputs.iter().map(|i| spec(i)).collect();
+        let verdicts = r.accepts_batch(&specs);
+        assert!(r.exhausted());
+        assert!(calls.load(Ordering::Relaxed) < 10, "deadline did not stop the batch");
+        // Skipped misses answer false and are not poisoned into the cache.
+        assert!(verdicts.iter().any(|&v| !v));
+        assert!(r.unique_queries() < 10);
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_accepts() {
+        let o = FnOracle::new(|i: &[u8]| i.iter().all(|&b| b == b'x'));
+        let seq = QueryRunner::new(&o, None, None, 1);
+        let par = QueryRunner::new(&o, None, None, 8);
+        let inputs: Vec<Vec<u8>> =
+            (0..64).map(|n| std::iter::repeat_n(b'x', n % 7).collect()).collect();
+        let specs: Vec<CheckSpec<'_>> = inputs.iter().map(|i| spec(i)).collect();
+        let par_verdicts = par.accepts_batch(&specs);
+        let seq_verdicts: Vec<bool> = inputs.iter().map(|i| seq.accepts(i)).collect();
+        assert_eq!(par_verdicts, seq_verdicts);
+        assert_eq!(par.unique_queries(), seq.unique_queries());
+    }
+
+    #[test]
+    fn runner_is_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<QueryRunner<'static>>();
+    }
+
+    #[test]
+    fn check_spec_write_into_reuses_buffer() {
+        let ctx = Context { before: b"<a>".to_vec(), after: b"</a>".to_vec() };
+        let s = CheckSpec::wrapped(&ctx, &[b"h", b"i"]);
+        let mut buf = Vec::new();
+        s.write_into(&mut buf);
+        assert_eq!(buf, b"<a>hi</a>");
+        let cap = buf.capacity();
+        buf.clear();
+        s.write_into(&mut buf);
+        assert_eq!(buf, b"<a>hi</a>");
+        assert_eq!(buf.capacity(), cap, "no reallocation on reuse");
     }
 }

@@ -36,6 +36,18 @@ pub struct GladeConfig {
     /// Section 6.1 optimization: skip a seed if it is already matched by
     /// the disjunction of the regular expressions synthesized so far.
     pub skip_redundant_seeds: bool,
+    /// Worker threads for batched membership checks (phase two's pairwise
+    /// merge checks and character generalization's byte probes fan out
+    /// across this pool; phase one batches each candidate's residual pair).
+    /// `None` uses the machine's available parallelism; `Some(1)` forces
+    /// the fully sequential path. With no `time_limit`, the synthesized
+    /// grammar and the distinct query count are identical for every
+    /// setting; with a deadline, *where* synthesis degrades depends on how
+    /// many queries complete in time — inherently machine- and
+    /// worker-count-dependent (more workers finish more queries before the
+    /// cutoff), just as the deadline made the sequential seed
+    /// implementation timing-dependent.
+    pub worker_threads: Option<usize>,
 }
 
 impl Default for GladeConfig {
@@ -47,6 +59,7 @@ impl Default for GladeConfig {
             max_queries: None,
             time_limit: None,
             skip_redundant_seeds: true,
+            worker_threads: None,
         }
     }
 }
@@ -206,7 +219,12 @@ impl Glade {
         if seeds.is_empty() {
             return Err(SynthesisError::NoSeeds);
         }
-        let runner = QueryRunner::new(oracle, self.config.max_queries, self.config.time_limit);
+        let workers = self
+            .config
+            .worker_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let runner =
+            QueryRunner::new(oracle, self.config.max_queries, self.config.time_limit, workers);
         for seed in seeds {
             if !runner.accepts_unbudgeted(seed) {
                 return Err(SynthesisError::SeedRejected(seed.clone()));
@@ -393,10 +411,7 @@ mod tests {
         let oracle = FnOracle::new(|i: &[u8]| {
             i == b"start" || i == b"stop" || (!i.is_empty() && i.iter().all(u8::is_ascii_digit))
         });
-        let cfg = GladeConfig {
-            character_generalization: false,
-            ..GladeConfig::default()
-        };
+        let cfg = GladeConfig { character_generalization: false, ..GladeConfig::default() };
         let result = Glade::with_config(cfg)
             .synthesize(&[b"start".to_vec(), b"42".to_vec()], &oracle)
             .unwrap();
@@ -410,8 +425,7 @@ mod tests {
     fn budget_limits_are_reported() {
         let oracle = FnOracle::new(xml_like);
         let cfg = GladeConfig { max_queries: Some(5), ..GladeConfig::default() };
-        let result =
-            Glade::with_config(cfg).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let result = Glade::with_config(cfg).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
         assert!(result.stats.budget_exhausted);
         // The seed is still in the synthesized language (monotonicity).
         let e = Earley::new(&result.grammar);

@@ -35,12 +35,28 @@ impl Context {
     }
 
     /// Builds the full check string `γ·ρ·δ`.
+    ///
+    /// The synthesis hot paths describe checks as `CheckSpec` segment lists
+    /// instead; this allocating form remains for tests and diagnostics.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn wrap(&self, residual: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.before.len() + residual.len() + self.after.len());
+        self.wrap_into(residual, &mut out);
+        out
+    }
+
+    /// Appends `γ·ρ·δ` to `out` without allocating a fresh buffer.
+    ///
+    /// Note: the synthesis hot paths do their allocation-free construction
+    /// through `CheckSpec::write_into` in `runner.rs` (segments, one shared
+    /// scratch buffer); this method is the same idea for callers that
+    /// already hold a contiguous residual.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn wrap_into(&self, residual: &[u8], out: &mut Vec<u8>) {
+        out.reserve(self.before.len() + residual.len() + self.after.len());
         out.extend_from_slice(&self.before);
         out.extend_from_slice(residual);
         out.extend_from_slice(&self.after);
-        out
     }
 
     /// Derives `(γ·x, y·δ)`.
@@ -92,11 +108,19 @@ pub(crate) struct StarNode {
 }
 
 impl StarNode {
-    /// The phase-two residual `α2 α2 ∈ L(R) \ {α2}`.
+    /// The phase-two residual `α2 α2 ∈ L(R) \ {α2}` as an owned string
+    /// (the merge phase itself uses the borrowed [`StarNode::residual_parts`]).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn residual(&self) -> Vec<u8> {
         let mut r = self.original.clone();
         r.extend_from_slice(&self.original);
         r
+    }
+
+    /// The residual as borrowed segments (`[α2, α2]`), for building merge
+    /// checks without materializing the doubled string.
+    pub fn residual_parts(&self) -> [&[u8]; 2] {
+        [&self.original, &self.original]
     }
 }
 
@@ -249,8 +273,7 @@ pub(crate) fn trees_to_grammar(trees: &[Node], merges: &mut UnionFind) -> Gramma
         match node {
             Node::Const(c) => c.classes.iter().map(|cls| Sym::Class(*cls)).collect(),
             Node::Rep(r) => {
-                let mut out: Vec<Sym> =
-                    r.pre.classes.iter().map(|cls| Sym::Class(*cls)).collect();
+                let mut out: Vec<Sym> = r.pre.classes.iter().map(|cls| Sym::Class(*cls)).collect();
                 let class = merges.find(r.star.id);
                 out.push(Sym::Nt(class_nt[&class]));
                 out.extend(syms(&r.rest, b, merges, class_nt, alt_counter));
@@ -267,10 +290,8 @@ pub(crate) fn trees_to_grammar(trees: &[Node], merges: &mut UnionFind) -> Gramma
                 branches.push(cur);
                 *alt_counter += 1;
                 let nt = b.nt(&format!("A{alt_counter}"));
-                let mut bodies: Vec<Vec<Sym>> = branches
-                    .iter()
-                    .map(|br| syms(br, b, merges, class_nt, alt_counter))
-                    .collect();
+                let mut bodies: Vec<Vec<Sym>> =
+                    branches.iter().map(|br| syms(br, b, merges, class_nt, alt_counter)).collect();
                 // Character generalization can widen distinct branches to
                 // identical byte classes; dedup to keep sampling uniform.
                 let mut kept = Vec::new();
@@ -357,10 +378,7 @@ mod tests {
     /// Hand-builds the paper's running-example tree:
     /// ( "<a>" (h + i)* "</a>" )*.
     fn running_example_tree() -> Node {
-        let hi = Node::Alt(Box::new(AltNode {
-            left: const_node(b"h"),
-            right: const_node(b"i"),
-        }));
+        let hi = Node::Alt(Box::new(AltNode { left: const_node(b"h"), right: const_node(b"i") }));
         let inner_rep = Node::Rep(Box::new(RepNode {
             pre: ConstNode::new(b"<a>", vec![Context::root()]),
             star: StarNode {

@@ -52,10 +52,8 @@ impl TinyDfa {
 
 fn arb_dfa() -> impl Strategy<Value = TinyDfa> {
     (2usize..5).prop_flat_map(|n| {
-        let trans = proptest::collection::vec(
-            (0..n as u8, 0..n as u8).prop_map(|(x, y)| [x, y]),
-            n..=n,
-        );
+        let trans =
+            proptest::collection::vec((0..n as u8, 0..n as u8).prop_map(|(x, y)| [x, y]), n..=n);
         let accept = proptest::collection::vec(any::<bool>(), n..=n);
         (trans, accept).prop_map(|(trans, accept)| TinyDfa { trans, accept })
     })
@@ -71,7 +69,7 @@ proptest! {
         let Some(seed) = dfa.shortest_member() else { return Ok(()) };
         let d = dfa.clone();
         let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
-        let result = Glade::new().synthesize(&[seed.clone()], &oracle).expect("seed valid");
+        let result = Glade::new().synthesize(std::slice::from_ref(&seed), &oracle).expect("seed valid");
         prop_assert!(Earley::new(&result.grammar).accepts(&seed));
     }
 
@@ -84,7 +82,7 @@ proptest! {
         let d2 = dfa.clone();
         let o1 = FnOracle::new(move |w: &[u8]| d1.accepts(w));
         let o2 = FnOracle::new(move |w: &[u8]| d2.accepts(w));
-        let r1 = Glade::new().synthesize(&[seed.clone()], &o1).expect("valid");
+        let r1 = Glade::new().synthesize(std::slice::from_ref(&seed), &o1).expect("valid");
         let r2 = Glade::new().synthesize(&[seed], &o2).expect("valid");
         prop_assert_eq!(grammar_to_text(&r1.grammar), grammar_to_text(&r2.grammar));
     }
@@ -98,7 +96,7 @@ proptest! {
         let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
         let config = GladeConfig { max_queries: Some(budget), ..GladeConfig::default() };
         let result = Glade::with_config(config)
-            .synthesize(&[seed.clone()], &oracle)
+            .synthesize(std::slice::from_ref(&seed), &oracle)
             .expect("seed valid");
         prop_assert!(Earley::new(&result.grammar).accepts(&seed));
     }

@@ -70,10 +70,7 @@ pub fn evaluate_grammar(
         }
     }
 
-    Quality {
-        precision: ratio(prec_hits, prec_total),
-        recall: ratio(rec_hits, rec_total),
-    }
+    Quality { precision: ratio(prec_hits, prec_total), recall: ratio(rec_hits, rec_total) }
 }
 
 /// Estimates the quality of a hypothesis *DFA* (an L-Star or RPNI result)
@@ -111,10 +108,7 @@ pub fn evaluate_dfa(
         }
     }
 
-    Quality {
-        precision: ratio(prec_hits, prec_total),
-        recall: ratio(rec_hits, rec_total),
-    }
+    Quality { precision: ratio(prec_hits, prec_total), recall: ratio(rec_hits, rec_total) }
 }
 
 fn ratio(hits: usize, total: usize) -> f64 {

@@ -60,7 +60,7 @@ impl AflFuzzer {
                 0 if !cur.is_empty() => {
                     // Bit flip.
                     let i = rng.gen_range(0..cur.len());
-                    cur[i] ^= 1 << rng.gen_range(0..8);
+                    cur[i] ^= 1u8 << rng.gen_range(0..8);
                 }
                 1 if !cur.is_empty() => {
                     // Overwrite with an interesting value.
@@ -114,7 +114,7 @@ impl Fuzzer for AflFuzzer {
         let base = self.queue[self.entry].clone();
         let bitflips = base.len() * 8;
         let interesting_stage = bitflips + base.len();
-        
+
         if self.det_pos < bitflips && !base.is_empty() {
             // Deterministic stage 1: single bit flips.
             let mut m = base.clone();
@@ -160,11 +160,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let first = f.next_input(&mut rng);
         // Exactly one bit differs from the seed.
-        let diff: u32 = first
-            .iter()
-            .zip(b"ab".iter())
-            .map(|(x, y)| (x ^ y).count_ones())
-            .sum();
+        let diff: u32 = first.iter().zip(b"ab".iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
         assert_eq!(diff, 1);
     }
 

@@ -335,10 +335,7 @@ impl Grammar {
                 }
             }
         }
-        reachable
-            .iter()
-            .enumerate()
-            .all(|(i, &r)| !r || depths[i].is_some())
+        reachable.iter().enumerate().all(|(i, &r)| !r || depths[i].is_some())
     }
 }
 

@@ -249,9 +249,9 @@ impl<'g> Earley<'g> {
         let sets = self.chart(input);
         let n = input.len();
         let start = self.grammar.start();
-        sets[n].iter().any(|it| {
-            it.nt == start.0 && it.origin == 0 && it.dot as usize == self.rhs(it).len()
-        })
+        sets[n]
+            .iter()
+            .any(|it| it.nt == start.0 && it.origin == 0 && it.dot as usize == self.rhs(it).len())
     }
 
     /// Parses `input`, returning one (arbitrary but deterministic) parse
@@ -260,9 +260,9 @@ impl<'g> Earley<'g> {
         let sets = self.chart(input);
         let n = input.len();
         let start = self.grammar.start();
-        let accepted = sets[n].iter().any(|it| {
-            it.nt == start.0 && it.origin == 0 && it.dot as usize == self.rhs(it).len()
-        });
+        let accepted = sets[n]
+            .iter()
+            .any(|it| it.nt == start.0 && it.origin == 0 && it.dot as usize == self.rhs(it).len());
         if !accepted {
             return None;
         }
@@ -344,22 +344,18 @@ impl TreeBuilder<'_, '_> {
             Sym::Class(c) => {
                 if pos < end && c.contains(self.input[pos as usize]) {
                     let mut rest = self.match_seq(rhs, k + 1, pos + 1, end)?;
-                    rest.insert(0, ParseTree::Leaf {
-                        byte: self.input[pos as usize],
-                        pos: pos as usize,
-                    });
+                    rest.insert(
+                        0,
+                        ParseTree::Leaf { byte: self.input[pos as usize], pos: pos as usize },
+                    );
                     Some(rest)
                 } else {
                     None
                 }
             }
             Sym::Nt(n) => {
-                let mids: Vec<u32> = self
-                    .spans(n.0, pos)
-                    .iter()
-                    .copied()
-                    .filter(|&m| m <= end)
-                    .collect();
+                let mids: Vec<u32> =
+                    self.spans(n.0, pos).iter().copied().filter(|&m| m <= end).collect();
                 for mid in mids {
                     if let Some(rest) = self.match_seq(rhs, k + 1, mid, end) {
                         if let Some(sub) = self.build(n.0, pos, mid) {

@@ -370,11 +370,7 @@ mod tests {
     fn running_example_regex() {
         // (<a>(h+i)*</a>)* from Figure 2, step R9.
         let hi = Regex::alt(vec![Regex::lit(b"h"), Regex::lit(b"i")]);
-        let tag = Regex::concat(vec![
-            Regex::lit(b"<a>"),
-            Regex::star(hi),
-            Regex::lit(b"</a>"),
-        ]);
+        let tag = Regex::concat(vec![Regex::lit(b"<a>"), Regex::star(hi), Regex::lit(b"</a>")]);
         let xml = Regex::star(tag);
         assert!(xml.is_match(b""));
         assert!(xml.is_match(b"<a>hi</a>"));
@@ -462,10 +458,7 @@ mod tests {
     fn sample_of_empty_language_is_none() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         assert_eq!(Regex::Empty.sample(&mut rng, 3), None);
-        assert_eq!(
-            Regex::concat(vec![Regex::lit(b"a"), Regex::Empty]).sample(&mut rng, 3),
-            None
-        );
+        assert_eq!(Regex::concat(vec![Regex::lit(b"a"), Regex::Empty]).sample(&mut rng, 3), None);
     }
 
     #[test]

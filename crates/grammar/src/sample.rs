@@ -104,9 +104,8 @@ impl<'g> Sampler<'g> {
         let chosen = if feasible.is_empty() {
             // Budget exhausted: fall back to the globally cheapest
             // production so sampling still terminates.
-            (0..prods.len()).min_by_key(|&i| {
-                self.prod_min_depth(&prods[i]).unwrap_or(usize::MAX)
-            })?
+            (0..prods.len())
+                .min_by_key(|&i| self.prod_min_depth(&prods[i]).unwrap_or(usize::MAX))?
         } else {
             feasible[rng.gen_range(0..feasible.len())]
         };
@@ -166,11 +165,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..200 {
             let s = sampler.sample(&mut rng).expect("productive");
-            assert!(
-                parser.accepts(&s),
-                "sample {:?} rejected",
-                String::from_utf8_lossy(&s)
-            );
+            assert!(parser.accepts(&s), "sample {:?} rejected", String::from_utf8_lossy(&s));
         }
     }
 

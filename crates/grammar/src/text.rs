@@ -107,8 +107,7 @@ pub fn grammar_from_text(text: &str) -> Result<Grammar, ParseGrammarError> {
         }
         let lineno = lineno + 1;
         if let Some(rest) = line.strip_prefix("start ") {
-            start =
-                Some(rest.trim().parse().map_err(|_| ParseGrammarError::BadField(lineno))?);
+            start = Some(rest.trim().parse().map_err(|_| ParseGrammarError::BadField(lineno))?);
         } else if let Some(rest) = line.strip_prefix("nt ") {
             let mut parts = rest.splitn(2, ' ');
             let idx: usize = parts
@@ -118,8 +117,7 @@ pub fn grammar_from_text(text: &str) -> Result<Grammar, ParseGrammarError> {
             let name = parts.next().unwrap_or("N").to_owned();
             names.push((idx, name));
         } else if let Some(rest) = line.strip_prefix("prod ") {
-            let (head, tail) =
-                rest.split_once(':').ok_or(ParseGrammarError::BadField(lineno))?;
+            let (head, tail) = rest.split_once(':').ok_or(ParseGrammarError::BadField(lineno))?;
             let lhs: usize =
                 head.trim().parse().map_err(|_| ParseGrammarError::BadField(lineno))?;
             let mut syms = Vec::new();
@@ -128,8 +126,7 @@ pub fn grammar_from_text(text: &str) -> Result<Grammar, ParseGrammarError> {
                     let idx = n.parse().map_err(|_| ParseGrammarError::BadField(lineno))?;
                     syms.push(SymSpec::Nt(idx));
                 } else if let Some(r) = tok.strip_prefix('C') {
-                    let class =
-                        parse_ranges(r).ok_or(ParseGrammarError::BadField(lineno))?;
+                    let class = parse_ranges(r).ok_or(ParseGrammarError::BadField(lineno))?;
                     syms.push(SymSpec::Class(class));
                 } else {
                     return Err(ParseGrammarError::BadField(lineno));

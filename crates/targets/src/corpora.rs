@@ -187,11 +187,7 @@ mod tests {
     #[test]
     fn javascript_corpus_is_valid() {
         for s in super::javascript() {
-            assert!(
-                JavaScript.run(&s).valid,
-                "js corpus: {:?}",
-                String::from_utf8_lossy(&s)
-            );
+            assert!(JavaScript.run(&s).valid, "js corpus: {:?}", String::from_utf8_lossy(&s));
         }
     }
 

@@ -111,11 +111,10 @@ pub fn url() -> Language {
     b.prod(seg, vec![]);
     b.prod(seg, [nt(segchars)].concat());
     b.prod(segchars, cls(lower().union(&digit()).union(&CharClass::from_bytes(b"._-"))));
-    b.prod(segchars, [
-        cls(lower().union(&digit()).union(&CharClass::from_bytes(b"._-"))),
-        nt(segchars),
-    ]
-    .concat());
+    b.prod(
+        segchars,
+        [cls(lower().union(&digit()).union(&CharClass::from_bytes(b"._-"))), nt(segchars)].concat(),
+    );
 
     // query → ("?" pair ("&" pair)*)?  with possibly-empty words, in the
     // same starred spirit as the Figure 5 target.

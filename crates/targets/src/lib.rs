@@ -26,8 +26,8 @@
 
 #![warn(missing_docs)]
 
-pub mod cov;
 pub mod corpora;
+pub mod cov;
 pub mod languages;
 pub mod programs;
 mod target;

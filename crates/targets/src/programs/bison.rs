@@ -15,9 +15,9 @@
 //!
 //! An input is *valid* iff the whole grammar file parses.
 
+use crate::cov;
 use crate::cov::{count_points, Coverage, RunOutcome};
 use crate::target::Target;
-use crate::cov;
 
 const SRC: &str = include_str!("bison.rs");
 
@@ -126,10 +126,7 @@ impl Parser<'_> {
         if !self.peek().is_some_and(|b| b.is_ascii_alphabetic() || b == b'_') {
             return false;
         }
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
-        {
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.') {
             self.i += 1;
         }
         true
@@ -545,9 +542,7 @@ mod tests {
 
     #[test]
     fn coverage_accounting() {
-        let c = Bison
-            .run(b"%token A\n%left '+'\n%%\nr : A '+' A { go(); } | ;\n")
-            .coverage;
+        let c = Bison.run(b"%token A\n%left '+'\n%%\nr : A '+' A { go(); } | ;\n").coverage;
         assert!(c.len() > 12);
         assert!(Bison.coverable_lines() >= c.len());
     }

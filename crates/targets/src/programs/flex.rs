@@ -15,9 +15,9 @@
 //! `<STATE>` prefixes. An input is *valid* iff the whole specification
 //! parses.
 
+use crate::cov;
 use crate::cov::{count_points, Coverage, RunOutcome};
 use crate::target::Target;
-use crate::cov;
 
 const SRC: &str = include_str!("flex.rs");
 
@@ -104,8 +104,7 @@ impl Parser<'_> {
     }
 
     fn at_line_start_marker(&self) -> bool {
-        self.starts_with(b"%%")
-            && (self.i == 0 || self.s.get(self.i - 1) == Some(&b'\n'))
+        self.starts_with(b"%%") && (self.i == 0 || self.s.get(self.i - 1) == Some(&b'\n'))
     }
 
     fn spec(&mut self) -> bool {
@@ -248,10 +247,7 @@ impl Parser<'_> {
         if !first.is_some_and(|b| b.is_ascii_alphabetic() || b == b'_') {
             return false;
         }
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
-        {
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-') {
             self.i += 1;
         }
         true
@@ -561,9 +557,7 @@ mod tests {
 
     #[test]
     fn coverage_accounting() {
-        let c = Flex
-            .run(b"D [0-9]\n%%\n{D}+ { n(); }\n\"s\" |\n. ;\n%%\ncode\n")
-            .coverage;
+        let c = Flex.run(b"D [0-9]\n%%\n{D}+ { n(); }\n\"s\" |\n. ;\n%%\ncode\n").coverage;
         assert!(c.len() > 12);
         assert!(Flex.coverable_lines() >= c.len());
     }

@@ -8,9 +8,9 @@
 //! against the number of opened groups), and `\+ \? \< \> \b \w \s`
 //! escapes. An input is *valid* iff the whole pattern compiles.
 
+use crate::cov;
 use crate::cov::{count_points, Coverage, RunOutcome};
 use crate::target::Target;
-use crate::cov;
 
 const SRC: &str = include_str!("grep.rs");
 
@@ -141,8 +141,7 @@ impl Parser<'_> {
                 if !self.interval() {
                     return false;
                 }
-            } else if self.peek() == Some(b'\\')
-                && matches!(self.peek2(), Some(b'+') | Some(b'?'))
+            } else if self.peek() == Some(b'\\') && matches!(self.peek2(), Some(b'+') | Some(b'?'))
             {
                 cov!(self.cov);
                 self.i += 2;
@@ -231,8 +230,8 @@ impl Parser<'_> {
                         u32::from(d - b'0') <= self.groups_done
                     }
                     Some(
-                        b'.' | b'*' | b'[' | b']' | b'^' | b'$' | b'\\' | b'w' | b'W' | b's'
-                        | b'S' | b'<' | b'>' | b'b' | b'B' | b'`' | b'\'',
+                        b'.' | b'*' | b'[' | b']' | b'^' | b'$' | b'\\' | b'w' | b'W' | b's' | b'S'
+                        | b'<' | b'>' | b'b' | b'B' | b'`' | b'\'',
                     ) => {
                         cov!(self.cov);
                         self.i += 1;
@@ -288,9 +287,7 @@ impl Parser<'_> {
                     cov!(self.cov);
                     self.i += 1;
                     // Range?
-                    if self.peek() == Some(b'-')
-                        && self.peek2().is_some_and(|b| b != b']')
-                    {
+                    if self.peek() == Some(b'-') && self.peek2().is_some_and(|b| b != b']') {
                         cov!(self.cov);
                         self.i += 1;
                         let Some(hi) = self.peek() else {

@@ -9,9 +9,9 @@
 //! operators, calls, member access, indexing, and object/array/string/
 //! number literals. An input is *valid* iff the whole program parses.
 
+use crate::cov;
 use crate::cov::{count_points, Coverage, RunOutcome};
 use crate::target::Target;
-use crate::cov;
 
 const SRC: &str = include_str!("javascript.rs");
 
@@ -53,8 +53,25 @@ impl Target for JavaScript {
 const MAX_DEPTH: u32 = 150;
 
 const KEYWORDS: &[&[u8]] = &[
-    b"function", b"var", b"let", b"const", b"if", b"else", b"while", b"do", b"for", b"return",
-    b"true", b"false", b"null", b"undefined", b"this", b"new", b"typeof", b"break", b"continue",
+    b"function",
+    b"var",
+    b"let",
+    b"const",
+    b"if",
+    b"else",
+    b"while",
+    b"do",
+    b"for",
+    b"return",
+    b"true",
+    b"false",
+    b"null",
+    b"undefined",
+    b"this",
+    b"new",
+    b"typeof",
+    b"break",
+    b"continue",
 ];
 
 struct Parser<'a> {
@@ -118,11 +135,7 @@ impl Parser<'_> {
             return None;
         }
         let mut j = self.i;
-        while self
-            .s
-            .get(j)
-            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
-        {
+        while self.s.get(j).is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$') {
             j += 1;
         }
         Some(&self.s[self.i..j])
@@ -571,7 +584,9 @@ impl Parser<'_> {
             if !self.skip_ws() {
                 return false;
             }
-            for op in [&b"="[..], b"+=", b"-=", b"*=", b"/=", b"%=", b"<<=", b">>=", b"&=", b"|=", b"^="] {
+            for op in
+                [&b"="[..], b"+=", b"-=", b"*=", b"/=", b"%=", b"<<=", b">>=", b"&=", b"|=", b"^="]
+            {
                 if self.starts_with(op)
                     && !self.starts_with(b"==")
                     && !(op == b"=" && self.starts_with(b"=>"))
@@ -683,7 +698,10 @@ impl Parser<'_> {
                 if self.starts_with(op) {
                     // Exclude assignment forms like += and lone = .
                     let next = self.s.get(self.i + op.len()).copied();
-                    if op.len() == 1 && next == Some(b'=') && matches!(op[0], b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^') {
+                    if op.len() == 1
+                        && next == Some(b'=')
+                        && matches!(op[0], b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^')
+                    {
                         break;
                     }
                     found = Some((op.len(), *level));

@@ -96,7 +96,7 @@ mod tests {
             for s in t.seeds() {
                 all.merge(&t.run(&s).coverage);
             }
-            assert!(all.len() > 0, "{}", t.name());
+            assert!(!all.is_empty(), "{}", t.name());
             assert!(all.len() <= t.coverable_lines(), "{}", t.name());
         }
     }

@@ -13,9 +13,9 @@
 //! As in the paper (Section 8.3), inputs are parsed, never executed — the
 //! paper wraps inputs in `if False:` to the same effect.
 
+use crate::cov;
 use crate::cov::{count_points, Coverage, RunOutcome};
 use crate::target::Target;
-use crate::cov;
 
 const SRC: &str = include_str!("python.rs");
 
@@ -58,9 +58,28 @@ impl Target for Python {
 const MAX_DEPTH: u32 = 120;
 
 const KEYWORDS: &[&[u8]] = &[
-    b"def", b"class", b"if", b"elif", b"else", b"while", b"for", b"in", b"return", b"pass",
-    b"break", b"continue", b"import", b"from", b"and", b"or", b"not", b"lambda", b"None",
-    b"True", b"False", b"is",
+    b"def",
+    b"class",
+    b"if",
+    b"elif",
+    b"else",
+    b"while",
+    b"for",
+    b"in",
+    b"return",
+    b"pass",
+    b"break",
+    b"continue",
+    b"import",
+    b"from",
+    b"and",
+    b"or",
+    b"not",
+    b"lambda",
+    b"None",
+    b"True",
+    b"False",
+    b"is",
 ];
 
 struct Parser<'a> {
@@ -110,11 +129,7 @@ impl Parser<'_> {
             return None;
         }
         let mut j = self.i;
-        while self
-            .s
-            .get(j)
-            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
-        {
+        while self.s.get(j).is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_') {
             j += 1;
         }
         Some(&self.s[self.i..j])
@@ -709,19 +724,11 @@ impl Parser<'_> {
         }
         loop {
             self.skip_spaces();
-            const OPS: &[(&[u8], u8)] = &[
-                (b"+", 1),
-                (b"-", 1),
-                (b"**", 3),
-                (b"//", 2),
-                (b"*", 2),
-                (b"/", 2),
-                (b"%", 2),
-            ];
+            const OPS: &[(&[u8], u8)] =
+                &[(b"+", 1), (b"-", 1), (b"**", 3), (b"//", 2), (b"*", 2), (b"/", 2), (b"%", 2)];
             let mut found = None;
             for (op, level) in OPS {
-                if self.starts_with(op) && !self.starts_with(b"+=") && !self.starts_with(b"-=")
-                {
+                if self.starts_with(op) && !self.starts_with(b"+=") && !self.starts_with(b"-=") {
                     found = Some((op.len(), *level));
                     break;
                 }

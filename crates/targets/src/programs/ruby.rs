@@ -11,9 +11,9 @@
 //! As in the paper (Section 8.3), only the parser is modelled — inputs are
 //! never executed, so name resolution and runtime errors are out of scope.
 
+use crate::cov;
 use crate::cov::{count_points, Coverage, RunOutcome};
 use crate::target::Target;
-use crate::cov;
 
 const SRC: &str = include_str!("ruby.rs");
 
@@ -118,11 +118,7 @@ impl Parser<'_> {
             return None;
         }
         let mut j = self.i;
-        while self
-            .s
-            .get(j)
-            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
-        {
+        while self.s.get(j).is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_') {
             j += 1;
         }
         // Trailing ? or ! are part of Ruby method names.

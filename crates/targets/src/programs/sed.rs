@@ -7,9 +7,9 @@
 //! (`: label`, `b`, `t`), and `{ … }` groups. An input is *valid* iff the
 //! whole script parses.
 
+use crate::cov;
 use crate::cov::{count_points, Coverage, RunOutcome};
 use crate::target::Target;
-use crate::cov;
 
 const SRC: &str = include_str!("sed.rs");
 
@@ -37,14 +37,10 @@ impl Target for Sed {
     }
 
     fn seeds(&self) -> Vec<Vec<u8>> {
-        [
-            &b"s/cat/dog/g"[..],
-            b"1,5d\n/err/p\nq",
-            b"y/abc/xyz/\n$=\n3{p\nd\n}",
-        ]
-        .iter()
-        .map(|s| s.to_vec())
-        .collect()
+        [&b"s/cat/dog/g"[..], b"1,5d\n/err/p\nq", b"y/abc/xyz/\n$=\n3{p\nd\n}"]
+            .iter()
+            .map(|s| s.to_vec())
+            .collect()
     }
 }
 
@@ -143,8 +139,10 @@ impl Parser<'_> {
                 self.depth += 1;
                 true
             }
-            Some(b'd' | b'p' | b'q' | b'=' | b'l' | b'h' | b'H' | b'g' | b'G' | b'x' | b'n'
-            | b'N' | b'D' | b'P' | b'F' | b'z') => {
+            Some(
+                b'd' | b'p' | b'q' | b'=' | b'l' | b'h' | b'H' | b'g' | b'G' | b'x' | b'n' | b'N'
+                | b'D' | b'P' | b'F' | b'z',
+            ) => {
                 cov!(self.cov);
                 self.end_of_command()
             }

@@ -9,9 +9,9 @@
 //! uniqueness make the accepted language non-context-free, exactly the
 //! situation discussed at the end of Section 8.3.
 
+use crate::cov;
 use crate::cov::{count_points, Coverage, RunOutcome};
 use crate::target::Target;
-use crate::cov;
 
 const SRC: &str = include_str!("xml.rs");
 

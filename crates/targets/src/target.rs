@@ -71,7 +71,7 @@ mod tests {
             "dummy"
         }
         fn run(&self, input: &[u8]) -> RunOutcome {
-            RunOutcome { valid: input.len() % 2 == 0, coverage: Coverage::new() }
+            RunOutcome { valid: input.len().is_multiple_of(2), coverage: Coverage::new() }
         }
         fn coverable_lines(&self) -> usize {
             0

@@ -13,10 +13,30 @@ fn arb_input() -> impl Strategy<Value = Vec<u8>> {
         // Structured-ish ASCII soup, which digs deeper into the parsers.
         proptest::collection::vec(
             prop_oneof![
-                Just(b'<'), Just(b'>'), Just(b'/'), Just(b'a'), Just(b'"'), Just(b'\''),
-                Just(b'\\'), Just(b'('), Just(b')'), Just(b'['), Just(b']'), Just(b'{'),
-                Just(b'}'), Just(b'%'), Just(b'\n'), Just(b' '), Just(b'='), Just(b';'),
-                Just(b':'), Just(b'|'), Just(b'*'), Just(b'0'), Just(b'x'), Just(b'#'),
+                Just(b'<'),
+                Just(b'>'),
+                Just(b'/'),
+                Just(b'a'),
+                Just(b'"'),
+                Just(b'\''),
+                Just(b'\\'),
+                Just(b'('),
+                Just(b')'),
+                Just(b'['),
+                Just(b']'),
+                Just(b'{'),
+                Just(b'}'),
+                Just(b'%'),
+                Just(b'\n'),
+                Just(b' '),
+                Just(b'='),
+                Just(b';'),
+                Just(b':'),
+                Just(b'|'),
+                Just(b'*'),
+                Just(b'0'),
+                Just(b'x'),
+                Just(b'#'),
             ],
             0..120
         ),

@@ -19,10 +19,8 @@ use rand::SeedableRng;
 fn main() {
     let xml = Xml;
     let seeds = xml.seeds();
-    let samples: usize = std::env::var("GLADE_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3000);
+    let samples: usize =
+        std::env::var("GLADE_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(3000);
 
     println!("Target: {} ({} instrumented lines)", xml.name(), xml.coverable_lines());
     println!("Seeds: {} inputs", seeds.len());

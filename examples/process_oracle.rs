@@ -10,17 +10,13 @@
 //! (Requires a Unix-like system with `grep` on PATH; exits gracefully
 //! otherwise.)
 
-use glade_repro::core::{CachingOracle, Glade, GladeConfig, Oracle, ProcessOracle};
+use glade_repro::core::{CachingOracle, Glade, GladeConfig, Oracle};
 use glade_repro::grammar::Sampler;
 use rand::SeedableRng;
 use std::process::Command;
 
 fn grep_available() -> bool {
-    Command::new("grep")
-        .arg("--version")
-        .output()
-        .map(|o| o.status.success())
-        .unwrap_or(false)
+    Command::new("grep").arg("--version").output().map(|o| o.status.success()).unwrap_or(false)
 }
 
 fn main() {
@@ -32,7 +28,7 @@ fn main() {
     // grep -E PATTERN /dev/null: exit 1 = valid pattern, no match;
     // exit 2 = bad pattern. Wrap so "valid" means exit status 0 or 1.
     #[derive(Debug)]
-    struct GrepPattern(ProcessOracle);
+    struct GrepPattern;
     impl Oracle for GrepPattern {
         fn accepts(&self, input: &[u8]) -> bool {
             // Reject patterns with NUL/newline (argv cannot carry them).
@@ -51,7 +47,7 @@ fn main() {
         }
     }
 
-    let oracle = CachingOracle::new(GrepPattern(ProcessOracle::new("grep")));
+    let oracle = CachingOracle::new(GrepPattern);
     let seeds = vec![b"(ab|c)*x".to_vec()];
 
     println!("Learning grep -E pattern syntax by spawning grep per query…");
@@ -60,6 +56,9 @@ fn main() {
         // the expensive character-generalization sweep.
         character_generalization: false,
         max_queries: Some(400),
+        // Process spawns are slow; let the batched query engine overlap
+        // them across worker threads (grep runs are independent).
+        worker_threads: Some(4),
         ..GladeConfig::default()
     };
     let start = std::time::Instant::now();

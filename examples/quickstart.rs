@@ -33,7 +33,8 @@ fn main() {
     println!("Oracle: the XML-like language of Figure 1\n");
 
     let oracle = FnOracle::new(xml_like);
-    let result = Glade::new().synthesize(&[seed.clone()], &oracle).expect("seed is valid");
+    let result =
+        Glade::new().synthesize(std::slice::from_ref(&seed), &oracle).expect("seed is valid");
 
     println!("Phase 1 + character generalization produced the regular expression:");
     println!("    {}\n", result.regex);

@@ -13,9 +13,7 @@
 //! input delivered on stdin or via a `{}` temp-file placeholder) or one of
 //! the built-in instrumented targets from `glade-targets`.
 
-use glade_repro::core::{
-    CachingOracle, Glade, GladeConfig, InputMode, Oracle, ProcessOracle,
-};
+use glade_repro::core::{CachingOracle, Glade, GladeConfig, InputMode, Oracle, ProcessOracle};
 use glade_repro::fuzz::{Fuzzer, GrammarFuzzer};
 use glade_repro::grammar::{grammar_from_text, grammar_to_text, Earley, Grammar, Sampler};
 use glade_repro::targets::programs::{all_targets, target_by_name};
@@ -99,8 +97,7 @@ fn read_file(path: &str) -> Result<Vec<u8>, String> {
 }
 
 fn load_grammar(path: &str) -> Result<Grammar, String> {
-    let text = String::from_utf8(read_file(path)?)
-        .map_err(|_| format!("{path} is not UTF-8"))?;
+    let text = String::from_utf8(read_file(path)?).map_err(|_| format!("{path} is not UTF-8"))?;
     grammar_from_text(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -160,9 +157,8 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let oracle = CachingOracle::new(oracle);
 
     let start = std::time::Instant::now();
-    let result = Glade::with_config(config)
-        .synthesize(&seeds, &oracle)
-        .map_err(|e| e.to_string())?;
+    let result =
+        Glade::with_config(config).synthesize(&seeds, &oracle).map_err(|e| e.to_string())?;
     eprintln!(
         "synthesized {} nonterminals / {} productions with {} oracle queries in {:?}",
         result.grammar.num_nonterminals(),
@@ -194,9 +190,7 @@ fn cmd_sample(argv: &[String]) -> Result<(), String> {
     while let Some(flag) = args.next() {
         match flag {
             "--grammar" => grammar_path = Some(args.value("--grammar")?.to_owned()),
-            "--count" => {
-                count = args.value("--count")?.parse().map_err(|_| "bad --count")?
-            }
+            "--count" => count = args.value("--count")?.parse().map_err(|_| "bad --count")?,
             "--max-depth" => {
                 max_depth = args.value("--max-depth")?.parse().map_err(|_| "bad --max-depth")?
             }
@@ -234,9 +228,7 @@ fn cmd_check(argv: &[String]) -> Result<(), String> {
         Some(p) => read_file(&p)?,
         None => {
             let mut buf = Vec::new();
-            std::io::stdin()
-                .read_to_end(&mut buf)
-                .map_err(|e| format!("stdin: {e}"))?;
+            std::io::stdin().read_to_end(&mut buf).map_err(|e| format!("stdin: {e}"))?;
             buf
         }
     };
@@ -259,9 +251,7 @@ fn cmd_fuzz(argv: &[String]) -> Result<(), String> {
         match flag {
             "--grammar" => grammar_path = Some(args.value("--grammar")?.to_owned()),
             "--seed" => seeds.push(read_file(args.value("--seed")?)?),
-            "--count" => {
-                count = args.value("--count")?.parse().map_err(|_| "bad --count")?
-            }
+            "--count" => count = args.value("--count")?.parse().map_err(|_| "bad --count")?,
             "--seed-rng" => {
                 rng_seed = args.value("--seed-rng")?.parse().map_err(|_| "bad --seed-rng")?
             }

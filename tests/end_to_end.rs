@@ -150,11 +150,7 @@ fn synthesized_xml_grammar_has_figure5_shape() {
 fn p1_ablation_never_invents_recursion() {
     let xml = Xml;
     let oracle = TargetOracle::new(&xml);
-    let config = GladeConfig {
-        phase2: false,
-        max_queries: Some(60_000),
-        ..GladeConfig::default()
-    };
+    let config = GladeConfig { phase2: false, max_queries: Some(60_000), ..GladeConfig::default() };
     let result = Glade::with_config(config)
         .synthesize(&[b"<a><a>x</a>y</a>".to_vec()], &oracle)
         .expect("valid seed");

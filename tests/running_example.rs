@@ -1,7 +1,7 @@
 //! The paper's running example (Figures 1–3), checked step by step against
 //! the published derivation.
 
-use glade_repro::core::{CachingOracle, Glade, GladeConfig, Oracle};
+use glade_repro::core::{CachingOracle, Glade, GladeConfig};
 use glade_repro::eval::evaluate_grammar;
 use glade_repro::grammar::Earley;
 use glade_repro::targets::languages::toy_xml;
@@ -12,13 +12,9 @@ fn figure2_phase1_regex() {
     // Steps R1–R9: seed <a>hi</a> → (<a>(h+i)*</a>)*.
     let lang = toy_xml();
     let oracle = lang.oracle();
-    let config = GladeConfig {
-        character_generalization: false,
-        phase2: false,
-        ..GladeConfig::default()
-    };
-    let result =
-        Glade::with_config(config).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+    let config =
+        GladeConfig { character_generalization: false, phase2: false, ..GladeConfig::default() };
+    let result = Glade::with_config(config).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
     // (h+i) prints as the merged class [hi].
     assert_eq!(result.regex.to_string(), "(<a>[hi]*</a>)*");
 }
@@ -31,8 +27,7 @@ fn figure2_phase2_checks_and_merge() {
     let lang = toy_xml();
     let oracle = lang.oracle();
     let config = GladeConfig { character_generalization: false, ..GladeConfig::default() };
-    let result =
-        Glade::with_config(config).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+    let result = Glade::with_config(config).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
     assert_eq!(result.stats.star_count, 2);
     assert_eq!(result.stats.merge_pairs_tried, 1);
     assert_eq!(result.stats.merges_accepted, 1);
@@ -58,13 +53,9 @@ fn section62_character_generalization() {
     let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
 
     let parser = Earley::new(&result.grammar);
-    for member in [
-        &b""[..],
-        b"zz",
-        b"<a>qrstuv</a>",
-        b"<a><a>any</a>letters</a>",
-        b"<a></a><a></a>",
-    ] {
+    for member in
+        [&b""[..], b"zz", b"<a>qrstuv</a>", b"<a><a>any</a>letters</a>", b"<a></a><a></a>"]
+    {
         assert!(parser.accepts(member), "should accept {:?}", String::from_utf8_lossy(member));
     }
     for nonmember in [&b"aa>hi</a>"[..], b"<a>HI</a>", b"<a>h i</a>", b"<b></b>", b"<a>1</a>"] {
