@@ -4,7 +4,7 @@
 //! quality, oracle cost, and time on the XML target language.
 
 use glade_bench::{banner, Scale};
-use glade_core::{Glade, GladeConfig};
+use glade_core::{GladeBuilder, GladeConfig};
 use glade_eval::{evaluate_grammar, sample_seeds};
 use glade_targets::languages::{toy_xml, xml};
 use glade_targets::Language;
@@ -39,8 +39,9 @@ fn run_language(language: &Language, seeds: usize, eval_samples: usize) {
         let seed_inputs = sample_seeds(language, seeds, &mut rng);
         let oracle = language.oracle();
         let start = std::time::Instant::now();
-        let result =
-            Glade::with_config(config).synthesize(&seed_inputs, &oracle).expect("seeds valid");
+        let result = GladeBuilder::from_config(config)
+            .synthesize(&seed_inputs, &oracle)
+            .expect("seeds valid");
         let elapsed = start.elapsed();
         let q =
             evaluate_grammar(&result.grammar, language.grammar(), &oracle, eval_samples, &mut rng);

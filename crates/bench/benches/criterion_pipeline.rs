@@ -5,7 +5,7 @@
 //! generalization, the full pipeline, Earley parsing, and grammar sampling.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use glade_core::{Glade, GladeConfig};
+use glade_core::{GladeBuilder, GladeConfig};
 use glade_grammar::{Earley, Sampler};
 use glade_targets::languages::toy_xml;
 use glade_targets::programs::{Grep, Sed, Xml};
@@ -20,7 +20,9 @@ fn bench_synthesis(c: &mut Criterion) {
     group.bench_function("toy_xml/full", |b| {
         let lang = toy_xml();
         let oracle = lang.oracle();
-        b.iter(|| Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid seed"))
+        b.iter(|| {
+            GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid seed")
+        })
     });
 
     group.bench_function("toy_xml/phase1_only", |b| {
@@ -32,7 +34,7 @@ fn bench_synthesis(c: &mut Criterion) {
             ..GladeConfig::default()
         };
         b.iter(|| {
-            Glade::with_config(config.clone())
+            GladeBuilder::from_config(config.clone())
                 .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
                 .expect("valid seed")
         })
@@ -44,7 +46,9 @@ fn bench_synthesis(c: &mut Criterion) {
             let seeds = target.seeds();
             let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
             b.iter(|| {
-                Glade::with_config(config.clone()).synthesize(&seeds, &oracle).expect("valid seeds")
+                GladeBuilder::from_config(config.clone())
+                    .synthesize(&seeds, &oracle)
+                    .expect("valid seeds")
             })
         });
     }
@@ -58,7 +62,8 @@ fn bench_substrate(c: &mut Criterion) {
     let xml = Xml;
     let oracle = TargetOracle::new(&xml);
     let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
-    let synthesis = Glade::with_config(config).synthesize(&xml.seeds(), &oracle).expect("valid");
+    let synthesis =
+        GladeBuilder::from_config(config).synthesize(&xml.seeds(), &oracle).expect("valid");
     let grammar = synthesis.grammar;
     let doc = b"<root a=\"1\"><b/>text<c x='y'>&lt;</c></root>".to_vec();
 

@@ -7,7 +7,7 @@
 //! (e.g. the XML `>` migrating between productions).
 
 use glade_bench::banner;
-use glade_core::{Glade, GladeConfig};
+use glade_core::{GladeBuilder, GladeConfig};
 use glade_targets::languages::{section82_languages, Language};
 use glade_targets::GrammarOracle;
 use rand::rngs::StdRng;
@@ -37,7 +37,7 @@ fn main() {
         }
         let oracle: GrammarOracle = language.oracle();
         let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
-        match Glade::with_config(config).synthesize(&seeds, &oracle) {
+        match GladeBuilder::from_config(config).synthesize(&seeds, &oracle) {
             Ok(result) => {
                 println!(
                     "synthesized grammar ({} queries, {:?}):",

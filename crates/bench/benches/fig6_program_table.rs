@@ -2,7 +2,7 @@
 //! GLADE's synthesis time for each of the eight target programs.
 
 use glade_bench::banner;
-use glade_core::{Glade, GladeConfig};
+use glade_core::{GladeBuilder, GladeConfig};
 use glade_targets::programs::all_targets;
 use glade_targets::TargetOracle;
 
@@ -20,7 +20,7 @@ fn main() {
         let oracle = TargetOracle::new(target.as_ref());
         let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
         let start = std::time::Instant::now();
-        let result = Glade::with_config(config)
+        let result = GladeBuilder::from_config(config)
             .synthesize(&seeds, &oracle)
             .expect("targets accept their seeds");
         let secs = start.elapsed().as_secs_f64();

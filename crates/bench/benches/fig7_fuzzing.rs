@@ -10,7 +10,7 @@
 //! coverage for python/ruby/js.
 
 use glade_bench::{banner, mean, Scale};
-use glade_core::{Glade, GladeConfig};
+use glade_core::{GladeBuilder, GladeConfig};
 use glade_fuzz::{replay_corpus, run_campaign, AflFuzzer, GrammarFuzzer, NaiveFuzzer};
 use glade_grammar::Sampler;
 use glade_targets::programs::all_targets;
@@ -21,7 +21,7 @@ use rand::SeedableRng;
 fn synthesize(target: &dyn Target) -> glade_core::Synthesis {
     let oracle = TargetOracle::new(target);
     let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
-    Glade::with_config(config)
+    GladeBuilder::from_config(config)
         .synthesize(&target.seeds(), &oracle)
         .expect("targets accept their seeds")
 }

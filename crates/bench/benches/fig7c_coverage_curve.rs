@@ -6,7 +6,7 @@
 //! by the naive fuzzer's final coverage).
 
 use glade_bench::{banner, Scale};
-use glade_core::{Glade, GladeConfig};
+use glade_core::{GladeBuilder, GladeConfig};
 use glade_fuzz::{coverage_curve, AflFuzzer, GrammarFuzzer, NaiveFuzzer};
 use glade_targets::programs::Python;
 use glade_targets::{Target, TargetOracle};
@@ -24,7 +24,8 @@ fn main() {
     let seeds = python.seeds();
     let oracle = TargetOracle::new(&python);
     let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
-    let synthesis = Glade::with_config(config).synthesize(&seeds, &oracle).expect("seeds valid");
+    let synthesis =
+        GladeBuilder::from_config(config).synthesize(&seeds, &oracle).expect("seeds valid");
 
     let mut rng = StdRng::seed_from_u64(0xF17C);
     let mut naive = NaiveFuzzer::new(seeds.clone());

@@ -3,7 +3,7 @@
 //! comments, and other constructs reached by the synthesized grammar.
 
 use glade_bench::banner;
-use glade_core::{Glade, GladeConfig, Oracle};
+use glade_core::{GladeBuilder, GladeConfig, Oracle};
 use glade_grammar::Sampler;
 use glade_targets::programs::Xml;
 use glade_targets::{Target, TargetOracle};
@@ -17,7 +17,7 @@ fn main() {
     let oracle = TargetOracle::new(&xml);
     let config = GladeConfig { max_queries: Some(300_000), ..GladeConfig::default() };
     let synthesis =
-        Glade::with_config(config).synthesize(&xml.seeds(), &oracle).expect("seeds valid");
+        GladeBuilder::from_config(config).synthesize(&xml.seeds(), &oracle).expect("seeds valid");
 
     println!(
         "\nsynthesized grammar: {} nonterminals, {} productions\n",

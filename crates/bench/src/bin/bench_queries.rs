@@ -1,8 +1,8 @@
 //! `bench-queries` — machine-readable benchmark of the membership-query
 //! engine, emitted as `BENCH_queries.json`.
 //!
-//! Two experiment families, so the perf trajectory of the query layer is
-//! recorded in-repo from this PR onward:
+//! Three experiment families, so the perf trajectory of the query layer
+//! is recorded in-repo:
 //!
 //! 1. **`parallel_speedup`** — the full pipeline on the paper's running
 //!    example (`<a>hi</a>`, Figure 2) against an artificially slowed oracle
@@ -17,12 +17,16 @@
 //!    the toy-XML running-example language, with grammar-membership
 //!    oracles and sampled seeds. Reports wall time, unique/total queries,
 //!    and merge-pair counts.
+//! 3. **`cache_reuse`** — the session API's persistent query cache: one
+//!    cold run on the running example, snapshot, then the identical run in
+//!    a fresh session warm-started from the snapshot. Records wall times
+//!    and asserts the warm run pays zero new unique queries.
 //!
 //! Usage: `cargo run --release -p glade-bench --bin bench-queries`
 //! (writes `BENCH_queries.json` to the current directory, override with
 //! `GLADE_BENCH_OUT`).
 
-use glade_core::{FnOracle, Glade, GladeConfig, Oracle, SynthesisStats};
+use glade_core::{FnOracle, GladeBuilder, Oracle, SynthesisStats};
 use glade_eval::sample_seeds;
 use glade_grammar::grammar_to_text;
 use glade_targets::languages::{section82_languages, toy_xml};
@@ -49,16 +53,38 @@ fn run_speedup(workers: usize, oracle_delay: Duration) -> SpeedupRow {
         }
         inner.accepts(i)
     });
-    let cfg = GladeConfig { worker_threads: Some(workers), ..GladeConfig::default() };
     let start = Instant::now();
-    let result =
-        Glade::with_config(cfg).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid seed");
+    let result = GladeBuilder::new()
+        .worker_threads(workers)
+        .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+        .expect("valid seed");
     SpeedupRow {
         workers,
         grammar: grammar_to_text(&result.grammar),
         stats: result.stats,
         wall: start.elapsed(),
     }
+}
+
+/// Cache-persistence experiment: one cold session run, snapshot the query
+/// cache, then replay the identical run in a fresh session warm-started
+/// from the snapshot. Returns (cold, warm) results; the warm run must pay
+/// zero new unique queries.
+fn run_cache_reuse(oracle_delay: Duration) -> (glade_core::Synthesis, glade_core::Synthesis) {
+    let inner = toy_xml().oracle();
+    let oracle = FnOracle::new(move |i: &[u8]| {
+        if !oracle_delay.is_zero() {
+            std::thread::sleep(oracle_delay);
+        }
+        inner.accepts(i)
+    });
+    let mut cold_session = GladeBuilder::new().session(&oracle);
+    let cold = cold_session.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
+    let snapshot = cold_session.export_cache();
+    let mut warm_session = GladeBuilder::new().session(&oracle);
+    warm_session.import_cache(&snapshot).expect("snapshot parses");
+    let warm = warm_session.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
+    (cold, warm)
 }
 
 fn secs(d: Duration) -> f64 {
@@ -208,9 +234,8 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(17);
         let seeds = sample_seeds(language, 10, &mut rng);
         let oracle = language.oracle();
-        let cfg = GladeConfig { max_queries: Some(200_000), ..GladeConfig::default() };
         let start = Instant::now();
-        match Glade::with_config(cfg).synthesize(&seeds, &oracle) {
+        match GladeBuilder::new().max_queries(200_000).synthesize(&seeds, &oracle) {
             Ok(result) => {
                 let wall = start.elapsed();
                 eprintln!(
@@ -238,6 +263,29 @@ fn main() {
         }
     }
     j.close_arr();
+
+    // ---- Experiment 3: persistent-cache warm start. ----
+    let cold_start = Instant::now();
+    let (cold, warm) = run_cache_reuse(oracle_delay);
+    let reuse_wall = cold_start.elapsed();
+    eprintln!(
+        "[bench-queries] cache_reuse: cold unique={} warm new_unique={} (total {:.3}s)",
+        cold.stats.unique_queries,
+        warm.stats.new_unique_queries,
+        secs(reuse_wall),
+    );
+    assert_eq!(warm.stats.new_unique_queries, 0, "warm re-run re-paid oracle calls");
+    j.open_obj(Some("cache_reuse"));
+    j.int("cold_unique_queries", cold.stats.unique_queries);
+    j.int("warm_new_unique_queries", warm.stats.new_unique_queries);
+    j.num("cold_total_secs", secs(cold.stats.total_time()));
+    j.num("warm_total_secs", secs(warm.stats.total_time()));
+    j.boolean(
+        "warm_grammar_identical",
+        grammar_to_text(&warm.grammar) == grammar_to_text(&cold.grammar),
+    );
+    j.close_obj();
+
     j.close_obj();
 
     std::fs::write(&out_path, format!("{}\n", j.out)).expect("write BENCH_queries.json");

@@ -75,6 +75,18 @@ impl ShardedCache {
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
     }
+
+    /// Copies every `(query, verdict)` entry out, in unspecified order
+    /// (serialization via `persist::cache_to_text` sorts; sorting here too
+    /// would be a redundant O(n log n) pass on every snapshot).
+    pub fn snapshot(&self) -> Vec<(Vec<u8>, bool)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(shard.iter().map(|(k, &v)| (k.clone(), v)));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +118,20 @@ mod tests {
             }
         });
         assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn snapshot_is_complete() {
+        let c = ShardedCache::new();
+        c.insert(b"zz".to_vec(), true);
+        c.insert(b"a".to_vec(), false);
+        c.insert(b"mm".to_vec(), true);
+        let mut snap = c.snapshot();
+        snap.sort();
+        assert_eq!(
+            snap,
+            vec![(b"a".to_vec(), false), (b"mm".to_vec(), true), (b"zz".to_vec(), true)]
+        );
     }
 
     #[test]

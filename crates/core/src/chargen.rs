@@ -77,31 +77,23 @@ pub(crate) fn default_test_bytes() -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::ShardedCache;
     use crate::phase1::Phase1;
-    use crate::FnOracle;
+    use crate::runner::RunnerOptions;
+    use crate::testing::xml_like;
+    use crate::{FnOracle, Oracle};
 
-    fn xml_like_accepts(input: &[u8]) -> bool {
-        fn parse(mut s: &[u8]) -> Option<&[u8]> {
-            loop {
-                if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                    s = &s[1..];
-                } else if s.starts_with(b"<a>") {
-                    let rest = parse(&s[3..])?;
-                    s = rest.strip_prefix(b"</a>")?;
-                } else {
-                    return Some(s);
-                }
-            }
-        }
-        parse(input).is_some_and(|rest| rest.is_empty())
+    fn test_runner<'s>(oracle: &'s dyn Oracle, cache: &'s ShardedCache) -> QueryRunner<'s> {
+        QueryRunner::new(oracle, cache, RunnerOptions { workers: 2, ..RunnerOptions::default() })
     }
 
     #[test]
     fn running_example_generalizes_letters_not_structure() {
         // Section 6.2: h and i generalize to a..z; the tag bytes < a > /
         // do not generalize.
-        let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let oracle = FnOracle::new(xml_like);
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let mut tree = p1.generalize_seed(b"<a>hi</a>");
         generalize_chars(&mut tree, &runner, &default_test_bytes());
@@ -119,7 +111,8 @@ mod tests {
     fn digits_generalize_in_digit_language() {
         // L = nonempty digit strings.
         let oracle = FnOracle::new(|i: &[u8]| !i.is_empty() && i.iter().all(u8::is_ascii_digit));
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let mut tree = p1.generalize_seed(b"7");
         generalize_chars(&mut tree, &runner, &default_test_bytes());
@@ -133,7 +126,8 @@ mod tests {
     #[test]
     fn counts_accepted_pairs() {
         let oracle = FnOracle::new(|i: &[u8]| i.len() == 1 && i[0].is_ascii_lowercase());
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let mut tree = p1.generalize_seed(b"m");
         let n = generalize_chars(&mut tree, &runner, &default_test_bytes());
@@ -145,7 +139,12 @@ mod tests {
     #[test]
     fn respects_budget() {
         let oracle = FnOracle::new(|_: &[u8]| true);
-        let runner = QueryRunner::new(&oracle, Some(0), None, 2);
+        let cache = ShardedCache::new();
+        let runner = QueryRunner::new(
+            &oracle,
+            &cache,
+            RunnerOptions { max_queries: Some(0), workers: 2, ..RunnerOptions::default() },
+        );
         let mut p1 = Phase1::new(&runner, 0);
         let mut tree = p1.generalize_seed(b"q");
         let n = generalize_chars(&mut tree, &runner, &default_test_bytes());

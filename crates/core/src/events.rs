@@ -1,0 +1,289 @@
+//! Synthesis progress events, observers, and cooperative cancellation.
+//!
+//! A [`Session`](crate::Session) run is observable: the engine emits
+//! [`SynthEvent`]s at phase boundaries, per-seed decisions, accepted merges,
+//! and every membership-query batch. Callers install a
+//! [`SynthesisObserver`] through [`GladeBuilder::observer`]
+//! (crate::GladeBuilder::observer) to drive progress bars, structured logs,
+//! or live dashboards; [`EventLog`] is a ready-made collecting observer for
+//! tests and small tools.
+//!
+//! Runs are also cancellable: a [`CancelToken`] is a cheap clonable handle
+//! whose [`CancelToken::cancel`] flips an atomic flag the query engine
+//! checks between membership-query batches. Cancellation takes the same
+//! fail-closed degradation path as the query/time budget (pending checks
+//! answer `false`, so pending generalizations collapse and pending merges
+//! are skipped) — the run still returns a [`Synthesis`](crate::Synthesis)
+//! whose grammar contains every seed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The pipeline stage an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthPhase {
+    /// Phase one: per-seed regular-expression generalization (Section 4).
+    Phase1,
+    /// Character generalization (Section 6.2).
+    CharGeneralization,
+    /// Phase two: repetition merging (Section 5).
+    Phase2,
+}
+
+impl std::fmt::Display for SynthPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthPhase::Phase1 => write!(f, "phase 1"),
+            SynthPhase::CharGeneralization => write!(f, "character generalization"),
+            SynthPhase::Phase2 => write!(f, "phase 2"),
+        }
+    }
+}
+
+/// A structured progress event emitted during synthesis.
+///
+/// The enum is `#[non_exhaustive]`: observers must carry a wildcard arm, so
+/// future engine work can add event kinds without breaking downstream code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthEvent {
+    /// A pipeline stage began.
+    PhaseStarted {
+        /// The stage.
+        phase: SynthPhase,
+    },
+    /// A pipeline stage completed (including degraded completion after the
+    /// budget ran out or the run was cancelled).
+    PhaseFinished {
+        /// The stage.
+        phase: SynthPhase,
+        /// Wall-clock time spent in the stage during this run.
+        elapsed: Duration,
+        /// Distinct membership queries cached so far (cumulative across the
+        /// session).
+        unique_queries: usize,
+    },
+    /// Phase one generalized a seed into a tree.
+    SeedGeneralized {
+        /// Index of the seed across the whole session, in submission order.
+        seed_index: usize,
+        /// Repetition subexpressions the seed contributed.
+        new_stars: usize,
+    },
+    /// A seed was skipped by the Section 6.1 redundancy optimization (it
+    /// was already matched by the disjunction of the regular expressions
+    /// synthesized so far).
+    SeedSkipped {
+        /// Index of the seed across the whole session, in submission order.
+        seed_index: usize,
+    },
+    /// Phase two accepted a merge: the two repetition subexpressions now
+    /// share a nonterminal in the output grammar.
+    MergeAccepted {
+        /// Star id of the first (lower-id) repetition.
+        left_star: usize,
+        /// Star id of the second repetition.
+        right_star: usize,
+    },
+    /// A membership-query batch completed.
+    QueryBatch {
+        /// Checks posed in the batch (before deduplication).
+        checks: usize,
+        /// Checks answered from the session cache.
+        cached: usize,
+        /// Distinct cache misses actually sent to the oracle.
+        posed: usize,
+    },
+    /// The distinct-query or wall-clock budget ran out; every further check
+    /// in this run answers `false` (fail closed).
+    BudgetExhausted,
+    /// The run's [`CancelToken`] was observed mid-run; remaining checks
+    /// answer `false` (fail closed), like budget exhaustion.
+    Cancelled,
+}
+
+/// Receives [`SynthEvent`]s during a synthesis run.
+///
+/// Observers must be `Send + Sync`: most events are emitted from the thread
+/// driving the session, but budget/cancellation trips can be observed from
+/// query worker threads. Implementations should return quickly — the engine
+/// calls them inline on the query path.
+pub trait SynthesisObserver: Send + Sync {
+    /// Called once per event, in emission order per thread.
+    fn on_event(&self, event: &SynthEvent);
+}
+
+impl<O: SynthesisObserver + ?Sized> SynthesisObserver for &O {
+    fn on_event(&self, event: &SynthEvent) {
+        (**self).on_event(event)
+    }
+}
+
+impl<O: SynthesisObserver + ?Sized> SynthesisObserver for Arc<O> {
+    fn on_event(&self, event: &SynthEvent) {
+        (**self).on_event(event)
+    }
+}
+
+impl<O: SynthesisObserver + ?Sized> SynthesisObserver for Box<O> {
+    fn on_event(&self, event: &SynthEvent) {
+        (**self).on_event(event)
+    }
+}
+
+/// A [`SynthesisObserver`] that records every event in order.
+///
+/// # Examples
+///
+/// ```
+/// use glade_core::{EventLog, GladeBuilder, FnOracle, SynthEvent};
+/// use std::sync::Arc;
+///
+/// let log = Arc::new(EventLog::new());
+/// let oracle = FnOracle::new(glade_core::testing::xml_like);
+/// let mut session = GladeBuilder::new().observer(log.clone()).session(&oracle);
+/// session.add_seeds(&[b"<a>hi</a>".to_vec()])?;
+/// assert!(log.events().iter().any(|e| matches!(e, SynthEvent::MergeAccepted { .. })));
+/// # Ok::<(), glade_core::SynthesisError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<SynthEvent>>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<SynthEvent> {
+        self.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether no events were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("event log poisoned").clear();
+    }
+}
+
+impl SynthesisObserver for EventLog {
+    fn on_event(&self, event: &SynthEvent) {
+        self.events.lock().expect("event log poisoned").push(event.clone());
+    }
+}
+
+/// Cooperative cancellation handle for a synthesis run.
+///
+/// Clones share one flag. The query engine checks the token between
+/// membership-query batches and between the queries of an in-flight batch;
+/// once cancelled, remaining checks answer `false` without reaching the
+/// oracle — the same fail-closed path as the deadline — so the run winds
+/// down quickly and still returns a grammar containing every seed.
+/// Cancellation is sticky: a cancelled token stays cancelled.
+///
+/// # Examples
+///
+/// ```
+/// use glade_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let handle = token.clone();
+/// assert!(!token.is_cancelled());
+/// handle.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent and thread-safe.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled(), "cancellation is idempotent");
+    }
+
+    #[test]
+    fn cancel_token_crosses_threads() {
+        let t = CancelToken::new();
+        std::thread::scope(|s| {
+            let h = t.clone();
+            s.spawn(move || h.cancel());
+        });
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        log.on_event(&SynthEvent::PhaseStarted { phase: SynthPhase::Phase1 });
+        log.on_event(&SynthEvent::BudgetExhausted);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0], SynthEvent::PhaseStarted { phase: SynthPhase::Phase1 });
+        assert_eq!(log.events()[1], SynthEvent::BudgetExhausted);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn observer_blanket_impls_compose() {
+        fn takes_observer(o: &dyn SynthesisObserver) {
+            o.on_event(&SynthEvent::Cancelled);
+        }
+        let log = EventLog::new();
+        takes_observer(&log);
+        let arc: Arc<dyn SynthesisObserver> = Arc::new(EventLog::new());
+        takes_observer(&arc);
+        let boxed: Box<dyn SynthesisObserver> = Box::new(EventLog::new());
+        takes_observer(&boxed);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn phase_display_names() {
+        assert_eq!(SynthPhase::Phase1.to_string(), "phase 1");
+        assert_eq!(SynthPhase::CharGeneralization.to_string(), "character generalization");
+        assert_eq!(SynthPhase::Phase2.to_string(), "phase 2");
+    }
+}

@@ -4,8 +4,8 @@
 //! This crate is a from-scratch reproduction of the synthesis algorithm of
 //! *Bastani, Sharma, Aiken, Liang. "Synthesizing Program Input Grammars",
 //! PLDI 2017*. Given a handful of seed inputs and an [`Oracle`] answering
-//! "is this input valid?", [`Glade::synthesize`] produces a context-free
-//! grammar approximating the program's input language:
+//! "is this input valid?", the engine produces a context-free grammar
+//! approximating the program's input language:
 //!
 //! 1. **Phase one** (Section 4) generalizes each seed into a regular
 //!    expression by greedily proposing repetition and alternation
@@ -20,10 +20,29 @@
 //! The output [`Synthesis`] carries the final [`glade_grammar::Grammar`],
 //! the intermediate regular expression, and detailed [`SynthesisStats`].
 //!
+//! # The session API
+//!
+//! Synthesis is driven through a [`Session`], configured by the fluent
+//! [`GladeBuilder`]. A session ties one oracle to one long-lived
+//! membership-query cache and makes runs:
+//!
+//! * **Incremental** — [`Session::add_seeds`] extends the grammar with new
+//!   seeds without re-deriving earlier seeds' trees, and produces exactly
+//!   the grammar a fresh run on the combined seed set would.
+//! * **Observable** — a [`SynthesisObserver`] receives [`SynthEvent`]s for
+//!   phase boundaries, per-seed decisions, accepted merges, and every
+//!   query batch ([`EventLog`] is a ready-made collector).
+//! * **Cancellable** — a [`CancelToken`] stops a runaway run between query
+//!   batches; like budget exhaustion, cancellation fails closed and the
+//!   degraded grammar still contains every seed.
+//! * **Warm-startable** — [`Session::save_cache`]/[`Session::load_cache`]
+//!   snapshot the query cache in a stable text format (see [`cache_to_text`]),
+//!   so repeated runs against the same target stop re-paying oracle calls.
+//!
 //! # Quick start
 //!
 //! ```
-//! use glade_core::{FnOracle, Glade};
+//! use glade_core::{FnOracle, GladeBuilder};
 //! use glade_grammar::{Earley, Sampler};
 //!
 //! // A toy target language: balanced square brackets.
@@ -44,18 +63,32 @@
 //!
 //! // A seed with one level of nesting lets phase two discover recursion.
 //! let oracle = FnOracle::new(balanced);
-//! let result = Glade::new().synthesize(&[b"[[]]".to_vec()], &oracle)?;
+//! let mut session = GladeBuilder::new().session(&oracle);
+//! let result = session.add_seeds(&[b"[[]]".to_vec()])?;
 //! assert!(Earley::new(&result.grammar).accepts(b"[[]][]"));
 //! assert!(Earley::new(&result.grammar).accepts(b"[[[[]]]]"));
 //!
-//! // The grammar immediately drives a grammar-based fuzzer:
+//! // More seeds later extend the same grammar (and reuse every cached
+//! // membership verdict); the grammar immediately drives a fuzzer:
 //! use rand::SeedableRng;
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let input = Sampler::new(&result.grammar).sample(&mut rng).unwrap();
 //! assert!(balanced(&input));
 //! # Ok::<(), glade_core::SynthesisError>(())
 //! ```
-
+//!
+//! # Migrating from `Glade::synthesize`
+//!
+//! The original blocking entry point remains as a deprecated wrapper with
+//! identical behavior. The translations are mechanical:
+//!
+//! | Old | New |
+//! |---|---|
+//! | `Glade::new().synthesize(seeds, &o)` | `GladeBuilder::new().synthesize(seeds, &o)` |
+//! | `GladeConfig { max_queries: Some(n), .. }` + `Glade::with_config` | `GladeBuilder::new().max_queries(n)` |
+//! | `Glade::with_config(existing_config)` | `GladeBuilder::from_config(existing_config)` |
+//! | repeated `synthesize` on growing seed sets | one [`Session`], repeated [`Session::add_seeds`] |
+//!
 //! # Oracle thread-safety contract
 //!
 //! Membership queries dominate GLADE's cost, so the query layer is built
@@ -71,30 +104,38 @@
 //!    `Cell`/`RefCell`.
 //! 2. **Determinism** — repeated queries for the same input must return
 //!    the same verdict, across threads and across time. The synthesis
-//!    algorithm's monotonicity argument depends on it, and the batched
-//!    engine may let duplicate in-flight queries race to the cache
-//!    (first verdict wins — harmless only when verdicts agree).
+//!    algorithm's monotonicity argument depends on it, the batched engine
+//!    may let duplicate in-flight queries race to the cache (first verdict
+//!    wins — harmless only when verdicts agree), and cache snapshots
+//!    replay old verdicts into later runs.
 //!
-//! Given a deterministic oracle and no `time_limit`, synthesis itself is
-//! deterministic and *independent of the worker count*
-//! ([`GladeConfig::worker_threads`]): batches are constructed identically
+//! Given a deterministic oracle, no `time_limit`, and no cancellation,
+//! synthesis is deterministic and *independent of the worker count*
+//! ([`GladeBuilder::worker_threads`]): batches are constructed identically
 //! in every mode, only the verdicts are computed concurrently, and all
 //! merge/widening decisions are applied sequentially in a fixed order.
-//! With a `time_limit`, which queries beat the deadline depends on
-//! wall-clock speed — and therefore on the machine and the worker count —
-//! so deadline-degraded runs keep the safety guarantees (fail-closed,
-//! seeds preserved) but not byte-for-byte reproducibility.
+//! With a `time_limit` (or a [`CancelToken`] trip), which queries beat the
+//! cutoff depends on wall-clock speed — and therefore on the machine and
+//! the worker count — so degraded runs keep the safety guarantees
+//! (fail-closed, seeds preserved) but not byte-for-byte reproducibility.
 
 #![warn(missing_docs)]
 
 mod cache;
 mod chargen;
+mod events;
 mod oracle;
+mod persist;
 mod phase1;
 mod phase2;
 mod runner;
+mod session;
 mod synth;
+pub mod testing;
 mod tree;
 
+pub use events::{CancelToken, EventLog, SynthEvent, SynthPhase, SynthesisObserver};
 pub use oracle::{CachingOracle, FnOracle, InputMode, Oracle, ProcessOracle};
+pub use persist::{cache_from_text, cache_to_text, CacheError};
+pub use session::{GladeBuilder, Session};
 pub use synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};

@@ -1,0 +1,230 @@
+//! Persistent membership-query cache snapshots.
+//!
+//! The paper measures synthesis cost purely in oracle calls, and for real
+//! targets each distinct call runs the program under test. A multi-target
+//! campaign or a repeated `eval`/`bench` run re-pays that cost from zero on
+//! every process start — unless the query cache survives the process. This
+//! module defines a stable, line-oriented snapshot format (in the same
+//! spirit as `glade_grammar::text`'s grammar format) with full
+//! round-tripping:
+//!
+//! ```text
+//! glade-cache v1
+//! q 1 3c613e68693c2f613e
+//! q 0 3c613e3c2f613e
+//! ```
+//!
+//! Each `q` line is one cached verdict: `1`/`0` for accept/reject followed
+//! by the query bytes hex-encoded (queries are arbitrary byte strings, so
+//! no text escaping scheme is safe). Entries are written sorted by query
+//! bytes, making snapshots byte-stable for identical caches regardless of
+//! insertion order. A snapshot is only meaningful for the oracle that
+//! produced it: verdicts are facts about one target language.
+//!
+//! [`Session::save_cache`](crate::Session::save_cache) and
+//! [`Session::load_cache`](crate::Session::load_cache) wrap this format
+//! with file I/O; [`cache_to_text`] and [`cache_from_text`] expose the
+//! text layer directly.
+
+use std::fmt::Write as _;
+
+/// Errors from loading a cache snapshot.
+///
+/// `#[non_exhaustive]`: future format revisions may add variants.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// Reading or writing the snapshot file failed.
+    Io(std::io::Error),
+    /// The header line is missing or names an unsupported version.
+    BadHeader,
+    /// A line does not match any directive.
+    BadLine(usize),
+    /// A directive has a malformed verdict or hex field.
+    BadField(usize),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache snapshot i/o error: {e}"),
+            CacheError::BadHeader => write!(f, "missing or unsupported cache header"),
+            CacheError::BadLine(n) => write!(f, "unrecognized cache directive on line {n}"),
+            CacheError::BadField(n) => write!(f, "malformed cache field on line {n}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+/// Serializes `(query, verdict)` entries to the v1 snapshot text.
+///
+/// Entries are sorted by query bytes first, so equal caches serialize to
+/// byte-identical snapshots.
+pub fn cache_to_text(entries: &[(Vec<u8>, bool)]) -> String {
+    let mut sorted: Vec<&(Vec<u8>, bool)> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("glade-cache v1\n");
+    for (query, verdict) in sorted {
+        let _ = write!(out, "q {} ", u8::from(*verdict));
+        for b in query {
+            let _ = write!(out, "{b:02x}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the v1 snapshot text back into `(query, verdict)` entries.
+///
+/// # Errors
+///
+/// Returns a [`CacheError`] describing the first malformed line.
+pub fn cache_from_text(text: &str) -> Result<Vec<(Vec<u8>, bool)>, CacheError> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err(CacheError::BadHeader);
+    };
+    if header.trim() != "glade-cache v1" {
+        return Err(CacheError::BadHeader);
+    }
+    let mut entries = Vec::new();
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let Some(rest) = line.strip_prefix("q ") else {
+            return Err(CacheError::BadLine(lineno));
+        };
+        let (verdict, hex) = match rest.split_once(' ') {
+            Some((v, h)) => (v, h),
+            // An empty query has no hex field ("q 1").
+            None => (rest, ""),
+        };
+        let verdict = match verdict {
+            "0" => false,
+            "1" => true,
+            _ => return Err(CacheError::BadField(lineno)),
+        };
+        if !hex.len().is_multiple_of(2) {
+            return Err(CacheError::BadField(lineno));
+        }
+        // Decode byte-wise (not via str slicing, which would panic on a
+        // corrupted snapshot containing multi-byte UTF-8 in the hex field).
+        let nibble = |b: u8| -> Result<u8, CacheError> {
+            match b {
+                b'0'..=b'9' => Ok(b - b'0'),
+                b'a'..=b'f' => Ok(b - b'a' + 10),
+                b'A'..=b'F' => Ok(b - b'A' + 10),
+                _ => Err(CacheError::BadField(lineno)),
+            }
+        };
+        let mut query = Vec::with_capacity(hex.len() / 2);
+        for pair in hex.as_bytes().chunks_exact(2) {
+            query.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+        }
+        entries.push((query, verdict));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let entries = vec![
+            (b"<a>hi</a>".to_vec(), true),
+            (b"".to_vec(), true),
+            (b"<a>".to_vec(), false),
+            (vec![0x00, 0xff, 0x0a], false),
+        ];
+        let text = cache_to_text(&entries);
+        let mut parsed = cache_from_text(&text).expect("roundtrip parses");
+        parsed.sort();
+        let mut expected = entries.clone();
+        expected.sort();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let a = vec![(b"bb".to_vec(), true), (b"aa".to_vec(), false)];
+        let b = vec![(b"aa".to_vec(), false), (b"bb".to_vec(), true)];
+        let ta = cache_to_text(&a);
+        assert_eq!(ta, cache_to_text(&b), "insertion order must not matter");
+        assert_eq!(ta, "glade-cache v1\nq 0 6161\nq 1 6262\n");
+        // Idempotent through a second roundtrip.
+        let reparsed = cache_from_text(&ta).unwrap();
+        assert_eq!(cache_to_text(&reparsed), ta);
+    }
+
+    #[test]
+    fn empty_query_roundtrips() {
+        let entries = vec![(Vec::new(), true)];
+        let text = cache_to_text(&entries);
+        assert_eq!(cache_from_text(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(cache_from_text(""), Err(CacheError::BadHeader)));
+        assert!(matches!(cache_from_text("glade-cache v9\n"), Err(CacheError::BadHeader)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let base = "glade-cache v1\n";
+        assert!(matches!(
+            cache_from_text(&format!("{base}verdict 1 61\n")),
+            Err(CacheError::BadLine(2))
+        ));
+        assert!(matches!(
+            cache_from_text(&format!("{base}q 2 61\n")),
+            Err(CacheError::BadField(2))
+        ));
+        assert!(matches!(cache_from_text(&format!("{base}q 1 6\n")), Err(CacheError::BadField(2))));
+        assert!(matches!(
+            cache_from_text(&format!("{base}q 1 zz\n")),
+            Err(CacheError::BadField(2))
+        ));
+        // Multi-byte UTF-8 in the hex field must error, not panic (the
+        // even-length guard alone would let `aéa` through to str slicing).
+        assert!(matches!(
+            cache_from_text(&format!("{base}q 1 aéa\n")),
+            Err(CacheError::BadField(2))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "glade-cache v1\n# warm-start for toy-xml\n\nq 1 61\n";
+        assert_eq!(cache_from_text(text).unwrap(), vec![(b"a".to_vec(), true)]);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error as _;
+        let io = CacheError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(io.source().is_some());
+        assert!(CacheError::BadHeader.source().is_none());
+        assert!(CacheError::BadLine(3).to_string().contains("line 3"));
+    }
+}

@@ -154,37 +154,27 @@ impl<'a, 'o> Phase1<'a, 'o> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::ShardedCache;
+    use crate::runner::RunnerOptions;
+    use crate::testing::xml_like;
     use crate::{FnOracle, Oracle};
     use glade_grammar::Regex;
 
-    /// Oracle for the paper's XML-like language: A → (a..z | <a>A</a>)*.
-    fn xml_like_accepts(input: &[u8]) -> bool {
-        // Recursive-descent membership check.
-        fn parse(mut s: &[u8]) -> Option<&[u8]> {
-            loop {
-                if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                    s = &s[1..];
-                } else if s.starts_with(b"<a>") {
-                    let rest = parse(&s[3..])?;
-                    s = rest.strip_prefix(b"</a>")?;
-                } else {
-                    return Some(s);
-                }
-            }
-        }
-        parse(input).is_some_and(|rest| rest.is_empty())
+    fn test_runner<'s>(oracle: &'s dyn Oracle, cache: &'s ShardedCache) -> QueryRunner<'s> {
+        QueryRunner::new(oracle, cache, RunnerOptions { workers: 2, ..RunnerOptions::default() })
     }
 
     fn synthesize_regex(seed: &[u8]) -> Regex {
-        let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let oracle = FnOracle::new(xml_like);
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         p1.generalize_seed(seed).to_regex()
     }
 
     #[test]
     fn oracle_sanity() {
-        let o = FnOracle::new(xml_like_accepts);
+        let o = FnOracle::new(xml_like);
         assert!(o.accepts(b""));
         assert!(o.accepts(b"<a>hi</a>"));
         assert!(o.accepts(b"hihi"));
@@ -208,8 +198,9 @@ mod tests {
 
     #[test]
     fn running_example_star_metadata() {
-        let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let oracle = FnOracle::new(xml_like);
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"<a>hi</a>");
         let mut stars = Vec::new();
@@ -242,7 +233,8 @@ mod tests {
     fn fixed_format_stays_constant() {
         // Language: exactly "ab". Nothing can generalize.
         let oracle = FnOracle::new(|i: &[u8]| i == b"ab");
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let r = p1.generalize_seed(b"ab").to_regex();
         assert!(r.is_match(b"ab"));
@@ -253,8 +245,13 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_degrades_to_seed() {
-        let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, Some(0), None, 2);
+        let oracle = FnOracle::new(xml_like);
+        let cache = ShardedCache::new();
+        let runner = QueryRunner::new(
+            &oracle,
+            &cache,
+            RunnerOptions { max_queries: Some(0), workers: 2, ..RunnerOptions::default() },
+        );
         let mut p1 = Phase1::new(&runner, 0);
         let r = p1.generalize_seed(b"<a>hi</a>").to_regex();
         // With no query budget every candidate is rejected: the language
@@ -271,7 +268,7 @@ mod tests {
         // few different languages.
         type BoxedPredicate = Box<dyn Fn(&[u8]) -> bool + Send + Sync>;
         let oracles: Vec<(&[u8], BoxedPredicate)> = vec![
-            (b"<a>hi</a>", Box::new(xml_like_accepts)),
+            (b"<a>hi</a>", Box::new(xml_like)),
             (b"aaa", Box::new(|i: &[u8]| i.iter().all(|&b| b == b'a'))),
             (
                 b"[]",
@@ -294,7 +291,8 @@ mod tests {
         ];
         for (seed, f) in oracles {
             let oracle = FnOracle::new(f);
-            let runner = QueryRunner::new(&oracle, None, None, 2);
+            let cache = ShardedCache::new();
+            let runner = test_runner(&oracle, &cache);
             let mut p1 = Phase1::new(&runner, 0);
             let r = p1.generalize_seed(seed).to_regex();
             assert!(r.is_match(seed), "seed {:?} lost", String::from_utf8_lossy(seed));
@@ -305,7 +303,8 @@ mod tests {
     fn terminates_on_permissive_oracle() {
         // Σ* accepts everything: the greedy search must still terminate.
         let oracle = FnOracle::new(|_: &[u8]| true);
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let r = p1.generalize_seed(b"abcd").to_regex();
         assert!(r.is_match(b"abcd"));

@@ -20,6 +20,7 @@
 //! style recursion (Definition 5.2, Proposition 5.3) that no regular
 //! expression captures.
 
+use crate::events::{SynthEvent, SynthesisObserver};
 use crate::runner::{CheckSpec, QueryRunner};
 use crate::tree::{Node, StarNode, UnionFind};
 
@@ -40,12 +41,17 @@ pub(crate) struct MergeStats {
 /// order, so the resulting union-find — and therefore the synthesized
 /// grammar — is byte-identical for every worker count.
 ///
+/// Accepted merges are reported to `observer` (when installed) as
+/// [`SynthEvent::MergeAccepted`] events, in the same ascending pair order
+/// the unions are applied in.
+///
 /// Returns the union-find over star ids (indexed `0..num_stars`) and the
 /// counters.
 pub(crate) fn merge_stars(
     trees: &[Node],
     num_stars: usize,
     runner: &QueryRunner<'_>,
+    observer: Option<&dyn SynthesisObserver>,
 ) -> (UnionFind, MergeStats) {
     let mut stars: Vec<&StarNode> = Vec::new();
     for t in trees {
@@ -76,6 +82,12 @@ pub(crate) fn merge_stars(
         if verdicts[2 * p] && verdicts[2 * p + 1] {
             uf.union(stars[i].id, stars[j].id);
             stats.merges_accepted += 1;
+            if let Some(obs) = observer {
+                obs.on_event(&SynthEvent::MergeAccepted {
+                    left_star: stars[i].id,
+                    right_star: stars[j].id,
+                });
+            }
         }
     }
     (uf, stats)
@@ -84,40 +96,32 @@ pub(crate) fn merge_stars(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::ShardedCache;
     use crate::phase1::Phase1;
+    use crate::runner::RunnerOptions;
+    use crate::testing::{xml_like, xml_like_with_self_closing};
     use crate::tree::trees_to_grammar;
     use crate::FnOracle;
     use glade_grammar::Earley;
 
-    fn xml_like_accepts(input: &[u8]) -> bool {
-        fn parse(mut s: &[u8]) -> Option<&[u8]> {
-            loop {
-                if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                    s = &s[1..];
-                } else if s.starts_with(b"<a>") {
-                    let rest = parse(&s[3..])?;
-                    s = rest.strip_prefix(b"</a>")?;
-                } else {
-                    return Some(s);
-                }
-            }
-        }
-        parse(input).is_some_and(|rest| rest.is_empty())
+    fn runner<'s>(oracle: &'s dyn crate::Oracle, cache: &'s ShardedCache) -> QueryRunner<'s> {
+        QueryRunner::new(oracle, cache, RunnerOptions { workers: 2, ..RunnerOptions::default() })
     }
 
     #[test]
     fn running_example_merges_and_nests() {
         // Figure 2 steps C1–C2: the two stars of (<a>(h+i)*</a>)* merge,
         // yielding the recursive grammar A → (<a>A</a>)* , A → (h+i)*.
-        let oracle = FnOracle::new(xml_like_accepts);
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let oracle = FnOracle::new(xml_like);
+        let cache = ShardedCache::new();
+        let runner = runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"<a>hi</a>");
         let num_stars = p1.next_star_id();
         assert_eq!(num_stars, 2);
 
         let trees = vec![tree];
-        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner);
+        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner, None);
         assert_eq!(stats.pairs_tried, 1);
         assert_eq!(stats.merges_accepted, 1);
 
@@ -142,12 +146,13 @@ mod tests {
             let split = i.iter().position(|&b| b == b'y').unwrap_or(i.len());
             i[..split].iter().all(|&b| b == b'x') && i[split..].iter().all(|&b| b == b'y')
         });
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let cache = ShardedCache::new();
+        let runner = runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"xy");
         let num_stars = p1.next_star_id();
         let trees = vec![tree];
-        let (_, stats) = merge_stars(&trees, num_stars, &runner);
+        let (_, stats) = merge_stars(&trees, num_stars, &runner, None);
         assert_eq!(stats.merges_accepted, 1);
     }
 
@@ -161,12 +166,13 @@ mod tests {
             let Some(x) = i.iter().position(|&b| b == b'x') else { return false };
             i[..x].iter().all(|&b| b == b'a') && i[x + 1..].iter().all(|&b| b == b'b')
         });
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let cache = ShardedCache::new();
+        let runner = runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"axb");
         let num_stars = p1.next_star_id();
         let trees = vec![tree];
-        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner);
+        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner, None);
         assert_eq!(stats.merges_accepted, 0);
         let g = trees_to_grammar(&trees, &mut uf);
         let e = Earley::new(&g);
@@ -181,30 +187,14 @@ mod tests {
         // Section 7: with L* = XML-like extended by <a/>, the single seed
         // <a><a/></a> yields a suboptimal (but still valid) grammar whose
         // stars cannot merge, because the check ><a/ is invalid.
-        fn accepts(input: &[u8]) -> bool {
-            fn parse(mut s: &[u8]) -> Option<&[u8]> {
-                loop {
-                    if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                        s = &s[1..];
-                    } else if s.starts_with(b"<a/>") {
-                        s = &s[4..];
-                    } else if s.starts_with(b"<a>") {
-                        let rest = parse(&s[3..])?;
-                        s = rest.strip_prefix(b"</a>")?;
-                    } else {
-                        return Some(s);
-                    }
-                }
-            }
-            parse(input).is_some_and(|rest| rest.is_empty())
-        }
-        let oracle = FnOracle::new(accepts);
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let oracle = FnOracle::new(xml_like_with_self_closing);
+        let cache = ShardedCache::new();
+        let runner = runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let tree = p1.generalize_seed(b"<a><a/></a>");
         let num_stars = p1.next_star_id();
         let trees = vec![tree];
-        let (mut uf, _) = merge_stars(&trees, num_stars, &runner);
+        let (mut uf, _) = merge_stars(&trees, num_stars, &runner, None);
         let g = trees_to_grammar(&trees, &mut uf);
         let e = Earley::new(&g);
         // The synthesized language is a valid subset…
@@ -217,31 +207,15 @@ mod tests {
     #[test]
     fn section7_recovery_with_two_seeds() {
         // Section 7 continued: seeds {<a/>, <a>hi</a>} recover the target.
-        fn accepts(input: &[u8]) -> bool {
-            fn parse(mut s: &[u8]) -> Option<&[u8]> {
-                loop {
-                    if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                        s = &s[1..];
-                    } else if s.starts_with(b"<a/>") {
-                        s = &s[4..];
-                    } else if s.starts_with(b"<a>") {
-                        let rest = parse(&s[3..])?;
-                        s = rest.strip_prefix(b"</a>")?;
-                    } else {
-                        return Some(s);
-                    }
-                }
-            }
-            parse(input).is_some_and(|rest| rest.is_empty())
-        }
-        let oracle = FnOracle::new(accepts);
-        let runner = QueryRunner::new(&oracle, None, None, 2);
+        let oracle = FnOracle::new(xml_like_with_self_closing);
+        let cache = ShardedCache::new();
+        let runner = runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
         let t1 = p1.generalize_seed(b"<a/>");
         let t2 = p1.generalize_seed(b"<a>hi</a>");
         let num_stars = p1.next_star_id();
         let trees = vec![t1, t2];
-        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner);
+        let (mut uf, stats) = merge_stars(&trees, num_stars, &runner, None);
         assert!(stats.merges_accepted > 0);
         let g = trees_to_grammar(&trees, &mut uf);
         let e = Earley::new(&g);

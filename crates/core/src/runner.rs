@@ -6,8 +6,11 @@
 //! runs the program under test). This module is therefore built for
 //! concurrency end to end:
 //!
-//! * the query cache is a mutex-striped [`ShardedCache`] and all counters
-//!   are atomics, making [`QueryRunner`] `Sync`;
+//! * the query cache is a mutex-striped [`ShardedCache`] owned by the
+//!   [`Session`](crate::Session) — it outlives any single run, so
+//!   incremental `add_seeds` calls and warm-started runs (see
+//!   `persist.rs`) answer repeated checks without re-paying oracle calls —
+//!   and all counters are atomics, making [`QueryRunner`] `Sync`;
 //! * callers describe checks as segment lists ([`CheckSpec`]) instead of
 //!   pre-concatenated strings, so check construction writes into one
 //!   reusable scratch buffer and allocates only for genuine cache misses;
@@ -15,17 +18,25 @@
 //!   cache once per distinct check, and fans the remaining misses out
 //!   across a scoped worker pool (`std::thread::scope` — no dependencies).
 //!
-//! Determinism: with no time limit, batch results depend only on the
-//! oracle (which must be deterministic, see [`Oracle`]) and the batch
-//! contents — never on worker count or scheduling. Phase two and character
-//! generalization exploit this by batching their embarrassingly parallel
-//! check sets and applying the verdicts sequentially. A `time_limit` is the
-//! one exception: which queries beat the deadline is inherently a function
-//! of wall-clock speed (and therefore also of worker count), so
-//! deadline-degraded runs are reproducible only in their guarantees
-//! (fail-closed, seed preserved), not byte-for-byte.
+//! The runner is also the engine's observation and cancellation point:
+//! every batch emits a [`SynthEvent::QueryBatch`] to the installed
+//! observer, budget exhaustion and cancellation emit their events exactly
+//! once, and a [`CancelToken`] is checked both at budget-reservation time
+//! and between the queries of an in-flight batch — cancellation takes the
+//! same fail-closed path as the deadline.
+//!
+//! Determinism: with no time limit and no cancellation, batch results
+//! depend only on the oracle (which must be deterministic, see
+//! [`Oracle`]) and the batch contents — never on worker count or
+//! scheduling. Phase two and character generalization exploit this by
+//! batching their embarrassingly parallel check sets and applying the
+//! verdicts sequentially. A `time_limit` (or a cancel) is the exception:
+//! which queries beat the cutoff is inherently a function of wall-clock
+//! speed, so degraded runs are reproducible only in their guarantees
+//! (fail-closed, seeds preserved), not byte-for-byte.
 
 use crate::cache::{hash_query, ShardedCache};
+use crate::events::{CancelToken, SynthEvent, SynthesisObserver};
 use crate::tree::Context;
 use crate::Oracle;
 use std::collections::HashMap;
@@ -83,21 +94,54 @@ impl<'a> CheckSpec<'a> {
     }
 }
 
-/// Internal oracle front-end enforcing the query/time budget.
+/// Construction-time knobs for a [`QueryRunner`], separate from the
+/// borrowed oracle and cache so call sites stay readable.
+pub(crate) struct RunnerOptions<'s> {
+    /// Distinct-query budget for this run (`None` = unlimited).
+    pub max_queries: Option<usize>,
+    /// Wall-clock limit for this run.
+    pub time_limit: Option<Duration>,
+    /// Worker threads used by `accepts_batch` (1 = fully sequential).
+    pub workers: usize,
+    /// Progress observer; receives `QueryBatch`/`BudgetExhausted`/
+    /// `Cancelled` events.
+    pub observer: Option<&'s dyn SynthesisObserver>,
+    /// Cooperative cancellation flag checked between and inside batches.
+    pub cancel: Option<&'s CancelToken>,
+}
+
+impl Default for RunnerOptions<'_> {
+    fn default() -> Self {
+        RunnerOptions {
+            max_queries: None,
+            time_limit: None,
+            workers: 1,
+            observer: None,
+            cancel: None,
+        }
+    }
+}
+
+/// Internal oracle front-end enforcing the query/time budget and the
+/// cancel token.
 ///
-/// Once the budget is exhausted every further query answers `false`; since
-/// checks gate *generalization*, this gracefully degrades synthesis (pending
-/// substrings collapse to constants, pending merges are skipped) instead of
-/// aborting, mirroring the paper's timeout handling of "use the last
-/// language successfully learned".
+/// Once the budget is exhausted (or the run is cancelled) every further
+/// query answers `false`; since checks gate *generalization*, this
+/// gracefully degrades synthesis (pending substrings collapse to
+/// constants, pending merges are skipped) instead of aborting, mirroring
+/// the paper's timeout handling of "use the last language successfully
+/// learned".
 ///
 /// The budget counts **budgeted distinct queries only**: seed validation
 /// through [`QueryRunner::accepts_unbudgeted`] shares the cache but not the
 /// budget (the seed implementation compared the budget against the cache
 /// size, silently charging seed validation to the synthesis budget).
-pub(crate) struct QueryRunner<'o> {
-    oracle: &'o dyn Oracle,
-    cache: ShardedCache,
+pub(crate) struct QueryRunner<'s> {
+    oracle: &'s dyn Oracle,
+    /// Session-owned cache; shared across the runs of one session.
+    cache: &'s ShardedCache,
+    observer: Option<&'s dyn SynthesisObserver>,
+    cancel: Option<&'s CancelToken>,
     /// All queries, including cache hits.
     total: AtomicUsize,
     /// Distinct budgeted queries actually charged against `max_queries`.
@@ -105,36 +149,69 @@ pub(crate) struct QueryRunner<'o> {
     max_queries: usize,
     deadline: Option<Instant>,
     exhausted: AtomicBool,
+    /// Whether cancellation was actually observed by this run.
+    cancelled: AtomicBool,
+    /// One-shot latches so `BudgetExhausted`/`Cancelled` are emitted once.
+    budget_event_sent: AtomicBool,
+    cancel_event_sent: AtomicBool,
     /// Worker threads used by `accepts_batch` (1 = fully sequential).
     workers: usize,
 }
 
-impl<'o> QueryRunner<'o> {
-    pub fn new(
-        oracle: &'o dyn Oracle,
-        max_queries: Option<usize>,
-        time_limit: Option<Duration>,
-        workers: usize,
-    ) -> Self {
+impl<'s> QueryRunner<'s> {
+    pub fn new(oracle: &'s dyn Oracle, cache: &'s ShardedCache, opts: RunnerOptions<'s>) -> Self {
         QueryRunner {
             oracle,
-            cache: ShardedCache::new(),
+            cache,
+            observer: opts.observer,
+            cancel: opts.cancel,
             total: AtomicUsize::new(0),
             budget_used: AtomicUsize::new(0),
-            max_queries: max_queries.unwrap_or(usize::MAX),
-            deadline: time_limit.map(|d| Instant::now() + d),
+            max_queries: opts.max_queries.unwrap_or(usize::MAX),
+            deadline: opts.time_limit.map(|d| Instant::now() + d),
             exhausted: AtomicBool::new(false),
-            workers: workers.max(1),
+            cancelled: AtomicBool::new(false),
+            budget_event_sent: AtomicBool::new(false),
+            cancel_event_sent: AtomicBool::new(false),
+            workers: opts.workers.max(1),
         }
+    }
+
+    fn emit(&self, event: SynthEvent) {
+        if let Some(obs) = self.observer {
+            obs.on_event(&event);
+        }
+    }
+
+    /// Trips the fail-closed flag; emits the matching event exactly once.
+    fn trip_exhausted(&self, by_cancel: bool) {
+        self.exhausted.store(true, Ordering::Relaxed);
+        if by_cancel {
+            self.cancelled.store(true, Ordering::Relaxed);
+            if !self.cancel_event_sent.swap(true, Ordering::Relaxed) {
+                self.emit(SynthEvent::Cancelled);
+            }
+        } else if !self.budget_event_sent.swap(true, Ordering::Relaxed) {
+            self.emit(SynthEvent::BudgetExhausted);
+        }
+    }
+
+    /// Whether the cancel token has been flipped.
+    fn cancel_requested(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
     }
 
     /// Reserves one budget slot, or trips the exhausted flag and fails.
     fn reserve_budget(&self) -> bool {
+        if self.cancel_requested() {
+            self.trip_exhausted(true);
+            return false;
+        }
         if self.exhausted.load(Ordering::Relaxed) {
             return false;
         }
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
-            self.exhausted.store(true, Ordering::Relaxed);
+            self.trip_exhausted(false);
             return false;
         }
         let reserved = self
@@ -144,7 +221,7 @@ impl<'o> QueryRunner<'o> {
             })
             .is_ok();
         if !reserved {
-            self.exhausted.store(true, Ordering::Relaxed);
+            self.trip_exhausted(false);
         }
         reserved
     }
@@ -172,7 +249,9 @@ impl<'o> QueryRunner<'o> {
     /// budget for the distinct misses (misses beyond the budget answer
     /// `false`, exactly like [`QueryRunner::accepts`]), then dispatches the
     /// misses across up to `workers` scoped threads. Results are returned
-    /// in input order and are identical for every worker count.
+    /// in input order and are identical for every worker count. When an
+    /// observer is installed, one [`SynthEvent::QueryBatch`] is emitted per
+    /// call with the batch/cached/posed breakdown.
     ///
     /// Budget note: a batch charges every distinct miss it poses. Callers
     /// that previously short-circuited (stop at the first failing check of
@@ -180,11 +259,10 @@ impl<'o> QueryRunner<'o> {
     /// posing the checks concurrently, and it is the same in sequential
     /// mode so query counts stay worker-count-independent.
     ///
-    /// The time budget is enforced during execution too: once the deadline
-    /// passes, remaining misses are skipped (answering `false`, *not*
-    /// cached — only real oracle verdicts enter the cache) and the runner
-    /// is marked exhausted, matching the seed implementation's
-    /// per-query deadline check.
+    /// The time budget and the cancel token are enforced during execution
+    /// too: once the deadline passes or the token flips, remaining misses
+    /// are skipped (answering `false`, *not* cached — only real oracle
+    /// verdicts enter the cache) and the runner is marked exhausted.
     pub fn accepts_batch(&self, checks: &[CheckSpec<'_>]) -> Vec<bool> {
         let mut results = vec![false; checks.len()];
         // Distinct cache misses to send to the oracle, with the positions
@@ -194,6 +272,7 @@ impl<'o> QueryRunner<'o> {
         let mut miss_targets: Vec<Vec<usize>> = Vec::new();
         let mut dedup: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut scratch: Vec<u8> = Vec::new();
+        let mut cached = 0usize;
 
         for (i, spec) in checks.iter().enumerate() {
             self.total.fetch_add(1, Ordering::Relaxed);
@@ -201,6 +280,7 @@ impl<'o> QueryRunner<'o> {
             spec.write_into(&mut scratch);
             if let Some(v) = self.cache.get(&scratch) {
                 results[i] = v;
+                cached += 1;
                 continue;
             }
             let h = hash_query(&scratch);
@@ -221,13 +301,17 @@ impl<'o> QueryRunner<'o> {
         }
 
         // Fan the distinct misses out across the worker pool. `None` marks
-        // a miss skipped because the deadline expired mid-batch: it answers
-        // `false` but is not cached (only real oracle verdicts may enter
-        // the cache).
+        // a miss skipped because the deadline expired (or the run was
+        // cancelled) mid-batch: it answers `false` but is not cached (only
+        // real oracle verdicts may enter the cache).
         let run_chunk = |keys: &[Vec<u8>], out: &mut [Option<bool>]| {
             for (key, slot) in keys.iter().zip(out.iter_mut()) {
+                if self.cancel_requested() {
+                    self.trip_exhausted(true);
+                    break;
+                }
                 if self.deadline.is_some_and(|d| Instant::now() >= d) {
-                    self.exhausted.store(true, Ordering::Relaxed);
+                    self.trip_exhausted(false);
                     break;
                 }
                 *slot = Some(self.oracle.accepts(key));
@@ -254,6 +338,16 @@ impl<'o> QueryRunner<'o> {
             run_chunk(&miss_keys, &mut verdicts);
         }
 
+        if self.observer.is_some() {
+            // `posed` counts misses that actually reached the oracle —
+            // slots left `None` were skipped by the deadline or a cancel.
+            self.emit(SynthEvent::QueryBatch {
+                checks: checks.len(),
+                cached,
+                posed: verdicts.iter().filter(|v| v.is_some()).count(),
+            });
+        }
+
         for ((key, verdict), targets) in miss_keys.into_iter().zip(verdicts).zip(miss_targets) {
             let Some(verdict) = verdict else { continue };
             self.cache.insert(key, verdict);
@@ -266,7 +360,8 @@ impl<'o> QueryRunner<'o> {
 
     /// Unbudgeted query used for seed validation (seeds must be consulted
     /// even if the budget is already gone). Shares the cache but is not
-    /// charged against `max_queries`.
+    /// charged against `max_queries`, and ignores cancellation — a
+    /// returned `Synthesis` must always have validated its seeds.
     pub fn accepts_unbudgeted(&self, input: &[u8]) -> bool {
         if let Some(v) = self.cache.get(input) {
             return v;
@@ -276,25 +371,31 @@ impl<'o> QueryRunner<'o> {
         v
     }
 
-    /// Distinct inputs forwarded to the oracle.
+    /// Distinct inputs cached so far (cumulative across the session).
     pub fn unique_queries(&self) -> usize {
         self.cache.len()
     }
 
-    /// Total queries including cache hits.
+    /// Total queries posed through this runner, including cache hits.
     pub fn total_queries(&self) -> usize {
         self.total.load(Ordering::Relaxed)
     }
 
-    /// Whether the budget ran out at some point.
+    /// Whether the budget ran out (or the run was cancelled) at some point.
     pub fn exhausted(&self) -> bool {
         self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Whether cancellation was observed by this run.
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::EventLog;
     use crate::FnOracle;
     use std::sync::atomic::AtomicUsize;
 
@@ -302,10 +403,25 @@ mod tests {
         CheckSpec::new(&[bytes])
     }
 
+    fn runner<'s>(
+        oracle: &'s dyn Oracle,
+        cache: &'s ShardedCache,
+        max_queries: Option<usize>,
+        time_limit: Option<Duration>,
+        workers: usize,
+    ) -> QueryRunner<'s> {
+        QueryRunner::new(
+            oracle,
+            cache,
+            RunnerOptions { max_queries, time_limit, workers, ..RunnerOptions::default() },
+        )
+    }
+
     #[test]
     fn caches_and_counts() {
         let o = FnOracle::new(|i: &[u8]| i.len() < 2);
-        let r = QueryRunner::new(&o, None, None, 1);
+        let cache = ShardedCache::new();
+        let r = runner(&o, &cache, None, None, 1);
         assert!(r.accepts(b"a"));
         assert!(r.accepts(b"a"));
         assert!(!r.accepts(b"ab"));
@@ -317,7 +433,8 @@ mod tests {
     #[test]
     fn budget_exhaustion_fails_closed() {
         let o = FnOracle::new(|_: &[u8]| true);
-        let r = QueryRunner::new(&o, Some(2), None, 1);
+        let cache = ShardedCache::new();
+        let r = runner(&o, &cache, Some(2), None, 1);
         assert!(r.accepts(b"1"));
         assert!(r.accepts(b"2"));
         // Third distinct query exceeds the budget: rejected.
@@ -335,7 +452,8 @@ mod tests {
         // the *cache size*, so seed validation (unbudgeted) silently ate
         // distinct-query budget.
         let o = FnOracle::new(|_: &[u8]| true);
-        let r = QueryRunner::new(&o, Some(2), None, 1);
+        let cache = ShardedCache::new();
+        let r = runner(&o, &cache, Some(2), None, 1);
         assert!(r.accepts_unbudgeted(b"seed-1"));
         assert!(r.accepts_unbudgeted(b"seed-2"));
         assert!(r.accepts_unbudgeted(b"seed-3"));
@@ -350,10 +468,70 @@ mod tests {
     #[test]
     fn time_limit_expires() {
         let o = FnOracle::new(|_: &[u8]| true);
-        let r = QueryRunner::new(&o, None, Some(Duration::from_nanos(1)), 1);
+        let cache = ShardedCache::new();
+        let r = runner(&o, &cache, None, Some(Duration::from_nanos(1)), 1);
         std::thread::sleep(Duration::from_millis(2));
         assert!(!r.accepts(b"x"));
         assert!(r.exhausted());
+        assert!(!r.was_cancelled());
+    }
+
+    #[test]
+    fn cancellation_fails_closed_and_reports() {
+        let calls = AtomicUsize::new(0);
+        let o = FnOracle::new(|_: &[u8]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        let cache = ShardedCache::new();
+        let token = CancelToken::new();
+        let log = EventLog::new();
+        let r = QueryRunner::new(
+            &o,
+            &cache,
+            RunnerOptions {
+                cancel: Some(&token),
+                observer: Some(&log),
+                ..RunnerOptions::default()
+            },
+        );
+        assert!(r.accepts(b"before"));
+        token.cancel();
+        assert!(!r.accepts(b"after"), "cancelled runs answer false");
+        assert!(!r.accepts(b"again"));
+        assert!(r.exhausted(), "cancellation shares the fail-closed path");
+        assert!(r.was_cancelled());
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no oracle calls after cancel");
+        // Cached answers stay available, unbudgeted validation still works.
+        assert!(r.accepts(b"before"));
+        assert!(r.accepts_unbudgeted(b"seed"));
+        let cancels = log.events().iter().filter(|e| matches!(e, SynthEvent::Cancelled)).count();
+        assert_eq!(cancels, 1, "Cancelled is emitted exactly once");
+    }
+
+    #[test]
+    fn cancellation_mid_batch_stops_querying() {
+        let calls = AtomicUsize::new(0);
+        let token = CancelToken::new();
+        let token_in_oracle = token.clone();
+        let o = FnOracle::new(move |_: &[u8]| {
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 >= 3 {
+                token_in_oracle.cancel();
+            }
+            true
+        });
+        let cache = ShardedCache::new();
+        let r = QueryRunner::new(
+            &o,
+            &cache,
+            RunnerOptions { cancel: Some(&token), ..RunnerOptions::default() },
+        );
+        let inputs: Vec<Vec<u8>> = (0..10u8).map(|b| vec![b]).collect();
+        let specs: Vec<CheckSpec<'_>> = inputs.iter().map(|i| spec(i)).collect();
+        let verdicts = r.accepts_batch(&specs);
+        assert!(r.was_cancelled());
+        assert!(verdicts.iter().any(|&v| !v), "skipped misses answer false");
+        assert!(r.unique_queries() < 10, "skipped misses are not cached");
     }
 
     #[test]
@@ -365,7 +543,8 @@ mod tests {
         });
         for workers in [1, 4] {
             calls.store(0, Ordering::Relaxed);
-            let r = QueryRunner::new(&o, None, None, workers);
+            let cache = ShardedCache::new();
+            let r = runner(&o, &cache, None, None, workers);
             let checks =
                 [spec(b"aa"), spec(b"b"), spec(b"aa"), spec(b"cccc"), spec(b"b"), spec(b"")];
             let verdicts = r.accepts_batch(&checks);
@@ -377,9 +556,26 @@ mod tests {
     }
 
     #[test]
+    fn batch_emits_query_batch_event() {
+        let o = FnOracle::new(|i: &[u8]| i.len().is_multiple_of(2));
+        let cache = ShardedCache::new();
+        cache.insert(b"hit".to_vec(), false);
+        let log = EventLog::new();
+        let r = QueryRunner::new(
+            &o,
+            &cache,
+            RunnerOptions { observer: Some(&log), ..RunnerOptions::default() },
+        );
+        let checks = [spec(b"hit"), spec(b"miss"), spec(b"miss"), spec(b"other")];
+        r.accepts_batch(&checks);
+        assert_eq!(log.events(), vec![SynthEvent::QueryBatch { checks: 4, cached: 1, posed: 2 }]);
+    }
+
+    #[test]
     fn batch_mixed_segments_concatenate() {
         let o = FnOracle::new(|i: &[u8]| i == b"<a>hi</a>");
-        let r = QueryRunner::new(&o, None, None, 2);
+        let cache = ShardedCache::new();
+        let r = runner(&o, &cache, None, None, 2);
         let (pre, mid, post) = (&b"<a>"[..], &b"hi"[..], &b"</a>"[..]);
         let checks = [CheckSpec::new(&[pre, mid, post]), CheckSpec::new(&[pre, post])];
         assert_eq!(r.accepts_batch(&checks), vec![true, false]);
@@ -392,7 +588,18 @@ mod tests {
     #[test]
     fn batch_budget_answers_false_beyond_limit() {
         let o = FnOracle::new(|_: &[u8]| true);
-        let r = QueryRunner::new(&o, Some(2), None, 4);
+        let cache = ShardedCache::new();
+        let log = EventLog::new();
+        let r = QueryRunner::new(
+            &o,
+            &cache,
+            RunnerOptions {
+                max_queries: Some(2),
+                workers: 4,
+                observer: Some(&log),
+                ..RunnerOptions::default()
+            },
+        );
         let checks = [spec(b"1"), spec(b"2"), spec(b"3"), spec(b"1")];
         let verdicts = r.accepts_batch(&checks);
         // First two distinct checks fit the budget; the third fails closed;
@@ -400,6 +607,9 @@ mod tests {
         assert_eq!(verdicts, vec![true, true, false, true]);
         assert!(r.exhausted());
         assert_eq!(r.unique_queries(), 2);
+        let exhaustions =
+            log.events().iter().filter(|e| matches!(e, SynthEvent::BudgetExhausted)).count();
+        assert_eq!(exhaustions, 1, "BudgetExhausted is emitted exactly once");
     }
 
     #[test]
@@ -413,7 +623,8 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
             true
         });
-        let r = QueryRunner::new(&o, None, Some(Duration::from_millis(30)), 1);
+        let cache = ShardedCache::new();
+        let r = runner(&o, &cache, None, Some(Duration::from_millis(30)), 1);
         let inputs: Vec<Vec<u8>> = (0..10u8).map(|b| vec![b]).collect();
         let specs: Vec<CheckSpec<'_>> = inputs.iter().map(|i| spec(i)).collect();
         let verdicts = r.accepts_batch(&specs);
@@ -427,8 +638,10 @@ mod tests {
     #[test]
     fn batch_agrees_with_sequential_accepts() {
         let o = FnOracle::new(|i: &[u8]| i.iter().all(|&b| b == b'x'));
-        let seq = QueryRunner::new(&o, None, None, 1);
-        let par = QueryRunner::new(&o, None, None, 8);
+        let seq_cache = ShardedCache::new();
+        let par_cache = ShardedCache::new();
+        let seq = runner(&o, &seq_cache, None, None, 1);
+        let par = runner(&o, &par_cache, None, None, 8);
         let inputs: Vec<Vec<u8>> =
             (0..64).map(|n| std::iter::repeat_n(b'x', n % 7).collect()).collect();
         let specs: Vec<CheckSpec<'_>> = inputs.iter().map(|i| spec(i)).collect();
@@ -436,6 +649,27 @@ mod tests {
         let seq_verdicts: Vec<bool> = inputs.iter().map(|i| seq.accepts(i)).collect();
         assert_eq!(par_verdicts, seq_verdicts);
         assert_eq!(par.unique_queries(), seq.unique_queries());
+    }
+
+    #[test]
+    fn warm_cache_answers_whole_batch_without_oracle() {
+        // The session-persistence property at the runner level: a cache
+        // pre-populated with every check answers the batch with zero
+        // oracle calls and zero new unique queries.
+        let calls = AtomicUsize::new(0);
+        let o = FnOracle::new(|_: &[u8]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        let cache = ShardedCache::new();
+        cache.insert(b"p".to_vec(), true);
+        cache.insert(b"q".to_vec(), false);
+        let r = runner(&o, &cache, Some(0), None, 2);
+        // Budget of zero: any miss would fail, proving these are all hits.
+        assert_eq!(r.accepts_batch(&[spec(b"p"), spec(b"q"), spec(b"p")]), vec![true, false, true]);
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert!(!r.exhausted());
+        assert_eq!(r.unique_queries(), 2);
     }
 
     #[test]

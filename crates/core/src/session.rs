@@ -1,0 +1,718 @@
+//! The session-based synthesis API: observable, cancellable, incremental
+//! runs over one long-lived membership-query cache.
+//!
+//! [`Glade::synthesize`](crate::Glade::synthesize) modelled synthesis as a
+//! single blocking call; production use wants more control. A [`Session`]
+//! ties one oracle to one persistent query cache and supports:
+//!
+//! * **Incremental synthesis** — [`Session::add_seeds`] extends the
+//!   current grammar with new seeds without re-deriving the trees of
+//!   earlier seeds (the paper's Section 6.1 loop, made resumable). The
+//!   result is byte-identical to a fresh run on the combined seed set.
+//! * **Observation** — a [`SynthesisObserver`] receives structured
+//!   [`SynthEvent`](crate::SynthEvent)s for phase boundaries, per-seed
+//!   decisions, accepted merges, and query batches.
+//! * **Cancellation** — a [`CancelToken`] stops a runaway run between
+//!   query batches; the degraded result still contains every seed.
+//! * **Persistence** — [`Session::save_cache`]/[`Session::load_cache`]
+//!   snapshot the query cache (see `persist.rs`), so multi-target
+//!   campaigns and repeated eval/bench runs stop re-paying oracle calls.
+//!
+//! Sessions are configured through the fluent [`GladeBuilder`]:
+//!
+//! ```
+//! use glade_core::{FnOracle, GladeBuilder};
+//!
+//! let oracle = FnOracle::new(glade_core::testing::xml_like);
+//! let mut session = GladeBuilder::new().max_queries(50_000).session(&oracle);
+//! let first = session.add_seeds(&[b"<a>hi</a>".to_vec()])?;
+//! assert!(first.stats.merges_accepted >= 1);
+//!
+//! // Later seeds extend the same grammar; prior trees are not re-derived
+//! // and prior queries are answered from the session cache.
+//! let second = session.add_seeds(&[b"<a><a>x</a></a>".to_vec()])?;
+//! assert!(second.stats.unique_queries >= first.stats.unique_queries);
+//! # Ok::<(), glade_core::SynthesisError>(())
+//! ```
+
+use crate::cache::ShardedCache;
+use crate::chargen::generalize_chars;
+use crate::events::{CancelToken, SynthEvent, SynthPhase, SynthesisObserver};
+use crate::persist::{cache_from_text, cache_to_text, CacheError};
+use crate::phase1::Phase1;
+use crate::phase2::merge_stars;
+use crate::runner::{QueryRunner, RunnerOptions};
+use crate::synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};
+use crate::tree::{trees_to_grammar, Node, UnionFind};
+use crate::Oracle;
+use glade_grammar::Regex;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fluent configuration for the session API.
+///
+/// Replaces struct-literal [`GladeConfig`] construction: each method sets
+/// one knob and returns the builder, and [`GladeBuilder::session`] opens a
+/// [`Session`] against an oracle. [`GladeBuilder::synthesize`] is the
+/// one-shot convenience for callers that need a single blocking run.
+///
+/// # Examples
+///
+/// ```
+/// use glade_core::{FnOracle, GladeBuilder};
+///
+/// let oracle = FnOracle::new(glade_core::testing::xml_like);
+/// let result = GladeBuilder::new()
+///     .max_queries(100_000)
+///     .worker_threads(2)
+///     .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)?;
+/// assert!(result.stats.unique_queries > 0);
+/// # Ok::<(), glade_core::SynthesisError>(())
+/// ```
+#[derive(Clone, Default)]
+pub struct GladeBuilder {
+    config: GladeConfig,
+    observer: Option<Arc<dyn SynthesisObserver>>,
+    /// `None` until [`GladeBuilder::cancel_token`] installs one: each
+    /// session then gets its own fresh token, so cancelling one session
+    /// built from a cloned builder cannot silently degrade the others.
+    cancel: Option<CancelToken>,
+}
+
+impl std::fmt::Debug for GladeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GladeBuilder")
+            .field("config", &self.config)
+            .field("observer", &self.observer.as_ref().map(|_| "dyn SynthesisObserver"))
+            .field("cancel", &self.cancel)
+            .finish()
+    }
+}
+
+impl GladeBuilder {
+    /// Starts from the default configuration (full pipeline, unlimited
+    /// budget, automatic worker count).
+    pub fn new() -> Self {
+        GladeBuilder::default()
+    }
+
+    /// Starts from an existing [`GladeConfig`] (migration aid for callers
+    /// that already assemble configs programmatically).
+    pub fn from_config(config: GladeConfig) -> Self {
+        GladeBuilder { config, ..GladeBuilder::default() }
+    }
+
+    /// Enables or disables the merge phase (Section 5). Disabling yields
+    /// the paper's `P1` ablation.
+    pub fn phase2(mut self, enabled: bool) -> Self {
+        self.config.phase2 = enabled;
+        self
+    }
+
+    /// Enables or disables character generalization (Section 6.2).
+    pub fn character_generalization(mut self, enabled: bool) -> Self {
+        self.config.character_generalization = enabled;
+        self
+    }
+
+    /// Sets the candidate bytes tried during character generalization.
+    pub fn char_test_bytes(mut self, bytes: Vec<u8>) -> Self {
+        self.config.char_test_bytes = bytes;
+        self
+    }
+
+    /// Caps the *distinct* oracle queries per run; past the cap the run
+    /// degrades gracefully (stops generalizing further).
+    pub fn max_queries(mut self, limit: usize) -> Self {
+        self.config.max_queries = Some(limit);
+        self
+    }
+
+    /// Sets a wall-clock limit per run, emulating the paper's 300 s
+    /// timeout.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.config.time_limit = Some(limit);
+        self
+    }
+
+    /// Enables or disables the Section 6.1 redundant-seed skip.
+    pub fn skip_redundant_seeds(mut self, enabled: bool) -> Self {
+        self.config.skip_redundant_seeds = enabled;
+        self
+    }
+
+    /// Sets the worker-thread count for batched membership checks
+    /// (`1` forces the fully sequential path; the default uses the
+    /// machine's available parallelism).
+    pub fn worker_threads(mut self, workers: usize) -> Self {
+        self.config.worker_threads = Some(workers);
+        self
+    }
+
+    /// Installs a progress observer (see [`SynthEvent`](crate::SynthEvent)
+    /// for the event vocabulary). Pass an `Arc` to keep a handle for
+    /// inspection after the run.
+    pub fn observer(mut self, observer: impl SynthesisObserver + 'static) -> Self {
+        self.observer = Some(Arc::new(observer));
+        self
+    }
+
+    /// Installs an external cancellation token; keep a clone and call
+    /// [`CancelToken::cancel`] to stop runs early. Without this, every
+    /// session built from this builder (or a clone of it) gets its own
+    /// fresh token, reachable via [`Session::cancel_token`]; an installed
+    /// token, by contrast, is deliberately shared — cancelling it stops
+    /// every session it was installed into.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The configuration assembled so far.
+    pub fn config(&self) -> &GladeConfig {
+        &self.config
+    }
+
+    /// Opens a session against `oracle`. The session owns the query cache;
+    /// every run through it shares (and extends) that cache.
+    pub fn session<'o>(self, oracle: &'o dyn Oracle) -> Session<'o> {
+        Session {
+            config: self.config,
+            oracle,
+            observer: self.observer,
+            cancel: self.cancel.unwrap_or_default(),
+            cache: ShardedCache::new(),
+            trees: Vec::new(),
+            chargen_done: 0,
+            combined: None,
+            next_star_id: 0,
+            seeds: Vec::new(),
+            seeds_used: 0,
+            seeds_skipped: 0,
+            chars_generalized: 0,
+        }
+    }
+
+    /// One-shot convenience: opens a session, runs [`Session::add_seeds`]
+    /// once, and returns the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::NoSeeds`] for an empty seed set and
+    /// [`SynthesisError::SeedRejected`] if the oracle rejects a seed.
+    pub fn synthesize(
+        self,
+        seeds: &[Vec<u8>],
+        oracle: &dyn Oracle,
+    ) -> Result<Synthesis, SynthesisError> {
+        self.session(oracle).add_seeds(seeds)
+    }
+}
+
+impl From<Glade> for GladeBuilder {
+    fn from(glade: Glade) -> Self {
+        GladeBuilder::from_config(glade.config().clone())
+    }
+}
+
+/// A long-lived synthesis session: one oracle, one persistent query cache,
+/// and the accumulated per-seed generalization state.
+///
+/// Created by [`GladeBuilder::session`]. See the crate docs for the
+/// capability overview and an example.
+///
+/// # Determinism
+///
+/// With a deterministic oracle and no degradation — no time limit, no
+/// cancellation, and no `max_queries` exhaustion — the grammar produced
+/// after a sequence of [`Session::add_seeds`] calls is byte-identical to a
+/// fresh run on the concatenated seed list, and the session's
+/// distinct-query count ([`SynthesisStats::unique_queries`]) equals the
+/// fresh run's — the cache answers repeated checks, it never changes which
+/// checks are posed. Both are also independent of
+/// [`GladeBuilder::worker_threads`]. Because the query budget applies per
+/// `add_seeds` call, a budget-exhausted incremental sequence can diverge
+/// from the equally-budgeted fresh run (it had more total budget, and
+/// trees degraded in an early call are frozen rather than re-generalized);
+/// the safety guarantees (fail-closed, every seed preserved) still hold.
+pub struct Session<'o> {
+    config: GladeConfig,
+    oracle: &'o dyn Oracle,
+    observer: Option<Arc<dyn SynthesisObserver>>,
+    cancel: CancelToken,
+    /// Session-lifetime membership-query cache (snapshot-able).
+    cache: ShardedCache,
+    /// Per-seed generalization trees, post character generalization for
+    /// indices below `chargen_done`.
+    trees: Vec<Node>,
+    chargen_done: usize,
+    /// Disjunction of the *pre-chargen* per-seed regexes, exactly the
+    /// state the Section 6.1 redundancy skip consults in a fresh run.
+    combined: Option<Regex>,
+    next_star_id: usize,
+    seeds: Vec<Vec<u8>>,
+    seeds_used: usize,
+    seeds_skipped: usize,
+    chars_generalized: usize,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("seeds", &self.seeds.len())
+            .field("unique_queries", &self.cache.len())
+            .field("star_count", &self.next_star_id)
+            .finish()
+    }
+}
+
+impl<'o> Session<'o> {
+    /// The session configuration (fixed at build time).
+    pub fn config(&self) -> &GladeConfig {
+        &self.config
+    }
+
+    /// A clonable handle that cancels this session's runs when triggered.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Every seed submitted so far, in submission order (including seeds
+    /// skipped as redundant).
+    pub fn seeds(&self) -> &[Vec<u8>] {
+        &self.seeds
+    }
+
+    /// Distinct membership queries cached so far.
+    pub fn unique_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Extends the synthesis with `seeds` and returns the full result over
+    /// *all* seeds submitted so far.
+    ///
+    /// New seeds are validated, generalized (phase one), and character
+    /// generalized; earlier seeds' trees are reused as-is. Phase two is
+    /// re-run over the combined star set — its checks for previously
+    /// examined pairs are answered by the session cache, so incremental
+    /// runs pay oracle calls only for genuinely new checks. An empty
+    /// `seeds` slice re-synthesizes from the current state (useful after
+    /// [`Session::load_cache`] only to rebuild the grammar).
+    ///
+    /// The query/time budget configured on the builder applies per call,
+    /// not per session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::NoSeeds`] if the session has no seeds at
+    /// all, and [`SynthesisError::SeedRejected`] if the oracle rejects a
+    /// new seed (earlier seeds and session state stay untouched).
+    pub fn add_seeds(&mut self, seeds: &[Vec<u8>]) -> Result<Synthesis, SynthesisError> {
+        if seeds.is_empty() && self.seeds.is_empty() {
+            return Err(SynthesisError::NoSeeds);
+        }
+        let workers = self
+            .config
+            .worker_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let observer: Option<&dyn SynthesisObserver> = self.observer.as_deref();
+        let runner = QueryRunner::new(
+            self.oracle,
+            &self.cache,
+            RunnerOptions {
+                max_queries: self.config.max_queries,
+                time_limit: self.config.time_limit,
+                workers,
+                observer,
+                cancel: Some(&self.cancel),
+            },
+        );
+        let unique_before = self.cache.len();
+        // Validate all new seeds before touching session state, so a
+        // rejected seed leaves the session usable.
+        for seed in seeds {
+            if !runner.accepts_unbudgeted(seed) {
+                return Err(SynthesisError::SeedRejected(seed.clone()));
+            }
+        }
+
+        let emit = |event: SynthEvent| {
+            if let Some(obs) = observer {
+                obs.on_event(&event);
+            }
+        };
+        let mut stats = SynthesisStats::default();
+
+        // Phase one, new seeds only, seed by seed (Section 6.1).
+        let t0 = Instant::now();
+        if !seeds.is_empty() {
+            emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase1 });
+        }
+        let mut phase1 = Phase1::new(&runner, self.next_star_id);
+        for seed in seeds {
+            let seed_index = self.seeds.len();
+            self.seeds.push(seed.clone());
+            if self.config.skip_redundant_seeds {
+                if let Some(r) = &self.combined {
+                    if r.is_match(seed) {
+                        self.seeds_skipped += 1;
+                        emit(SynthEvent::SeedSkipped { seed_index });
+                        continue;
+                    }
+                }
+            }
+            let stars_before = phase1.next_star_id();
+            let tree = phase1.generalize_seed(seed);
+            let tree_regex = tree.to_regex();
+            self.combined = Some(match self.combined.take() {
+                Some(r) => Regex::alt(vec![r, tree_regex]),
+                None => tree_regex,
+            });
+            self.trees.push(tree);
+            self.seeds_used += 1;
+            emit(SynthEvent::SeedGeneralized {
+                seed_index,
+                new_stars: phase1.next_star_id() - stars_before,
+            });
+        }
+        self.next_star_id = phase1.next_star_id();
+        stats.phase1_time = t0.elapsed();
+        if !seeds.is_empty() {
+            emit(SynthEvent::PhaseFinished {
+                phase: SynthPhase::Phase1,
+                elapsed: stats.phase1_time,
+                unique_queries: runner.unique_queries(),
+            });
+        }
+
+        // Character generalization (Section 6.2), new trees only — earlier
+        // trees were already widened, and re-probing them would only replay
+        // cache hits.
+        let t1 = Instant::now();
+        if self.config.character_generalization && self.chargen_done < self.trees.len() {
+            emit(SynthEvent::PhaseStarted { phase: SynthPhase::CharGeneralization });
+            for tree in &mut self.trees[self.chargen_done..] {
+                self.chars_generalized +=
+                    generalize_chars(tree, &runner, &self.config.char_test_bytes);
+            }
+            self.chargen_done = self.trees.len();
+            stats.chargen_time = t1.elapsed();
+            emit(SynthEvent::PhaseFinished {
+                phase: SynthPhase::CharGeneralization,
+                elapsed: stats.chargen_time,
+                unique_queries: runner.unique_queries(),
+            });
+        }
+
+        // Phase two (Section 5), recomputed over the combined star set.
+        // Pairs examined by earlier runs are answered from the cache, so
+        // the union-find — and the grammar — always reflects all seeds.
+        let t2 = Instant::now();
+        let mut merges = if self.config.phase2 {
+            emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
+            let (uf, mstats) = merge_stars(&self.trees, self.next_star_id, &runner, observer);
+            stats.merge_pairs_tried = mstats.pairs_tried;
+            stats.merges_accepted = mstats.merges_accepted;
+            stats.phase2_time = t2.elapsed();
+            emit(SynthEvent::PhaseFinished {
+                phase: SynthPhase::Phase2,
+                elapsed: stats.phase2_time,
+                unique_queries: runner.unique_queries(),
+            });
+            uf
+        } else {
+            UnionFind::new(self.next_star_id)
+        };
+
+        let grammar = trees_to_grammar(&self.trees, &mut merges);
+        let regex = Regex::alt(self.trees.iter().map(Node::to_regex).collect());
+
+        stats.seeds_used = self.seeds_used;
+        stats.seeds_skipped = self.seeds_skipped;
+        stats.star_count = self.next_star_id;
+        stats.tree_nodes = self.trees.iter().map(Node::size).sum();
+        stats.chars_generalized = self.chars_generalized;
+        stats.unique_queries = runner.unique_queries();
+        stats.new_unique_queries = runner.unique_queries() - unique_before;
+        stats.total_queries = runner.total_queries();
+        stats.budget_exhausted = runner.exhausted();
+        stats.cancelled = runner.was_cancelled();
+
+        Ok(Synthesis { grammar, regex, stats })
+    }
+
+    /// Serializes the session's query cache to the `glade-cache v1` text
+    /// format (see `persist.rs`). Entries are sorted, so equal caches
+    /// produce byte-identical snapshots.
+    pub fn export_cache(&self) -> String {
+        cache_to_text(&self.cache.snapshot())
+    }
+
+    /// Loads `glade-cache v1` text into the session cache, returning the
+    /// number of entries read. Existing entries keep their verdict (a
+    /// snapshot from the same deterministic oracle always agrees).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] describing the first malformed line.
+    pub fn import_cache(&self, text: &str) -> Result<usize, CacheError> {
+        let entries = cache_from_text(text)?;
+        let count = entries.len();
+        for (query, verdict) in entries {
+            self.cache.insert(query, verdict);
+        }
+        Ok(count)
+    }
+
+    /// Writes the cache snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::Io`] if the file cannot be written.
+    pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
+        std::fs::write(path, self.export_cache())?;
+        Ok(())
+    }
+
+    /// Reads a cache snapshot from `path` into the session cache,
+    /// returning the number of entries read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::Io`] if the file cannot be read, or a format
+    /// error for a malformed snapshot.
+    pub fn load_cache(&self, path: impl AsRef<Path>) -> Result<usize, CacheError> {
+        let text = std::fs::read_to_string(path)?;
+        self.import_cache(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventLog;
+    use crate::testing::xml_like;
+    use crate::FnOracle;
+    use glade_grammar::Earley;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn builder_configures_every_knob() {
+        let b = GladeBuilder::new()
+            .phase2(false)
+            .character_generalization(false)
+            .char_test_bytes(vec![b'a', b'b'])
+            .max_queries(7)
+            .time_limit(Duration::from_secs(3))
+            .skip_redundant_seeds(false)
+            .worker_threads(2);
+        let c = b.config();
+        assert!(!c.phase2);
+        assert!(!c.character_generalization);
+        assert_eq!(c.char_test_bytes, vec![b'a', b'b']);
+        assert_eq!(c.max_queries, Some(7));
+        assert_eq!(c.time_limit, Some(Duration::from_secs(3)));
+        assert!(!c.skip_redundant_seeds);
+        assert_eq!(c.worker_threads, Some(2));
+    }
+
+    #[test]
+    fn one_shot_synthesize_matches_session_run() {
+        let oracle = FnOracle::new(xml_like);
+        let one_shot = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let mut session = GladeBuilder::new().session(&oracle);
+        let run = session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert_eq!(
+            glade_grammar::grammar_to_text(&one_shot.grammar),
+            glade_grammar::grammar_to_text(&run.grammar)
+        );
+        assert_eq!(one_shot.stats.unique_queries, run.stats.unique_queries);
+        assert_eq!(run.stats.new_unique_queries, run.stats.unique_queries);
+    }
+
+    #[test]
+    fn empty_first_call_errors_but_session_survives() {
+        let oracle = FnOracle::new(xml_like);
+        let mut session = GladeBuilder::new().session(&oracle);
+        assert!(matches!(session.add_seeds(&[]), Err(SynthesisError::NoSeeds)));
+        let ok = session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert!(Earley::new(&ok.grammar).accepts(b"<a>hi</a>"));
+        // Empty follow-up re-synthesizes from existing state.
+        let again = session.add_seeds(&[]).unwrap();
+        assert_eq!(
+            glade_grammar::grammar_to_text(&ok.grammar),
+            glade_grammar::grammar_to_text(&again.grammar)
+        );
+        assert_eq!(again.stats.new_unique_queries, 0, "re-run is fully cached");
+    }
+
+    #[test]
+    fn rejected_seed_leaves_session_usable() {
+        let oracle = FnOracle::new(xml_like);
+        let mut session = GladeBuilder::new().session(&oracle);
+        session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let err = session.add_seeds(&[b"<bad".to_vec()]).unwrap_err();
+        assert_eq!(err, SynthesisError::SeedRejected(b"<bad".to_vec()));
+        assert_eq!(session.seeds().len(), 1, "rejected batch not recorded");
+        let ok = session.add_seeds(&[b"xy".to_vec()]).unwrap();
+        assert!(Earley::new(&ok.grammar).accepts(b"xy"));
+    }
+
+    #[test]
+    fn incremental_skips_redundant_later_seed() {
+        let oracle = FnOracle::new(xml_like);
+        let mut session = GladeBuilder::new().session(&oracle);
+        session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        // Covered by the first seed's pre-chargen regex (<a>[hi]*</a>)*.
+        let r = session.add_seeds(&[b"<a>hi</a><a>hi</a>".to_vec()]).unwrap();
+        assert_eq!(r.stats.seeds_used, 1);
+        assert_eq!(r.stats.seeds_skipped, 1);
+    }
+
+    #[test]
+    fn observer_sees_phases_seeds_and_merges() {
+        let log = Arc::new(EventLog::new());
+        let oracle = FnOracle::new(xml_like);
+        let mut session = GladeBuilder::new().observer(log.clone()).session(&oracle);
+        session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let events = log.events();
+        let started: Vec<SynthPhase> = events
+            .iter()
+            .filter_map(|e| match e {
+                SynthEvent::PhaseStarted { phase } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            started,
+            vec![SynthPhase::Phase1, SynthPhase::CharGeneralization, SynthPhase::Phase2]
+        );
+        let finished =
+            events.iter().filter(|e| matches!(e, SynthEvent::PhaseFinished { .. })).count();
+        assert_eq!(finished, 3);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SynthEvent::SeedGeneralized { seed_index: 0, new_stars: 2 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SynthEvent::MergeAccepted { left_star: 0, right_star: 1 })));
+        assert!(events.iter().any(|e| matches!(e, SynthEvent::QueryBatch { .. })));
+    }
+
+    #[test]
+    fn budget_exhaustion_event_and_stat() {
+        let log = Arc::new(EventLog::new());
+        let oracle = FnOracle::new(xml_like);
+        let mut session = GladeBuilder::new().max_queries(5).observer(log.clone()).session(&oracle);
+        let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert!(result.stats.budget_exhausted);
+        assert!(!result.stats.cancelled);
+        assert!(log.events().contains(&SynthEvent::BudgetExhausted));
+        assert!(Earley::new(&result.grammar).accepts(b"<a>hi</a>"), "seed survives");
+    }
+
+    #[test]
+    fn cancellation_mid_run_yields_seed_preserving_grammar() {
+        // Cancel from inside the oracle after a fixed number of calls —
+        // deterministic "mid-phase" cancellation.
+        let token = CancelToken::new();
+        let calls = AtomicUsize::new(0);
+        let token_in_oracle = token.clone();
+        let oracle = FnOracle::new(move |i: &[u8]| {
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 == 40 {
+                token_in_oracle.cancel();
+            }
+            xml_like(i)
+        });
+        let log = Arc::new(EventLog::new());
+        let mut session = GladeBuilder::new()
+            .worker_threads(1)
+            .cancel_token(token)
+            .observer(log.clone())
+            .session(&oracle);
+        let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert!(result.stats.cancelled);
+        assert!(result.stats.budget_exhausted, "cancel shares the fail-closed path");
+        assert!(log.events().contains(&SynthEvent::Cancelled));
+        assert!(Earley::new(&result.grammar).accepts(b"<a>hi</a>"), "seed survives");
+        // Far fewer queries than the full run's 1324.
+        assert!(result.stats.unique_queries < 300, "{}", result.stats.unique_queries);
+    }
+
+    #[test]
+    fn cancel_token_accessor_cancels_future_runs() {
+        let oracle = FnOracle::new(xml_like);
+        let mut session = GladeBuilder::new().session(&oracle);
+        session.cancel_token().cancel();
+        let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert!(result.stats.cancelled);
+        assert!(Earley::new(&result.grammar).accepts(b"<a>hi</a>"));
+    }
+
+    #[test]
+    fn cloned_builders_do_not_share_an_implicit_cancel_token() {
+        // Regression: CancelToken is sticky and shared by clone, so a
+        // derived Clone on the builder must not hand the same implicit
+        // token to every session built from clones — cancelling one
+        // session would silently degrade the others.
+        let oracle = FnOracle::new(xml_like);
+        let builder = GladeBuilder::new();
+        let mut s1 = builder.clone().session(&oracle);
+        let mut s2 = builder.session(&oracle);
+        s1.cancel_token().cancel();
+        let r1 = s1.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let r2 = s2.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert!(r1.stats.cancelled);
+        assert!(!r2.stats.cancelled, "sibling session inherited the cancel");
+        // An explicitly installed token IS shared — that is its purpose.
+        let token = CancelToken::new();
+        let shared = GladeBuilder::new().cancel_token(token.clone());
+        let mut s3 = shared.clone().session(&oracle);
+        token.cancel();
+        assert!(s3.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap().stats.cancelled);
+    }
+
+    #[test]
+    fn cache_export_import_roundtrip_is_cold_start_free() {
+        let oracle = FnOracle::new(xml_like);
+        let mut warm = GladeBuilder::new().session(&oracle);
+        let first = warm.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let snapshot = warm.export_cache();
+
+        let counted = AtomicUsize::new(0);
+        let counting_oracle = FnOracle::new(|i: &[u8]| {
+            counted.fetch_add(1, Ordering::Relaxed);
+            xml_like(i)
+        });
+        let mut cold = GladeBuilder::new().session(&counting_oracle);
+        let loaded = cold.import_cache(&snapshot).unwrap();
+        assert_eq!(loaded, first.stats.unique_queries);
+        let second = cold.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert_eq!(second.stats.new_unique_queries, 0, "every check was answered");
+        assert_eq!(counted.load(Ordering::Relaxed), 0, "oracle never consulted");
+        assert_eq!(
+            glade_grammar::grammar_to_text(&first.grammar),
+            glade_grammar::grammar_to_text(&second.grammar)
+        );
+    }
+
+    #[test]
+    fn import_rejects_malformed_snapshots() {
+        let oracle = FnOracle::new(xml_like);
+        let session = GladeBuilder::new().session(&oracle);
+        assert!(matches!(session.import_cache("nope"), Err(CacheError::BadHeader)));
+        assert!(matches!(
+            session.import_cache("glade-cache v1\nq 9 61\n"),
+            Err(CacheError::BadField(2))
+        ));
+    }
+
+    #[test]
+    fn builder_from_glade_carries_config() {
+        let glade = Glade::with_config(GladeConfig::phase1_only());
+        let builder = GladeBuilder::from(glade);
+        assert!(!builder.config().phase2);
+    }
+}

@@ -1,23 +1,28 @@
-//! The top-level GLADE synthesizer: configuration, statistics, and the
-//! driver tying phase one, character generalization, and phase two together
-//! (Algorithm 1 plus the Section 6 extensions).
+//! Synthesis configuration, statistics, results, and the legacy one-shot
+//! entry point.
+//!
+//! The pipeline itself (Algorithm 1 plus the Section 6 extensions) is
+//! driven by [`Session::add_seeds`](crate::Session::add_seeds) in
+//! `session.rs`; this module holds the shared value types —
+//! [`GladeConfig`], [`SynthesisStats`], [`Synthesis`], [`SynthesisError`] —
+//! and [`Glade`], the deprecated blocking wrapper kept for source
+//! compatibility.
 
-use crate::chargen::{default_test_bytes, generalize_chars};
-use crate::phase1::Phase1;
-use crate::phase2::merge_stars;
-use crate::runner::QueryRunner;
-use crate::tree::{trees_to_grammar, Node, UnionFind};
+use crate::chargen::default_test_bytes;
+use crate::session::GladeBuilder;
 use crate::Oracle;
 use glade_grammar::{Grammar, Regex};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a synthesis run.
 ///
-/// The defaults reproduce the full GLADE pipeline; the `phase2` and
-/// `character_generalization` switches provide the paper's ablations
-/// (Section 8.2 evaluates "GLADE omitting phase two" as `P1`, and a variant
-/// without character generalization).
+/// Construct through [`GladeBuilder`](crate::GladeBuilder) (each field has
+/// a fluent setter); the struct remains public so configurations can be
+/// stored, compared, and passed around. The defaults reproduce the full
+/// GLADE pipeline; the `phase2` and `character_generalization` switches
+/// provide the paper's ablations (Section 8.2 evaluates "GLADE omitting
+/// phase two" as `P1`, and a variant without character generalization).
 #[derive(Debug, Clone)]
 pub struct GladeConfig {
     /// Run the merge phase (Section 5). Disabling restricts GLADE to
@@ -28,10 +33,12 @@ pub struct GladeConfig {
     /// Candidate bytes tried during character generalization. Defaults to
     /// printable ASCII plus tab and newline.
     pub char_test_bytes: Vec<u8>,
-    /// Maximum number of *distinct* oracle queries before the run degrades
-    /// gracefully (stops generalizing further). `None` = unlimited.
+    /// Maximum number of *distinct* oracle queries per run before it
+    /// degrades gracefully (stops generalizing further). `None` =
+    /// unlimited. A [`Session`](crate::Session) applies the budget per
+    /// [`add_seeds`](crate::Session::add_seeds) call.
     pub max_queries: Option<usize>,
-    /// Wall-clock limit, emulating the paper's 300 s timeout.
+    /// Wall-clock limit per run, emulating the paper's 300 s timeout.
     pub time_limit: Option<Duration>,
     /// Section 6.1 optimization: skip a seed if it is already matched by
     /// the disjunction of the regular expressions synthesized so far.
@@ -77,11 +84,21 @@ impl GladeConfig {
 }
 
 /// Counters and timings recorded by a synthesis run.
+///
+/// In a [`Session`](crate::Session), the seed/star/merge/character counters
+/// and `unique_queries` describe the *whole session so far* (so the final
+/// `add_seeds` call reports exactly what a fresh run on all seeds would);
+/// `new_unique_queries`, `total_queries`, the phase timings, and the
+/// budget/cancel flags describe the individual run.
 #[derive(Debug, Clone, Default)]
 pub struct SynthesisStats {
-    /// Distinct membership queries sent to the oracle.
+    /// Distinct membership queries cached across the session.
     pub unique_queries: usize,
-    /// Total queries including cache hits.
+    /// Distinct membership queries this run added to the cache (zero when
+    /// a warm cache — an earlier run or a loaded snapshot — already held
+    /// every answer).
+    pub new_unique_queries: usize,
+    /// Queries posed by this run, including cache hits.
     pub total_queries: usize,
     /// Seeds actually generalized.
     pub seeds_used: usize,
@@ -97,8 +114,13 @@ pub struct SynthesisStats {
     pub merges_accepted: usize,
     /// (position, byte) pairs accepted by character generalization.
     pub chars_generalized: usize,
-    /// Whether the query/time budget ran out mid-run.
+    /// Whether the query/time budget ran out (or the run was cancelled)
+    /// mid-run.
     pub budget_exhausted: bool,
+    /// Whether this run observed a [`CancelToken`](crate::CancelToken)
+    /// cancellation. Cancelled runs degrade exactly like budget-exhausted
+    /// ones: the grammar still contains every seed.
+    pub cancelled: bool,
     /// Wall-clock time spent in phase one.
     pub phase1_time: Duration,
     /// Wall-clock time spent in character generalization.
@@ -127,8 +149,13 @@ pub struct Synthesis {
     pub stats: SynthesisStats,
 }
 
-/// Errors reported by [`Glade::synthesize`].
+/// Errors reported by [`Session::add_seeds`](crate::Session::add_seeds)
+/// and the [`Glade::synthesize`] wrapper.
+///
+/// `#[non_exhaustive]`: the session API may add error variants (match with
+/// a wildcard arm).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SynthesisError {
     /// No seed inputs were provided; GLADE needs at least one example.
     NoSeeds,
@@ -150,35 +177,25 @@ impl fmt::Display for SynthesisError {
 
 impl std::error::Error for SynthesisError {}
 
-/// The GLADE grammar synthesizer.
+/// The legacy one-shot GLADE synthesizer.
+///
+/// Kept as a thin compatibility wrapper over the session API; new code
+/// should use [`GladeBuilder`](crate::GladeBuilder) — either its one-shot
+/// [`synthesize`](crate::GladeBuilder::synthesize) or a full
+/// [`Session`](crate::Session) for observation, cancellation, incremental
+/// seeds, and cache persistence.
 ///
 /// # Examples
 ///
-/// Synthesize the paper's running example (Figures 1–3) and check that the
-/// result captures recursion:
+/// The paper's running example (Figures 1–3) through the builder:
 ///
 /// ```
-/// use glade_core::{FnOracle, Glade};
+/// use glade_core::{FnOracle, GladeBuilder};
+/// use glade_core::testing::xml_like;
 /// use glade_grammar::Earley;
 ///
-/// // Oracle for A → (a..z | <a>A</a>)*.
-/// fn xml_like(input: &[u8]) -> bool {
-///     fn parse(mut s: &[u8]) -> Option<&[u8]> {
-///         loop {
-///             if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-///                 s = &s[1..];
-///             } else if s.starts_with(b"<a>") {
-///                 s = parse(&s[3..])?.strip_prefix(b"</a>")?;
-///             } else {
-///                 return Some(s);
-///             }
-///         }
-///     }
-///     parse(input).is_some_and(|r| r.is_empty())
-/// }
-///
 /// let oracle = FnOracle::new(xml_like);
-/// let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle)?;
+/// let result = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle)?;
 /// let parser = Earley::new(&result.grammar);
 /// assert!(parser.accepts(b"<a><a>xyz</a></a>"));
 /// assert!(!parser.accepts(b"<a>oops"));
@@ -200,6 +217,11 @@ impl Glade {
         Glade { config }
     }
 
+    /// Starts a fluent [`GladeBuilder`] — the session API's entry point.
+    pub fn builder() -> GladeBuilder {
+        GladeBuilder::new()
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &GladeConfig {
         &self.config
@@ -207,120 +229,40 @@ impl Glade {
 
     /// Synthesizes a grammar from `seeds` and blackbox `oracle` access.
     ///
+    /// Equivalent to `GladeBuilder::from_config(config).synthesize(seeds,
+    /// oracle)`: one blocking run with no observer, no cancellation, and a
+    /// cache that dies with the call.
+    ///
     /// # Errors
     ///
     /// Returns [`SynthesisError::NoSeeds`] for an empty seed set and
     /// [`SynthesisError::SeedRejected`] if the oracle rejects a seed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use GladeBuilder::synthesize for one-shot runs, or GladeBuilder::session \
+                for observable, cancellable, incremental synthesis"
+    )]
     pub fn synthesize(
         &self,
         seeds: &[Vec<u8>],
         oracle: &dyn Oracle,
     ) -> Result<Synthesis, SynthesisError> {
-        if seeds.is_empty() {
-            return Err(SynthesisError::NoSeeds);
-        }
-        let workers = self
-            .config
-            .worker_threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-        let runner =
-            QueryRunner::new(oracle, self.config.max_queries, self.config.time_limit, workers);
-        for seed in seeds {
-            if !runner.accepts_unbudgeted(seed) {
-                return Err(SynthesisError::SeedRejected(seed.clone()));
-            }
-        }
-
-        let mut stats = SynthesisStats::default();
-
-        // Phase one, seed by seed (Section 6.1).
-        let t0 = Instant::now();
-        let mut phase1 = Phase1::new(&runner, 0);
-        let mut trees: Vec<Node> = Vec::new();
-        let mut combined: Option<Regex> = None;
-        for seed in seeds {
-            if self.config.skip_redundant_seeds {
-                if let Some(r) = &combined {
-                    if r.is_match(seed) {
-                        stats.seeds_skipped += 1;
-                        continue;
-                    }
-                }
-            }
-            let tree = phase1.generalize_seed(seed);
-            let tree_regex = tree.to_regex();
-            combined = Some(match combined.take() {
-                Some(r) => Regex::alt(vec![r, tree_regex]),
-                None => tree_regex,
-            });
-            trees.push(tree);
-            stats.seeds_used += 1;
-        }
-        let num_stars = phase1.next_star_id();
-        stats.star_count = num_stars;
-        stats.tree_nodes = trees.iter().map(Node::size).sum();
-        stats.phase1_time = t0.elapsed();
-
-        // Character generalization (Section 6.2).
-        let t1 = Instant::now();
-        if self.config.character_generalization {
-            for tree in &mut trees {
-                stats.chars_generalized +=
-                    generalize_chars(tree, &runner, &self.config.char_test_bytes);
-            }
-        }
-        stats.chargen_time = t1.elapsed();
-
-        // Phase two (Section 5).
-        let t2 = Instant::now();
-        let mut merges = if self.config.phase2 {
-            let (uf, mstats) = merge_stars(&trees, num_stars, &runner);
-            stats.merge_pairs_tried = mstats.pairs_tried;
-            stats.merges_accepted = mstats.merges_accepted;
-            uf
-        } else {
-            UnionFind::new(num_stars)
-        };
-        stats.phase2_time = t2.elapsed();
-
-        let grammar = trees_to_grammar(&trees, &mut merges);
-        let regex = Regex::alt(trees.iter().map(Node::to_regex).collect());
-
-        stats.unique_queries = runner.unique_queries();
-        stats.total_queries = runner.total_queries();
-        stats.budget_exhausted = runner.exhausted();
-
-        Ok(Synthesis { grammar, regex, stats })
+        GladeBuilder::from_config(self.config.clone()).synthesize(seeds, oracle)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::FnOracle;
+    use crate::testing::xml_like;
+    use crate::{FnOracle, GladeBuilder};
     use glade_grammar::{Earley, Sampler};
     use rand::SeedableRng;
-
-    fn xml_like(input: &[u8]) -> bool {
-        fn parse(mut s: &[u8]) -> Option<&[u8]> {
-            loop {
-                if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                    s = &s[1..];
-                } else if s.starts_with(b"<a>") {
-                    let rest = parse(&s[3..])?;
-                    s = rest.strip_prefix(b"</a>")?;
-                } else {
-                    return Some(s);
-                }
-            }
-        }
-        parse(input).is_some_and(|r| r.is_empty())
-    }
 
     #[test]
     fn full_pipeline_on_running_example() {
         let oracle = FnOracle::new(xml_like);
-        let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let result = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
         let e = Earley::new(&result.grammar);
         // Section 6.2's conclusion: L(Ĉ'_XML) = L(C_XML) — the synthesized
         // grammar is exactly the target on this example.
@@ -349,9 +291,25 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_wrapper_matches_builder() {
+        // The compatibility contract: Glade::synthesize and the session
+        // API produce identical results for identical configs.
+        let oracle = FnOracle::new(xml_like);
+        #[allow(deprecated)]
+        let old = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let new = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        assert_eq!(
+            glade_grammar::grammar_to_text(&old.grammar),
+            glade_grammar::grammar_to_text(&new.grammar)
+        );
+        assert_eq!(old.stats.unique_queries, new.stats.unique_queries);
+        assert_eq!(old.stats.total_queries, new.stats.total_queries);
+    }
+
+    #[test]
     fn precision_of_samples_is_perfect_on_running_example() {
         let oracle = FnOracle::new(xml_like);
-        let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let result = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
         let sampler = Sampler::new(&result.grammar);
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         for _ in 0..300 {
@@ -363,7 +321,8 @@ mod tests {
     #[test]
     fn phase1_only_ablation_is_regular() {
         let oracle = FnOracle::new(xml_like);
-        let result = Glade::with_config(GladeConfig::phase1_only())
+        let result = GladeBuilder::new()
+            .phase2(false)
             .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
             .unwrap();
         let e = Earley::new(&result.grammar);
@@ -377,7 +336,7 @@ mod tests {
     #[test]
     fn no_chargen_ablation_keeps_seed_letters_only() {
         let oracle = FnOracle::new(xml_like);
-        let result = Glade::with_config(GladeConfig::without_char_generalization())
+        let result = GladeBuilder::from_config(GladeConfig::without_char_generalization())
             .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
             .unwrap();
         let e = Earley::new(&result.grammar);
@@ -389,8 +348,11 @@ mod tests {
     #[test]
     fn errors_on_empty_and_rejected_seeds() {
         let oracle = FnOracle::new(xml_like);
-        assert_eq!(Glade::new().synthesize(&[], &oracle).unwrap_err(), SynthesisError::NoSeeds);
-        let err = Glade::new().synthesize(&[b"<bad".to_vec()], &oracle).unwrap_err();
+        assert_eq!(
+            GladeBuilder::new().synthesize(&[], &oracle).unwrap_err(),
+            SynthesisError::NoSeeds
+        );
+        let err = GladeBuilder::new().synthesize(&[b"<bad".to_vec()], &oracle).unwrap_err();
         assert_eq!(err, SynthesisError::SeedRejected(b"<bad".to_vec()));
     }
 
@@ -400,7 +362,7 @@ mod tests {
         // The second seed is already covered by the first seed's regex
         // (<a>(letter)*</a>)* after phase 1.
         let seeds = vec![b"<a>hi</a>".to_vec(), b"<a>hi</a><a>hi</a>".to_vec()];
-        let result = Glade::new().synthesize(&seeds, &oracle).unwrap();
+        let result = GladeBuilder::new().synthesize(&seeds, &oracle).unwrap();
         assert_eq!(result.stats.seeds_used, 1);
         assert_eq!(result.stats.seeds_skipped, 1);
     }
@@ -411,8 +373,8 @@ mod tests {
         let oracle = FnOracle::new(|i: &[u8]| {
             i == b"start" || i == b"stop" || (!i.is_empty() && i.iter().all(u8::is_ascii_digit))
         });
-        let cfg = GladeConfig { character_generalization: false, ..GladeConfig::default() };
-        let result = Glade::with_config(cfg)
+        let result = GladeBuilder::new()
+            .character_generalization(false)
             .synthesize(&[b"start".to_vec(), b"42".to_vec()], &oracle)
             .unwrap();
         let e = Earley::new(&result.grammar);
@@ -424,8 +386,10 @@ mod tests {
     #[test]
     fn budget_limits_are_reported() {
         let oracle = FnOracle::new(xml_like);
-        let cfg = GladeConfig { max_queries: Some(5), ..GladeConfig::default() };
-        let result = Glade::with_config(cfg).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let result = GladeBuilder::new()
+            .max_queries(5)
+            .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+            .unwrap();
         assert!(result.stats.budget_exhausted);
         // The seed is still in the synthesized language (monotonicity).
         let e = Earley::new(&result.grammar);
@@ -435,15 +399,16 @@ mod tests {
     #[test]
     fn stats_time_accounting() {
         let oracle = FnOracle::new(xml_like);
-        let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let result = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
         assert!(result.stats.total_time() >= result.stats.phase1_time);
         assert!(result.stats.total_queries >= result.stats.unique_queries);
+        assert_eq!(result.stats.new_unique_queries, result.stats.unique_queries);
     }
 
     #[test]
     fn regex_field_matches_phase1_language() {
         let oracle = FnOracle::new(xml_like);
-        let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+        let result = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
         assert!(result.regex.is_match(b"<a>qq</a>"));
         assert!(!result.regex.is_match(b"<a><a>q</a></a>"), "regex view is pre-merge");
     }

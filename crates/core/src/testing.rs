@@ -1,0 +1,80 @@
+//! Reference oracles for tests, examples, and documentation.
+//!
+//! The paper's running example (Figures 1–3) is exercised by nearly every
+//! layer of this workspace; before this module the recursive-descent
+//! membership predicate was copied verbatim into each test file. The
+//! canonical definitions live here instead. (`glade_targets::languages::
+//! toy_xml` defines the same language grammar-side, but `glade-core` cannot
+//! depend on `glade-targets` without a dependency cycle.)
+
+/// Membership in the paper's XML-like running-example language
+/// `A → (a..z | <a>A</a>)*` (Figure 1).
+///
+/// # Examples
+///
+/// ```
+/// use glade_core::testing::xml_like;
+///
+/// assert!(xml_like(b""));
+/// assert!(xml_like(b"<a>hi</a>"));
+/// assert!(xml_like(b"<a><a>deep</a></a>"));
+/// assert!(!xml_like(b"<a>hi</a"));
+/// assert!(!xml_like(b"<a>HI</a>"));
+/// ```
+pub fn xml_like(input: &[u8]) -> bool {
+    fn parse(mut s: &[u8]) -> Option<&[u8]> {
+        loop {
+            if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
+                s = &s[1..];
+            } else if s.starts_with(b"<a>") {
+                s = parse(&s[3..])?.strip_prefix(b"</a>")?;
+            } else {
+                return Some(s);
+            }
+        }
+    }
+    parse(input).is_some_and(|r| r.is_empty())
+}
+
+/// The Section 7 extension of [`xml_like`]: the same language plus the
+/// self-closing tag `<a/>`, used by the paper's greedy-limitation and
+/// two-seed-recovery discussion.
+pub fn xml_like_with_self_closing(input: &[u8]) -> bool {
+    fn parse(mut s: &[u8]) -> Option<&[u8]> {
+        loop {
+            if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
+                s = &s[1..];
+            } else if s.starts_with(b"<a/>") {
+                s = &s[4..];
+            } else if s.starts_with(b"<a>") {
+                s = parse(&s[3..])?.strip_prefix(b"</a>")?;
+            } else {
+                return Some(s);
+            }
+        }
+    }
+    parse(input).is_some_and(|r| r.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_like_matches_figure1() {
+        for member in [&b""[..], b"xyz", b"<a>hi</a>", b"<a><a>a</a><a>b</a>cc</a>"] {
+            assert!(xml_like(member), "{:?}", String::from_utf8_lossy(member));
+        }
+        for nonmember in [&b"<a>"[..], b"</a>", b"<b>x</b>", b"<a>HI</a>", b"1"] {
+            assert!(!xml_like(nonmember), "{:?}", String::from_utf8_lossy(nonmember));
+        }
+    }
+
+    #[test]
+    fn self_closing_variant_extends_the_language() {
+        assert!(xml_like_with_self_closing(b"<a/>"));
+        assert!(xml_like_with_self_closing(b"<a><a/>hi</a>"));
+        assert!(!xml_like(b"<a/>"));
+        assert!(!xml_like_with_self_closing(b"<a/"));
+    }
+}

@@ -1,30 +1,20 @@
-//! Integration tests for the parallel membership-query engine: thread-safety
-//! guarantees, worker-count independence of the synthesized grammar, and a
-//! golden query-count pin for the paper's running example.
+//! Integration tests for the parallel membership-query engine and the
+//! session API: thread-safety guarantees, worker-count independence of the
+//! synthesized grammar, golden query-count pins for the paper's running
+//! example, incremental `add_seeds` equivalence, cancellation, and cache
+//! snapshot round-trips.
 
-use glade_core::{CachingOracle, FnOracle, Glade, GladeConfig, Oracle, ProcessOracle};
+use glade_core::testing::xml_like;
+use glade_core::{
+    CachingOracle, CancelToken, FnOracle, GladeBuilder, Oracle, ProcessOracle, SynthesisStats,
+};
 use glade_grammar::grammar_to_text;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Oracle for the paper's XML-like running example: A → (a..z | <a>A</a>)*.
-/// (Local copy: `glade_targets::languages::toy_xml` defines the same
-/// language, but glade-core cannot dev-depend on glade-targets without a
-/// dependency cycle.)
-fn xml_like(input: &[u8]) -> bool {
-    fn parse(mut s: &[u8]) -> Option<&[u8]> {
-        loop {
-            if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                s = &s[1..];
-            } else if s.starts_with(b"<a>") {
-                let rest = parse(&s[3..])?;
-                s = rest.strip_prefix(b"</a>")?;
-            } else {
-                return Some(s);
-            }
-        }
-    }
-    parse(input).is_some_and(|r| r.is_empty())
-}
+/// Golden distinct-query count for the single seed `<a>hi</a>`.
+const GOLDEN_UNIQUE: usize = 1324;
+/// Golden total-query count (including cache hits) for the same run.
+const GOLDEN_TOTAL: usize = 1442;
 
 #[test]
 fn oracle_types_are_send_sync() {
@@ -46,16 +36,16 @@ fn oracle_types_are_send_sync() {
     });
 }
 
-/// Runs the full pipeline on the running example at a given worker count.
-fn synthesize_with_workers(workers: usize) -> (String, glade_core::SynthesisStats, usize) {
+/// Runs the full pipeline on the running example at a given worker count,
+/// through the session API.
+fn synthesize_with_workers(workers: usize) -> (String, SynthesisStats, usize) {
     let calls = AtomicUsize::new(0);
     let oracle = FnOracle::new(|i: &[u8]| {
         calls.fetch_add(1, Ordering::Relaxed);
         xml_like(i)
     });
-    let cfg = GladeConfig { worker_threads: Some(workers), ..GladeConfig::default() };
-    let result =
-        Glade::with_config(cfg).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid seed");
+    let mut session = GladeBuilder::new().worker_threads(workers).session(&oracle);
+    let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
     (grammar_to_text(&result.grammar), result.stats, calls.load(Ordering::Relaxed))
 }
 
@@ -86,12 +76,14 @@ fn parallel_and_sequential_paths_agree_exactly() {
 
 #[test]
 fn golden_query_counts_on_running_example() {
-    // Pins the query-engine cost model for `<a>hi</a>` (Figure 2's seed).
-    // A change here means the cache, dedup, or batch construction changed:
-    // bump the numbers only with an explanation in the commit message.
+    // Pins the query-engine cost model for `<a>hi</a>` (Figure 2's seed),
+    // now posed through the session API. A change here means the cache,
+    // dedup, or batch construction changed: bump the numbers only with an
+    // explanation in the commit message.
     let (_, stats, calls) = synthesize_with_workers(1);
-    assert_eq!(stats.unique_queries, 1324);
-    assert_eq!(stats.total_queries, 1442);
+    assert_eq!(stats.unique_queries, GOLDEN_UNIQUE);
+    assert_eq!(stats.new_unique_queries, GOLDEN_UNIQUE, "fresh session: all queries are new");
+    assert_eq!(stats.total_queries, GOLDEN_TOTAL);
     assert_eq!(stats.merge_pairs_tried, 1);
     assert_eq!(stats.merges_accepted, 1);
     assert_eq!(stats.chars_generalized, 50);
@@ -100,11 +92,11 @@ fn golden_query_counts_on_running_example() {
 
 #[test]
 fn default_config_uses_available_parallelism_and_stays_correct() {
-    // The default (worker_threads: None) resolves to the machine's
+    // The default (no worker_threads call) resolves to the machine's
     // available parallelism; whatever that is, the result must match the
     // sequential reference.
     let oracle = FnOracle::new(xml_like);
-    let auto = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid");
+    let auto = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid");
     let (seq_grammar, seq_stats, _) = synthesize_with_workers(1);
     assert_eq!(grammar_to_text(&auto.grammar), seq_grammar);
     assert_eq!(auto.stats.unique_queries, seq_stats.unique_queries);
@@ -115,11 +107,108 @@ fn concurrent_oracle_sees_consistent_snapshot() {
     // A shared CachingOracle under the engine: totals line up and the
     // verdicts stay deterministic.
     let oracle = CachingOracle::new(FnOracle::new(xml_like));
-    let cfg = GladeConfig { worker_threads: Some(8), ..GladeConfig::default() };
-    let result =
-        Glade::with_config(cfg).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid");
+    let result = GladeBuilder::new()
+        .worker_threads(8)
+        .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+        .expect("valid");
     // The runner's own cache dedups, so the CachingOracle sees exactly the
     // distinct queries.
     assert_eq!(oracle.total_queries(), result.stats.unique_queries);
     assert_eq!(oracle.unique_queries(), result.stats.unique_queries);
+}
+
+#[test]
+fn incremental_add_seeds_matches_fresh_multiseed_run() {
+    // Worker-count determinism extended to the incremental path: feeding
+    // seeds through two add_seeds calls must produce byte-identical
+    // grammar text and the same distinct-query count as one fresh run on
+    // the combined seed list — at every worker count.
+    let seed1 = b"<a>hi</a>".to_vec();
+    let seed2 = b"<a><a>x</a></a>".to_vec(); // not matched by seed1's regex
+    for workers in [1, 4] {
+        let oracle = FnOracle::new(xml_like);
+        let fresh = GladeBuilder::new()
+            .worker_threads(workers)
+            .synthesize(&[seed1.clone(), seed2.clone()], &oracle)
+            .expect("valid seeds");
+
+        let mut session = GladeBuilder::new().worker_threads(workers).session(&oracle);
+        let first = session.add_seeds(std::slice::from_ref(&seed1)).expect("valid seed");
+        assert_eq!(first.stats.unique_queries, GOLDEN_UNIQUE, "workers={workers}");
+        let second = session.add_seeds(std::slice::from_ref(&seed2)).expect("valid seed");
+
+        assert_eq!(
+            grammar_to_text(&second.grammar),
+            grammar_to_text(&fresh.grammar),
+            "incremental grammar drifted at {workers} workers"
+        );
+        assert_eq!(
+            second.stats.unique_queries, fresh.stats.unique_queries,
+            "incremental distinct-query count drifted at {workers} workers"
+        );
+        assert_eq!(second.stats.seeds_used, fresh.stats.seeds_used);
+        assert_eq!(second.stats.star_count, fresh.stats.star_count);
+        assert_eq!(second.stats.merges_accepted, fresh.stats.merges_accepted);
+    }
+}
+
+#[test]
+fn cancellation_mid_phase_still_yields_seed_accepting_grammar() {
+    // Cancel deterministically after a fixed number of oracle calls —
+    // deep inside character generalization for this seed — at several
+    // trip points. Whatever was in flight, the returned grammar must
+    // contain every seed (the fail-closed degradation path).
+    for trip_at in [10, 100, 700] {
+        let token = CancelToken::new();
+        let calls = AtomicUsize::new(0);
+        let trip_token = token.clone();
+        let oracle = FnOracle::new(move |i: &[u8]| {
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 == trip_at {
+                trip_token.cancel();
+            }
+            xml_like(i)
+        });
+        let mut session =
+            GladeBuilder::new().worker_threads(1).cancel_token(token).session(&oracle);
+        let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
+        assert!(result.stats.cancelled, "trip_at={trip_at}");
+        assert!(
+            glade_grammar::Earley::new(&result.grammar).accepts(b"<a>hi</a>"),
+            "seed lost after cancelling at {trip_at} calls"
+        );
+        assert!(
+            result.stats.unique_queries < GOLDEN_UNIQUE,
+            "cancellation at {trip_at} did not shorten the run"
+        );
+    }
+}
+
+#[test]
+fn cache_snapshot_roundtrip_answers_full_run_with_zero_new_queries() {
+    // The acceptance invariant for persistent caches: save → load → re-run
+    // answers the entire running-example run from the snapshot.
+    let oracle = FnOracle::new(xml_like);
+    let mut warm = GladeBuilder::new().session(&oracle);
+    let first = warm.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
+    assert_eq!(first.stats.unique_queries, GOLDEN_UNIQUE);
+
+    let path = std::env::temp_dir().join(format!("glade-cache-test-{}.txt", std::process::id()));
+    warm.save_cache(&path).expect("snapshot written");
+
+    // The cold session's oracle counts calls: it must never be consulted.
+    let calls = AtomicUsize::new(0);
+    let counting = FnOracle::new(|i: &[u8]| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        xml_like(i)
+    });
+    let mut cold = GladeBuilder::new().session(&counting);
+    let loaded = cold.load_cache(&path).expect("snapshot read");
+    assert_eq!(loaded, GOLDEN_UNIQUE);
+    let second = cold.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(second.stats.new_unique_queries, 0, "warm re-run paid oracle calls");
+    assert_eq!(calls.load(Ordering::Relaxed), 0, "oracle consulted despite warm cache");
+    assert_eq!(second.stats.unique_queries, GOLDEN_UNIQUE);
+    assert_eq!(grammar_to_text(&second.grammar), grammar_to_text(&first.grammar));
 }

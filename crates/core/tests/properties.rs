@@ -1,7 +1,7 @@
 //! Property-based tests of the synthesis pipeline's invariants, driven by
 //! random regular target languages (small random DFAs over {a, b}).
 
-use glade_core::{FnOracle, Glade, GladeConfig};
+use glade_core::{FnOracle, GladeBuilder};
 use glade_grammar::{grammar_to_text, Earley};
 use proptest::prelude::*;
 
@@ -69,7 +69,8 @@ proptest! {
         let Some(seed) = dfa.shortest_member() else { return Ok(()) };
         let d = dfa.clone();
         let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
-        let result = Glade::new().synthesize(std::slice::from_ref(&seed), &oracle).expect("seed valid");
+        let result =
+            GladeBuilder::new().synthesize(std::slice::from_ref(&seed), &oracle).expect("seed valid");
         prop_assert!(Earley::new(&result.grammar).accepts(&seed));
     }
 
@@ -82,8 +83,8 @@ proptest! {
         let d2 = dfa.clone();
         let o1 = FnOracle::new(move |w: &[u8]| d1.accepts(w));
         let o2 = FnOracle::new(move |w: &[u8]| d2.accepts(w));
-        let r1 = Glade::new().synthesize(std::slice::from_ref(&seed), &o1).expect("valid");
-        let r2 = Glade::new().synthesize(&[seed], &o2).expect("valid");
+        let r1 = GladeBuilder::new().synthesize(std::slice::from_ref(&seed), &o1).expect("valid");
+        let r2 = GladeBuilder::new().synthesize(&[seed], &o2).expect("valid");
         prop_assert_eq!(grammar_to_text(&r1.grammar), grammar_to_text(&r2.grammar));
     }
 
@@ -94,8 +95,8 @@ proptest! {
         let Some(seed) = dfa.shortest_member() else { return Ok(()) };
         let d = dfa.clone();
         let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
-        let config = GladeConfig { max_queries: Some(budget), ..GladeConfig::default() };
-        let result = Glade::with_config(config)
+        let result = GladeBuilder::new()
+            .max_queries(budget)
             .synthesize(std::slice::from_ref(&seed), &oracle)
             .expect("seed valid");
         prop_assert!(Earley::new(&result.grammar).accepts(&seed));
@@ -118,7 +119,7 @@ proptest! {
         }
         let d = dfa.clone();
         let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
-        let result = Glade::new().synthesize(&seeds, &oracle).expect("seeds valid");
+        let result = GladeBuilder::new().synthesize(&seeds, &oracle).expect("seeds valid");
         let parser = Earley::new(&result.grammar);
         for s in &seeds {
             prop_assert!(parser.accepts(s), "lost seed {:?}", s);
@@ -135,8 +136,7 @@ proptest! {
         let Some(seed) = dfa.shortest_member() else { return Ok(()) };
         let d = dfa.clone();
         let oracle = FnOracle::new(move |w: &[u8]| d.accepts(w));
-        let config = GladeConfig { phase2: false, ..GladeConfig::default() };
-        let result = Glade::with_config(config).synthesize(&[seed], &oracle).expect("valid");
+        let result = GladeBuilder::new().phase2(false).synthesize(&[seed], &oracle).expect("valid");
         let parser = Earley::new(&result.grammar);
         prop_assert_eq!(parser.accepts(&probe), result.regex.is_match(&probe));
     }

@@ -8,7 +8,7 @@
 
 use crate::metrics::{evaluate_dfa, evaluate_grammar, Quality};
 use glade_automata::{rpni, Alphabet, LStar, LearnBudget, SamplingEquivalence};
-use glade_core::{Glade, GladeConfig, Oracle};
+use glade_core::{GladeBuilder, Oracle};
 use glade_grammar::Sampler;
 use glade_targets::Language;
 use rand::rngs::StdRng;
@@ -191,17 +191,17 @@ fn run_glade(
     config: &EvalConfig,
     rng: &mut StdRng,
 ) -> LearnRow {
-    let glade_config = GladeConfig {
-        phase2: learner == Learner::Glade,
-        max_queries: Some(config.max_queries),
-        time_limit: Some(config.time_limit),
-        ..GladeConfig::default()
-    };
     let oracle = language.oracle();
     let start = Instant::now();
-    let result = Glade::with_config(glade_config)
-        .synthesize(seeds, &oracle)
-        .expect("seeds sampled from the target are accepted");
+    // One session per row; the incremental-seed methodology stays the
+    // paper's (all seeds in one run), but the session API lets callers
+    // observe and resume these runs.
+    let mut session = GladeBuilder::new()
+        .phase2(learner == Learner::Glade)
+        .max_queries(config.max_queries)
+        .time_limit(config.time_limit)
+        .session(&oracle);
+    let result = session.add_seeds(seeds).expect("seeds sampled from the target are accepted");
     let time = start.elapsed();
     let quality =
         evaluate_grammar(&result.grammar, language.grammar(), &oracle, config.eval_samples, rng);

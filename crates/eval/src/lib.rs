@@ -36,7 +36,7 @@ mod sweep;
 
 pub use learners::{
     run_learner, run_learner_with_seeds, sample_negatives, sample_seeds, EvalConfig, LearnRow,
-    Learner,
+    Learner, MAX_SEED_LEN,
 };
 pub use metrics::{evaluate_dfa, evaluate_grammar, Quality};
 pub use sweep::{seed_sweep, SweepPoint};

@@ -11,8 +11,10 @@
 //! ```
 
 use crate::fuzzer::Fuzzer;
-use glade_targets::{Coverage, Target};
+use glade_core::{GladeBuilder, Synthesis, SynthesisError};
+use glade_targets::{Coverage, Target, TargetOracle};
 use rand::rngs::StdRng;
+use std::path::Path;
 
 /// Coverage results of one fuzzing campaign.
 #[derive(Debug, Clone)]
@@ -64,6 +66,40 @@ impl CampaignResult {
         let num = self.valid_coverage.difference(&self.seed_coverage).len();
         num as f64 / denom as f64
     }
+}
+
+/// Learns an input grammar for `target` from its bundled seeds through the
+/// session API — the synthesis step of a grammar-fuzzing campaign.
+///
+/// When `cache_path` is given, the session warm-starts from that
+/// membership-query snapshot (if present and well-formed) and refreshes it
+/// after the run, so repeated campaigns against the same target stop
+/// re-paying oracle calls; a second run typically reports
+/// `stats.new_unique_queries == 0`. Snapshot I/O is best-effort: a
+/// missing, stale, or unwritable snapshot only costs the warm start, never
+/// the campaign. Configure budgets/observers/cancellation on `builder`.
+///
+/// # Errors
+///
+/// Returns a [`SynthesisError`] if the target rejects one of its own seeds
+/// (or provides none).
+pub fn learn_target_grammar(
+    target: &dyn Target,
+    builder: GladeBuilder,
+    cache_path: Option<&Path>,
+) -> Result<Synthesis, SynthesisError> {
+    let oracle = TargetOracle::new(target);
+    let mut session = builder.session(&oracle);
+    if let Some(path) = cache_path {
+        if path.exists() {
+            let _ = session.load_cache(path);
+        }
+    }
+    let result = session.add_seeds(&target.seeds())?;
+    if let Some(path) = cache_path {
+        let _ = session.save_cache(path);
+    }
+    Ok(result)
 }
 
 /// Runs `fuzzer` against `target` for `samples` inputs.
@@ -177,6 +213,24 @@ mod tests {
         // Replaying exactly the seeds adds nothing beyond the seeds.
         assert_eq!(r.valid_incremental_coverage(), 0.0);
         assert!(r.valid_coverage_ratio() > 0.0);
+    }
+
+    #[test]
+    fn learn_target_grammar_warm_starts_from_cache() {
+        let xml = Xml;
+        let builder = || GladeBuilder::new().max_queries(60_000).character_generalization(false);
+        let path = std::env::temp_dir()
+            .join(format!("glade-fuzz-campaign-cache-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let cold = learn_target_grammar(&xml, builder(), Some(&path)).expect("seeds valid");
+        assert!(cold.stats.new_unique_queries > 0);
+        assert!(path.exists(), "snapshot refreshed after the run");
+
+        let warm = learn_target_grammar(&xml, builder(), Some(&path)).expect("seeds valid");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(warm.stats.new_unique_queries, 0, "second campaign re-paid oracle calls");
+        assert_eq!(warm.stats.unique_queries, cold.stats.unique_queries);
     }
 
     #[test]

@@ -10,10 +10,14 @@
 //!   (deterministic bit-flip stages, havoc, queue of coverage-increasing
 //!   inputs).
 //!
-//! [`run_campaign`] executes a fuzzer against a [`glade_targets::Target`]
-//! and computes the paper's *valid (normalized) incremental coverage*
-//! metrics; [`coverage_curve`] records the Figure 7c time series and
-//! [`replay_corpus`] evaluates the Figure 7b upper-bound proxies.
+//! [`learn_target_grammar`] synthesizes a target's input grammar through
+//! `glade-core`'s session API (optionally warm-starting from a persistent
+//! query-cache snapshot, so repeated campaigns stop re-paying oracle
+//! calls); [`run_campaign`] executes a fuzzer against a
+//! [`glade_targets::Target`] and computes the paper's *valid (normalized)
+//! incremental coverage* metrics; [`coverage_curve`] records the Figure 7c
+//! time series and [`replay_corpus`] evaluates the Figure 7b upper-bound
+//! proxies.
 //!
 //! ```
 //! use glade_fuzz::{run_campaign, NaiveFuzzer};
@@ -37,7 +41,9 @@ mod grammar_fuzzer;
 mod naive;
 
 pub use afl::AflFuzzer;
-pub use campaign::{coverage_curve, replay_corpus, run_campaign, CampaignResult};
+pub use campaign::{
+    coverage_curve, learn_target_grammar, replay_corpus, run_campaign, CampaignResult,
+};
 pub use fuzzer::{mutation_alphabet, Fuzzer};
 pub use grammar_fuzzer::GrammarFuzzer;
 pub use naive::NaiveFuzzer;

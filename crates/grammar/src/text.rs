@@ -22,7 +22,11 @@ use crate::CharClass;
 use std::fmt::Write as _;
 
 /// Errors from [`grammar_from_text`].
+///
+/// `#[non_exhaustive]`: future format revisions may add variants (match
+/// with a wildcard arm).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ParseGrammarError {
     /// The header line is missing or names an unsupported version.
     BadHeader,

@@ -2,7 +2,7 @@
 //!
 //! The paper measures fuzzer quality by gcov line coverage of the real
 //! programs (Section 8.3). Our stand-in parsers reproduce that measurement:
-//! every instrumentation point records its own source line (via the [`cov!`]
+//! every instrumentation point records its own source line (via the `cov!`
 //! macro, which expands to `line!()`), and the denominator — the number of
 //! coverable lines — is counted statically from the target's own source
 //! text, exactly like gcov's per-line accounting.

@@ -8,7 +8,7 @@
 //! * **Real programs** (Section 8.3): sed, flex, grep, bison, an XML
 //!   parser, and the Ruby/Python/JavaScript front-ends — reproduced here as
 //!   instrumented Rust parsers (see [`programs`]) that accept the same
-//!   input languages and report gcov-style line coverage (see [`cov`]).
+//!   input languages and report gcov-style line coverage (see [`mod@cov`]).
 //!
 //! A [`Target`] bundles a program with its seeds and coverage accounting;
 //! [`TargetOracle`] adapts any target into a [`glade_core::Oracle`] so the

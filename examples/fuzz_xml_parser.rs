@@ -10,10 +10,12 @@
 //!
 //! Run with: `cargo run --release --example fuzz_xml_parser`
 
-use glade_repro::core::{Glade, GladeConfig};
-use glade_repro::fuzz::{run_campaign, AflFuzzer, GrammarFuzzer, NaiveFuzzer};
+use glade_repro::core::GladeBuilder;
+use glade_repro::fuzz::{
+    learn_target_grammar, run_campaign, AflFuzzer, GrammarFuzzer, NaiveFuzzer,
+};
 use glade_repro::targets::programs::Xml;
-use glade_repro::targets::{Target, TargetOracle};
+use glade_repro::targets::Target;
 use rand::SeedableRng;
 
 fn main() {
@@ -25,19 +27,27 @@ fn main() {
     println!("Target: {} ({} instrumented lines)", xml.name(), xml.coverable_lines());
     println!("Seeds: {} inputs", seeds.len());
 
-    // Step 1: synthesize the input grammar.
-    let oracle = TargetOracle::new(&xml);
-    let config = GladeConfig { max_queries: Some(200_000), ..GladeConfig::default() };
+    // Step 1: synthesize the input grammar through the session-based
+    // campaign helper. The query-cache snapshot (GLADE_CACHE to override)
+    // makes repeated runs of this example warm-start: the second run pays
+    // zero new oracle calls for synthesis.
+    let cache_path = std::env::var("GLADE_CACHE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("glade-fuzz-xml-cache.txt"));
+    let builder = GladeBuilder::new().max_queries(200_000);
     let start = std::time::Instant::now();
     let synthesis =
-        Glade::with_config(config).synthesize(&seeds, &oracle).expect("seeds are valid");
+        learn_target_grammar(&xml, builder, Some(&cache_path)).expect("seeds are valid");
     println!(
-        "\nSynthesized grammar: {} nonterminals, {} productions, {} oracle queries, {:?}",
+        "\nSynthesized grammar: {} nonterminals, {} productions, {} oracle queries \
+         ({} new this run), {:?}",
         synthesis.grammar.num_nonterminals(),
         synthesis.grammar.num_productions(),
         synthesis.stats.unique_queries,
+        synthesis.stats.new_unique_queries,
         start.elapsed(),
     );
+    println!("Query cache: {}", cache_path.display());
 
     // Step 2: run the three fuzzers.
     println!("\nFuzzing with {samples} samples per fuzzer:");

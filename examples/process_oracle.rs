@@ -10,7 +10,7 @@
 //! (Requires a Unix-like system with `grep` on PATH; exits gracefully
 //! otherwise.)
 
-use glade_repro::core::{CachingOracle, Glade, GladeConfig, Oracle};
+use glade_repro::core::{CachingOracle, GladeBuilder, Oracle};
 use glade_repro::grammar::Sampler;
 use rand::SeedableRng;
 use std::process::Command;
@@ -51,18 +51,14 @@ fn main() {
     let seeds = vec![b"(ab|c)*x".to_vec()];
 
     println!("Learning grep -E pattern syntax by spawning grep per query…");
-    let config = GladeConfig {
-        // Each query costs a process spawn: keep the budget small and skip
-        // the expensive character-generalization sweep.
-        character_generalization: false,
-        max_queries: Some(400),
-        // Process spawns are slow; let the batched query engine overlap
-        // them across worker threads (grep runs are independent).
-        worker_threads: Some(4),
-        ..GladeConfig::default()
-    };
+    // Each query costs a process spawn: keep the budget small, skip the
+    // expensive character-generalization sweep, and let the batched query
+    // engine overlap spawns across worker threads (grep runs are
+    // independent).
+    let builder =
+        GladeBuilder::new().character_generalization(false).max_queries(400).worker_threads(4);
     let start = std::time::Instant::now();
-    match Glade::with_config(config).synthesize(&seeds, &oracle) {
+    match builder.synthesize(&seeds, &oracle) {
         Ok(result) => {
             println!(
                 "Done in {:?} after {} process spawns.",

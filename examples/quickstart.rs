@@ -7,34 +7,20 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use glade_repro::core::{FnOracle, Glade};
+use glade_repro::core::testing::xml_like;
+use glade_repro::core::{FnOracle, GladeBuilder};
 use glade_repro::grammar::{Earley, Sampler};
 use rand::SeedableRng;
-
-/// The target language L* = L(C_XML): A → (a..z | <a>A</a>)*.
-fn xml_like(input: &[u8]) -> bool {
-    fn parse(mut s: &[u8]) -> Option<&[u8]> {
-        loop {
-            if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                s = &s[1..];
-            } else if s.starts_with(b"<a>") {
-                s = parse(&s[3..])?.strip_prefix(b"</a>")?;
-            } else {
-                return Some(s);
-            }
-        }
-    }
-    parse(input).is_some_and(|r| r.is_empty())
-}
 
 fn main() {
     let seed = b"<a>hi</a>".to_vec();
     println!("Seed input E_in = {{ {:?} }}", String::from_utf8_lossy(&seed));
     println!("Oracle: the XML-like language of Figure 1\n");
 
+    // The target language L* = L(C_XML): A → (a..z | <a>A</a>)*.
     let oracle = FnOracle::new(xml_like);
-    let result =
-        Glade::new().synthesize(std::slice::from_ref(&seed), &oracle).expect("seed is valid");
+    let mut session = GladeBuilder::new().session(&oracle);
+    let result = session.add_seeds(std::slice::from_ref(&seed)).expect("seed is valid");
 
     println!("Phase 1 + character generalization produced the regular expression:");
     println!("    {}\n", result.regex);
@@ -57,6 +43,16 @@ fn main() {
     let parser = Earley::new(&result.grammar);
     assert!(parser.accepts(b"<a><a>nested</a></a>"));
     assert!(!parser.accepts(b"<a>unclosed"));
+
+    // The session stays open: a later seed extends the grammar without
+    // re-deriving the first seed's tree (see examples/session_progress.rs
+    // for observers, cancellation, and cache persistence).
+    let extended = session.add_seeds(&[b"<a><a>x</a></a>".to_vec()]).expect("seed is valid");
+    println!(
+        "\nIncremental add_seeds: {} seeds total, {} new oracle queries this run",
+        extended.stats.seeds_used + extended.stats.seeds_skipped,
+        extended.stats.new_unique_queries
+    );
 
     println!("\nTen random samples from the synthesized grammar (all valid):");
     let sampler = Sampler::new(&result.grammar);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! glade synth  --seed FILE...  (--cmd 'PROG ARGS…' | --target NAME)  [-o grammar.txt]
-//!              [--stdin|--tempfile] [--max-queries N] [--no-chargen] [--no-phase2]
+//!              [--cache FILE] [--stdin|--tempfile] [--max-queries N]
+//!              [--no-chargen] [--no-phase2]
 //! glade sample --grammar grammar.txt [--count N] [--max-depth D] [--seed-rng S]
 //! glade check  --grammar grammar.txt [FILE]       # membership test (stdin default)
 //! glade fuzz   --grammar grammar.txt --seed FILE... [--count N]    # splice fuzzing
@@ -11,9 +12,14 @@
 //!
 //! The oracle is either an external command (exit status 0 = valid input,
 //! input delivered on stdin or via a `{}` temp-file placeholder) or one of
-//! the built-in instrumented targets from `glade-targets`.
+//! the built-in instrumented targets from `glade-targets`. `--cache FILE`
+//! persists the membership-query cache across invocations: repeated synth
+//! runs against the same oracle warm-start from the snapshot and re-pay
+//! only genuinely new oracle calls.
 
-use glade_repro::core::{CachingOracle, Glade, GladeConfig, InputMode, Oracle, ProcessOracle};
+use glade_repro::core::{
+    CachingOracle, GladeBuilder, GladeConfig, InputMode, Oracle, ProcessOracle,
+};
 use glade_repro::fuzz::{Fuzzer, GrammarFuzzer};
 use glade_repro::grammar::{grammar_from_text, grammar_to_text, Earley, Grammar, Sampler};
 use glade_repro::targets::programs::{all_targets, target_by_name};
@@ -61,7 +67,8 @@ glade — grammar synthesis from examples and blackbox membership queries
 
 USAGE:
   glade synth  --seed FILE... (--cmd 'PROG ARGS…' | --target NAME) [-o OUT]
-               [--stdin|--tempfile] [--max-queries N] [--no-chargen] [--no-phase2]
+               [--cache FILE] [--stdin|--tempfile] [--max-queries N]
+               [--no-chargen] [--no-phase2]
   glade sample --grammar FILE [--count N] [--max-depth D] [--seed-rng S]
   glade check  --grammar FILE [INPUT-FILE]
   glade fuzz   --grammar FILE --seed FILE... [--count N] [--seed-rng S]
@@ -107,6 +114,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let mut cmdline: Option<String> = None;
     let mut target_name: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut cache_path: Option<String> = None;
     let mut input_mode = InputMode::Stdin;
     let mut config = GladeConfig::default();
 
@@ -116,6 +124,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
             "--cmd" => cmdline = Some(args.value("--cmd")?.to_owned()),
             "--target" => target_name = Some(args.value("--target")?.to_owned()),
             "-o" | "--out" => out = Some(args.value("-o")?.to_owned()),
+            "--cache" => cache_path = Some(args.value("--cache")?.to_owned()),
             "--stdin" => input_mode = InputMode::Stdin,
             "--tempfile" => input_mode = InputMode::TempFile,
             "--max-queries" => {
@@ -157,17 +166,29 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let oracle = CachingOracle::new(oracle);
 
     let start = std::time::Instant::now();
-    let result =
-        Glade::with_config(config).synthesize(&seeds, &oracle).map_err(|e| e.to_string())?;
+    let mut session = GladeBuilder::from_config(config).session(&oracle);
+    if let Some(path) = &cache_path {
+        if std::path::Path::new(path).exists() {
+            let loaded = session.load_cache(path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("warm start: loaded {loaded} cached oracle verdicts from {path}");
+        }
+    }
+    let result = session.add_seeds(&seeds).map_err(|e| e.to_string())?;
     eprintln!(
-        "synthesized {} nonterminals / {} productions with {} oracle queries in {:?}",
+        "synthesized {} nonterminals / {} productions with {} oracle queries \
+         ({} new this run) in {:?}",
         result.grammar.num_nonterminals(),
         result.grammar.num_productions(),
         result.stats.unique_queries,
+        result.stats.new_unique_queries,
         start.elapsed()
     );
     if result.stats.budget_exhausted {
         eprintln!("warning: query budget exhausted; the grammar is under-generalized");
+    }
+    if let Some(path) = &cache_path {
+        session.save_cache(path).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("query cache saved to {path}");
     }
 
     let text = grammar_to_text(&result.grammar);

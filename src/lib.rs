@@ -20,10 +20,11 @@
 //!
 //! # End-to-end example
 //!
-//! Learn a grammar for the XML target program and fuzz it:
+//! Learn a grammar for the XML target program through the session API and
+//! fuzz it:
 //!
 //! ```
-//! use glade_repro::core::{Glade, GladeConfig};
+//! use glade_repro::core::GladeBuilder;
 //! use glade_repro::fuzz::{run_campaign, GrammarFuzzer};
 //! use glade_repro::targets::programs::Xml;
 //! use glade_repro::targets::{Target, TargetOracle};
@@ -31,15 +32,17 @@
 //!
 //! let xml = Xml;
 //! let oracle = TargetOracle::new(&xml);
-//! let config = GladeConfig { max_queries: Some(20_000), ..GladeConfig::default() };
-//! let synthesis = Glade::with_config(config)
-//!     .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
-//!     .unwrap();
+//! let mut session = GladeBuilder::new().max_queries(20_000).session(&oracle);
+//! let synthesis = session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
 //!
 //! let mut fuzzer = GrammarFuzzer::new(synthesis.grammar, &[b"<a>hi</a>".to_vec()]);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let result = run_campaign(&xml, &mut fuzzer, 200, &mut rng);
 //! assert!(result.valid_rate() > 0.5, "most grammar-fuzzed inputs are valid");
+//!
+//! // Sessions persist their query cache (`session.save_cache(path)`), so a
+//! // later campaign against the same target warm-starts for free; see
+//! // `glade_fuzz::learn_target_grammar` and examples/session_progress.rs.
 //! ```
 
 #![warn(missing_docs)]

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full GLADE pipeline against the
 //! instrumented target programs.
 
-use glade_repro::core::{Glade, GladeConfig, Oracle};
+use glade_repro::core::{GladeBuilder, GladeConfig, Oracle};
 use glade_repro::fuzz::{run_campaign, GrammarFuzzer, NaiveFuzzer};
 use glade_repro::grammar::{Earley, Sampler};
 use glade_repro::targets::programs::{target_by_name, Grep, Sed, Xml};
@@ -17,7 +17,7 @@ fn capped_config() -> GladeConfig {
 fn synthesize_and_check(target: &dyn Target, min_precision: f64) {
     let oracle = TargetOracle::new(target);
     let seeds = target.seeds();
-    let result = Glade::with_config(capped_config())
+    let result = GladeBuilder::from_config(capped_config())
         .synthesize(&seeds, &oracle)
         .expect("target accepts its own seeds");
 
@@ -74,12 +74,9 @@ fn synthesis_on_every_target_keeps_seeds() {
         let target = target_by_name(name).expect("known target");
         let oracle = TargetOracle::new(target.as_ref());
         let seeds = target.seeds();
-        let config = GladeConfig {
-            max_queries: Some(30_000),
-            character_generalization: false,
-            ..GladeConfig::default()
-        };
-        let result = Glade::with_config(config)
+        let result = GladeBuilder::new()
+            .max_queries(30_000)
+            .character_generalization(false)
             .synthesize(&seeds, &oracle)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let parser = Earley::new(&result.grammar);
@@ -98,8 +95,9 @@ fn grammar_fuzzer_beats_naive_on_xml_validity() {
     let xml = Xml;
     let oracle = TargetOracle::new(&xml);
     let seeds = xml.seeds();
-    let synthesis =
-        Glade::with_config(capped_config()).synthesize(&seeds, &oracle).expect("valid seeds");
+    let synthesis = GladeBuilder::from_config(capped_config())
+        .synthesize(&seeds, &oracle)
+        .expect("valid seeds");
 
     let samples = 800;
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
@@ -133,7 +131,7 @@ fn synthesized_xml_grammar_has_figure5_shape() {
     // structure differs from the natural grammar.
     let xml = Xml;
     let oracle = TargetOracle::new(&xml);
-    let result = Glade::with_config(capped_config())
+    let result = GladeBuilder::from_config(capped_config())
         .synthesize(&[b"<a><a>x</a>y</a>".to_vec()], &oracle)
         .expect("valid seed");
     let parser = Earley::new(&result.grammar);
@@ -150,8 +148,9 @@ fn synthesized_xml_grammar_has_figure5_shape() {
 fn p1_ablation_never_invents_recursion() {
     let xml = Xml;
     let oracle = TargetOracle::new(&xml);
-    let config = GladeConfig { phase2: false, max_queries: Some(60_000), ..GladeConfig::default() };
-    let result = Glade::with_config(config)
+    let result = GladeBuilder::new()
+        .phase2(false)
+        .max_queries(60_000)
         .synthesize(&[b"<a><a>x</a>y</a>".to_vec()], &oracle)
         .expect("valid seed");
     // The phase-1 language is regular: its regex view equals the grammar.

@@ -1,7 +1,7 @@
 //! The paper's running example (Figures 1–3), checked step by step against
 //! the published derivation.
 
-use glade_repro::core::{CachingOracle, Glade, GladeConfig};
+use glade_repro::core::{CachingOracle, GladeBuilder};
 use glade_repro::eval::evaluate_grammar;
 use glade_repro::grammar::Earley;
 use glade_repro::targets::languages::toy_xml;
@@ -12,9 +12,11 @@ fn figure2_phase1_regex() {
     // Steps R1–R9: seed <a>hi</a> → (<a>(h+i)*</a>)*.
     let lang = toy_xml();
     let oracle = lang.oracle();
-    let config =
-        GladeConfig { character_generalization: false, phase2: false, ..GladeConfig::default() };
-    let result = Glade::with_config(config).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+    let result = GladeBuilder::new()
+        .character_generalization(false)
+        .phase2(false)
+        .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+        .unwrap();
     // (h+i) prints as the merged class [hi].
     assert_eq!(result.regex.to_string(), "(<a>[hi]*</a>)*");
 }
@@ -26,8 +28,10 @@ fn figure2_phase2_checks_and_merge() {
     // A → (<a>A</a>)* , A → (h+i)*.
     let lang = toy_xml();
     let oracle = lang.oracle();
-    let config = GladeConfig { character_generalization: false, ..GladeConfig::default() };
-    let result = Glade::with_config(config).synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+    let result = GladeBuilder::new()
+        .character_generalization(false)
+        .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+        .unwrap();
     assert_eq!(result.stats.star_count, 2);
     assert_eq!(result.stats.merge_pairs_tried, 1);
     assert_eq!(result.stats.merges_accepted, 1);
@@ -50,7 +54,7 @@ fn section62_character_generalization() {
     // language equals L(C_XML) exactly.
     let lang = toy_xml();
     let oracle = lang.oracle();
-    let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+    let result = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
 
     let parser = Earley::new(&result.grammar);
     for member in
@@ -80,33 +84,20 @@ fn oracle_query_counts_are_modest() {
     // example needs on the order of hundreds of queries, not millions.
     let lang = toy_xml();
     let oracle = CachingOracle::new(lang.oracle());
-    let result = Glade::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
+    let result = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
     assert!(result.stats.unique_queries < 5_000, "{}", result.stats.unique_queries);
     assert!(oracle.total_queries() > 0);
 }
 
 #[test]
 fn multiple_seeds_reproduce_section7_recovery() {
-    // Section 7: the <a/> extension is learned from two seeds.
-    fn accepts(input: &[u8]) -> bool {
-        fn parse(mut s: &[u8]) -> Option<&[u8]> {
-            loop {
-                if s.first().is_some_and(|b| b.is_ascii_lowercase()) {
-                    s = &s[1..];
-                } else if s.starts_with(b"<a/>") {
-                    s = &s[4..];
-                } else if s.starts_with(b"<a>") {
-                    s = parse(&s[3..])?.strip_prefix(b"</a>")?;
-                } else {
-                    return Some(s);
-                }
-            }
-        }
-        parse(input).is_some_and(|r| r.is_empty())
-    }
-    let oracle = glade_repro::core::FnOracle::new(accepts);
-    let seeds = vec![b"<a/>".to_vec(), b"<a>hi</a>".to_vec()];
-    let result = Glade::new().synthesize(&seeds, &oracle).unwrap();
+    // Section 7: the <a/> extension is learned from two seeds — fed
+    // incrementally through one session, as an active-learning loop would.
+    let oracle =
+        glade_repro::core::FnOracle::new(glade_repro::core::testing::xml_like_with_self_closing);
+    let mut session = GladeBuilder::new().session(&oracle);
+    session.add_seeds(&[b"<a/>".to_vec()]).unwrap();
+    let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
     let parser = Earley::new(&result.grammar);
     assert!(parser.accepts(b"<a><a/></a>"));
     assert!(parser.accepts(b"<a><a><a/>hi</a></a>"));
