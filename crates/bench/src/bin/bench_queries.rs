@@ -1,7 +1,7 @@
 //! `bench-queries` — machine-readable benchmark of the membership-query
 //! engine, emitted as `BENCH_queries.json`.
 //!
-//! Three experiment families, so the perf trajectory of the query layer
+//! Five experiment families, so the perf trajectory of the query layer
 //! is recorded in-repo:
 //!
 //! 1. **`parallel_speedup`** — the full pipeline on the paper's running
@@ -21,18 +21,40 @@
 //!    cold run on the running example, snapshot, then the identical run in
 //!    a fresh session warm-started from the snapshot. Records wall times
 //!    and asserts the warm run pays zero new unique queries.
+//! 4. **`skewed_latency`** — heterogeneous query latencies, the workload
+//!    work-stealing dispatch exists for. A clustered 10–100× latency skew
+//!    is dispatched under both static `chunks(div_ceil)` partitioning (the
+//!    pre-PR-4 engine) and the engine's shared-cursor work stealing, and
+//!    the full pipeline is swept over worker counts with a hash-skewed
+//!    oracle, asserting grammar bytes and query counts stay invariant.
+//!    Asserts work stealing beats static chunking.
+//! 5. **`pooled_vs_spawn`** — real process-target oracle throughput. The
+//!    bench binary re-executes *itself* as a protocol worker
+//!    (`--oracle-worker`, via `glade_core::serve_oracle_worker`) and as a
+//!    spawn-per-query target (`--oracle-once`), then measures spawn-per-
+//!    query `ProcessOracle` versus `PooledProcessOracle` cold (pool spawn
+//!    included) and warm. Asserts pooled execution sustains ≥ 5× the
+//!    spawn-per-query queries/sec.
 //!
 //! Usage: `cargo run --release -p glade-bench --bin bench-queries`
 //! (writes `BENCH_queries.json` to the current directory, override with
-//! `GLADE_BENCH_OUT`).
+//! `GLADE_BENCH_OUT`). Workload sizes are env-tunable for CI smoke runs:
+//! `GLADE_BENCH_SKEW_N`, `GLADE_BENCH_SKEW_SLOW_US`,
+//! `GLADE_BENCH_SKEW_BASE_US`, `GLADE_BENCH_SPAWN_QUERIES`,
+//! `GLADE_BENCH_POOLED_QUERIES`.
 
-use glade_core::{FnOracle, GladeBuilder, Oracle, SynthesisStats};
+use glade_core::{
+    serve_oracle_worker, FnOracle, GladeBuilder, Oracle, PooledProcessOracle, ProcessOracle,
+    SynthesisStats,
+};
 use glade_eval::sample_seeds;
 use glade_grammar::grammar_to_text;
 use glade_targets::languages::{section82_languages, toy_xml};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::io::Read as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 struct SpeedupRow {
@@ -89,6 +111,70 @@ fn run_cache_reuse(oracle_delay: Duration) -> (glade_core::Synthesis, glade_core
 
 fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Simulates dispatching a batch of queries with the given per-query
+/// delays across `workers` threads, either by static `chunks(div_ceil)`
+/// partitioning (the pre-work-stealing engine) or by the engine's
+/// shared-cursor work stealing. Returns the wall time of the whole batch.
+fn simulate_dispatch(delays: &[Duration], workers: usize, work_stealing: bool) -> Duration {
+    let start = Instant::now();
+    if work_stealing {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= delays.len() {
+                        break;
+                    }
+                    std::thread::sleep(delays[i]);
+                });
+            }
+        });
+    } else {
+        let chunk = delays.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for c in delays.chunks(chunk) {
+                s.spawn(move || {
+                    for d in c {
+                        std::thread::sleep(*d);
+                    }
+                });
+            }
+        });
+    }
+    start.elapsed()
+}
+
+/// Stable per-input delay with a 10–100× spread, for the engine-level
+/// skewed sweep (FNV-1a so it is identical across runs and worker counts).
+fn skewed_delay(input: &[u8], base_us: u64) -> Duration {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in input {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    Duration::from_micros(base_us * (1 + h % 100))
+}
+
+/// Distinct inputs for the pooled-vs-spawn oracle microbenchmark: a mix of
+/// valid and invalid toy-XML documents, `offset` shifting the set so the
+/// warm pooled round sees fresh queries.
+fn process_workload(count: usize, offset: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            let n = offset + i;
+            if n.is_multiple_of(3) {
+                format!("<a>{}</a", "h".repeat(n % 17)).into_bytes() // truncated: invalid
+            } else {
+                format!("<a>{}</a>", "hi".repeat(n % 23)).into_bytes()
+            }
+        })
+        .collect()
 }
 
 /// Minimal JSON writer (no serde in the dependency set).
@@ -169,6 +255,26 @@ fn stats_fields(j: &mut Json, stats: &SynthesisStats) {
 }
 
 fn main() {
+    // Self-exec worker modes: the pooled-vs-spawn experiment drives this
+    // binary as its own real process target, so the benchmark needs no
+    // external worker binary to be built or located.
+    match std::env::args().nth(1).as_deref() {
+        Some("--oracle-worker") => {
+            // Persistent protocol worker for PooledProcessOracle.
+            let oracle = toy_xml().oracle();
+            serve_oracle_worker(|input| oracle.accepts(input)).expect("worker protocol");
+            return;
+        }
+        Some("--oracle-once") => {
+            // Spawn-per-query target for ProcessOracle: verdict = exit 0.
+            let oracle = toy_xml().oracle();
+            let mut input = Vec::new();
+            std::io::stdin().read_to_end(&mut input).expect("read stdin");
+            std::process::exit(i32::from(!oracle.accepts(&input)));
+        }
+        _ => {}
+    }
+
     let oracle_us: u64 =
         std::env::var("GLADE_BENCH_ORACLE_US").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
     let oracle_delay = Duration::from_micros(oracle_us);
@@ -284,6 +390,186 @@ fn main() {
         "warm_grammar_identical",
         grammar_to_text(&warm.grammar) == grammar_to_text(&cold.grammar),
     );
+    j.close_obj();
+
+    // ---- Experiment 4: skewed latencies — work stealing vs. static. ----
+    // Clustered skew (the first eighth of the batch is 10–100× slower —
+    // think "all the deeply nested candidates landed together"): static
+    // chunking hands the whole slow cluster to one worker while the rest
+    // idle; work stealing spreads it. Same total work, same results.
+    let skew_n = env_usize("GLADE_BENCH_SKEW_N", 256);
+    let slow_us = env_usize("GLADE_BENCH_SKEW_SLOW_US", 2_000) as u64;
+    let fast_us = (slow_us / 40).max(1);
+    let workers = 8usize;
+    let delays: Vec<Duration> = (0..skew_n)
+        .map(|i| Duration::from_micros(if i < skew_n / 8 { slow_us } else { fast_us }))
+        .collect();
+    let static_wall = simulate_dispatch(&delays, workers, false);
+    let stealing_wall = simulate_dispatch(&delays, workers, true);
+    let dispatch_speedup = secs(static_wall) / secs(stealing_wall).max(1e-9);
+    eprintln!(
+        "[bench-queries] skewed_latency: static={:.3}s stealing={:.3}s (x{:.2}, {} queries, {} workers)",
+        secs(static_wall),
+        secs(stealing_wall),
+        dispatch_speedup,
+        skew_n,
+        workers,
+    );
+    assert!(
+        stealing_wall < static_wall,
+        "work stealing must beat static chunking on the skewed workload \
+         (static {static_wall:?}, stealing {stealing_wall:?})"
+    );
+
+    // Engine-level sweep under a hash-skewed oracle (10–100× per-query
+    // spread): the dispatch order changes with worker count, the grammar
+    // and the query counts must not.
+    let skew_base_us = env_usize("GLADE_BENCH_SKEW_BASE_US", 5) as u64;
+    let skew_rows: Vec<SpeedupRow> = worker_counts
+        .iter()
+        .map(|&w| {
+            let inner = toy_xml().oracle();
+            let oracle = FnOracle::new(move |i: &[u8]| {
+                if skew_base_us > 0 {
+                    std::thread::sleep(skewed_delay(i, skew_base_us));
+                }
+                inner.accepts(i)
+            });
+            let start = Instant::now();
+            let result = GladeBuilder::new()
+                .worker_threads(w)
+                .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+                .expect("valid seed");
+            SpeedupRow {
+                workers: w,
+                grammar: grammar_to_text(&result.grammar),
+                stats: result.stats,
+                wall: start.elapsed(),
+            }
+        })
+        .collect();
+    let skew_baseline = &skew_rows[0];
+    j.open_obj(Some("skewed_latency"));
+    j.int("queries", skew_n);
+    j.int("dispatch_workers", workers);
+    j.int("slow_us", slow_us as usize);
+    j.int("fast_us", fast_us as usize);
+    j.num("static_chunking_secs", secs(static_wall));
+    j.num("work_stealing_secs", secs(stealing_wall));
+    j.num("work_stealing_speedup_vs_static", dispatch_speedup);
+    j.boolean("work_stealing_beats_static", stealing_wall < static_wall);
+    j.int("engine_sweep_base_us", skew_base_us as usize);
+    j.open_arr("engine_sweep");
+    for row in &skew_rows {
+        eprintln!(
+            "[bench-queries]   skewed engine sweep: workers={} wall={:.3}s unique={}",
+            row.workers,
+            secs(row.wall),
+            row.stats.unique_queries,
+        );
+        assert_eq!(
+            row.grammar, skew_baseline.grammar,
+            "skewed-latency grammar drifted at {} workers",
+            row.workers
+        );
+        assert_eq!(row.stats.unique_queries, skew_baseline.stats.unique_queries);
+        assert_eq!(row.stats.total_queries, skew_baseline.stats.total_queries);
+        j.open_obj(None);
+        j.int("workers", row.workers);
+        j.num("wall_secs", secs(row.wall));
+        j.boolean("grammar_identical_to_sequential", row.grammar == skew_baseline.grammar);
+        j.boolean(
+            "unique_queries_equal_to_sequential",
+            row.stats.unique_queries == skew_baseline.stats.unique_queries,
+        );
+        j.int("unique_queries", row.stats.unique_queries);
+        j.close_obj();
+    }
+    j.close_arr();
+    j.close_obj();
+
+    // ---- Experiment 5: pooled vs. spawn-per-query process oracle. ----
+    // This binary is its own process target (see the self-exec modes at
+    // the top of main): spawn-per-query pays a full process start per
+    // verdict, the pool pays one start per worker and a pipe round-trip
+    // per verdict.
+    let self_exe = std::env::current_exe().expect("current_exe");
+    let spawn_queries = env_usize("GLADE_BENCH_SPAWN_QUERIES", 48);
+    let pooled_queries = env_usize("GLADE_BENCH_POOLED_QUERIES", 512);
+    let pool_workers = 4usize;
+
+    let spawn_oracle = ProcessOracle::new(&self_exe).arg("--oracle-once");
+    let reference = toy_xml().oracle();
+    let spawn_workload = process_workload(spawn_queries, 0);
+    let spawn_start = Instant::now();
+    for input in &spawn_workload {
+        assert_eq!(spawn_oracle.accepts(input), reference.accepts(input), "spawn verdict");
+    }
+    let spawn_wall = spawn_start.elapsed();
+    let spawn_qps = spawn_queries as f64 / secs(spawn_wall).max(1e-9);
+
+    let pooled_oracle = PooledProcessOracle::new(&self_exe)
+        .arg("--oracle-worker")
+        .pool_size(pool_workers)
+        // A *fresh* fallback oracle: ProcessOracle clones share a failure
+        // counter, and any transient spawn failure absorbed by the spawn
+        // experiment above must not bleed into the pooled failure assert.
+        .fallback(ProcessOracle::new(&self_exe).arg("--oracle-once"));
+    // Cold: includes lazy worker spawns. Queries fan out across threads
+    // the way the engine's batch dispatch would.
+    let pose_all = |inputs: &[Vec<u8>]| {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..pool_workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(input) = inputs.get(i) else { break };
+                    assert_eq!(
+                        pooled_oracle.accepts(input),
+                        reference.accepts(input),
+                        "pooled verdict"
+                    );
+                });
+            }
+        });
+    };
+    let cold_workload = process_workload(pooled_queries, 10_000);
+    let cold_start = Instant::now();
+    pose_all(&cold_workload);
+    let pooled_cold_wall = cold_start.elapsed();
+    let warm_workload = process_workload(pooled_queries, 20_000);
+    let warm_start = Instant::now();
+    pose_all(&warm_workload);
+    let pooled_warm_wall = warm_start.elapsed();
+    let pooled_cold_qps = pooled_queries as f64 / secs(pooled_cold_wall).max(1e-9);
+    let pooled_warm_qps = pooled_queries as f64 / secs(pooled_warm_wall).max(1e-9);
+    let pooled_speedup = pooled_warm_qps / spawn_qps.max(1e-9);
+    eprintln!(
+        "[bench-queries] pooled_vs_spawn: spawn {:.0} q/s, pooled cold {:.0} q/s, \
+         pooled warm {:.0} q/s (x{:.1} vs spawn, {} workers)",
+        spawn_qps, pooled_cold_qps, pooled_warm_qps, pooled_speedup, pool_workers,
+    );
+    assert!(
+        pooled_speedup >= 5.0,
+        "pooled execution must sustain >= 5x spawn-per-query throughput \
+         (spawn {spawn_qps:.0} q/s, pooled warm {pooled_warm_qps:.0} q/s)"
+    );
+    assert_eq!(pooled_oracle.failure_count(), 0, "pooled path degraded to the fallback");
+
+    j.open_obj(Some("pooled_vs_spawn"));
+    j.string("target", "self (toy-xml verdicts over the worker protocol)");
+    j.int("pool_workers", pool_workers);
+    j.int("spawn_queries", spawn_queries);
+    j.int("pooled_queries", pooled_queries);
+    j.num("spawn_secs", secs(spawn_wall));
+    j.num("spawn_queries_per_sec", spawn_qps);
+    j.num("pooled_cold_secs", secs(pooled_cold_wall));
+    j.num("pooled_cold_queries_per_sec", pooled_cold_qps);
+    j.num("pooled_warm_secs", secs(pooled_warm_wall));
+    j.num("pooled_warm_queries_per_sec", pooled_warm_qps);
+    j.num("pooled_warm_speedup_vs_spawn", pooled_speedup);
+    j.int("pool_respawns", pooled_oracle.respawn_count());
+    j.int("oracle_failures", pooled_oracle.failure_count());
     j.close_obj();
 
     j.close_obj();

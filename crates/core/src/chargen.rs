@@ -11,59 +11,157 @@
 //! valid both with and without its sibling); a byte is accepted only if the
 //! check passes in *every* context, which matches the two example checks
 //! the paper gives for generalizing `h` (`<a>ai</a>` and `<a>a</a>`).
+//!
+//! # Batch aggregation
+//!
+//! Every probe of this phase — each `(terminal, position, candidate byte,
+//! context)` quadruple, across *all* terminals of *all* newly generalized
+//! trees — is independent of every other, so the phase is split into a
+//! plan/apply pair around one aggregated membership batch:
+//!
+//! * [`plan_char_probes`] walks the trees immutably and appends every
+//!   probe's [`CheckSpec`] to a shared check list (the session appends
+//!   phase two's merge checks to the same list, see `session.rs`);
+//! * [`apply_char_probes`] walks the trees mutably and folds the verdicts
+//!   back into the byte classes, in planning order — so the result is
+//!   independent of worker count and of how the batch was scheduled.
+//!
+//! The seed implementation posed one small batch per terminal, draining
+//! the worker pool between terminals; aggregation keeps the pool saturated
+//! for the whole phase (and, combined with the phase-two merge checks, for
+//! the back half of the pipeline).
 
 use crate::runner::{CheckSpec, QueryRunner};
 use crate::tree::Node;
 
-/// Widens every terminal position of `tree` against `test_bytes`.
+/// One planned `(position, candidate byte)` widening probe of one terminal.
 ///
-/// The per-byte probes are independent, so each terminal run's full probe
-/// set — every `(position, candidate byte, context)` triple — is described
-/// as borrowed [`CheckSpec`] segments and posed as one batch, which the
-/// [`QueryRunner`] dedups and fans out across its worker pool. A byte joins
-/// the class at a position only if its probe is accepted in *every*
-/// context; verdicts are folded sequentially, so the result is independent
-/// of worker count.
+/// Deliberately owns no borrowed data: the plan must outlive the check
+/// list (which borrows the trees immutably) so the verdicts can be applied
+/// through a *mutable* walk of the same trees.
+#[derive(Debug, Clone, Copy)]
+struct CharProbe {
+    /// Index of the tree within the planned slice.
+    tree: usize,
+    /// Ordinal of the const within the tree, in visit order.
+    const_ordinal: usize,
+    /// Byte position within the terminal.
+    position: usize,
+    /// Candidate byte.
+    byte: u8,
+    /// Number of consecutive verdicts (one per context) this probe owns.
+    contexts: usize,
+}
+
+/// The bookkeeping side of an aggregated character-generalization batch:
+/// maps a contiguous slice of batch verdicts back onto tree terminals.
+#[derive(Debug, Default)]
+pub(crate) struct CharGenPlan {
+    probes: Vec<CharProbe>,
+    /// Number of checks this plan appended to the shared check list.
+    pub checks_len: usize,
+}
+
+/// Plans every widening probe for every terminal of `trees` against
+/// `test_bytes`, appending the checks to `checks` (one per context per
+/// candidate) and returning the bookkeeping needed to apply the verdicts.
+pub(crate) fn plan_char_probes<'t>(
+    trees: &'t [Node],
+    test_bytes: &'t [u8],
+    checks: &mut Vec<CheckSpec<'t>>,
+) -> CharGenPlan {
+    let mut plan = CharGenPlan::default();
+    let start = checks.len();
+    for (t, tree) in trees.iter().enumerate() {
+        let mut ordinal = 0usize;
+        tree.visit_consts(&mut |c| {
+            for i in 0..c.original.len() {
+                for (k, &sigma) in test_bytes.iter().enumerate() {
+                    if sigma == c.original[i] || c.classes[i].contains(sigma) {
+                        continue;
+                    }
+                    for ctx in &c.contexts {
+                        checks.push(CheckSpec::new(&[
+                            &ctx.before,
+                            &c.original[..i],
+                            &test_bytes[k..k + 1],
+                            &c.original[i + 1..],
+                            &ctx.after,
+                        ]));
+                    }
+                    plan.probes.push(CharProbe {
+                        tree: t,
+                        const_ordinal: ordinal,
+                        position: i,
+                        byte: sigma,
+                        contexts: c.contexts.len(),
+                    });
+                }
+            }
+            ordinal += 1;
+        });
+    }
+    plan.checks_len = checks.len() - start;
+    plan
+}
+
+/// Folds the verdict slice of an aggregated batch back into the byte
+/// classes of `trees` (the same slice that was planned). A byte joins the
+/// class at a position only if its probe was accepted in *every* context.
+/// Verdicts are folded sequentially in planning order, so the result is
+/// independent of worker count.
 ///
 /// Returns the number of (position, byte) pairs accepted.
+pub(crate) fn apply_char_probes(
+    trees: &mut [Node],
+    plan: &CharGenPlan,
+    verdicts: &[bool],
+) -> usize {
+    debug_assert_eq!(verdicts.len(), plan.checks_len);
+    let mut accepted = 0usize;
+    let mut next_probe = 0usize;
+    let mut verdict_cursor = 0usize;
+    for (t, tree) in trees.iter_mut().enumerate() {
+        let mut ordinal = 0usize;
+        tree.visit_consts_mut(&mut |c| {
+            while let Some(p) = plan.probes.get(next_probe) {
+                if p.tree != t || p.const_ordinal != ordinal {
+                    break;
+                }
+                let vs = &verdicts[verdict_cursor..verdict_cursor + p.contexts];
+                verdict_cursor += p.contexts;
+                next_probe += 1;
+                if vs.iter().all(|&v| v) {
+                    c.classes[p.position].insert(p.byte);
+                    accepted += 1;
+                }
+            }
+            ordinal += 1;
+        });
+    }
+    debug_assert_eq!(next_probe, plan.probes.len(), "every planned probe applied");
+    accepted
+}
+
+/// Widens every terminal position of `trees` against `test_bytes` as one
+/// self-contained aggregated batch (plan → pose → apply).
+///
+/// The session drives the plan/apply halves directly so the batch can also
+/// carry phase two's merge checks; this wrapper serves callers that run the
+/// phase in isolation (tests).
+///
+/// Returns the number of (position, byte) pairs accepted.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn generalize_chars(
-    tree: &mut Node,
+    trees: &mut [Node],
     runner: &QueryRunner<'_>,
     test_bytes: &[u8],
 ) -> usize {
-    let mut accepted = 0usize;
-    tree.visit_consts_mut(&mut |c| {
-        // One probe per context per candidate; `probes` remembers how many
-        // consecutive verdicts belong to each (position, byte) pair.
-        let mut checks: Vec<CheckSpec<'_>> = Vec::new();
-        let mut probes: Vec<(usize, u8)> = Vec::new();
-        for i in 0..c.original.len() {
-            for (k, &sigma) in test_bytes.iter().enumerate() {
-                if sigma == c.original[i] || c.classes[i].contains(sigma) {
-                    continue;
-                }
-                for ctx in &c.contexts {
-                    checks.push(CheckSpec::new(&[
-                        &ctx.before,
-                        &c.original[..i],
-                        &test_bytes[k..k + 1],
-                        &c.original[i + 1..],
-                        &ctx.after,
-                    ]));
-                }
-                probes.push((i, sigma));
-            }
-        }
-        let verdicts = runner.accepts_batch(&checks);
-        let per_probe = c.contexts.len();
-        for (p, &(i, sigma)) in probes.iter().enumerate() {
-            if verdicts[p * per_probe..(p + 1) * per_probe].iter().all(|&v| v) {
-                c.classes[i].insert(sigma);
-                accepted += 1;
-            }
-        }
-    });
-    accepted
+    let mut checks: Vec<CheckSpec<'_>> = Vec::new();
+    let plan = plan_char_probes(trees, test_bytes, &mut checks);
+    let verdicts = runner.accepts_batch(&checks);
+    drop(checks);
+    apply_char_probes(trees, &plan, &verdicts)
 }
 
 /// The default test alphabet: printable ASCII plus tab and newline.
@@ -95,9 +193,9 @@ mod tests {
         let cache = ShardedCache::new();
         let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
-        let mut tree = p1.generalize_seed(b"<a>hi</a>");
-        generalize_chars(&mut tree, &runner, &default_test_bytes());
-        let r = tree.to_regex();
+        let mut trees = vec![p1.generalize_seed(b"<a>hi</a>")];
+        generalize_chars(&mut trees, &runner, &default_test_bytes());
+        let r = trees[0].to_regex();
         // Letters widened.
         assert!(r.is_match(b"<a>zz</a>"));
         assert!(r.is_match(b"<a>qrs</a>"));
@@ -114,9 +212,9 @@ mod tests {
         let cache = ShardedCache::new();
         let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
-        let mut tree = p1.generalize_seed(b"7");
-        generalize_chars(&mut tree, &runner, &default_test_bytes());
-        let r = tree.to_regex();
+        let mut trees = vec![p1.generalize_seed(b"7")];
+        generalize_chars(&mut trees, &runner, &default_test_bytes());
+        let r = trees[0].to_regex();
         for d in b'0'..=b'9' {
             assert!(r.is_match(&[d]), "digit {}", d as char);
         }
@@ -129,11 +227,30 @@ mod tests {
         let cache = ShardedCache::new();
         let runner = test_runner(&oracle, &cache);
         let mut p1 = Phase1::new(&runner, 0);
-        let mut tree = p1.generalize_seed(b"m");
-        let n = generalize_chars(&mut tree, &runner, &default_test_bytes());
+        let mut trees = vec![p1.generalize_seed(b"m")];
+        let n = generalize_chars(&mut trees, &runner, &default_test_bytes());
         // 25 other lowercase letters accepted... unless phase 1 starred the
         // single letter; in this language "mm" is invalid so no star forms.
         assert_eq!(n, 25);
+    }
+
+    #[test]
+    fn aggregates_across_trees_in_one_batch() {
+        // Two single-letter seeds in one plan: the aggregated batch answers
+        // both trees' probes, and applying distributes verdicts per tree.
+        let oracle = FnOracle::new(|i: &[u8]| i.len() == 1 && i[0].is_ascii_lowercase());
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
+        let mut p1 = Phase1::new(&runner, 0);
+        let mut trees = vec![p1.generalize_seed(b"m"), p1.generalize_seed(b"q")];
+        let n = generalize_chars(&mut trees, &runner, &default_test_bytes());
+        // Each tree widens to the full lowercase class (25 accepted each).
+        assert_eq!(n, 50);
+        for tree in &trees {
+            let r = tree.to_regex();
+            assert!(r.is_match(b"a"));
+            assert!(!r.is_match(b"A"));
+        }
     }
 
     #[test]
@@ -146,8 +263,8 @@ mod tests {
             RunnerOptions { max_queries: Some(0), workers: 2, ..RunnerOptions::default() },
         );
         let mut p1 = Phase1::new(&runner, 0);
-        let mut tree = p1.generalize_seed(b"q");
-        let n = generalize_chars(&mut tree, &runner, &default_test_bytes());
+        let mut trees = vec![p1.generalize_seed(b"q")];
+        let n = generalize_chars(&mut trees, &runner, &default_test_bytes());
         assert_eq!(n, 0, "no budget, no generalization");
     }
 }

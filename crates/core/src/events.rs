@@ -93,8 +93,22 @@ pub enum SynthEvent {
         checks: usize,
         /// Checks answered from the session cache.
         cached: usize,
-        /// Distinct cache misses actually sent to the oracle.
+        /// Distinct cache misses that obtained a real verdict from the
+        /// oracle (misses skipped by the deadline/cancel, or whose
+        /// execution failed, are excluded).
         posed: usize,
+    },
+    /// The oracle failed to *execute* one or more queries since the last
+    /// batch (e.g. a [`ProcessOracle`](crate::ProcessOracle) could not be
+    /// spawned, or a [`PooledProcessOracle`](crate::PooledProcessOracle)
+    /// worker crashed beyond recovery). The affected checks answered a
+    /// degraded `false`; the run continues but may under-generalize — see
+    /// [`SynthesisStats::oracle_failures`](crate::SynthesisStats::oracle_failures).
+    OracleFailures {
+        /// Failures newly observed since the previous report.
+        new_failures: usize,
+        /// Cumulative failures observed during this run.
+        run_failures: usize,
     },
     /// The distinct-query or wall-clock budget ran out; every further check
     /// in this run answers `false` (fail closed).

@@ -93,10 +93,14 @@
 //!
 //! Membership queries dominate GLADE's cost, so the query layer is built
 //! for concurrency: phase two's pairwise merge checks and character
-//! generalization's byte probes are batched and fanned out across a scoped
-//! worker pool, and every cache on the query path is sharded and
-//! lock-striped (no `RefCell`/`Cell` anywhere on the hot path). This places
-//! two obligations on every [`Oracle`] implementation:
+//! generalization's byte probes are aggregated into one batch and fanned
+//! out across a scoped worker pool with work-stealing dispatch, and every
+//! cache on the query path is sharded and lock-striped (no
+//! `RefCell`/`Cell` anywhere on the hot path). For real process targets,
+//! [`PooledProcessOracle`] amortizes the per-query process spawn across a
+//! pool of persistent protocol-speaking workers (see
+//! [`serve_oracle_worker`]). All of this places two obligations on every
+//! [`Oracle`] implementation:
 //!
 //! 1. **`Send + Sync`** — the trait requires it. One oracle value is
 //!    shared by reference across worker threads and queried concurrently.
@@ -135,7 +139,12 @@ pub mod testing;
 mod tree;
 
 pub use events::{CancelToken, EventLog, SynthEvent, SynthPhase, SynthesisObserver};
-pub use oracle::{CachingOracle, FnOracle, InputMode, Oracle, ProcessOracle};
-pub use persist::{cache_from_text, cache_to_text, CacheError};
+pub use oracle::{
+    serve_oracle_worker, CachingOracle, FnOracle, InputMode, Oracle, PooledProcessOracle,
+    ProcessOracle,
+};
+pub use persist::{
+    cache_from_text, cache_to_text, snapshot_from_text, snapshot_to_text, CacheError, CacheSnapshot,
+};
 pub use session::{GladeBuilder, Session};
 pub use synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};

@@ -13,6 +13,53 @@
 //!   validity from its exit status, exactly like the paper's setup where "we
 //!   run the program on input α … and conclude that α is a valid input if
 //!   the program does not print an error message".
+//! * [`PooledProcessOracle`] — keep a pool of long-lived worker processes
+//!   and pose each query over a pipe instead of paying a process spawn per
+//!   query (the forkserver trick; see the protocol below).
+//!
+//! # The pooled worker protocol
+//!
+//! Spawning a process per membership query costs milliseconds; the paper's
+//! cost model ("each query to O takes constant time") assumes queries are
+//! cheap. [`PooledProcessOracle`] amortizes the spawn by keeping N
+//! long-lived workers, each speaking a minimal length-prefixed verdict
+//! protocol over stdin/stdout:
+//!
+//! ```text
+//! request  (oracle → worker):  u32 little-endian byte length, then the
+//!                              input bytes (arbitrary binary, may be empty)
+//! response (worker → oracle):  one byte, 0x01 = accept, 0x00 = reject
+//! ```
+//!
+//! Requests are posed strictly one at a time per worker; a clean EOF on the
+//! worker's stdin tells it to exit. Any other deviation — the worker dying,
+//! a short read, a verdict byte other than `0`/`1` — is treated as a worker
+//! crash: the worker is reaped, a replacement is spawned, and the query is
+//! retried once on the fresh worker before the oracle gives up on the
+//! pooled path (falling back to a spawn-per-query [`ProcessOracle`] when
+//! one is configured, and otherwise counting an oracle failure and
+//! answering `false`).
+//!
+//! Any `fn(&[u8]) -> bool` target becomes a protocol-speaking worker with
+//! [`serve_oracle_worker`] — call it from a binary's `main` (the
+//! `glade-oracle-worker` binary in `glade-targets` does exactly this for
+//! the built-in evaluation targets).
+//!
+//! # Oracle execution failures
+//!
+//! A blackbox oracle can fail to *execute* (binary missing, fork limit,
+//! pipe torn down mid-query) — which is different from the program
+//! rejecting the input. Failed executions answer `false` (fail closed, the
+//! same degradation contract as the query budget), are **never cached**
+//! (the engine queries through [`Oracle::accepts_checked`], whose `None`
+//! keeps degraded answers out of the session cache and out of persisted
+//! snapshots), and are **counted**:
+//! [`Oracle::failure_count`] exposes the running total, the engine surfaces
+//! the per-run delta as
+//! [`SynthesisStats::oracle_failures`](crate::SynthesisStats::oracle_failures)
+//! and emits
+//! [`SynthEvent::OracleFailures`](crate::SynthEvent::OracleFailures), so a
+//! degraded run is diagnosable instead of silently under-generalizing.
 //!
 //! # Thread safety
 //!
@@ -22,9 +69,9 @@
 //! the full contract (determinism + thread safety).
 
 use crate::cache::ShardedCache;
-use std::io::Write as _;
+use std::io::{BufReader, Read as _, Write as _};
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -44,11 +91,43 @@ use std::sync::{Arc, Condvar, Mutex};
 pub trait Oracle: Send + Sync {
     /// Returns whether `input` is a valid program input (`input ∈ L*`).
     fn accepts(&self, input: &[u8]) -> bool;
+
+    /// Like [`Oracle::accepts`], but distinguishes an oracle *execution
+    /// failure* (`None` — the verdict could not be obtained at all) from a
+    /// real reject (`Some(false)`). The query engine uses this form so
+    /// degraded answers are never mistaken for verdicts: a `None` answers
+    /// `false` for the in-flight check but is **not cached** and never
+    /// reaches a persisted snapshot.
+    ///
+    /// The default wraps `accepts` (in-process oracles cannot fail to
+    /// execute); implementations whose `failure_count` can grow should
+    /// override it and return `None` exactly when they record a failure.
+    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
+        Some(self.accepts(input))
+    }
+
+    /// Number of queries (so far, across the oracle's lifetime) that failed
+    /// to *execute* — the verdict could not be obtained and `accepts`
+    /// answered a degraded `false`. In-process oracles never fail; process
+    /// oracles count spawn and I/O errors here so runs against a broken
+    /// target are diagnosable (see
+    /// [`SynthesisStats::oracle_failures`](crate::SynthesisStats::oracle_failures)).
+    fn failure_count(&self) -> usize {
+        0
+    }
 }
 
 impl<O: Oracle + ?Sized> Oracle for &O {
     fn accepts(&self, input: &[u8]) -> bool {
         (**self).accepts(input)
+    }
+
+    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
+        (**self).accepts_checked(input)
+    }
+
+    fn failure_count(&self) -> usize {
+        (**self).failure_count()
     }
 }
 
@@ -56,11 +135,27 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
     fn accepts(&self, input: &[u8]) -> bool {
         (**self).accepts(input)
     }
+
+    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
+        (**self).accepts_checked(input)
+    }
+
+    fn failure_count(&self) -> usize {
+        (**self).failure_count()
+    }
 }
 
 impl<O: Oracle + ?Sized> Oracle for Arc<O> {
     fn accepts(&self, input: &[u8]) -> bool {
         (**self).accepts(input)
+    }
+
+    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
+        (**self).accepts_checked(input)
+    }
+
+    fn failure_count(&self) -> usize {
+        (**self).failure_count()
     }
 }
 
@@ -152,13 +247,23 @@ impl<O: Oracle> CachingOracle<O> {
 
 impl<O: Oracle> Oracle for CachingOracle<O> {
     fn accepts(&self, input: &[u8]) -> bool {
+        self.accepts_checked(input).unwrap_or(false)
+    }
+
+    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
         self.total.fetch_add(1, Ordering::Relaxed);
         if let Some(v) = self.cache.get(input) {
-            return v;
+            return Some(v);
         }
-        let v = self.inner.accepts(input);
+        // Failed executions answer `None` and are deliberately not cached:
+        // only real verdicts may be memoized.
+        let v = self.inner.accepts_checked(input)?;
         self.cache.insert(input.to_vec(), v);
-        v
+        Some(v)
+    }
+
+    fn failure_count(&self) -> usize {
+        self.inner.failure_count()
     }
 }
 
@@ -218,15 +323,24 @@ static TEMP_FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// mirroring the paper's blackbox setup. Use [`ProcessOracle::require_empty_stderr`]
 /// for programs that signal parse errors on stderr but still exit 0.
 ///
+/// Execution failures (the program cannot be spawned, the temp file cannot
+/// be written, waiting on the child fails) answer `false` and increment
+/// [`Oracle::failure_count`]; a nonzero exit status is a *verdict*, not a
+/// failure. For hot loops against a real target, prefer
+/// [`PooledProcessOracle`], which pays the spawn once per worker instead of
+/// once per query.
+///
 /// # Concurrency
 ///
 /// `ProcessOracle` is `Sync` and may be queried from many worker threads at
 /// once. Because validity is read from the *exit status*, each query
 /// inherently needs its own child process; a persistent in-process worker
-/// would change the oracle's semantics. What the paper's cost model needs
-/// is admission control, not process reuse: [`ProcessOracle::max_concurrent`]
-/// installs a counting semaphore so a large batch fan-out cannot fork-bomb
-/// the machine. Clones share the same limiter.
+/// would change the oracle's semantics (that is what the explicit worker
+/// protocol of [`PooledProcessOracle`] is for). What the paper's cost model
+/// needs from *this* oracle is admission control, not process reuse:
+/// [`ProcessOracle::max_concurrent`] installs a counting semaphore so a
+/// large batch fan-out cannot fork-bomb the machine. Clones share the same
+/// limiter and the same failure counter.
 ///
 /// # Examples
 ///
@@ -248,6 +362,8 @@ pub struct ProcessOracle {
     input_mode: InputMode,
     require_empty_stderr: bool,
     limiter: Option<Arc<Semaphore>>,
+    /// Shared by clones so a fanned-out run reports one total.
+    failures: Arc<AtomicUsize>,
 }
 
 impl ProcessOracle {
@@ -259,6 +375,7 @@ impl ProcessOracle {
             input_mode: InputMode::Stdin,
             require_empty_stderr: false,
             limiter: None,
+            failures: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -289,10 +406,40 @@ impl ProcessOracle {
         self.limiter = Some(Arc::new(Semaphore::new(n)));
         self
     }
+
+    /// A stable fingerprint of the oracle's identity — the program path,
+    /// arguments, input mode, and stderr policy — for tagging persisted
+    /// query-cache snapshots (see
+    /// [`GladeBuilder::oracle_fingerprint`](crate::GladeBuilder::oracle_fingerprint)
+    /// and the `glade-cache v2` format in `persist.rs`). Verdicts are facts
+    /// about one target: replaying a snapshot against a different program
+    /// silently corrupts synthesis, and the fingerprint lets `load_cache`
+    /// reject that.
+    pub fn fingerprint(&self) -> String {
+        let mode = match self.input_mode {
+            InputMode::Stdin => "stdin",
+            InputMode::TempFile => "tempfile",
+        };
+        format!(
+            "process:{}:{}:{}:{}",
+            self.program.display(),
+            self.args.join("\u{1f}"),
+            mode,
+            if self.require_empty_stderr { "empty-stderr" } else { "any-stderr" },
+        )
+    }
+
+    fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl Oracle for ProcessOracle {
     fn accepts(&self, input: &[u8]) -> bool {
+        self.accepts_checked(input).unwrap_or(false)
+    }
+
+    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
         let _permit = self.limiter.as_ref().map(|l| l.acquire());
 
         let run = |cmd: &mut Command, stdin_payload: Option<&[u8]>| -> Option<(bool, Vec<u8>)> {
@@ -321,7 +468,8 @@ impl Oracle for ProcessOracle {
                     TEMP_FILE_COUNTER.fetch_add(1, Ordering::Relaxed),
                 ));
                 if std::fs::write(&path, input).is_err() {
-                    return false;
+                    self.record_failure();
+                    return None;
                 }
                 let mut cmd = Command::new(&self.program);
                 for a in &self.args {
@@ -337,9 +485,346 @@ impl Oracle for ProcessOracle {
             }
         };
         match result {
-            Some((ok, stderr)) => ok && (!self.require_empty_stderr || stderr.is_empty()),
-            None => false,
+            Some((ok, stderr)) => Some(ok && (!self.require_empty_stderr || stderr.is_empty())),
+            None => {
+                // Spawn or wait failed: no verdict was obtained.
+                self.record_failure();
+                None
+            }
         }
+    }
+
+    fn failure_count(&self) -> usize {
+        self.failures.load(Ordering::Relaxed)
+    }
+}
+
+/// Serves the pooled worker protocol on this process's stdin/stdout,
+/// answering each request with `f`.
+///
+/// This is the reusable wrapper that turns any `fn(&[u8]) -> bool` target
+/// into a [`PooledProcessOracle`] worker: call it from a binary's `main`
+/// and point the oracle at that binary. The loop reads length-prefixed
+/// requests (see the module docs for the wire format), answers one verdict
+/// byte per request, and returns `Ok(())` on a clean EOF — which is how the
+/// pool shuts workers down.
+///
+/// Anything the target prints to stdout would corrupt the protocol, so
+/// route target diagnostics to stderr.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered on the protocol streams (a
+/// truncated request, a closed pipe mid-response). Binaries typically exit
+/// nonzero on `Err`, which the pool observes as a worker crash.
+pub fn serve_oracle_worker<F: FnMut(&[u8]) -> bool>(mut f: F) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    let mut buf = Vec::new();
+    loop {
+        let mut len_bytes = [0u8; 4];
+        match input.read_exact(&mut len_bytes) {
+            Ok(()) => {}
+            // Clean shutdown: the oracle closed our stdin between requests.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        buf.clear();
+        buf.resize(len, 0);
+        input.read_exact(&mut buf)?;
+        let verdict = f(&buf);
+        output.write_all(&[u8::from(verdict)])?;
+        output.flush()?;
+    }
+}
+
+/// One long-lived protocol-speaking child process.
+#[derive(Debug)]
+struct PooledWorker {
+    child: Child,
+    /// `Some` for the worker's whole life; taken (closed) only on drop,
+    /// which is the protocol's clean-shutdown signal.
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl PooledWorker {
+    /// Poses one query over the worker's pipes. Any I/O deviation is an
+    /// error — the caller treats it as a worker crash.
+    fn query(&mut self, input: &[u8]) -> std::io::Result<bool> {
+        let len = u32::try_from(input.len())
+            .map_err(|_| std::io::Error::other("query exceeds the protocol's u32 length"))?;
+        let stdin = self.stdin.as_mut().expect("stdin open until drop");
+        stdin.write_all(&len.to_le_bytes())?;
+        stdin.write_all(input)?;
+        stdin.flush()?;
+        let mut verdict = [0u8; 1];
+        self.stdout.read_exact(&mut verdict)?;
+        match verdict[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(std::io::Error::other(format!("bad verdict byte {b:#04x}"))),
+        }
+    }
+}
+
+impl Drop for PooledWorker {
+    fn drop(&mut self) {
+        // Closing stdin is the protocol's clean-exit signal: a conforming
+        // worker sees EOF between requests and returns, running whatever
+        // cleanup its target needs. Give it a short grace period before
+        // the hard kill + wait that guarantees no zombie survives a crash
+        // path (or a worker that ignores EOF).
+        drop(self.stdin.take());
+        for _ in 0..10 {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Idle workers plus the count of live (idle or checked-out) workers.
+#[derive(Debug, Default)]
+struct PoolState {
+    idle: Vec<PooledWorker>,
+    live: usize,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    program: PathBuf,
+    args: Vec<String>,
+    size: usize,
+    state: Mutex<PoolState>,
+    available: Condvar,
+    /// Queries for which no real verdict could be obtained (degraded
+    /// `false` answers). Excludes queries rescued by the fallback oracle.
+    failures: AtomicUsize,
+    /// Workers replaced after a crash (diagnostic, not a failure count).
+    respawns: AtomicUsize,
+    fallback: Option<ProcessOracle>,
+}
+
+/// A membership oracle backed by a pool of persistent worker processes.
+///
+/// Where [`ProcessOracle`] pays `spawn + wait` per query, this oracle keeps
+/// up to `pool_size` long-lived children of `program` and poses each query
+/// over a pipe using the length-prefixed protocol documented at the module
+/// level — the same amortization persistent test executors and AFL's
+/// forkserver use. The target program must speak the protocol; wrap any
+/// in-process predicate with [`serve_oracle_worker`] to get a conforming
+/// worker binary.
+///
+/// Workers are spawned lazily (the first `pool_size` concurrent queries
+/// each start one) and checked out exclusively per query, so the pool also
+/// bounds process concurrency the way [`ProcessOracle::max_concurrent`]
+/// does. A crashed worker is reaped and replaced, and the in-flight query
+/// is retried once on the replacement; if the pooled path still cannot
+/// produce a verdict, the query falls back to a spawn-per-query
+/// [`ProcessOracle`] when one was configured with
+/// [`PooledProcessOracle::fallback`], and otherwise answers `false` and
+/// increments [`Oracle::failure_count`].
+///
+/// Clones share the pool, its workers, and its counters.
+///
+/// # Examples
+///
+/// ```no_run
+/// use glade_core::{Oracle, PooledProcessOracle};
+///
+/// // `my-worker` loops over glade_core::serve_oracle_worker(my_predicate).
+/// let oracle = PooledProcessOracle::new("my-worker").pool_size(8);
+/// assert!(oracle.accepts(b"<a>hi</a>") || true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PooledProcessOracle {
+    inner: Arc<PoolInner>,
+}
+
+impl PooledProcessOracle {
+    /// Creates a pool that runs `program` as its worker command, with a
+    /// single worker. Use [`PooledProcessOracle::pool_size`] to widen.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        PooledProcessOracle {
+            inner: Arc::new(PoolInner {
+                program: program.into(),
+                args: Vec::new(),
+                size: 1,
+                state: Mutex::new(PoolState::default()),
+                available: Condvar::new(),
+                failures: AtomicUsize::new(0),
+                respawns: AtomicUsize::new(0),
+                fallback: None,
+            }),
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut PoolInner {
+        Arc::get_mut(&mut self.inner)
+            .expect("PooledProcessOracle builders must run before the pool is cloned or used")
+    }
+
+    /// Appends a command-line argument passed to every worker process.
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.inner_mut().args.push(arg.into());
+        self
+    }
+
+    /// Sets the maximum number of concurrent worker processes (must be
+    /// nonzero). Workers are spawned lazily up to this bound.
+    pub fn pool_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "pool_size requires at least one worker");
+        self.inner_mut().size = n;
+        self
+    }
+
+    /// Installs a spawn-per-query fallback used when the pooled path cannot
+    /// produce a verdict (worker respawn keeps failing — e.g. the binary
+    /// disappeared or the system is out of pids). Queries answered by the
+    /// fallback are real verdicts and are not counted as failures.
+    pub fn fallback(mut self, oracle: ProcessOracle) -> Self {
+        self.inner_mut().fallback = Some(oracle);
+        self
+    }
+
+    /// Number of workers replaced after a crash, across the pool's
+    /// lifetime.
+    pub fn respawn_count(&self) -> usize {
+        self.inner.respawns.load(Ordering::Relaxed)
+    }
+
+    /// A stable fingerprint of the worker command (program + arguments) for
+    /// tagging persisted cache snapshots; see [`ProcessOracle::fingerprint`].
+    /// The pool size is deliberately excluded — it affects throughput, not
+    /// verdicts.
+    pub fn fingerprint(&self) -> String {
+        format!("pooled:{}:{}", self.inner.program.display(), self.inner.args.join("\u{1f}"))
+    }
+
+    fn spawn_worker(&self) -> std::io::Result<PooledWorker> {
+        let mut child = Command::new(&self.inner.program)
+            .args(&self.inner.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(PooledWorker { child, stdin: Some(stdin), stdout })
+    }
+
+    /// Checks a worker out of the pool, spawning one lazily if the pool is
+    /// not at capacity, and blocking while all workers are busy. Returns
+    /// `None` only when a needed spawn fails.
+    fn checkout(&self) -> Option<PooledWorker> {
+        let mut state = self.inner.state.lock().expect("pool poisoned");
+        loop {
+            if let Some(w) = state.idle.pop() {
+                return Some(w);
+            }
+            if state.live < self.inner.size {
+                state.live += 1;
+                drop(state);
+                match self.spawn_worker() {
+                    Ok(w) => return Some(w),
+                    Err(_) => {
+                        self.release_slot();
+                        return None;
+                    }
+                }
+            } else {
+                state = self.inner.available.wait(state).expect("pool poisoned");
+            }
+        }
+    }
+
+    /// Returns a healthy worker to the idle set.
+    fn checkin(&self, worker: PooledWorker) {
+        let mut state = self.inner.state.lock().expect("pool poisoned");
+        state.idle.push(worker);
+        drop(state);
+        self.inner.available.notify_one();
+    }
+
+    /// Gives up a live slot (worker died and was not replaced, or a spawn
+    /// failed), waking a waiter so it can try spawning afresh.
+    fn release_slot(&self) {
+        let mut state = self.inner.state.lock().expect("pool poisoned");
+        state.live -= 1;
+        drop(state);
+        self.inner.available.notify_one();
+    }
+
+    /// The pooled path produced no verdict: consult the fallback oracle or
+    /// record a failure (`None` — the caller must not cache the answer).
+    fn degraded(&self, input: &[u8]) -> Option<bool> {
+        match &self.inner.fallback {
+            Some(fallback) => fallback.accepts_checked(input),
+            None => {
+                self.inner.failures.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+impl Oracle for PooledProcessOracle {
+    fn accepts(&self, input: &[u8]) -> bool {
+        self.accepts_checked(input).unwrap_or(false)
+    }
+
+    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
+        // The protocol cannot frame inputs beyond the u32 length prefix;
+        // detect that before any I/O rather than punishing (and reaping) a
+        // healthy worker for an unpose-able query.
+        if u32::try_from(input.len()).is_err() {
+            return self.degraded(input);
+        }
+        let Some(mut worker) = self.checkout() else {
+            // Could not spawn a worker at all.
+            return self.degraded(input);
+        };
+        match worker.query(input) {
+            Ok(v) => {
+                self.checkin(worker);
+                Some(v)
+            }
+            Err(_) => {
+                // Worker crashed mid-query: reap it, respawn, retry once.
+                drop(worker);
+                self.inner.respawns.fetch_add(1, Ordering::Relaxed);
+                match self.spawn_worker() {
+                    Ok(mut fresh) => match fresh.query(input) {
+                        Ok(v) => {
+                            self.checkin(fresh);
+                            Some(v)
+                        }
+                        Err(_) => {
+                            drop(fresh);
+                            self.release_slot();
+                            self.degraded(input)
+                        }
+                    },
+                    Err(_) => {
+                        self.release_slot();
+                        self.degraded(input)
+                    }
+                }
+            }
+        }
+    }
+
+    fn failure_count(&self) -> usize {
+        self.inner.failures.load(Ordering::Relaxed)
+            + self.inner.fallback.as_ref().map_or(0, Oracle::failure_count)
     }
 }
 
@@ -352,6 +837,7 @@ mod tests {
         let o = FnOracle::new(|i: &[u8]| i.starts_with(b"ok"));
         assert!(o.accepts(b"okay"));
         assert!(!o.accepts(b"nope"));
+        assert_eq!(o.failure_count(), 0, "in-process oracles never fail");
     }
 
     #[test]
@@ -405,6 +891,7 @@ mod tests {
         assert_oracle::<FnOracle<fn(&[u8]) -> bool>>();
         assert_oracle::<CachingOracle<FnOracle<fn(&[u8]) -> bool>>>();
         assert_oracle::<ProcessOracle>();
+        assert_oracle::<PooledProcessOracle>();
         assert_oracle::<Box<dyn Oracle>>();
         assert_oracle::<Arc<dyn Oracle>>();
         assert_oracle::<&dyn Oracle>();
@@ -417,6 +904,7 @@ mod tests {
         let o = ProcessOracle::new("grep").arg("-q").arg("x");
         assert!(o.accepts(b"axb"));
         assert!(!o.accepts(b"abc"));
+        assert_eq!(o.failure_count(), 0, "nonzero exit is a verdict, not a failure");
     }
 
     #[cfg(unix)]
@@ -461,9 +949,52 @@ mod tests {
 
     #[cfg(unix)]
     #[test]
-    fn process_oracle_missing_program_rejects() {
+    fn process_oracle_missing_program_rejects_and_counts_failure() {
         let o = ProcessOracle::new("/nonexistent/program/glade");
         assert!(!o.accepts(b"anything"));
+        assert_eq!(o.failure_count(), 1);
+        // Clones share the counter.
+        let clone = o.clone();
+        assert!(!clone.accepts(b"again"));
+        assert_eq!(o.failure_count(), 2);
+    }
+
+    #[test]
+    fn pooled_oracle_missing_program_degrades_and_counts() {
+        let o = PooledProcessOracle::new("/nonexistent/program/glade-worker");
+        assert!(!o.accepts(b"anything"));
+        assert!(!o.accepts(b"more"));
+        assert_eq!(o.failure_count(), 2, "no verdict could be obtained");
+        assert_eq!(o.respawn_count(), 0, "nothing ever lived to crash");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn pooled_oracle_missing_program_uses_fallback() {
+        // Pooled spawn always fails; the spawn-per-query fallback (grep on
+        // stdin) still produces real verdicts and no failure is recorded.
+        let o = PooledProcessOracle::new("/nonexistent/program/glade-worker")
+            .fallback(ProcessOracle::new("grep").arg("-q").arg("x"));
+        assert!(o.accepts(b"axb"));
+        assert!(!o.accepts(b"abc"));
+        assert_eq!(o.failure_count(), 0, "fallback verdicts are real");
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_configuration() {
+        let a = ProcessOracle::new("prog").arg("-x").arg("{}").input_mode(InputMode::TempFile);
+        let b = ProcessOracle::new("prog").arg("-x").arg("{}").input_mode(InputMode::TempFile);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), ProcessOracle::new("prog").arg("-y").fingerprint());
+        assert_ne!(a.fingerprint(), ProcessOracle::new("other").fingerprint());
+        let p = PooledProcessOracle::new("prog").arg("-x");
+        assert_eq!(p.fingerprint(), PooledProcessOracle::new("prog").arg("-x").fingerprint());
+        assert_ne!(p.fingerprint(), a.fingerprint(), "pooled and spawn modes are distinct");
+        // Pool size affects throughput only, never verdicts.
+        assert_eq!(
+            p.fingerprint(),
+            PooledProcessOracle::new("prog").arg("-x").pool_size(7).fingerprint()
+        );
     }
 
     #[test]

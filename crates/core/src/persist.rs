@@ -9,7 +9,8 @@
 //! round-tripping:
 //!
 //! ```text
-//! glade-cache v1
+//! glade-cache v2
+//! oracle 70726f636573733a786d6c6c696e74
 //! q 1 3c613e68693c2f613e
 //! q 0 3c613e3c2f613e
 //! ```
@@ -18,13 +19,27 @@
 //! by the query bytes hex-encoded (queries are arbitrary byte strings, so
 //! no text escaping scheme is safe). Entries are written sorted by query
 //! bytes, making snapshots byte-stable for identical caches regardless of
-//! insertion order. A snapshot is only meaningful for the oracle that
-//! produced it: verdicts are facts about one target language.
+//! insertion order.
+//!
+//! A snapshot is only meaningful for the oracle that produced it: verdicts
+//! are facts about one target language, and replaying them against a
+//! different target silently corrupts synthesis. The **v2** format
+//! therefore carries an optional `oracle` directive — a caller-supplied
+//! fingerprint string (hex-encoded UTF-8; e.g.
+//! [`ProcessOracle::fingerprint`](crate::ProcessOracle::fingerprint) for
+//! process oracles, a target name for in-process ones). A session
+//! configured with
+//! [`GladeBuilder::oracle_fingerprint`](crate::GladeBuilder::oracle_fingerprint)
+//! writes the directive into its
+//! snapshots and **rejects** loading a snapshot whose fingerprint differs
+//! ([`CacheError::OracleMismatch`]). Version-1 snapshots (no fingerprint)
+//! still load everywhere; fingerprint-less sessions load anything.
 //!
 //! [`Session::save_cache`](crate::Session::save_cache) and
 //! [`Session::load_cache`](crate::Session::load_cache) wrap this format
-//! with file I/O; [`cache_to_text`] and [`cache_from_text`] expose the
-//! text layer directly.
+//! with file I/O; [`cache_to_text`], [`cache_from_text`], and the
+//! fingerprint-aware [`CacheSnapshot`] round-trip expose the text layer
+//! directly.
 
 use std::fmt::Write as _;
 
@@ -42,6 +57,14 @@ pub enum CacheError {
     BadLine(usize),
     /// A directive has a malformed verdict or hex field.
     BadField(usize),
+    /// The snapshot was produced by a different oracle than the session is
+    /// using: replaying its verdicts would silently corrupt synthesis.
+    OracleMismatch {
+        /// The fingerprint recorded in the snapshot.
+        snapshot: String,
+        /// The fingerprint the session expects.
+        expected: String,
+    },
 }
 
 impl std::fmt::Display for CacheError {
@@ -51,6 +74,11 @@ impl std::fmt::Display for CacheError {
             CacheError::BadHeader => write!(f, "missing or unsupported cache header"),
             CacheError::BadLine(n) => write!(f, "unrecognized cache directive on line {n}"),
             CacheError::BadField(n) => write!(f, "malformed cache field on line {n}"),
+            CacheError::OracleMismatch { snapshot, expected } => write!(
+                f,
+                "cache snapshot was produced by a different oracle \
+                 (snapshot fingerprint {snapshot:?}, expected {expected:?})"
+            ),
         }
     }
 }
@@ -70,37 +98,77 @@ impl From<std::io::Error> for CacheError {
     }
 }
 
-/// Serializes `(query, verdict)` entries to the v1 snapshot text.
+/// A parsed cache snapshot: the cached verdicts plus the optional oracle
+/// fingerprint the snapshot was tagged with (v2 snapshots only; v1
+/// snapshots parse with `oracle_fingerprint: None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Identity of the oracle the verdicts are facts about, when recorded.
+    pub oracle_fingerprint: Option<String>,
+    /// The cached `(query, verdict)` entries.
+    pub entries: Vec<(Vec<u8>, bool)>,
+}
+
+fn push_hex(out: &mut String, bytes: &[u8]) {
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+}
+
+/// Serializes `(query, verdict)` entries to snapshot text, tagged with an
+/// oracle fingerprint when one is supplied.
 ///
+/// With a fingerprint the `glade-cache v2` format is written (header,
+/// `oracle` directive, sorted `q` lines); without one the output is a
+/// plain v1 snapshot, readable by any consumer of the original format.
 /// Entries are sorted by query bytes first, so equal caches serialize to
 /// byte-identical snapshots.
-pub fn cache_to_text(entries: &[(Vec<u8>, bool)]) -> String {
+pub fn snapshot_to_text(entries: &[(Vec<u8>, bool)], oracle_fingerprint: Option<&str>) -> String {
     let mut sorted: Vec<&(Vec<u8>, bool)> = entries.iter().collect();
     sorted.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut out = String::from("glade-cache v1\n");
+    let mut out = String::new();
+    match oracle_fingerprint {
+        Some(fp) => {
+            out.push_str("glade-cache v2\n");
+            out.push_str("oracle ");
+            push_hex(&mut out, fp.as_bytes());
+            out.push('\n');
+        }
+        None => out.push_str("glade-cache v1\n"),
+    }
     for (query, verdict) in sorted {
         let _ = write!(out, "q {} ", u8::from(*verdict));
-        for b in query {
-            let _ = write!(out, "{b:02x}");
-        }
+        push_hex(&mut out, query);
         out.push('\n');
     }
     out
 }
 
-/// Parses the v1 snapshot text back into `(query, verdict)` entries.
+/// Serializes `(query, verdict)` entries to the v1 snapshot text (no
+/// oracle fingerprint). Equivalent to [`snapshot_to_text`] with `None`.
+pub fn cache_to_text(entries: &[(Vec<u8>, bool)]) -> String {
+    snapshot_to_text(entries, None)
+}
+
+/// Parses snapshot text (v1 or v2) into a [`CacheSnapshot`].
 ///
 /// # Errors
 ///
-/// Returns a [`CacheError`] describing the first malformed line.
-pub fn cache_from_text(text: &str) -> Result<Vec<(Vec<u8>, bool)>, CacheError> {
+/// Returns a [`CacheError`] describing the first malformed line. (Oracle
+/// fingerprints are parsed, never *checked*, here — matching is the
+/// loading session's policy, see
+/// [`Session::import_cache`](crate::Session::import_cache).)
+pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
     let mut lines = text.lines().enumerate();
     let Some((_, header)) = lines.next() else {
         return Err(CacheError::BadHeader);
     };
-    if header.trim() != "glade-cache v1" {
-        return Err(CacheError::BadHeader);
-    }
+    let version: u8 = match header.trim() {
+        "glade-cache v1" => 1,
+        "glade-cache v2" => 2,
+        _ => return Err(CacheError::BadHeader),
+    };
+    let mut fingerprint: Option<String> = None;
     let mut entries = Vec::new();
     for (lineno, raw) in lines {
         let line = raw.trim();
@@ -108,6 +176,15 @@ pub fn cache_from_text(text: &str) -> Result<Vec<(Vec<u8>, bool)>, CacheError> {
             continue;
         }
         let lineno = lineno + 1;
+        if let Some(hex) = line.strip_prefix("oracle ") {
+            // The directive is v2-only and at most one is meaningful.
+            if version < 2 || fingerprint.is_some() {
+                return Err(CacheError::BadLine(lineno));
+            }
+            let bytes = decode_hex(hex, lineno)?;
+            fingerprint = Some(String::from_utf8(bytes).map_err(|_| CacheError::BadField(lineno))?);
+            continue;
+        }
         let Some(rest) = line.strip_prefix("q ") else {
             return Err(CacheError::BadLine(lineno));
         };
@@ -121,26 +198,40 @@ pub fn cache_from_text(text: &str) -> Result<Vec<(Vec<u8>, bool)>, CacheError> {
             "1" => true,
             _ => return Err(CacheError::BadField(lineno)),
         };
-        if !hex.len().is_multiple_of(2) {
-            return Err(CacheError::BadField(lineno));
-        }
-        // Decode byte-wise (not via str slicing, which would panic on a
-        // corrupted snapshot containing multi-byte UTF-8 in the hex field).
-        let nibble = |b: u8| -> Result<u8, CacheError> {
-            match b {
-                b'0'..=b'9' => Ok(b - b'0'),
-                b'a'..=b'f' => Ok(b - b'a' + 10),
-                b'A'..=b'F' => Ok(b - b'A' + 10),
-                _ => Err(CacheError::BadField(lineno)),
-            }
-        };
-        let mut query = Vec::with_capacity(hex.len() / 2);
-        for pair in hex.as_bytes().chunks_exact(2) {
-            query.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
-        }
-        entries.push((query, verdict));
+        entries.push((decode_hex(hex, lineno)?, verdict));
     }
-    Ok(entries)
+    Ok(CacheSnapshot { oracle_fingerprint: fingerprint, entries })
+}
+
+/// Parses snapshot text (v1 or v2) back into `(query, verdict)` entries,
+/// discarding any oracle fingerprint.
+///
+/// # Errors
+///
+/// Returns a [`CacheError`] describing the first malformed line.
+pub fn cache_from_text(text: &str) -> Result<Vec<(Vec<u8>, bool)>, CacheError> {
+    snapshot_from_text(text).map(|s| s.entries)
+}
+
+/// Decodes one hex field, byte-wise (not via `str` slicing, which would
+/// panic on a corrupted snapshot containing multi-byte UTF-8).
+fn decode_hex(hex: &str, lineno: usize) -> Result<Vec<u8>, CacheError> {
+    if !hex.len().is_multiple_of(2) {
+        return Err(CacheError::BadField(lineno));
+    }
+    let nibble = |b: u8| -> Result<u8, CacheError> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(CacheError::BadField(lineno)),
+        }
+    };
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for pair in hex.as_bytes().chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -173,6 +264,53 @@ mod tests {
         // Idempotent through a second roundtrip.
         let reparsed = cache_from_text(&ta).unwrap();
         assert_eq!(cache_to_text(&reparsed), ta);
+    }
+
+    #[test]
+    fn fingerprinted_snapshot_roundtrips_as_v2() {
+        let entries = vec![(b"a".to_vec(), true)];
+        let text = snapshot_to_text(&entries, Some("process:xmllint"));
+        assert!(text.starts_with("glade-cache v2\noracle "), "{text}");
+        let snap = snapshot_from_text(&text).unwrap();
+        assert_eq!(snap.oracle_fingerprint.as_deref(), Some("process:xmllint"));
+        assert_eq!(snap.entries, entries);
+        // Byte-stable through a rewrite.
+        assert_eq!(snapshot_to_text(&snap.entries, snap.oracle_fingerprint.as_deref()), text);
+    }
+
+    #[test]
+    fn v1_snapshots_parse_with_no_fingerprint() {
+        let snap = snapshot_from_text("glade-cache v1\nq 1 61\n").unwrap();
+        assert_eq!(snap.oracle_fingerprint, None);
+        assert_eq!(snap.entries, vec![(b"a".to_vec(), true)]);
+    }
+
+    #[test]
+    fn v2_without_oracle_directive_is_valid() {
+        let snap = snapshot_from_text("glade-cache v2\nq 0 62\n").unwrap();
+        assert_eq!(snap.oracle_fingerprint, None);
+        assert_eq!(snap.entries, vec![(b"b".to_vec(), false)]);
+    }
+
+    #[test]
+    fn oracle_directive_rejected_in_v1_and_when_duplicated() {
+        assert!(matches!(
+            snapshot_from_text("glade-cache v1\noracle 61\n"),
+            Err(CacheError::BadLine(2))
+        ));
+        assert!(matches!(
+            snapshot_from_text("glade-cache v2\noracle 61\noracle 62\n"),
+            Err(CacheError::BadLine(3))
+        ));
+        // Malformed fingerprint hex / non-UTF-8 fingerprints error too.
+        assert!(matches!(
+            snapshot_from_text("glade-cache v2\noracle 6\n"),
+            Err(CacheError::BadField(2))
+        ));
+        assert!(matches!(
+            snapshot_from_text("glade-cache v2\noracle ff\n"),
+            Err(CacheError::BadField(2))
+        ));
     }
 
     #[test]
@@ -226,5 +364,8 @@ mod tests {
         assert!(io.source().is_some());
         assert!(CacheError::BadHeader.source().is_none());
         assert!(CacheError::BadLine(3).to_string().contains("line 3"));
+        let mismatch = CacheError::OracleMismatch { snapshot: "a".into(), expected: "b".into() };
+        assert!(mismatch.to_string().contains("different oracle"));
+        assert!(mismatch.source().is_none());
     }
 }

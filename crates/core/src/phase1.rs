@@ -27,6 +27,19 @@
 //! `(ε, α, ε)` — otherwise `[α]alt → [α]rep → ([α]alt)* → …` recurses
 //! forever on the same string. This matches Figure 2 (step R3 proposes no
 //! full-star candidate) and the meta-grammar's unambiguity requirement.
+//!
+//! # Why this phase does not aggregate batches
+//!
+//! Character generalization and phase two pose their whole check sets as
+//! one aggregated batch (see `session.rs`), but phase one cannot: the
+//! greedy search is *data-dependent*. Which candidate is tried next — and
+//! which substrings are recursed into — is decided by the verdicts of the
+//! previous candidate, and posing later candidates' checks speculatively
+//! would charge the query budget for checks the sequential algorithm never
+//! poses (breaking the paper's cost model and the repo's golden query-
+//! count pins). The exploitable parallelism here is *within* a candidate:
+//! its two residual checks are independent and go to the oracle as one
+//! [`QueryRunner::accepts_batch`] pair.
 
 use crate::runner::{CheckSpec, QueryRunner};
 use crate::tree::{AltNode, ConstNode, Context, Node, RepNode, StarNode};

@@ -31,15 +31,58 @@ pub(crate) struct MergeStats {
     pub merges_accepted: usize,
 }
 
-/// Runs the merge phase over all star nodes of all seed trees.
+/// The bookkeeping side of an aggregated merge batch: the unordered star
+/// pairs, in ascending (id, id) order, whose 2-check verdict pairs occupy
+/// a contiguous slice of the batch. Owns no borrowed data (star *ids*, not
+/// star references), so the session can drop the check list — and its
+/// immutable borrow of the trees — before folding.
+#[derive(Debug, Default)]
+pub(crate) struct MergePlan {
+    /// Star-id pairs, two consecutive batch verdicts each.
+    pairs: Vec<(usize, usize)>,
+    num_stars: usize,
+    /// Number of checks this plan appended to the shared check list.
+    pub checks_len: usize,
+}
+
+/// Plans the merge phase over all star nodes of all seed trees, appending
+/// the O(stars²) cross-substitution checks to `checks`.
 ///
-/// The O(stars²) cross-substitution checks are independent of one another,
-/// so all of them are described up front (as borrowed [`CheckSpec`]
-/// segments — no residual strings are materialized) and posed as one batch
-/// that the [`QueryRunner`] dedups, caches, and fans out across its worker
-/// pool. The *unions* are then applied sequentially in ascending pair
-/// order, so the resulting union-find — and therefore the synthesized
-/// grammar — is byte-identical for every worker count.
+/// The checks are independent of one another, so they are all described up
+/// front (as borrowed [`CheckSpec`] segments — no residual strings are
+/// materialized) onto the shared check list, where the session aggregates
+/// them with character generalization's probes into one batch that the
+/// [`QueryRunner`] dedups, caches, and fans out across its worker pool.
+pub(crate) fn plan_merge_checks<'t>(
+    trees: &'t [Node],
+    num_stars: usize,
+    checks: &mut Vec<CheckSpec<'t>>,
+) -> MergePlan {
+    let mut stars: Vec<&StarNode> = Vec::new();
+    for t in trees {
+        t.collect_stars(&mut stars);
+    }
+    stars.sort_by_key(|s| s.id);
+    let start = checks.len();
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(stars.len() * stars.len() / 2);
+    // Two checks per unordered pair (Section 5.3): R_j's residual in R_i's
+    // context and vice versa.
+    for i in 0..stars.len() {
+        for j in i + 1..stars.len() {
+            let (si, sj) = (stars[i], stars[j]);
+            checks.push(CheckSpec::wrapped(&si.ctx, &sj.residual_parts()));
+            checks.push(CheckSpec::wrapped(&sj.ctx, &si.residual_parts()));
+            pairs.push((si.id, sj.id));
+        }
+    }
+    MergePlan { pairs, num_stars, checks_len: checks.len() - start }
+}
+
+/// Folds the verdict slice of an aggregated batch into the union-find.
+///
+/// The *unions* are applied sequentially in ascending pair order, so the
+/// resulting union-find — and therefore the synthesized grammar — is
+/// byte-identical for every worker count.
 ///
 /// Accepted merges are reported to `observer` (when installed) as
 /// [`SynthEvent::MergeAccepted`] events, in the same ascending pair order
@@ -47,50 +90,45 @@ pub(crate) struct MergeStats {
 ///
 /// Returns the union-find over star ids (indexed `0..num_stars`) and the
 /// counters.
+pub(crate) fn apply_merge_verdicts(
+    plan: &MergePlan,
+    verdicts: &[bool],
+    observer: Option<&dyn SynthesisObserver>,
+) -> (UnionFind, MergeStats) {
+    debug_assert_eq!(verdicts.len(), plan.checks_len);
+    let mut uf = UnionFind::new(plan.num_stars);
+    let mut stats = MergeStats::default();
+    for (p, &(left, right)) in plan.pairs.iter().enumerate() {
+        stats.pairs_tried += 1;
+        // The two candidates per pair (Section 5.2): merge, or keep the
+        // current grammar. Merge wins iff both checks pass.
+        if verdicts[2 * p] && verdicts[2 * p + 1] {
+            uf.union(left, right);
+            stats.merges_accepted += 1;
+            if let Some(obs) = observer {
+                obs.on_event(&SynthEvent::MergeAccepted { left_star: left, right_star: right });
+            }
+        }
+    }
+    (uf, stats)
+}
+
+/// Runs the merge phase as one self-contained batch (plan → pose → apply).
+///
+/// The session drives the plan/apply halves directly so the batch can also
+/// carry character generalization's probes; this wrapper serves callers
+/// that run the phase in isolation (tests).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn merge_stars(
     trees: &[Node],
     num_stars: usize,
     runner: &QueryRunner<'_>,
     observer: Option<&dyn SynthesisObserver>,
 ) -> (UnionFind, MergeStats) {
-    let mut stars: Vec<&StarNode> = Vec::new();
-    for t in trees {
-        t.collect_stars(&mut stars);
-    }
-    stars.sort_by_key(|s| s.id);
-    let mut uf = UnionFind::new(num_stars);
-    let mut stats = MergeStats::default();
-
-    // Two checks per unordered pair (Section 5.3): R_j's residual in R_i's
-    // context and vice versa.
-    let mut checks: Vec<CheckSpec<'_>> = Vec::with_capacity(stars.len() * stars.len());
-    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(checks.capacity() / 2);
-    for i in 0..stars.len() {
-        for j in i + 1..stars.len() {
-            let (si, sj) = (stars[i], stars[j]);
-            checks.push(CheckSpec::wrapped(&si.ctx, &sj.residual_parts()));
-            checks.push(CheckSpec::wrapped(&sj.ctx, &si.residual_parts()));
-            pairs.push((i, j));
-        }
-    }
+    let mut checks: Vec<CheckSpec<'_>> = Vec::new();
+    let plan = plan_merge_checks(trees, num_stars, &mut checks);
     let verdicts = runner.accepts_batch(&checks);
-
-    for (p, &(i, j)) in pairs.iter().enumerate() {
-        stats.pairs_tried += 1;
-        // The two candidates per pair (Section 5.2): merge, or keep the
-        // current grammar. Merge wins iff both checks pass.
-        if verdicts[2 * p] && verdicts[2 * p + 1] {
-            uf.union(stars[i].id, stars[j].id);
-            stats.merges_accepted += 1;
-            if let Some(obs) = observer {
-                obs.on_event(&SynthEvent::MergeAccepted {
-                    left_star: stars[i].id,
-                    right_star: stars[j].id,
-                });
-            }
-        }
-    }
-    (uf, stats)
+    apply_merge_verdicts(&plan, &verdicts, observer)
 }
 
 #[cfg(test)]

@@ -16,7 +16,12 @@
 //!   reusable scratch buffer and allocates only for genuine cache misses;
 //! * [`QueryRunner::accepts_batch`] deduplicates a batch, consults the
 //!   cache once per distinct check, and fans the remaining misses out
-//!   across a scoped worker pool (`std::thread::scope` — no dependencies).
+//!   across a scoped worker pool (`std::thread::scope` — no dependencies);
+//! * dispatch inside a batch is **work-stealing**: workers pull the next
+//!   un-posed miss from a shared atomic cursor instead of owning a static
+//!   chunk, so one slow query (real oracles have heavy-tailed latencies —
+//!   a pathological input can take 100× the median) delays only the worker
+//!   running it while the rest drain the remaining misses.
 //!
 //! The runner is also the engine's observation and cancellation point:
 //! every batch emits a [`SynthEvent::QueryBatch`] to the installed
@@ -40,7 +45,7 @@ use crate::events::{CancelToken, SynthEvent, SynthesisObserver};
 use crate::tree::Context;
 use crate::Oracle;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Maximum number of byte-slice segments in a [`CheckSpec`].
@@ -156,10 +161,16 @@ pub(crate) struct QueryRunner<'s> {
     cancel_event_sent: AtomicBool,
     /// Worker threads used by `accepts_batch` (1 = fully sequential).
     workers: usize,
+    /// Oracle execution failures already accumulated before this run, so
+    /// the runner reports per-run deltas (see [`Oracle::failure_count`]).
+    failures_at_start: usize,
+    /// Failures already surfaced through `SynthEvent::OracleFailures`.
+    failures_reported: AtomicUsize,
 }
 
 impl<'s> QueryRunner<'s> {
     pub fn new(oracle: &'s dyn Oracle, cache: &'s ShardedCache, opts: RunnerOptions<'s>) -> Self {
+        let failures_at_start = oracle.failure_count();
         QueryRunner {
             oracle,
             cache,
@@ -174,6 +185,8 @@ impl<'s> QueryRunner<'s> {
             budget_event_sent: AtomicBool::new(false),
             cancel_event_sent: AtomicBool::new(false),
             workers: opts.workers.max(1),
+            failures_at_start,
+            failures_reported: AtomicUsize::new(failures_at_start),
         }
     }
 
@@ -199,6 +212,26 @@ impl<'s> QueryRunner<'s> {
     /// Whether the cancel token has been flipped.
     fn cancel_requested(&self) -> bool {
         self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Surfaces newly observed oracle execution failures (see
+    /// [`Oracle::failure_count`]) as a [`SynthEvent::OracleFailures`]
+    /// event. Called after every batch; emits only when the count grew.
+    fn report_oracle_failures(&self) {
+        let current = self.oracle.failure_count();
+        let previous = self.failures_reported.swap(current, Ordering::Relaxed);
+        if current > previous {
+            self.emit(SynthEvent::OracleFailures {
+                new_failures: current - previous,
+                run_failures: current - self.failures_at_start,
+            });
+        }
+    }
+
+    /// Oracle execution failures observed during this run (queries whose
+    /// verdict could not be obtained and degraded to `false`).
+    pub fn oracle_failures(&self) -> usize {
+        self.oracle.failure_count().saturating_sub(self.failures_at_start)
     }
 
     /// Reserves one budget slot, or trips the exhausted flag and fails.
@@ -238,7 +271,8 @@ impl<'s> QueryRunner<'s> {
         if !self.reserve_budget() {
             return false;
         }
-        let v = self.oracle.accepts(input);
+        // Execution failures answer `false` but are not cached.
+        let Some(v) = self.oracle.accepts_checked(input) else { return false };
         self.cache.insert(input.to_vec(), v);
         v
     }
@@ -300,24 +334,43 @@ impl<'s> QueryRunner<'s> {
             miss_keys.push(scratch.clone());
         }
 
-        // Fan the distinct misses out across the worker pool. `None` marks
-        // a miss skipped because the deadline expired (or the run was
-        // cancelled) mid-batch: it answers `false` but is not cached (only
-        // real oracle verdicts may enter the cache).
-        let run_chunk = |keys: &[Vec<u8>], out: &mut [Option<bool>]| {
-            for (key, slot) in keys.iter().zip(out.iter_mut()) {
-                if self.cancel_requested() {
-                    self.trip_exhausted(true);
-                    break;
-                }
-                if self.deadline.is_some_and(|d| Instant::now() >= d) {
-                    self.trip_exhausted(false);
-                    break;
-                }
-                *slot = Some(self.oracle.accepts(key));
+        // Fan the distinct misses out across the worker pool by work
+        // stealing: a shared atomic cursor hands each idle worker the next
+        // un-posed miss, so a single slow query (heterogeneous latencies
+        // are the norm for real targets) stalls one worker instead of the
+        // whole static chunk scheduled behind it. Every miss is posed by
+        // exactly one worker and the oracle is deterministic, so results —
+        // and the set of cached queries — are identical for every worker
+        // count. A slot left at `SLOT_SKIPPED` marks a miss skipped because
+        // the deadline expired (or the run was cancelled) mid-batch: it
+        // answers `false` but is not cached (only real oracle verdicts may
+        // enter the cache).
+        const SLOT_SKIPPED: u8 = 0;
+        const SLOT_REJECT: u8 = 1;
+        const SLOT_ACCEPT: u8 = 2;
+        let slots: Vec<AtomicU8> = miss_keys.iter().map(|_| AtomicU8::new(SLOT_SKIPPED)).collect();
+        let cursor = AtomicUsize::new(0);
+        let steal_loop = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= miss_keys.len() {
+                break;
+            }
+            if self.cancel_requested() {
+                self.trip_exhausted(true);
+                break;
+            }
+            if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                self.trip_exhausted(false);
+                break;
+            }
+            // An oracle *execution failure* (`None`) leaves the slot
+            // skipped: the check answers `false` like any other degraded
+            // answer, but the non-verdict never enters the cache (or a
+            // persisted snapshot, which would poison every warm start).
+            if let Some(v) = self.oracle.accepts_checked(&miss_keys[i]) {
+                slots[i].store(if v { SLOT_ACCEPT } else { SLOT_REJECT }, Ordering::Relaxed);
             }
         };
-        let mut verdicts: Vec<Option<bool>> = vec![None; miss_keys.len()];
         // Spawning threads costs tens of microseconds; only fan out when
         // the batch is big enough to amortize it (tiny batches — e.g.
         // phase 1's residual pairs against an in-process oracle — run
@@ -328,15 +381,22 @@ impl<'s> QueryRunner<'s> {
             1
         };
         if threads > 1 {
-            let chunk = miss_keys.len().div_ceil(threads);
             std::thread::scope(|scope| {
-                for (keys, out) in miss_keys.chunks(chunk).zip(verdicts.chunks_mut(chunk)) {
-                    scope.spawn(|| run_chunk(keys, out));
+                for _ in 0..threads {
+                    scope.spawn(steal_loop);
                 }
             });
         } else {
-            run_chunk(&miss_keys, &mut verdicts);
+            steal_loop();
         }
+        let verdicts: Vec<Option<bool>> = slots
+            .iter()
+            .map(|s| match s.load(Ordering::Relaxed) {
+                SLOT_SKIPPED => None,
+                v => Some(v == SLOT_ACCEPT),
+            })
+            .collect();
+        self.report_oracle_failures();
 
         if self.observer.is_some() {
             // `posed` counts misses that actually reached the oracle —
@@ -366,7 +426,10 @@ impl<'s> QueryRunner<'s> {
         if let Some(v) = self.cache.get(input) {
             return v;
         }
-        let v = self.oracle.accepts(input);
+        // A seed whose validation *execution* fails is rejected (the
+        // premise `E_in ⊆ L*` cannot be confirmed) without caching the
+        // non-verdict.
+        let Some(v) = self.oracle.accepts_checked(input) else { return false };
         self.cache.insert(input.to_vec(), v);
         v
     }

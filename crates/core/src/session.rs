@@ -36,11 +36,11 @@
 //! ```
 
 use crate::cache::ShardedCache;
-use crate::chargen::generalize_chars;
+use crate::chargen::{apply_char_probes, plan_char_probes};
 use crate::events::{CancelToken, SynthEvent, SynthPhase, SynthesisObserver};
-use crate::persist::{cache_from_text, cache_to_text, CacheError};
+use crate::persist::{snapshot_from_text, snapshot_to_text, CacheError};
 use crate::phase1::Phase1;
-use crate::phase2::merge_stars;
+use crate::phase2::{apply_merge_verdicts, plan_merge_checks};
 use crate::runner::{QueryRunner, RunnerOptions};
 use crate::synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};
 use crate::tree::{trees_to_grammar, Node, UnionFind};
@@ -78,6 +78,9 @@ pub struct GladeBuilder {
     /// session then gets its own fresh token, so cancelling one session
     /// built from a cloned builder cannot silently degrade the others.
     cancel: Option<CancelToken>,
+    /// Oracle identity written into (and checked against) persisted cache
+    /// snapshots; see [`GladeBuilder::oracle_fingerprint`].
+    fingerprint: Option<String>,
 }
 
 impl std::fmt::Debug for GladeBuilder {
@@ -86,6 +89,7 @@ impl std::fmt::Debug for GladeBuilder {
             .field("config", &self.config)
             .field("observer", &self.observer.as_ref().map(|_| "dyn SynthesisObserver"))
             .field("cancel", &self.cancel)
+            .field("fingerprint", &self.fingerprint)
             .finish()
     }
 }
@@ -169,6 +173,23 @@ impl GladeBuilder {
         self
     }
 
+    /// Declares the identity of the oracle this session will query, for
+    /// persisted cache snapshots. Cached verdicts are facts about one
+    /// target: with a fingerprint installed, [`Session::save_cache`] tags
+    /// snapshots with it (`glade-cache v2`) and [`Session::load_cache`]
+    /// **rejects** snapshots tagged with a different fingerprint
+    /// ([`CacheError::OracleMismatch`]) instead of silently replaying stale
+    /// verdicts. Untagged (v1) snapshots still load.
+    ///
+    /// Use [`ProcessOracle::fingerprint`](crate::ProcessOracle::fingerprint)
+    /// / [`PooledProcessOracle::fingerprint`](crate::PooledProcessOracle::fingerprint)
+    /// for process oracles, or any stable string (e.g. a target name) for
+    /// in-process oracles.
+    pub fn oracle_fingerprint(mut self, fingerprint: impl Into<String>) -> Self {
+        self.fingerprint = Some(fingerprint.into());
+        self
+    }
+
     /// The configuration assembled so far.
     pub fn config(&self) -> &GladeConfig {
         &self.config
@@ -182,6 +203,7 @@ impl GladeBuilder {
             oracle,
             observer: self.observer,
             cancel: self.cancel.unwrap_or_default(),
+            fingerprint: self.fingerprint,
             cache: ShardedCache::new(),
             trees: Vec::new(),
             chargen_done: 0,
@@ -241,6 +263,8 @@ pub struct Session<'o> {
     oracle: &'o dyn Oracle,
     observer: Option<Arc<dyn SynthesisObserver>>,
     cancel: CancelToken,
+    /// Declared oracle identity for snapshot tagging/validation.
+    fingerprint: Option<String>,
     /// Session-lifetime membership-query cache (snapshot-able).
     cache: ShardedCache,
     /// Per-seed generalization trees, post character generalization for
@@ -387,18 +411,72 @@ impl<'o> Session<'o> {
             });
         }
 
-        // Character generalization (Section 6.2), new trees only — earlier
+        // Character generalization (Section 6.2, new trees only — earlier
         // trees were already widened, and re-probing them would only replay
-        // cache hits.
+        // cache hits) and phase two (Section 5, recomputed over the
+        // combined star set; pairs examined by earlier runs are answered by
+        // the session cache) share one *aggregated* membership batch: every
+        // widening probe of every new terminal plus every cross-substitution
+        // merge check is planned up front and posed together, so the worker
+        // pool stays saturated across the stage boundary instead of
+        // draining between chargen's per-terminal work and the merge sweep.
+        // The checks — and therefore the query counts — are exactly those
+        // the stages would pose separately (duplicates across the stages
+        // were already answered by the cache); only the scheduling changes.
+        // Verdicts are folded sequentially in planning order, keeping the
+        // grammar worker-count-independent.
+        let do_chargen =
+            self.config.character_generalization && self.chargen_done < self.trees.len();
         let t1 = Instant::now();
-        if self.config.character_generalization && self.chargen_done < self.trees.len() {
+        let mut checks = Vec::new();
+        let chargen_plan = if do_chargen {
             emit(SynthEvent::PhaseStarted { phase: SynthPhase::CharGeneralization });
-            for tree in &mut self.trees[self.chargen_done..] {
-                self.chars_generalized +=
-                    generalize_chars(tree, &runner, &self.config.char_test_bytes);
-            }
+            Some(plan_char_probes(
+                &self.trees[self.chargen_done..],
+                &self.config.char_test_bytes,
+                &mut checks,
+            ))
+        } else {
+            None
+        };
+        // When chargen has no work the batch is phase two's alone and runs
+        // inside the phase-two window; otherwise phase two's checks ride
+        // along in the batch posed during chargen and its own window only
+        // folds the (already computed) verdicts.
+        if self.config.phase2 && chargen_plan.is_none() {
+            emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
+        }
+        let merge_plan = self
+            .config
+            .phase2
+            .then(|| plan_merge_checks(&self.trees, self.next_star_id, &mut checks));
+        // Nothing planned (e.g. a phase1-only config) poses nothing — the
+        // runner is not consulted, so no phantom empty QueryBatch event.
+        let batch_start = Instant::now();
+        let verdicts = if checks.is_empty() { Vec::new() } else { runner.accepts_batch(&checks) };
+        let batch_time = batch_start.elapsed();
+        let total_checks = checks.len();
+        drop(checks); // releases the immutable borrow of the trees
+
+        // The batch is shared, its wall time is not one phase's: attribute
+        // it pro rata by check count so chargen_time/phase2_time keep
+        // meaning "time spent on this phase's oracle work" (phase two's
+        // O(stars²) merge checks dominate real batches and must not be
+        // billed to chargen).
+        let merge_offset = chargen_plan.as_ref().map_or(0, |p| p.checks_len);
+        let chargen_batch_share = if total_checks == 0 {
+            Duration::ZERO
+        } else {
+            batch_time.mul_f64(merge_offset as f64 / total_checks as f64)
+        };
+        if let Some(plan) = &chargen_plan {
+            self.chars_generalized += apply_char_probes(
+                &mut self.trees[self.chargen_done..],
+                plan,
+                &verdicts[..plan.checks_len],
+            );
             self.chargen_done = self.trees.len();
-            stats.chargen_time = t1.elapsed();
+            stats.chargen_time = t1.elapsed().saturating_sub(batch_time) + chargen_batch_share;
             emit(SynthEvent::PhaseFinished {
                 phase: SynthPhase::CharGeneralization,
                 elapsed: stats.chargen_time,
@@ -406,16 +484,19 @@ impl<'o> Session<'o> {
             });
         }
 
-        // Phase two (Section 5), recomputed over the combined star set.
-        // Pairs examined by earlier runs are answered from the cache, so
-        // the union-find — and the grammar — always reflects all seeds.
         let t2 = Instant::now();
-        let mut merges = if self.config.phase2 {
-            emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
-            let (uf, mstats) = merge_stars(&self.trees, self.next_star_id, &runner, observer);
+        let mut merges = if let Some(plan) = &merge_plan {
+            if chargen_plan.is_some() {
+                emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
+            }
+            let (uf, mstats) = apply_merge_verdicts(plan, &verdicts[merge_offset..], observer);
             stats.merge_pairs_tried = mstats.pairs_tried;
             stats.merges_accepted = mstats.merges_accepted;
-            stats.phase2_time = t2.elapsed();
+            stats.phase2_time = if chargen_plan.is_some() {
+                t2.elapsed() + batch_time.saturating_sub(chargen_batch_share)
+            } else {
+                t1.elapsed()
+            };
             emit(SynthEvent::PhaseFinished {
                 phase: SynthPhase::Phase2,
                 elapsed: stats.phase2_time,
@@ -439,28 +520,47 @@ impl<'o> Session<'o> {
         stats.total_queries = runner.total_queries();
         stats.budget_exhausted = runner.exhausted();
         stats.cancelled = runner.was_cancelled();
+        stats.oracle_failures = runner.oracle_failures();
 
         Ok(Synthesis { grammar, regex, stats })
     }
 
-    /// Serializes the session's query cache to the `glade-cache v1` text
-    /// format (see `persist.rs`). Entries are sorted, so equal caches
-    /// produce byte-identical snapshots.
+    /// Serializes the session's query cache to snapshot text (see
+    /// `persist.rs`): `glade-cache v2` tagged with the session's oracle
+    /// fingerprint when one was declared through
+    /// [`GladeBuilder::oracle_fingerprint`], plain `glade-cache v1`
+    /// otherwise. Entries are sorted, so equal caches produce
+    /// byte-identical snapshots.
     pub fn export_cache(&self) -> String {
-        cache_to_text(&self.cache.snapshot())
+        snapshot_to_text(&self.cache.snapshot(), self.fingerprint.as_deref())
     }
 
-    /// Loads `glade-cache v1` text into the session cache, returning the
-    /// number of entries read. Existing entries keep their verdict (a
+    /// Loads snapshot text (v1 or v2) into the session cache, returning
+    /// the number of entries read. Existing entries keep their verdict (a
     /// snapshot from the same deterministic oracle always agrees).
     ///
     /// # Errors
     ///
-    /// Returns a [`CacheError`] describing the first malformed line.
+    /// Returns a [`CacheError`] describing the first malformed line, or
+    /// [`CacheError::OracleMismatch`] — without touching the cache — when
+    /// both the session and the snapshot declare oracle fingerprints and
+    /// they differ (the verdicts are facts about a *different* target;
+    /// replaying them would silently corrupt synthesis). Untagged v1
+    /// snapshots always load.
     pub fn import_cache(&self, text: &str) -> Result<usize, CacheError> {
-        let entries = cache_from_text(text)?;
-        let count = entries.len();
-        for (query, verdict) in entries {
+        let snapshot = snapshot_from_text(text)?;
+        if let (Some(expected), Some(found)) =
+            (self.fingerprint.as_deref(), snapshot.oracle_fingerprint.as_deref())
+        {
+            if expected != found {
+                return Err(CacheError::OracleMismatch {
+                    snapshot: found.to_owned(),
+                    expected: expected.to_owned(),
+                });
+            }
+        }
+        let count = snapshot.entries.len();
+        for (query, verdict) in snapshot.entries {
             self.cache.insert(query, verdict);
         }
         Ok(count)
@@ -707,6 +807,40 @@ mod tests {
             session.import_cache("glade-cache v1\nq 9 61\n"),
             Err(CacheError::BadField(2))
         ));
+    }
+
+    #[test]
+    fn fingerprinted_sessions_tag_and_validate_snapshots() {
+        let oracle = FnOracle::new(xml_like);
+        let mut tagged = GladeBuilder::new().oracle_fingerprint("target:toy-xml").session(&oracle);
+        tagged.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let snapshot = tagged.export_cache();
+        assert!(snapshot.starts_with("glade-cache v2\noracle "), "tagged snapshots are v2");
+
+        // Same fingerprint: loads.
+        let same = GladeBuilder::new().oracle_fingerprint("target:toy-xml").session(&oracle);
+        assert!(same.import_cache(&snapshot).unwrap() > 0);
+
+        // Different fingerprint: rejected without touching the cache.
+        let other = GladeBuilder::new().oracle_fingerprint("target:lisp").session(&oracle);
+        let err = other.import_cache(&snapshot).unwrap_err();
+        assert!(
+            matches!(&err, CacheError::OracleMismatch { snapshot, expected }
+                if snapshot == "target:toy-xml" && expected == "target:lisp"),
+            "{err}"
+        );
+        assert_eq!(other.unique_queries(), 0, "rejected snapshot left no verdicts behind");
+
+        // A session without a declared fingerprint loads anything.
+        let unfingerprinted = GladeBuilder::new().session(&oracle);
+        assert!(unfingerprinted.import_cache(&snapshot).unwrap() > 0);
+
+        // And a tagged session still accepts legacy untagged v1 snapshots.
+        let untagged = GladeBuilder::new().session(&oracle);
+        let v1 = untagged.export_cache();
+        assert!(v1.starts_with("glade-cache v1\n"));
+        let tagged2 = GladeBuilder::new().oracle_fingerprint("target:toy-xml").session(&oracle);
+        assert_eq!(tagged2.import_cache(&v1).unwrap(), 0);
     }
 
     #[test]

@@ -114,6 +114,15 @@ pub struct SynthesisStats {
     pub merges_accepted: usize,
     /// (position, byte) pairs accepted by character generalization.
     pub chars_generalized: usize,
+    /// Oracle *execution* failures during this run: queries for which no
+    /// real verdict could be obtained (process spawn failed, pooled worker
+    /// crashed beyond recovery) and which therefore answered a degraded
+    /// `false`. Nonzero means the grammar may be under-generalized for
+    /// environmental reasons rather than language reasons — exactly the
+    /// situation that used to be silent. See
+    /// [`Oracle::failure_count`](crate::Oracle::failure_count) and
+    /// [`SynthEvent::OracleFailures`](crate::SynthEvent::OracleFailures).
+    pub oracle_failures: usize,
     /// Whether the query/time budget ran out (or the run was cancelled)
     /// mid-run.
     pub budget_exhausted: bool,
@@ -123,9 +132,13 @@ pub struct SynthesisStats {
     pub cancelled: bool,
     /// Wall-clock time spent in phase one.
     pub phase1_time: Duration,
-    /// Wall-clock time spent in character generalization.
+    /// Wall-clock time spent on character generalization. Chargen and
+    /// phase two pose one shared aggregated membership batch; its wall
+    /// time is attributed pro rata by check count, so this remains "time
+    /// spent on this phase's oracle work".
     pub chargen_time: Duration,
-    /// Wall-clock time spent in phase two.
+    /// Wall-clock time spent on phase two (same pro-rata attribution of
+    /// the shared batch as `chargen_time`).
     pub phase2_time: Duration,
 }
 

@@ -165,6 +165,25 @@ impl Node {
         }
     }
 
+    /// Visits every `ConstNode` immutably, in the same order as
+    /// [`Node::visit_consts_mut`] — character generalization plans its
+    /// probes with this visit and applies the verdicts with the mutable
+    /// one, pairing consts by ordinal.
+    pub fn visit_consts<'a>(&'a self, f: &mut impl FnMut(&'a ConstNode)) {
+        match self {
+            Node::Const(c) => f(c),
+            Node::Rep(r) => {
+                f(&r.pre);
+                r.star.inner.visit_consts(f);
+                r.rest.visit_consts(f);
+            }
+            Node::Alt(a) => {
+                a.left.visit_consts(f);
+                a.right.visit_consts(f);
+            }
+        }
+    }
+
     /// Visits every `ConstNode` mutably (including `Rep` prefixes).
     pub fn visit_consts_mut(&mut self, f: &mut impl FnMut(&mut ConstNode)) {
         match self {

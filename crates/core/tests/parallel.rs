@@ -1,15 +1,20 @@
 //! Integration tests for the parallel membership-query engine and the
 //! session API: thread-safety guarantees, worker-count independence of the
-//! synthesized grammar, golden query-count pins for the paper's running
-//! example, incremental `add_seeds` equivalence, cancellation, and cache
-//! snapshot round-trips.
+//! synthesized grammar (including under heavily skewed oracle latencies,
+//! which exercise the work-stealing dispatch), golden query-count pins for
+//! the paper's running example, incremental `add_seeds` equivalence,
+//! cancellation, cache snapshot round-trips, and the pooled process
+//! oracle's wire protocol and crash recovery (against an independently
+//! implemented worker compiled on the fly with `rustc`).
 
 use glade_core::testing::xml_like;
 use glade_core::{
-    CachingOracle, CancelToken, FnOracle, GladeBuilder, Oracle, ProcessOracle, SynthesisStats,
+    CachingOracle, CancelToken, EventLog, FnOracle, GladeBuilder, Oracle, PooledProcessOracle,
+    ProcessOracle, SynthEvent, SynthesisStats,
 };
 use glade_grammar::grammar_to_text;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Golden distinct-query count for the single seed `<a>hi</a>`.
 const GOLDEN_UNIQUE: usize = 1324;
@@ -150,6 +155,247 @@ fn incremental_add_seeds_matches_fresh_multiseed_run() {
         assert_eq!(second.stats.star_count, fresh.stats.star_count);
         assert_eq!(second.stats.merges_accepted, fresh.stats.merges_accepted);
     }
+}
+
+#[test]
+fn skewed_latency_does_not_change_grammar_or_query_counts() {
+    // Work-stealing dispatch exists for heterogeneous query latencies: one
+    // pathological input must not idle the rest of the pool, and — more
+    // importantly for correctness — scheduling must never leak into the
+    // result. Per-query delay here varies 100× (2 µs to 200 µs, keyed off
+    // a hash of the input so it is stable across runs and worker counts);
+    // grammar bytes and the distinct-query count must be invariant across
+    // 1/2/4/8 workers.
+    fn skewed_delay_us(input: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in input {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+        2 + h % 199 // 2..=200 µs: a 100× spread
+    }
+    let oracle = FnOracle::new(|i: &[u8]| {
+        std::thread::sleep(std::time::Duration::from_micros(skewed_delay_us(i)));
+        xml_like(i)
+    });
+    let mut reference: Option<(String, usize, usize)> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let result = GladeBuilder::new()
+            .worker_threads(workers)
+            .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+            .expect("valid seed");
+        let row = (
+            grammar_to_text(&result.grammar),
+            result.stats.unique_queries,
+            result.stats.total_queries,
+        );
+        match &reference {
+            None => {
+                assert_eq!(row.1, GOLDEN_UNIQUE);
+                assert_eq!(row.2, GOLDEN_TOTAL);
+                reference = Some(row);
+            }
+            Some(expected) => {
+                assert_eq!(&row, expected, "skewed-latency drift at {workers} workers");
+            }
+        }
+    }
+}
+
+/// Source of a protocol worker implemented *independently* of
+/// `glade_core::serve_oracle_worker` — compiling and driving it is a wire-
+/// format compatibility test, not a round-trip through our own helper.
+/// Language: nonempty strings of `x`. `--crash-after N` makes the worker
+/// exit abruptly after answering N queries; the input `CRASH!` makes it
+/// exit *without* answering (a poison input that defeats the retry).
+const TEST_WORKER_SOURCE: &str = r#"
+use std::io::{Read, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let crash_after: Option<usize> = args
+        .iter()
+        .position(|a| a == "--crash-after")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    let mut buf = Vec::new();
+    let mut answered = 0usize;
+    loop {
+        let mut len = [0u8; 4];
+        if input.read_exact(&mut len).is_err() {
+            return;
+        }
+        let n = u32::from_le_bytes(len) as usize;
+        buf.clear();
+        buf.resize(n, 0);
+        if input.read_exact(&mut buf).is_err() {
+            return;
+        }
+        if buf == b"CRASH!" {
+            std::process::exit(3);
+        }
+        let verdict = !buf.is_empty() && buf.iter().all(|&b| b == b'x');
+        if output.write_all(&[u8::from(verdict)]).is_err() {
+            return;
+        }
+        let _ = output.flush();
+        answered += 1;
+        if crash_after == Some(answered) {
+            std::process::exit(42);
+        }
+    }
+}
+"#;
+
+/// Compiles the test worker once per test process. Returns `None` (and the
+/// dependent tests skip) when no `rustc` is available on PATH.
+fn test_worker_bin() -> Option<&'static str> {
+    static BIN: OnceLock<Option<String>> = OnceLock::new();
+    BIN.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("glade-test-worker-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).ok()?;
+        let src = dir.join("worker.rs");
+        let bin = dir.join(if cfg!(windows) { "worker.exe" } else { "worker" });
+        std::fs::write(&src, TEST_WORKER_SOURCE).ok()?;
+        let status = std::process::Command::new("rustc")
+            .arg("--edition=2021")
+            .arg("-O")
+            .arg(&src)
+            .arg("-o")
+            .arg(&bin)
+            .status()
+            .ok()?;
+        if !status.success() {
+            return None;
+        }
+        Some(bin.to_str()?.to_owned())
+    })
+    .as_deref()
+}
+
+#[test]
+fn pooled_oracle_protocol_round_trip() {
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let pool = PooledProcessOracle::new(bin).pool_size(3);
+    // Single-threaded sanity, including the empty input (a zero-length
+    // frame) and binary bytes.
+    assert!(pool.accepts(b"x"));
+    assert!(pool.accepts(b"xxxx"));
+    assert!(!pool.accepts(b""));
+    assert!(!pool.accepts(b"xyx"));
+    assert!(!pool.accepts(b"\x00\xff"));
+    // Concurrent queries share the pool without crosstalk.
+    std::thread::scope(|s| {
+        for t in 0..6 {
+            let pool = &pool;
+            s.spawn(move || {
+                for i in 0..25usize {
+                    let input = vec![b'x'; (t + i) % 7];
+                    assert_eq!(pool.accepts(&input), !input.is_empty(), "thread {t} iter {i}");
+                }
+            });
+        }
+    });
+    assert_eq!(pool.failure_count(), 0);
+    assert_eq!(pool.respawn_count(), 0, "healthy workers are never respawned");
+}
+
+#[test]
+fn pooled_oracle_recovers_from_worker_crashes() {
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    // The worker dies after every 3 answers; with a single slot the pool
+    // must keep reaping, respawning, and retrying without ever returning a
+    // wrong verdict or counting a failure.
+    let pool = PooledProcessOracle::new(bin).arg("--crash-after").arg("3").pool_size(1);
+    for i in 0..20usize {
+        let input = vec![b'x'; i % 5];
+        assert_eq!(pool.accepts(&input), !input.is_empty(), "iter {i}");
+    }
+    assert!(pool.respawn_count() >= 5, "respawns: {}", pool.respawn_count());
+    assert_eq!(pool.failure_count(), 0, "every crash was recovered");
+}
+
+#[test]
+fn pooled_oracle_poison_input_degrades_and_recovers() {
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let pool = PooledProcessOracle::new(bin).pool_size(1);
+    assert!(pool.accepts(b"xx"));
+    // The poison input kills the worker *and* its respawned replacement
+    // before any answer: the query degrades to false and is counted.
+    assert!(!pool.accepts(b"CRASH!"));
+    assert_eq!(pool.failure_count(), 1);
+    assert!(pool.respawn_count() >= 1);
+    // The pool is still serviceable afterwards.
+    assert!(pool.accepts(b"xxx"));
+    assert!(!pool.accepts(b"y"));
+    assert_eq!(pool.failure_count(), 1, "healthy queries add no failures");
+}
+
+#[test]
+fn oracle_execution_failures_are_counted_and_surfaced() {
+    // An oracle that cannot execute some fraction of its queries: the run
+    // completes (fail closed, seed preserved) but reports the failures in
+    // the stats and as OracleFailures events — the satellite fix for
+    // ProcessOracle's old silent `false` on spawn errors.
+    struct FailingOracle {
+        failures: AtomicUsize,
+    }
+    impl Oracle for FailingOracle {
+        fn accepts(&self, input: &[u8]) -> bool {
+            self.accepts_checked(input).unwrap_or(false)
+        }
+        fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
+            if input.contains(&b'~') {
+                // Simulated execution failure: no verdict obtainable.
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Some(xml_like(input))
+        }
+        fn failure_count(&self) -> usize {
+            self.failures.load(Ordering::Relaxed)
+        }
+    }
+    let oracle = FailingOracle { failures: AtomicUsize::new(0) };
+    let log = Arc::new(EventLog::new());
+    let mut session = GladeBuilder::new().observer(log.clone()).session(&oracle);
+    let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
+    assert!(result.stats.oracle_failures > 0, "chargen probes contain '~'");
+    assert_eq!(result.stats.oracle_failures, oracle.failure_count());
+    assert!(glade_grammar::Earley::new(&result.grammar).accepts(b"<a>hi</a>"));
+    // Degraded answers must never be cached: a snapshot of this session
+    // would otherwise poison every warm-started run with false rejects.
+    assert_eq!(
+        result.stats.unique_queries + result.stats.oracle_failures,
+        GOLDEN_UNIQUE,
+        "failed executions leaked into the cache"
+    );
+    let persisted = glade_core::cache_from_text(&session.export_cache()).expect("snapshot parses");
+    assert!(
+        persisted.iter().all(|(query, _)| !query.contains(&b'~')),
+        "a failed '~' query was persisted into the snapshot"
+    );
+    let reported: usize = log
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            SynthEvent::OracleFailures { new_failures, .. } => Some(*new_failures),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(reported, result.stats.oracle_failures, "events account for every failure");
 }
 
 #[test]

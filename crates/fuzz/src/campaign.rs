@@ -75,9 +75,14 @@ impl CampaignResult {
 /// membership-query snapshot (if present and well-formed) and refreshes it
 /// after the run, so repeated campaigns against the same target stop
 /// re-paying oracle calls; a second run typically reports
-/// `stats.new_unique_queries == 0`. Snapshot I/O is best-effort: a
-/// missing, stale, or unwritable snapshot only costs the warm start, never
-/// the campaign. Configure budgets/observers/cancellation on `builder`.
+/// `stats.new_unique_queries == 0`. Campaign snapshots are fingerprinted
+/// with `target:<name>` (verdicts are facts about one target — a snapshot
+/// recorded for a *different* target is refused rather than silently
+/// replayed, overriding any fingerprint set on `builder`). Snapshot I/O is
+/// best-effort: a missing, stale, mismatched, or unwritable snapshot only
+/// costs the warm start, never the campaign — the mismatched file is then
+/// overwritten with this target's snapshot after the run. Configure
+/// budgets/observers/cancellation on `builder`.
 ///
 /// # Errors
 ///
@@ -89,7 +94,8 @@ pub fn learn_target_grammar(
     cache_path: Option<&Path>,
 ) -> Result<Synthesis, SynthesisError> {
     let oracle = TargetOracle::new(target);
-    let mut session = builder.session(&oracle);
+    let mut session =
+        builder.oracle_fingerprint(format!("target:{}", target.name())).session(&oracle);
     if let Some(path) = cache_path {
         if path.exists() {
             let _ = session.load_cache(path);
@@ -231,6 +237,31 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         assert_eq!(warm.stats.new_unique_queries, 0, "second campaign re-paid oracle calls");
         assert_eq!(warm.stats.unique_queries, cold.stats.unique_queries);
+    }
+
+    #[test]
+    fn learn_target_grammar_rejects_mismatched_cache() {
+        // A snapshot recorded for one target must not warm-start a
+        // campaign against another: verdicts are facts about one language.
+        let path = std::env::temp_dir()
+            .join(format!("glade-fuzz-campaign-mismatch-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let builder =
+            || GladeBuilder::new().max_queries(2_000).character_generalization(false).phase2(false);
+        learn_target_grammar(&Xml, builder(), Some(&path)).expect("seeds valid");
+        let text = std::fs::read_to_string(&path).expect("snapshot written");
+        assert!(text.starts_with("glade-cache v2\noracle "), "campaign snapshots are tagged");
+
+        let grep = learn_target_grammar(&Grep, builder(), Some(&path)).expect("seeds valid");
+        assert_eq!(
+            grep.stats.unique_queries, grep.stats.new_unique_queries,
+            "the xml-tagged snapshot must not seed the grep session"
+        );
+        // The refreshed snapshot is now grep's.
+        let retagged = std::fs::read_to_string(&path).expect("snapshot rewritten");
+        let _ = std::fs::remove_file(&path);
+        let hex: String = b"target:grep".iter().map(|b| format!("{b:02x}")).collect();
+        assert!(retagged.contains(&format!("oracle {hex}")), "snapshot re-tagged for grep");
     }
 
     #[test]

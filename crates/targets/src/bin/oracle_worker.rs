@@ -1,0 +1,97 @@
+//! `glade-oracle-worker` — a pooled-oracle worker harness for the built-in
+//! evaluation subjects.
+//!
+//! Wraps any built-in instrumented target (`glade targets`) or handwritten
+//! Section 8.2 language in the length-prefixed stdin/stdout verdict
+//! protocol of `glade_core::PooledProcessOracle` (see the protocol spec in
+//! `glade_core::oracle`), so real-process oracle throughput can be
+//! exercised — and benchmarked — without writing a bespoke worker per
+//! target:
+//!
+//! ```text
+//! glade-oracle-worker <NAME>            # serve the protocol until EOF
+//! glade-oracle-worker <NAME> --once     # read all of stdin, exit 0/1
+//! glade-oracle-worker --list            # names this worker can serve
+//! ```
+//!
+//! `--once` makes the same subject drivable by a spawn-per-query
+//! `ProcessOracle` (validity = exit status), which is exactly what the
+//! pooled oracle's fallback path and the pooled-vs-spawn benchmark need.
+//!
+//! `NAME` resolves an instrumented target first (`xml`, `grep`, `sed`, …)
+//! and then a handwritten language (`url-lang`, `lisp-lang`, `toy-xml`, …
+//! — suffixed to avoid clashing with the same-named targets).
+
+use glade_core::{serve_oracle_worker, Oracle};
+use glade_targets::languages::{section82_languages, toy_xml};
+use glade_targets::programs::{all_targets, target_by_name};
+use glade_targets::TargetOracle;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+/// Resolves `name` to a boxed oracle. Languages are suffixed `-lang`
+/// (except `toy-xml`, which has no target twin).
+fn oracle_by_name(name: &str) -> Option<Box<dyn Oracle>> {
+    if let Some(target) = target_by_name(name) {
+        // Leak is fine for a one-shot worker process.
+        let target: &'static dyn glade_targets::Target = Box::leak(target);
+        return Some(Box::new(TargetOracle::new(target)));
+    }
+    let mut languages = section82_languages();
+    languages.push(toy_xml());
+    for language in languages {
+        let lang_name = if language.name() == "toy-xml" {
+            language.name().to_owned()
+        } else {
+            format!("{}-lang", language.name())
+        };
+        if lang_name == name {
+            return Some(Box::new(language.oracle()));
+        }
+    }
+    None
+}
+
+fn known_names() -> Vec<String> {
+    let mut names: Vec<String> = all_targets().iter().map(|t| t.name().to_owned()).collect();
+    names.extend(section82_languages().iter().map(|l| format!("{}-lang", l.name())));
+    names.push("toy-xml".to_owned());
+    names
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--list") {
+        for name in known_names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let (name, once) = match args.as_slice() {
+        [name] => (name.as_str(), false),
+        [name, flag] if flag == "--once" => (name.as_str(), true),
+        _ => {
+            eprintln!("usage: glade-oracle-worker <NAME> [--once] | --list");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(oracle) = oracle_by_name(name) else {
+        eprintln!("glade-oracle-worker: unknown subject `{name}` (try --list)");
+        return ExitCode::FAILURE;
+    };
+    if once {
+        // Spawn-per-query mode: one verdict from the exit status.
+        let mut input = Vec::new();
+        if std::io::stdin().read_to_end(&mut input).is_err() {
+            return ExitCode::FAILURE;
+        }
+        return if oracle.accepts(&input) { ExitCode::SUCCESS } else { ExitCode::from(1) };
+    }
+    match serve_oracle_worker(|input| oracle.accepts(input)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("glade-oracle-worker: protocol error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end tests for the `glade-oracle-worker` harness: the pooled
+//! worker protocol against real child processes, spawn-per-query `--once`
+//! mode, and full-pipeline synthesis over the pool.
+
+use glade_core::{GladeBuilder, Oracle, PooledProcessOracle, ProcessOracle};
+use glade_targets::programs::Xml;
+use glade_targets::TargetOracle;
+
+/// Path of the worker binary, provided by cargo for same-package tests.
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_glade-oracle-worker")
+}
+
+#[test]
+fn pooled_worker_agrees_with_in_process_oracle() {
+    let xml = Xml;
+    let reference = TargetOracle::new(&xml);
+    let pooled = PooledProcessOracle::new(worker_bin()).arg("xml").pool_size(2);
+    let cases: &[&[u8]] = &[
+        b"<a>hi</a>",
+        b"<a><b>x</b></a>",
+        b"<a>hi</a",
+        b"",
+        b"plain text",
+        b"<",
+        b"\x00\xff binary \x01",
+    ];
+    for &input in cases {
+        assert_eq!(
+            pooled.accepts(input),
+            reference.accepts(input),
+            "verdicts diverged for {:?}",
+            String::from_utf8_lossy(input)
+        );
+    }
+    assert_eq!(pooled.failure_count(), 0, "healthy workers never fail");
+}
+
+#[test]
+fn once_mode_supports_spawn_per_query() {
+    let xml = Xml;
+    let reference = TargetOracle::new(&xml);
+    let spawn = ProcessOracle::new(worker_bin()).arg("xml").arg("--once");
+    for input in [&b"<a>hi</a>"[..], b"<a>hi</a", b"", b"nested <a></a> text"] {
+        assert_eq!(spawn.accepts(input), reference.accepts(input));
+    }
+    assert_eq!(spawn.failure_count(), 0);
+}
+
+#[test]
+fn pooled_worker_serves_languages_too() {
+    let pooled = PooledProcessOracle::new(worker_bin()).arg("toy-xml");
+    assert!(pooled.accepts(b"<a>hi</a>"));
+    assert!(pooled.accepts(b""));
+    assert!(!pooled.accepts(b"<a>hi</a"));
+}
+
+#[test]
+fn unknown_subject_exits_nonzero_and_pool_degrades() {
+    // The worker exits immediately on an unknown subject; every pooled
+    // query degrades to a counted failure (no fallback installed).
+    let pooled = PooledProcessOracle::new(worker_bin()).arg("no-such-subject");
+    assert!(!pooled.accepts(b"x"));
+    assert!(pooled.failure_count() >= 1);
+}
+
+#[test]
+fn full_synthesis_over_the_pool_matches_in_process_synthesis() {
+    // The running example driven entirely through child processes: the
+    // grammar and the distinct-query count must be exactly what the
+    // in-process oracle produces.
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let in_process = {
+        let xml = glade_targets::languages::toy_xml();
+        let oracle = xml.oracle();
+        GladeBuilder::new().synthesize(&seeds, &oracle).expect("valid seed")
+    };
+    let pooled_oracle = PooledProcessOracle::new(worker_bin()).arg("toy-xml").pool_size(4);
+    let pooled = GladeBuilder::new()
+        .worker_threads(4)
+        .synthesize(&seeds, &pooled_oracle)
+        .expect("valid seed");
+    assert_eq!(
+        glade_grammar::grammar_to_text(&pooled.grammar),
+        glade_grammar::grammar_to_text(&in_process.grammar),
+        "pooled execution changed the synthesized grammar"
+    );
+    assert_eq!(pooled.stats.unique_queries, in_process.stats.unique_queries);
+    assert_eq!(pooled.stats.oracle_failures, 0);
+}

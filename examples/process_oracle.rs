@@ -1,16 +1,26 @@
-//! Learning an input grammar for an external binary via process spawning.
+//! Learning an input grammar for an external binary via process spawning —
+//! and via the persistent worker-pool protocol.
 //!
 //! GLADE is blackbox: the oracle only needs to run the program and observe
-//! acceptance (Section 2). This example drives the system `grep` binary —
+//! acceptance (Section 2). Part one drives the system `grep` binary —
 //! each membership query spawns `grep -E <candidate> /dev/null` and checks
 //! the exit status (grep exits 2 on a malformed pattern), then synthesizes
-//! a grammar for the accepted pattern syntax from two tiny seeds.
+//! a grammar for the accepted pattern syntax from a tiny seed.
+//!
+//! Part two shows the pooled alternative: this example re-executes itself
+//! as a protocol worker (`glade_core::serve_oracle_worker`) and a
+//! `PooledProcessOracle` poses every membership query of the paper's
+//! running example over pipes to long-lived workers — a real-process
+//! oracle without a process spawn per query (typically well over an order
+//! of magnitude more queries/sec than spawning).
 //!
 //! Run with: `cargo run --release --example process_oracle`
-//! (Requires a Unix-like system with `grep` on PATH; exits gracefully
-//! otherwise.)
+//! (Requires a Unix-like system with `grep` on PATH for part one; each
+//! part skips gracefully when its prerequisites are missing.)
 
-use glade_repro::core::{CachingOracle, GladeBuilder, Oracle};
+use glade_repro::core::{
+    testing::xml_like, CachingOracle, GladeBuilder, Oracle, PooledProcessOracle,
+};
 use glade_repro::grammar::Sampler;
 use rand::SeedableRng;
 use std::process::Command;
@@ -20,8 +30,17 @@ fn grep_available() -> bool {
 }
 
 fn main() {
+    // Self-exec worker mode for part two: serve the running example's
+    // language over the pooled-oracle wire protocol until stdin closes.
+    if std::env::args().nth(1).as_deref() == Some("--oracle-worker") {
+        glade_repro::core::serve_oracle_worker(xml_like).expect("protocol I/O");
+        return;
+    }
+
+    pooled_demo();
+
     if !grep_available() {
-        eprintln!("`grep` is not available on this system; skipping the demo.");
+        eprintln!("`grep` is not available on this system; skipping the spawn demo.");
         return;
     }
 
@@ -82,5 +101,41 @@ fn main() {
             }
         }
         Err(e) => println!("Synthesis failed: {e}"),
+    }
+}
+
+/// Part two: the full running example (Figures 1–3) posed to a pool of
+/// persistent worker processes instead of an in-process closure.
+fn pooled_demo() {
+    let Ok(me) = std::env::current_exe() else {
+        eprintln!("cannot locate the example binary; skipping the pooled demo.");
+        return;
+    };
+    println!("Learning the running example over a pool of 4 persistent workers…");
+    let oracle = PooledProcessOracle::new(me).arg("--oracle-worker").pool_size(4);
+    let start = std::time::Instant::now();
+    match GladeBuilder::new()
+        .worker_threads(4)
+        .oracle_fingerprint(oracle.fingerprint())
+        .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+    {
+        Ok(result) => {
+            let elapsed = start.elapsed();
+            println!(
+                "Done in {:?}: {} distinct real-process queries ({:.0} queries/sec), \
+                 {} worker respawns, {} failures.",
+                elapsed,
+                result.stats.unique_queries,
+                result.stats.unique_queries as f64 / elapsed.as_secs_f64().max(1e-9),
+                oracle.respawn_count(),
+                result.stats.oracle_failures,
+            );
+            println!("Synthesized grammar:");
+            for line in result.grammar.to_string().lines() {
+                println!("    {line}");
+            }
+            println!();
+        }
+        Err(e) => println!("Pooled synthesis failed: {e}\n"),
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! glade synth  --seed FILE...  (--cmd 'PROG ARGS…' | --target NAME)  [-o grammar.txt]
-//!              [--cache FILE] [--stdin|--tempfile] [--max-queries N]
+//!              [--cache FILE] [--stdin|--tempfile|--pool N] [--max-queries N]
 //!              [--no-chargen] [--no-phase2]
 //! glade sample --grammar grammar.txt [--count N] [--max-depth D] [--seed-rng S]
 //! glade check  --grammar grammar.txt [FILE]       # membership test (stdin default)
@@ -12,13 +12,22 @@
 //!
 //! The oracle is either an external command (exit status 0 = valid input,
 //! input delivered on stdin or via a `{}` temp-file placeholder) or one of
-//! the built-in instrumented targets from `glade-targets`. `--cache FILE`
-//! persists the membership-query cache across invocations: repeated synth
-//! runs against the same oracle warm-start from the snapshot and re-pay
-//! only genuinely new oracle calls.
+//! the built-in instrumented targets from `glade-targets`. `--pool N`
+//! switches the external command to pooled execution: N long-lived worker
+//! processes answering queries over the length-prefixed verdict protocol
+//! (see `glade_core::serve_oracle_worker` and the `glade-oracle-worker`
+//! harness) instead of one process spawn per query — the throughput
+//! difference on real targets is an order of magnitude.
+//!
+//! `--cache FILE` persists the membership-query cache across invocations:
+//! repeated synth runs against the same oracle warm-start from the snapshot
+//! and re-pay only genuinely new oracle calls. Snapshots are fingerprinted
+//! with the oracle's identity (command line or target name); loading a
+//! snapshot produced by a *different* oracle is refused rather than
+//! silently replaying stale verdicts.
 
 use glade_repro::core::{
-    CachingOracle, GladeBuilder, GladeConfig, InputMode, Oracle, ProcessOracle,
+    CachingOracle, GladeBuilder, GladeConfig, InputMode, Oracle, PooledProcessOracle, ProcessOracle,
 };
 use glade_repro::fuzz::{Fuzzer, GrammarFuzzer};
 use glade_repro::grammar::{grammar_from_text, grammar_to_text, Earley, Grammar, Sampler};
@@ -67,7 +76,7 @@ glade — grammar synthesis from examples and blackbox membership queries
 
 USAGE:
   glade synth  --seed FILE... (--cmd 'PROG ARGS…' | --target NAME) [-o OUT]
-               [--cache FILE] [--stdin|--tempfile] [--max-queries N]
+               [--cache FILE] [--stdin|--tempfile|--pool N] [--max-queries N]
                [--no-chargen] [--no-phase2]
   glade sample --grammar FILE [--count N] [--max-depth D] [--seed-rng S]
   glade check  --grammar FILE [INPUT-FILE]
@@ -116,6 +125,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let mut out: Option<String> = None;
     let mut cache_path: Option<String> = None;
     let mut input_mode = InputMode::Stdin;
+    let mut pool: Option<usize> = None;
     let mut config = GladeConfig::default();
 
     while let Some(flag) = args.next() {
@@ -127,6 +137,16 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
             "--cache" => cache_path = Some(args.value("--cache")?.to_owned()),
             "--stdin" => input_mode = InputMode::Stdin,
             "--tempfile" => input_mode = InputMode::TempFile,
+            "--pool" => {
+                let n: usize = args
+                    .value("--pool")?
+                    .parse()
+                    .map_err(|_| "--pool needs a worker count".to_owned())?;
+                if n == 0 {
+                    return Err("--pool needs at least one worker".into());
+                }
+                pool = Some(n);
+            }
             "--max-queries" => {
                 config.max_queries = Some(
                     args.value("--max-queries")?
@@ -143,22 +163,48 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
         return Err("at least one --seed FILE is required".into());
     }
 
-    let oracle: Box<dyn Oracle> = match (cmdline, target_name) {
+    // Build the oracle plus its identity fingerprint (used to tag the
+    // persisted cache snapshot and refuse mismatched warm starts).
+    let (oracle, fingerprint): (Box<dyn Oracle>, String) = match (cmdline, target_name) {
         (Some(cmd), None) => {
             let mut parts = cmd.split_whitespace();
             let prog = parts.next().ok_or("--cmd is empty")?;
-            let mut o = ProcessOracle::new(prog).input_mode(input_mode);
-            for a in parts {
-                o = o.arg(a);
+            let cmd_args: Vec<&str> = parts.collect();
+            match pool {
+                Some(n) => {
+                    // Pooled mode: the command must speak the worker
+                    // protocol (wrap predicates with serve_oracle_worker /
+                    // glade-oracle-worker). Input always travels over the
+                    // protocol's stdin frames.
+                    if input_mode == InputMode::TempFile {
+                        return Err("--pool uses the worker protocol; drop --tempfile".into());
+                    }
+                    let mut o = PooledProcessOracle::new(prog).pool_size(n);
+                    for a in &cmd_args {
+                        o = o.arg(*a);
+                    }
+                    let fp = o.fingerprint();
+                    (Box::new(o), fp)
+                }
+                None => {
+                    let mut o = ProcessOracle::new(prog).input_mode(input_mode);
+                    for a in &cmd_args {
+                        o = o.arg(*a);
+                    }
+                    let fp = o.fingerprint();
+                    (Box::new(o), fp)
+                }
             }
-            Box::new(o)
         }
         (None, Some(name)) => {
+            if pool.is_some() {
+                return Err("--pool applies to --cmd oracles (targets run in-process)".into());
+            }
             let target = target_by_name(&name)
                 .ok_or_else(|| format!("unknown target `{name}` (see `glade targets`)"))?;
             // Leak is fine for a one-shot CLI process.
             let target: &'static dyn glade_repro::targets::Target = Box::leak(target);
-            Box::new(TargetOracle::new(target))
+            (Box::new(TargetOracle::new(target)), format!("target:{name}"))
         }
         (Some(_), Some(_)) => return Err("--cmd and --target are mutually exclusive".into()),
         (None, None) => return Err("one of --cmd or --target is required".into()),
@@ -166,7 +212,8 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let oracle = CachingOracle::new(oracle);
 
     let start = std::time::Instant::now();
-    let mut session = GladeBuilder::from_config(config).session(&oracle);
+    let mut session =
+        GladeBuilder::from_config(config).oracle_fingerprint(fingerprint).session(&oracle);
     if let Some(path) = &cache_path {
         if std::path::Path::new(path).exists() {
             let loaded = session.load_cache(path).map_err(|e| format!("{path}: {e}"))?;
@@ -185,6 +232,13 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     );
     if result.stats.budget_exhausted {
         eprintln!("warning: query budget exhausted; the grammar is under-generalized");
+    }
+    if result.stats.oracle_failures > 0 {
+        eprintln!(
+            "warning: {} oracle execution failure(s) — the affected checks answered \
+             `false`, so the grammar may be under-generalized",
+            result.stats.oracle_failures
+        );
     }
     if let Some(path) = &cache_path {
         session.save_cache(path).map_err(|e| format!("{path}: {e}"))?;
