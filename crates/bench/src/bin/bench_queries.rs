@@ -35,17 +35,26 @@
 //!    query `ProcessOracle` versus `PooledProcessOracle` cold (pool spawn
 //!    included) and warm. Asserts pooled execution sustains ≥ 5× the
 //!    spawn-per-query queries/sec.
+//! 6. **`batched_frames`** — the v2 batched wire protocol against v1
+//!    per-query framing, both through the pool's event-driven batch
+//!    dispatcher on small payloads with near-zero verdict compute
+//!    (`--tiny-worker`), so the measurement isolates the per-query
+//!    syscall/scheduling round-trip the batching exists to amortize. The
+//!    v1 side runs against a genuine v1-only self-exec worker
+//!    (`glade_core::serve_oracle_worker_v1`), so version negotiation
+//!    itself is exercised. Asserts batched frames sustain ≥ 1.5× the v1
+//!    per-query queries/sec.
 //!
 //! Usage: `cargo run --release -p glade-bench --bin bench-queries`
 //! (writes `BENCH_queries.json` to the current directory, override with
 //! `GLADE_BENCH_OUT`). Workload sizes are env-tunable for CI smoke runs:
 //! `GLADE_BENCH_SKEW_N`, `GLADE_BENCH_SKEW_SLOW_US`,
 //! `GLADE_BENCH_SKEW_BASE_US`, `GLADE_BENCH_SPAWN_QUERIES`,
-//! `GLADE_BENCH_POOLED_QUERIES`.
+//! `GLADE_BENCH_POOLED_QUERIES`, `GLADE_BENCH_FRAME_QUERIES`.
 
 use glade_core::{
-    serve_oracle_worker, FnOracle, GladeBuilder, Oracle, PooledProcessOracle, ProcessOracle,
-    SynthesisStats,
+    serve_oracle_worker, serve_oracle_worker_v1, FnOracle, GladeBuilder, Oracle,
+    PooledProcessOracle, ProcessOracle, SynthesisStats,
 };
 use glade_eval::sample_seeds;
 use glade_grammar::grammar_to_text;
@@ -177,6 +186,13 @@ fn process_workload(count: usize, offset: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// The `--tiny-worker` predicate: deterministic mixed verdicts at
+/// essentially zero compute, so the `batched_frames` experiment measures
+/// wire-protocol overhead rather than target parsing cost.
+fn tiny_accepts(input: &[u8]) -> bool {
+    input.iter().fold(0u32, |acc, &b| acc.wrapping_mul(31).wrapping_add(u32::from(b))) % 3 != 0
+}
+
 /// Minimal JSON writer (no serde in the dependency set).
 struct Json {
     out: String,
@@ -260,9 +276,28 @@ fn main() {
     // external worker binary to be built or located.
     match std::env::args().nth(1).as_deref() {
         Some("--oracle-worker") => {
-            // Persistent protocol worker for PooledProcessOracle.
+            // Persistent protocol worker for PooledProcessOracle
+            // (negotiates v2 batched frames).
             let oracle = toy_xml().oracle();
             serve_oracle_worker(|input| oracle.accepts(input)).expect("worker protocol");
+            return;
+        }
+        Some("--oracle-worker-v1") => {
+            // v1-pinned worker: never upgrades, so the oracle speaks
+            // legacy one-query-per-round-trip frames against it.
+            let oracle = toy_xml().oracle();
+            serve_oracle_worker_v1(|input| oracle.accepts(input)).expect("worker protocol");
+            return;
+        }
+        Some("--tiny-worker") => {
+            // Near-zero-cost verdicts for the batched_frames experiment:
+            // with the target compute stripped out, what remains is the
+            // wire protocol's own per-query cost.
+            serve_oracle_worker(tiny_accepts).expect("worker protocol");
+            return;
+        }
+        Some("--tiny-worker-v1") => {
+            serve_oracle_worker_v1(tiny_accepts).expect("worker protocol");
             return;
         }
         Some("--oracle-once") => {
@@ -570,6 +605,63 @@ fn main() {
     j.num("pooled_warm_speedup_vs_spawn", pooled_speedup);
     j.int("pool_respawns", pooled_oracle.respawn_count());
     j.int("oracle_failures", pooled_oracle.failure_count());
+    j.close_obj();
+
+    // ---- Experiment 6: v2 batched frames vs. v1 per-query frames. ----
+    // Same event-driven dispatcher, same small-payload workload, two wire
+    // versions: v1 pays a write+read round-trip (and two scheduler hops)
+    // per query, v2 amortizes them over a whole frame. The workers answer
+    // near-zero-cost verdicts (`tiny_accepts`) so the wire overhead is
+    // what is measured; the v1 worker is a genuine v1-only server, so the
+    // measurement includes real version negotiation falling back.
+    let frame_queries = env_usize("GLADE_BENCH_FRAME_QUERIES", 4096);
+    let frame_pool = 4usize;
+    let mut frame_results: Vec<(String, f64)> = Vec::new();
+    for (mode, worker_flag) in
+        [("v1_per_query", "--tiny-worker-v1"), ("v2_batched", "--tiny-worker")]
+    {
+        let oracle = PooledProcessOracle::new(&self_exe).arg(worker_flag).pool_size(frame_pool);
+        // Warm the whole pool (spawns + negotiation) outside the timed
+        // window: enough queries that the dispatcher wants every worker.
+        let warmup = process_workload(frame_pool * 64, 30_000);
+        let warmup_refs: Vec<&[u8]> = warmup.iter().map(Vec::as_slice).collect();
+        let _ = oracle.accepts_batch_checked(&warmup_refs);
+        let workload = process_workload(frame_queries, 40_000);
+        let refs: Vec<&[u8]> = workload.iter().map(Vec::as_slice).collect();
+        let start = Instant::now();
+        let verdicts = oracle.accepts_batch_checked(&refs);
+        let wall = start.elapsed();
+        for (input, verdict) in workload.iter().zip(&verdicts) {
+            assert_eq!(*verdict, Some(tiny_accepts(input)), "batched verdict drifted");
+        }
+        assert_eq!(oracle.failure_count(), 0, "{mode} degraded");
+        let qps = frame_queries as f64 / secs(wall).max(1e-9);
+        eprintln!(
+            "[bench-queries] batched_frames {mode}: {:.0} q/s ({} queries, {:.3}s, {} workers)",
+            qps,
+            frame_queries,
+            secs(wall),
+            frame_pool,
+        );
+        frame_results.push((mode.to_owned(), qps));
+    }
+    let v1_qps = frame_results[0].1;
+    let v2_qps = frame_results[1].1;
+    let frame_speedup = v2_qps / v1_qps.max(1e-9);
+    eprintln!("[bench-queries] batched_frames: v2 is x{frame_speedup:.2} vs v1 per-query frames");
+    assert!(
+        frame_speedup >= 1.5,
+        "v2 batched frames must sustain >= 1.5x v1 per-query framing on small payloads \
+         (v1 {v1_qps:.0} q/s, v2 {v2_qps:.0} q/s)"
+    );
+    j.open_obj(Some("batched_frames"));
+    j.string("target", "self (near-zero-cost verdicts; measures wire overhead)");
+    j.int("pool_workers", frame_pool);
+    j.int("queries", frame_queries);
+    j.num("v1_per_query_queries_per_sec", v1_qps);
+    j.num("v2_batched_queries_per_sec", v2_qps);
+    j.num("v2_speedup_vs_v1", frame_speedup);
+    j.boolean("v2_beats_v1_by_1_5x", frame_speedup >= 1.5);
     j.close_obj();
 
     j.close_obj();

@@ -99,8 +99,11 @@
 //! `RefCell`/`Cell` anywhere on the hot path). For real process targets,
 //! [`PooledProcessOracle`] amortizes the per-query process spawn across a
 //! pool of persistent protocol-speaking workers (see
-//! [`serve_oracle_worker`]). All of this places two obligations on every
-//! [`Oracle`] implementation:
+//! [`serve_oracle_worker`]) — and oracles that multiplex whole batches
+//! natively ([`Oracle::native_batching`], which the pool implements with
+//! an event-driven `poll(2)` dispatcher over batched [`wire`] frames) are
+//! handed entire miss sets at once instead of a query per engine thread.
+//! All of this places two obligations on every [`Oracle`] implementation:
 //!
 //! 1. **`Send + Sync`** — the trait requires it. One oracle value is
 //!    shared by reference across worker threads and queried concurrently.
@@ -137,11 +140,12 @@ mod session;
 mod synth;
 pub mod testing;
 mod tree;
+pub mod wire;
 
 pub use events::{CancelToken, EventLog, SynthEvent, SynthPhase, SynthesisObserver};
 pub use oracle::{
-    serve_oracle_worker, CachingOracle, FnOracle, InputMode, Oracle, PooledProcessOracle,
-    ProcessOracle,
+    serve_oracle_worker, serve_oracle_worker_v1, CachingOracle, FnOracle, InputMode, Oracle,
+    PooledProcessOracle, ProcessOracle,
 };
 pub use persist::{
     cache_from_text, cache_to_text, snapshot_from_text, snapshot_to_text, CacheError, CacheSnapshot,

@@ -22,8 +22,11 @@
 //! Spawning a process per membership query costs milliseconds; the paper's
 //! cost model ("each query to O takes constant time") assumes queries are
 //! cheap. [`PooledProcessOracle`] amortizes the spawn by keeping N
-//! long-lived workers, each speaking a minimal length-prefixed verdict
-//! protocol over stdin/stdout:
+//! long-lived workers speaking a length-prefixed verdict protocol over
+//! stdin/stdout. Two wire versions exist; which one a worker speaks is
+//! settled once, immediately after it spawns (see *Version negotiation*).
+//!
+//! **v1 — single-query frames** (the original protocol):
 //!
 //! ```text
 //! request  (oracle → worker):  u32 little-endian byte length, then the
@@ -31,19 +34,84 @@
 //! response (worker → oracle):  one byte, 0x01 = accept, 0x00 = reject
 //! ```
 //!
-//! Requests are posed strictly one at a time per worker; a clean EOF on the
-//! worker's stdin tells it to exit. Any other deviation — the worker dying,
-//! a short read, a verdict byte other than `0`/`1` — is treated as a worker
-//! crash: the worker is reaped, a replacement is spawned, and the query is
-//! retried once on the fresh worker before the oracle gives up on the
-//! pooled path (falling back to a spawn-per-query [`ProcessOracle`] when
-//! one is configured, and otherwise counting an oracle failure and
-//! answering `false`).
+//! v1 requests are posed strictly one at a time per worker: the oracle
+//! waits for the verdict byte before framing the next query.
+//!
+//! **v2 — batched frames**: one request frame carries N queries, one
+//! response carries N verdict bytes, so a batch pays two pipe round-trips
+//! instead of 2·N:
+//!
+//! ```text
+//! request  (oracle → worker):  u32 LE query count N (1 ≤ N ≤ 2^16), then
+//!                              N × { u32 LE byte length, input bytes }
+//!                              with ≤ 2^30 total payload bytes
+//! response (worker → oracle):  N bytes, one verdict (0x00/0x01) per query
+//!                              in frame order
+//! ```
+//!
+//! The frame codec lives in [`wire`](crate::wire) (encode/decode are pure
+//! functions, property-tested in isolation). A frame whose count or length
+//! prefixes exceed the caps is malformed; conforming workers treat it as a
+//! protocol error and exit nonzero, and the oracle treats the resulting
+//! crash like any other (see *Failure semantics*). The oracle may keep
+//! several v2 frames in flight per worker (a bounded window); responses
+//! arrive strictly in request order.
+//!
+//! **Version negotiation.** The oracle opens every freshly spawned worker
+//! with a v1 frame whose payload is the fixed probe
+//! [`wire::WIRE_V2_PROBE`](crate::wire::WIRE_V2_PROBE):
+//!
+//! * a **v2-capable** worker recognizes the payload and answers the single
+//!   byte [`wire::WIRE_V2_ACK`](crate::wire::WIRE_V2_ACK) (`0x02`); the
+//!   connection speaks v2 batch frames from then on;
+//! * a **v1** worker cannot tell the probe from a real query and answers
+//!   an ordinary verdict byte (`0x00`/`0x01`), which the oracle discards;
+//!   the connection stays on v1 single-query frames.
+//!
+//! Any other response byte is a protocol error. Because the oracle only
+//! ever probes immediately after a worker spawns, workers treat the probe
+//! payload as special on the **first frame of a connection only**; a
+//! mid-stream membership query that happens to equal it is answered like
+//! any other input. The probe does reach a v1 worker's target once per
+//! worker spawn (its verdict is discarded, never cached); targets for
+//! which even that is unacceptable can pin
+//! [`PooledProcessOracle::max_wire_version`]`(1)`, which skips the probe
+//! and reproduces the v1-only oracle framing byte for byte.
+//!
+//! **Batched dispatch.** On Unix hosts the pool implements
+//! [`Oracle::accepts_batch_checked`] with an event-driven dispatcher: the
+//! calling thread puts every checked-out worker's pipes into nonblocking
+//! mode and multiplexes them with `poll(2)` readiness, keeping each worker
+//! saturated with a bounded in-flight window (whole batch frames for v2
+//! workers, strict request–response for v1 workers) — no helper threads,
+//! no async runtime, no engine thread parked per in-flight query. The
+//! engine routes whole miss sets here (see
+//! [`Oracle::native_batching`]); single queries still use the blocking
+//! per-query path.
+//!
+//! **Failure semantics.** A clean EOF on the worker's stdin (between
+//! frames) tells it to exit. Any other deviation — the worker dying, a
+//! short read, a malformed frame, a verdict byte other than the legal
+//! responses — is treated as a worker crash: the worker is reaped, a
+//! replacement is spawned, and the affected queries are retried on fresh
+//! workers (in-flight batch queries are requeued once; a query whose
+//! retry also crashes is replayed through the blocking per-query path,
+//! which performs one final fresh-worker retry of its own). Only when all
+//! of that fails does the oracle give up on the pooled path — falling
+//! back to a spawn-per-query [`ProcessOracle`] when one is configured,
+//! and otherwise counting an oracle failure and answering `false`. A
+//! worker that answers a malformed or oversized frame with garbage can
+//! therefore never produce a silent wrong verdict: illegal bytes are
+//! crashes, and degraded queries are always visible in
+//! [`Oracle::failure_count`].
 //!
 //! Any `fn(&[u8]) -> bool` target becomes a protocol-speaking worker with
 //! [`serve_oracle_worker`] — call it from a binary's `main` (the
 //! `glade-oracle-worker` binary in `glade-targets` does exactly this for
-//! the built-in evaluation targets).
+//! the built-in evaluation targets). `serve_oracle_worker` answers the
+//! negotiation probe, so its workers speak v2 automatically;
+//! [`serve_oracle_worker_v1`] pins the legacy single-query protocol for
+//! compatibility testing.
 //!
 //! # Oracle execution failures
 //!
@@ -69,11 +137,92 @@
 //! the full contract (determinism + thread safety).
 
 use crate::cache::ShardedCache;
+use crate::wire;
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+use std::collections::VecDeque;
 use std::io::{BufReader, Read as _, Write as _};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Default queries per v2 batch frame (see
+/// [`PooledProcessOracle::frame_batch`]).
+const DEFAULT_FRAME_BATCH: usize = 32;
+
+/// Raw `poll(2)`/`fcntl(2)` bindings for the batched dispatcher. The
+/// workspace builds offline (no `libc` crate), so the handful of constants
+/// and prototypes the dispatcher needs are declared here; the symbols come
+/// from the C library every Unix Rust binary already links.
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+mod sys {
+    use std::os::raw::{c_int, c_short};
+    use std::os::unix::io::RawFd;
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    // POLLERR (0x008) and POLLHUP (0x010) are reported whether or not
+    // they are requested; the dispatcher needs no constants for them — a
+    // ready-looking fd whose read/write then fails takes the crash path.
+    pub const POLLNVAL: c_short = 0x020;
+
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(target_os = "macos")]
+    const O_NONBLOCK: c_int = 0x0004;
+
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::os::raw::c_ulong;
+    #[cfg(target_os = "macos")]
+    type NfdsT = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    }
+
+    /// Blocks until at least one registered fd is ready (EINTR retried).
+    pub fn poll_ready(fds: &mut [PollFd]) -> std::io::Result<usize> {
+        loop {
+            // SAFETY: `fds` is a valid, exclusively borrowed slice of
+            // `#[repr(C)]` pollfd records for the duration of the call.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, -1) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    /// Switches `O_NONBLOCK` on or off for `fd`.
+    pub fn set_nonblocking(fd: RawFd, on: bool) -> std::io::Result<()> {
+        // SAFETY: fcntl with F_GETFL/F_SETFL on an owned, open fd.
+        unsafe {
+            let flags = fcntl(fd, F_GETFL);
+            if flags < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            let wanted = if on { flags | O_NONBLOCK } else { flags & !O_NONBLOCK };
+            if wanted != flags && fcntl(fd, F_SETFL, wanted) < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Blackbox membership access to a target language.
 ///
@@ -106,6 +255,33 @@ pub trait Oracle: Send + Sync {
         Some(self.accepts(input))
     }
 
+    /// Batched form of [`Oracle::accepts_checked`]: one verdict (or
+    /// execution failure) per input, in input order.
+    ///
+    /// The default implementation simply loops over `accepts_checked`, so
+    /// ordinary oracles need not override it. Oracles that can answer a
+    /// whole batch more efficiently than query-at-a-time — the pooled
+    /// process oracle multiplexes all its worker pipes from the calling
+    /// thread — override this *and* [`Oracle::native_batching`], which is
+    /// how the query engine decides to hand them whole miss sets instead
+    /// of fanning single queries out across engine threads.
+    ///
+    /// Implementations must uphold the determinism contract per input and
+    /// must return exactly `inputs.len()` answers.
+    fn accepts_batch_checked(&self, inputs: &[&[u8]]) -> Vec<Option<bool>> {
+        inputs.iter().map(|i| self.accepts_checked(i)).collect()
+    }
+
+    /// Whether [`Oracle::accepts_batch_checked`] has a native batched
+    /// implementation that the query engine should route whole miss sets
+    /// to (from one calling thread), instead of dispatching queries
+    /// one-at-a-time across its own worker threads.
+    ///
+    /// Defaults to `false`. Wrappers forward the inner oracle's answer.
+    fn native_batching(&self) -> bool {
+        false
+    }
+
     /// Number of queries (so far, across the oracle's lifetime) that failed
     /// to *execute* — the verdict could not be obtained and `accepts`
     /// answered a degraded `false`. In-process oracles never fail; process
@@ -117,47 +293,35 @@ pub trait Oracle: Send + Sync {
     }
 }
 
-impl<O: Oracle + ?Sized> Oracle for &O {
-    fn accepts(&self, input: &[u8]) -> bool {
-        (**self).accepts(input)
-    }
+macro_rules! forward_oracle_impl {
+    ($ty:ty) => {
+        impl<O: Oracle + ?Sized> Oracle for $ty {
+            fn accepts(&self, input: &[u8]) -> bool {
+                (**self).accepts(input)
+            }
 
-    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
-        (**self).accepts_checked(input)
-    }
+            fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
+                (**self).accepts_checked(input)
+            }
 
-    fn failure_count(&self) -> usize {
-        (**self).failure_count()
-    }
+            fn accepts_batch_checked(&self, inputs: &[&[u8]]) -> Vec<Option<bool>> {
+                (**self).accepts_batch_checked(inputs)
+            }
+
+            fn native_batching(&self) -> bool {
+                (**self).native_batching()
+            }
+
+            fn failure_count(&self) -> usize {
+                (**self).failure_count()
+            }
+        }
+    };
 }
 
-impl<O: Oracle + ?Sized> Oracle for Box<O> {
-    fn accepts(&self, input: &[u8]) -> bool {
-        (**self).accepts(input)
-    }
-
-    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
-        (**self).accepts_checked(input)
-    }
-
-    fn failure_count(&self) -> usize {
-        (**self).failure_count()
-    }
-}
-
-impl<O: Oracle + ?Sized> Oracle for Arc<O> {
-    fn accepts(&self, input: &[u8]) -> bool {
-        (**self).accepts(input)
-    }
-
-    fn accepts_checked(&self, input: &[u8]) -> Option<bool> {
-        (**self).accepts_checked(input)
-    }
-
-    fn failure_count(&self) -> usize {
-        (**self).failure_count()
-    }
-}
+forward_oracle_impl!(&O);
+forward_oracle_impl!(Box<O>);
+forward_oracle_impl!(Arc<O>);
 
 /// An oracle backed by a predicate function.
 ///
@@ -260,6 +424,39 @@ impl<O: Oracle> Oracle for CachingOracle<O> {
         let v = self.inner.accepts_checked(input)?;
         self.cache.insert(input.to_vec(), v);
         Some(v)
+    }
+
+    fn accepts_batch_checked(&self, inputs: &[&[u8]]) -> Vec<Option<bool>> {
+        // Answer what the cache can, forward the misses to the inner
+        // oracle as one batch (preserving its native batching, if any),
+        // and memoize only real verdicts.
+        self.total.fetch_add(inputs.len(), Ordering::Relaxed);
+        let mut results: Vec<Option<bool>> = Vec::with_capacity(inputs.len());
+        let mut miss_positions = Vec::new();
+        for (i, input) in inputs.iter().enumerate() {
+            let hit = self.cache.get(input);
+            if hit.is_none() {
+                miss_positions.push(i);
+            }
+            results.push(hit);
+        }
+        if miss_positions.is_empty() {
+            return results;
+        }
+        let misses: Vec<&[u8]> = miss_positions.iter().map(|&i| inputs[i]).collect();
+        let verdicts = self.inner.accepts_batch_checked(&misses);
+        debug_assert_eq!(verdicts.len(), misses.len());
+        for (&i, verdict) in miss_positions.iter().zip(verdicts) {
+            if let Some(v) = verdict {
+                self.cache.insert(inputs[i].to_vec(), v);
+            }
+            results[i] = verdict;
+        }
+        results
+    }
+
+    fn native_batching(&self) -> bool {
+        self.inner.native_batching()
     }
 
     fn failure_count(&self) -> usize {
@@ -504,10 +701,11 @@ impl Oracle for ProcessOracle {
 ///
 /// This is the reusable wrapper that turns any `fn(&[u8]) -> bool` target
 /// into a [`PooledProcessOracle`] worker: call it from a binary's `main`
-/// and point the oracle at that binary. The loop reads length-prefixed
-/// requests (see the module docs for the wire format), answers one verdict
-/// byte per request, and returns `Ok(())` on a clean EOF — which is how the
-/// pool shuts workers down.
+/// and point the oracle at that binary. The loop starts in v1 single-query
+/// mode, upgrades to v2 batched frames when the oracle's negotiation probe
+/// arrives (see the module docs for both wire formats), answers verdicts
+/// accordingly, and returns `Ok(())` on a clean EOF between frames — which
+/// is how the pool shuts workers down.
 ///
 /// Anything the target prints to stdout would corrupt the protocol, so
 /// route target diagnostics to stderr.
@@ -515,30 +713,105 @@ impl Oracle for ProcessOracle {
 /// # Errors
 ///
 /// Returns the first I/O error encountered on the protocol streams (a
-/// truncated request, a closed pipe mid-response). Binaries typically exit
-/// nonzero on `Err`, which the pool observes as a worker crash.
+/// truncated request, a malformed batch frame, a closed pipe
+/// mid-response). Binaries typically exit nonzero on `Err`, which the pool
+/// observes as a worker crash — this is the fail-closed half of the
+/// protocol's failure semantics.
 pub fn serve_oracle_worker<F: FnMut(&[u8]) -> bool>(mut f: F) -> std::io::Result<()> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    let mut input = stdin.lock();
+    let mut input = BufReader::new(stdin.lock());
+    let mut output = stdout.lock();
+    let mut buf = Vec::new();
+    // v1 loop, watching for the upgrade probe. The oracle only ever
+    // probes immediately after spawning a worker, so the probe payload is
+    // special on the FIRST frame only — a later membership query that
+    // happens to equal it is answered like any other input (a v1-capped
+    // oracle mid-stream must never trip an accidental upgrade).
+    let mut first_frame = true;
+    loop {
+        let Some(len) = read_frame_prefix(&mut input)? else { return Ok(()) };
+        buf.clear();
+        buf.resize(len as usize, 0);
+        input.read_exact(&mut buf)?;
+        if first_frame && buf == wire::WIRE_V2_PROBE {
+            output.write_all(&[wire::WIRE_V2_ACK])?;
+            output.flush()?;
+            break;
+        }
+        first_frame = false;
+        let verdict = f(&buf);
+        output.write_all(&[u8::from(verdict)])?;
+        output.flush()?;
+    }
+    // v2 loop: one batch frame in, one run of verdict bytes out. Verdicts
+    // are buffered and written once per frame — that is the whole point of
+    // batching (two syscalls per frame, not per query).
+    let mut verdicts = Vec::new();
+    loop {
+        let Some(count) = read_frame_prefix(&mut input)? else { return Ok(()) };
+        let queries = wire::decode_batch_frame_after_count(count, &mut input)?;
+        verdicts.clear();
+        verdicts.extend(queries.iter().map(|q| u8::from(f(q))));
+        output.write_all(&verdicts)?;
+        output.flush()?;
+    }
+}
+
+/// Like [`serve_oracle_worker`], but pinned to the legacy v1 single-query
+/// protocol: the worker never answers the negotiation probe (it is treated
+/// as an ordinary query) and never speaks batched frames.
+///
+/// Exists for wire-compatibility pinning — the test suites and benchmarks
+/// use it to prove that a v2 oracle degrades cleanly to v1 framing against
+/// an old worker — and for targets whose input language could collide with
+/// the probe payload.
+///
+/// # Errors
+///
+/// As [`serve_oracle_worker`].
+pub fn serve_oracle_worker_v1<F: FnMut(&[u8]) -> bool>(mut f: F) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = BufReader::new(stdin.lock());
     let mut output = stdout.lock();
     let mut buf = Vec::new();
     loop {
-        let mut len_bytes = [0u8; 4];
-        match input.read_exact(&mut len_bytes) {
-            Ok(()) => {}
-            // Clean shutdown: the oracle closed our stdin between requests.
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
-        }
-        let len = u32::from_le_bytes(len_bytes) as usize;
+        let Some(len) = read_frame_prefix(&mut input)? else { return Ok(()) };
         buf.clear();
-        buf.resize(len, 0);
+        buf.resize(len as usize, 0);
         input.read_exact(&mut buf)?;
         let verdict = f(&buf);
         output.write_all(&[u8::from(verdict)])?;
         output.flush()?;
     }
+}
+
+/// Reads a frame's leading `u32` (v1 byte length / v2 query count),
+/// mapping a clean EOF *before* the prefix to `None` (the protocol's
+/// shutdown signal) and EOF *inside* it to an error.
+fn read_frame_prefix(input: &mut impl std::io::Read) -> std::io::Result<Option<u32>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        let n = match input.read(&mut prefix[got..]) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return if got == 0 {
+                Ok(None)
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream truncated inside a frame prefix",
+                ))
+            };
+        }
+        got += n;
+    }
+    Ok(Some(u32::from_le_bytes(prefix)))
 }
 
 /// One long-lived protocol-speaking child process.
@@ -549,17 +822,50 @@ struct PooledWorker {
     /// which is the protocol's clean-shutdown signal.
     stdin: Option<ChildStdin>,
     stdout: BufReader<ChildStdout>,
+    /// Wire version settled by negotiation at spawn time: 1 (single-query
+    /// frames) or 2 (batched frames).
+    version: u8,
 }
 
 impl PooledWorker {
-    /// Poses one query over the worker's pipes. Any I/O deviation is an
-    /// error — the caller treats it as a worker crash.
-    fn query(&mut self, input: &[u8]) -> std::io::Result<bool> {
-        let len = u32::try_from(input.len())
-            .map_err(|_| std::io::Error::other("query exceeds the protocol's u32 length"))?;
+    /// Settles the wire version right after spawn: pose the v1-framed
+    /// [`wire::WIRE_V2_PROBE`] and classify the one response byte. Any I/O
+    /// failure or illegal byte is an error — the caller treats the worker
+    /// as dead on arrival.
+    fn negotiate(&mut self) -> std::io::Result<()> {
+        let mut frame = Vec::with_capacity(4 + wire::WIRE_V2_PROBE.len());
+        wire::encode_v1_frame(wire::WIRE_V2_PROBE, &mut frame)?;
         let stdin = self.stdin.as_mut().expect("stdin open until drop");
-        stdin.write_all(&len.to_le_bytes())?;
-        stdin.write_all(input)?;
+        stdin.write_all(&frame)?;
+        stdin.flush()?;
+        let mut response = [0u8; 1];
+        self.stdout.read_exact(&mut response)?;
+        self.version = match response[0] {
+            wire::WIRE_V2_ACK => 2,
+            // A v1 worker answered the probe as a query; the verdict is
+            // discarded (never cached — it is not a verdict about any
+            // input the engine asked about).
+            0 | 1 => 1,
+            b => {
+                return Err(std::io::Error::other(format!(
+                    "bad negotiation response byte {b:#04x}"
+                )))
+            }
+        };
+        Ok(())
+    }
+
+    /// Poses one query over the worker's pipes (blocking, whichever wire
+    /// version the worker speaks). Any I/O deviation is an error — the
+    /// caller treats it as a worker crash.
+    fn query(&mut self, input: &[u8]) -> std::io::Result<bool> {
+        let mut frame = Vec::with_capacity(8 + input.len());
+        match self.version {
+            2 => wire::encode_batch_frame(&[input], &mut frame)?,
+            _ => wire::encode_v1_frame(input, &mut frame)?,
+        }
+        let stdin = self.stdin.as_mut().expect("stdin open until drop");
+        stdin.write_all(&frame)?;
         stdin.flush()?;
         let mut verdict = [0u8; 1];
         self.stdout.read_exact(&mut verdict)?;
@@ -603,6 +909,11 @@ struct PoolInner {
     program: PathBuf,
     args: Vec<String>,
     size: usize,
+    /// Queries per v2 batch frame in the batched dispatcher.
+    frame_batch: usize,
+    /// Highest wire version to negotiate: 1 pins the legacy protocol
+    /// (no probe is ever sent), 2 (the default) probes for batched frames.
+    max_wire: u8,
     state: Mutex<PoolState>,
     available: Condvar,
     /// Queries for which no real verdict could be obtained (degraded
@@ -658,6 +969,8 @@ impl PooledProcessOracle {
                 program: program.into(),
                 args: Vec::new(),
                 size: 1,
+                frame_batch: DEFAULT_FRAME_BATCH,
+                max_wire: 2,
                 state: Mutex::new(PoolState::default()),
                 available: Condvar::new(),
                 failures: AtomicUsize::new(0),
@@ -683,6 +996,38 @@ impl PooledProcessOracle {
     pub fn pool_size(mut self, n: usize) -> Self {
         assert!(n > 0, "pool_size requires at least one worker");
         self.inner_mut().size = n;
+        self
+    }
+
+    /// Sets the number of queries packed into one v2 batch frame by the
+    /// batched dispatcher (must be in `1..=`[`wire::MAX_FRAME_QUERIES`]).
+    /// Larger frames amortize more syscall round-trips but delay the first
+    /// verdicts of a batch; the default of 32 is a good trade for
+    /// millisecond-or-faster targets. Irrelevant for v1 workers, which are
+    /// always posed one query at a time. Affects throughput only, never
+    /// verdicts — grammar bytes and query counts are invariant across
+    /// frame batch sizes.
+    pub fn frame_batch(mut self, n: usize) -> Self {
+        assert!(
+            (1..=wire::MAX_FRAME_QUERIES).contains(&n),
+            "frame_batch must be in 1..={}",
+            wire::MAX_FRAME_QUERIES
+        );
+        self.inner_mut().frame_batch = n;
+        self
+    }
+
+    /// Caps the wire version negotiated with workers (must be 1 or 2).
+    ///
+    /// The default (2) probes every fresh worker for batched-frame
+    /// support; `max_wire_version(1)` skips the probe entirely and speaks
+    /// the legacy single-query protocol, byte-for-byte — for workers whose
+    /// target must never see the probe payload, and for pinning v1
+    /// behavior in compatibility tests. Affects throughput only, never
+    /// verdicts.
+    pub fn max_wire_version(mut self, version: u8) -> Self {
+        assert!(version == 1 || version == 2, "wire versions are 1 and 2");
+        self.inner_mut().max_wire = version;
         self
     }
 
@@ -718,7 +1063,14 @@ impl PooledProcessOracle {
             .spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-        Ok(PooledWorker { child, stdin: Some(stdin), stdout })
+        let mut worker = PooledWorker { child, stdin: Some(stdin), stdout, version: 1 };
+        if self.inner.max_wire >= 2 {
+            // A worker that cannot even complete negotiation is dead on
+            // arrival: report it as a spawn failure so the callers'
+            // degradation paths (fallback oracle, failure counting) apply.
+            worker.negotiate()?;
+        }
+        Ok(worker)
     }
 
     /// Checks a worker out of the pool, spawning one lazily if the pool is
@@ -743,6 +1095,31 @@ impl PooledProcessOracle {
             } else {
                 state = self.inner.available.wait(state).expect("pool poisoned");
             }
+        }
+    }
+
+    /// Like [`PooledProcessOracle::checkout`], but never blocks: returns
+    /// `None` when every worker is busy (or a needed spawn fails). The
+    /// batched dispatcher uses this to widen its worker set
+    /// opportunistically without stalling on pools shared with other
+    /// callers.
+    fn try_checkout(&self) -> Option<PooledWorker> {
+        let mut state = self.inner.state.lock().expect("pool poisoned");
+        if let Some(w) = state.idle.pop() {
+            return Some(w);
+        }
+        if state.live < self.inner.size {
+            state.live += 1;
+            drop(state);
+            match self.spawn_worker() {
+                Ok(w) => Some(w),
+                Err(_) => {
+                    self.release_slot();
+                    None
+                }
+            }
+        } else {
+            None
         }
     }
 
@@ -776,6 +1153,373 @@ impl PooledProcessOracle {
     }
 }
 
+/// A checked-out worker inside the batched dispatcher, with its pipes in
+/// nonblocking mode.
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+struct DispatchSlot {
+    worker: PooledWorker,
+    /// Encoded-but-not-fully-written frame bytes.
+    outbuf: Vec<u8>,
+    written: usize,
+    /// Query indices whose verdict bytes are still owed, in frame order
+    /// (this includes queries whose frame is still in `outbuf`).
+    inflight: VecDeque<usize>,
+    /// Set when the worker deviates from the protocol; the crash pass
+    /// requeues its in-flight queries and replaces it.
+    dead: bool,
+}
+
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+impl DispatchSlot {
+    fn wants_write(&self) -> bool {
+        self.written < self.outbuf.len()
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+impl PooledProcessOracle {
+    /// Puts a freshly checked-out worker's pipes into nonblocking mode and
+    /// wraps it into a dispatch slot. On failure the worker is dropped and
+    /// its pool slot released.
+    fn open_slot(&self, worker: PooledWorker) -> Option<DispatchSlot> {
+        use std::os::unix::io::AsRawFd as _;
+        // The dispatcher reads the raw ChildStdout underneath the worker's
+        // BufReader; that is sound only while the BufReader holds nothing,
+        // which the request/response protocol guarantees for an idle
+        // worker (every response has been consumed exactly).
+        debug_assert!(worker.stdout.buffer().is_empty());
+        let ok = sys::set_nonblocking(worker.stdin.as_ref().expect("stdin open").as_raw_fd(), true)
+            .and_then(|()| sys::set_nonblocking(worker.stdout.get_ref().as_raw_fd(), true))
+            .is_ok();
+        if !ok {
+            drop(worker);
+            self.release_slot();
+            return None;
+        }
+        Some(DispatchSlot {
+            worker,
+            outbuf: Vec::new(),
+            written: 0,
+            inflight: VecDeque::new(),
+            dead: false,
+        })
+    }
+
+    /// Restores blocking mode and returns the worker to the pool (or
+    /// gives its slot up if the fds cannot be restored).
+    fn close_slot(&self, slot: DispatchSlot) {
+        use std::os::unix::io::AsRawFd as _;
+        debug_assert!(!slot.dead && slot.inflight.is_empty());
+        let worker = slot.worker;
+        let ok =
+            sys::set_nonblocking(worker.stdin.as_ref().expect("stdin open").as_raw_fd(), false)
+                .and_then(|()| sys::set_nonblocking(worker.stdout.get_ref().as_raw_fd(), false))
+                .is_ok();
+        if ok {
+            self.checkin(worker);
+        } else {
+            drop(worker);
+            self.release_slot();
+        }
+    }
+
+    /// Event-driven batched dispatch (see the module docs): multiplexes
+    /// every checked-out worker pipe with `poll(2)` readiness from the
+    /// calling thread, keeping each worker saturated with a bounded
+    /// in-flight window — batched v2 frames, or strict request–response
+    /// for v1 workers. Crash recovery, retry-once, fallback, and failure
+    /// accounting follow the per-query path exactly; results are one
+    /// verdict (or `None` for an execution failure) per input, in input
+    /// order.
+    fn dispatch_batch(&self, inputs: &[&[u8]]) -> Vec<Option<bool>> {
+        let n = inputs.len();
+        let frame_batch = self.inner.frame_batch;
+        let mut results: Vec<Option<bool>> = vec![None; n];
+        let mut retried = vec![false; n];
+        // Indices that exhausted the event-driven path. They are resolved
+        // at the end through the blocking per-query path
+        // ([`Oracle::accepts_checked`]), which carries its own
+        // fresh-worker retry, fallback-oracle rescue, and failure
+        // accounting — so a query degrades to a counted failure only when
+        // a freshly spawned worker cannot answer it either, exactly as in
+        // per-query operation.
+        let mut no_verdict: Vec<usize> = Vec::new();
+        let mut pending: VecDeque<usize> = VecDeque::with_capacity(n);
+        let mut remaining = 0usize;
+        for (i, input) in inputs.iter().enumerate() {
+            if u32::try_from(input.len()).is_err() {
+                // Unframeable behind the protocol's u32 length prefix;
+                // `accepts_checked` repeats the check and degrades.
+                no_verdict.push(i);
+            } else {
+                pending.push_back(i);
+                remaining += 1;
+            }
+        }
+
+        let mut slots: Vec<DispatchSlot> = Vec::new();
+        let mut read_buf = [0u8; 8192];
+        let mut fds: Vec<sys::PollFd> = Vec::new();
+        // Which (slot, direction) each pollfd belongs to; true = write.
+        let mut fd_map: Vec<(usize, bool)> = Vec::new();
+
+        'dispatch: while remaining > 0 {
+            // Worker acquisition: block for the first worker (an empty
+            // worker set cannot make progress), then widen
+            // opportunistically while there is more queued work than the
+            // current slots' windows can hold.
+            if slots.is_empty() {
+                match self.checkout().and_then(|w| self.open_slot(w)) {
+                    Some(slot) => slots.push(slot),
+                    None => {
+                        // No worker obtainable at all: everything left
+                        // degrades (the loop exits, `remaining` is moot).
+                        no_verdict.extend(pending.drain(..));
+                        break 'dispatch;
+                    }
+                }
+            }
+            let per_worker =
+                if slots.first().is_some_and(|s| s.worker.version >= 2) { frame_batch } else { 1 };
+            while !pending.is_empty()
+                && slots.len() < self.inner.size
+                && slots.len() < pending.len().div_ceil(per_worker)
+            {
+                match self.try_checkout().and_then(|w| self.open_slot(w)) {
+                    Some(slot) => slots.push(slot),
+                    None => break,
+                }
+            }
+
+            // Fill: top every live slot's in-flight window up from the
+            // pending queue. v2 workers take whole batch frames (up to two
+            // frames outstanding so the pipe never drains between frames);
+            // v1 workers are posed strictly one query at a time, per the
+            // protocol.
+            for slot in &mut slots {
+                if !slot.wants_write() && !slot.outbuf.is_empty() {
+                    slot.outbuf.clear();
+                    slot.written = 0;
+                }
+                loop {
+                    let v2 = slot.worker.version >= 2;
+                    let window = if v2 { frame_batch.saturating_mul(2) } else { 1 };
+                    if pending.is_empty() || slot.inflight.len() >= window {
+                        break;
+                    }
+                    // Assemble one frame's worth of queries, respecting
+                    // the v2 frame caps so encoding cannot fail.
+                    let mut frame_queries: Vec<usize> = Vec::new();
+                    let mut frame_bytes = 0u64;
+                    let take_limit = if v2 { frame_batch } else { 1 };
+                    while frame_queries.len() < take_limit {
+                        let Some(&i) = pending.front() else { break };
+                        let len = inputs[i].len() as u64;
+                        if v2 && len > wire::MAX_FRAME_BYTES as u64 {
+                            // A single query beyond the v2 frame cap
+                            // cannot be posed over this channel at all.
+                            pending.pop_front();
+                            no_verdict.push(i);
+                            remaining -= 1;
+                            continue;
+                        }
+                        if v2
+                            && !frame_queries.is_empty()
+                            && frame_bytes + len > wire::MAX_FRAME_BYTES as u64
+                        {
+                            break;
+                        }
+                        pending.pop_front();
+                        frame_queries.push(i);
+                        frame_bytes += len;
+                    }
+                    if frame_queries.is_empty() {
+                        break;
+                    }
+                    if v2 {
+                        let refs: Vec<&[u8]> = frame_queries.iter().map(|&i| inputs[i]).collect();
+                        wire::encode_batch_frame(&refs, &mut slot.outbuf)
+                            .expect("frame pre-validated against the protocol caps");
+                    } else {
+                        wire::encode_v1_frame(inputs[frame_queries[0]], &mut slot.outbuf)
+                            .expect("length pre-validated against the u32 prefix");
+                    }
+                    slot.inflight.extend(frame_queries);
+                }
+            }
+
+            // Readiness: one pollfd per direction per slot with work.
+            fds.clear();
+            fd_map.clear();
+            for (si, slot) in slots.iter().enumerate() {
+                use std::os::unix::io::AsRawFd as _;
+                if slot.wants_write() {
+                    fds.push(sys::PollFd {
+                        fd: slot.worker.stdin.as_ref().expect("stdin open").as_raw_fd(),
+                        events: sys::POLLOUT,
+                        revents: 0,
+                    });
+                    fd_map.push((si, true));
+                }
+                if !slot.inflight.is_empty() {
+                    fds.push(sys::PollFd {
+                        fd: slot.worker.stdout.get_ref().as_raw_fd(),
+                        events: sys::POLLIN,
+                        revents: 0,
+                    });
+                    fd_map.push((si, false));
+                }
+            }
+            if fds.is_empty() {
+                // No slot holds work: with remaining > 0 the fill pass
+                // must have queued something, so this means every slot
+                // died and was not replaced. Loop back to re-acquire.
+                continue;
+            }
+            if sys::poll_ready(&mut fds).is_err() {
+                // poll(2) itself failed (resource exhaustion): no channel
+                // is trustworthy, degrade whatever is unanswered.
+                for slot in &mut slots {
+                    no_verdict.extend(slot.inflight.drain(..));
+                    slot.dead = true;
+                }
+                no_verdict.extend(pending.drain(..));
+                break 'dispatch;
+            }
+
+            // Service ready pipes. Errors and protocol deviations mark
+            // the slot dead; the crash pass below deals with them.
+            for (k, fd) in fds.iter().enumerate() {
+                if fd.revents == 0 {
+                    continue;
+                }
+                let (si, is_write) = fd_map[k];
+                let slot = &mut slots[si];
+                if slot.dead {
+                    continue;
+                }
+                if fd.revents & sys::POLLNVAL != 0 {
+                    slot.dead = true;
+                    continue;
+                }
+                if is_write {
+                    while slot.wants_write() {
+                        let stdin = slot.worker.stdin.as_mut().expect("stdin open");
+                        match stdin.write(&slot.outbuf[slot.written..]) {
+                            Ok(0) => {
+                                slot.dead = true;
+                                break;
+                            }
+                            Ok(k) => slot.written += k,
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::Interrupted =>
+                            {
+                                break;
+                            }
+                            Err(_) => {
+                                slot.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    'read: loop {
+                        match slot.worker.stdout.get_mut().read(&mut read_buf) {
+                            Ok(0) => {
+                                slot.dead = true;
+                                break;
+                            }
+                            Ok(got) => {
+                                for &b in &read_buf[..got] {
+                                    let Some(idx) = slot.inflight.pop_front() else {
+                                        // Bytes we never asked for.
+                                        slot.dead = true;
+                                        break 'read;
+                                    };
+                                    match b {
+                                        0 | 1 => {
+                                            results[idx] = Some(b == 1);
+                                            remaining -= 1;
+                                        }
+                                        _ => {
+                                            // Illegal verdict: the query is
+                                            // unanswered; let the crash pass
+                                            // requeue it with the rest.
+                                            slot.inflight.push_front(idx);
+                                            slot.dead = true;
+                                            break 'read;
+                                        }
+                                    }
+                                }
+                            }
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::Interrupted =>
+                            {
+                                break;
+                            }
+                            Err(_) => {
+                                slot.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Crash pass: reap dead workers, requeue their unanswered
+            // queries (one retry each, as in the per-query path), and
+            // spawn replacements into the same pool slots.
+            let mut si = 0;
+            while si < slots.len() {
+                if !slots[si].dead {
+                    si += 1;
+                    continue;
+                }
+                let mut slot = slots.swap_remove(si);
+                for idx in slot.inflight.drain(..) {
+                    if retried[idx] {
+                        no_verdict.push(idx);
+                        remaining -= 1;
+                    } else {
+                        retried[idx] = true;
+                        pending.push_back(idx);
+                    }
+                }
+                drop(slot.worker); // reap
+                self.inner.respawns.fetch_add(1, Ordering::Relaxed);
+                match self.spawn_worker() {
+                    Ok(fresh) => {
+                        // A `None` means open_slot released the pool slot.
+                        if let Some(replacement) = self.open_slot(fresh) {
+                            slots.push(replacement);
+                        }
+                    }
+                    Err(_) => self.release_slot(),
+                }
+            }
+        }
+
+        for slot in slots {
+            if slot.dead {
+                // Only reachable on the poll-failure bailout: reap.
+                drop(slot.worker);
+                self.release_slot();
+            } else {
+                self.close_slot(slot);
+            }
+        }
+        // Last resort for queries the event loop could not settle: the
+        // blocking per-query path (fresh-worker retry, fallback, failure
+        // accounting included).
+        for idx in no_verdict {
+            results[idx] = self.accepts_checked(inputs[idx]);
+        }
+        results
+    }
+}
+
 impl Oracle for PooledProcessOracle {
     fn accepts(&self, input: &[u8]) -> bool {
         self.accepts_checked(input).unwrap_or(false)
@@ -792,6 +1536,14 @@ impl Oracle for PooledProcessOracle {
             // Could not spawn a worker at all.
             return self.degraded(input);
         };
+        // The v2 channel additionally caps a frame's payload: a query
+        // beyond it is unpose-able on *this worker*, not a worker crash —
+        // return the healthy worker and degrade (the fallback oracle, if
+        // any, still produces a real verdict).
+        if worker.version >= 2 && input.len() > wire::MAX_FRAME_BYTES {
+            self.checkin(worker);
+            return self.degraded(input);
+        }
         match worker.query(input) {
             Ok(v) => {
                 self.checkin(worker);
@@ -802,17 +1554,25 @@ impl Oracle for PooledProcessOracle {
                 drop(worker);
                 self.inner.respawns.fetch_add(1, Ordering::Relaxed);
                 match self.spawn_worker() {
-                    Ok(mut fresh) => match fresh.query(input) {
-                        Ok(v) => {
+                    Ok(mut fresh) => {
+                        if fresh.version >= 2 && input.len() > wire::MAX_FRAME_BYTES {
+                            // Same unpose-able-on-v2 guard as above (the
+                            // replacement may negotiate differently).
                             self.checkin(fresh);
-                            Some(v)
+                            return self.degraded(input);
                         }
-                        Err(_) => {
-                            drop(fresh);
-                            self.release_slot();
-                            self.degraded(input)
+                        match fresh.query(input) {
+                            Ok(v) => {
+                                self.checkin(fresh);
+                                Some(v)
+                            }
+                            Err(_) => {
+                                drop(fresh);
+                                self.release_slot();
+                                self.degraded(input)
+                            }
                         }
-                    },
+                    }
                     Err(_) => {
                         self.release_slot();
                         self.degraded(input)
@@ -820,6 +1580,18 @@ impl Oracle for PooledProcessOracle {
                 }
             }
         }
+    }
+
+    fn accepts_batch_checked(&self, inputs: &[&[u8]]) -> Vec<Option<bool>> {
+        #[cfg(any(target_os = "linux", target_os = "macos"))]
+        if inputs.len() > 1 {
+            return self.dispatch_batch(inputs);
+        }
+        inputs.iter().map(|i| self.accepts_checked(i)).collect()
+    }
+
+    fn native_batching(&self) -> bool {
+        cfg!(any(target_os = "linux", target_os = "macos"))
     }
 
     fn failure_count(&self) -> usize {

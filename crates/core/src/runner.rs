@@ -21,7 +21,13 @@
 //!   un-posed miss from a shared atomic cursor instead of owning a static
 //!   chunk, so one slow query (real oracles have heavy-tailed latencies —
 //!   a pathological input can take 100× the median) delays only the worker
-//!   running it while the rest drain the remaining misses.
+//!   running it while the rest drain the remaining misses;
+//! * oracles that multiplex batches natively ([`Oracle::native_batching`],
+//!   e.g. the pooled process oracle's `poll(2)` dispatcher over batched
+//!   protocol frames) are instead handed the whole miss set from the
+//!   calling thread in bounded sub-batches — no engine thread is parked
+//!   per in-flight query, and the oracle keeps its own worker processes
+//!   saturated regardless of the engine's `worker_threads` setting.
 //!
 //! The runner is also the engine's observation and cancellation point:
 //! every batch emits a [`SynthEvent::QueryBatch`] to the installed
@@ -57,6 +63,14 @@ pub(crate) const MAX_SEGMENTS: usize = 6;
 /// Smallest number of distinct cache misses worth spawning worker threads
 /// for; below this a batch runs inline on the calling thread.
 const MIN_PARALLEL_MISSES: usize = 4;
+
+/// Misses handed to a natively batching oracle per
+/// [`Oracle::accepts_batch_checked`] call. The bound is the granularity at
+/// which the deadline and the cancel token are re-checked during a huge
+/// batch; within one sub-batch the oracle runs uninterrupted. Large enough
+/// that frame batching amortizes fully, small enough that cancellation
+/// latency stays in the tens-of-milliseconds range for real targets.
+const NATIVE_DISPATCH_SUB_BATCH: usize = 1024;
 
 /// A membership check described as a concatenation of byte slices, built
 /// without allocating.
@@ -334,68 +348,97 @@ impl<'s> QueryRunner<'s> {
             miss_keys.push(scratch.clone());
         }
 
-        // Fan the distinct misses out across the worker pool by work
-        // stealing: a shared atomic cursor hands each idle worker the next
-        // un-posed miss, so a single slow query (heterogeneous latencies
-        // are the norm for real targets) stalls one worker instead of the
-        // whole static chunk scheduled behind it. Every miss is posed by
-        // exactly one worker and the oracle is deterministic, so results —
-        // and the set of cached queries — are identical for every worker
-        // count. A slot left at `SLOT_SKIPPED` marks a miss skipped because
-        // the deadline expired (or the run was cancelled) mid-batch: it
-        // answers `false` but is not cached (only real oracle verdicts may
-        // enter the cache).
-        const SLOT_SKIPPED: u8 = 0;
-        const SLOT_REJECT: u8 = 1;
-        const SLOT_ACCEPT: u8 = 2;
-        let slots: Vec<AtomicU8> = miss_keys.iter().map(|_| AtomicU8::new(SLOT_SKIPPED)).collect();
-        let cursor = AtomicUsize::new(0);
-        let steal_loop = || loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= miss_keys.len() {
-                break;
-            }
-            if self.cancel_requested() {
-                self.trip_exhausted(true);
-                break;
-            }
-            if self.deadline.is_some_and(|d| Instant::now() >= d) {
-                self.trip_exhausted(false);
-                break;
-            }
-            // An oracle *execution failure* (`None`) leaves the slot
-            // skipped: the check answers `false` like any other degraded
-            // answer, but the non-verdict never enters the cache (or a
-            // persisted snapshot, which would poison every warm start).
-            if let Some(v) = self.oracle.accepts_checked(&miss_keys[i]) {
-                slots[i].store(if v { SLOT_ACCEPT } else { SLOT_REJECT }, Ordering::Relaxed);
-            }
-        };
-        // Spawning threads costs tens of microseconds; only fan out when
-        // the batch is big enough to amortize it (tiny batches — e.g.
-        // phase 1's residual pairs against an in-process oracle — run
-        // inline). Results are identical either way.
-        let threads = if miss_keys.len() >= MIN_PARALLEL_MISSES {
-            self.workers.min(miss_keys.len())
-        } else {
-            1
-        };
-        if threads > 1 {
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(steal_loop);
+        // Dispatch the distinct misses. Two strategies, same results:
+        //
+        // * **Native batch dispatch** — oracles that multiplex a whole
+        //   batch themselves ([`Oracle::native_batching`], e.g. the pooled
+        //   process oracle's poll(2) dispatcher) are handed the miss set
+        //   in bounded sub-batches from this thread. No engine thread is
+        //   parked per in-flight query; the oracle keeps its own workers
+        //   saturated. The sub-batch bound exists so the deadline and the
+        //   cancel token are still honored *during* a large batch.
+        // * **Work stealing** — for ordinary per-query oracles, a shared
+        //   atomic cursor hands each idle engine worker the next un-posed
+        //   miss, so a single slow query (heterogeneous latencies are the
+        //   norm for real targets) stalls one worker instead of the whole
+        //   static chunk scheduled behind it.
+        //
+        // Every miss is posed exactly once and the oracle is
+        // deterministic, so results — and the set of cached queries — are
+        // identical for every worker count and for either strategy. A
+        // verdict left `None` marks a miss skipped because the deadline
+        // expired (or the run was cancelled) mid-batch, or an oracle
+        // execution failure: it answers `false` but is not cached (only
+        // real oracle verdicts may enter the cache, or a persisted
+        // snapshot would poison every warm start).
+        let verdicts: Vec<Option<bool>> = if self.oracle.native_batching() {
+            let mut verdicts: Vec<Option<bool>> = vec![None; miss_keys.len()];
+            for start in (0..miss_keys.len()).step_by(NATIVE_DISPATCH_SUB_BATCH) {
+                if self.cancel_requested() {
+                    self.trip_exhausted(true);
+                    break;
                 }
-            });
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.trip_exhausted(false);
+                    break;
+                }
+                let end = (start + NATIVE_DISPATCH_SUB_BATCH).min(miss_keys.len());
+                let refs: Vec<&[u8]> = miss_keys[start..end].iter().map(Vec::as_slice).collect();
+                let answers = self.oracle.accepts_batch_checked(&refs);
+                debug_assert_eq!(answers.len(), refs.len());
+                verdicts[start..end].copy_from_slice(&answers);
+            }
+            verdicts
         } else {
-            steal_loop();
-        }
-        let verdicts: Vec<Option<bool>> = slots
-            .iter()
-            .map(|s| match s.load(Ordering::Relaxed) {
-                SLOT_SKIPPED => None,
-                v => Some(v == SLOT_ACCEPT),
-            })
-            .collect();
+            const SLOT_SKIPPED: u8 = 0;
+            const SLOT_REJECT: u8 = 1;
+            const SLOT_ACCEPT: u8 = 2;
+            let slots: Vec<AtomicU8> =
+                miss_keys.iter().map(|_| AtomicU8::new(SLOT_SKIPPED)).collect();
+            let cursor = AtomicUsize::new(0);
+            let steal_loop = || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= miss_keys.len() {
+                    break;
+                }
+                if self.cancel_requested() {
+                    self.trip_exhausted(true);
+                    break;
+                }
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.trip_exhausted(false);
+                    break;
+                }
+                if let Some(v) = self.oracle.accepts_checked(&miss_keys[i]) {
+                    slots[i].store(if v { SLOT_ACCEPT } else { SLOT_REJECT }, Ordering::Relaxed);
+                }
+            };
+            // Spawning threads costs tens of microseconds; only fan out
+            // when the batch is big enough to amortize it (tiny batches —
+            // e.g. phase 1's residual pairs against an in-process oracle —
+            // run inline). Results are identical either way.
+            let threads = if miss_keys.len() >= MIN_PARALLEL_MISSES {
+                self.workers.min(miss_keys.len())
+            } else {
+                1
+            };
+            if threads > 1 {
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(steal_loop);
+                    }
+                });
+            } else {
+                steal_loop();
+            }
+            slots
+                .iter()
+                .map(|s| match s.load(Ordering::Relaxed) {
+                    SLOT_SKIPPED => None,
+                    v => Some(v == SLOT_ACCEPT),
+                })
+                .collect()
+        };
         self.report_oracle_failures();
 
         if self.observer.is_some() {
@@ -739,6 +782,127 @@ mod tests {
     fn runner_is_sync() {
         fn assert_sync<T: Send + Sync>() {}
         assert_sync::<QueryRunner<'static>>();
+    }
+
+    /// In-process stand-in for a natively batching oracle (the pooled
+    /// process oracle without the processes): records how misses arrive.
+    struct BatchingOracle {
+        batch_calls: AtomicUsize,
+        single_calls: AtomicUsize,
+        largest_batch: AtomicUsize,
+    }
+
+    impl BatchingOracle {
+        fn new() -> Self {
+            BatchingOracle {
+                batch_calls: AtomicUsize::new(0),
+                single_calls: AtomicUsize::new(0),
+                largest_batch: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Oracle for BatchingOracle {
+        fn accepts(&self, input: &[u8]) -> bool {
+            self.single_calls.fetch_add(1, Ordering::Relaxed);
+            input.len().is_multiple_of(2)
+        }
+
+        fn accepts_batch_checked(&self, inputs: &[&[u8]]) -> Vec<Option<bool>> {
+            self.batch_calls.fetch_add(1, Ordering::Relaxed);
+            self.largest_batch.fetch_max(inputs.len(), Ordering::Relaxed);
+            inputs.iter().map(|i| Some(i.len().is_multiple_of(2))).collect()
+        }
+
+        fn native_batching(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn native_batching_oracle_receives_whole_miss_sets() {
+        let o = BatchingOracle::new();
+        let cache = ShardedCache::new();
+        cache.insert(b"zz".to_vec(), true); // a hit that must not be posed
+        let r = runner(&o, &cache, None, None, 8);
+        let inputs: Vec<Vec<u8>> = (0..40u8).map(|b| vec![b'x'; b as usize % 5]).collect();
+        let mut checks: Vec<CheckSpec<'_>> = inputs.iter().map(|i| spec(i)).collect();
+        checks.push(spec(b"zz"));
+        let verdicts = r.accepts_batch(&checks);
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(verdicts[i], input.len() % 2 == 0, "index {i}");
+        }
+        assert!(*verdicts.last().unwrap(), "cache hit answered");
+        // The distinct misses (lengths 0..5 → 5 distinct strings) arrived
+        // as ONE batch call, not per-query or per-thread.
+        assert_eq!(o.batch_calls.load(Ordering::Relaxed), 1);
+        assert_eq!(o.largest_batch.load(Ordering::Relaxed), 5);
+        assert_eq!(o.single_calls.load(Ordering::Relaxed), 0);
+        assert_eq!(r.unique_queries(), 6);
+    }
+
+    #[test]
+    fn native_batching_matches_steal_dispatch_results() {
+        // The same miss set through both strategies must produce the same
+        // verdicts and the same cached set.
+        let native = BatchingOracle::new();
+        let plain = FnOracle::new(|i: &[u8]| i.len().is_multiple_of(2));
+        let native_cache = ShardedCache::new();
+        let plain_cache = ShardedCache::new();
+        let rn = runner(&native, &native_cache, None, None, 4);
+        let rp = runner(&plain, &plain_cache, None, None, 4);
+        let inputs: Vec<Vec<u8>> = (0..64u16).map(|b| vec![b'y'; (b % 9) as usize]).collect();
+        let checks: Vec<CheckSpec<'_>> = inputs.iter().map(|i| spec(i)).collect();
+        assert_eq!(rn.accepts_batch(&checks), rp.accepts_batch(&checks));
+        assert_eq!(rn.unique_queries(), rp.unique_queries());
+        assert_eq!(rn.total_queries(), rp.total_queries());
+    }
+
+    #[test]
+    fn cancellation_skips_remaining_native_sub_batches() {
+        // A cancel flipped during the batch is honored at the next
+        // sub-batch boundary: remaining misses answer false and are not
+        // cached.
+        struct CancellingOracle {
+            token: CancelToken,
+        }
+        impl Oracle for CancellingOracle {
+            fn accepts(&self, _input: &[u8]) -> bool {
+                true
+            }
+            fn accepts_batch_checked(&self, inputs: &[&[u8]]) -> Vec<Option<bool>> {
+                self.token.cancel();
+                inputs.iter().map(|_| Some(true)).collect()
+            }
+            fn native_batching(&self) -> bool {
+                true
+            }
+        }
+        let token = CancelToken::new();
+        let o = CancellingOracle { token: token.clone() };
+        let cache = ShardedCache::new();
+        let r = QueryRunner::new(
+            &o,
+            &cache,
+            RunnerOptions { cancel: Some(&token), ..RunnerOptions::default() },
+        );
+        // More misses than one sub-batch so at least one boundary exists.
+        let inputs: Vec<Vec<u8>> = (0..(super::NATIVE_DISPATCH_SUB_BATCH + 10) as u32)
+            .map(|b| b.to_le_bytes().to_vec())
+            .collect();
+        let specs: Vec<CheckSpec<'_>> = inputs.iter().map(|i| spec(i)).collect();
+        let verdicts = r.accepts_batch(&specs);
+        assert!(r.was_cancelled());
+        assert_eq!(
+            verdicts.iter().filter(|&&v| v).count(),
+            super::NATIVE_DISPATCH_SUB_BATCH,
+            "exactly the first sub-batch was answered"
+        );
+        assert_eq!(
+            r.unique_queries(),
+            super::NATIVE_DISPATCH_SUB_BATCH,
+            "skipped misses not cached"
+        );
     }
 
     #[test]

@@ -149,6 +149,13 @@ impl GladeBuilder {
     /// Sets the worker-thread count for batched membership checks
     /// (`1` forces the fully sequential path; the default uses the
     /// machine's available parallelism).
+    ///
+    /// Oracles that batch natively (see
+    /// [`Oracle::native_batching`](crate::Oracle::native_batching), e.g.
+    /// [`PooledProcessOracle`](crate::PooledProcessOracle)) are handed
+    /// whole miss sets from the calling thread instead — their own pool
+    /// size, not this knob, governs their parallelism. Either way the
+    /// synthesized grammar and the query counts are identical.
     pub fn worker_threads(mut self, workers: usize) -> Self {
         self.config.worker_threads = Some(workers);
         self

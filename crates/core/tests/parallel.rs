@@ -204,47 +204,124 @@ fn skewed_latency_does_not_change_grammar_or_query_counts() {
 /// Source of a protocol worker implemented *independently* of
 /// `glade_core::serve_oracle_worker` — compiling and driving it is a wire-
 /// format compatibility test, not a round-trip through our own helper.
-/// Language: nonempty strings of `x`. `--crash-after N` makes the worker
-/// exit abruptly after answering N queries; the input `CRASH!` makes it
-/// exit *without* answering (a poison input that defeats the retry).
+/// Language: nonempty strings of `x`.
+///
+/// Flags exercising the protocol's failure paths:
+/// * `--v1-only` — never acknowledge the v2 negotiation probe (the probe
+///   is answered like any other query), pinning the legacy single-query
+///   wire format end to end;
+/// * `--crash-after N` — exit abruptly after answering N queries; in v2
+///   mode a mid-frame hit writes the *partial* verdict run first, so the
+///   oracle must recover from a torn batch response;
+/// * `--garbage-after N` — answer every verdict after the Nth as an
+///   illegal byte (`0x7f`): the oracle must treat it as a crash, never as
+///   a verdict;
+/// * the input `CRASH!` makes the worker exit *without* answering (in v2
+///   mode: after flushing the partial verdicts of the frame so far) — a
+///   poison input that defeats every retry.
 const TEST_WORKER_SOURCE: &str = r#"
 use std::io::{Read, Write};
 
+const PROBE: &[u8] = b"\x00\x00glade-wire-v2?";
+const ACK: u8 = 0x02;
+
+fn flag(args: &[String], name: &str) -> Option<usize> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let crash_after: Option<usize> = args
-        .iter()
-        .position(|a| a == "--crash-after")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok());
+    let v1_only = args.iter().any(|a| a == "--v1-only");
+    let crash_after = flag(&args, "--crash-after");
+    let garbage_after = flag(&args, "--garbage-after");
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut input = stdin.lock();
     let mut output = stdout.lock();
     let mut buf = Vec::new();
     let mut answered = 0usize;
+    let mut v2 = false;
+    let mut first_frame = true;
+    let verdict_byte = |accept: bool, answered: usize| -> u8 {
+        if garbage_after.is_some_and(|g| answered > g) { 0x7f } else { u8::from(accept) }
+    };
     loop {
-        let mut len = [0u8; 4];
-        if input.read_exact(&mut len).is_err() {
-            return;
+        let mut prefix = [0u8; 4];
+        if input.read_exact(&mut prefix).is_err() {
+            return; // clean EOF between frames
         }
-        let n = u32::from_le_bytes(len) as usize;
-        buf.clear();
-        buf.resize(n, 0);
-        if input.read_exact(&mut buf).is_err() {
-            return;
-        }
-        if buf == b"CRASH!" {
-            std::process::exit(3);
-        }
-        let verdict = !buf.is_empty() && buf.iter().all(|&b| b == b'x');
-        if output.write_all(&[u8::from(verdict)]).is_err() {
-            return;
-        }
-        let _ = output.flush();
-        answered += 1;
-        if crash_after == Some(answered) {
-            std::process::exit(42);
+        let head = u32::from_le_bytes(prefix) as usize;
+        if !v2 {
+            // v1 frame: `head` is the query's byte length.
+            buf.clear();
+            buf.resize(head, 0);
+            if input.read_exact(&mut buf).is_err() {
+                return;
+            }
+            // Per the spec, the probe is special on the first frame only:
+            // the oracle negotiates right after spawn, so a later query
+            // equal to the probe is just a query.
+            if first_frame && !v1_only && buf == PROBE {
+                if output.write_all(&[ACK]).is_err() || output.flush().is_err() {
+                    return;
+                }
+                v2 = true;
+                continue;
+            }
+            first_frame = false;
+            if buf == b"CRASH!" {
+                std::process::exit(3);
+            }
+            let accept = !buf.is_empty() && buf.iter().all(|&b| b == b'x');
+            answered += 1;
+            if output.write_all(&[verdict_byte(accept, answered)]).is_err() {
+                return;
+            }
+            let _ = output.flush();
+            if crash_after == Some(answered) {
+                std::process::exit(42);
+            }
+        } else {
+            // v2 frame: `head` is the query count.
+            if head == 0 || head > 1 << 16 {
+                std::process::exit(64); // malformed frame: fail closed
+            }
+            let mut verdicts: Vec<u8> = Vec::with_capacity(head);
+            let mut die = None;
+            for _ in 0..head {
+                let mut lp = [0u8; 4];
+                if input.read_exact(&mut lp).is_err() {
+                    std::process::exit(65); // truncated frame
+                }
+                let len = u32::from_le_bytes(lp) as usize;
+                if len > 1 << 30 {
+                    std::process::exit(66); // oversized frame
+                }
+                buf.clear();
+                buf.resize(len, 0);
+                if input.read_exact(&mut buf).is_err() {
+                    std::process::exit(65);
+                }
+                if buf == b"CRASH!" {
+                    die = Some(3);
+                    break;
+                }
+                let accept = !buf.is_empty() && buf.iter().all(|&b| b == b'x');
+                answered += 1;
+                verdicts.push(verdict_byte(accept, answered));
+                if crash_after == Some(answered) {
+                    die = Some(42);
+                    break;
+                }
+            }
+            // A mid-frame death still flushes the verdicts computed so
+            // far: the oracle must survive a torn (partial) response.
+            if output.write_all(&verdicts).is_err() || output.flush().is_err() {
+                return;
+            }
+            if let Some(code) = die {
+                std::process::exit(code);
+            }
         }
     }
 }
@@ -276,13 +353,71 @@ fn test_worker_bin() -> Option<&'static str> {
     .as_deref()
 }
 
+/// Per-test timeout guard: the pooled protocol tests drive nonblocking
+/// pipes against real child processes, and a dispatcher bug would wedge
+/// them (and the whole CI job) in a `poll(2)` that never wakes. The
+/// watchdog turns "hung" into "failed fast": if the owning test has not
+/// disarmed it in time, the process exits with a diagnostic.
+/// `GLADE_TEST_TIMEOUT_SECS` tunes the limit (default 120 s).
+struct Watchdog {
+    done: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(name: &'static str) -> Self {
+        let secs = std::env::var("GLADE_TEST_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120u64);
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = done.clone();
+        std::thread::spawn(move || {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+            while std::time::Instant::now() < deadline {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("watchdog: `{name}` still running after {secs}s — a protocol pipe is hung");
+            std::process::exit(99);
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Pool sizes for the protocol matrix; `GLADE_TEST_POOL_SIZE` pins one
+/// (the CI matrix sweeps it).
+fn matrix_pool_sizes() -> Vec<usize> {
+    match std::env::var("GLADE_TEST_POOL_SIZE").ok().and_then(|v| v.parse().ok()) {
+        Some(n) => vec![n],
+        None => vec![1, 2, 8],
+    }
+}
+
+/// Wire-version cap for the protocol matrix; `GLADE_TEST_WIRE=v1` pins the
+/// legacy single-query framing (the CI matrix sweeps it).
+fn matrix_wire_cap() -> u8 {
+    match std::env::var("GLADE_TEST_WIRE").as_deref() {
+        Ok("v1") | Ok("1") => 1,
+        _ => 2,
+    }
+}
+
 #[test]
 fn pooled_oracle_protocol_round_trip() {
+    let _guard = Watchdog::arm("pooled_oracle_protocol_round_trip");
     let Some(bin) = test_worker_bin() else {
         eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
         return;
     };
-    let pool = PooledProcessOracle::new(bin).pool_size(3);
+    let pool = PooledProcessOracle::new(bin).pool_size(3).max_wire_version(matrix_wire_cap());
     // Single-threaded sanity, including the empty input (a zero-length
     // frame) and binary bytes.
     assert!(pool.accepts(b"x"));
@@ -308,6 +443,7 @@ fn pooled_oracle_protocol_round_trip() {
 
 #[test]
 fn pooled_oracle_recovers_from_worker_crashes() {
+    let _guard = Watchdog::arm("pooled_oracle_recovers_from_worker_crashes");
     let Some(bin) = test_worker_bin() else {
         eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
         return;
@@ -326,6 +462,7 @@ fn pooled_oracle_recovers_from_worker_crashes() {
 
 #[test]
 fn pooled_oracle_poison_input_degrades_and_recovers() {
+    let _guard = Watchdog::arm("pooled_oracle_poison_input_degrades_and_recovers");
     let Some(bin) = test_worker_bin() else {
         eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
         return;
@@ -341,6 +478,205 @@ fn pooled_oracle_poison_input_degrades_and_recovers() {
     assert!(pool.accepts(b"xxx"));
     assert!(!pool.accepts(b"y"));
     assert_eq!(pool.failure_count(), 1, "healthy queries add no failures");
+}
+
+/// Reference predicate of the rustc-compiled test worker's language.
+fn x_language(input: &[u8]) -> bool {
+    !input.is_empty() && input.iter().all(|&b| b == b'x')
+}
+
+/// A deterministic mixed workload for the batched-dispatch tests.
+fn x_workload(count: usize, offset: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            let n = offset + i;
+            match n % 4 {
+                0 => vec![b'x'; 1 + n % 7],
+                1 => Vec::new(),
+                2 => {
+                    let mut v = vec![b'x'; 1 + n % 5];
+                    v.push(b'y');
+                    v
+                }
+                _ => vec![b'x'; 1 + n % 11],
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn batched_dispatch_agrees_with_per_query_path_across_matrix() {
+    // The event-driven dispatcher (poll-multiplexed pipes, batched v2
+    // frames or strict v1 request–response) must produce exactly the
+    // verdicts of the blocking per-query path, at every pool size, wire
+    // version, and frame batch size the matrix requests.
+    let _guard = Watchdog::arm("batched_dispatch_agrees_with_per_query_path_across_matrix");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let inputs = x_workload(300, 0);
+    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let expected: Vec<Option<bool>> = inputs.iter().map(|i| Some(x_language(i))).collect();
+    for pool_size in matrix_pool_sizes() {
+        for frame_batch in [1usize, 7, 64] {
+            let pool = PooledProcessOracle::new(bin)
+                .pool_size(pool_size)
+                .frame_batch(frame_batch)
+                .max_wire_version(matrix_wire_cap());
+            let verdicts = pool.accepts_batch_checked(&refs);
+            assert_eq!(
+                verdicts, expected,
+                "verdicts drifted at pool={pool_size} frame_batch={frame_batch}"
+            );
+            assert_eq!(pool.failure_count(), 0, "pool={pool_size} frame_batch={frame_batch}");
+            assert_eq!(pool.respawn_count(), 0, "healthy workers were respawned");
+        }
+    }
+}
+
+#[test]
+fn v1_only_worker_pins_version_negotiation() {
+    // A worker that never acknowledges the upgrade probe must be driven
+    // with legacy single-query frames — including by the batched
+    // dispatcher — and the probe's discarded verdict must never surface.
+    let _guard = Watchdog::arm("v1_only_worker_pins_version_negotiation");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let pool = PooledProcessOracle::new(bin).arg("--v1-only").pool_size(2);
+    assert!(pool.accepts(b"x"));
+    assert!(!pool.accepts(b""));
+    let inputs = x_workload(120, 31);
+    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let expected: Vec<Option<bool>> = inputs.iter().map(|i| Some(x_language(i))).collect();
+    assert_eq!(pool.accepts_batch_checked(&refs), expected);
+    assert_eq!(pool.failure_count(), 0);
+    assert_eq!(pool.respawn_count(), 0, "negotiating down is not a crash");
+
+    // And capping the oracle to v1 against a v2-capable worker speaks
+    // byte-identical legacy frames (no probe is ever sent).
+    let capped = PooledProcessOracle::new(bin).pool_size(2).max_wire_version(1);
+    assert_eq!(capped.accepts_batch_checked(&refs), expected);
+    assert_eq!(capped.failure_count(), 0);
+}
+
+#[test]
+fn crash_mid_batch_under_concurrent_load_recovers_every_query() {
+    // Workers die after every 23 answers — with 64-query v2 frames the
+    // death lands mid-frame and the worker flushes a *partial* verdict
+    // run first (see TEST_WORKER_SOURCE). Four threads hammer batched
+    // dispatch concurrently; every query must still get its true verdict
+    // (requeue + fresh-worker retry), with zero counted failures.
+    let _guard = Watchdog::arm("crash_mid_batch_under_concurrent_load_recovers_every_query");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let pool =
+        PooledProcessOracle::new(bin).arg("--crash-after").arg("23").pool_size(2).frame_batch(64);
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let pool = &pool;
+            s.spawn(move || {
+                for round in 0..3usize {
+                    let inputs = x_workload(150, 1000 * t + 17 * round);
+                    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+                    let expected: Vec<Option<bool>> =
+                        inputs.iter().map(|i| Some(x_language(i))).collect();
+                    assert_eq!(
+                        pool.accepts_batch_checked(&refs),
+                        expected,
+                        "thread {t} round {round}"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(pool.failure_count(), 0, "every crashed query was recovered");
+    assert!(pool.respawn_count() >= 10, "respawns: {}", pool.respawn_count());
+}
+
+#[test]
+fn garbage_verdict_bytes_are_crashes_not_verdicts() {
+    // After 20 good answers the worker answers 0x7f forever: the oracle
+    // must treat the illegal byte as a crash and re-pose the query on a
+    // fresh worker — a wrong verdict must never surface, and because a
+    // fresh worker always answers its first queries correctly, no
+    // failures are counted either.
+    let _guard = Watchdog::arm("garbage_verdict_bytes_are_crashes_not_verdicts");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let pool =
+        PooledProcessOracle::new(bin).arg("--garbage-after").arg("20").pool_size(2).frame_batch(16);
+    let inputs = x_workload(200, 7);
+    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let expected: Vec<Option<bool>> = inputs.iter().map(|i| Some(x_language(i))).collect();
+    assert_eq!(pool.accepts_batch_checked(&refs), expected, "a garbage byte leaked a verdict");
+    assert_eq!(pool.failure_count(), 0);
+    assert!(pool.respawn_count() >= 5, "respawns: {}", pool.respawn_count());
+}
+
+#[test]
+fn poison_query_inside_a_batch_degrades_only_itself() {
+    // One unanswerable poison query rides along in a batch: it (and only
+    // it) degrades to a counted failure after defeating the batch retry
+    // and the per-query fallback; every sibling query is answered.
+    let _guard = Watchdog::arm("poison_query_inside_a_batch_degrades_only_itself");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let pool = PooledProcessOracle::new(bin).pool_size(2).frame_batch(8);
+    let mut inputs = x_workload(60, 3);
+    inputs[37] = b"CRASH!".to_vec();
+    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let verdicts = pool.accepts_batch_checked(&refs);
+    for (i, input) in inputs.iter().enumerate() {
+        if i == 37 {
+            assert_eq!(verdicts[i], None, "the poison query has no verdict");
+        } else {
+            assert_eq!(verdicts[i], Some(x_language(input)), "sibling {i} was dragged down");
+        }
+    }
+    assert_eq!(pool.failure_count(), 1, "exactly the poison query is a failure");
+    assert!(pool.respawn_count() >= 2);
+}
+
+#[test]
+fn full_synthesis_through_crashing_pool_matches_in_process_run() {
+    // The acceptance invariant of the crash-recovery machinery: a full
+    // synthesis run over a pool whose workers keep dying produces the
+    // exact grammar bytes, unique-query count, and failure accounting of
+    // the in-process oracle — at every matrix pool size.
+    let _guard = Watchdog::arm("full_synthesis_through_crashing_pool_matches_in_process_run");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let seeds = vec![b"xx".to_vec()];
+    let reference_oracle = FnOracle::new(x_language);
+    let reference = GladeBuilder::new().synthesize(&seeds, &reference_oracle).expect("valid seed");
+    for pool_size in matrix_pool_sizes() {
+        let pool = PooledProcessOracle::new(bin)
+            .arg("--crash-after")
+            .arg("19")
+            .pool_size(pool_size)
+            .max_wire_version(matrix_wire_cap());
+        let pooled = GladeBuilder::new().synthesize(&seeds, &pool).expect("valid seed");
+        assert_eq!(
+            grammar_to_text(&pooled.grammar),
+            grammar_to_text(&reference.grammar),
+            "grammar drifted through the crashing pool at pool_size={pool_size}"
+        );
+        assert_eq!(pooled.stats.unique_queries, reference.stats.unique_queries);
+        assert_eq!(pooled.stats.total_queries, reference.stats.total_queries);
+        assert_eq!(pooled.stats.oracle_failures, 0, "every crash was recovered");
+        assert!(pool.respawn_count() > 0, "the workload outlives single workers");
+    }
 }
 
 #[test]

@@ -9,20 +9,28 @@
 //! target:
 //!
 //! ```text
-//! glade-oracle-worker <NAME>            # serve the protocol until EOF
-//! glade-oracle-worker <NAME> --once     # read all of stdin, exit 0/1
-//! glade-oracle-worker --list            # names this worker can serve
+//! glade-oracle-worker <NAME>                 # serve the protocol until EOF
+//! glade-oracle-worker <NAME> --once          # read all of stdin, exit 0/1
+//! glade-oracle-worker <NAME> --wire-v1       # pin legacy single-query frames
+//! glade-oracle-worker <NAME> --crash-after N # die after N answers (tests)
+//! glade-oracle-worker --list                 # names this worker can serve
 //! ```
 //!
 //! `--once` makes the same subject drivable by a spawn-per-query
 //! `ProcessOracle` (validity = exit status), which is exactly what the
 //! pooled oracle's fallback path and the pooled-vs-spawn benchmark need.
+//! The protocol mode negotiates v2 batched frames automatically;
+//! `--wire-v1` pins the legacy single-query wire format (the worker never
+//! acknowledges the upgrade probe), which the protocol compatibility
+//! matrix drives. `--crash-after N` makes the worker exit abruptly after
+//! answering N queries — the crash-recovery test battery uses it to kill
+//! workers mid-batch under load.
 //!
 //! `NAME` resolves an instrumented target first (`xml`, `grep`, `sed`, …)
 //! and then a handwritten language (`url-lang`, `lisp-lang`, `toy-xml`, …
 //! — suffixed to avoid clashing with the same-named targets).
 
-use glade_core::{serve_oracle_worker, Oracle};
+use glade_core::{serve_oracle_worker, serve_oracle_worker_v1, Oracle};
 use glade_targets::languages::{section82_languages, toy_xml};
 use glade_targets::programs::{all_targets, target_by_name};
 use glade_targets::TargetOracle;
@@ -67,14 +75,37 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let (name, once) = match args.as_slice() {
-        [name] => (name.as_str(), false),
-        [name, flag] if flag == "--once" => (name.as_str(), true),
-        _ => {
-            eprintln!("usage: glade-oracle-worker <NAME> [--once] | --list");
-            return ExitCode::FAILURE;
-        }
+    let Some((name, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: glade-oracle-worker <NAME> [--once|--wire-v1] [--crash-after N] | --list"
+        );
+        return ExitCode::FAILURE;
     };
+    let mut once = false;
+    let mut wire_v1 = false;
+    let mut crash_after: Option<usize> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--once" => once = true,
+            "--wire-v1" => wire_v1 = true,
+            "--crash-after" => {
+                i += 1;
+                match rest.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => crash_after = Some(n),
+                    None => {
+                        eprintln!("glade-oracle-worker: --crash-after needs a count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("glade-oracle-worker: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
     let Some(oracle) = oracle_by_name(name) else {
         eprintln!("glade-oracle-worker: unknown subject `{name}` (try --list)");
         return ExitCode::FAILURE;
@@ -87,7 +118,20 @@ fn main() -> ExitCode {
         }
         return if oracle.accepts(&input) { ExitCode::SUCCESS } else { ExitCode::from(1) };
     }
-    match serve_oracle_worker(|input| oracle.accepts(input)) {
+    // `--crash-after N`: answer N queries, then die without warning — the
+    // crash-recovery tests kill workers mid-batch this way. A v2 batch in
+    // progress is torn exactly where the target stopped answering.
+    let mut answered = 0usize;
+    let predicate = move |input: &[u8]| {
+        if crash_after.is_some_and(|n| answered >= n) {
+            std::process::exit(42);
+        }
+        answered += 1;
+        oracle.accepts(input)
+    };
+    let served =
+        if wire_v1 { serve_oracle_worker_v1(predicate) } else { serve_oracle_worker(predicate) };
+    match served {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("glade-oracle-worker: protocol error: {e}");

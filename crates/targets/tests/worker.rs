@@ -1,14 +1,73 @@
 //! End-to-end tests for the `glade-oracle-worker` harness: the pooled
 //! worker protocol against real child processes, spawn-per-query `--once`
-//! mode, and full-pipeline synthesis over the pool.
+//! mode, and full-pipeline synthesis over the pool — swept across the
+//! pool-size × frame-version matrix (`GLADE_TEST_POOL_SIZE`,
+//! `GLADE_TEST_WIRE`) and hardened against workers that crash mid-batch.
 
 use glade_core::{GladeBuilder, Oracle, PooledProcessOracle, ProcessOracle};
 use glade_targets::programs::Xml;
 use glade_targets::TargetOracle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Path of the worker binary, provided by cargo for same-package tests.
 fn worker_bin() -> &'static str {
     env!("CARGO_BIN_EXE_glade-oracle-worker")
+}
+
+/// Golden distinct/total query counts for the seed `<a>hi</a>` (pinned in
+/// `glade-core`'s `parallel.rs`); the pooled path must reproduce them.
+const GOLDEN_UNIQUE: usize = 1324;
+const GOLDEN_TOTAL: usize = 1442;
+
+/// Pool sizes to sweep; `GLADE_TEST_POOL_SIZE` pins one (the CI matrix
+/// sweeps it so every cell stays fast).
+fn matrix_pool_sizes() -> Vec<usize> {
+    match std::env::var("GLADE_TEST_POOL_SIZE").ok().and_then(|v| v.parse().ok()) {
+        Some(n) => vec![n],
+        None => vec![1, 2, 8],
+    }
+}
+
+/// Whether the matrix pins the legacy v1 wire (`GLADE_TEST_WIRE=v1`).
+fn matrix_wire_v1() -> bool {
+    matches!(std::env::var("GLADE_TEST_WIRE").as_deref(), Ok("v1") | Ok("1"))
+}
+
+/// Per-test timeout guard: a dispatcher bug over nonblocking pipes would
+/// wedge the job in a never-waking `poll(2)`; the watchdog fails fast
+/// instead. `GLADE_TEST_TIMEOUT_SECS` tunes the limit (default 120 s).
+struct Watchdog {
+    done: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(name: &'static str) -> Self {
+        let secs = std::env::var("GLADE_TEST_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120u64);
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = done.clone();
+        std::thread::spawn(move || {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+            while std::time::Instant::now() < deadline {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("watchdog: `{name}` still running after {secs}s — a protocol pipe is hung");
+            std::process::exit(99);
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
 }
 
 #[test]
@@ -66,25 +125,147 @@ fn unknown_subject_exits_nonzero_and_pool_degrades() {
 
 #[test]
 fn full_synthesis_over_the_pool_matches_in_process_synthesis() {
-    // The running example driven entirely through child processes: the
-    // grammar and the distinct-query count must be exactly what the
-    // in-process oracle produces.
+    // The running example driven entirely through child processes, swept
+    // over the pool-size × frame-version × frame-batch matrix through the
+    // session API: grammar bytes and both query counts must be exactly
+    // what the in-process oracle produces — the golden 1324/1442 pins —
+    // in every cell.
+    let _guard = Watchdog::arm("full_synthesis_over_the_pool_matches_in_process_synthesis");
     let seeds = vec![b"<a>hi</a>".to_vec()];
     let in_process = {
         let xml = glade_targets::languages::toy_xml();
         let oracle = xml.oracle();
         GladeBuilder::new().synthesize(&seeds, &oracle).expect("valid seed")
     };
-    let pooled_oracle = PooledProcessOracle::new(worker_bin()).arg("toy-xml").pool_size(4);
-    let pooled = GladeBuilder::new()
-        .worker_threads(4)
-        .synthesize(&seeds, &pooled_oracle)
-        .expect("valid seed");
+    assert_eq!(in_process.stats.unique_queries, GOLDEN_UNIQUE);
+    assert_eq!(in_process.stats.total_queries, GOLDEN_TOTAL);
+    let reference_grammar = glade_grammar::grammar_to_text(&in_process.grammar);
+    for pool_size in matrix_pool_sizes() {
+        for frame_batch in [1usize, 32] {
+            let mut pooled_oracle =
+                PooledProcessOracle::new(worker_bin()).arg("toy-xml").pool_size(pool_size);
+            if matrix_wire_v1() {
+                pooled_oracle = pooled_oracle.max_wire_version(1);
+            }
+            pooled_oracle = pooled_oracle.frame_batch(frame_batch);
+            let mut session = GladeBuilder::new().worker_threads(4).session(&pooled_oracle);
+            let pooled = session.add_seeds(&seeds).expect("valid seed");
+            let cell = format!("pool={pool_size} frame_batch={frame_batch}");
+            assert_eq!(
+                glade_grammar::grammar_to_text(&pooled.grammar),
+                reference_grammar,
+                "pooled execution changed the synthesized grammar ({cell})"
+            );
+            assert_eq!(pooled.stats.unique_queries, GOLDEN_UNIQUE, "{cell}");
+            assert_eq!(pooled.stats.total_queries, GOLDEN_TOTAL, "{cell}");
+            assert_eq!(pooled.stats.oracle_failures, 0, "{cell}");
+            assert_eq!(pooled_oracle.respawn_count(), 0, "healthy workers respawned ({cell})");
+        }
+    }
+}
+
+#[test]
+fn synthesis_over_crashing_workers_matches_in_process_synthesis() {
+    // Crash-recovery acceptance at the harness level: every worker dies
+    // after 150 answers (well inside the 1324-query run, so the pool
+    // reaps and respawns repeatedly, tearing v2 batches mid-frame), and
+    // the result must still be byte- and count-identical to the
+    // in-process run, with zero counted failures.
+    let _guard = Watchdog::arm("synthesis_over_crashing_workers_matches_in_process_synthesis");
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let in_process = {
+        let xml = glade_targets::languages::toy_xml();
+        let oracle = xml.oracle();
+        GladeBuilder::new().synthesize(&seeds, &oracle).expect("valid seed")
+    };
+    for pool_size in matrix_pool_sizes() {
+        let mut pooled_oracle = PooledProcessOracle::new(worker_bin())
+            .arg("toy-xml")
+            .arg("--crash-after")
+            .arg("150")
+            .pool_size(pool_size);
+        if matrix_wire_v1() {
+            pooled_oracle = pooled_oracle.max_wire_version(1);
+        }
+        let mut session = GladeBuilder::new().worker_threads(4).session(&pooled_oracle);
+        let pooled = session.add_seeds(&seeds).expect("valid seed");
+        assert_eq!(
+            glade_grammar::grammar_to_text(&pooled.grammar),
+            glade_grammar::grammar_to_text(&in_process.grammar),
+            "crash recovery changed the grammar (pool={pool_size})"
+        );
+        assert_eq!(pooled.stats.unique_queries, in_process.stats.unique_queries);
+        assert_eq!(pooled.stats.total_queries, in_process.stats.total_queries);
+        assert_eq!(pooled.stats.oracle_failures, 0, "pool={pool_size}");
+        assert!(
+            pooled_oracle.respawn_count() > 0,
+            "a 1324-query run must outlive 150-answer workers (pool={pool_size})"
+        );
+    }
+}
+
+#[test]
+fn v1_pinned_worker_full_synthesis_still_matches() {
+    // The `--wire-v1` worker flag pins the legacy protocol end to end
+    // (worker side), independent of the oracle-side cap: negotiation must
+    // settle on v1 and the synthesis result must not change.
+    let _guard = Watchdog::arm("v1_pinned_worker_full_synthesis_still_matches");
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let in_process = {
+        let xml = glade_targets::languages::toy_xml();
+        let oracle = xml.oracle();
+        GladeBuilder::new().synthesize(&seeds, &oracle).expect("valid seed")
+    };
+    let pooled_oracle =
+        PooledProcessOracle::new(worker_bin()).arg("toy-xml").arg("--wire-v1").pool_size(2);
+    let pooled = GladeBuilder::new().synthesize(&seeds, &pooled_oracle).expect("valid seed");
     assert_eq!(
         glade_grammar::grammar_to_text(&pooled.grammar),
-        glade_grammar::grammar_to_text(&in_process.grammar),
-        "pooled execution changed the synthesized grammar"
+        glade_grammar::grammar_to_text(&in_process.grammar)
     );
     assert_eq!(pooled.stats.unique_queries, in_process.stats.unique_queries);
     assert_eq!(pooled.stats.oracle_failures, 0);
+    assert_eq!(pooled_oracle.respawn_count(), 0, "negotiating down is not a crash");
+}
+
+#[test]
+fn mid_stream_probe_payload_is_an_ordinary_query() {
+    // A v1-capped oracle never probes, so a *membership query* that
+    // happens to equal the negotiation probe must be answered like any
+    // other input by a v2-capable worker — the probe is special on the
+    // first frame of a connection only. (Regression: the worker used to
+    // intercept it mid-stream, tripping an accidental upgrade that the
+    // v1 oracle could only read as a crash.)
+    let _guard = Watchdog::arm("mid_stream_probe_payload_is_an_ordinary_query");
+    let pool = PooledProcessOracle::new(worker_bin()).arg("toy-xml").max_wire_version(1);
+    assert!(pool.accepts(b"<a>hi</a>"), "warm the connection past its first frame");
+    assert!(!pool.accepts(glade_core::wire::WIRE_V2_PROBE), "probe bytes are not toy-xml");
+    assert!(pool.accepts(b"<a>ok</a>"), "the connection survived");
+    assert_eq!(pool.failure_count(), 0);
+    assert_eq!(pool.respawn_count(), 0, "no accidental upgrade, no crash");
+}
+
+#[test]
+fn batched_dispatch_against_real_target_matches_reference() {
+    // The batched entry point itself (not just synthesis) against the
+    // instrumented XML target: verdicts must equal the in-process
+    // reference for a workload mixing valid, invalid, empty, and binary
+    // documents.
+    let _guard = Watchdog::arm("batched_dispatch_against_real_target_matches_reference");
+    let xml = Xml;
+    let reference = TargetOracle::new(&xml);
+    let inputs: Vec<Vec<u8>> = (0..240usize)
+        .map(|i| match i % 5 {
+            0 => format!("<a>{}</a>", "x".repeat(i % 11)).into_bytes(),
+            1 => format!("<a><b>{}</b></a>", "y".repeat(i % 7)).into_bytes(),
+            2 => format!("<a>{}</a", "z".repeat(i % 13)).into_bytes(), // truncated
+            3 => Vec::new(),
+            _ => vec![0x00, 0xff, b'<', (i % 256) as u8],
+        })
+        .collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let expected: Vec<Option<bool>> = inputs.iter().map(|i| Some(reference.accepts(i))).collect();
+    let pool = PooledProcessOracle::new(worker_bin()).arg("xml").pool_size(3).frame_batch(16);
+    assert_eq!(pool.accepts_batch_checked(&refs), expected);
+    assert_eq!(pool.failure_count(), 0);
 }

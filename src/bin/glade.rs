@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! glade synth  --seed FILE...  (--cmd 'PROG ARGS…' | --target NAME)  [-o grammar.txt]
-//!              [--cache FILE] [--stdin|--tempfile|--pool N] [--max-queries N]
-//!              [--no-chargen] [--no-phase2]
+//!              [--cache FILE] [--stdin|--tempfile|--pool N] [--frame-batch N]
+//!              [--wire-v1] [--max-queries N] [--no-chargen] [--no-phase2]
 //! glade sample --grammar grammar.txt [--count N] [--max-depth D] [--seed-rng S]
 //! glade check  --grammar grammar.txt [FILE]       # membership test (stdin default)
 //! glade fuzz   --grammar grammar.txt --seed FILE... [--count N]    # splice fuzzing
+//! glade worker NAME [--wire-v1]                    # serve a built-in subject
 //! glade targets                                    # list built-in targets
 //! ```
 //!
@@ -17,7 +18,15 @@
 //! processes answering queries over the length-prefixed verdict protocol
 //! (see `glade_core::serve_oracle_worker` and the `glade-oracle-worker`
 //! harness) instead of one process spawn per query — the throughput
-//! difference on real targets is an order of magnitude.
+//! difference on real targets is an order of magnitude. Pooled commands
+//! are automatically probed for the v2 *batched-frame* protocol (many
+//! queries per pipe round-trip, dispatched from one event loop over
+//! nonblocking pipes); `--frame-batch N` tunes the batch size and
+//! `--wire-v1` pins the legacy single-query framing for workers whose
+//! target must never see the negotiation probe. `glade worker NAME`
+//! serves any built-in target or Section 8.2 language over the protocol,
+//! so a pooled run needs no separate harness binary:
+//! `glade synth --seed s.xml --cmd 'glade worker xml' --pool 8`.
 //!
 //! `--cache FILE` persists the membership-query cache across invocations:
 //! repeated synth runs against the same oracle warm-start from the snapshot
@@ -27,10 +36,12 @@
 //! silently replaying stale verdicts.
 
 use glade_repro::core::{
-    CachingOracle, GladeBuilder, GladeConfig, InputMode, Oracle, PooledProcessOracle, ProcessOracle,
+    serve_oracle_worker, serve_oracle_worker_v1, CachingOracle, GladeBuilder, GladeConfig,
+    InputMode, Oracle, PooledProcessOracle, ProcessOracle,
 };
 use glade_repro::fuzz::{Fuzzer, GrammarFuzzer};
 use glade_repro::grammar::{grammar_from_text, grammar_to_text, Earley, Grammar, Sampler};
+use glade_repro::targets::languages::{section82_languages, toy_xml};
 use glade_repro::targets::programs::{all_targets, target_by_name};
 use glade_repro::targets::TargetOracle;
 use rand::SeedableRng;
@@ -44,6 +55,7 @@ fn main() -> ExitCode {
         Some("sample") => cmd_sample(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("worker") => return cmd_worker(&args[1..]),
         Some("targets") => {
             for t in all_targets() {
                 println!(
@@ -76,11 +88,13 @@ glade — grammar synthesis from examples and blackbox membership queries
 
 USAGE:
   glade synth  --seed FILE... (--cmd 'PROG ARGS…' | --target NAME) [-o OUT]
-               [--cache FILE] [--stdin|--tempfile|--pool N] [--max-queries N]
-               [--no-chargen] [--no-phase2]
+               [--cache FILE] [--stdin|--tempfile|--pool N] [--frame-batch N]
+               [--wire-v1] [--max-queries N] [--no-chargen] [--no-phase2]
   glade sample --grammar FILE [--count N] [--max-depth D] [--seed-rng S]
   glade check  --grammar FILE [INPUT-FILE]
   glade fuzz   --grammar FILE --seed FILE... [--count N] [--seed-rng S]
+  glade worker NAME [--wire-v1]    # serve a built-in subject over the
+                                   # pooled-oracle protocol (for --pool)
   glade targets
 ";
 
@@ -126,6 +140,8 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let mut cache_path: Option<String> = None;
     let mut input_mode = InputMode::Stdin;
     let mut pool: Option<usize> = None;
+    let mut frame_batch: Option<usize> = None;
+    let mut wire_v1 = false;
     let mut config = GladeConfig::default();
 
     while let Some(flag) = args.next() {
@@ -147,6 +163,20 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
                 }
                 pool = Some(n);
             }
+            "--frame-batch" => {
+                let n: usize = args
+                    .value("--frame-batch")?
+                    .parse()
+                    .map_err(|_| "--frame-batch needs a query count".to_owned())?;
+                if !(1..=glade_repro::core::wire::MAX_FRAME_QUERIES).contains(&n) {
+                    return Err(format!(
+                        "--frame-batch must be in 1..={}",
+                        glade_repro::core::wire::MAX_FRAME_QUERIES
+                    ));
+                }
+                frame_batch = Some(n);
+            }
+            "--wire-v1" => wire_v1 = true,
             "--max-queries" => {
                 config.max_queries = Some(
                     args.value("--max-queries")?
@@ -161,6 +191,9 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     }
     if seeds.is_empty() {
         return Err("at least one --seed FILE is required".into());
+    }
+    if pool.is_none() && (frame_batch.is_some() || wire_v1) {
+        return Err("--frame-batch and --wire-v1 tune pooled oracles; add --pool N".into());
     }
 
     // Build the oracle plus its identity fingerprint (used to tag the
@@ -182,6 +215,12 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
                     let mut o = PooledProcessOracle::new(prog).pool_size(n);
                     for a in &cmd_args {
                         o = o.arg(*a);
+                    }
+                    if let Some(fb) = frame_batch {
+                        o = o.frame_batch(fb);
+                    }
+                    if wire_v1 {
+                        o = o.max_wire_version(1);
                     }
                     let fp = o.fingerprint();
                     (Box::new(o), fp)
@@ -254,6 +293,56 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+/// `glade worker NAME [--wire-v1]` — serve a built-in instrumented target
+/// or Section 8.2 language over the pooled-oracle wire protocol, so
+/// `glade synth --cmd 'glade worker NAME' --pool N` (and the test suites)
+/// need no separate harness binary. Targets resolve first; languages are
+/// suffixed `-lang` (except `toy-xml`), mirroring `glade-oracle-worker`.
+fn cmd_worker(argv: &[String]) -> ExitCode {
+    let (name, wire_v1) = match argv {
+        [name] => (name.as_str(), false),
+        [name, flag] if flag == "--wire-v1" => (name.as_str(), true),
+        _ => {
+            eprintln!("usage: glade worker NAME [--wire-v1]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let oracle: Box<dyn Oracle> = if let Some(target) = target_by_name(name) {
+        // Leak is fine for a one-shot worker process.
+        let target: &'static dyn glade_repro::targets::Target = Box::leak(target);
+        Box::new(TargetOracle::new(target))
+    } else {
+        let mut languages = section82_languages();
+        languages.push(toy_xml());
+        let found = languages.into_iter().find(|l| {
+            if l.name() == "toy-xml" {
+                l.name() == name
+            } else {
+                name.strip_suffix("-lang").is_some_and(|stem| stem == l.name())
+            }
+        });
+        match found {
+            Some(language) => Box::new(language.oracle()),
+            None => {
+                eprintln!("glade worker: unknown subject `{name}` (see `glade targets`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let served = if wire_v1 {
+        serve_oracle_worker_v1(|input| oracle.accepts(input))
+    } else {
+        serve_oracle_worker(|input| oracle.accepts(input))
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("glade worker: protocol error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_sample(argv: &[String]) -> Result<(), String> {

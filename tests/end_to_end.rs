@@ -1,9 +1,11 @@
 //! Cross-crate integration tests: the full GLADE pipeline against the
-//! instrumented target programs.
+//! instrumented target programs — including the same synthesis driven
+//! through the pooled process-oracle path (`glade worker` over batched
+//! protocol frames) at several pool sizes, which must be byte-identical.
 
-use glade_repro::core::{GladeBuilder, GladeConfig, Oracle};
+use glade_repro::core::{GladeBuilder, GladeConfig, Oracle, PooledProcessOracle};
 use glade_repro::fuzz::{run_campaign, GrammarFuzzer, NaiveFuzzer};
-use glade_repro::grammar::{Earley, Sampler};
+use glade_repro::grammar::{grammar_to_text, Earley, Sampler};
 use glade_repro::targets::programs::{target_by_name, Grep, Sed, Xml};
 use glade_repro::targets::{Target, TargetOracle};
 use rand::SeedableRng;
@@ -87,6 +89,41 @@ fn synthesis_on_every_target_keeps_seeds() {
                 String::from_utf8_lossy(seed)
             );
         }
+    }
+}
+
+#[test]
+fn xml_synthesis_through_pooled_async_path_is_byte_identical() {
+    // The instrumented XML target's own seeds, synthesized once in
+    // process and once over pools of 1, 2, and 8 `glade worker xml`
+    // processes via the session API. The pooled async path (submission
+    // queue, poll-multiplexed pipes, batched v2 frames) must change
+    // nothing: grammar bytes, distinct queries, and failure accounting
+    // all match.
+    let xml = Xml;
+    let seeds = xml.seeds();
+    let config = || {
+        GladeBuilder::new().max_queries(30_000).character_generalization(false).worker_threads(4)
+    };
+    let in_process_oracle = TargetOracle::new(&xml);
+    let reference = config().synthesize(&seeds, &in_process_oracle).expect("valid seeds");
+    for pool_size in [1usize, 2, 8] {
+        let pooled_oracle = PooledProcessOracle::new(env!("CARGO_BIN_EXE_glade"))
+            .arg("worker")
+            .arg("xml")
+            .pool_size(pool_size);
+        let mut session = config().session(&pooled_oracle);
+        let pooled = session.add_seeds(&seeds).expect("valid seeds");
+        assert_eq!(
+            grammar_to_text(&pooled.grammar),
+            grammar_to_text(&reference.grammar),
+            "pooled grammar drifted at pool_size={pool_size}"
+        );
+        assert_eq!(
+            pooled.stats.unique_queries, reference.stats.unique_queries,
+            "pool_size={pool_size}"
+        );
+        assert_eq!(pooled.stats.oracle_failures, 0, "pool_size={pool_size}");
     }
 }
 

@@ -1,7 +1,9 @@
 //! The paper's running example (Figures 1–3), checked step by step against
-//! the published derivation.
+//! the published derivation — and re-pinned through the pooled
+//! process-oracle path (the `glade worker` protocol harness) to prove
+//! real-process execution changes nothing.
 
-use glade_repro::core::{CachingOracle, GladeBuilder};
+use glade_repro::core::{CachingOracle, GladeBuilder, PooledProcessOracle};
 use glade_repro::eval::evaluate_grammar;
 use glade_repro::grammar::Earley;
 use glade_repro::targets::languages::toy_xml;
@@ -87,6 +89,39 @@ fn oracle_query_counts_are_modest() {
     let result = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).unwrap();
     assert!(result.stats.unique_queries < 5_000, "{}", result.stats.unique_queries);
     assert!(oracle.total_queries() > 0);
+}
+
+#[test]
+fn running_example_through_pooled_async_path_is_byte_identical() {
+    // The full Figures 1–3 run posed over pipes to pools of 1, 2, and 8
+    // `glade worker` processes (batched v2 frames, event-driven dispatch)
+    // via the session API: grammar bytes, distinct queries, and failure
+    // accounting must exactly match the in-process oracle.
+    let lang = toy_xml();
+    let in_process_oracle = lang.oracle();
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let reference = GladeBuilder::new().synthesize(&seeds, &in_process_oracle).unwrap();
+    for pool_size in [1usize, 2, 8] {
+        let pooled_oracle = PooledProcessOracle::new(env!("CARGO_BIN_EXE_glade"))
+            .arg("worker")
+            .arg("toy-xml")
+            .pool_size(pool_size);
+        let mut session = GladeBuilder::new()
+            .oracle_fingerprint(pooled_oracle.fingerprint())
+            .session(&pooled_oracle);
+        let pooled = session.add_seeds(&seeds).unwrap();
+        assert_eq!(
+            glade_repro::grammar::grammar_to_text(&pooled.grammar),
+            glade_repro::grammar::grammar_to_text(&reference.grammar),
+            "pooled grammar drifted at pool_size={pool_size}"
+        );
+        assert_eq!(
+            pooled.stats.unique_queries, reference.stats.unique_queries,
+            "pool_size={pool_size}"
+        );
+        assert_eq!(pooled.stats.total_queries, reference.stats.total_queries);
+        assert_eq!(pooled.stats.oracle_failures, 0, "pool_size={pool_size}");
+    }
 }
 
 #[test]
