@@ -1,7 +1,7 @@
 //! `bench-queries` — machine-readable benchmark of the membership-query
 //! engine, emitted as `BENCH_queries.json`.
 //!
-//! Five experiment families, so the perf trajectory of the query layer
+//! Seven experiment families, so the perf trajectory of the query layer
 //! is recorded in-repo:
 //!
 //! 1. **`parallel_speedup`** — the full pipeline on the paper's running
@@ -44,17 +44,28 @@
 //!    (`glade_core::serve_oracle_worker_v1`), so version negotiation
 //!    itself is exercised. Asserts batched frames sustain ≥ 1.5× the v1
 //!    per-query queries/sec.
+//! 7. **`fault_recovery`** — throughput and query accounting under
+//!    injected faults, against a clean pool run under the same query
+//!    deadline. Three cells over the same workload: a clean pool (asserts
+//!    zero failures/respawns/timeouts — the deadline machinery is free
+//!    when nothing hangs), a crashy pool (`--crashy-worker`, a seeded
+//!    `glade_core::FaultPlan` poisons ~10% of query *contents* so they
+//!    kill every worker that touches them, defeating replay and forcing
+//!    the spawn-per-query fallback), and a hangy pool (`--hangy-worker`
+//!    hangs after 64 answers; only the deadline unwedges it). Every
+//!    verdict in every cell must match the in-process reference.
 //!
 //! Usage: `cargo run --release -p glade-bench --bin bench-queries`
 //! (writes `BENCH_queries.json` to the current directory, override with
 //! `GLADE_BENCH_OUT`). Workload sizes are env-tunable for CI smoke runs:
 //! `GLADE_BENCH_SKEW_N`, `GLADE_BENCH_SKEW_SLOW_US`,
 //! `GLADE_BENCH_SKEW_BASE_US`, `GLADE_BENCH_SPAWN_QUERIES`,
-//! `GLADE_BENCH_POOLED_QUERIES`, `GLADE_BENCH_FRAME_QUERIES`.
+//! `GLADE_BENCH_POOLED_QUERIES`, `GLADE_BENCH_FRAME_QUERIES`,
+//! `GLADE_BENCH_FAULT_QUERIES`, `GLADE_BENCH_FAULT_TIMEOUT_MS`.
 
 use glade_core::{
-    serve_oracle_worker, serve_oracle_worker_v1, FnOracle, GladeBuilder, Oracle,
-    PooledProcessOracle, ProcessOracle, SynthesisStats,
+    serve_faulty_worker, serve_oracle_worker, serve_oracle_worker_v1, FaultPlan, FnOracle,
+    GladeBuilder, Oracle, PooledProcessOracle, ProcessOracle, SynthesisStats,
 };
 use glade_eval::sample_seeds;
 use glade_grammar::grammar_to_text;
@@ -298,6 +309,27 @@ fn main() {
         }
         Some("--tiny-worker-v1") => {
             serve_oracle_worker_v1(tiny_accepts).expect("worker protocol");
+            return;
+        }
+        Some("--crashy-worker") => {
+            // Fault-injected worker for the fault_recovery experiment:
+            // ~10% of query contents are poisoned by the seeded content
+            // hash and kill every worker that touches them — replay on a
+            // fresh worker fails too, so exactly those queries must
+            // degrade to the spawn-per-query fallback.
+            let oracle = toy_xml().oracle();
+            let plan = FaultPlan::new().crash_permille(100).seed(0x5eed);
+            serve_faulty_worker(&plan, move |input| oracle.accepts(input))
+                .expect("worker protocol");
+            return;
+        }
+        Some("--hangy-worker") => {
+            // Hangs (without exiting) after 64 answers: only a query
+            // deadline can unwedge the pool.
+            let oracle = toy_xml().oracle();
+            let plan = FaultPlan::new().hang_after(64);
+            serve_faulty_worker(&plan, move |input| oracle.accepts(input))
+                .expect("worker protocol");
             return;
         }
         Some("--oracle-once") => {
@@ -662,6 +694,87 @@ fn main() {
     j.num("v2_batched_queries_per_sec", v2_qps);
     j.num("v2_speedup_vs_v1", frame_speedup);
     j.boolean("v2_beats_v1_by_1_5x", frame_speedup >= 1.5);
+    j.close_obj();
+
+    // ---- Experiment 7: fault recovery — throughput under injected
+    // faults. The same workload and the same query deadline, three worker
+    // personalities: clean (the deadline machinery must be free when
+    // nothing hangs), crashy (~10% content-poisoned queries that defeat
+    // replay and degrade to the fallback), and hangy (silent hangs that
+    // only the deadline can unwedge). Every verdict in every cell must
+    // match the in-process reference — faults shift cost, never answers.
+    let fault_queries = env_usize("GLADE_BENCH_FAULT_QUERIES", 512);
+    let fault_timeout_ms = env_usize("GLADE_BENCH_FAULT_TIMEOUT_MS", 250) as u64;
+    let fault_pool = 4usize;
+    let fault_workload = process_workload(fault_queries, 50_000);
+    let fault_refs: Vec<&[u8]> = fault_workload.iter().map(Vec::as_slice).collect();
+    let fault_expected: Vec<Option<bool>> =
+        fault_workload.iter().map(|i| Some(reference.accepts(i))).collect();
+    let run_fault_cell = |mode: &str, worker_flag: &str| {
+        let mut oracle = PooledProcessOracle::new(&self_exe)
+            .arg(worker_flag)
+            .pool_size(fault_pool)
+            .query_timeout(Duration::from_millis(fault_timeout_ms));
+        if mode == "crashy" {
+            // Content-poisoned queries defeat replay; only a clean
+            // spawn-per-query fallback can still answer them truthfully.
+            oracle = oracle.fallback(ProcessOracle::new(&self_exe).arg("--oracle-once"));
+        }
+        let start = Instant::now();
+        let verdicts = oracle.accepts_batch_checked(&fault_refs);
+        let wall = start.elapsed();
+        assert_eq!(verdicts, fault_expected, "{mode} pool changed a verdict");
+        (oracle, wall)
+    };
+    let (clean_oracle, clean_wall) = run_fault_cell("clean", "--oracle-worker");
+    assert_eq!(clean_oracle.failure_count(), 0, "clean pool counted failures");
+    assert_eq!(clean_oracle.respawn_count(), 0, "clean pool respawned workers");
+    assert_eq!(clean_oracle.timed_out_count(), 0, "clean pool hit the deadline");
+    assert_eq!(clean_oracle.tripped_worker_count(), 0, "clean pool tripped a breaker");
+    let (crashy_oracle, crashy_wall) = run_fault_cell("crashy", "--crashy-worker");
+    assert_eq!(crashy_oracle.failure_count(), 0, "the fallback answers every poisoned query");
+    assert!(crashy_oracle.respawn_count() > 0, "poisoned queries must kill workers");
+    let (hangy_oracle, hangy_wall) = run_fault_cell("hangy", "--hangy-worker");
+    assert_eq!(hangy_oracle.failure_count(), 0, "every hang was replayed successfully");
+    assert!(
+        hangy_oracle.timed_out_count() > 0,
+        "{fault_queries} queries across {fault_pool} workers must outlive 64-answer hangs"
+    );
+    let clean_qps = fault_queries as f64 / secs(clean_wall).max(1e-9);
+    let crashy_qps = fault_queries as f64 / secs(crashy_wall).max(1e-9);
+    let hangy_qps = fault_queries as f64 / secs(hangy_wall).max(1e-9);
+    eprintln!(
+        "[bench-queries] fault_recovery: clean {:.0} q/s, crashy {:.0} q/s ({} respawns, \
+         {} trips), hangy {:.0} q/s ({} hung queries killed at the {}ms deadline)",
+        clean_qps,
+        crashy_qps,
+        crashy_oracle.respawn_count(),
+        crashy_oracle.tripped_worker_count(),
+        hangy_qps,
+        hangy_oracle.timed_out_count(),
+        fault_timeout_ms,
+    );
+    j.open_obj(Some("fault_recovery"));
+    j.string("target", "self (toy-xml verdicts; seeded FaultPlan injection)");
+    j.int("pool_workers", fault_pool);
+    j.int("queries", fault_queries);
+    j.int("query_timeout_ms", fault_timeout_ms as usize);
+    for (mode, oracle, wall, qps) in [
+        ("clean", &clean_oracle, clean_wall, clean_qps),
+        ("crashy", &crashy_oracle, crashy_wall, crashy_qps),
+        ("hangy", &hangy_oracle, hangy_wall, hangy_qps),
+    ] {
+        j.open_obj(Some(mode));
+        j.num("wall_secs", secs(wall));
+        j.num("queries_per_sec", qps);
+        j.num("throughput_vs_clean", qps / clean_qps.max(1e-9));
+        j.int("oracle_failures", oracle.failure_count());
+        j.int("respawns", oracle.respawn_count());
+        j.int("timed_out_queries", oracle.timed_out_count());
+        j.int("breaker_trips", oracle.tripped_worker_count());
+        j.int("breaker_recoveries", oracle.recovered_worker_count());
+        j.close_obj();
+    }
     j.close_obj();
 
     j.close_obj();

@@ -110,6 +110,38 @@ pub enum SynthEvent {
         /// Cumulative failures observed during this run.
         run_failures: usize,
     },
+    /// One or more oracle workers hung — accepted queries but never
+    /// answered within the configured
+    /// [`oracle_timeout`](crate::GladeBuilder::oracle_timeout) — and were
+    /// killed. The abandoned queries took the ordinary crash-recovery path
+    /// (retry, fallback, counted failure); see
+    /// [`SynthesisStats::timed_out_queries`](crate::SynthesisStats::timed_out_queries).
+    WorkerHung {
+        /// Queries newly abandoned to the deadline since the previous
+        /// report.
+        new_timeouts: usize,
+        /// Cumulative deadline-abandoned queries during this run.
+        run_timeouts: usize,
+    },
+    /// A worker slot's circuit breaker tripped open after repeated
+    /// spawn-or-crash failures: the pool stops respawning into that slot
+    /// until a cool-down elapses, and queries route to the remaining
+    /// workers or the fallback; see
+    /// [`SynthesisStats::tripped_workers`](crate::SynthesisStats::tripped_workers).
+    BreakerTripped {
+        /// Breaker trips newly observed since the previous report.
+        new_trips: usize,
+        /// Cumulative breaker trips during this run.
+        run_trips: usize,
+    },
+    /// A tripped worker slot's half-open probe succeeded after its
+    /// cool-down: the breaker closed and the slot serves queries again.
+    BreakerRecovered {
+        /// Recoveries newly observed since the previous report.
+        new_recoveries: usize,
+        /// Cumulative breaker recoveries during this run.
+        run_recoveries: usize,
+    },
     /// The distinct-query or wall-clock budget ran out; every further check
     /// in this run answers `false` (fail closed).
     BudgetExhausted,

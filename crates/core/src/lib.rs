@@ -131,6 +131,7 @@
 mod cache;
 mod chargen;
 mod events;
+mod fault;
 mod oracle;
 mod persist;
 mod phase1;
@@ -143,6 +144,9 @@ mod tree;
 pub mod wire;
 
 pub use events::{CancelToken, EventLog, SynthEvent, SynthPhase, SynthesisObserver};
+pub use fault::{
+    flaky_spawn_should_die, serve_faulty_worker, serve_faulty_worker_v1, FaultPlan, FaultyOracle,
+};
 pub use oracle::{
     serve_oracle_worker, serve_oracle_worker_v1, CachingOracle, FnOracle, InputMode, Oracle,
     PooledProcessOracle, ProcessOracle,

@@ -105,6 +105,63 @@
 //! crashes, and degraded queries are always visible in
 //! [`Oracle::failure_count`].
 //!
+//! **Deadlines.** Every oracle interaction can be time-bounded: install a
+//! per-query deadline with [`PooledProcessOracle::query_timeout`], or let
+//! the engine flow one in through
+//! [`GladeBuilder::oracle_timeout`](crate::GladeBuilder::oracle_timeout)
+//! and [`Oracle::configure_timeout`]. The batched dispatcher then polls
+//! with a finite timeout and tracks one deadline per worker, re-armed by
+//! every verdict byte — a slow-but-steady worker (or a slow-loris writer
+//! dribbling one verdict byte at a time) never trips it, while a worker
+//! that stops answering for a whole window is *hung*: it is killed,
+//! reaped, counted in [`Oracle::timed_out_count`], and its in-flight
+//! queries take the ordinary crash path (requeue once, then the blocking
+//! replay). The blocking per-query path enforces the same deadline with
+//! nonblocking pipe I/O, and [`ProcessOracle::timeout`] bounds
+//! spawn-per-query children with a kill-on-expiry wait. A timed-out query
+//! is never a silent `false`: it either recovers on a fresh
+//! worker/fallback or surfaces as a counted failure.
+//!
+//! **Respawn backoff and the per-slot circuit breaker.** Each worker slot
+//! tracks consecutive *strikes*: spawn failures, and crashes of a worker
+//! that never produced a verdict (a worker that answered something resets
+//! its slot to one strike when it crashes, and a clean checkin resets the
+//! slot to zero). The slot's state machine:
+//!
+//! ```text
+//!           spawn-or-crash failure           strikes reach K
+//! CLOSED ─────────────────────────▶ BACKOFF ─────────────────▶ OPEN
+//!   ▲     (strike 2+ waits base·2^(s−2)      (tripped: spawns    │
+//!   │      plus deterministic jitter)         blocked)           │ cool-down
+//!   │                                                            ▼
+//!   └──────────── probe spawn succeeds ◀───────────────── HALF-OPEN
+//!                 (recovery counted)        (one probe spawn allowed;
+//!                                            failure re-opens with a
+//!                                            doubled cool-down)
+//! ```
+//!
+//! The first respawn after a crash is immediate, so ordinary crash
+//! recovery stays fast; only *consecutive* failures back off, which keeps
+//! an instant-crash loop or a vanished binary from tight-looping
+//! `fork/exec`. After `K` consecutive strikes
+//! ([`PooledProcessOracle::max_respawns`]) the slot trips open: queries
+//! route to the remaining workers — or degrade through the
+//! fallback/failure path when every slot is open — until the cool-down
+//! elapses and a single half-open probe spawn is allowed. Trips and
+//! recoveries are counted ([`Oracle::tripped_worker_count`],
+//! [`Oracle::recovered_worker_count`]) and surfaced per run as
+//! [`SynthEvent::WorkerHung`](crate::SynthEvent::WorkerHung),
+//! [`SynthEvent::BreakerTripped`](crate::SynthEvent::BreakerTripped), and
+//! [`SynthEvent::BreakerRecovered`](crate::SynthEvent::BreakerRecovered)
+//! events plus the
+//! [`SynthesisStats::timed_out_queries`](crate::SynthesisStats::timed_out_queries)
+//! and
+//! [`SynthesisStats::tripped_workers`](crate::SynthesisStats::tripped_workers)
+//! statistics. Backoff jitter is deterministic (hashed from the slot index
+//! and strike count, never entropy), and none of these knobs affects
+//! verdicts: with no timeout configured and healthy workers, grammar bytes
+//! and query counts are byte-identical to a pool without the machinery.
+//!
 //! Any `fn(&[u8]) -> bool` target becomes a protocol-speaking worker with
 //! [`serve_oracle_worker`] — call it from a binary's `main` (the
 //! `glade-oracle-worker` binary in `glade-targets` does exactly this for
@@ -145,10 +202,19 @@ use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default queries per v2 batch frame (see
 /// [`PooledProcessOracle::frame_batch`]).
 const DEFAULT_FRAME_BATCH: usize = 32;
+
+/// Default strike count that trips a worker slot's circuit breaker (see
+/// [`PooledProcessOracle::max_respawns`]).
+const DEFAULT_MAX_RESPAWNS: u32 = 4;
+
+/// Default base delay of the exponential respawn backoff (see
+/// [`PooledProcessOracle::respawn_backoff`]).
+const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(10);
 
 /// Raw `poll(2)`/`fcntl(2)` bindings for the batched dispatcher. The
 /// workspace builds offline (no `libc` crate), so the handful of constants
@@ -158,6 +224,7 @@ const DEFAULT_FRAME_BATCH: usize = 32;
 mod sys {
     use std::os::raw::{c_int, c_short};
     use std::os::unix::io::RawFd;
+    use std::time::{Duration, Instant};
 
     #[repr(C)]
     #[derive(Clone, Copy, Debug)]
@@ -191,14 +258,36 @@ mod sys {
         fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
     }
 
-    /// Blocks until at least one registered fd is ready (EINTR retried).
-    pub fn poll_ready(fds: &mut [PollFd]) -> std::io::Result<usize> {
+    /// Blocks until at least one registered fd is ready, or `timeout`
+    /// expires (`Ok(0)`). `None` waits forever. EINTR is retried with the
+    /// *remaining* time recomputed from a deadline captured up front, so a
+    /// signal landing mid-dispatch can neither fail the whole batch nor
+    /// silently extend the deadline.
+    pub fn poll_ready(fds: &mut [PollFd], timeout: Option<Duration>) -> std::io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         loop {
+            let ms: c_int = match deadline {
+                None => -1,
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Ok(0);
+                    }
+                    // Round up: a sub-millisecond remainder must still
+                    // wait one tick, not busy-spin on a zero timeout.
+                    c_int::try_from(left.as_millis().saturating_add(1)).unwrap_or(c_int::MAX)
+                }
+            };
             // SAFETY: `fds` is a valid, exclusively borrowed slice of
             // `#[repr(C)]` pollfd records for the duration of the call.
-            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, -1) };
-            if rc >= 0 {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, ms) };
+            if rc > 0 {
                 return Ok(rc as usize);
+            }
+            if rc == 0 {
+                // Kernel timeout fired; loop so the rounded-up tick cannot
+                // report expiry ahead of the real deadline.
+                continue;
             }
             let err = std::io::Error::last_os_error();
             if err.kind() != std::io::ErrorKind::Interrupted {
@@ -291,6 +380,38 @@ pub trait Oracle: Send + Sync {
     fn failure_count(&self) -> usize {
         0
     }
+
+    /// Installs (`Some`) or clears (`None`) a per-query deadline on oracles
+    /// that support one. The engine calls this when
+    /// [`GladeBuilder::oracle_timeout`](crate::GladeBuilder::oracle_timeout)
+    /// is configured; [`ProcessOracle`] and [`PooledProcessOracle`] honor
+    /// it (see the module docs), in-process oracles ignore it (the default
+    /// is a no-op — a predicate cannot hang the engine the way a wedged
+    /// child process can). Wrappers forward to the inner oracle.
+    fn configure_timeout(&self, _timeout: Option<Duration>) {}
+
+    /// Number of queries (across the oracle's lifetime) whose deadline
+    /// expired — a hung worker or child was killed before answering. Every
+    /// timed-out query is also retried/degraded through the ordinary
+    /// failure machinery; this counter exists so hangs are distinguishable
+    /// from crashes in run statistics
+    /// ([`SynthesisStats::timed_out_queries`](crate::SynthesisStats::timed_out_queries)).
+    fn timed_out_count(&self) -> usize {
+        0
+    }
+
+    /// Number of times (across the oracle's lifetime) a worker slot's
+    /// circuit breaker tripped open after consecutive spawn-or-crash
+    /// failures (see the module docs of `oracle` for the state machine).
+    fn tripped_worker_count(&self) -> usize {
+        0
+    }
+
+    /// Number of times a tripped worker slot recovered: its half-open
+    /// probe spawn succeeded and the slot closed again.
+    fn recovered_worker_count(&self) -> usize {
+        0
+    }
 }
 
 macro_rules! forward_oracle_impl {
@@ -314,6 +435,22 @@ macro_rules! forward_oracle_impl {
 
             fn failure_count(&self) -> usize {
                 (**self).failure_count()
+            }
+
+            fn configure_timeout(&self, timeout: Option<Duration>) {
+                (**self).configure_timeout(timeout)
+            }
+
+            fn timed_out_count(&self) -> usize {
+                (**self).timed_out_count()
+            }
+
+            fn tripped_worker_count(&self) -> usize {
+                (**self).tripped_worker_count()
+            }
+
+            fn recovered_worker_count(&self) -> usize {
+                (**self).recovered_worker_count()
             }
         }
     };
@@ -462,6 +599,22 @@ impl<O: Oracle> Oracle for CachingOracle<O> {
     fn failure_count(&self) -> usize {
         self.inner.failure_count()
     }
+
+    fn configure_timeout(&self, timeout: Option<Duration>) {
+        self.inner.configure_timeout(timeout)
+    }
+
+    fn timed_out_count(&self) -> usize {
+        self.inner.timed_out_count()
+    }
+
+    fn tripped_worker_count(&self) -> usize {
+        self.inner.tripped_worker_count()
+    }
+
+    fn recovered_worker_count(&self) -> usize {
+        self.inner.recovered_worker_count()
+    }
 }
 
 /// How a [`ProcessOracle`] delivers the candidate input to the program.
@@ -561,6 +714,11 @@ pub struct ProcessOracle {
     limiter: Option<Arc<Semaphore>>,
     /// Shared by clones so a fanned-out run reports one total.
     failures: Arc<AtomicUsize>,
+    /// Per-query deadline in nanoseconds (`0` = wait forever). Shared by
+    /// clones so [`Oracle::configure_timeout`] reaches every handle.
+    timeout_nanos: Arc<AtomicU64>,
+    /// Children killed on deadline expiry (shared by clones).
+    timeouts: Arc<AtomicUsize>,
 }
 
 impl ProcessOracle {
@@ -573,6 +731,8 @@ impl ProcessOracle {
             require_empty_stderr: false,
             limiter: None,
             failures: Arc::new(AtomicUsize::new(0)),
+            timeout_nanos: Arc::new(AtomicU64::new(0)),
+            timeouts: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -604,6 +764,17 @@ impl ProcessOracle {
         self
     }
 
+    /// Sets a per-query deadline: a child still running after `limit` is
+    /// killed, reaped, and counted as a timeout
+    /// ([`Oracle::timed_out_count`]) plus an execution failure (no verdict
+    /// was obtained — never a silent `false`). Unix only; on other hosts
+    /// the deadline is recorded but the wait stays unbounded. Shared by
+    /// clones; equivalent to [`Oracle::configure_timeout`].
+    pub fn timeout(self, limit: Duration) -> Self {
+        self.configure_timeout(Some(limit));
+        self
+    }
+
     /// A stable fingerprint of the oracle's identity — the program path,
     /// arguments, input mode, and stderr policy — for tagging persisted
     /// query-cache snapshots (see
@@ -629,6 +800,71 @@ impl ProcessOracle {
     fn record_failure(&self) {
         self.failures.fetch_add(1, Ordering::Relaxed);
     }
+
+    fn timeout_duration(&self) -> Option<Duration> {
+        let nanos = self.timeout_nanos.load(Ordering::Relaxed);
+        (nanos > 0).then(|| Duration::from_nanos(nanos))
+    }
+
+    /// Timed replacement for `Child::wait_with_output`: polls `try_wait`
+    /// while draining stderr nonblockingly (a chatty child must not
+    /// deadlock against a full pipe while we only watch its exit), and
+    /// kills the child when `limit` expires — counting the timeout and
+    /// returning `None` so the caller records an execution failure rather
+    /// than inventing a verdict.
+    #[cfg(any(target_os = "linux", target_os = "macos"))]
+    fn wait_with_deadline(&self, mut child: Child, limit: Duration) -> Option<(bool, Vec<u8>)> {
+        use std::os::unix::io::AsRawFd as _;
+
+        fn drain(err: &mut Option<std::process::ChildStderr>, buf: &mut Vec<u8>) {
+            let mut chunk = [0u8; 4096];
+            if let Some(e) = err {
+                loop {
+                    match e.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Err(ioe) if ioe.kind() == std::io::ErrorKind::Interrupted => continue,
+                        // WouldBlock (nothing buffered yet) or a torn pipe.
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        let deadline = Instant::now() + limit;
+        let mut stderr = child.stderr.take();
+        if let Some(err) = &stderr {
+            if sys::set_nonblocking(err.as_raw_fd(), true).is_err() {
+                // Unreadable stderr: judge by exit status alone.
+                stderr = None;
+            }
+        }
+        let mut err_buf = Vec::new();
+        loop {
+            drain(&mut stderr, &mut err_buf);
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    // Catch bytes written between the drain and the exit.
+                    drain(&mut stderr, &mut err_buf);
+                    return Some((status.success(), err_buf));
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = child.kill();
+                let _ = child.wait();
+                return None;
+            }
+            std::thread::sleep(left.min(Duration::from_millis(2)));
+        }
+    }
 }
 
 impl Oracle for ProcessOracle {
@@ -647,6 +883,10 @@ impl Oracle for ProcessOracle {
                 // Ignore broken pipes: the program may legitimately stop
                 // reading after detecting an error.
                 let _ = child.stdin.take().expect("piped stdin").write_all(payload);
+            }
+            #[cfg(any(target_os = "linux", target_os = "macos"))]
+            if let Some(limit) = self.timeout_duration() {
+                return self.wait_with_deadline(child, limit);
             }
             let out = child.wait_with_output().ok()?;
             Some((out.status.success(), out.stderr))
@@ -693,6 +933,15 @@ impl Oracle for ProcessOracle {
 
     fn failure_count(&self) -> usize {
         self.failures.load(Ordering::Relaxed)
+    }
+
+    fn configure_timeout(&self, timeout: Option<Duration>) {
+        let nanos = timeout.map_or(0, |t| u64::try_from(t.as_nanos()).unwrap_or(u64::MAX));
+        self.timeout_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    fn timed_out_count(&self) -> usize {
+        self.timeouts.load(Ordering::Relaxed)
     }
 }
 
@@ -790,7 +1039,7 @@ pub fn serve_oracle_worker_v1<F: FnMut(&[u8]) -> bool>(mut f: F) -> std::io::Res
 /// Reads a frame's leading `u32` (v1 byte length / v2 query count),
 /// mapping a clean EOF *before* the prefix to `None` (the protocol's
 /// shutdown signal) and EOF *inside* it to an error.
-fn read_frame_prefix(input: &mut impl std::io::Read) -> std::io::Result<Option<u32>> {
+pub(crate) fn read_frame_prefix(input: &mut impl std::io::Read) -> std::io::Result<Option<u32>> {
     let mut prefix = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
@@ -825,6 +1074,13 @@ struct PooledWorker {
     /// Wire version settled by negotiation at spawn time: 1 (single-query
     /// frames) or 2 (batched frames).
     version: u8,
+    /// Pool slot this worker occupies (indexes `PoolState::slots`).
+    slot: usize,
+    /// Whether this worker ever answered a query. A crash *after* an
+    /// answer restarts the breaker's strike streak at 1 instead of
+    /// extending it — only consecutive unanswered failures walk a slot
+    /// toward tripping.
+    answered: bool,
 }
 
 impl PooledWorker {
@@ -832,15 +1088,10 @@ impl PooledWorker {
     /// [`wire::WIRE_V2_PROBE`] and classify the one response byte. Any I/O
     /// failure or illegal byte is an error — the caller treats the worker
     /// as dead on arrival.
-    fn negotiate(&mut self) -> std::io::Result<()> {
+    fn negotiate(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
         let mut frame = Vec::with_capacity(4 + wire::WIRE_V2_PROBE.len());
         wire::encode_v1_frame(wire::WIRE_V2_PROBE, &mut frame)?;
-        let stdin = self.stdin.as_mut().expect("stdin open until drop");
-        stdin.write_all(&frame)?;
-        stdin.flush()?;
-        let mut response = [0u8; 1];
-        self.stdout.read_exact(&mut response)?;
-        self.version = match response[0] {
+        self.version = match self.exchange(&frame, timeout)? {
             wire::WIRE_V2_ACK => 2,
             // A v1 worker answered the probe as a query; the verdict is
             // discarded (never cached — it is not a verdict about any
@@ -855,24 +1106,119 @@ impl PooledWorker {
         Ok(())
     }
 
-    /// Poses one query over the worker's pipes (blocking, whichever wire
-    /// version the worker speaks). Any I/O deviation is an error — the
-    /// caller treats it as a worker crash.
-    fn query(&mut self, input: &[u8]) -> std::io::Result<bool> {
+    /// Poses one query over the worker's pipes (whichever wire version the
+    /// worker speaks). Any I/O deviation is an error — the caller treats
+    /// it as a worker crash; an [`std::io::ErrorKind::TimedOut`] error
+    /// specifically means the worker is hung.
+    fn query(&mut self, input: &[u8], timeout: Option<Duration>) -> std::io::Result<bool> {
         let mut frame = Vec::with_capacity(8 + input.len());
         match self.version {
             2 => wire::encode_batch_frame(&[input], &mut frame)?,
             _ => wire::encode_v1_frame(input, &mut frame)?,
         }
-        let stdin = self.stdin.as_mut().expect("stdin open until drop");
-        stdin.write_all(&frame)?;
-        stdin.flush()?;
-        let mut verdict = [0u8; 1];
-        self.stdout.read_exact(&mut verdict)?;
-        match verdict[0] {
+        match self.exchange(&frame, timeout)? {
             0 => Ok(false),
             1 => Ok(true),
             b => Err(std::io::Error::other(format!("bad verdict byte {b:#04x}"))),
+        }
+    }
+
+    /// Writes `frame` and reads the one response byte — blocking when
+    /// `timeout` is `None`, and via polled nonblocking I/O bounded by the
+    /// deadline otherwise. [`std::io::ErrorKind::TimedOut`] means the
+    /// worker blew the deadline; the caller must treat it as hung (kill,
+    /// don't wait on it).
+    fn exchange(&mut self, frame: &[u8], timeout: Option<Duration>) -> std::io::Result<u8> {
+        #[cfg(any(target_os = "linux", target_os = "macos"))]
+        if let Some(limit) = timeout {
+            return self.timed_exchange(frame, Instant::now() + limit);
+        }
+        let _ = timeout;
+        let stdin = self.stdin.as_mut().expect("stdin open until drop");
+        stdin.write_all(frame)?;
+        stdin.flush()?;
+        let mut response = [0u8; 1];
+        self.stdout.read_exact(&mut response)?;
+        Ok(response[0])
+    }
+
+    /// The deadline-bounded arm of [`PooledWorker::exchange`]: flips both
+    /// pipes into nonblocking mode for the exchange and restores blocking
+    /// mode afterwards (a restore failure poisons the worker like any
+    /// other I/O error — later blocking use would misbehave).
+    #[cfg(any(target_os = "linux", target_os = "macos"))]
+    fn timed_exchange(&mut self, frame: &[u8], deadline: Instant) -> std::io::Result<u8> {
+        use std::os::unix::io::AsRawFd as _;
+        let in_fd = self.stdin.as_ref().expect("stdin open until drop").as_raw_fd();
+        let out_fd = self.stdout.get_ref().as_raw_fd();
+        sys::set_nonblocking(in_fd, true)?;
+        sys::set_nonblocking(out_fd, true)?;
+        let result = self.timed_exchange_nonblocking(frame, deadline);
+        let restored =
+            sys::set_nonblocking(in_fd, false).and_then(|()| sys::set_nonblocking(out_fd, false));
+        match result {
+            Ok(b) => restored.map(|()| b),
+            Err(e) => Err(e),
+        }
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "macos"))]
+    fn timed_exchange_nonblocking(
+        &mut self,
+        frame: &[u8],
+        deadline: Instant,
+    ) -> std::io::Result<u8> {
+        use std::os::unix::io::AsRawFd as _;
+        fn timed_out() -> std::io::Error {
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "worker blew the query deadline")
+        }
+        let mut written = 0usize;
+        while written < frame.len() {
+            let stdin = self.stdin.as_mut().expect("stdin open until drop");
+            match stdin.write(&frame[written..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(timed_out());
+                    }
+                    let mut fds =
+                        [sys::PollFd { fd: stdin.as_raw_fd(), events: sys::POLLOUT, revents: 0 }];
+                    sys::poll_ready(&mut fds, Some(left))?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // The dispatcher invariant holds here too: between requests the
+        // BufReader holds nothing, so reading the raw fd underneath it
+        // cannot skip buffered bytes.
+        debug_assert!(self.stdout.buffer().is_empty());
+        loop {
+            let mut byte = [0u8; 1];
+            match self.stdout.get_mut().read(&mut byte) {
+                Ok(0) => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+                Ok(_) => return Ok(byte[0]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(timed_out());
+                    }
+                    let mut fds = [sys::PollFd {
+                        fd: self.stdout.get_ref().as_raw_fd(),
+                        events: sys::POLLIN,
+                        revents: 0,
+                    }];
+                    sys::poll_ready(&mut fds, Some(left))?;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 }
@@ -897,11 +1243,43 @@ impl Drop for PooledWorker {
     }
 }
 
+/// Respawn-backoff and circuit-breaker bookkeeping for one worker slot
+/// (see the module-level state machine).
+#[derive(Debug, Clone, Default)]
+struct SlotHealth {
+    /// Consecutive spawn-or-crash failures without an answered query.
+    strikes: u32,
+    /// Earliest instant a spawn may be attempted in this slot again:
+    /// backoff expiry while closed, cool-down expiry while open. `None`
+    /// means spawning is allowed now.
+    open_after: Option<Instant>,
+    /// Breaker state: `true` = open (spawns blocked until `open_after`,
+    /// after which one checkout becomes the half-open probe).
+    tripped: bool,
+    /// How many times this slot's breaker has tripped (drives the
+    /// cool-down growth across re-trips).
+    trips: u32,
+    /// A live worker (idle or checked out) currently occupies this slot.
+    occupied: bool,
+}
+
 /// Idle workers plus the count of live (idle or checked-out) workers.
 #[derive(Debug, Default)]
 struct PoolState {
     idle: Vec<PooledWorker>,
     live: usize,
+    /// Per-slot breaker state, indexed by `PooledWorker::slot`; grown
+    /// lazily to the pool size.
+    slots: Vec<SlotHealth>,
+}
+
+impl PoolState {
+    fn health(&mut self, slot: usize) -> &mut SlotHealth {
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, SlotHealth::default());
+        }
+        &mut self.slots[slot]
+    }
 }
 
 #[derive(Debug)]
@@ -921,6 +1299,21 @@ struct PoolInner {
     failures: AtomicUsize,
     /// Workers replaced after a crash (diagnostic, not a failure count).
     respawns: AtomicUsize,
+    /// Per-query deadline in nanoseconds (`0` = wait forever); see
+    /// [`PooledProcessOracle::query_timeout`].
+    timeout_nanos: AtomicU64,
+    /// Consecutive unanswered spawn-or-crash failures that trip a slot's
+    /// circuit breaker.
+    max_respawns: u32,
+    /// Base delay of the exponential respawn backoff.
+    backoff_base: Duration,
+    /// Queries abandoned because a worker blew the deadline (the worker
+    /// was killed; each query then took the ordinary crash path).
+    timeouts: AtomicUsize,
+    /// Breaker trips across the pool's lifetime (monotone).
+    trips: AtomicUsize,
+    /// Half-open probes that revived a tripped slot (monotone).
+    recoveries: AtomicUsize,
     fallback: Option<ProcessOracle>,
 }
 
@@ -975,6 +1368,12 @@ impl PooledProcessOracle {
                 available: Condvar::new(),
                 failures: AtomicUsize::new(0),
                 respawns: AtomicUsize::new(0),
+                timeout_nanos: AtomicU64::new(0),
+                max_respawns: DEFAULT_MAX_RESPAWNS,
+                backoff_base: DEFAULT_BACKOFF_BASE,
+                timeouts: AtomicUsize::new(0),
+                trips: AtomicUsize::new(0),
+                recoveries: AtomicUsize::new(0),
                 fallback: None,
             }),
         }
@@ -1040,6 +1439,43 @@ impl PooledProcessOracle {
         self
     }
 
+    /// Bounds every pooled query with a per-query deadline. A worker that
+    /// has not produced its next verdict byte within `limit` (measured
+    /// from the query being posed — or, in the batched dispatcher, from
+    /// its previous verdict byte) is hung: it is killed and reaped, the
+    /// timeout is counted in [`Oracle::timed_out_count`], and its
+    /// in-flight queries take the ordinary crash path (requeue-once,
+    /// fallback rescue, counted failure — never a silent `false`). Unset
+    /// (the default) waits forever. Runtime-configurable on a live pool
+    /// via [`Oracle::configure_timeout`]. Affects liveness only, never
+    /// verdicts.
+    pub fn query_timeout(self, limit: Duration) -> Self {
+        self.configure_timeout(Some(limit));
+        self
+    }
+
+    /// Sets how many consecutive unanswered spawn-or-crash failures trip
+    /// a worker slot's circuit breaker (must be nonzero; default 4). See
+    /// the module docs for the full backoff/breaker state machine.
+    pub fn max_respawns(mut self, k: u32) -> Self {
+        assert!(k > 0, "max_respawns requires at least one attempt");
+        self.inner_mut().max_respawns = k;
+        self
+    }
+
+    /// Sets the base delay of the exponential respawn backoff (default
+    /// 10ms). The breaker cool-down scales from the same base. Mostly for
+    /// tests that need fast breaker transitions.
+    pub fn respawn_backoff(mut self, base: Duration) -> Self {
+        self.inner_mut().backoff_base = base;
+        self
+    }
+
+    fn query_timeout_duration(&self) -> Option<Duration> {
+        let nanos = self.inner.timeout_nanos.load(Ordering::Relaxed);
+        (nanos > 0).then(|| Duration::from_nanos(nanos))
+    }
+
     /// Number of workers replaced after a crash, across the pool's
     /// lifetime.
     pub fn respawn_count(&self) -> usize {
@@ -1054,7 +1490,7 @@ impl PooledProcessOracle {
         format!("pooled:{}:{}", self.inner.program.display(), self.inner.args.join("\u{1f}"))
     }
 
-    fn spawn_worker(&self) -> std::io::Result<PooledWorker> {
+    fn spawn_worker(&self, slot: usize) -> std::io::Result<PooledWorker> {
         let mut child = Command::new(&self.inner.program)
             .args(&self.inner.args)
             .stdin(Stdio::piped())
@@ -1063,69 +1499,208 @@ impl PooledProcessOracle {
             .spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-        let mut worker = PooledWorker { child, stdin: Some(stdin), stdout, version: 1 };
+        let mut worker =
+            PooledWorker { child, stdin: Some(stdin), stdout, version: 1, slot, answered: false };
         if self.inner.max_wire >= 2 {
             // A worker that cannot even complete negotiation is dead on
             // arrival: report it as a spawn failure so the callers'
             // degradation paths (fallback oracle, failure counting) apply.
-            worker.negotiate()?;
+            // Negotiation honors the query deadline too — a worker hung at
+            // hello is as dead as one hung mid-query.
+            worker.negotiate(self.query_timeout_duration())?;
         }
         Ok(worker)
     }
 
-    /// Checks a worker out of the pool, spawning one lazily if the pool is
-    /// not at capacity, and blocking while all workers are busy. Returns
-    /// `None` only when a needed spawn fails.
-    fn checkout(&self) -> Option<PooledWorker> {
+    /// Exponential respawn backoff for strike `strikes` in `slot`: nothing
+    /// for the first strike, then `base · 2^(strikes−2)` (shift capped)
+    /// plus a deterministic per-(slot, strike) jitter ≤ `base/4` so the
+    /// slots of a crashing pool do not respawn in lockstep.
+    fn backoff_delay(&self, slot: usize, strikes: u32) -> Option<Duration> {
+        if strikes < 2 {
+            return None;
+        }
+        let base = self.inner.backoff_base;
+        let exp = (strikes - 2).min(6);
+        let mut h = (slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ u64::from(strikes).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 31;
+        let jitter = Duration::from_nanos((base.as_nanos() as u64 / 1024).saturating_mul(h % 256));
+        Some(base.saturating_mul(1 << exp).saturating_add(jitter))
+    }
+
+    /// Breaker cool-down before the `trips`-th open slot half-opens:
+    /// `base · 50 · 2^(trips−1)` (growth capped), at most one minute.
+    fn trip_cooldown(&self, trips: u32) -> Duration {
+        let exp = trips.saturating_sub(1).min(5);
+        self.inner.backoff_base.saturating_mul(50 << exp).min(Duration::from_secs(60))
+    }
+
+    /// Records one spawn-or-crash strike against `slot` (pool lock held by
+    /// the caller): advances the strike streak, schedules the backoff, and
+    /// trips (or re-trips) the breaker at `max_respawns` strikes.
+    fn record_strike(&self, state: &mut PoolState, slot: usize, answered: bool) {
+        let k = self.inner.max_respawns;
+        let h = state.health(slot);
+        h.strikes = if answered { 1 } else { h.strikes.saturating_add(1) };
+        if h.tripped || h.strikes >= k {
+            // Fresh trip, or a failed half-open probe re-tripping with a
+            // longer cool-down.
+            h.tripped = true;
+            h.trips = h.trips.saturating_add(1);
+            let trips = h.trips;
+            state.health(slot).open_after = Some(Instant::now() + self.trip_cooldown(trips));
+            self.inner.trips.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let delay = self.backoff_delay(slot, h.strikes);
+            state.health(slot).open_after = delay.map(|d| Instant::now() + d);
+        }
+    }
+
+    /// Records a strike against `slot` while keeping it occupied (the
+    /// caller is about to retry in place). Returns `true` when the slot
+    /// may not spawn right now — breaker open or backoff pending — in
+    /// which case the caller must release the slot and degrade instead of
+    /// retrying.
+    fn strike_in_place(&self, slot: usize, answered: bool) -> bool {
+        let mut state = self.inner.state.lock().expect("pool poisoned");
+        self.record_strike(&mut state, slot, answered);
+        let h = state.health(slot);
+        h.tripped || h.open_after.is_some_and(|t| t > Instant::now())
+    }
+
+    /// Records a strike against `slot` and gives the live slot up (the
+    /// worker died and is not being replaced here, or a spawn failed).
+    fn strike_and_release(&self, slot: usize, answered: bool) {
+        let mut state = self.inner.state.lock().expect("pool poisoned");
+        state.live -= 1;
+        self.record_strike(&mut state, slot, answered);
+        state.health(slot).occupied = false;
+        drop(state);
+        self.inner.available.notify_one();
+    }
+
+    /// A half-open probe spawned successfully: close the slot's breaker
+    /// and count the recovery. The strike streak is deliberately *not*
+    /// reset — only an answered query ([`PooledProcessOracle::checkin`])
+    /// does that, so a spawn-then-crash-before-answering loop still trips.
+    fn note_recovery(&self, slot: usize) {
+        let mut state = self.inner.state.lock().expect("pool poisoned");
+        let h = state.health(slot);
+        h.tripped = false;
+        h.open_after = None;
+        drop(state);
+        self.inner.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Checks a worker out of the pool, spawning one lazily into a
+    /// spawnable slot (backoff elapsed, breaker closed — or open past its
+    /// cool-down, which makes this checkout the half-open probe). `block`
+    /// waits out a fully-busy pool and pending backoffs; nonblocking
+    /// callers get `None` instead. Returns `None` when no worker can be
+    /// produced — needed spawns failed, or every idle slot's breaker is
+    /// open (queries then degrade to the fallback rather than sleeping
+    /// out a cool-down).
+    fn checkout_inner(&self, block: bool) -> Option<PooledWorker> {
         let mut state = self.inner.state.lock().expect("pool poisoned");
         loop {
             if let Some(w) = state.idle.pop() {
                 return Some(w);
             }
-            if state.live < self.inner.size {
+            if state.live >= self.inner.size {
+                if !block {
+                    return None;
+                }
+                state = self.inner.available.wait(state).expect("pool poisoned");
+                continue;
+            }
+            let now = Instant::now();
+            let candidate = (0..self.inner.size).find(|&s| {
+                let h = state.health(s);
+                !h.occupied && h.open_after.is_none_or(|t| t <= now)
+            });
+            if let Some(slot) = candidate {
                 state.live += 1;
+                let h = state.health(slot);
+                h.occupied = true;
+                let half_open = h.tripped;
                 drop(state);
-                match self.spawn_worker() {
-                    Ok(w) => return Some(w),
+                match self.spawn_worker(slot) {
+                    Ok(w) => {
+                        if half_open {
+                            self.note_recovery(slot);
+                        }
+                        return Some(w);
+                    }
                     Err(_) => {
-                        self.release_slot();
-                        return None;
+                        self.strike_and_release(slot, false);
+                        if !block {
+                            return None;
+                        }
+                        state = self.inner.state.lock().expect("pool poisoned");
+                        continue;
                     }
                 }
-            } else {
-                state = self.inner.available.wait(state).expect("pool poisoned");
             }
+            // No slot is spawnable right now. Distinguish "worth waiting"
+            // (live workers will check back in, or a backoff will elapse)
+            // from "degrade now" (no live workers and every idle slot's
+            // breaker is open).
+            let waitable = (0..self.inner.size).any(|s| {
+                let h = state.health(s);
+                !h.occupied && !h.tripped
+            });
+            if state.live == 0 && !waitable {
+                return None;
+            }
+            if !block {
+                return None;
+            }
+            let earliest = (0..self.inner.size)
+                .filter_map(|s| {
+                    let h = state.health(s);
+                    if h.occupied || h.tripped {
+                        None
+                    } else {
+                        h.open_after
+                    }
+                })
+                .min();
+            state = match earliest {
+                Some(t) => {
+                    let wait =
+                        t.saturating_duration_since(Instant::now()).max(Duration::from_millis(1));
+                    self.inner.available.wait_timeout(state, wait).expect("pool poisoned").0
+                }
+                None => self.inner.available.wait(state).expect("pool poisoned"),
+            };
         }
+    }
+
+    /// Blocking checkout; see [`PooledProcessOracle::checkout_inner`].
+    fn checkout(&self) -> Option<PooledWorker> {
+        self.checkout_inner(true)
     }
 
     /// Like [`PooledProcessOracle::checkout`], but never blocks: returns
-    /// `None` when every worker is busy (or a needed spawn fails). The
-    /// batched dispatcher uses this to widen its worker set
-    /// opportunistically without stalling on pools shared with other
-    /// callers.
+    /// `None` when every worker is busy (or a needed spawn fails, or the
+    /// breakers forbid spawning). The batched dispatcher uses this to
+    /// widen its worker set opportunistically without stalling on pools
+    /// shared with other callers.
     fn try_checkout(&self) -> Option<PooledWorker> {
-        let mut state = self.inner.state.lock().expect("pool poisoned");
-        if let Some(w) = state.idle.pop() {
-            return Some(w);
-        }
-        if state.live < self.inner.size {
-            state.live += 1;
-            drop(state);
-            match self.spawn_worker() {
-                Ok(w) => Some(w),
-                Err(_) => {
-                    self.release_slot();
-                    None
-                }
-            }
-        } else {
-            None
-        }
+        self.checkout_inner(false)
     }
 
-    /// Returns a healthy worker to the idle set.
+    /// Returns a healthy worker to the idle set. An answered query is the
+    /// breaker's proof of slot health: the strike streak resets here.
     fn checkin(&self, worker: PooledWorker) {
         let mut state = self.inner.state.lock().expect("pool poisoned");
+        if worker.answered {
+            let h = state.health(worker.slot);
+            h.strikes = 0;
+            h.open_after = None;
+            h.tripped = false;
+        }
         state.idle.push(worker);
         drop(state);
         self.inner.available.notify_one();
@@ -1133,11 +1708,23 @@ impl PooledProcessOracle {
 
     /// Gives up a live slot (worker died and was not replaced, or a spawn
     /// failed), waking a waiter so it can try spawning afresh.
-    fn release_slot(&self) {
+    fn release_slot(&self, slot: usize) {
         let mut state = self.inner.state.lock().expect("pool poisoned");
         state.live -= 1;
+        state.health(slot).occupied = false;
         drop(state);
         self.inner.available.notify_one();
+    }
+
+    /// A [`std::io::ErrorKind::TimedOut`] exchange means the worker is
+    /// hung, not crashed: count the timeout and kill it immediately, so
+    /// the drop-time grace period (meant for workers that honor EOF) does
+    /// not stall the caller.
+    fn kill_if_hung(&self, worker: &mut PooledWorker, err: &std::io::Error) {
+        if err.kind() == std::io::ErrorKind::TimedOut {
+            self.inner.timeouts.fetch_add(1, Ordering::Relaxed);
+            let _ = worker.child.kill();
+        }
     }
 
     /// The pooled path produced no verdict: consult the fallback oracle or
@@ -1167,6 +1754,11 @@ struct DispatchSlot {
     /// Set when the worker deviates from the protocol; the crash pass
     /// requeues its in-flight queries and replaces it.
     dead: bool,
+    /// When the worker's next verdict byte is due: armed as queries enter
+    /// an empty in-flight window, re-armed on every verdict byte, cleared
+    /// when the window drains. `None` while nothing is owed or no
+    /// [`PooledProcessOracle::query_timeout`] is configured.
+    deadline: Option<Instant>,
 }
 
 #[cfg(any(target_os = "linux", target_os = "macos"))]
@@ -1192,8 +1784,9 @@ impl PooledProcessOracle {
             .and_then(|()| sys::set_nonblocking(worker.stdout.get_ref().as_raw_fd(), true))
             .is_ok();
         if !ok {
+            let slot = worker.slot;
             drop(worker);
-            self.release_slot();
+            self.release_slot(slot);
             return None;
         }
         Some(DispatchSlot {
@@ -1202,6 +1795,7 @@ impl PooledProcessOracle {
             written: 0,
             inflight: VecDeque::new(),
             dead: false,
+            deadline: None,
         })
     }
 
@@ -1218,8 +1812,9 @@ impl PooledProcessOracle {
         if ok {
             self.checkin(worker);
         } else {
+            let slot = worker.slot;
             drop(worker);
-            self.release_slot();
+            self.release_slot(slot);
         }
     }
 
@@ -1234,6 +1829,7 @@ impl PooledProcessOracle {
     fn dispatch_batch(&self, inputs: &[&[u8]]) -> Vec<Option<bool>> {
         let n = inputs.len();
         let frame_batch = self.inner.frame_batch;
+        let timeout = self.query_timeout_duration();
         let mut results: Vec<Option<bool>> = vec![None; n];
         let mut retried = vec![false; n];
         // Indices that exhausted the event-driven path. They are resolved
@@ -1346,6 +1942,14 @@ impl PooledProcessOracle {
                     }
                     slot.inflight.extend(frame_queries);
                 }
+                if let Some(t) = timeout {
+                    if slot.deadline.is_none() && !slot.inflight.is_empty() {
+                        // The deadline covers frame delivery too: a worker
+                        // hung enough to stop reading stalls the write
+                        // side just as hard as one that stops answering.
+                        slot.deadline = Some(Instant::now() + t);
+                    }
+                }
             }
 
             // Readiness: one pollfd per direction per slot with work.
@@ -1376,7 +1980,16 @@ impl PooledProcessOracle {
                 // died and was not replaced. Loop back to re-acquire.
                 continue;
             }
-            if sys::poll_ready(&mut fds).is_err() {
+            // Block until a pipe is ready or the earliest slot deadline
+            // passes (`Ok(0)`). `poll_ready` retries EINTR internally with
+            // the remaining time recomputed, so a stray signal never
+            // degrades the batch.
+            let poll_timeout = slots
+                .iter()
+                .filter_map(|s| s.deadline)
+                .min()
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            if sys::poll_ready(&mut fds, poll_timeout).is_err() {
                 // poll(2) itself failed (resource exhaustion): no channel
                 // is trustworthy, degrade whatever is unanswered.
                 for slot in &mut slots {
@@ -1424,6 +2037,7 @@ impl PooledProcessOracle {
                         }
                     }
                 } else {
+                    let mut advanced = false;
                     'read: loop {
                         match slot.worker.stdout.get_mut().read(&mut read_buf) {
                             Ok(0) => {
@@ -1441,6 +2055,7 @@ impl PooledProcessOracle {
                                         0 | 1 => {
                                             results[idx] = Some(b == 1);
                                             remaining -= 1;
+                                            advanced = true;
                                         }
                                         _ => {
                                             // Illegal verdict: the query is
@@ -1465,6 +2080,36 @@ impl PooledProcessOracle {
                             }
                         }
                     }
+                    if advanced {
+                        // Progress is per verdict byte: a slow worker that
+                        // keeps answering within the deadline is healthy,
+                        // however long the whole frame takes.
+                        slot.worker.answered = true;
+                        slot.deadline = if slot.inflight.is_empty() {
+                            None
+                        } else {
+                            timeout.map(|t| Instant::now() + t)
+                        };
+                    }
+                }
+            }
+
+            // Hang scan: a slot still owing verdicts past its deadline is
+            // hung — count its in-flight queries as timeouts, kill the
+            // worker, and let the crash pass recover them (requeue-once,
+            // then the blocking replay path with fallback and failure
+            // accounting — never a silent `false`).
+            if timeout.is_some() {
+                let now = Instant::now();
+                for slot in &mut slots {
+                    if !slot.dead
+                        && !slot.inflight.is_empty()
+                        && slot.deadline.is_some_and(|d| d <= now)
+                    {
+                        self.inner.timeouts.fetch_add(slot.inflight.len(), Ordering::Relaxed);
+                        let _ = slot.worker.child.kill();
+                        slot.dead = true;
+                    }
                 }
             }
 
@@ -1487,16 +2132,26 @@ impl PooledProcessOracle {
                         pending.push_back(idx);
                     }
                 }
+                let pool_slot = slot.worker.slot;
+                let answered = slot.worker.answered;
                 drop(slot.worker); // reap
                 self.inner.respawns.fetch_add(1, Ordering::Relaxed);
-                match self.spawn_worker() {
+                if self.strike_in_place(pool_slot, answered) {
+                    // Breaker open or backoff pending: give the slot up
+                    // rather than spawning into it; the top-of-loop
+                    // acquisition re-probes once spawning is allowed
+                    // again (and sleeps out backoffs off the hot path).
+                    self.release_slot(pool_slot);
+                    continue;
+                }
+                match self.spawn_worker(pool_slot) {
                     Ok(fresh) => {
                         // A `None` means open_slot released the pool slot.
                         if let Some(replacement) = self.open_slot(fresh) {
                             slots.push(replacement);
                         }
                     }
-                    Err(_) => self.release_slot(),
+                    Err(_) => self.strike_and_release(pool_slot, false),
                 }
             }
         }
@@ -1504,8 +2159,9 @@ impl PooledProcessOracle {
         for slot in slots {
             if slot.dead {
                 // Only reachable on the poll-failure bailout: reap.
+                let pool_slot = slot.worker.slot;
                 drop(slot.worker);
-                self.release_slot();
+                self.release_slot(pool_slot);
             } else {
                 self.close_slot(slot);
             }
@@ -1544,16 +2200,27 @@ impl Oracle for PooledProcessOracle {
             self.checkin(worker);
             return self.degraded(input);
         }
-        match worker.query(input) {
+        let timeout = self.query_timeout_duration();
+        match worker.query(input, timeout) {
             Ok(v) => {
+                worker.answered = true;
                 self.checkin(worker);
                 Some(v)
             }
-            Err(_) => {
-                // Worker crashed mid-query: reap it, respawn, retry once.
-                drop(worker);
+            Err(e) => {
+                // Worker crashed (or hung and blew the deadline): reap it,
+                // respawn, retry once — unless the slot's breaker says the
+                // retry would just strike again.
+                let slot = worker.slot;
+                let answered = worker.answered;
+                self.kill_if_hung(&mut worker, &e);
+                drop(worker); // reap
                 self.inner.respawns.fetch_add(1, Ordering::Relaxed);
-                match self.spawn_worker() {
+                if self.strike_in_place(slot, answered) {
+                    self.release_slot(slot);
+                    return self.degraded(input);
+                }
+                match self.spawn_worker(slot) {
                     Ok(mut fresh) => {
                         if fresh.version >= 2 && input.len() > wire::MAX_FRAME_BYTES {
                             // Same unpose-able-on-v2 guard as above (the
@@ -1561,20 +2228,22 @@ impl Oracle for PooledProcessOracle {
                             self.checkin(fresh);
                             return self.degraded(input);
                         }
-                        match fresh.query(input) {
+                        match fresh.query(input, timeout) {
                             Ok(v) => {
+                                fresh.answered = true;
                                 self.checkin(fresh);
                                 Some(v)
                             }
-                            Err(_) => {
+                            Err(e) => {
+                                self.kill_if_hung(&mut fresh, &e);
                                 drop(fresh);
-                                self.release_slot();
+                                self.strike_and_release(slot, false);
                                 self.degraded(input)
                             }
                         }
                     }
                     Err(_) => {
-                        self.release_slot();
+                        self.strike_and_release(slot, false);
                         self.degraded(input)
                     }
                 }
@@ -1597,6 +2266,29 @@ impl Oracle for PooledProcessOracle {
     fn failure_count(&self) -> usize {
         self.inner.failures.load(Ordering::Relaxed)
             + self.inner.fallback.as_ref().map_or(0, Oracle::failure_count)
+    }
+
+    fn configure_timeout(&self, timeout: Option<Duration>) {
+        let nanos = timeout.map_or(0, |t| u64::try_from(t.as_nanos()).unwrap_or(u64::MAX));
+        self.inner.timeout_nanos.store(nanos, Ordering::Relaxed);
+        // The fallback rescues queries the pooled path abandoned; it needs
+        // the same hang protection or a hung target would stall the rescue.
+        if let Some(fallback) = &self.inner.fallback {
+            fallback.configure_timeout(timeout);
+        }
+    }
+
+    fn timed_out_count(&self) -> usize {
+        self.inner.timeouts.load(Ordering::Relaxed)
+            + self.inner.fallback.as_ref().map_or(0, Oracle::timed_out_count)
+    }
+
+    fn tripped_worker_count(&self) -> usize {
+        self.inner.trips.load(Ordering::Relaxed)
+    }
+
+    fn recovered_worker_count(&self) -> usize {
+        self.inner.recoveries.load(Ordering::Relaxed)
     }
 }
 

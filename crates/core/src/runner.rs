@@ -180,11 +180,23 @@ pub(crate) struct QueryRunner<'s> {
     failures_at_start: usize,
     /// Failures already surfaced through `SynthEvent::OracleFailures`.
     failures_reported: AtomicUsize,
+    /// Pre-run baselines and already-surfaced marks for the oracle health
+    /// counters (deadline timeouts, breaker trips/recoveries), mirroring
+    /// the failure-count delta reporting above.
+    timeouts_at_start: usize,
+    timeouts_reported: AtomicUsize,
+    trips_at_start: usize,
+    trips_reported: AtomicUsize,
+    recoveries_at_start: usize,
+    recoveries_reported: AtomicUsize,
 }
 
 impl<'s> QueryRunner<'s> {
     pub fn new(oracle: &'s dyn Oracle, cache: &'s ShardedCache, opts: RunnerOptions<'s>) -> Self {
         let failures_at_start = oracle.failure_count();
+        let timeouts_at_start = oracle.timed_out_count();
+        let trips_at_start = oracle.tripped_worker_count();
+        let recoveries_at_start = oracle.recovered_worker_count();
         QueryRunner {
             oracle,
             cache,
@@ -201,6 +213,12 @@ impl<'s> QueryRunner<'s> {
             workers: opts.workers.max(1),
             failures_at_start,
             failures_reported: AtomicUsize::new(failures_at_start),
+            timeouts_at_start,
+            timeouts_reported: AtomicUsize::new(timeouts_at_start),
+            trips_at_start,
+            trips_reported: AtomicUsize::new(trips_at_start),
+            recoveries_at_start,
+            recoveries_reported: AtomicUsize::new(recoveries_at_start),
         }
     }
 
@@ -246,6 +264,51 @@ impl<'s> QueryRunner<'s> {
     /// verdict could not be obtained and degraded to `false`).
     pub fn oracle_failures(&self) -> usize {
         self.oracle.failure_count().saturating_sub(self.failures_at_start)
+    }
+
+    /// Surfaces newly observed oracle health transitions — deadline
+    /// timeouts ([`SynthEvent::WorkerHung`]), breaker trips
+    /// ([`SynthEvent::BreakerTripped`]) and recoveries
+    /// ([`SynthEvent::BreakerRecovered`]) — with the same swap-delta
+    /// pattern as [`QueryRunner::report_oracle_failures`]. Called after
+    /// every batch; emits only when a counter grew.
+    fn report_oracle_health(&self) {
+        let current = self.oracle.timed_out_count();
+        let previous = self.timeouts_reported.swap(current, Ordering::Relaxed);
+        if current > previous {
+            self.emit(SynthEvent::WorkerHung {
+                new_timeouts: current - previous,
+                run_timeouts: current - self.timeouts_at_start,
+            });
+        }
+        let current = self.oracle.tripped_worker_count();
+        let previous = self.trips_reported.swap(current, Ordering::Relaxed);
+        if current > previous {
+            self.emit(SynthEvent::BreakerTripped {
+                new_trips: current - previous,
+                run_trips: current - self.trips_at_start,
+            });
+        }
+        let current = self.oracle.recovered_worker_count();
+        let previous = self.recoveries_reported.swap(current, Ordering::Relaxed);
+        if current > previous {
+            self.emit(SynthEvent::BreakerRecovered {
+                new_recoveries: current - previous,
+                run_recoveries: current - self.recoveries_at_start,
+            });
+        }
+    }
+
+    /// Queries abandoned to the per-query deadline during this run (each
+    /// was also retried or degraded, so it is *additionally* visible in
+    /// [`QueryRunner::oracle_failures`] unless rescued).
+    pub fn timed_out_queries(&self) -> usize {
+        self.oracle.timed_out_count().saturating_sub(self.timeouts_at_start)
+    }
+
+    /// Worker-slot circuit-breaker trips during this run.
+    pub fn tripped_workers(&self) -> usize {
+        self.oracle.tripped_worker_count().saturating_sub(self.trips_at_start)
     }
 
     /// Reserves one budget slot, or trips the exhausted flag and fails.
@@ -440,6 +503,7 @@ impl<'s> QueryRunner<'s> {
                 .collect()
         };
         self.report_oracle_failures();
+        self.report_oracle_health();
 
         if self.observer.is_some() {
             // `posed` counts misses that actually reached the oracle —

@@ -140,6 +140,18 @@ impl GladeBuilder {
         self
     }
 
+    /// Bounds every oracle query with a per-query deadline (see
+    /// [`GladeConfig::oracle_timeout`](crate::GladeConfig::oracle_timeout)):
+    /// a worker that accepts a query but never answers within `limit` is
+    /// killed, the query is retried or counted as a failure, and synthesis
+    /// keeps moving — a hung parser binary can cost queries, never the
+    /// run. In-process oracles ignore it. Affects liveness only, never
+    /// verdicts.
+    pub fn oracle_timeout(mut self, limit: Duration) -> Self {
+        self.config.oracle_timeout = Some(limit);
+        self
+    }
+
     /// Enables or disables the Section 6.1 redundant-seed skip.
     pub fn skip_redundant_seeds(mut self, enabled: bool) -> Self {
         self.config.skip_redundant_seeds = enabled;
@@ -349,6 +361,12 @@ impl<'o> Session<'o> {
             .worker_threads
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         let observer: Option<&dyn SynthesisObserver> = self.observer.as_deref();
+        if let Some(limit) = self.config.oracle_timeout {
+            // Only push a configured deadline down; `None` must not
+            // clobber a timeout set directly on the oracle (e.g. via
+            // `PooledProcessOracle::query_timeout`).
+            self.oracle.configure_timeout(Some(limit));
+        }
         let runner = QueryRunner::new(
             self.oracle,
             &self.cache,
@@ -528,6 +546,8 @@ impl<'o> Session<'o> {
         stats.budget_exhausted = runner.exhausted();
         stats.cancelled = runner.was_cancelled();
         stats.oracle_failures = runner.oracle_failures();
+        stats.timed_out_queries = runner.timed_out_queries();
+        stats.tripped_workers = runner.tripped_workers();
 
         Ok(Synthesis { grammar, regex, stats })
     }
@@ -613,6 +633,7 @@ mod tests {
             .char_test_bytes(vec![b'a', b'b'])
             .max_queries(7)
             .time_limit(Duration::from_secs(3))
+            .oracle_timeout(Duration::from_secs(9))
             .skip_redundant_seeds(false)
             .worker_threads(2);
         let c = b.config();
@@ -621,6 +642,7 @@ mod tests {
         assert_eq!(c.char_test_bytes, vec![b'a', b'b']);
         assert_eq!(c.max_queries, Some(7));
         assert_eq!(c.time_limit, Some(Duration::from_secs(3)));
+        assert_eq!(c.oracle_timeout, Some(Duration::from_secs(9)));
         assert!(!c.skip_redundant_seeds);
         assert_eq!(c.worker_threads, Some(2));
     }

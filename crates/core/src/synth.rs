@@ -55,6 +55,14 @@ pub struct GladeConfig {
     /// cutoff), just as the deadline made the sequential seed
     /// implementation timing-dependent.
     pub worker_threads: Option<usize>,
+    /// Per-query deadline applied to the oracle (see
+    /// [`Oracle::configure_timeout`](crate::Oracle::configure_timeout)): a
+    /// worker that accepts a query but never answers within this limit is
+    /// killed and the query is retried or counted as a failure, so a hung
+    /// parser binary cannot stall synthesis forever. `None` (the default)
+    /// waits forever. Affects liveness only, never verdicts — in-process
+    /// oracles ignore it.
+    pub oracle_timeout: Option<Duration>,
 }
 
 impl Default for GladeConfig {
@@ -67,6 +75,7 @@ impl Default for GladeConfig {
             time_limit: None,
             skip_redundant_seeds: true,
             worker_threads: None,
+            oracle_timeout: None,
         }
     }
 }
@@ -123,6 +132,18 @@ pub struct SynthesisStats {
     /// [`Oracle::failure_count`](crate::Oracle::failure_count) and
     /// [`SynthEvent::OracleFailures`](crate::SynthEvent::OracleFailures).
     pub oracle_failures: usize,
+    /// Queries abandoned because an oracle worker hung past the configured
+    /// [`oracle_timeout`](GladeConfig::oracle_timeout) and was killed. Each
+    /// such query was retried on a fresh worker or degraded (and is then
+    /// also visible in
+    /// [`oracle_failures`](SynthesisStats::oracle_failures)); see
+    /// [`SynthEvent::WorkerHung`](crate::SynthEvent::WorkerHung).
+    pub timed_out_queries: usize,
+    /// Worker-slot circuit-breaker trips during this run: a slot whose
+    /// spawns or workers kept failing was taken out of rotation for a
+    /// cool-down; see
+    /// [`SynthEvent::BreakerTripped`](crate::SynthEvent::BreakerTripped).
+    pub tripped_workers: usize,
     /// Whether the query/time budget ran out (or the run was cancelled)
     /// mid-run.
     pub budget_exhausted: bool,

@@ -15,6 +15,7 @@ use glade_core::{
 use glade_grammar::grammar_to_text;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Golden distinct-query count for the single seed `<a>hi</a>`.
 const GOLDEN_UNIQUE: usize = 1324;
@@ -216,6 +217,13 @@ fn skewed_latency_does_not_change_grammar_or_query_counts() {
 /// * `--garbage-after N` — answer every verdict after the Nth as an
 ///   illegal byte (`0x7f`): the oracle must treat it as a crash, never as
 ///   a verdict;
+/// * `--hang-after N` — answer N queries and then go silent *without*
+///   exiting (in v2 mode the partial verdicts of the current frame are
+///   flushed first, so the hang lands mid-batch): the pipe stays open, so
+///   only a query deadline can unwedge the oracle;
+/// * `--stall-ms M` — slow-loris: trickle each verdict byte after an M ms
+///   pause. Slow but healthy — a per-verdict deadline must tolerate it
+///   even when the whole batch takes longer than the deadline;
 /// * the input `CRASH!` makes the worker exit *without* answering (in v2
 ///   mode: after flushing the partial verdicts of the frame so far) — a
 ///   poison input that defeats every retry.
@@ -229,11 +237,21 @@ fn flag(args: &[String], name: &str) -> Option<usize> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
+fn hang_forever() -> ! {
+    // Stay alive without speaking: the pipe never reaches EOF, so only a
+    // deadline on the oracle side can detect this state.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let v1_only = args.iter().any(|a| a == "--v1-only");
     let crash_after = flag(&args, "--crash-after");
     let garbage_after = flag(&args, "--garbage-after");
+    let hang_after = flag(&args, "--hang-after");
+    let stall_ms = flag(&args, "--stall-ms");
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut input = stdin.lock();
@@ -272,8 +290,14 @@ fn main() {
             if buf == b"CRASH!" {
                 std::process::exit(3);
             }
+            if hang_after.is_some_and(|h| answered >= h) {
+                hang_forever();
+            }
             let accept = !buf.is_empty() && buf.iter().all(|&b| b == b'x');
             answered += 1;
+            if let Some(ms) = stall_ms {
+                std::thread::sleep(std::time::Duration::from_millis(ms as u64));
+            }
             if output.write_all(&[verdict_byte(accept, answered)]).is_err() {
                 return;
             }
@@ -306,6 +330,13 @@ fn main() {
                     die = Some(3);
                     break;
                 }
+                if hang_after.is_some_and(|h| answered >= h) {
+                    // A mid-frame hang still flushes the verdicts so far:
+                    // the oracle sees a torn batch that then goes silent.
+                    let _ = output.write_all(&verdicts);
+                    let _ = output.flush();
+                    hang_forever();
+                }
                 let accept = !buf.is_empty() && buf.iter().all(|&b| b == b'x');
                 answered += 1;
                 verdicts.push(verdict_byte(accept, answered));
@@ -316,7 +347,16 @@ fn main() {
             }
             // A mid-frame death still flushes the verdicts computed so
             // far: the oracle must survive a torn (partial) response.
-            if output.write_all(&verdicts).is_err() || output.flush().is_err() {
+            if let Some(ms) = stall_ms {
+                // Slow-loris: one flushed byte per pause, so every verdict
+                // arrives as its own read on the oracle side.
+                for &v in &verdicts {
+                    std::thread::sleep(std::time::Duration::from_millis(ms as u64));
+                    if output.write_all(&[v]).is_err() || output.flush().is_err() {
+                        return;
+                    }
+                }
+            } else if output.write_all(&verdicts).is_err() || output.flush().is_err() {
                 return;
             }
             if let Some(code) = die {
@@ -644,6 +684,148 @@ fn poison_query_inside_a_batch_degrades_only_itself() {
     }
     assert_eq!(pool.failure_count(), 1, "exactly the poison query is a failure");
     assert!(pool.respawn_count() >= 2);
+}
+
+#[test]
+fn hung_worker_is_killed_at_the_deadline_and_recovered() {
+    // `--hang-after 2`: each worker answers two queries and then goes
+    // silent without exiting, so the pipe never reaches EOF. Without a
+    // deadline the blocking per-query path would wedge forever; with one,
+    // the hung worker is killed at the deadline, the abandoned query is
+    // counted in `timed_out_count`, and the retry lands on a fresh worker
+    // that answers it — no verdict is ever lost or wrong.
+    let _guard = Watchdog::arm("hung_worker_is_killed_at_the_deadline_and_recovered");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let pool = PooledProcessOracle::new(bin)
+        .arg("--hang-after")
+        .arg("2")
+        .pool_size(1)
+        .query_timeout(Duration::from_millis(250));
+    for i in 0..8usize {
+        let input = vec![b'x'; 1 + i % 3];
+        assert!(pool.accepts(&input), "iter {i}");
+    }
+    assert!(pool.timed_out_count() >= 2, "hangs detected: {}", pool.timed_out_count());
+    assert_eq!(pool.failure_count(), 0, "every hung query was recovered on retry");
+    assert!(pool.respawn_count() >= 2, "respawns: {}", pool.respawn_count());
+}
+
+#[test]
+fn slow_loris_verdicts_within_the_deadline_stay_healthy() {
+    // `--stall-ms 20` trickles each verdict as its own flushed byte ~20 ms
+    // apart, so a 16-query frame takes ~320 ms end to end — well past the
+    // 150 ms deadline if it were measured per frame. The deadline is per
+    // verdict *progress*: as long as each byte lands inside it the worker
+    // is slow but healthy, and nothing may be killed, retried, or counted.
+    let _guard = Watchdog::arm("slow_loris_verdicts_within_the_deadline_stay_healthy");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let inputs = x_workload(48, 5);
+    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let expected: Vec<Option<bool>> = inputs.iter().map(|i| Some(x_language(i))).collect();
+    let pool = PooledProcessOracle::new(bin)
+        .arg("--stall-ms")
+        .arg("20")
+        .pool_size(2)
+        .frame_batch(16)
+        .query_timeout(Duration::from_millis(150));
+    assert_eq!(pool.accepts_batch_checked(&refs), expected);
+    assert_eq!(pool.timed_out_count(), 0, "a slow-but-healthy worker was declared hung");
+    assert_eq!(pool.respawn_count(), 0, "a slow-but-healthy worker was killed");
+    assert_eq!(pool.failure_count(), 0);
+}
+
+#[test]
+fn hang_mid_v2_frame_under_concurrent_load_recovers_every_query() {
+    // Workers answer 13 queries and then hang mid-v2-frame, after flushing
+    // a torn partial verdict run (see TEST_WORKER_SOURCE). Concurrent
+    // batched dispatch must detect each hang at the deadline, kill the
+    // worker, requeue the unanswered tail, and replay it on fresh workers:
+    // every query still gets its true verdict and none is a failure.
+    let _guard = Watchdog::arm("hang_mid_v2_frame_under_concurrent_load_recovers_every_query");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let pool = PooledProcessOracle::new(bin)
+        .arg("--hang-after")
+        .arg("13")
+        .pool_size(2)
+        .frame_batch(16)
+        .query_timeout(Duration::from_millis(250));
+    std::thread::scope(|s| {
+        for t in 0..3usize {
+            let pool = &pool;
+            s.spawn(move || {
+                for round in 0..2usize {
+                    let inputs = x_workload(40, 500 * t + 13 * round);
+                    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+                    let expected: Vec<Option<bool>> =
+                        inputs.iter().map(|i| Some(x_language(i))).collect();
+                    assert_eq!(
+                        pool.accepts_batch_checked(&refs),
+                        expected,
+                        "thread {t} round {round}"
+                    );
+                }
+            });
+        }
+    });
+    assert!(pool.timed_out_count() >= 1, "no mid-frame hang was detected");
+    assert_eq!(pool.failure_count(), 0, "every hung query was replayed successfully");
+    assert!(pool.respawn_count() >= 2, "respawns: {}", pool.respawn_count());
+}
+
+#[test]
+fn full_synthesis_with_hanging_workers_stays_exact_and_reports_hangs() {
+    // The tentpole acceptance invariant for deadlines: a pooled synthesis
+    // run whose workers keep hanging completes (the watchdog turns a wedge
+    // into a fast failure), produces the exact grammar bytes and query
+    // counts of the in-process reference, counts every hang in
+    // `timed_out_queries`, and surfaces them as WorkerHung events.
+    let _guard = Watchdog::arm("full_synthesis_with_hanging_workers_stays_exact_and_reports_hangs");
+    let Some(bin) = test_worker_bin() else {
+        eprintln!("skipping: rustc unavailable, cannot build the protocol worker");
+        return;
+    };
+    let seeds = vec![b"xx".to_vec()];
+    let reference =
+        GladeBuilder::new().synthesize(&seeds, &FnOracle::new(x_language)).expect("valid seed");
+    let pool = PooledProcessOracle::new(bin).arg("--hang-after").arg("29").pool_size(2);
+    let log = Arc::new(EventLog::new());
+    let result = GladeBuilder::new()
+        .observer(log.clone())
+        .oracle_timeout(Duration::from_millis(250))
+        .synthesize(&seeds, &pool)
+        .expect("valid seed");
+    assert_eq!(
+        grammar_to_text(&result.grammar),
+        grammar_to_text(&reference.grammar),
+        "hangs leaked into the grammar"
+    );
+    assert_eq!(result.stats.unique_queries, reference.stats.unique_queries);
+    assert_eq!(result.stats.total_queries, reference.stats.total_queries);
+    assert_eq!(result.stats.oracle_failures, 0, "every hang was recovered");
+    assert!(result.stats.timed_out_queries > 0, "the workload outlives the hang threshold");
+    assert_eq!(
+        result.stats.timed_out_queries,
+        pool.timed_out_count(),
+        "session stats drifted from the oracle's own accounting"
+    );
+    let reported: usize = log
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            SynthEvent::WorkerHung { new_timeouts, .. } => Some(*new_timeouts),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(reported, result.stats.timed_out_queries, "events account for every hang");
 }
 
 #[test]

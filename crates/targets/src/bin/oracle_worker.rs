@@ -13,6 +13,10 @@
 //! glade-oracle-worker <NAME> --once          # read all of stdin, exit 0/1
 //! glade-oracle-worker <NAME> --wire-v1       # pin legacy single-query frames
 //! glade-oracle-worker <NAME> --crash-after N # die after N answers (tests)
+//! glade-oracle-worker <NAME> --hang-after N  # answer N, then hang forever
+//! glade-oracle-worker <NAME> --stall-ms M    # slow-loris: M ms per verdict
+//! glade-oracle-worker <NAME> --garbage-after N # emit 0x7f verdicts past N
+//! glade-oracle-worker <NAME> --flaky-spawn P # alternate spawns die (file P)
 //! glade-oracle-worker --list                 # names this worker can serve
 //! ```
 //!
@@ -22,15 +26,29 @@
 //! The protocol mode negotiates v2 batched frames automatically;
 //! `--wire-v1` pins the legacy single-query wire format (the worker never
 //! acknowledges the upgrade probe), which the protocol compatibility
-//! matrix drives. `--crash-after N` makes the worker exit abruptly after
-//! answering N queries — the crash-recovery test battery uses it to kill
-//! workers mid-batch under load.
+//! matrix drives.
+//!
+//! The fault flags feed a deterministic `glade_core::FaultPlan` and route
+//! serving through `glade_core::serve_faulty_worker`: `--crash-after N`
+//! exits abruptly after answering N queries (the crash-recovery battery
+//! kills workers mid-batch this way), `--hang-after N` answers N queries
+//! and then goes silent without exiting (the query-deadline battery's
+//! hung-worker mode — mid-v2-frame when query N+1 arrives inside a
+//! batch), `--stall-ms M` trickles verdicts one byte every M milliseconds
+//! (slow-loris — slow but healthy, which a per-verdict deadline must
+//! tolerate), `--garbage-after N` deviates from the protocol without
+//! dying, and `--flaky-spawn PATH` makes alternate spawns of this command
+//! die instantly (the respawn-backoff/breaker battery's spawn-streak
+//! mode; PATH is the cross-process spawn counter). With none of these
+//! flags the serve path is byte-identical to the clean worker.
 //!
 //! `NAME` resolves an instrumented target first (`xml`, `grep`, `sed`, …)
 //! and then a handwritten language (`url-lang`, `lisp-lang`, `toy-xml`, …
 //! — suffixed to avoid clashing with the same-named targets).
 
-use glade_core::{serve_oracle_worker, serve_oracle_worker_v1, Oracle};
+use glade_core::{
+    flaky_spawn_should_die, serve_faulty_worker, serve_faulty_worker_v1, FaultPlan, Oracle,
+};
 use glade_targets::languages::{section82_languages, toy_xml};
 use glade_targets::programs::{all_targets, target_by_name};
 use glade_targets::TargetOracle;
@@ -77,24 +95,51 @@ fn main() -> ExitCode {
     }
     let Some((name, rest)) = args.split_first() else {
         eprintln!(
-            "usage: glade-oracle-worker <NAME> [--once|--wire-v1] [--crash-after N] | --list"
+            "usage: glade-oracle-worker <NAME> [--once|--wire-v1] [--crash-after N] \
+             [--hang-after N] [--stall-ms M] [--garbage-after N] [--flaky-spawn PATH] | --list"
         );
         return ExitCode::FAILURE;
     };
     let mut once = false;
     let mut wire_v1 = false;
-    let mut crash_after: Option<usize> = None;
+    let mut plan = FaultPlan::new();
+    let mut flaky_spawn: Option<std::path::PathBuf> = None;
     let mut i = 0;
+    // The counted fault flags share one parsing shape: `--flag N`.
+    let counted = |rest: &[String], i: &mut usize, flag: &str| -> Option<usize> {
+        *i += 1;
+        let n = rest.get(*i).and_then(|v| v.parse().ok());
+        if n.is_none() {
+            eprintln!("glade-oracle-worker: {flag} needs a count");
+        }
+        n
+    };
     while i < rest.len() {
         match rest[i].as_str() {
             "--once" => once = true,
             "--wire-v1" => wire_v1 = true,
-            "--crash-after" => {
+            "--crash-after" => match counted(rest, &mut i, "--crash-after") {
+                Some(n) => plan = plan.crash_after(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--hang-after" => match counted(rest, &mut i, "--hang-after") {
+                Some(n) => plan = plan.hang_after(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--stall-ms" => match counted(rest, &mut i, "--stall-ms") {
+                Some(ms) => plan = plan.stall_ms(ms as u64),
+                None => return ExitCode::FAILURE,
+            },
+            "--garbage-after" => match counted(rest, &mut i, "--garbage-after") {
+                Some(n) => plan = plan.garbage_after(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--flaky-spawn" => {
                 i += 1;
-                match rest.get(i).and_then(|v| v.parse().ok()) {
-                    Some(n) => crash_after = Some(n),
+                match rest.get(i) {
+                    Some(p) => flaky_spawn = Some(std::path::PathBuf::from(p)),
                     None => {
-                        eprintln!("glade-oracle-worker: --crash-after needs a count");
+                        eprintln!("glade-oracle-worker: --flaky-spawn needs a counter path");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -105,6 +150,14 @@ fn main() -> ExitCode {
             }
         }
         i += 1;
+    }
+    if let Some(path) = &flaky_spawn {
+        // The spawn-streak fault: alternate spawns of this command die
+        // before speaking a byte of protocol, which the pool observes as
+        // a spawn-or-crash failure streak.
+        if flaky_spawn_should_die(path) {
+            return ExitCode::from(43);
+        }
     }
     let Some(oracle) = oracle_by_name(name) else {
         eprintln!("glade-oracle-worker: unknown subject `{name}` (try --list)");
@@ -118,19 +171,15 @@ fn main() -> ExitCode {
         }
         return if oracle.accepts(&input) { ExitCode::SUCCESS } else { ExitCode::from(1) };
     }
-    // `--crash-after N`: answer N queries, then die without warning — the
-    // crash-recovery tests kill workers mid-batch this way. A v2 batch in
-    // progress is torn exactly where the target stopped answering.
-    let mut answered = 0usize;
-    let predicate = move |input: &[u8]| {
-        if crash_after.is_some_and(|n| answered >= n) {
-            std::process::exit(42);
-        }
-        answered += 1;
-        oracle.accepts(input)
+    // A no-op plan serves the clean loops byte-identically; any fault flag
+    // routes through the deterministic fault harness (see
+    // `glade_core::FaultPlan`).
+    let predicate = move |input: &[u8]| oracle.accepts(input);
+    let served = if wire_v1 {
+        serve_faulty_worker_v1(&plan, predicate)
+    } else {
+        serve_faulty_worker(&plan, predicate)
     };
-    let served =
-        if wire_v1 { serve_oracle_worker_v1(predicate) } else { serve_oracle_worker(predicate) };
     match served {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

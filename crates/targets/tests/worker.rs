@@ -9,6 +9,7 @@ use glade_targets::programs::Xml;
 use glade_targets::TargetOracle;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Path of the worker binary, provided by cargo for same-package tests.
 fn worker_bin() -> &'static str {
@@ -202,6 +203,123 @@ fn synthesis_over_crashing_workers_matches_in_process_synthesis() {
             "a 1324-query run must outlive 150-answer workers (pool={pool_size})"
         );
     }
+}
+
+#[test]
+fn synthesis_over_hanging_workers_keeps_golden_pins() {
+    // Deadline acceptance at the harness level: every worker answers 150
+    // queries and then hangs mid-batch *without exiting* (`--hang-after`
+    // routes through the deterministic fault harness). With an oracle
+    // timeout configured through the session builder, the run completes —
+    // each hang is detected at the deadline, the worker killed, and the
+    // abandoned queries replayed — reproducing the golden pins
+    // byte-identically with every hang accounted for: no silent `false`,
+    // no stuck engine.
+    let _guard = Watchdog::arm("synthesis_over_hanging_workers_keeps_golden_pins");
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let in_process = {
+        let xml = glade_targets::languages::toy_xml();
+        let oracle = xml.oracle();
+        GladeBuilder::new().synthesize(&seeds, &oracle).expect("valid seed")
+    };
+    let pooled_oracle = PooledProcessOracle::new(worker_bin())
+        .arg("toy-xml")
+        .arg("--hang-after")
+        .arg("150")
+        .pool_size(2);
+    let mut session = GladeBuilder::new()
+        .worker_threads(4)
+        .oracle_timeout(Duration::from_millis(250))
+        .session(&pooled_oracle);
+    let pooled = session.add_seeds(&seeds).expect("valid seed");
+    assert_eq!(
+        glade_grammar::grammar_to_text(&pooled.grammar),
+        glade_grammar::grammar_to_text(&in_process.grammar),
+        "hang recovery changed the grammar"
+    );
+    assert_eq!(pooled.stats.unique_queries, GOLDEN_UNIQUE);
+    assert_eq!(pooled.stats.total_queries, GOLDEN_TOTAL);
+    assert_eq!(pooled.stats.oracle_failures, 0, "every hang was recovered");
+    assert!(
+        pooled.stats.timed_out_queries > 0,
+        "a {GOLDEN_UNIQUE}-query run must outlive 150-answer workers"
+    );
+    assert!(pooled_oracle.respawn_count() > 0);
+}
+
+#[test]
+fn stalling_worker_is_slow_but_healthy_under_a_deadline() {
+    // `--stall-ms 20` makes the worker trickle each verdict as its own
+    // flushed byte after a ~20 ms pause, so an 8-query frame takes longer
+    // than the 150 ms deadline end to end. The deadline re-arms on every
+    // verdict byte: a slow-but-progressing worker must never be declared
+    // hung, killed, or respawned.
+    let _guard = Watchdog::arm("stalling_worker_is_slow_but_healthy_under_a_deadline");
+    let xml = glade_targets::languages::toy_xml();
+    let reference = xml.oracle();
+    let inputs: Vec<Vec<u8>> = (0..24usize)
+        .map(|i| {
+            if i % 3 == 2 {
+                format!("<a>{i}</a").into_bytes() // truncated: rejected
+            } else {
+                format!("<a>{i}</a>").into_bytes()
+            }
+        })
+        .collect();
+    let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let expected: Vec<Option<bool>> = inputs.iter().map(|i| Some(reference.accepts(i))).collect();
+    let pool = PooledProcessOracle::new(worker_bin())
+        .arg("toy-xml")
+        .arg("--stall-ms")
+        .arg("20")
+        .pool_size(1)
+        .frame_batch(8)
+        .query_timeout(Duration::from_millis(150));
+    assert_eq!(pool.accepts_batch_checked(&refs), expected);
+    assert_eq!(pool.timed_out_count(), 0, "a slow-but-healthy worker was declared hung");
+    assert_eq!(pool.respawn_count(), 0, "a slow-but-healthy worker was killed");
+    assert_eq!(pool.failure_count(), 0);
+}
+
+#[test]
+fn flaky_spawns_trip_the_breaker_and_recover_via_fallback() {
+    // `--flaky-spawn` makes alternate spawns of the worker die instantly
+    // (a cross-process counter file carries the parity), and
+    // `--crash-after 2` keeps forcing respawns. With `max_respawns(2)` the
+    // crash→dead-spawn streak trips the slot's circuit breaker; while the
+    // breaker is open, queries degrade to the spawn-per-query fallback
+    // (correct verdicts, zero counted failures), and once the cool-down
+    // passes a half-open probe spawn recovers the slot.
+    let _guard = Watchdog::arm("flaky_spawns_trip_the_breaker_and_recover_via_fallback");
+    let counter =
+        std::env::temp_dir().join(format!("glade-flaky-worker-{}.ctr", std::process::id()));
+    let _ = std::fs::remove_file(&counter);
+    let fallback = ProcessOracle::new(worker_bin()).arg("toy-xml").arg("--once");
+    let pool = PooledProcessOracle::new(worker_bin())
+        .arg("toy-xml")
+        .arg("--crash-after")
+        .arg("2")
+        .arg("--flaky-spawn")
+        .arg(counter.to_str().expect("temp path is utf-8"))
+        .pool_size(1)
+        .max_respawns(2)
+        .respawn_backoff(Duration::from_millis(1))
+        .fallback(fallback);
+    let cases: &[(&[u8], bool)] =
+        &[(b"<a>hi</a>", true), (b"<a>hi</a", false), (b"", true), (b"<a>xy</a>", true)];
+    for round in 0..10usize {
+        for &(input, expect) in cases {
+            assert_eq!(pool.accepts(input), expect, "round {round}");
+        }
+        // Let breaker cool-downs (50 ms at this backoff base) elapse so
+        // half-open probes get their chance.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = std::fs::remove_file(&counter);
+    assert!(pool.tripped_worker_count() >= 1, "trips: {}", pool.tripped_worker_count());
+    assert!(pool.recovered_worker_count() >= 1, "recoveries: {}", pool.recovered_worker_count());
+    assert_eq!(pool.failure_count(), 0, "the fallback answered every breaker-open query");
+    assert!(pool.respawn_count() >= 1);
 }
 
 #[test]

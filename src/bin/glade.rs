@@ -3,7 +3,8 @@
 //! ```text
 //! glade synth  --seed FILE...  (--cmd 'PROG ARGS…' | --target NAME)  [-o grammar.txt]
 //!              [--cache FILE] [--stdin|--tempfile|--pool N] [--frame-batch N]
-//!              [--wire-v1] [--max-queries N] [--no-chargen] [--no-phase2]
+//!              [--wire-v1] [--oracle-timeout SECS] [--max-respawns N]
+//!              [--max-queries N] [--no-chargen] [--no-phase2]
 //! glade sample --grammar grammar.txt [--count N] [--max-depth D] [--seed-rng S]
 //! glade check  --grammar grammar.txt [FILE]       # membership test (stdin default)
 //! glade fuzz   --grammar grammar.txt --seed FILE... [--count N]    # splice fuzzing
@@ -23,7 +24,12 @@
 //! queries per pipe round-trip, dispatched from one event loop over
 //! nonblocking pipes); `--frame-batch N` tunes the batch size and
 //! `--wire-v1` pins the legacy single-query framing for workers whose
-//! target must never see the negotiation probe. `glade worker NAME`
+//! target must never see the negotiation probe. `--oracle-timeout SECS`
+//! bounds every oracle interaction with a per-query deadline (a worker or
+//! process that hangs is killed and the query retried or counted as a
+//! failure — a hung parser can cost queries, never the run), and
+//! `--max-respawns N` tunes how many consecutive unanswered worker
+//! failures trip a pool slot's circuit breaker. `glade worker NAME`
 //! serves any built-in target or Section 8.2 language over the protocol,
 //! so a pooled run needs no separate harness binary:
 //! `glade synth --seed s.xml --cmd 'glade worker xml' --pool 8`.
@@ -89,7 +95,8 @@ glade — grammar synthesis from examples and blackbox membership queries
 USAGE:
   glade synth  --seed FILE... (--cmd 'PROG ARGS…' | --target NAME) [-o OUT]
                [--cache FILE] [--stdin|--tempfile|--pool N] [--frame-batch N]
-               [--wire-v1] [--max-queries N] [--no-chargen] [--no-phase2]
+               [--wire-v1] [--oracle-timeout SECS] [--max-respawns N]
+               [--max-queries N] [--no-chargen] [--no-phase2]
   glade sample --grammar FILE [--count N] [--max-depth D] [--seed-rng S]
   glade check  --grammar FILE [INPUT-FILE]
   glade fuzz   --grammar FILE --seed FILE... [--count N] [--seed-rng S]
@@ -142,6 +149,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let mut pool: Option<usize> = None;
     let mut frame_batch: Option<usize> = None;
     let mut wire_v1 = false;
+    let mut max_respawns: Option<u32> = None;
     let mut config = GladeConfig::default();
 
     while let Some(flag) = args.next() {
@@ -177,6 +185,26 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
                 frame_batch = Some(n);
             }
             "--wire-v1" => wire_v1 = true,
+            "--oracle-timeout" => {
+                let secs: f64 = args
+                    .value("--oracle-timeout")?
+                    .parse()
+                    .map_err(|_| "--oracle-timeout needs seconds".to_owned())?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--oracle-timeout needs a positive number of seconds".into());
+                }
+                config.oracle_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--max-respawns" => {
+                let n: u32 = args
+                    .value("--max-respawns")?
+                    .parse()
+                    .map_err(|_| "--max-respawns needs a count".to_owned())?;
+                if n == 0 {
+                    return Err("--max-respawns needs at least one attempt".into());
+                }
+                max_respawns = Some(n);
+            }
             "--max-queries" => {
                 config.max_queries = Some(
                     args.value("--max-queries")?
@@ -194,6 +222,9 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     }
     if pool.is_none() && (frame_batch.is_some() || wire_v1) {
         return Err("--frame-batch and --wire-v1 tune pooled oracles; add --pool N".into());
+    }
+    if pool.is_none() && max_respawns.is_some() {
+        return Err("--max-respawns tunes pooled oracles; add --pool N".into());
     }
 
     // Build the oracle plus its identity fingerprint (used to tag the
@@ -221,6 +252,9 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
                     }
                     if wire_v1 {
                         o = o.max_wire_version(1);
+                    }
+                    if let Some(k) = max_respawns {
+                        o = o.max_respawns(k);
                     }
                     let fp = o.fingerprint();
                     (Box::new(o), fp)
@@ -277,6 +311,21 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
             "warning: {} oracle execution failure(s) — the affected checks answered \
              `false`, so the grammar may be under-generalized",
             result.stats.oracle_failures
+        );
+    }
+    if result.stats.timed_out_queries > 0 {
+        eprintln!(
+            "warning: {} quer{} abandoned to the --oracle-timeout deadline \
+             (hung workers were killed and the queries retried or degraded)",
+            result.stats.timed_out_queries,
+            if result.stats.timed_out_queries == 1 { "y" } else { "ies" }
+        );
+    }
+    if result.stats.tripped_workers > 0 {
+        eprintln!(
+            "warning: {} worker-slot circuit breaker trip(s) — worker spawns kept \
+             failing; the pool ran below --pool capacity for a cool-down",
+            result.stats.tripped_workers
         );
     }
     if let Some(path) = &cache_path {
