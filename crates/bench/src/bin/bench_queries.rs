@@ -1,7 +1,7 @@
 //! `bench-queries` — machine-readable benchmark of the membership-query
 //! engine, emitted as `BENCH_queries.json`.
 //!
-//! Seven experiment families, so the perf trajectory of the query layer
+//! Eight experiment families, so the perf trajectory of the query layer
 //! is recorded in-repo:
 //!
 //! 1. **`parallel_speedup`** — the full pipeline on the paper's running
@@ -17,25 +17,32 @@
 //!    the toy-XML running-example language, with grammar-membership
 //!    oracles and sampled seeds. Reports wall time, unique/total queries,
 //!    and merge-pair counts.
-//! 3. **`cache_reuse`** — the session API's persistent query cache: one
+//! 3. **`chargen_memo`** — the query-reduction layer measured at the
+//!    source: the same fig4/fig5 configurations run with the byte-class
+//!    memo table + check-context dedup off and then on (the default).
+//!    Reports unique/total query counts, elided probes, memo hits, and
+//!    wall time per mode; asserts the grammar is byte-identical in both
+//!    modes for every language and that the url language — the
+//!    memo-heaviest workload — sheds ≥ 1.3× of its unique queries.
+//! 4. **`cache_reuse`** — the session API's persistent query cache: one
 //!    cold run on the running example, snapshot, then the identical run in
 //!    a fresh session warm-started from the snapshot. Records wall times
 //!    and asserts the warm run pays zero new unique queries.
-//! 4. **`skewed_latency`** — heterogeneous query latencies, the workload
+//! 5. **`skewed_latency`** — heterogeneous query latencies, the workload
 //!    work-stealing dispatch exists for. A clustered 10–100× latency skew
 //!    is dispatched under both static `chunks(div_ceil)` partitioning (the
 //!    pre-PR-4 engine) and the engine's shared-cursor work stealing, and
 //!    the full pipeline is swept over worker counts with a hash-skewed
 //!    oracle, asserting grammar bytes and query counts stay invariant.
 //!    Asserts work stealing beats static chunking.
-//! 5. **`pooled_vs_spawn`** — real process-target oracle throughput. The
+//! 6. **`pooled_vs_spawn`** — real process-target oracle throughput. The
 //!    bench binary re-executes *itself* as a protocol worker
 //!    (`--oracle-worker`, via `glade_core::serve_oracle_worker`) and as a
 //!    spawn-per-query target (`--oracle-once`), then measures spawn-per-
 //!    query `ProcessOracle` versus `PooledProcessOracle` cold (pool spawn
 //!    included) and warm. Asserts pooled execution sustains ≥ 5× the
 //!    spawn-per-query queries/sec.
-//! 6. **`batched_frames`** — the v2 batched wire protocol against v1
+//! 7. **`batched_frames`** — the v2 batched wire protocol against v1
 //!    per-query framing, both through the pool's event-driven batch
 //!    dispatcher on small payloads with near-zero verdict compute
 //!    (`--tiny-worker`), so the measurement isolates the per-query
@@ -44,7 +51,7 @@
 //!    (`glade_core::serve_oracle_worker_v1`), so version negotiation
 //!    itself is exercised. Asserts batched frames sustain ≥ 1.5× the v1
 //!    per-query queries/sec.
-//! 7. **`fault_recovery`** — throughput and query accounting under
+//! 8. **`fault_recovery`** — throughput and query accounting under
 //!    injected faults, against a clean pool run under the same query
 //!    deadline. Three cells over the same workload: a clean pool (asserts
 //!    zero failures/respawns/timeouts — the deadline machinery is free
@@ -59,7 +66,8 @@
 //! (writes `BENCH_queries.json` to the current directory, override with
 //! `GLADE_BENCH_OUT`). Workload sizes are env-tunable for CI smoke runs:
 //! `GLADE_BENCH_SKEW_N`, `GLADE_BENCH_SKEW_SLOW_US`,
-//! `GLADE_BENCH_SKEW_BASE_US`, `GLADE_BENCH_SPAWN_QUERIES`,
+//! `GLADE_BENCH_SKEW_BASE_US`, `GLADE_BENCH_MEMO_SEEDS`,
+//! `GLADE_BENCH_SPAWN_QUERIES`,
 //! `GLADE_BENCH_POOLED_QUERIES`, `GLADE_BENCH_FRAME_QUERIES`,
 //! `GLADE_BENCH_FAULT_QUERIES`, `GLADE_BENCH_FAULT_TIMEOUT_MS`.
 
@@ -276,6 +284,8 @@ fn stats_fields(j: &mut Json, stats: &SynthesisStats) {
     j.int("merge_pairs_tried", stats.merge_pairs_tried);
     j.int("merges_accepted", stats.merges_accepted);
     j.int("chars_generalized", stats.chars_generalized);
+    j.int("probes_elided", stats.probes_elided);
+    j.int("memo_hits", stats.memo_hits);
     j.num("phase1_secs", secs(stats.phase1_time));
     j.num("chargen_secs", secs(stats.chargen_time));
     j.num("phase2_secs", secs(stats.phase2_time));
@@ -437,7 +447,82 @@ fn main() {
     }
     j.close_arr();
 
-    // ---- Experiment 3: persistent-cache warm start. ----
+    // ---- Experiment 3: byte-class memoization — fewer queries planned.
+    // The same fig4/fig5 configurations with the byte-class memo table +
+    // check-context dedup off, then on (the default). The savings are
+    // measured at the source — how many distinct membership checks the
+    // planner poses at all — and the grammar must be byte-identical in
+    // both modes: elision may only remove provably-redundant probes.
+    let memo_seed_count = env_usize("GLADE_BENCH_MEMO_SEEDS", 10);
+    j.open_arr("chargen_memo");
+    for language in &languages {
+        let run = |memo: bool| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let seeds = sample_seeds(language, memo_seed_count, &mut rng);
+            let oracle = language.oracle();
+            let start = Instant::now();
+            let result = GladeBuilder::new()
+                .max_queries(200_000)
+                .memoize_byte_classes(memo)
+                .synthesize(&seeds, &oracle)
+                .expect("synthesis succeeds");
+            assert!(
+                !result.stats.budget_exhausted,
+                "{} exhausted the query budget (memo={memo}); the reduction ratio \
+                 would be meaningless",
+                language.name()
+            );
+            (grammar_to_text(&result.grammar), result.stats, start.elapsed())
+        };
+        let (grammar_off, off, wall_off) = run(false);
+        let (grammar_on, on, wall_on) = run(true);
+        assert_eq!(
+            grammar_on,
+            grammar_off,
+            "{}: memoization changed the synthesized grammar",
+            language.name()
+        );
+        assert_eq!(off.probes_elided, 0, "memo-off run elided probes");
+        let reduction = off.unique_queries as f64 / (on.unique_queries as f64).max(1e-9);
+        eprintln!(
+            "[bench-queries] chargen_memo {}: unique {} -> {} (x{:.2}), \
+             {} probes elided, {} memo hits, wall {:.3}s -> {:.3}s",
+            language.name(),
+            off.unique_queries,
+            on.unique_queries,
+            reduction,
+            on.probes_elided,
+            on.memo_hits,
+            secs(wall_off),
+            secs(wall_on),
+        );
+        if language.name() == "url" {
+            assert!(
+                reduction >= 1.3,
+                "byte-class memoization must shed >= 1.3x of url's unique queries \
+                 (off {}, on {})",
+                off.unique_queries,
+                on.unique_queries
+            );
+        }
+        j.open_obj(None);
+        j.string("language", language.name());
+        j.int("num_seeds", memo_seed_count);
+        j.int("unique_queries_off", off.unique_queries);
+        j.int("unique_queries_on", on.unique_queries);
+        j.int("total_queries_off", off.total_queries);
+        j.int("total_queries_on", on.total_queries);
+        j.num("unique_query_reduction", reduction);
+        j.int("probes_elided", on.probes_elided);
+        j.int("memo_hits", on.memo_hits);
+        j.num("wall_secs_off", secs(wall_off));
+        j.num("wall_secs_on", secs(wall_on));
+        j.boolean("grammar_identical", grammar_on == grammar_off);
+        j.close_obj();
+    }
+    j.close_arr();
+
+    // ---- Experiment 4: persistent-cache warm start. ----
     let cold_start = Instant::now();
     let (cold, warm) = run_cache_reuse(oracle_delay);
     let reuse_wall = cold_start.elapsed();
@@ -459,7 +544,7 @@ fn main() {
     );
     j.close_obj();
 
-    // ---- Experiment 4: skewed latencies — work stealing vs. static. ----
+    // ---- Experiment 5: skewed latencies — work stealing vs. static. ----
     // Clustered skew (the first eighth of the batch is 10–100× slower —
     // think "all the deeply nested candidates landed together"): static
     // chunking hands the whole slow cluster to one worker while the rest
@@ -555,7 +640,7 @@ fn main() {
     j.close_arr();
     j.close_obj();
 
-    // ---- Experiment 5: pooled vs. spawn-per-query process oracle. ----
+    // ---- Experiment 6: pooled vs. spawn-per-query process oracle. ----
     // This binary is its own process target (see the self-exec modes at
     // the top of main): spawn-per-query pays a full process start per
     // verdict, the pool pays one start per worker and a pipe round-trip
@@ -639,7 +724,7 @@ fn main() {
     j.int("oracle_failures", pooled_oracle.failure_count());
     j.close_obj();
 
-    // ---- Experiment 6: v2 batched frames vs. v1 per-query frames. ----
+    // ---- Experiment 7: v2 batched frames vs. v1 per-query frames. ----
     // Same event-driven dispatcher, same small-payload workload, two wire
     // versions: v1 pays a write+read round-trip (and two scheduler hops)
     // per query, v2 amortizes them over a whole frame. The workers answer
@@ -696,7 +781,7 @@ fn main() {
     j.boolean("v2_beats_v1_by_1_5x", frame_speedup >= 1.5);
     j.close_obj();
 
-    // ---- Experiment 7: fault recovery — throughput under injected
+    // ---- Experiment 8: fault recovery — throughput under injected
     // faults. The same workload and the same query deadline, three worker
     // personalities: clean (the deadline machinery must be free when
     // nothing hangs), crashy (~10% content-poisoned queries that defeat

@@ -30,9 +30,49 @@
 //! the worker pool between terminals; aggregation keeps the pool saturated
 //! for the whole phase (and, combined with the phase-two merge checks, for
 //! the back half of the pipeline).
+//!
+//! # The query-reduction layer (staged planning)
+//!
+//! The one-shot plan above poses every `(position, byte, context)` check
+//! unconditionally — including checks whose verdict is already determined.
+//! When [`GladeConfig::memoize_byte_classes`](crate::GladeConfig) is on
+//! (the default), the session drives [`StagedChargen`] instead, which
+//! elides three kinds of provably-redundant probes *before* they reach the
+//! query engine:
+//!
+//! * **Byte-class memoization.** A terminal's final classes are a pure
+//!   function of its *memo key* — the 128-bit FNV-1a fingerprint of the
+//!   length-prefixed `(original bytes, every context's (γ, δ), candidate
+//!   alphabet)` tuple; see `memo::memo_key`. Terminals whose key matches a
+//!   session [`ByteClassMemo`](crate::memo::ByteClassMemo) entry (learned
+//!   by an earlier run or loaded from a `glade-cache v3` snapshot) adopt
+//!   the stored classes without posing a single probe; terminals sharing a
+//!   key *within* one plan are generalized once, with the siblings copying
+//!   the representative's result.
+//! * **Context short-circuiting.** A byte joins a class only if accepted
+//!   in *every* context, and conjunction short-circuits: probes are posed
+//!   one context per wave, and a candidate rejected in context `k` never
+//!   poses its checks for contexts `k+1..` — the exact strings the
+//!   one-shot plan would have paid distinct queries for.
+//! * **Check canonicalization + dedup.** Distinct `(terminal, position,
+//!   byte, context)` quadruples can assemble byte-identical query strings;
+//!   within a wave these collapse to one posed check whose verdict fans
+//!   back out to every owner, and checks already answered by the session
+//!   cache are folded at plan time without reaching the engine at all.
+//!
+//! All three elisions are *exact*: the accepted byte set — and therefore
+//! the synthesized grammar — is byte-identical to the one-shot plan's for
+//! a deterministic oracle. The count of avoided checks is surfaced as
+//! [`SynthesisStats::probes_elided`](crate::SynthesisStats::probes_elided)
+//! and the [`SynthEvent::ProbesElided`](crate::SynthEvent::ProbesElided)
+//! event.
 
+use crate::cache::{hash_query, ShardedCache};
+use crate::memo::{memo_key, ByteClassMemo};
 use crate::runner::{CheckSpec, QueryRunner};
-use crate::tree::Node;
+use crate::tree::{ConstNode, Node};
+use glade_grammar::CharClass;
+use std::collections::HashMap;
 
 /// One planned `(position, candidate byte)` widening probe of one terminal.
 ///
@@ -172,6 +212,320 @@ pub(crate) fn default_test_bytes() -> Vec<u8> {
     v
 }
 
+/// How one planned terminal obtains its byte classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConstSource {
+    /// Generalized by live probes (the terminal is its key's representative).
+    Probed,
+    /// Adopted wholesale from the session memo table.
+    FromMemo,
+    /// Copies the final classes of the representative const at this index.
+    Sibling(usize),
+}
+
+/// Per-terminal planning state of a staged run.
+#[derive(Debug)]
+struct StagedConst<'t> {
+    node: &'t ConstNode,
+    /// Memo fingerprint; `None` for empty terminals (nothing to probe or
+    /// memoize).
+    key: Option<u128>,
+    /// Working copy of the byte classes, mutated as probes accept.
+    classes: Vec<CharClass>,
+    source: ConstSource,
+}
+
+/// One `(terminal, position, candidate byte)` widening probe advancing
+/// through its contexts one wave at a time.
+#[derive(Debug, Clone, Copy)]
+struct StagedProbe {
+    const_idx: usize,
+    position: usize,
+    /// Index into the candidate alphabet (so the posed check can borrow
+    /// the byte from the test-byte slice).
+    byte_idx: usize,
+    /// Contexts already accepted; the probe's next check uses this context.
+    next_ctx: usize,
+}
+
+/// The owned result of a staged character-generalization run: everything
+/// the session needs after the tree borrow is released.
+#[derive(Debug)]
+pub(crate) struct ChargenOutcome {
+    /// Final per-terminal classes, in const visit order over the planned
+    /// tree slice.
+    pub classes: Vec<Vec<CharClass>>,
+    /// `(position, byte)` pairs accepted — the one-shot plan's count, so
+    /// `chars_generalized` parity holds however the classes were obtained.
+    pub accepted: usize,
+    /// Terminals whose classes were adopted (memo table or in-plan
+    /// sibling) instead of probed.
+    pub memo_hits: usize,
+    /// Checks the one-shot plan would have posed that never reached the
+    /// query engine (adopted terminals, short-circuited contexts, in-wave
+    /// duplicates, and plan-time cache folds).
+    pub probes_elided: usize,
+    /// Freshly learned `(key, classes)` pairs for the session memo table.
+    /// The session must discard these if the run degraded (budget/cancel):
+    /// fail-closed verdicts are not facts about the language.
+    pub memo_inserts: Vec<(u128, Vec<CharClass>)>,
+}
+
+/// Wave-driven character-generalization planner (see the module docs'
+/// query-reduction section).
+///
+/// Drive it as: loop { [`StagedChargen::plan_wave`] → pose the returned
+/// checks → [`StagedChargen::fold_wave`] } until `plan_wave` appends no
+/// checks, then [`StagedChargen::finish`]. Each wave poses at most one
+/// check (one context) per live probe, so the loop runs at most
+/// `max contexts per terminal` waves.
+#[derive(Debug)]
+pub(crate) struct StagedChargen<'t> {
+    test_bytes: &'t [u8],
+    consts: Vec<StagedConst<'t>>,
+    /// Probes ready to plan their next context.
+    active: Vec<StagedProbe>,
+    /// Probes parked on this wave's posed checks, one entry per distinct
+    /// check in planning order (= the wave's verdict order).
+    slots: Vec<Vec<StagedProbe>>,
+    accepted: usize,
+    memo_hits: usize,
+    probes_elided: usize,
+}
+
+impl<'t> StagedChargen<'t> {
+    /// Plans the staged run over `trees`, consulting (but not updating)
+    /// the session memo table for wholesale class adoption.
+    pub fn new(trees: &'t [Node], test_bytes: &'t [u8], memo: &ByteClassMemo) -> Self {
+        let mut consts: Vec<StagedConst<'t>> = Vec::new();
+        for tree in trees {
+            tree.visit_consts(&mut |c| {
+                consts.push(StagedConst {
+                    node: c,
+                    key: None,
+                    classes: c.classes.clone(),
+                    source: ConstSource::Probed,
+                });
+            });
+        }
+        let mut staged = StagedChargen {
+            test_bytes,
+            consts,
+            active: Vec::new(),
+            slots: Vec::new(),
+            accepted: 0,
+            memo_hits: 0,
+            probes_elided: 0,
+        };
+        let mut key_to_rep: HashMap<u128, usize> = HashMap::new();
+        for idx in 0..staged.consts.len() {
+            let c = staged.consts[idx].node;
+            if c.original.is_empty() {
+                continue;
+            }
+            let key = memo_key(&c.original, &c.contexts, test_bytes);
+            staged.consts[idx].key = Some(key);
+            // The number of checks the one-shot plan would pose for this
+            // terminal — the elision value of adopting its classes.
+            let full_cost = staged.probe_cost(idx);
+            if let Some(stored) = memo.get(key) {
+                // Guard against a corrupted snapshot (or an astronomically
+                // unlikely fingerprint collision): a stored entry that does
+                // not even match the terminal's shape is ignored.
+                if stored.len() == c.original.len() {
+                    staged.consts[idx].classes = stored.clone();
+                    staged.consts[idx].source = ConstSource::FromMemo;
+                    staged.memo_hits += 1;
+                    staged.probes_elided += full_cost;
+                    continue;
+                }
+            }
+            if let Some(&rep) = key_to_rep.get(&key) {
+                staged.consts[idx].source = ConstSource::Sibling(rep);
+                staged.memo_hits += 1;
+                staged.probes_elided += full_cost;
+                continue;
+            }
+            key_to_rep.insert(key, idx);
+            for position in 0..c.original.len() {
+                for (byte_idx, &sigma) in test_bytes.iter().enumerate() {
+                    if sigma == c.original[position] || c.classes[position].contains(sigma) {
+                        continue;
+                    }
+                    staged.active.push(StagedProbe {
+                        const_idx: idx,
+                        position,
+                        byte_idx,
+                        next_ctx: 0,
+                    });
+                }
+            }
+        }
+        staged
+    }
+
+    /// Checks the one-shot plan would pose for const `idx` (probe count ×
+    /// context count).
+    fn probe_cost(&self, idx: usize) -> usize {
+        let c = self.consts[idx].node;
+        let mut probes = 0usize;
+        for position in 0..c.original.len() {
+            probes += self
+                .test_bytes
+                .iter()
+                .filter(|&&sigma| {
+                    sigma != c.original[position] && !c.classes[position].contains(sigma)
+                })
+                .count();
+        }
+        probes * c.contexts.len()
+    }
+
+    /// Appends the check `γ·α[..i]·σ·α[i+1..]·δ` for `probe`'s next context.
+    fn check_spec(&self, probe: &StagedProbe) -> CheckSpec<'t> {
+        let c = self.consts[probe.const_idx].node;
+        let ctx = &c.contexts[probe.next_ctx];
+        CheckSpec::new(&[
+            &ctx.before,
+            &c.original[..probe.position],
+            &self.test_bytes[probe.byte_idx..probe.byte_idx + 1],
+            &c.original[probe.position + 1..],
+            &ctx.after,
+        ])
+    }
+
+    /// Plans the next wave: every live probe either resolves against the
+    /// session cache (possibly through several contexts), accepts, dies,
+    /// or poses exactly one check. Returns the number of checks appended;
+    /// zero means the staged run is complete (every probe resolved).
+    pub fn plan_wave(&mut self, checks: &mut Vec<CheckSpec<'t>>, cache: &ShardedCache) -> usize {
+        debug_assert!(self.slots.is_empty(), "previous wave not folded");
+        let start = checks.len();
+        let mut dedup: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut slot_keys: Vec<Vec<u8>> = Vec::new();
+        let mut scratch: Vec<u8> = Vec::new();
+        for mut probe in std::mem::take(&mut self.active) {
+            loop {
+                let num_contexts = self.consts[probe.const_idx].node.contexts.len();
+                if probe.next_ctx == num_contexts {
+                    // Accepted in every context: the byte joins the class.
+                    self.consts[probe.const_idx].classes[probe.position]
+                        .insert(self.test_bytes[probe.byte_idx]);
+                    self.accepted += 1;
+                    break;
+                }
+                let spec = self.check_spec(&probe);
+                scratch.clear();
+                spec.write_into(&mut scratch);
+                match cache.get(&scratch) {
+                    Some(true) => {
+                        // Cache fold: the one-shot plan would have posed
+                        // this (as a cache hit); the probe advances free.
+                        self.probes_elided += 1;
+                        probe.next_ctx += 1;
+                    }
+                    Some(false) => {
+                        // Rejected: this check and every later context's
+                        // are elided; the probe dies.
+                        self.probes_elided += num_contexts - probe.next_ctx;
+                        break;
+                    }
+                    None => {
+                        // A genuine miss: pose it — unless an identical
+                        // string is already posed this wave, in which case
+                        // the probe co-owns that slot's verdict.
+                        let h = hash_query(&scratch);
+                        let candidates = dedup.entry(h).or_default();
+                        if let Some(&s) = candidates.iter().find(|&&s| slot_keys[s] == scratch) {
+                            self.slots[s].push(probe);
+                            self.probes_elided += 1;
+                        } else {
+                            candidates.push(self.slots.len());
+                            slot_keys.push(scratch.clone());
+                            self.slots.push(vec![probe]);
+                            checks.push(spec);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        checks.len() - start
+    }
+
+    /// Folds the wave's verdicts (one per check `plan_wave` appended, in
+    /// order) back into the probes: accepted probes advance to their next
+    /// context, rejected probes die and elide their remaining contexts.
+    pub fn fold_wave(&mut self, verdicts: &[bool]) {
+        debug_assert_eq!(verdicts.len(), self.slots.len());
+        for (owners, &verdict) in std::mem::take(&mut self.slots).into_iter().zip(verdicts) {
+            for mut probe in owners {
+                if verdict {
+                    probe.next_ctx += 1;
+                    self.active.push(probe);
+                } else {
+                    let num_contexts = self.consts[probe.const_idx].node.contexts.len();
+                    self.probes_elided += num_contexts - probe.next_ctx - 1;
+                }
+            }
+        }
+    }
+
+    /// Resolves adopted terminals and returns the owned outcome. Call only
+    /// after `plan_wave` returned zero.
+    pub fn finish(self) -> ChargenOutcome {
+        debug_assert!(self.active.is_empty() && self.slots.is_empty(), "staged run incomplete");
+        let StagedChargen { test_bytes, consts, accepted, memo_hits, probes_elided, .. } = self;
+        let mut accepted = accepted;
+        // Snapshot the representatives' classes first, so sibling
+        // resolution is order-independent.
+        let rep_classes: Vec<Vec<CharClass>> = consts.iter().map(|c| c.classes.clone()).collect();
+        let mut classes: Vec<Vec<CharClass>> = Vec::with_capacity(consts.len());
+        let mut memo_inserts: Vec<(u128, Vec<CharClass>)> = Vec::new();
+        for c in &consts {
+            let finals = match c.source {
+                ConstSource::Sibling(rep) => rep_classes[rep].clone(),
+                _ => c.classes.clone(),
+            };
+            if !matches!(c.source, ConstSource::Probed) {
+                // Adopted terminals still count the (position, byte) pairs
+                // the one-shot plan would have accepted: exactly the
+                // probe-generating candidates that ended up in the class.
+                for (position, &orig) in c.node.original.iter().enumerate() {
+                    accepted += test_bytes
+                        .iter()
+                        .filter(|&&sigma| {
+                            sigma != orig
+                                && !c.node.classes[position].contains(sigma)
+                                && finals[position].contains(sigma)
+                        })
+                        .count();
+                }
+            }
+            if matches!(c.source, ConstSource::Probed) {
+                if let Some(key) = c.key {
+                    memo_inserts.push((key, finals.clone()));
+                }
+            }
+            classes.push(finals);
+        }
+        ChargenOutcome { classes, accepted, memo_hits, probes_elided, memo_inserts }
+    }
+}
+
+/// Writes a [`ChargenOutcome`]'s final classes back into `trees` (the same
+/// slice the staged run planned), pairing terminals by visit order.
+pub(crate) fn apply_staged_classes(trees: &mut [Node], classes: &[Vec<CharClass>]) {
+    let mut cursor = 0usize;
+    for tree in trees {
+        tree.visit_consts_mut(&mut |c| {
+            c.classes = classes[cursor].clone();
+            cursor += 1;
+        });
+    }
+    debug_assert_eq!(cursor, classes.len(), "every planned terminal applied");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +620,111 @@ mod tests {
         let mut trees = vec![p1.generalize_seed(b"q")];
         let n = generalize_chars(&mut trees, &runner, &default_test_bytes());
         assert_eq!(n, 0, "no budget, no generalization");
+    }
+
+    /// Drives a staged chargen run to completion, applies its classes, and
+    /// records its fresh memo entries; returns (accepted, memo_hits,
+    /// probes_elided).
+    fn run_staged(
+        trees: &mut [Node],
+        runner: &QueryRunner<'_>,
+        cache: &ShardedCache,
+        memo: &mut ByteClassMemo,
+        test_bytes: &[u8],
+    ) -> (usize, usize, usize) {
+        let outcome = {
+            let mut staged = StagedChargen::new(trees, test_bytes, memo);
+            loop {
+                let mut checks: Vec<CheckSpec<'_>> = Vec::new();
+                if staged.plan_wave(&mut checks, cache) == 0 {
+                    break;
+                }
+                let verdicts = runner.accepts_batch(&checks);
+                staged.fold_wave(&verdicts);
+            }
+            staged.finish()
+        };
+        apply_staged_classes(trees, &outcome.classes);
+        for (key, classes) in outcome.memo_inserts {
+            memo.insert(key, classes);
+        }
+        (outcome.accepted, outcome.memo_hits, outcome.probes_elided)
+    }
+
+    #[test]
+    fn staged_run_matches_one_shot_classes_and_counts() {
+        let oracle = FnOracle::new(xml_like);
+        let tb = default_test_bytes();
+
+        let legacy_cache = ShardedCache::new();
+        let legacy_runner = test_runner(&oracle, &legacy_cache);
+        let mut p1 = Phase1::new(&legacy_runner, 0);
+        let mut legacy_trees = vec![p1.generalize_seed(b"<a>hi</a>")];
+        let legacy_n = generalize_chars(&mut legacy_trees, &legacy_runner, &tb);
+
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
+        let mut p1 = Phase1::new(&runner, 0);
+        let mut trees = vec![p1.generalize_seed(b"<a>hi</a>")];
+        let mut memo = ByteClassMemo::new();
+        let (accepted, _, elided) = run_staged(&mut trees, &runner, &cache, &mut memo, &tb);
+
+        assert_eq!(accepted, legacy_n, "accepted-pair parity");
+        assert_eq!(
+            trees[0].to_regex().to_string(),
+            legacy_trees[0].to_regex().to_string(),
+            "staged classes must equal the one-shot plan's"
+        );
+        assert!(elided > 0, "context short-circuiting elided nothing");
+        assert!(cache.len() < legacy_cache.len(), "staged run posed no fewer distinct queries");
+    }
+
+    #[test]
+    fn identical_terminals_share_probes_within_a_run() {
+        // Two identical seeds yield byte-identical terminals in identical
+        // contexts: one representative is probed, siblings adopt.
+        let oracle = FnOracle::new(|i: &[u8]| i.len() == 1 && i[0].is_ascii_lowercase());
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
+        let mut p1 = Phase1::new(&runner, 0);
+        let mut trees = vec![p1.generalize_seed(b"m"), p1.generalize_seed(b"m")];
+        let tb = default_test_bytes();
+        let mut memo = ByteClassMemo::new();
+        let (accepted, memo_hits, elided) = run_staged(&mut trees, &runner, &cache, &mut memo, &tb);
+        assert_eq!(accepted, 50, "both trees widen to the 25 other lowercase letters");
+        assert!(memo_hits >= 1, "duplicate terminal not shared");
+        assert!(elided > 0);
+        for tree in &trees {
+            let r = tree.to_regex();
+            assert!(r.is_match(b"a"));
+            assert!(!r.is_match(b"A"));
+        }
+    }
+
+    #[test]
+    fn memo_adoption_poses_no_probes_and_reproduces_classes() {
+        let oracle = FnOracle::new(xml_like);
+        let tb = default_test_bytes();
+        let mut memo = ByteClassMemo::new();
+
+        let cache = ShardedCache::new();
+        let runner = test_runner(&oracle, &cache);
+        let mut p1 = Phase1::new(&runner, 0);
+        let mut trees = vec![p1.generalize_seed(b"<a>hi</a>")];
+        let (first_accepted, ..) = run_staged(&mut trees, &runner, &cache, &mut memo, &tb);
+        assert!(memo.len() > 0, "completed run must memoize its representatives");
+
+        // Fresh cache, fresh trees, warm memo: every terminal adopts, the
+        // runner sees zero chargen checks, and the classes are identical.
+        let cache2 = ShardedCache::new();
+        let runner2 = test_runner(&oracle, &cache2);
+        let mut p1 = Phase1::new(&runner2, 0);
+        let mut trees2 = vec![p1.generalize_seed(b"<a>hi</a>")];
+        let after_phase1 = cache2.len();
+        let (accepted2, memo_hits2, _) = run_staged(&mut trees2, &runner2, &cache2, &mut memo, &tb);
+        assert_eq!(cache2.len(), after_phase1, "memo adoption posed a query");
+        assert!(memo_hits2 > 0);
+        assert_eq!(accepted2, first_accepted, "chars_generalized parity under adoption");
+        assert_eq!(trees2[0].to_regex().to_string(), trees[0].to_regex().to_string());
     }
 }

@@ -87,6 +87,21 @@ pub enum SynthEvent {
         /// Star id of the second repetition.
         right_star: usize,
     },
+    /// The query-reduction layer (see the `chargen.rs` module docs)
+    /// eliminated provably-redundant membership checks this run: they were
+    /// never handed to the query engine. Emitted once per
+    /// [`add_seeds`](crate::Session::add_seeds) run, after both stages
+    /// complete, when anything was elided.
+    ProbesElided {
+        /// Checks the one-shot planners would have posed that were elided
+        /// (this run; see
+        /// [`SynthesisStats::probes_elided`](crate::SynthesisStats::probes_elided)).
+        elided: usize,
+        /// Terminals whose byte classes were adopted from the memo table
+        /// or an identical in-run sibling (this run; see
+        /// [`SynthesisStats::memo_hits`](crate::SynthesisStats::memo_hits)).
+        memo_hits: usize,
+    },
     /// A membership-query batch completed.
     QueryBatch {
         /// Checks posed in the batch (before deduplication).

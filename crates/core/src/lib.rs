@@ -38,6 +38,14 @@
 //! * **Warm-startable** — [`Session::save_cache`]/[`Session::load_cache`]
 //!   snapshot the query cache in a stable text format (see [`cache_to_text`]),
 //!   so repeated runs against the same target stop re-paying oracle calls.
+//! * **Query-frugal** — a query-reduction layer (on by default, see
+//!   [`GladeBuilder::memoize_byte_classes`]) memoizes learned byte
+//!   classes across identical terminals, short-circuits per-context
+//!   probes, dedups byte-identical checks within a batch, and prunes
+//!   provably-redundant merge checks — every elision is exact, so the
+//!   grammar is byte-identical with the layer on or off
+//!   ([`SynthesisStats::probes_elided`] counts the savings). The memo
+//!   table rides along in cache snapshots (`glade-cache v3`).
 //!
 //! # Quick start
 //!
@@ -121,6 +129,10 @@
 //! ([`GladeBuilder::worker_threads`]): batches are constructed identically
 //! in every mode, only the verdicts are computed concurrently, and all
 //! merge/widening decisions are applied sequentially in a fixed order.
+//! The query-reduction layer preserves this: staged waves are planned from
+//! the (deterministically evolving) cache and memo state alone, so which
+//! checks are elided — and the resulting grammar — is identical across
+//! worker counts, pool sizes, and wire versions.
 //! With a `time_limit` (or a [`CancelToken`] trip), which queries beat the
 //! cutoff depends on wall-clock speed — and therefore on the machine and
 //! the worker count — so degraded runs keep the safety guarantees
@@ -132,6 +144,7 @@ mod cache;
 mod chargen;
 mod events;
 mod fault;
+mod memo;
 mod oracle;
 mod persist;
 mod phase1;
@@ -152,7 +165,8 @@ pub use oracle::{
     PooledProcessOracle, ProcessOracle,
 };
 pub use persist::{
-    cache_from_text, cache_to_text, snapshot_from_text, snapshot_to_text, CacheError, CacheSnapshot,
+    cache_from_text, cache_to_text, snapshot_from_text, snapshot_to_text,
+    snapshot_to_text_with_memo, CacheError, CacheSnapshot, MemoEntry,
 };
 pub use session::{GladeBuilder, Session};
 pub use synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};

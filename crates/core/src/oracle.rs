@@ -17,6 +17,25 @@
 //!   and pose each query over a pipe instead of paying a process spawn per
 //!   query (the forkserver trick; see the protocol below).
 //!
+//! # The query-reduction layer in front of the runner
+//!
+//! Everything in this module makes a query *cheaper*; the synthesis
+//! engine also works to pose *fewer* of them. A query-reduction layer
+//! sits between the planners and the query runner: character
+//! generalization and phase-2 merging plan their membership checks in
+//! waves, byte-identical check strings from distinct plan sites collapse
+//! to one probe whose verdict fans back out to every owner, and a
+//! byte-class memo table keyed by `(terminal bytes, context fingerprint,
+//! candidate set)` replays already-learned character classes without
+//! re-probing (persisted alongside the query cache, see
+//! [`Session`](crate::Session)). Only provably-redundant checks are
+//! elided — the synthesized grammar is byte-identical with the layer on
+//! or off — and the savings are surfaced as
+//! [`SynthesisStats::probes_elided`](crate::SynthesisStats) and
+//! `memo_hits` before a single byte reaches any oracle here. Disable it
+//! with [`GladeBuilder::memoize_byte_classes`](crate::GladeBuilder::memoize_byte_classes)
+//! (CLI: `--no-memo`) to measure or debug the unreduced query stream.
+//!
 //! # The pooled worker protocol
 //!
 //! Spawning a process per membership query costs milliseconds; the paper's

@@ -35,12 +35,32 @@
 //! ([`CacheError::OracleMismatch`]). Version-1 snapshots (no fingerprint)
 //! still load everywhere; fingerprint-less sessions load anything.
 //!
+//! The **v3** format additionally persists the byte-class memo table of
+//! the query-reduction layer (see `memo.rs`) through `m` directives:
+//!
+//! ```text
+//! glade-cache v3
+//! m 00112233445566778899aabbccddeeff 68,69
+//! q 1 3c613e68693c2f613e
+//! ```
+//!
+//! Each `m` line carries a 128-bit [`memo key`](crate::MemoEntry) as 32
+//! hex digits, then the learned per-position byte classes as a
+//! comma-separated list of hex-encoded member-byte sets. A loaded memo
+//! entry lets a later session skip *every* probe of a terminal it has
+//! already generalized. [`snapshot_to_text_with_memo`] only emits the v3
+//! header when memo entries are present, so sessions that never memoize —
+//! or pre-memo consumers re-serializing old snapshots — keep producing
+//! byte-identical v1/v2 output, and v1/v2 snapshots load unchanged
+//! (`memo: []`).
+//!
 //! [`Session::save_cache`](crate::Session::save_cache) and
 //! [`Session::load_cache`](crate::Session::load_cache) wrap this format
 //! with file I/O; [`cache_to_text`], [`cache_from_text`], and the
 //! fingerprint-aware [`CacheSnapshot`] round-trip expose the text layer
 //! directly.
 
+use glade_grammar::CharClass;
 use std::fmt::Write as _;
 
 /// Errors from loading a cache snapshot.
@@ -99,14 +119,30 @@ impl From<std::io::Error> for CacheError {
 }
 
 /// A parsed cache snapshot: the cached verdicts plus the optional oracle
-/// fingerprint the snapshot was tagged with (v2 snapshots only; v1
-/// snapshots parse with `oracle_fingerprint: None`).
+/// fingerprint the snapshot was tagged with (v2+ snapshots only; v1
+/// snapshots parse with `oracle_fingerprint: None`) and the byte-class
+/// memo entries (v3 snapshots only; older snapshots parse with an empty
+/// `memo`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheSnapshot {
     /// Identity of the oracle the verdicts are facts about, when recorded.
     pub oracle_fingerprint: Option<String>,
     /// The cached `(query, verdict)` entries.
     pub entries: Vec<(Vec<u8>, bool)>,
+    /// Persisted byte-class memo entries (empty for v1/v2 snapshots).
+    pub memo: Vec<MemoEntry>,
+}
+
+/// One persisted byte-class memo entry: a memoized character-generalization
+/// result keyed by the 128-bit fingerprint of its problem instance
+/// (terminal bytes, contexts, candidate alphabet — computed internally by
+/// the query-reduction layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoEntry {
+    /// The fingerprint, big-endian.
+    pub key: [u8; 16],
+    /// The learned byte class of each terminal position.
+    pub classes: Vec<CharClass>,
 }
 
 fn push_hex(out: &mut String, bytes: &[u8]) {
@@ -124,17 +160,56 @@ fn push_hex(out: &mut String, bytes: &[u8]) {
 /// Entries are sorted by query bytes first, so equal caches serialize to
 /// byte-identical snapshots.
 pub fn snapshot_to_text(entries: &[(Vec<u8>, bool)], oracle_fingerprint: Option<&str>) -> String {
+    snapshot_to_text_with_memo(entries, &[], oracle_fingerprint)
+}
+
+/// Serializes `(query, verdict)` entries plus byte-class memo entries to
+/// snapshot text.
+///
+/// With memo entries present the `glade-cache v3` format is written
+/// (header, optional `oracle` directive, `m` lines sorted by key, `q`
+/// lines sorted by query bytes); with an empty `memo` the output is
+/// byte-identical to [`snapshot_to_text`]'s v1/v2, so memo-free sessions
+/// keep producing snapshots every historical consumer can read.
+pub fn snapshot_to_text_with_memo(
+    entries: &[(Vec<u8>, bool)],
+    memo: &[MemoEntry],
+    oracle_fingerprint: Option<&str>,
+) -> String {
     let mut sorted: Vec<&(Vec<u8>, bool)> = entries.iter().collect();
     sorted.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = String::new();
-    match oracle_fingerprint {
-        Some(fp) => {
+    match (memo.is_empty(), oracle_fingerprint) {
+        (false, fp) => {
+            out.push_str("glade-cache v3\n");
+            if let Some(fp) = fp {
+                out.push_str("oracle ");
+                push_hex(&mut out, fp.as_bytes());
+                out.push('\n');
+            }
+        }
+        (true, Some(fp)) => {
             out.push_str("glade-cache v2\n");
             out.push_str("oracle ");
             push_hex(&mut out, fp.as_bytes());
             out.push('\n');
         }
-        None => out.push_str("glade-cache v1\n"),
+        (true, None) => out.push_str("glade-cache v1\n"),
+    }
+    let mut memo_sorted: Vec<&MemoEntry> = memo.iter().collect();
+    memo_sorted.sort_by_key(|a| a.key);
+    for entry in memo_sorted {
+        out.push_str("m ");
+        push_hex(&mut out, &entry.key);
+        out.push(' ');
+        for (i, class) in entry.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let members: Vec<u8> = class.iter().collect();
+            push_hex(&mut out, &members);
+        }
+        out.push('\n');
     }
     for (query, verdict) in sorted {
         let _ = write!(out, "q {} ", u8::from(*verdict));
@@ -150,7 +225,7 @@ pub fn cache_to_text(entries: &[(Vec<u8>, bool)]) -> String {
     snapshot_to_text(entries, None)
 }
 
-/// Parses snapshot text (v1 or v2) into a [`CacheSnapshot`].
+/// Parses snapshot text (v1, v2, or v3) into a [`CacheSnapshot`].
 ///
 /// # Errors
 ///
@@ -166,10 +241,12 @@ pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
     let version: u8 = match header.trim() {
         "glade-cache v1" => 1,
         "glade-cache v2" => 2,
+        "glade-cache v3" => 3,
         _ => return Err(CacheError::BadHeader),
     };
     let mut fingerprint: Option<String> = None;
     let mut entries = Vec::new();
+    let mut memo = Vec::new();
     for (lineno, raw) in lines {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -177,12 +254,34 @@ pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
         }
         let lineno = lineno + 1;
         if let Some(hex) = line.strip_prefix("oracle ") {
-            // The directive is v2-only and at most one is meaningful.
+            // The directive is v2+-only and at most one is meaningful.
             if version < 2 || fingerprint.is_some() {
                 return Err(CacheError::BadLine(lineno));
             }
             let bytes = decode_hex(hex, lineno)?;
             fingerprint = Some(String::from_utf8(bytes).map_err(|_| CacheError::BadField(lineno))?);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("m ") {
+            // Memo entries are v3-only.
+            if version < 3 {
+                return Err(CacheError::BadLine(lineno));
+            }
+            let Some((key_hex, classes_hex)) = rest.split_once(' ') else {
+                return Err(CacheError::BadField(lineno));
+            };
+            let key_bytes = decode_hex(key_hex, lineno)?;
+            let key: [u8; 16] = key_bytes.try_into().map_err(|_| CacheError::BadField(lineno))?;
+            let mut classes = Vec::new();
+            for class_hex in classes_hex.split(',') {
+                // A learned class always contains at least the original
+                // byte; an empty member set marks a corrupted snapshot.
+                if class_hex.is_empty() {
+                    return Err(CacheError::BadField(lineno));
+                }
+                classes.push(CharClass::from_bytes(&decode_hex(class_hex, lineno)?));
+            }
+            memo.push(MemoEntry { key, classes });
             continue;
         }
         let Some(rest) = line.strip_prefix("q ") else {
@@ -200,11 +299,11 @@ pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
         };
         entries.push((decode_hex(hex, lineno)?, verdict));
     }
-    Ok(CacheSnapshot { oracle_fingerprint: fingerprint, entries })
+    Ok(CacheSnapshot { oracle_fingerprint: fingerprint, entries, memo })
 }
 
-/// Parses snapshot text (v1 or v2) back into `(query, verdict)` entries,
-/// discarding any oracle fingerprint.
+/// Parses snapshot text (v1, v2, or v3) back into `(query, verdict)`
+/// entries, discarding any oracle fingerprint and memo entries.
 ///
 /// # Errors
 ///
@@ -346,6 +445,80 @@ mod tests {
         // even-length guard alone would let `aéa` through to str slicing).
         assert!(matches!(
             cache_from_text(&format!("{base}q 1 aéa\n")),
+            Err(CacheError::BadField(2))
+        ));
+    }
+
+    #[test]
+    fn memo_snapshot_roundtrips_as_v3() {
+        let entries = vec![(b"a".to_vec(), true)];
+        let memo = vec![
+            MemoEntry { key: [0xab; 16], classes: vec![CharClass::from_bytes(b"hi")] },
+            MemoEntry {
+                key: [0x01; 16],
+                classes: vec![CharClass::single(b'x'), CharClass::from_bytes(b"yz")],
+            },
+        ];
+        let text = snapshot_to_text_with_memo(&entries, &memo, Some("target:toy"));
+        assert!(text.starts_with("glade-cache v3\noracle "), "{text}");
+        let snap = snapshot_from_text(&text).unwrap();
+        assert_eq!(snap.oracle_fingerprint.as_deref(), Some("target:toy"));
+        assert_eq!(snap.entries, entries);
+        // Entries come back sorted by key.
+        assert_eq!(snap.memo.len(), 2);
+        assert_eq!(snap.memo[0].key, [0x01; 16]);
+        assert_eq!(snap.memo[0].classes.len(), 2);
+        assert!(snap.memo[0].classes[1].contains(b'y'));
+        assert_eq!(snap.memo[1].key, [0xab; 16]);
+        assert!(snap.memo[1].classes[0].contains(b'h'));
+        // Byte-stable through a rewrite.
+        assert_eq!(snapshot_to_text_with_memo(&snap.entries, &snap.memo, Some("target:toy")), text);
+        // No fingerprint: still v3 when memo entries exist.
+        let untagged = snapshot_to_text_with_memo(&entries, &memo, None);
+        assert!(untagged.starts_with("glade-cache v3\nm "), "{untagged}");
+        assert!(snapshot_from_text(&untagged).unwrap().oracle_fingerprint.is_none());
+    }
+
+    #[test]
+    fn empty_memo_keeps_historical_formats_byte_identical() {
+        let entries = vec![(b"aa".to_vec(), false), (b"bb".to_vec(), true)];
+        assert_eq!(
+            snapshot_to_text_with_memo(&entries, &[], None),
+            snapshot_to_text(&entries, None)
+        );
+        assert_eq!(
+            snapshot_to_text_with_memo(&entries, &[], Some("fp")),
+            snapshot_to_text(&entries, Some("fp"))
+        );
+        // And pre-memo snapshots parse with an empty memo table.
+        let snap = snapshot_from_text("glade-cache v2\nq 1 61\n").unwrap();
+        assert!(snap.memo.is_empty());
+    }
+
+    #[test]
+    fn memo_directive_rejected_below_v3_and_when_malformed() {
+        assert!(matches!(
+            snapshot_from_text("glade-cache v2\nm 000102030405060708090a0b0c0d0e0f 61\n"),
+            Err(CacheError::BadLine(2))
+        ));
+        // Missing classes field.
+        assert!(matches!(
+            snapshot_from_text("glade-cache v3\nm 000102030405060708090a0b0c0d0e0f\n"),
+            Err(CacheError::BadField(2))
+        ));
+        // Key of the wrong width.
+        assert!(matches!(
+            snapshot_from_text("glade-cache v3\nm 0001 61\n"),
+            Err(CacheError::BadField(2))
+        ));
+        // Empty class member set.
+        assert!(matches!(
+            snapshot_from_text("glade-cache v3\nm 000102030405060708090a0b0c0d0e0f 61,,62\n"),
+            Err(CacheError::BadField(2))
+        ));
+        // Bad class hex.
+        assert!(matches!(
+            snapshot_from_text("glade-cache v3\nm 000102030405060708090a0b0c0d0e0f zz\n"),
             Err(CacheError::BadField(2))
         ));
     }

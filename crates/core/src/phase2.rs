@@ -20,9 +20,11 @@
 //! style recursion (Definition 5.2, Proposition 5.3) that no regular
 //! expression captures.
 
+use crate::cache::{hash_query, ShardedCache};
 use crate::events::{SynthEvent, SynthesisObserver};
 use crate::runner::{CheckSpec, QueryRunner};
 use crate::tree::{Node, StarNode, UnionFind};
+use std::collections::HashMap;
 
 /// Outcome counters for phase two.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -111,6 +113,208 @@ pub(crate) fn apply_merge_verdicts(
         }
     }
     (uf, stats)
+}
+
+/// Which of a pair's two cross-substitution checks a posed slot resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Which {
+    A,
+    B,
+}
+
+/// Resolution state of one unordered star pair in a staged merge run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairState {
+    /// Equal originals: both cross-checks are literally the two stars'
+    /// phase-one creation checks (`γ·α2α2·δ`), which were accepted — the
+    /// pair merges without posing anything.
+    PreAccepted,
+    /// Waiting to resolve check A (`γi · ρj · δi`).
+    NeedA,
+    /// A passed; waiting to resolve check B (`γj · ρi · δj`).
+    NeedB,
+    /// Both checks resolved: merge iff `true`.
+    Done(bool),
+}
+
+#[derive(Debug)]
+struct StagedPair<'t> {
+    left: &'t StarNode,
+    right: &'t StarNode,
+    state: PairState,
+}
+
+/// The owned result of a staged merge run.
+#[derive(Debug)]
+pub(crate) struct MergeOutcome {
+    pub uf: UnionFind,
+    pub stats: MergeStats,
+    /// Checks the one-shot plan would have posed that never reached the
+    /// query engine (pre-accepted pairs, B-checks short-circuited by a
+    /// failed A, in-wave duplicates, and plan-time cache folds).
+    pub probes_elided: usize,
+    /// Accepted `(left id, right id)` pairs in ascending pair order — the
+    /// order the unions were applied in, for MergeAccepted events.
+    pub accepted: Vec<(usize, usize)>,
+}
+
+/// Wave-driven merge planner (see `chargen.rs`' query-reduction section).
+///
+/// The one-shot plan poses both cross-substitution checks of every pair
+/// unconditionally. The staged run exploits the conjunction: check B is
+/// only posed once check A has passed, pairs of stars with byte-identical
+/// originals are accepted structurally (their checks are their phase-one
+/// creation checks), and checks whose assembled string is already cached —
+/// or already posed this wave — resolve without a new query. The accept
+/// set is provably identical to the one-shot plan's.
+///
+/// Drive as: loop { [`StagedMerge::plan_wave`] → pose →
+/// [`StagedMerge::fold_wave`] } until `plan_wave` appends no checks, then
+/// [`StagedMerge::finish`]. A pair resolves in at most two waves, so with
+/// chargen sharing the batch the loop adds no extra round trips.
+#[derive(Debug)]
+pub(crate) struct StagedMerge<'t> {
+    pairs: Vec<StagedPair<'t>>,
+    num_stars: usize,
+    /// `(pair index, which check)` owners parked per posed check this
+    /// wave, in planning order (= the wave's verdict order).
+    slots: Vec<Vec<(usize, Which)>>,
+    probes_elided: usize,
+}
+
+impl<'t> StagedMerge<'t> {
+    /// Plans the staged run over all star pairs of `trees`, pre-accepting
+    /// pairs whose residual checks are already-accepted creation checks.
+    pub fn new(trees: &'t [Node], num_stars: usize) -> Self {
+        let mut stars: Vec<&'t StarNode> = Vec::new();
+        for t in trees {
+            t.collect_stars(&mut stars);
+        }
+        stars.sort_by_key(|s| s.id);
+        let mut pairs: Vec<StagedPair<'t>> = Vec::with_capacity(stars.len() * stars.len() / 2);
+        let mut probes_elided = 0usize;
+        for i in 0..stars.len() {
+            for j in i + 1..stars.len() {
+                let (si, sj) = (stars[i], stars[j]);
+                let state = if si.original == sj.original {
+                    // A = γi·αj αj·δi = γi·αi αi·δi: star i's accepted
+                    // creation check (and B star j's). Elide both.
+                    probes_elided += 2;
+                    PairState::PreAccepted
+                } else {
+                    PairState::NeedA
+                };
+                pairs.push(StagedPair { left: si, right: sj, state });
+            }
+        }
+        StagedMerge { pairs, num_stars, slots: Vec::new(), probes_elided }
+    }
+
+    /// Plans the next wave: every unresolved pair resolves against the
+    /// session cache as far as possible, then poses at most one check.
+    /// Returns the number of checks appended; zero means every pair is
+    /// resolved.
+    pub fn plan_wave(&mut self, checks: &mut Vec<CheckSpec<'t>>, cache: &ShardedCache) -> usize {
+        debug_assert!(self.slots.is_empty(), "previous wave not folded");
+        let start = checks.len();
+        let mut dedup: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut slot_keys: Vec<Vec<u8>> = Vec::new();
+        let mut scratch: Vec<u8> = Vec::new();
+        for idx in 0..self.pairs.len() {
+            loop {
+                let which = match self.pairs[idx].state {
+                    PairState::NeedA => Which::A,
+                    PairState::NeedB => Which::B,
+                    PairState::PreAccepted | PairState::Done(_) => break,
+                };
+                let pair = &self.pairs[idx];
+                let spec = match which {
+                    Which::A => CheckSpec::wrapped(&pair.left.ctx, &pair.right.residual_parts()),
+                    Which::B => CheckSpec::wrapped(&pair.right.ctx, &pair.left.residual_parts()),
+                };
+                scratch.clear();
+                spec.write_into(&mut scratch);
+                match (cache.get(&scratch), which) {
+                    (Some(true), Which::A) => {
+                        // Cache fold: A passes for free; try B this wave.
+                        self.probes_elided += 1;
+                        self.pairs[idx].state = PairState::NeedB;
+                    }
+                    (Some(false), Which::A) => {
+                        // A fails: B is never posed either.
+                        self.probes_elided += 2;
+                        self.pairs[idx].state = PairState::Done(false);
+                        break;
+                    }
+                    (Some(v), Which::B) => {
+                        self.probes_elided += 1;
+                        self.pairs[idx].state = PairState::Done(v);
+                        break;
+                    }
+                    (None, which) => {
+                        let h = hash_query(&scratch);
+                        let candidates = dedup.entry(h).or_default();
+                        if let Some(&s) = candidates.iter().find(|&&s| slot_keys[s] == scratch) {
+                            self.slots[s].push((idx, which));
+                            self.probes_elided += 1;
+                        } else {
+                            candidates.push(self.slots.len());
+                            slot_keys.push(scratch.clone());
+                            self.slots.push(vec![(idx, which)]);
+                            checks.push(spec);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        checks.len() - start
+    }
+
+    /// Folds the wave's verdicts (one per check `plan_wave` appended, in
+    /// order) back into the pairs: a passed A advances to B (posed next
+    /// wave), a failed A resolves the pair and elides its B check.
+    pub fn fold_wave(&mut self, verdicts: &[bool]) {
+        debug_assert_eq!(verdicts.len(), self.slots.len());
+        for (owners, &verdict) in std::mem::take(&mut self.slots).into_iter().zip(verdicts) {
+            for (idx, which) in owners {
+                match which {
+                    Which::A => {
+                        if verdict {
+                            self.pairs[idx].state = PairState::NeedB;
+                        } else {
+                            self.probes_elided += 1;
+                            self.pairs[idx].state = PairState::Done(false);
+                        }
+                    }
+                    Which::B => self.pairs[idx].state = PairState::Done(verdict),
+                }
+            }
+        }
+    }
+
+    /// Applies the unions in ascending pair order (identical to the
+    /// one-shot plan's order) and returns the owned outcome. Call only
+    /// after `plan_wave` returned zero.
+    pub fn finish(self) -> MergeOutcome {
+        debug_assert!(self.slots.is_empty(), "staged run incomplete");
+        let mut uf = UnionFind::new(self.num_stars);
+        let mut stats = MergeStats::default();
+        let mut accepted: Vec<(usize, usize)> = Vec::new();
+        for pair in &self.pairs {
+            debug_assert!(
+                !matches!(pair.state, PairState::NeedA | PairState::NeedB),
+                "unresolved pair at finish"
+            );
+            stats.pairs_tried += 1;
+            if matches!(pair.state, PairState::PreAccepted | PairState::Done(true)) {
+                uf.union(pair.left.id, pair.right.id);
+                stats.merges_accepted += 1;
+                accepted.push((pair.left.id, pair.right.id));
+            }
+        }
+        MergeOutcome { uf, stats, probes_elided: self.probes_elided, accepted }
+    }
 }
 
 /// Runs the merge phase as one self-contained batch (plan → pose → apply).
@@ -260,5 +464,97 @@ mod tests {
         assert!(e.accepts(b"<a><a/></a>"));
         assert!(e.accepts(b"<a><a><a/>hi</a></a>"));
         assert!(!e.accepts(b"<a/></a>"));
+    }
+
+    /// Drives a staged merge run to completion against `runner`.
+    fn run_staged(
+        trees: &[Node],
+        num_stars: usize,
+        runner: &QueryRunner<'_>,
+        cache: &ShardedCache,
+    ) -> MergeOutcome {
+        let mut staged = StagedMerge::new(trees, num_stars);
+        loop {
+            let mut checks: Vec<CheckSpec<'_>> = Vec::new();
+            if staged.plan_wave(&mut checks, cache) == 0 {
+                break;
+            }
+            let verdicts = runner.accepts_batch(&checks);
+            staged.fold_wave(&verdicts);
+        }
+        staged.finish()
+    }
+
+    #[test]
+    fn staged_merge_matches_one_shot_plan() {
+        // The staged planner must reproduce the one-shot plan's accept set
+        // (and union order) exactly on the running example.
+        let oracle = FnOracle::new(xml_like);
+        let cache = ShardedCache::new();
+        let runner = runner(&oracle, &cache);
+        let mut p1 = Phase1::new(&runner, 0);
+        let trees = vec![p1.generalize_seed(b"<a>hi</a>")];
+        let num_stars = p1.next_star_id();
+
+        let (legacy_uf, legacy_stats) = merge_stars(&trees, num_stars, &runner, None);
+        let outcome = run_staged(&trees, num_stars, &runner, &cache);
+        assert_eq!(outcome.stats, legacy_stats);
+        let (mut uf_a, mut uf_b) = (legacy_uf, outcome.uf);
+        for s in 0..num_stars {
+            assert_eq!(uf_a.find(s), uf_b.find(s), "star {s} lands in a different class");
+        }
+        assert_eq!(outcome.accepted.len(), outcome.stats.merges_accepted);
+    }
+
+    #[test]
+    fn staged_merge_pre_accepts_equal_originals_without_queries() {
+        // Two phase-one passes over the same seed yield star pairs with
+        // byte-identical originals; their cross-checks are the accepted
+        // creation checks, so the staged run unions them structurally.
+        let oracle = FnOracle::new(xml_like);
+        let cache = ShardedCache::new();
+        let runner = runner(&oracle, &cache);
+        let mut p1 = Phase1::new(&runner, 0);
+        let t1 = p1.generalize_seed(b"<a>hi</a>");
+        let t2 = p1.generalize_seed(b"<a>hi</a>");
+        let num_stars = p1.next_star_id();
+        let trees = vec![t1, t2];
+
+        let before = cache.len();
+        let outcome = run_staged(&trees, num_stars, &runner, &cache);
+        // Stars: 0=outer₁, 1=inner₁, 2=outer₂, 3=inner₂. The equal-original
+        // pairs (0,2) and (1,3) pre-accept without a query; the four mixed
+        // pairs all assemble the same two check strings a single tree's
+        // (outer, inner) pair would, so dedup + cache folding collapse them
+        // to exactly those two novel queries.
+        assert_eq!(cache.len(), before + 2, "duplicate pairs posed duplicate queries");
+        assert!(outcome.probes_elided >= 2 * 2 + 3, "pre-accepts + folded duplicates");
+
+        // And the accept set still matches the one-shot plan's.
+        let (mut legacy_uf, legacy_stats) = merge_stars(&trees, num_stars, &runner, None);
+        assert_eq!(outcome.stats, legacy_stats);
+        let mut uf = outcome.uf;
+        for s in 0..num_stars {
+            assert_eq!(uf.find(s), legacy_uf.find(s));
+        }
+    }
+
+    #[test]
+    fn staged_merge_elides_b_check_after_failed_a() {
+        // a* x b*: check A fails for the only pair, so the staged run never
+        // poses check B — one of the one-shot plan's two checks is elided.
+        let oracle = FnOracle::new(|i: &[u8]| {
+            let Some(x) = i.iter().position(|&b| b == b'x') else { return false };
+            i[..x].iter().all(|&b| b == b'a') && i[x + 1..].iter().all(|&b| b == b'b')
+        });
+        let cache = ShardedCache::new();
+        let runner = runner(&oracle, &cache);
+        let mut p1 = Phase1::new(&runner, 0);
+        let trees = vec![p1.generalize_seed(b"axb")];
+        let num_stars = p1.next_star_id();
+
+        let outcome = run_staged(&trees, num_stars, &runner, &cache);
+        assert_eq!(outcome.stats.merges_accepted, 0);
+        assert!(outcome.probes_elided >= 1, "failed A must elide B");
     }
 }

@@ -36,18 +36,19 @@
 //! ```
 
 use crate::cache::ShardedCache;
-use crate::chargen::{apply_char_probes, plan_char_probes};
+use crate::chargen::{apply_char_probes, apply_staged_classes, plan_char_probes, StagedChargen};
 use crate::events::{CancelToken, SynthEvent, SynthPhase, SynthesisObserver};
-use crate::persist::{snapshot_from_text, snapshot_to_text, CacheError};
+use crate::memo::ByteClassMemo;
+use crate::persist::{snapshot_from_text, snapshot_to_text_with_memo, CacheError, MemoEntry};
 use crate::phase1::Phase1;
-use crate::phase2::{apply_merge_verdicts, plan_merge_checks};
-use crate::runner::{QueryRunner, RunnerOptions};
+use crate::phase2::{apply_merge_verdicts, plan_merge_checks, StagedMerge};
+use crate::runner::{CheckSpec, QueryRunner, RunnerOptions};
 use crate::synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};
 use crate::tree::{trees_to_grammar, Node, UnionFind};
 use crate::Oracle;
 use glade_grammar::Regex;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Fluent configuration for the session API.
@@ -123,6 +124,18 @@ impl GladeBuilder {
     /// Sets the candidate bytes tried during character generalization.
     pub fn char_test_bytes(mut self, bytes: Vec<u8>) -> Self {
         self.config.char_test_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables the query-reduction layer (byte-class
+    /// memoization, context short-circuiting, in-wave check dedup, and
+    /// merge-check pruning — see the `chargen.rs` module docs). On by
+    /// default; every elision is exact, so the synthesized grammar is
+    /// byte-identical either way — only the query counts change. Disable
+    /// for A/B measurement (`glade synth --no-memo`) or to reproduce the
+    /// historical one-shot query counts.
+    pub fn memoize_byte_classes(mut self, enabled: bool) -> Self {
+        self.config.memoize_byte_classes = enabled;
         self
     }
 
@@ -224,6 +237,7 @@ impl GladeBuilder {
             cancel: self.cancel.unwrap_or_default(),
             fingerprint: self.fingerprint,
             cache: ShardedCache::new(),
+            memo: Mutex::new(ByteClassMemo::new()),
             trees: Vec::new(),
             chargen_done: 0,
             combined: None,
@@ -232,6 +246,8 @@ impl GladeBuilder {
             seeds_used: 0,
             seeds_skipped: 0,
             chars_generalized: 0,
+            memo_hits: 0,
+            probes_elided: 0,
         }
     }
 
@@ -286,6 +302,10 @@ pub struct Session<'o> {
     fingerprint: Option<String>,
     /// Session-lifetime membership-query cache (snapshot-able).
     cache: ShardedCache,
+    /// Session-lifetime byte-class memo table (snapshot-able alongside the
+    /// cache; see `memo.rs`). Behind a mutex so [`Session::import_cache`]
+    /// — which takes `&self`, like the cache it feeds — can extend it.
+    memo: Mutex<ByteClassMemo>,
     /// Per-seed generalization trees, post character generalization for
     /// indices below `chargen_done`.
     trees: Vec<Node>,
@@ -298,6 +318,10 @@ pub struct Session<'o> {
     seeds_used: usize,
     seeds_skipped: usize,
     chars_generalized: usize,
+    /// Cumulative query-reduction counters (session lifetime, like
+    /// `chars_generalized`).
+    memo_hits: usize,
+    probes_elided: usize,
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -440,96 +464,216 @@ impl<'o> Session<'o> {
         // trees were already widened, and re-probing them would only replay
         // cache hits) and phase two (Section 5, recomputed over the
         // combined star set; pairs examined by earlier runs are answered by
-        // the session cache) share one *aggregated* membership batch: every
-        // widening probe of every new terminal plus every cross-substitution
-        // merge check is planned up front and posed together, so the worker
-        // pool stays saturated across the stage boundary instead of
+        // the session cache) share aggregated membership batches, so the
+        // worker pool stays saturated across the stage boundary instead of
         // draining between chargen's per-terminal work and the merge sweep.
-        // The checks — and therefore the query counts — are exactly those
-        // the stages would pose separately (duplicates across the stages
-        // were already answered by the cache); only the scheduling changes.
         // Verdicts are folded sequentially in planning order, keeping the
         // grammar worker-count-independent.
+        //
+        // Two planners implement the stages. The default *staged* path
+        // plans in waves through the query-reduction layer (byte-class
+        // memoization, context short-circuiting, in-wave dedup, merge
+        // pre-accept — see `chargen.rs`), eliding provably-redundant
+        // checks before they reach the runner. With
+        // `memoize_byte_classes(false)` the historical *one-shot* path
+        // plans every check up front and poses them as a single batch.
+        // Every staged elision is exact, so both paths synthesize
+        // byte-identical grammars; only the query counts differ.
         let do_chargen =
             self.config.character_generalization && self.chargen_done < self.trees.len();
         let t1 = Instant::now();
-        let mut checks = Vec::new();
-        let chargen_plan = if do_chargen {
-            emit(SynthEvent::PhaseStarted { phase: SynthPhase::CharGeneralization });
-            Some(plan_char_probes(
-                &self.trees[self.chargen_done..],
-                &self.config.char_test_bytes,
-                &mut checks,
-            ))
-        } else {
-            None
-        };
-        // When chargen has no work the batch is phase two's alone and runs
-        // inside the phase-two window; otherwise phase two's checks ride
-        // along in the batch posed during chargen and its own window only
-        // folds the (already computed) verdicts.
-        if self.config.phase2 && chargen_plan.is_none() {
-            emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
-        }
-        let merge_plan = self
-            .config
-            .phase2
-            .then(|| plan_merge_checks(&self.trees, self.next_star_id, &mut checks));
-        // Nothing planned (e.g. a phase1-only config) poses nothing — the
-        // runner is not consulted, so no phantom empty QueryBatch event.
-        let batch_start = Instant::now();
-        let verdicts = if checks.is_empty() { Vec::new() } else { runner.accepts_batch(&checks) };
-        let batch_time = batch_start.elapsed();
-        let total_checks = checks.len();
-        drop(checks); // releases the immutable borrow of the trees
-
-        // The batch is shared, its wall time is not one phase's: attribute
-        // it pro rata by check count so chargen_time/phase2_time keep
-        // meaning "time spent on this phase's oracle work" (phase two's
-        // O(stars²) merge checks dominate real batches and must not be
-        // billed to chargen).
-        let merge_offset = chargen_plan.as_ref().map_or(0, |p| p.checks_len);
-        let chargen_batch_share = if total_checks == 0 {
-            Duration::ZERO
-        } else {
-            batch_time.mul_f64(merge_offset as f64 / total_checks as f64)
-        };
-        if let Some(plan) = &chargen_plan {
-            self.chars_generalized += apply_char_probes(
-                &mut self.trees[self.chargen_done..],
-                plan,
-                &verdicts[..plan.checks_len],
-            );
-            self.chargen_done = self.trees.len();
-            stats.chargen_time = t1.elapsed().saturating_sub(batch_time) + chargen_batch_share;
-            emit(SynthEvent::PhaseFinished {
-                phase: SynthPhase::CharGeneralization,
-                elapsed: stats.chargen_time,
-                unique_queries: runner.unique_queries(),
-            });
-        }
-
-        let t2 = Instant::now();
-        let mut merges = if let Some(plan) = &merge_plan {
-            if chargen_plan.is_some() {
+        let mut merges = if !self.config.memoize_byte_classes {
+            let mut checks = Vec::new();
+            let chargen_plan = if do_chargen {
+                emit(SynthEvent::PhaseStarted { phase: SynthPhase::CharGeneralization });
+                Some(plan_char_probes(
+                    &self.trees[self.chargen_done..],
+                    &self.config.char_test_bytes,
+                    &mut checks,
+                ))
+            } else {
+                None
+            };
+            // When chargen has no work the batch is phase two's alone and
+            // runs inside the phase-two window; otherwise phase two's
+            // checks ride along in the batch posed during chargen and its
+            // own window only folds the (already computed) verdicts.
+            if self.config.phase2 && chargen_plan.is_none() {
                 emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
             }
-            let (uf, mstats) = apply_merge_verdicts(plan, &verdicts[merge_offset..], observer);
-            stats.merge_pairs_tried = mstats.pairs_tried;
-            stats.merges_accepted = mstats.merges_accepted;
-            stats.phase2_time = if chargen_plan.is_some() {
-                t2.elapsed() + batch_time.saturating_sub(chargen_batch_share)
+            let merge_plan = self
+                .config
+                .phase2
+                .then(|| plan_merge_checks(&self.trees, self.next_star_id, &mut checks));
+            // Nothing planned (e.g. a phase1-only config) poses nothing —
+            // the runner is not consulted, so no phantom empty QueryBatch
+            // event.
+            let batch_start = Instant::now();
+            let verdicts =
+                if checks.is_empty() { Vec::new() } else { runner.accepts_batch(&checks) };
+            let batch_time = batch_start.elapsed();
+            let total_checks = checks.len();
+            drop(checks); // releases the immutable borrow of the trees
+
+            // The batch is shared, its wall time is not one phase's:
+            // attribute it pro rata by check count so chargen_time /
+            // phase2_time keep meaning "time spent on this phase's oracle
+            // work" (phase two's O(stars²) merge checks dominate real
+            // batches and must not be billed to chargen).
+            let merge_offset = chargen_plan.as_ref().map_or(0, |p| p.checks_len);
+            let chargen_batch_share = if total_checks == 0 {
+                Duration::ZERO
             } else {
-                t1.elapsed()
+                batch_time.mul_f64(merge_offset as f64 / total_checks as f64)
             };
-            emit(SynthEvent::PhaseFinished {
-                phase: SynthPhase::Phase2,
-                elapsed: stats.phase2_time,
-                unique_queries: runner.unique_queries(),
-            });
-            uf
+            if let Some(plan) = &chargen_plan {
+                self.chars_generalized += apply_char_probes(
+                    &mut self.trees[self.chargen_done..],
+                    plan,
+                    &verdicts[..plan.checks_len],
+                );
+                self.chargen_done = self.trees.len();
+                stats.chargen_time = t1.elapsed().saturating_sub(batch_time) + chargen_batch_share;
+                emit(SynthEvent::PhaseFinished {
+                    phase: SynthPhase::CharGeneralization,
+                    elapsed: stats.chargen_time,
+                    unique_queries: runner.unique_queries(),
+                });
+            }
+
+            let t2 = Instant::now();
+            if let Some(plan) = &merge_plan {
+                if chargen_plan.is_some() {
+                    emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
+                }
+                let (uf, mstats) = apply_merge_verdicts(plan, &verdicts[merge_offset..], observer);
+                stats.merge_pairs_tried = mstats.pairs_tried;
+                stats.merges_accepted = mstats.merges_accepted;
+                stats.phase2_time = if chargen_plan.is_some() {
+                    t2.elapsed() + batch_time.saturating_sub(chargen_batch_share)
+                } else {
+                    t1.elapsed()
+                };
+                emit(SynthEvent::PhaseFinished {
+                    phase: SynthPhase::Phase2,
+                    elapsed: stats.phase2_time,
+                    unique_queries: runner.unique_queries(),
+                });
+                uf
+            } else {
+                UnionFind::new(self.next_star_id)
+            }
         } else {
-            UnionFind::new(self.next_star_id)
+            // Staged path: both stages advance one context / one check per
+            // probe per wave, resolving as much as possible against the
+            // session cache and memo table between waves. Each wave is one
+            // aggregated batch; the loop ends when neither stage has
+            // anything left to pose (chargen needs at most max-contexts
+            // waves, merge at most two, and they overlap).
+            let mut staged_cg = if do_chargen {
+                emit(SynthEvent::PhaseStarted { phase: SynthPhase::CharGeneralization });
+                let memo = self.memo.lock().expect("memo mutex poisoned");
+                Some(StagedChargen::new(
+                    &self.trees[self.chargen_done..],
+                    &self.config.char_test_bytes,
+                    &memo,
+                ))
+            } else {
+                None
+            };
+            if self.config.phase2 && staged_cg.is_none() {
+                emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
+            }
+            let mut staged_mg =
+                self.config.phase2.then(|| StagedMerge::new(&self.trees, self.next_star_id));
+
+            let mut batch_total = Duration::ZERO;
+            let mut chargen_batch_share = Duration::ZERO;
+            let mut wave_checks: Vec<CheckSpec<'_>> = Vec::new();
+            loop {
+                wave_checks.clear();
+                let cg_n =
+                    staged_cg.as_mut().map_or(0, |s| s.plan_wave(&mut wave_checks, &self.cache));
+                let mg_n =
+                    staged_mg.as_mut().map_or(0, |s| s.plan_wave(&mut wave_checks, &self.cache));
+                if cg_n + mg_n == 0 {
+                    break;
+                }
+                let wave_start = Instant::now();
+                let verdicts = runner.accepts_batch(&wave_checks);
+                let wave_time = wave_start.elapsed();
+                batch_total += wave_time;
+                // Attribute shared-wave wall time pro rata by check count,
+                // as the one-shot path does for its single batch.
+                chargen_batch_share += wave_time.mul_f64(cg_n as f64 / (cg_n + mg_n) as f64);
+                if let Some(s) = staged_cg.as_mut() {
+                    s.fold_wave(&verdicts[..cg_n]);
+                }
+                if let Some(s) = staged_mg.as_mut() {
+                    s.fold_wave(&verdicts[cg_n..]);
+                }
+            }
+            drop(wave_checks); // releases the immutable borrow of the trees
+            let cg_outcome = staged_cg.map(StagedChargen::finish);
+            let mg_outcome = staged_mg.map(StagedMerge::finish);
+
+            let mut run_elided = 0usize;
+            let mut run_memo_hits = 0usize;
+            if let Some(outcome) = cg_outcome {
+                apply_staged_classes(&mut self.trees[self.chargen_done..], &outcome.classes);
+                self.chargen_done = self.trees.len();
+                self.chars_generalized += outcome.accepted;
+                run_elided += outcome.probes_elided;
+                run_memo_hits += outcome.memo_hits;
+                // A degraded run's classes embed fail-closed verdicts —
+                // they are safe for *this* run's grammar but are not facts
+                // about the language, so they must never be memoized.
+                if !runner.exhausted() {
+                    let mut memo = self.memo.lock().expect("memo mutex poisoned");
+                    for (key, classes) in outcome.memo_inserts {
+                        memo.insert(key, classes);
+                    }
+                }
+                stats.chargen_time = t1.elapsed().saturating_sub(batch_total) + chargen_batch_share;
+                emit(SynthEvent::PhaseFinished {
+                    phase: SynthPhase::CharGeneralization,
+                    elapsed: stats.chargen_time,
+                    unique_queries: runner.unique_queries(),
+                });
+            }
+
+            let t2 = Instant::now();
+            let merges = if let Some(outcome) = mg_outcome {
+                if do_chargen {
+                    emit(SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 });
+                }
+                for &(left, right) in &outcome.accepted {
+                    emit(SynthEvent::MergeAccepted { left_star: left, right_star: right });
+                }
+                stats.merge_pairs_tried = outcome.stats.pairs_tried;
+                stats.merges_accepted = outcome.stats.merges_accepted;
+                run_elided += outcome.probes_elided;
+                stats.phase2_time = if do_chargen {
+                    t2.elapsed() + batch_total.saturating_sub(chargen_batch_share)
+                } else {
+                    t1.elapsed()
+                };
+                emit(SynthEvent::PhaseFinished {
+                    phase: SynthPhase::Phase2,
+                    elapsed: stats.phase2_time,
+                    unique_queries: runner.unique_queries(),
+                });
+                outcome.uf
+            } else {
+                UnionFind::new(self.next_star_id)
+            };
+
+            self.probes_elided += run_elided;
+            self.memo_hits += run_memo_hits;
+            if run_elided + run_memo_hits > 0 {
+                emit(SynthEvent::ProbesElided { elided: run_elided, memo_hits: run_memo_hits });
+            }
+            merges
         };
 
         let grammar = trees_to_grammar(&self.trees, &mut merges);
@@ -540,6 +684,8 @@ impl<'o> Session<'o> {
         stats.star_count = self.next_star_id;
         stats.tree_nodes = self.trees.iter().map(Node::size).sum();
         stats.chars_generalized = self.chars_generalized;
+        stats.memo_hits = self.memo_hits;
+        stats.probes_elided = self.probes_elided;
         stats.unique_queries = runner.unique_queries();
         stats.new_unique_queries = runner.unique_queries() - unique_before;
         stats.total_queries = runner.total_queries();
@@ -552,19 +698,35 @@ impl<'o> Session<'o> {
         Ok(Synthesis { grammar, regex, stats })
     }
 
-    /// Serializes the session's query cache to snapshot text (see
-    /// `persist.rs`): `glade-cache v2` tagged with the session's oracle
-    /// fingerprint when one was declared through
-    /// [`GladeBuilder::oracle_fingerprint`], plain `glade-cache v1`
-    /// otherwise. Entries are sorted, so equal caches produce
-    /// byte-identical snapshots.
+    /// Serializes the session's query cache — and, when non-empty, its
+    /// byte-class memo table — to snapshot text (see `persist.rs`):
+    /// `glade-cache v3` when memo entries are present, otherwise
+    /// `glade-cache v2` tagged with the session's oracle fingerprint when
+    /// one was declared through [`GladeBuilder::oracle_fingerprint`], or
+    /// plain `glade-cache v1`. Entries are sorted, so equal sessions
+    /// produce byte-identical snapshots.
     pub fn export_cache(&self) -> String {
-        snapshot_to_text(&self.cache.snapshot(), self.fingerprint.as_deref())
+        let memo_entries: Vec<MemoEntry> = self
+            .memo
+            .lock()
+            .expect("memo mutex poisoned")
+            .entries_sorted()
+            .into_iter()
+            .map(|(key, classes)| MemoEntry { key: key.to_be_bytes(), classes })
+            .collect();
+        snapshot_to_text_with_memo(
+            &self.cache.snapshot(),
+            &memo_entries,
+            self.fingerprint.as_deref(),
+        )
     }
 
-    /// Loads snapshot text (v1 or v2) into the session cache, returning
-    /// the number of entries read. Existing entries keep their verdict (a
-    /// snapshot from the same deterministic oracle always agrees).
+    /// Loads snapshot text (v1, v2, or v3) into the session cache,
+    /// returning the number of *query* entries read. A v3 snapshot's memo
+    /// entries load into the byte-class memo table (they are not counted),
+    /// warm-starting character generalization past whole terminals.
+    /// Existing entries keep their verdict (a snapshot from the same
+    /// deterministic oracle always agrees).
     ///
     /// # Errors
     ///
@@ -589,6 +751,12 @@ impl<'o> Session<'o> {
         let count = snapshot.entries.len();
         for (query, verdict) in snapshot.entries {
             self.cache.insert(query, verdict);
+        }
+        if !snapshot.memo.is_empty() {
+            let mut memo = self.memo.lock().expect("memo mutex poisoned");
+            for entry in snapshot.memo {
+                memo.insert(u128::from_be_bytes(entry.key), entry.classes);
+            }
         }
         Ok(count)
     }
@@ -631,6 +799,7 @@ mod tests {
             .phase2(false)
             .character_generalization(false)
             .char_test_bytes(vec![b'a', b'b'])
+            .memoize_byte_classes(false)
             .max_queries(7)
             .time_limit(Duration::from_secs(3))
             .oracle_timeout(Duration::from_secs(9))
@@ -640,6 +809,7 @@ mod tests {
         assert!(!c.phase2);
         assert!(!c.character_generalization);
         assert_eq!(c.char_test_bytes, vec![b'a', b'b']);
+        assert!(!c.memoize_byte_classes);
         assert_eq!(c.max_queries, Some(7));
         assert_eq!(c.time_limit, Some(Duration::from_secs(3)));
         assert_eq!(c.oracle_timeout, Some(Duration::from_secs(9)));
@@ -841,7 +1011,12 @@ mod tests {
     #[test]
     fn fingerprinted_sessions_tag_and_validate_snapshots() {
         let oracle = FnOracle::new(xml_like);
-        let mut tagged = GladeBuilder::new().oracle_fingerprint("target:toy-xml").session(&oracle);
+        // Memo off: the memo table stays empty, so tagged snapshots keep
+        // the historical v2 format byte-for-byte.
+        let mut tagged = GladeBuilder::new()
+            .memoize_byte_classes(false)
+            .oracle_fingerprint("target:toy-xml")
+            .session(&oracle);
         tagged.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
         let snapshot = tagged.export_cache();
         assert!(snapshot.starts_with("glade-cache v2\noracle "), "tagged snapshots are v2");
@@ -870,6 +1045,77 @@ mod tests {
         assert!(v1.starts_with("glade-cache v1\n"));
         let tagged2 = GladeBuilder::new().oracle_fingerprint("target:toy-xml").session(&oracle);
         assert_eq!(tagged2.import_cache(&v1).unwrap(), 0);
+    }
+
+    #[test]
+    fn memoized_run_matches_legacy_grammar_and_reports_elisions() {
+        let seeds = [b"<a>hi</a>".to_vec(), b"<a><a>x</a></a>".to_vec()];
+        let oracle = FnOracle::new(xml_like);
+        let on = GladeBuilder::new().synthesize(&seeds, &oracle).unwrap();
+        let off =
+            GladeBuilder::new().memoize_byte_classes(false).synthesize(&seeds, &oracle).unwrap();
+        assert_eq!(
+            glade_grammar::grammar_to_text(&on.grammar),
+            glade_grammar::grammar_to_text(&off.grammar),
+            "elision must never change the grammar"
+        );
+        assert_eq!(on.regex.to_string(), off.regex.to_string());
+        assert_eq!(on.stats.chars_generalized, off.stats.chars_generalized);
+        assert_eq!(on.stats.merges_accepted, off.stats.merges_accepted);
+        assert_eq!(on.stats.merge_pairs_tried, off.stats.merge_pairs_tried);
+        assert!(on.stats.probes_elided > 0, "staged run elided nothing");
+        assert!(on.stats.unique_queries < off.stats.unique_queries);
+        assert!(on.stats.total_queries < off.stats.total_queries);
+        assert_eq!(off.stats.probes_elided, 0);
+        assert_eq!(off.stats.memo_hits, 0);
+    }
+
+    #[test]
+    fn probes_elided_event_reports_run_savings() {
+        let log = Arc::new(EventLog::new());
+        let oracle = FnOracle::new(xml_like);
+        let mut session = GladeBuilder::new().observer(log.clone()).session(&oracle);
+        let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let reported = log.events().iter().find_map(|e| match e {
+            SynthEvent::ProbesElided { elided, memo_hits } => Some((*elided, *memo_hits)),
+            _ => None,
+        });
+        let (elided, memo_hits) = reported.expect("staged run must report its elisions");
+        assert_eq!(elided, result.stats.probes_elided);
+        assert_eq!(memo_hits, result.stats.memo_hits);
+        assert!(elided > 0);
+    }
+
+    #[test]
+    fn memo_snapshot_warm_starts_a_second_session() {
+        let oracle = FnOracle::new(xml_like);
+        let mut warm = GladeBuilder::new().session(&oracle);
+        let first = warm.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let snapshot = warm.export_cache();
+        assert!(snapshot.starts_with("glade-cache v3\n"), "memoizing sessions export v3");
+
+        // A memo-laden snapshot warm-starts chargen wholesale: the second
+        // session adopts every terminal's classes (memo hits) and poses
+        // strictly fewer probes than the first session did.
+        let mut cold = GladeBuilder::new().session(&oracle);
+        cold.import_cache(&snapshot).unwrap();
+        let second = cold.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert!(second.stats.memo_hits > 0, "imported memo entries unused");
+        assert!(second.stats.probes_elided > first.stats.probes_elided);
+        assert_eq!(second.stats.new_unique_queries, 0);
+        assert_eq!(
+            glade_grammar::grammar_to_text(&first.grammar),
+            glade_grammar::grammar_to_text(&second.grammar)
+        );
+
+        // And a pre-memo (v2/v1) snapshot still loads cleanly: same cache
+        // warm start, just no memo adoption.
+        let mut legacy = GladeBuilder::new().memoize_byte_classes(false).session(&oracle);
+        let legacy_first = legacy.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let v1 = legacy.export_cache();
+        assert!(v1.starts_with("glade-cache v1\n"));
+        let fresh = GladeBuilder::new().session(&oracle);
+        assert_eq!(fresh.import_cache(&v1).unwrap(), legacy_first.stats.unique_queries);
     }
 
     #[test]

@@ -350,7 +350,13 @@ pub(crate) fn trees_to_grammar(trees: &[Node], merges: &mut UnionFind) -> Gramma
             bodies.push(body);
         }
     }
-    for (&nt, bodies) in class_bodies.iter_mut() {
+    // Emit classes in nonterminal order: HashMap iteration order is
+    // per-instance random, and it would otherwise decide which class gets
+    // its `B` body nonterminal allocated first — making the grammar's
+    // byte serialization differ between identical runs.
+    let mut class_list: Vec<(NtId, Vec<Vec<Sym>>)> = class_bodies.into_iter().collect();
+    class_list.sort_by_key(|&(nt, _)| nt.index());
+    for (nt, mut bodies) in class_list {
         b.prod(nt, vec![]); // ε
         if bodies.len() == 1 {
             let mut rhs = vec![Sym::Nt(nt)];

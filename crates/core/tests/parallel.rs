@@ -6,21 +6,64 @@
 //! cancellation, cache snapshot round-trips, and the pooled process
 //! oracle's wire protocol and crash recovery (against an independently
 //! implemented worker compiled on the fly with `rustc`).
+//!
+//! The query-reduction layer (byte-class memoization + staged probe
+//! waves) is part of the matrix: `GLADE_TEST_MEMO=off` re-runs the suite
+//! with the layer disabled against the memo-off goldens, and dedicated
+//! tests pin distinct-query counts in both modes per Section 8.2 language
+//! with byte-identical grammars between them.
 
 use glade_core::testing::xml_like;
 use glade_core::{
     CachingOracle, CancelToken, EventLog, FnOracle, GladeBuilder, Oracle, PooledProcessOracle,
     ProcessOracle, SynthEvent, SynthesisStats,
 };
+use glade_eval::sample_seeds;
 use glade_grammar::grammar_to_text;
+use glade_targets::languages::{section82_languages, toy_xml};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-/// Golden distinct-query count for the single seed `<a>hi</a>`.
-const GOLDEN_UNIQUE: usize = 1324;
+/// Golden distinct-query count for the single seed `<a>hi</a>` with the
+/// query-reduction layer disabled — the raw cost model of the planner.
+const GOLDEN_UNIQUE_OFF: usize = 1324;
 /// Golden total-query count (including cache hits) for the same run.
-const GOLDEN_TOTAL: usize = 1442;
+const GOLDEN_TOTAL_OFF: usize = 1442;
+/// Golden counts for the same run with byte-class memoization, staged
+/// context waves, and merge-check pruning on (the default). The grammar is
+/// byte-identical to the memo-off run; only the query counts shrink. If a
+/// planner change moves one of these, re-measure BOTH modes and re-assert
+/// grammar equality before re-pinning.
+const GOLDEN_UNIQUE_ON: usize = 965;
+const GOLDEN_TOTAL_ON: usize = 985;
+
+/// Memo mode for the matrix; `GLADE_TEST_MEMO=off` pins the query-
+/// reduction layer off (the CI matrix sweeps it). Default: on, matching
+/// `GladeConfig::default`.
+fn matrix_memo() -> bool {
+    !matches!(std::env::var("GLADE_TEST_MEMO").as_deref(), Ok("off") | Ok("0") | Ok("false"))
+}
+
+/// The golden distinct-query count for the matrix's memo mode.
+fn golden_unique() -> usize {
+    if matrix_memo() {
+        GOLDEN_UNIQUE_ON
+    } else {
+        GOLDEN_UNIQUE_OFF
+    }
+}
+
+/// The golden total-query count for the matrix's memo mode.
+fn golden_total() -> usize {
+    if matrix_memo() {
+        GOLDEN_TOTAL_ON
+    } else {
+        GOLDEN_TOTAL_OFF
+    }
+}
 
 #[test]
 fn oracle_types_are_send_sync() {
@@ -50,7 +93,10 @@ fn synthesize_with_workers(workers: usize) -> (String, SynthesisStats, usize) {
         calls.fetch_add(1, Ordering::Relaxed);
         xml_like(i)
     });
-    let mut session = GladeBuilder::new().worker_threads(workers).session(&oracle);
+    let mut session = GladeBuilder::new()
+        .worker_threads(workers)
+        .memoize_byte_classes(matrix_memo())
+        .session(&oracle);
     let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
     (grammar_to_text(&result.grammar), result.stats, calls.load(Ordering::Relaxed))
 }
@@ -87,25 +133,36 @@ fn golden_query_counts_on_running_example() {
     // dedup, or batch construction changed: bump the numbers only with an
     // explanation in the commit message.
     let (_, stats, calls) = synthesize_with_workers(1);
-    assert_eq!(stats.unique_queries, GOLDEN_UNIQUE);
-    assert_eq!(stats.new_unique_queries, GOLDEN_UNIQUE, "fresh session: all queries are new");
-    assert_eq!(stats.total_queries, GOLDEN_TOTAL);
+    assert_eq!(stats.unique_queries, golden_unique());
+    assert_eq!(stats.new_unique_queries, golden_unique(), "fresh session: all queries are new");
+    assert_eq!(stats.total_queries, golden_total());
     assert_eq!(stats.merge_pairs_tried, 1);
     assert_eq!(stats.merges_accepted, 1);
     assert_eq!(stats.chars_generalized, 50);
     assert_eq!(calls, stats.unique_queries, "each distinct query hits the oracle once");
+    if matrix_memo() {
+        assert!(stats.probes_elided > 0, "the reduction layer elided nothing");
+    } else {
+        assert_eq!(stats.probes_elided, 0, "memo off must not elide");
+        assert_eq!(stats.memo_hits, 0);
+    }
 }
 
 #[test]
 fn default_config_uses_available_parallelism_and_stays_correct() {
     // The default (no worker_threads call) resolves to the machine's
     // available parallelism; whatever that is, the result must match the
-    // sequential reference.
+    // sequential reference. Both runs use the default memo mode (on), so
+    // this also pins the defaults against the memo-on goldens.
     let oracle = FnOracle::new(xml_like);
     let auto = GladeBuilder::new().synthesize(&[b"<a>hi</a>".to_vec()], &oracle).expect("valid");
-    let (seq_grammar, seq_stats, _) = synthesize_with_workers(1);
-    assert_eq!(grammar_to_text(&auto.grammar), seq_grammar);
-    assert_eq!(auto.stats.unique_queries, seq_stats.unique_queries);
+    let seq = GladeBuilder::new()
+        .worker_threads(1)
+        .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
+        .expect("valid");
+    assert_eq!(grammar_to_text(&auto.grammar), grammar_to_text(&seq.grammar));
+    assert_eq!(auto.stats.unique_queries, seq.stats.unique_queries);
+    assert_eq!(auto.stats.unique_queries, GOLDEN_UNIQUE_ON, "defaults memoize");
 }
 
 #[test]
@@ -135,12 +192,16 @@ fn incremental_add_seeds_matches_fresh_multiseed_run() {
         let oracle = FnOracle::new(xml_like);
         let fresh = GladeBuilder::new()
             .worker_threads(workers)
+            .memoize_byte_classes(matrix_memo())
             .synthesize(&[seed1.clone(), seed2.clone()], &oracle)
             .expect("valid seeds");
 
-        let mut session = GladeBuilder::new().worker_threads(workers).session(&oracle);
+        let mut session = GladeBuilder::new()
+            .worker_threads(workers)
+            .memoize_byte_classes(matrix_memo())
+            .session(&oracle);
         let first = session.add_seeds(std::slice::from_ref(&seed1)).expect("valid seed");
-        assert_eq!(first.stats.unique_queries, GOLDEN_UNIQUE, "workers={workers}");
+        assert_eq!(first.stats.unique_queries, golden_unique(), "workers={workers}");
         let second = session.add_seeds(std::slice::from_ref(&seed2)).expect("valid seed");
 
         assert_eq!(
@@ -182,6 +243,7 @@ fn skewed_latency_does_not_change_grammar_or_query_counts() {
     for workers in [1usize, 2, 4, 8] {
         let result = GladeBuilder::new()
             .worker_threads(workers)
+            .memoize_byte_classes(matrix_memo())
             .synthesize(&[b"<a>hi</a>".to_vec()], &oracle)
             .expect("valid seed");
         let row = (
@@ -191,8 +253,8 @@ fn skewed_latency_does_not_change_grammar_or_query_counts() {
         );
         match &reference {
             None => {
-                assert_eq!(row.1, GOLDEN_UNIQUE);
-                assert_eq!(row.2, GOLDEN_TOTAL);
+                assert_eq!(row.1, golden_unique());
+                assert_eq!(row.2, golden_total());
                 reference = Some(row);
             }
             Some(expected) => {
@@ -794,12 +856,15 @@ fn full_synthesis_with_hanging_workers_stays_exact_and_reports_hangs() {
         return;
     };
     let seeds = vec![b"xx".to_vec()];
-    let reference =
-        GladeBuilder::new().synthesize(&seeds, &FnOracle::new(x_language)).expect("valid seed");
+    let reference = GladeBuilder::new()
+        .memoize_byte_classes(matrix_memo())
+        .synthesize(&seeds, &FnOracle::new(x_language))
+        .expect("valid seed");
     let pool = PooledProcessOracle::new(bin).arg("--hang-after").arg("29").pool_size(2);
     let log = Arc::new(EventLog::new());
     let result = GladeBuilder::new()
         .observer(log.clone())
+        .memoize_byte_classes(matrix_memo())
         .oracle_timeout(Duration::from_millis(250))
         .synthesize(&seeds, &pool)
         .expect("valid seed");
@@ -841,14 +906,20 @@ fn full_synthesis_through_crashing_pool_matches_in_process_run() {
     };
     let seeds = vec![b"xx".to_vec()];
     let reference_oracle = FnOracle::new(x_language);
-    let reference = GladeBuilder::new().synthesize(&seeds, &reference_oracle).expect("valid seed");
+    let reference = GladeBuilder::new()
+        .memoize_byte_classes(matrix_memo())
+        .synthesize(&seeds, &reference_oracle)
+        .expect("valid seed");
     for pool_size in matrix_pool_sizes() {
         let pool = PooledProcessOracle::new(bin)
             .arg("--crash-after")
             .arg("19")
             .pool_size(pool_size)
             .max_wire_version(matrix_wire_cap());
-        let pooled = GladeBuilder::new().synthesize(&seeds, &pool).expect("valid seed");
+        let pooled = GladeBuilder::new()
+            .memoize_byte_classes(matrix_memo())
+            .synthesize(&seeds, &pool)
+            .expect("valid seed");
         assert_eq!(
             grammar_to_text(&pooled.grammar),
             grammar_to_text(&reference.grammar),
@@ -888,7 +959,13 @@ fn oracle_execution_failures_are_counted_and_surfaced() {
     }
     let oracle = FailingOracle { failures: AtomicUsize::new(0) };
     let log = Arc::new(EventLog::new());
-    let mut session = GladeBuilder::new().observer(log.clone()).session(&oracle);
+    // Memo off, deliberately: the `unique + failures` identity below
+    // requires every planned check to be posed exactly once, but failed
+    // executions are (correctly) never cached, so the staged wave planner
+    // may re-pose a failed string in a later wave and count its failure
+    // twice. The no-cache-poisoning guarantee itself is mode-independent.
+    let mut session =
+        GladeBuilder::new().observer(log.clone()).memoize_byte_classes(false).session(&oracle);
     let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
     assert!(result.stats.oracle_failures > 0, "chargen probes contain '~'");
     assert_eq!(result.stats.oracle_failures, oracle.failure_count());
@@ -897,7 +974,7 @@ fn oracle_execution_failures_are_counted_and_surfaced() {
     // would otherwise poison every warm-started run with false rejects.
     assert_eq!(
         result.stats.unique_queries + result.stats.oracle_failures,
-        GOLDEN_UNIQUE,
+        GOLDEN_UNIQUE_OFF,
         "failed executions leaked into the cache"
     );
     let persisted = glade_core::cache_from_text(&session.export_cache()).expect("snapshot parses");
@@ -932,8 +1009,11 @@ fn cancellation_mid_phase_still_yields_seed_accepting_grammar() {
             }
             xml_like(i)
         });
-        let mut session =
-            GladeBuilder::new().worker_threads(1).cancel_token(token).session(&oracle);
+        let mut session = GladeBuilder::new()
+            .worker_threads(1)
+            .memoize_byte_classes(matrix_memo())
+            .cancel_token(token)
+            .session(&oracle);
         let result = session.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
         assert!(result.stats.cancelled, "trip_at={trip_at}");
         assert!(
@@ -941,7 +1021,7 @@ fn cancellation_mid_phase_still_yields_seed_accepting_grammar() {
             "seed lost after cancelling at {trip_at} calls"
         );
         assert!(
-            result.stats.unique_queries < GOLDEN_UNIQUE,
+            result.stats.unique_queries < golden_unique(),
             "cancellation at {trip_at} did not shorten the run"
         );
     }
@@ -952,9 +1032,9 @@ fn cache_snapshot_roundtrip_answers_full_run_with_zero_new_queries() {
     // The acceptance invariant for persistent caches: save → load → re-run
     // answers the entire running-example run from the snapshot.
     let oracle = FnOracle::new(xml_like);
-    let mut warm = GladeBuilder::new().session(&oracle);
+    let mut warm = GladeBuilder::new().memoize_byte_classes(matrix_memo()).session(&oracle);
     let first = warm.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
-    assert_eq!(first.stats.unique_queries, GOLDEN_UNIQUE);
+    assert_eq!(first.stats.unique_queries, golden_unique());
 
     let path = std::env::temp_dir().join(format!("glade-cache-test-{}.txt", std::process::id()));
     warm.save_cache(&path).expect("snapshot written");
@@ -965,14 +1045,120 @@ fn cache_snapshot_roundtrip_answers_full_run_with_zero_new_queries() {
         calls.fetch_add(1, Ordering::Relaxed);
         xml_like(i)
     });
-    let mut cold = GladeBuilder::new().session(&counting);
+    let mut cold = GladeBuilder::new().memoize_byte_classes(matrix_memo()).session(&counting);
     let loaded = cold.load_cache(&path).expect("snapshot read");
-    assert_eq!(loaded, GOLDEN_UNIQUE);
+    assert_eq!(loaded, golden_unique());
     let second = cold.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
     let _ = std::fs::remove_file(&path);
 
     assert_eq!(second.stats.new_unique_queries, 0, "warm re-run paid oracle calls");
     assert_eq!(calls.load(Ordering::Relaxed), 0, "oracle consulted despite warm cache");
-    assert_eq!(second.stats.unique_queries, GOLDEN_UNIQUE);
+    assert_eq!(second.stats.unique_queries, golden_unique());
     assert_eq!(grammar_to_text(&second.grammar), grammar_to_text(&first.grammar));
+}
+
+#[test]
+fn memo_on_and_off_agree_on_grammar_bytes_across_worker_counts() {
+    // The tentpole exactness invariant, end to end: every elision the
+    // query-reduction layer makes is provably redundant, so the grammar is
+    // byte-identical with the layer on or off — at every worker count, and
+    // through incremental add_seeds — while the memo-on run poses strictly
+    // fewer distinct queries.
+    let seed1 = b"<a>hi</a>".to_vec();
+    let seed2 = b"<a><a>x</a></a>".to_vec();
+    let seeds = vec![seed1.clone(), seed2.clone()];
+    for workers in [1usize, 4] {
+        let oracle = FnOracle::new(xml_like);
+        let off = GladeBuilder::new()
+            .worker_threads(workers)
+            .memoize_byte_classes(false)
+            .synthesize(&seeds, &oracle)
+            .expect("valid seeds");
+        let on = GladeBuilder::new()
+            .worker_threads(workers)
+            .memoize_byte_classes(true)
+            .synthesize(&seeds, &oracle)
+            .expect("valid seeds");
+        assert_eq!(
+            grammar_to_text(&on.grammar),
+            grammar_to_text(&off.grammar),
+            "an elision changed the grammar at {workers} workers"
+        );
+        assert_eq!(on.stats.merges_accepted, off.stats.merges_accepted);
+        assert_eq!(on.stats.chars_generalized, off.stats.chars_generalized);
+        assert!(
+            on.stats.unique_queries < off.stats.unique_queries,
+            "memo on posed no fewer distinct queries ({} vs {}) at {workers} workers",
+            on.stats.unique_queries,
+            off.stats.unique_queries
+        );
+        assert!(on.stats.total_queries < off.stats.total_queries);
+        assert!(on.stats.probes_elided > 0);
+        assert_eq!(off.stats.probes_elided, 0);
+
+        // Incremental memo-on sessions converge to the same bytes too.
+        let mut session =
+            GladeBuilder::new().worker_threads(workers).memoize_byte_classes(true).session(&oracle);
+        session.add_seeds(std::slice::from_ref(&seed1)).expect("valid seed");
+        let incremental = session.add_seeds(std::slice::from_ref(&seed2)).expect("valid seed");
+        assert_eq!(
+            grammar_to_text(&incremental.grammar),
+            grammar_to_text(&off.grammar),
+            "incremental memo-on grammar drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn per_language_query_pins_with_memo_on_and_off() {
+    // Pins the query-reduction layer's effect on every Section 8.2
+    // language (plus the toy running-example language): distinct-query
+    // counts in both modes, and byte-identical grammars between them.
+    // Seeds are sampled from the handwritten grammars exactly as the
+    // bench's pipeline experiment samples them (seed 17), just fewer of
+    // them so the debug-mode suite stays fast. A drift here means the
+    // planner's cost model changed: re-measure both modes together.
+    let pins: &[(&str, usize, usize)] = &[
+        ("url", 19_842, 13_280),
+        ("grep", 5_483, 4_524),
+        ("lisp", 3_028, 2_278),
+        ("xml", 707, 707), // xml's distinct strings survive; only re-poses are elided
+        ("toy-xml", 1_594, 923),
+    ];
+    let mut languages = section82_languages();
+    languages.push(toy_xml());
+    for language in &languages {
+        let &(_, unique_off, unique_on) =
+            pins.iter().find(|(n, _, _)| *n == language.name()).expect("language is pinned");
+        let mut rng = StdRng::seed_from_u64(17);
+        let seeds = sample_seeds(language, 4, &mut rng);
+        let mut grammars = Vec::new();
+        for (memo, expected) in [(false, unique_off), (true, unique_on)] {
+            let oracle = language.oracle();
+            let result = GladeBuilder::new()
+                .max_queries(200_000)
+                .memoize_byte_classes(memo)
+                .synthesize(&seeds, &oracle)
+                .expect("sampled seeds are members");
+            assert!(!result.stats.budget_exhausted, "{} exhausted its budget", language.name());
+            assert_eq!(
+                result.stats.unique_queries,
+                expected,
+                "{} distinct queries drifted (memo={memo})",
+                language.name()
+            );
+            assert!(
+                result.stats.total_queries >= result.stats.unique_queries,
+                "{} total < unique",
+                language.name()
+            );
+            grammars.push(grammar_to_text(&result.grammar));
+        }
+        assert_eq!(
+            grammars[1],
+            grammars[0],
+            "{} grammar differs between memo modes",
+            language.name()
+        );
+    }
 }

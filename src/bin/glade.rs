@@ -4,7 +4,7 @@
 //! glade synth  --seed FILE...  (--cmd 'PROG ARGS…' | --target NAME)  [-o grammar.txt]
 //!              [--cache FILE] [--stdin|--tempfile|--pool N] [--frame-batch N]
 //!              [--wire-v1] [--oracle-timeout SECS] [--max-respawns N]
-//!              [--max-queries N] [--no-chargen] [--no-phase2]
+//!              [--max-queries N] [--no-chargen] [--no-phase2] [--no-memo]
 //! glade sample --grammar grammar.txt [--count N] [--max-depth D] [--seed-rng S]
 //! glade check  --grammar grammar.txt [FILE]       # membership test (stdin default)
 //! glade fuzz   --grammar grammar.txt --seed FILE... [--count N]    # splice fuzzing
@@ -96,7 +96,7 @@ USAGE:
   glade synth  --seed FILE... (--cmd 'PROG ARGS…' | --target NAME) [-o OUT]
                [--cache FILE] [--stdin|--tempfile|--pool N] [--frame-batch N]
                [--wire-v1] [--oracle-timeout SECS] [--max-respawns N]
-               [--max-queries N] [--no-chargen] [--no-phase2]
+               [--max-queries N] [--no-chargen] [--no-phase2] [--no-memo]
   glade sample --grammar FILE [--count N] [--max-depth D] [--seed-rng S]
   glade check  --grammar FILE [INPUT-FILE]
   glade fuzz   --grammar FILE --seed FILE... [--count N] [--seed-rng S]
@@ -214,6 +214,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
             }
             "--no-chargen" => config.character_generalization = false,
             "--no-phase2" => config.phase2 = false,
+            "--no-memo" => config.memoize_byte_classes = false,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -303,6 +304,13 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
         result.stats.new_unique_queries,
         start.elapsed()
     );
+    if result.stats.probes_elided > 0 || result.stats.memo_hits > 0 {
+        eprintln!(
+            "query reduction: {} probe(s) elided, {} byte-class memo hit(s) \
+             (disable with --no-memo)",
+            result.stats.probes_elided, result.stats.memo_hits
+        );
+    }
     if result.stats.budget_exhausted {
         eprintln!("warning: query budget exhausted; the grammar is under-generalized");
     }
