@@ -862,6 +862,97 @@ fn main() {
     }
     j.close_obj();
 
+    // ---- Experiment 9: serve_overhead — the multi-tenant `glade serve`
+    // path (campaign thread + fair-scheduler turns + result framing over a
+    // unix socket) versus a direct in-process Session on the running
+    // example. Best-of-N walls on both sides; the served grammar must be
+    // byte-identical and the server path must stay within 1.5x of direct.
+    #[cfg(any(target_os = "linux", target_os = "macos"))]
+    {
+        use glade_core::serve::{OpenRequest, OracleFactory, ServeClient, ServeConfig, Server};
+        use std::sync::Arc;
+
+        let serve_runs = env_usize("GLADE_BENCH_SERVE_RUNS", 3);
+        let seeds = vec![b"<a>hi</a>".to_vec()];
+        let direct_oracle = toy_xml().oracle();
+        let mut direct_best = f64::INFINITY;
+        let mut direct_grammar = String::new();
+        let mut direct_stats = SynthesisStats::default();
+        for _ in 0..serve_runs {
+            let start = Instant::now();
+            let result = GladeBuilder::new()
+                .synthesize(&seeds, &direct_oracle)
+                .expect("running example synthesizes");
+            let wall = secs(start.elapsed());
+            if wall < direct_best {
+                direct_best = wall;
+            }
+            direct_grammar = grammar_to_text(&result.grammar);
+            direct_stats = result.stats;
+        }
+
+        let factory: Arc<dyn OracleFactory> =
+            Arc::new(|spec: &str| -> Result<(Arc<dyn Oracle>, String), String> {
+                match spec {
+                    "toy-xml" => Ok((Arc::new(toy_xml().oracle()), "bench:toy-xml".into())),
+                    other => Err(format!("unknown bench spec {other:?}")),
+                }
+            });
+        let socket =
+            std::env::temp_dir().join(format!("glade-bench-serve-{}.sock", std::process::id()));
+        let server = Server::new(factory, ServeConfig::default())
+            .spawn(&socket)
+            .expect("spawn bench server");
+        let mut served_best = f64::INFINITY;
+        let mut served_grammar = String::new();
+        let mut served_stats = SynthesisStats::default();
+        for _ in 0..serve_runs {
+            // A fresh campaign per run (no persistent cache), so every
+            // timed window pays the same cold query load as the direct
+            // run plus the server machinery under measurement.
+            let start = Instant::now();
+            let mut client = ServeClient::connect(&socket).expect("connect bench client");
+            let mut request = OpenRequest::new("toy-xml");
+            request.events = false;
+            client.open(&request).expect("open bench campaign");
+            let outcome = client.synthesize(&seeds, |_| {}).expect("served run");
+            client.close().expect("close bench client");
+            let wall = secs(start.elapsed());
+            if wall < served_best {
+                served_best = wall;
+            }
+            served_grammar = outcome.grammar_text;
+            served_stats = outcome.stats;
+        }
+        server.shutdown().expect("bench server shutdown");
+
+        let overhead = served_best / direct_best.max(1e-9);
+        eprintln!(
+            "[bench-queries] serve_overhead: direct {:.3}s, served {:.3}s (x{:.2}, best of {})",
+            direct_best, served_best, overhead, serve_runs,
+        );
+        assert_eq!(served_grammar, direct_grammar, "served grammar drifted from direct Session");
+        assert_eq!(
+            served_stats.unique_queries, direct_stats.unique_queries,
+            "served query count drifted from direct Session"
+        );
+        assert!(
+            overhead <= 1.5,
+            "the serve path must stay within 1.5x of a direct Session \
+             (direct {direct_best:.3}s, served {served_best:.3}s)"
+        );
+        j.open_obj(Some("serve_overhead"));
+        j.string("target", "toy-xml running example (in-process server, unix socket)");
+        j.int("runs", serve_runs);
+        j.num("direct_best_secs", direct_best);
+        j.num("served_best_secs", served_best);
+        j.num("served_overhead_vs_direct", overhead);
+        j.boolean("grammar_identical", served_grammar == direct_grammar);
+        j.int("unique_queries", served_stats.unique_queries);
+        j.int("total_queries", served_stats.total_queries);
+        j.close_obj();
+    }
+
     j.close_obj();
 
     std::fs::write(&out_path, format!("{}\n", j.out)).expect("write BENCH_queries.json");

@@ -15,6 +15,38 @@
 //! answer `false`, so pending generalizations collapse and pending merges
 //! are skipped) — the run still returns a [`Synthesis`](crate::Synthesis)
 //! whose grammar contains every seed.
+//!
+//! # Observer threading contract
+//!
+//! [`SynthesisObserver`] requires `Send + Sync`, and that requirement is
+//! load-bearing: the engine emits most events from the thread driving
+//! [`Session::add_seeds`](crate::Session::add_seeds), but `QueryBatch`,
+//! `BudgetExhausted`, and `Cancelled` can be emitted from query worker
+//! threads mid-batch, and server deployments (see [`serve`](crate::serve))
+//! hold one observer per tenant in an `Arc` that is invoked from the
+//! campaign thread while the serving dispatcher concurrently drains what
+//! the observer produced. Implementations therefore must tolerate
+//! concurrent `on_event` calls through `&self` — interior state belongs
+//! behind a `Mutex` or atomics ([`EventLog`] is the reference
+//! implementation), never in `Cell`/`RefCell`. Observers installed through
+//! [`GladeBuilder::observer`](crate::GladeBuilder::observer) are wrapped in
+//! an `Arc` automatically; callers that already hold an
+//! `Arc<dyn SynthesisObserver>` should pass it via
+//! [`GladeBuilder::observer_shared`](crate::GladeBuilder::observer_shared)
+//! so the same instance (not a re-wrapped clone of the handle) is shared
+//! between the session and the code inspecting it.
+//!
+//! # Wire lines
+//!
+//! Events cross process boundaries as **wire lines** — a compact,
+//! line-oriented text serialization with one stable lowercase tag per
+//! variant ([`SynthEvent::to_wire_line`] /
+//! [`SynthEvent::from_wire_line`]). The `glade serve` event stream and
+//! `glade synth --events` both speak it. Because [`SynthEvent`] is
+//! `#[non_exhaustive]`, both directions are future-proof: a serializer
+//! built against an older library emits `unknown` for variants it does not
+//! know, and a parser returns `Ok(None)` for tags it does not recognize —
+//! readers skip unknown events instead of failing.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -163,6 +195,206 @@ pub enum SynthEvent {
     /// The run's [`CancelToken`] was observed mid-run; remaining checks
     /// answer `false` (fail closed), like budget exhaustion.
     Cancelled,
+}
+
+impl SynthPhase {
+    /// The stable wire token for this phase (`phase1`, `chargen`, `phase2`).
+    ///
+    /// Unlike [`Display`](std::fmt::Display) (a human-facing label that may
+    /// change), wire tokens are frozen: parsers on either side of a version
+    /// skew can rely on them.
+    pub fn wire_token(&self) -> &'static str {
+        match self {
+            SynthPhase::Phase1 => "phase1",
+            SynthPhase::CharGeneralization => "chargen",
+            SynthPhase::Phase2 => "phase2",
+        }
+    }
+
+    fn from_wire_token(token: &str) -> Option<SynthPhase> {
+        match token {
+            "phase1" => Some(SynthPhase::Phase1),
+            "chargen" => Some(SynthPhase::CharGeneralization),
+            "phase2" => Some(SynthPhase::Phase2),
+            _ => None,
+        }
+    }
+}
+
+/// A wire line failed to parse as a known [`SynthEvent`].
+///
+/// Only *malformed* lines error — a well-formed line whose leading tag is
+/// simply unknown parses to `Ok(None)` (see
+/// [`SynthEvent::from_wire_line`]), so newer peers can emit event kinds an
+/// older reader skips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLineError {
+    line: String,
+    reason: &'static str,
+}
+
+impl EventLineError {
+    fn new(line: &str, reason: &'static str) -> Self {
+        EventLineError { line: line.to_string(), reason }
+    }
+
+    /// The offending line, verbatim.
+    pub fn line(&self) -> &str {
+        &self.line
+    }
+}
+
+impl std::fmt::Display for EventLineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed event line ({}): {:?}", self.reason, self.line)
+    }
+}
+
+impl std::error::Error for EventLineError {}
+
+impl SynthEvent {
+    /// Serializes the event as a single compact wire line (no trailing
+    /// newline).
+    ///
+    /// The format is one stable lowercase tag followed by space-separated
+    /// decimal fields; durations travel as nanoseconds so a round trip is
+    /// exact. Because the enum is `#[non_exhaustive]`, variants this build
+    /// does not know how to serialize come out as the literal line
+    /// `unknown` — parseable by every peer, skipped by
+    /// [`from_wire_line`](SynthEvent::from_wire_line).
+    pub fn to_wire_line(&self) -> String {
+        match self {
+            SynthEvent::PhaseStarted { phase } => {
+                format!("phase-started {}", phase.wire_token())
+            }
+            SynthEvent::PhaseFinished { phase, elapsed, unique_queries } => format!(
+                "phase-finished {} {} {}",
+                phase.wire_token(),
+                elapsed.as_nanos(),
+                unique_queries
+            ),
+            SynthEvent::SeedGeneralized { seed_index, new_stars } => {
+                format!("seed-generalized {seed_index} {new_stars}")
+            }
+            SynthEvent::SeedSkipped { seed_index } => format!("seed-skipped {seed_index}"),
+            SynthEvent::MergeAccepted { left_star, right_star } => {
+                format!("merge-accepted {left_star} {right_star}")
+            }
+            SynthEvent::ProbesElided { elided, memo_hits } => {
+                format!("probes-elided {elided} {memo_hits}")
+            }
+            SynthEvent::QueryBatch { checks, cached, posed } => {
+                format!("query-batch {checks} {cached} {posed}")
+            }
+            SynthEvent::OracleFailures { new_failures, run_failures } => {
+                format!("oracle-failures {new_failures} {run_failures}")
+            }
+            SynthEvent::WorkerHung { new_timeouts, run_timeouts } => {
+                format!("worker-hung {new_timeouts} {run_timeouts}")
+            }
+            SynthEvent::BreakerTripped { new_trips, run_trips } => {
+                format!("breaker-tripped {new_trips} {run_trips}")
+            }
+            SynthEvent::BreakerRecovered { new_recoveries, run_recoveries } => {
+                format!("breaker-recovered {new_recoveries} {run_recoveries}")
+            }
+            SynthEvent::BudgetExhausted => "budget-exhausted".to_string(),
+            SynthEvent::Cancelled => "cancelled".to_string(),
+            // `#[non_exhaustive]` forward arm: a newer engine variant this
+            // serializer predates still produces a valid, skippable line.
+            #[allow(unreachable_patterns)]
+            _ => "unknown".to_string(),
+        }
+    }
+
+    /// Parses a wire line produced by
+    /// [`to_wire_line`](SynthEvent::to_wire_line).
+    ///
+    /// Returns `Ok(Some(event))` for a recognized line, `Ok(None)` for a
+    /// well-formed line with an unrecognized tag (forward compatibility:
+    /// skip it), and `Err` only for lines whose *known* tag carries
+    /// malformed fields. Leading/trailing ASCII whitespace is ignored; an
+    /// empty line is malformed.
+    pub fn from_wire_line(line: &str) -> Result<Option<SynthEvent>, EventLineError> {
+        let mut fields = line.split_ascii_whitespace();
+        let tag = fields.next().ok_or_else(|| EventLineError::new(line, "empty line"))?;
+
+        // Helpers keep each arm to "grab N fields, demand exhaustion".
+        macro_rules! field {
+            ($what:expr) => {
+                fields.next().ok_or_else(|| EventLineError::new(line, $what))?
+            };
+        }
+        macro_rules! num {
+            ($what:expr) => {
+                field!($what).parse::<usize>().map_err(|_| EventLineError::new(line, $what))?
+            };
+        }
+        macro_rules! phase {
+            () => {{
+                let token = field!("missing phase token");
+                SynthPhase::from_wire_token(token)
+                    .ok_or_else(|| EventLineError::new(line, "unknown phase token"))?
+            }};
+        }
+
+        let event = match tag {
+            "phase-started" => SynthEvent::PhaseStarted { phase: phase!() },
+            "phase-finished" => {
+                let phase = phase!();
+                let nanos = field!("missing elapsed nanoseconds")
+                    .parse::<u64>()
+                    .map_err(|_| EventLineError::new(line, "bad elapsed nanoseconds"))?;
+                SynthEvent::PhaseFinished {
+                    phase,
+                    elapsed: Duration::from_nanos(nanos),
+                    unique_queries: num!("bad unique-query count"),
+                }
+            }
+            "seed-generalized" => SynthEvent::SeedGeneralized {
+                seed_index: num!("bad seed index"),
+                new_stars: num!("bad star count"),
+            },
+            "seed-skipped" => SynthEvent::SeedSkipped { seed_index: num!("bad seed index") },
+            "merge-accepted" => SynthEvent::MergeAccepted {
+                left_star: num!("bad left star id"),
+                right_star: num!("bad right star id"),
+            },
+            "probes-elided" => SynthEvent::ProbesElided {
+                elided: num!("bad elided count"),
+                memo_hits: num!("bad memo-hit count"),
+            },
+            "query-batch" => SynthEvent::QueryBatch {
+                checks: num!("bad check count"),
+                cached: num!("bad cached count"),
+                posed: num!("bad posed count"),
+            },
+            "oracle-failures" => SynthEvent::OracleFailures {
+                new_failures: num!("bad new-failure count"),
+                run_failures: num!("bad run-failure count"),
+            },
+            "worker-hung" => SynthEvent::WorkerHung {
+                new_timeouts: num!("bad new-timeout count"),
+                run_timeouts: num!("bad run-timeout count"),
+            },
+            "breaker-tripped" => SynthEvent::BreakerTripped {
+                new_trips: num!("bad new-trip count"),
+                run_trips: num!("bad run-trip count"),
+            },
+            "breaker-recovered" => SynthEvent::BreakerRecovered {
+                new_recoveries: num!("bad new-recovery count"),
+                run_recoveries: num!("bad run-recovery count"),
+            },
+            "budget-exhausted" => SynthEvent::BudgetExhausted,
+            "cancelled" => SynthEvent::Cancelled,
+            // Unknown tag from a newer peer: well-formed, skip it.
+            _ => return Ok(None),
+        };
+        if fields.next().is_some() {
+            return Err(EventLineError::new(line, "trailing fields"));
+        }
+        Ok(Some(event))
+    }
 }
 
 /// Receives [`SynthEvent`]s during a synthesis run.
@@ -346,5 +578,97 @@ mod tests {
         assert_eq!(SynthPhase::Phase1.to_string(), "phase 1");
         assert_eq!(SynthPhase::CharGeneralization.to_string(), "character generalization");
         assert_eq!(SynthPhase::Phase2.to_string(), "phase 2");
+    }
+
+    fn every_event() -> Vec<SynthEvent> {
+        vec![
+            SynthEvent::PhaseStarted { phase: SynthPhase::Phase1 },
+            SynthEvent::PhaseFinished {
+                phase: SynthPhase::CharGeneralization,
+                elapsed: Duration::from_nanos(1_234_567_891),
+                unique_queries: 965,
+            },
+            SynthEvent::SeedGeneralized { seed_index: 3, new_stars: 2 },
+            SynthEvent::SeedSkipped { seed_index: 7 },
+            SynthEvent::MergeAccepted { left_star: 0, right_star: 5 },
+            SynthEvent::ProbesElided { elided: 41, memo_hits: 12 },
+            SynthEvent::QueryBatch { checks: 100, cached: 30, posed: 70 },
+            SynthEvent::OracleFailures { new_failures: 1, run_failures: 4 },
+            SynthEvent::WorkerHung { new_timeouts: 2, run_timeouts: 2 },
+            SynthEvent::BreakerTripped { new_trips: 1, run_trips: 3 },
+            SynthEvent::BreakerRecovered { new_recoveries: 1, run_recoveries: 1 },
+            SynthEvent::BudgetExhausted,
+            SynthEvent::Cancelled,
+        ]
+    }
+
+    #[test]
+    fn wire_line_round_trips_every_variant() {
+        for event in every_event() {
+            let line = event.to_wire_line();
+            assert!(!line.contains('\n'), "wire lines are single lines: {line:?}");
+            let back = SynthEvent::from_wire_line(&line)
+                .unwrap_or_else(|e| panic!("parse failed: {e}"))
+                .unwrap_or_else(|| panic!("known line parsed as unknown: {line:?}"));
+            assert_eq!(back, event, "round trip changed the event for {line:?}");
+        }
+    }
+
+    #[test]
+    fn wire_line_phase_tokens_are_stable() {
+        assert_eq!(
+            SynthEvent::PhaseStarted { phase: SynthPhase::Phase1 }.to_wire_line(),
+            "phase-started phase1"
+        );
+        assert_eq!(
+            SynthEvent::PhaseStarted { phase: SynthPhase::CharGeneralization }.to_wire_line(),
+            "phase-started chargen"
+        );
+        assert_eq!(
+            SynthEvent::PhaseStarted { phase: SynthPhase::Phase2 }.to_wire_line(),
+            "phase-started phase2"
+        );
+    }
+
+    #[test]
+    fn wire_line_unknown_tags_are_skipped_not_errors() {
+        assert_eq!(SynthEvent::from_wire_line("unknown"), Ok(None));
+        assert_eq!(SynthEvent::from_wire_line("grammar-minimized 3 4 5"), Ok(None));
+        assert_eq!(SynthEvent::from_wire_line("  some-future-event with words  "), Ok(None));
+    }
+
+    #[test]
+    fn wire_line_malformed_known_tags_error() {
+        for bad in [
+            "",
+            "   ",
+            "phase-started",
+            "phase-started phase9",
+            "phase-finished phase1 notanumber 5",
+            "phase-finished phase1 5",
+            "seed-skipped",
+            "seed-skipped -1",
+            "query-batch 1 2",
+            "query-batch 1 2 3 4",
+            "cancelled extra",
+        ] {
+            assert!(
+                SynthEvent::from_wire_line(bad).is_err(),
+                "expected malformed-line error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_line_tolerates_surrounding_whitespace() {
+        let parsed = SynthEvent::from_wire_line("  seed-skipped 7 \t").unwrap();
+        assert_eq!(parsed, Some(SynthEvent::SeedSkipped { seed_index: 7 }));
+    }
+
+    #[test]
+    fn event_line_error_reports_the_line() {
+        let err = SynthEvent::from_wire_line("query-batch x y z").unwrap_err();
+        assert_eq!(err.line(), "query-batch x y z");
+        assert!(err.to_string().contains("query-batch"));
     }
 }

@@ -150,6 +150,8 @@ mod persist;
 mod phase1;
 mod phase2;
 mod runner;
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+pub mod serve;
 mod session;
 mod synth;
 pub mod testing;

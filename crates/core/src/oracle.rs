@@ -235,12 +235,13 @@ const DEFAULT_MAX_RESPAWNS: u32 = 4;
 /// [`PooledProcessOracle::respawn_backoff`]).
 const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(10);
 
-/// Raw `poll(2)`/`fcntl(2)` bindings for the batched dispatcher. The
-/// workspace builds offline (no `libc` crate), so the handful of constants
-/// and prototypes the dispatcher needs are declared here; the symbols come
-/// from the C library every Unix Rust binary already links.
+/// Raw `poll(2)`/`fcntl(2)` bindings for the batched dispatcher and the
+/// serve accept loop. The workspace builds offline (no `libc` crate), so
+/// the handful of constants and prototypes they need are declared here;
+/// the symbols come from the C library every Unix Rust binary already
+/// links.
 #[cfg(any(target_os = "linux", target_os = "macos"))]
-mod sys {
+pub(crate) mod sys {
     use std::os::raw::{c_int, c_short};
     use std::os::unix::io::RawFd;
     use std::time::{Duration, Instant};

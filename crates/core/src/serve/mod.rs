@@ -1,0 +1,106 @@
+//! `glade serve` — a multi-tenant synthesis service over the session API.
+//!
+//! The engine of this crate serves exactly one caller per process; this
+//! module turns it into a long-running daemon that multiplexes many
+//! concurrent synthesis campaigns over one (or a few) shared oracles. A
+//! [`Server`] listens on a unix socket, each connected client opens a
+//! *campaign* naming an oracle, streams seed batches (incremental
+//! [`Session::add_seeds`](crate::Session::add_seeds)), receives live
+//! [`SynthEvent`](crate::SynthEvent) frames plus the final grammar, and can
+//! cancel mid-run. [`ServeClient`] is the matching in-process client.
+//!
+//! # Architecture
+//!
+//! One **accept loop** thread owns every socket (nonblocking fds driven by
+//! the same `poll(2)` discipline as the pooled oracle's batched
+//! dispatcher); it never blocks on a client or a campaign. Each open
+//! campaign runs on its own **campaign thread** driving a private
+//! [`Session`](crate::Session); commands flow accept-loop → campaign over
+//! an mpsc channel, and events/results flow back over a shared outbound
+//! channel plus a wake pipe that interrupts the poll sleep. Campaigns
+//! named by the same oracle spec share one oracle instance (e.g. one
+//! [`PooledProcessOracle`](crate::PooledProcessOracle) worker pool) through
+//! the **fair scheduler** below.
+//!
+//! # Wire format (`glade-serve v1`)
+//!
+//! Every frame, both directions, is a `u32` little-endian payload length
+//! followed by the payload; the payload's first byte is the frame tag and
+//! the rest is the tag-specific body (the same length-prefix discipline as
+//! the [`wire`](crate::wire) worker protocol). Client tags:
+//!
+//! | tag | name | body |
+//! |---|---|---|
+//! | `0x01` | `HELLO` | the literal bytes `glade-serve v1` |
+//! | `0x02` | `OPEN` | UTF-8 option lines, see below |
+//! | `0x03` | `SEEDS` | `u32` LE seed count, then per seed a `u32` LE length and the seed bytes (the [`wire`](crate::wire) batch body; a zero count is a legal empty re-synthesis batch) |
+//! | `0x04` | `CANCEL` | empty |
+//! | `0x05` | `CLOSE` | empty |
+//!
+//! Server tags:
+//!
+//! | tag | name | body |
+//! |---|---|---|
+//! | `0x81` | `HELLO_ACK` | the literal bytes `glade-serve v1` |
+//! | `0x82` | `OPEN_ACK` | `u32` LE campaign id, then the oracle fingerprint (UTF-8) |
+//! | `0x83` | `EVENT` | one [`SynthEvent`](crate::SynthEvent) wire line (UTF-8, no newline) |
+//! | `0x84` | `RESULT` | `u32` LE stats length, then the stats text, then the grammar text (UTF-8) |
+//! | `0x85` | `ERROR` | UTF-8 message |
+//!
+//! A session is: `HELLO`/`HELLO_ACK`, one `OPEN`/`OPEN_ACK`, then any
+//! number of `SEEDS` requests, each answered by zero or more `EVENT`
+//! frames followed by exactly one `RESULT` (or one `ERROR` for a rejected
+//! request, e.g. a seed the oracle rejects — the campaign stays usable).
+//! `OPEN` bodies are newline-separated `key value` lines: `oracle <spec>`
+//! (required; the spec's meaning is up to the server's [`OracleFactory`]),
+//! and optional `max-queries <n>`, `memo off`, `events off`, `cache on`.
+//! Unknown option lines and unknown event tags are skipped, and unknown
+//! *frame* tags are answered with `ERROR` — a v1 peer never wedges on a
+//! newer peer's traffic.
+//!
+//! # Scheduling and fairness
+//!
+//! Campaigns sharing an oracle contend in waves, not queries: the query
+//! engine hands a [`ScheduledOracle`] whole miss sets (it declares
+//! [`native_batching`](crate::Oracle::native_batching)), which the engine
+//! splits into bounded sub-batches, and the wrapper takes one scheduler
+//! *turn* per sub-batch. [`FairScheduler`] grants turns in round-robin
+//! order over the currently-waiting campaigns (cyclic by campaign id,
+//! starting after the last-served id), so N tenants interleave their query
+//! waves ~1/N each while a lone tenant keeps the oracle saturated.
+//! Because every tenant's access is serialized through its turn, the
+//! wrapper attributes the shared oracle's failure/timeout/breaker counter
+//! deltas to exactly the tenant that caused them.
+//!
+//! # Budgets, preemption, and determinism
+//!
+//! Per-tenant query budgets (`max-queries`, or the server-wide default in
+//! [`ServeConfig`]) and cancellation ride the engine's existing fail-closed
+//! paths: once a campaign's budget is exhausted or its `CANCEL` frame (or
+//! disconnect) flips the run's
+//! [`CancelToken`](crate::CancelToken), its remaining checks answer
+//! `false` without reaching the shared oracle, the degraded grammar still
+//! contains every seed, and *other* tenants are untouched — their query
+//! streams, counters, and grammar bytes are identical to running alone.
+//! With no time limit and no cancellation the service is deterministic: a
+//! grammar synthesized through the server is byte-identical to the same
+//! seeds run through a local [`Session`](crate::Session), including under
+//! concurrent tenants, because batch construction is cache-state-driven
+//! and the scheduler only decides *when* a sub-batch runs, never *what* is
+//! in it.
+//!
+//! Per-campaign caches persist across server restarts when
+//! [`ServeConfig::cache_dir`] is set and the client opts in (`cache on`):
+//! snapshots are namespaced by oracle fingerprint (hashed into the file
+//! name, and validated again on load by the snapshot header), so a cache
+//! can never replay verdicts from a different oracle.
+
+mod client;
+mod protocol;
+mod scheduler;
+mod server;
+
+pub use client::{CancelHandle, RunOutcome, ServeClient};
+pub use protocol::{OpenRequest, ProtocolError, SERVE_PROTOCOL};
+pub use scheduler::{FairScheduler, ScheduledOracle, TurnGuard};
+pub use server::{OracleFactory, ServeConfig, Server, ServerHandle};

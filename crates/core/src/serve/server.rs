@@ -1,0 +1,632 @@
+//! The `glade serve` daemon: accept loop, tenant state, campaign threads.
+//!
+//! See the [module docs](super) for the architecture and wire format. The
+//! accept loop here is the only code that touches client sockets; it is
+//! single-threaded and never blocks on a peer (nonblocking fds multiplexed
+//! with `poll(2)`, the same discipline as the pooled oracle's batched
+//! dispatcher). Campaigns run on their own threads and communicate with
+//! the loop through channels plus a wake pipe.
+
+use super::protocol::{
+    decode_seeds_body, drain_frames, encode_frame, encode_open_ack, encode_result, OpenRequest,
+    SERVE_PROTOCOL, TAG_CANCEL, TAG_CLOSE, TAG_ERROR, TAG_EVENT, TAG_HELLO, TAG_HELLO_ACK,
+    TAG_OPEN, TAG_OPEN_ACK, TAG_RESULT, TAG_SEEDS,
+};
+use super::scheduler::{FairScheduler, ScheduledOracle};
+use crate::events::{CancelToken, SynthEvent, SynthesisObserver};
+use crate::oracle::{sys, Oracle};
+use crate::session::{GladeBuilder, Session};
+use crate::synth::SynthesisStats;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Creates the oracle behind a campaign's `oracle <spec>` line.
+///
+/// The factory decides what specs mean; the bundled CLI accepts
+/// `target:<name>` (an in-process built-in) and `cmd:<command line>` (a
+/// [`PooledProcessOracle`](crate::PooledProcessOracle) worker command).
+/// On success it returns the shared oracle plus its *fingerprint* — the
+/// stable identity string used to namespace persistent caches and to
+/// validate cache snapshots (see
+/// [`GladeBuilder::oracle_fingerprint`](crate::GladeBuilder::oracle_fingerprint)).
+///
+/// Campaigns naming the same spec share one oracle instance (and its
+/// worker pool); the server serializes their access through the
+/// [`FairScheduler`], so implementations need not add their own locking
+/// beyond the ordinary [`Oracle`] thread-safety contract.
+pub trait OracleFactory: Send + Sync {
+    /// Creates (or fails to create) the oracle for `spec`.
+    fn create(&self, spec: &str) -> Result<(Arc<dyn Oracle>, String), String>;
+}
+
+impl<F> OracleFactory for F
+where
+    F: Fn(&str) -> Result<(Arc<dyn Oracle>, String), String> + Send + Sync,
+{
+    fn create(&self, spec: &str) -> Result<(Arc<dyn Oracle>, String), String> {
+        self(spec)
+    }
+}
+
+/// Server-wide policy knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Per-query deadline pushed onto every shared oracle at creation
+    /// (tenants cannot override it — a shared pool's deadline is server
+    /// policy, see [`ScheduledOracle`]).
+    pub oracle_timeout: Option<Duration>,
+    /// Directory for per-campaign persistent query caches, namespaced by
+    /// oracle fingerprint. `None` disables persistence even for campaigns
+    /// that request `cache on`.
+    pub cache_dir: Option<PathBuf>,
+    /// Default per-run distinct-query budget for campaigns that do not set
+    /// `max-queries` themselves.
+    pub default_max_queries: Option<usize>,
+}
+
+/// What a campaign thread sends back to the accept loop.
+enum Outbound {
+    Event(String),
+    Result { stats: SynthesisStats, grammar: String },
+    Error(String),
+}
+
+/// Wakes the accept loop out of its poll sleep. Writes never block (the
+/// pipe is nonblocking); a full pipe already guarantees a pending wake.
+#[derive(Clone)]
+struct WakeHandle {
+    tx: Arc<UnixStream>,
+}
+
+impl WakeHandle {
+    fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// Streams events straight into the outbound channel as wire lines.
+struct StreamObserver {
+    conn: u64,
+    out: mpsc::Sender<(u64, Outbound)>,
+    wake: WakeHandle,
+}
+
+impl SynthesisObserver for StreamObserver {
+    fn on_event(&self, event: &SynthEvent) {
+        let _ = self.out.send((self.conn, Outbound::Event(event.to_wire_line())));
+        self.wake.wake();
+    }
+}
+
+/// Accept-loop-side handle to one campaign thread.
+struct CampaignSeat {
+    cmd_tx: mpsc::Sender<Vec<Vec<u8>>>,
+    cancel: CancelToken,
+    /// Seed batches forwarded minus results/errors delivered.
+    pending: usize,
+}
+
+/// One client connection's state in the accept loop.
+struct Conn {
+    stream: UnixStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    greeted: bool,
+    /// `CLOSE` received: stop reading, finish pending runs, flush, drop.
+    closing: bool,
+    /// Fatal error or EOF: flush what is queued, then drop.
+    dead: bool,
+    campaign: Option<CampaignSeat>,
+}
+
+impl Conn {
+    fn new(stream: UnixStream) -> Self {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            greeted: false,
+            closing: false,
+            dead: false,
+            campaign: None,
+        }
+    }
+
+    fn queue(&mut self, tag: u8, body: &[u8]) {
+        encode_frame(tag, body, &mut self.outbuf);
+    }
+
+    fn fail(&mut self, message: &str) {
+        self.queue(TAG_ERROR, message.as_bytes());
+        self.dead = true;
+    }
+
+    /// Appends newly readable bytes to `inbuf`; `false` means EOF/error.
+    fn fill(&mut self) -> bool {
+        let mut buf = [0u8; 1 << 16];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return false,
+                Ok(n) => self.inbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Writes as much of `outbuf` as the socket accepts; `false` means the
+    /// peer is gone.
+    fn flush(&mut self) -> bool {
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Everything a campaign thread needs; owned, so the thread outlives the
+/// connection that spawned it without borrowing the accept loop.
+struct CampaignCtx {
+    conn: u64,
+    tenant: u64,
+    oracle: Arc<dyn Oracle>,
+    fingerprint: String,
+    sched: Arc<FairScheduler>,
+    req: OpenRequest,
+    default_max_queries: Option<usize>,
+    cache_path: Option<PathBuf>,
+    cancel: CancelToken,
+    out: mpsc::Sender<(u64, Outbound)>,
+    wake: WakeHandle,
+}
+
+fn save_cache_atomic(session: &Session<'_>, path: &Path, tenant: u64) {
+    let text = session.export_cache();
+    let tmp = path.with_extension(format!("tmp{tenant}"));
+    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Body of one campaign thread: a private [`Session`] over the shared
+/// oracle (through the fair scheduler), fed seed batches until the accept
+/// loop drops the channel.
+fn run_campaign(ctx: CampaignCtx, seeds_rx: mpsc::Receiver<Vec<Vec<u8>>>) {
+    let oracle = ScheduledOracle::new(ctx.oracle, ctx.sched, ctx.tenant);
+    let mut builder = GladeBuilder::new()
+        .oracle_fingerprint(ctx.fingerprint.clone())
+        .cancel_token(ctx.cancel.clone())
+        .memoize_byte_classes(ctx.req.memoize);
+    if let Some(limit) = ctx.req.max_queries.or(ctx.default_max_queries) {
+        builder = builder.max_queries(limit);
+    }
+    if ctx.req.events {
+        builder = builder.observer_shared(Arc::new(StreamObserver {
+            conn: ctx.conn,
+            out: ctx.out.clone(),
+            wake: ctx.wake.clone(),
+        }));
+    }
+    let mut session = builder.session(&oracle);
+    if let Some(path) = &ctx.cache_path {
+        if path.exists() {
+            // A stale or foreign snapshot is not fatal — the fingerprint
+            // check inside `load_cache` rejects mismatches and the
+            // campaign simply starts cold.
+            let _ = session.load_cache(path);
+        }
+    }
+    while let Ok(seeds) = seeds_rx.recv() {
+        let outcome = match session.add_seeds(&seeds) {
+            Ok(result) => {
+                if let Some(path) = &ctx.cache_path {
+                    save_cache_atomic(&session, path, ctx.tenant);
+                }
+                Outbound::Result {
+                    stats: result.stats,
+                    grammar: glade_grammar::grammar_to_text(&result.grammar),
+                }
+            }
+            Err(e) => Outbound::Error(e.to_string()),
+        };
+        if ctx.out.send((ctx.conn, outcome)).is_err() {
+            break;
+        }
+        ctx.wake.wake();
+    }
+}
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A resolved oracle spec: the shared oracle plus its fingerprint.
+type OracleEntry = (Arc<dyn Oracle>, String);
+
+/// A multi-tenant synthesis server.
+///
+/// Construct with an [`OracleFactory`] and a [`ServeConfig`], then either
+/// [`run`](Server::run) the accept loop on the current thread or
+/// [`spawn`](Server::spawn) it onto a background thread with a
+/// [`ServerHandle`] for shutdown. See the [module docs](super) for the
+/// protocol, fairness, and determinism guarantees.
+pub struct Server {
+    factory: Arc<dyn OracleFactory>,
+    config: ServeConfig,
+    sched: Arc<FairScheduler>,
+    registry: Mutex<HashMap<String, OracleEntry>>,
+}
+
+impl Server {
+    /// Creates a server (no socket yet).
+    pub fn new(factory: Arc<dyn OracleFactory>, config: ServeConfig) -> Self {
+        Server {
+            factory,
+            config,
+            sched: Arc::new(FairScheduler::new()),
+            registry: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Resolves `spec` to a shared oracle, creating (and deadline-
+    /// configuring) it on first use.
+    fn resolve_oracle(&self, spec: &str) -> Result<(Arc<dyn Oracle>, String), String> {
+        let mut registry = self.registry.lock().expect("oracle registry poisoned");
+        if let Some(entry) = registry.get(spec) {
+            return Ok(entry.clone());
+        }
+        let (oracle, fingerprint) = self.factory.create(spec)?;
+        if let Some(limit) = self.config.oracle_timeout {
+            oracle.configure_timeout(Some(limit));
+        }
+        registry.insert(spec.to_string(), (Arc::clone(&oracle), fingerprint.clone()));
+        Ok((oracle, fingerprint))
+    }
+
+    fn cache_path_for(&self, fingerprint: &str, requested: bool) -> Option<PathBuf> {
+        if !requested {
+            return None;
+        }
+        let dir = self.config.cache_dir.as_ref()?;
+        Some(dir.join(format!("{:016x}.glade-cache", fnv1a64(fingerprint.as_bytes()))))
+    }
+
+    /// Handles one parsed frame for `conn`. Returns the campaign thread's
+    /// join handle when the frame opened a campaign.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_frame(
+        &self,
+        conn_id: u64,
+        conn: &mut Conn,
+        tag: u8,
+        body: Vec<u8>,
+        out_tx: &mpsc::Sender<(u64, Outbound)>,
+        wake: &WakeHandle,
+    ) -> Option<JoinHandle<()>> {
+        match tag {
+            TAG_HELLO => {
+                if body != SERVE_PROTOCOL {
+                    conn.fail("unsupported protocol version");
+                } else if conn.greeted {
+                    conn.fail("duplicate HELLO");
+                } else {
+                    conn.greeted = true;
+                    conn.queue(TAG_HELLO_ACK, SERVE_PROTOCOL);
+                }
+                None
+            }
+            _ if !conn.greeted => {
+                conn.fail("expected HELLO first");
+                None
+            }
+            TAG_OPEN => {
+                if conn.campaign.is_some() {
+                    conn.fail("campaign already open on this connection");
+                    return None;
+                }
+                let req = match OpenRequest::from_body(&body) {
+                    Ok(req) => req,
+                    Err(e) => {
+                        conn.fail(&e.to_string());
+                        return None;
+                    }
+                };
+                let (oracle, fingerprint) = match self.resolve_oracle(&req.oracle_spec) {
+                    Ok(resolved) => resolved,
+                    Err(e) => {
+                        conn.fail(&format!("oracle {:?}: {e}", req.oracle_spec));
+                        return None;
+                    }
+                };
+                let tenant = self.sched.register();
+                let campaign_id = tenant as u32;
+                let cancel = CancelToken::new();
+                let cache_path = self.cache_path_for(&fingerprint, req.cache);
+                let (cmd_tx, cmd_rx) = mpsc::channel();
+                let ctx = CampaignCtx {
+                    conn: conn_id,
+                    tenant,
+                    oracle,
+                    fingerprint: fingerprint.clone(),
+                    sched: Arc::clone(&self.sched),
+                    req,
+                    default_max_queries: self.config.default_max_queries,
+                    cache_path,
+                    cancel: cancel.clone(),
+                    out: out_tx.clone(),
+                    wake: wake.clone(),
+                };
+                let join = std::thread::Builder::new()
+                    .name(format!("glade-serve-campaign-{campaign_id}"))
+                    .spawn(move || run_campaign(ctx, cmd_rx))
+                    .expect("spawn campaign thread");
+                conn.campaign = Some(CampaignSeat { cmd_tx, cancel, pending: 0 });
+                conn.queue(TAG_OPEN_ACK, &encode_open_ack(campaign_id, &fingerprint));
+                Some(join)
+            }
+            TAG_SEEDS => {
+                let Some(seat) = conn.campaign.as_mut() else {
+                    conn.fail("SEEDS before OPEN");
+                    return None;
+                };
+                match decode_seeds_body(&body) {
+                    Ok(seeds) => {
+                        if seat.cmd_tx.send(seeds).is_ok() {
+                            seat.pending += 1;
+                        } else {
+                            conn.fail("campaign worker exited");
+                        }
+                    }
+                    Err(e) => conn.fail(&e.to_string()),
+                }
+                None
+            }
+            TAG_CANCEL => {
+                if let Some(seat) = &conn.campaign {
+                    // Sticky, like a local CancelToken: the in-flight run
+                    // (and any later run of this campaign) degrades along
+                    // the fail-closed path and still produces a RESULT.
+                    seat.cancel.cancel();
+                } else {
+                    conn.fail("CANCEL before OPEN");
+                }
+                None
+            }
+            TAG_CLOSE => {
+                conn.closing = true;
+                None
+            }
+            other => {
+                // Unknown frame from a newer client: answer, don't wedge.
+                conn.queue(TAG_ERROR, format!("unknown frame tag {other:#04x}").as_bytes());
+                None
+            }
+        }
+    }
+
+    /// Runs the accept loop until `shutdown` is cancelled or the listener
+    /// fails. Campaign threads are cancelled and joined before returning.
+    pub fn run(&self, listener: UnixListener, shutdown: CancelToken) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let wake = WakeHandle { tx: Arc::new(wake_tx) };
+        let (out_tx, out_rx) = mpsc::channel::<(u64, Outbound)>();
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut campaign_joins: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_conn: u64 = 1;
+
+        while !shutdown.is_cancelled() {
+            // Poll: listener, wake pipe, then every connection (write
+            // interest only while output is queued).
+            let mut fds = vec![
+                sys::PollFd { fd: listener.as_raw_fd(), events: sys::POLLIN, revents: 0 },
+                sys::PollFd { fd: wake_rx.as_raw_fd(), events: sys::POLLIN, revents: 0 },
+            ];
+            let mut order: Vec<u64> = Vec::with_capacity(conns.len());
+            for (&id, conn) in &conns {
+                let mut events = sys::POLLIN;
+                if !conn.outbuf.is_empty() {
+                    events |= sys::POLLOUT;
+                }
+                fds.push(sys::PollFd { fd: conn.stream.as_raw_fd(), events, revents: 0 });
+                order.push(id);
+            }
+            // Bounded sleep so a shutdown request is noticed promptly even
+            // with no traffic.
+            sys::poll_ready(&mut fds, Some(Duration::from_millis(100)))?;
+
+            // Drain wake bytes (their only job was ending the sleep).
+            if fds[1].revents & sys::POLLIN != 0 {
+                let mut sink = [0u8; 256];
+                while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+            }
+
+            // Drain campaign output into per-connection buffers.
+            while let Ok((conn_id, outbound)) = out_rx.try_recv() {
+                let Some(conn) = conns.get_mut(&conn_id) else { continue };
+                match outbound {
+                    Outbound::Event(line) => conn.queue(TAG_EVENT, line.as_bytes()),
+                    Outbound::Result { stats, grammar } => {
+                        if let Some(seat) = conn.campaign.as_mut() {
+                            seat.pending = seat.pending.saturating_sub(1);
+                        }
+                        conn.queue(TAG_RESULT, &encode_result(&stats, &grammar));
+                    }
+                    Outbound::Error(message) => {
+                        if let Some(seat) = conn.campaign.as_mut() {
+                            seat.pending = seat.pending.saturating_sub(1);
+                        }
+                        conn.queue(TAG_ERROR, message.as_bytes());
+                    }
+                }
+            }
+
+            // New connections.
+            if fds[0].revents & sys::POLLIN != 0 {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _addr)) => {
+                            stream.set_nonblocking(true)?;
+                            conns.insert(next_conn, Conn::new(stream));
+                            next_conn += 1;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+
+            // Per-connection I/O.
+            let mut doomed: Vec<u64> = Vec::new();
+            for (slot, &conn_id) in order.iter().enumerate() {
+                let revents = fds[2 + slot].revents;
+                let conn = conns.get_mut(&conn_id).expect("conn vanished mid-loop");
+                if revents & sys::POLLNVAL != 0 {
+                    doomed.push(conn_id);
+                    continue;
+                }
+                if revents & sys::POLLIN != 0 && !conn.closing && !conn.dead && !conn.fill() {
+                    // EOF or read error: a vanished client preempts its
+                    // campaign through the ordinary cancel path.
+                    conn.dead = true;
+                }
+                if !conn.dead {
+                    match drain_frames(&mut conn.inbuf) {
+                        Ok(frames) => {
+                            for (tag, frame_body) in frames {
+                                if conn.dead || conn.closing {
+                                    break;
+                                }
+                                if let Some(join) = self
+                                    .handle_frame(conn_id, conn, tag, frame_body, &out_tx, &wake)
+                                {
+                                    campaign_joins.push(join);
+                                }
+                            }
+                        }
+                        Err(e) => conn.fail(&e.to_string()),
+                    }
+                }
+                if !conn.outbuf.is_empty() && !conn.flush() {
+                    conn.outbuf.clear();
+                    conn.dead = true;
+                }
+                let finished_close = conn.closing
+                    && conn.outbuf.is_empty()
+                    && conn.campaign.as_ref().is_none_or(|seat| seat.pending == 0);
+                let finished_dead = conn.dead && conn.outbuf.is_empty();
+                if finished_close || finished_dead {
+                    doomed.push(conn_id);
+                }
+            }
+            for conn_id in doomed {
+                if let Some(conn) = conns.remove(&conn_id) {
+                    if let Some(seat) = conn.campaign {
+                        if conn.dead {
+                            // Disconnect/error preemption; a graceful CLOSE
+                            // already drained every pending run.
+                            seat.cancel.cancel();
+                        }
+                        drop(seat.cmd_tx);
+                    }
+                }
+            }
+        }
+
+        // Shutdown: preempt every campaign, close every connection (which
+        // drops the seed senders), then join the workers.
+        for conn in conns.into_values() {
+            if let Some(seat) = conn.campaign {
+                seat.cancel.cancel();
+            }
+        }
+        for join in campaign_joins {
+            let _ = join.join();
+        }
+        Ok(())
+    }
+
+    /// Binds `socket` (replacing a stale socket file) and runs the accept
+    /// loop on a background thread.
+    pub fn spawn(self, socket: impl AsRef<Path>) -> std::io::Result<ServerHandle> {
+        let path = socket.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let shutdown = CancelToken::new();
+        let token = shutdown.clone();
+        let join = std::thread::Builder::new()
+            .name("glade-serve".into())
+            .spawn(move || self.run(listener, token))?;
+        Ok(ServerHandle { shutdown, join: Some(join), path })
+    }
+}
+
+/// Handle to a [spawned](Server::spawn) server; shuts the server down on
+/// [`shutdown`](ServerHandle::shutdown) or drop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    shutdown: CancelToken,
+    join: Option<JoinHandle<std::io::Result<()>>>,
+    path: PathBuf,
+}
+
+impl ServerHandle {
+    /// The unix socket path the server listens on.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A token that stops the accept loop when cancelled.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// Stops the server and waits for the accept loop (and every campaign
+    /// thread) to exit.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.shutdown.cancel();
+        let result = match self.join.take() {
+            Some(join) => join
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("serve accept loop panicked"))),
+            None => Ok(()),
+        };
+        let _ = std::fs::remove_file(&self.path);
+        result
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            let _ = self.finish();
+        }
+    }
+}

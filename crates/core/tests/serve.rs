@@ -1,0 +1,602 @@
+//! Integration tests for the `glade serve` subsystem: in-process server,
+//! real unix sockets, real [`ServeClient`]s on their own threads.
+//!
+//! The load-bearing pin throughout is *determinism through the server*:
+//! every grammar synthesized via a campaign must be byte-identical to a
+//! solo local [`Session`](glade_core::Session) run on the same seeds, with
+//! the same query counts — including under concurrent tenants, per-tenant
+//! budgets, cancellation, and injected oracle faults, none of which may
+//! leak into another tenant's bytes or statistics.
+
+#![cfg(any(target_os = "linux", target_os = "macos"))]
+
+use glade_core::serve::{OpenRequest, OracleFactory, ServeClient, ServeConfig, Server};
+use glade_core::testing::{xml_like, xml_like_with_self_closing};
+use glade_core::{
+    FaultPlan, FaultyOracle, FnOracle, GladeBuilder, Oracle, SynthEvent, SynthesisStats,
+};
+use glade_grammar::grammar_to_text;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Golden counts for the running example (`<a>hi</a>` against
+/// [`xml_like`]) with the query-reduction layer on — the same pins as
+/// `tests/parallel.rs`. The serve tests always open campaigns with
+/// `memoize = true` explicitly, so the pins hold regardless of the
+/// `GLADE_TEST_MEMO` matrix variable.
+const GOLDEN_UNIQUE_ON: usize = 965;
+const GOLDEN_TOTAL_ON: usize = 985;
+
+/// Per-test timeout guard (same rationale as in `tests/parallel.rs`): a
+/// wedged accept loop or a lost wake would otherwise hang the whole CI
+/// job inside a blocking socket read. `GLADE_TEST_TIMEOUT_SECS` tunes the
+/// limit (default 120 s).
+struct Watchdog {
+    done: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(name: &'static str) -> Self {
+        let secs = std::env::var("GLADE_TEST_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120u64);
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = done.clone();
+        std::thread::spawn(move || {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+            while std::time::Instant::now() < deadline {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("watchdog: `{name}` still running after {secs}s — the serve loop is hung");
+            std::process::exit(99);
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A fresh scratch directory (unique per test) for sockets and caches.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glade-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The factory every test server uses. Specs:
+/// * `xml` — the running example's [`xml_like`] oracle.
+/// * `xml-sc` — the Section 7 self-closing variant (distinct fingerprint,
+///   for cache-namespacing assertions).
+fn test_factory() -> Arc<dyn OracleFactory> {
+    Arc::new(|spec: &str| -> Result<(Arc<dyn Oracle>, String), String> {
+        match spec {
+            "xml" => Ok((Arc::new(FnOracle::new(xml_like)), "test:xml-like".into())),
+            "xml-sc" => Ok((
+                Arc::new(FnOracle::new(xml_like_with_self_closing)),
+                "test:xml-like-self-closing".into(),
+            )),
+            other => Err(format!("unknown test spec {other:?}")),
+        }
+    })
+}
+
+/// Runs the same seed batches through a solo local session and returns the
+/// final grammar text plus stats — the byte-identity baseline.
+fn solo_run(oracle: &dyn Oracle, batches: &[Vec<Vec<u8>>]) -> (String, SynthesisStats) {
+    solo_run_with(oracle, batches, None)
+}
+
+fn solo_run_with(
+    oracle: &dyn Oracle,
+    batches: &[Vec<Vec<u8>>],
+    max_queries: Option<usize>,
+) -> (String, SynthesisStats) {
+    let mut builder = GladeBuilder::new();
+    if let Some(limit) = max_queries {
+        builder = builder.max_queries(limit);
+    }
+    let mut session = builder.session(&oracle);
+    let mut last = None;
+    for batch in batches {
+        last = Some(session.add_seeds(batch).expect("solo run succeeds"));
+    }
+    let result = last.expect("at least one batch");
+    (grammar_to_text(&result.grammar), result.stats)
+}
+
+/// The deterministic subset of [`SynthesisStats`] that must be identical
+/// between a server campaign and its solo baseline (wall-clock fields are
+/// excluded by construction).
+fn count_fields(stats: &SynthesisStats) -> [usize; 8] {
+    [
+        stats.unique_queries,
+        stats.new_unique_queries,
+        stats.total_queries,
+        stats.seeds_used,
+        stats.star_count,
+        stats.merges_accepted,
+        stats.probes_elided,
+        stats.oracle_failures,
+    ]
+}
+
+/// Opens a campaign on `socket` and synthesizes each batch in turn,
+/// returning the last outcome (grammar text + stats) and the streamed
+/// events.
+fn client_run(
+    socket: &std::path::Path,
+    request: &OpenRequest,
+    batches: &[Vec<Vec<u8>>],
+) -> (String, SynthesisStats, Vec<SynthEvent>) {
+    let mut client = ServeClient::connect(socket).expect("connect");
+    client.open(request).expect("open campaign");
+    let mut events = Vec::new();
+    let mut last = None;
+    for batch in batches {
+        last = Some(client.synthesize(batch, |event| events.push(event)).expect("synthesize"));
+    }
+    client.close().expect("close");
+    let outcome = last.expect("at least one batch");
+    (outcome.grammar_text, outcome.stats, events)
+}
+
+#[test]
+fn concurrent_tenants_match_solo_runs_and_golden_pins() {
+    let _watchdog = Watchdog::arm("concurrent_tenants_match_solo_runs_and_golden_pins");
+    let dir = scratch_dir("concurrent");
+    let socket = dir.join("sock");
+
+    // Three tenants with distinct seed sets, all sharing one oracle.
+    let seed_sets: Vec<Vec<Vec<u8>>> = vec![
+        vec![b"<a>hi</a>".to_vec()],
+        vec![b"<a><a>deep</a></a>".to_vec()],
+        vec![b"xyz".to_vec(), b"<a>ok</a>".to_vec()],
+    ];
+    let baselines: Vec<(String, SynthesisStats)> = seed_sets
+        .iter()
+        .map(|seeds| solo_run(&FnOracle::new(xml_like), std::slice::from_ref(seeds)))
+        .collect();
+
+    let handle =
+        Server::new(test_factory(), ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    let outcomes: Vec<(String, SynthesisStats, Vec<SynthEvent>)> = std::thread::scope(|s| {
+        let joins: Vec<_> = seed_sets
+            .iter()
+            .map(|seeds| {
+                let socket = socket.clone();
+                s.spawn(move || {
+                    client_run(&socket, &OpenRequest::new("xml"), std::slice::from_ref(seeds))
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+    });
+
+    for (tenant, ((grammar, stats, events), (solo_grammar, solo_stats))) in
+        outcomes.iter().zip(&baselines).enumerate()
+    {
+        assert_eq!(grammar, solo_grammar, "tenant {tenant}: grammar must be byte-identical");
+        assert_eq!(
+            count_fields(stats),
+            count_fields(solo_stats),
+            "tenant {tenant}: query counts must match the solo run"
+        );
+        assert!(!events.is_empty(), "tenant {tenant}: the event stream must be live");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, SynthEvent::PhaseFinished { unique_queries, .. } if *unique_queries > 0)),
+            "tenant {tenant}: phase boundaries must stream"
+        );
+    }
+
+    // The running example keeps its golden memo-on pins through the server.
+    assert_eq!(outcomes[0].1.unique_queries, GOLDEN_UNIQUE_ON);
+    assert_eq!(outcomes[0].1.total_queries, GOLDEN_TOTAL_ON);
+
+    handle.shutdown().expect("server shutdown");
+}
+
+#[test]
+fn incremental_seed_batches_match_combined_local_session() {
+    let _watchdog = Watchdog::arm("incremental_seed_batches_match_combined_local_session");
+    let dir = scratch_dir("incremental");
+    let socket = dir.join("sock");
+    let batches =
+        vec![vec![b"<a>hi</a>".to_vec()], vec![b"<a><a>deep</a></a>".to_vec(), b"ok".to_vec()]];
+    let (solo_grammar, solo_stats) = solo_run(&FnOracle::new(xml_like), &batches);
+
+    let handle =
+        Server::new(test_factory(), ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    let mut client = ServeClient::connect(&socket).expect("connect");
+    client.open(&OpenRequest::new("xml")).expect("open");
+    let first = client.synthesize(&batches[0], |_| {}).expect("first batch");
+    assert_eq!(first.stats.unique_queries, GOLDEN_UNIQUE_ON);
+    let second = client.synthesize(&batches[1], |_| {}).expect("second batch");
+    assert_eq!(second.grammar_text, solo_grammar, "incremental batches must compose");
+    assert_eq!(count_fields(&second.stats), count_fields(&solo_stats));
+
+    // An empty SEEDS frame re-synthesizes from current state.
+    let again = client.synthesize(&[], |_| {}).expect("empty re-synthesis");
+    assert_eq!(again.grammar_text, solo_grammar);
+    assert_eq!(again.stats.new_unique_queries, 0, "re-synthesis is fully cached");
+    client.close().expect("close");
+
+    handle.shutdown().expect("server shutdown");
+}
+
+/// An [`xml_like`] oracle that parks exactly once — on its `gate_after`-th
+/// query — until the test releases it, so a cancel frame can land while
+/// the run is provably mid-flight.
+struct GateOracle {
+    gate_after: usize,
+    seen: AtomicUsize,
+    released: Mutex<bool>,
+    parked: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl GateOracle {
+    fn new(gate_after: usize) -> Self {
+        GateOracle {
+            gate_after,
+            seen: AtomicUsize::new(0),
+            released: Mutex::new(false),
+            parked: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait_until_parked(&self) {
+        let mut parked = self.parked.lock().unwrap();
+        while !*parked {
+            parked = self.cv.wait(parked).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.released.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl Oracle for GateOracle {
+    fn accepts(&self, input: &[u8]) -> bool {
+        if self.seen.fetch_add(1, Ordering::SeqCst) == self.gate_after {
+            *self.parked.lock().unwrap() = true;
+            self.cv.notify_all();
+            let mut released = self.released.lock().unwrap();
+            while !*released {
+                released = self.cv.wait(released).unwrap();
+            }
+        }
+        xml_like(input)
+    }
+}
+
+#[test]
+fn mid_run_cancel_degrades_one_tenant_without_disturbing_another() {
+    let _watchdog = Watchdog::arm("mid_run_cancel_degrades_one_tenant_without_disturbing_another");
+    let dir = scratch_dir("cancel");
+    let socket = dir.join("sock");
+    let gate = Arc::new(GateOracle::new(50));
+    let (clean_solo_grammar, clean_solo_stats) =
+        solo_run(&FnOracle::new(xml_like), &[vec![b"<a>hi</a>".to_vec()]]);
+
+    let factory_gate = Arc::clone(&gate);
+    let factory = Arc::new(move |spec: &str| -> Result<(Arc<dyn Oracle>, String), String> {
+        match spec {
+            "gated-xml" => {
+                Ok((Arc::clone(&factory_gate) as Arc<dyn Oracle>, "test:gated-xml".into()))
+            }
+            "xml" => Ok((Arc::new(FnOracle::new(xml_like)), "test:xml-like".into())),
+            other => Err(format!("unknown test spec {other:?}")),
+        }
+    });
+    let handle = Server::new(factory, ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    // Tenant A's client is built here so the main thread keeps a cancel
+    // handle on its socket while the client itself runs on its own thread.
+    let mut client_a = ServeClient::connect(&socket).expect("connect A");
+    client_a.open(&OpenRequest::new("gated-xml")).expect("open A");
+    let mut cancel = client_a.cancel_handle().expect("cancel handle");
+
+    std::thread::scope(|s| {
+        let cancelled = s.spawn(move || {
+            let outcome = client_a.synthesize(&[b"<a>hi</a>".to_vec()], |_| {}).expect("run A");
+            client_a.close().expect("close A");
+            outcome
+        });
+        // Tenant B runs a clean campaign concurrently. While A is parked
+        // it holds a scheduler turn, so B simply queues on the scheduler
+        // and resumes unharmed once the gate reopens.
+        let clean = s.spawn(|| {
+            client_run(&socket, &OpenRequest::new("xml"), &[vec![b"<a>hi</a>".to_vec()]])
+        });
+
+        gate.wait_until_parked();
+        // The run is provably mid-flight (parked on query 50). Cancel it
+        // over A's socket; the accept loop is idle (campaigns run on their
+        // own threads) and drains the frame within one bounded poll cycle
+        // (100 ms), which the sleep out-waits before the gate reopens.
+        cancel.cancel().expect("send CANCEL");
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        gate.release();
+
+        let outcome = cancelled.join().expect("cancelled tenant");
+        assert!(outcome.stats.cancelled, "tenant A must observe the cancel");
+        assert!(!outcome.grammar_text.is_empty(), "degraded grammar still present");
+
+        let (clean_grammar, clean_stats, _) = clean.join().expect("clean tenant");
+        assert_eq!(clean_grammar, clean_solo_grammar, "tenant B never saw the cancel");
+        assert_eq!(count_fields(&clean_stats), count_fields(&clean_solo_stats));
+    });
+
+    handle.shutdown().expect("server shutdown");
+}
+
+#[test]
+fn per_tenant_budget_degrades_only_that_tenant() {
+    let _watchdog = Watchdog::arm("per_tenant_budget_degrades_only_that_tenant");
+    let dir = scratch_dir("budget");
+    let socket = dir.join("sock");
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let (full_grammar, full_stats) =
+        solo_run(&FnOracle::new(xml_like), std::slice::from_ref(&seeds));
+    let (capped_grammar, capped_stats) =
+        solo_run_with(&FnOracle::new(xml_like), std::slice::from_ref(&seeds), Some(120));
+    assert!(capped_stats.budget_exhausted, "the cap must bind for this test to mean anything");
+
+    let handle =
+        Server::new(test_factory(), ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    let (capped, full) = std::thread::scope(|s| {
+        let capped = s.spawn(|| {
+            let mut request = OpenRequest::new("xml");
+            request.max_queries = Some(120);
+            client_run(&socket, &request, std::slice::from_ref(&seeds))
+        });
+        let full =
+            s.spawn(|| client_run(&socket, &OpenRequest::new("xml"), std::slice::from_ref(&seeds)));
+        (capped.join().expect("capped tenant"), full.join().expect("full tenant"))
+    });
+
+    // Budget degradation is query-count-based, so even the degraded run is
+    // deterministic and must match its solo baseline byte for byte.
+    assert_eq!(capped.0, capped_grammar, "capped tenant matches its capped solo run");
+    assert_eq!(count_fields(&capped.1), count_fields(&capped_stats));
+    assert!(capped.1.budget_exhausted);
+    assert!(!capped.1.cancelled);
+
+    // ... and never perturbs the unbudgeted tenant next door.
+    assert_eq!(full.0, full_grammar);
+    assert_eq!(count_fields(&full.1), count_fields(&full_stats));
+    assert_eq!(full.1.unique_queries, GOLDEN_UNIQUE_ON);
+    assert_eq!(full.1.total_queries, GOLDEN_TOTAL_ON);
+    assert!(!full.1.budget_exhausted);
+
+    handle.shutdown().expect("server shutdown");
+}
+
+#[test]
+fn hung_worker_fault_stays_in_its_tenant() {
+    let _watchdog = Watchdog::arm("hung_worker_fault_stays_in_its_tenant");
+    let dir = scratch_dir("fault-hang");
+    let socket = dir.join("sock");
+    let seeds_faulty = vec![b"<a>hi</a>".to_vec()];
+    let seeds_clean = vec![b"<a><a>deep</a></a>".to_vec()];
+
+    // Baselines: the faulty tenant against a fresh oracle with the same
+    // plan (the counter-based hang is deterministic for a single tenant),
+    // the clean tenant against a clean oracle.
+    let plan = || FaultPlan::new().hang_after(40);
+    let (faulty_solo_grammar, faulty_solo_stats) = solo_run(
+        &FaultyOracle::new(FnOracle::new(xml_like), plan()),
+        std::slice::from_ref(&seeds_faulty),
+    );
+    assert!(faulty_solo_stats.oracle_failures > 0, "the plan must actually inject faults");
+    let (clean_solo_grammar, clean_solo_stats) =
+        solo_run(&FnOracle::new(xml_like), std::slice::from_ref(&seeds_clean));
+
+    let factory = Arc::new(move |spec: &str| -> Result<(Arc<dyn Oracle>, String), String> {
+        match spec {
+            "hung-xml" => Ok((
+                Arc::new(FaultyOracle::new(FnOracle::new(xml_like), plan())),
+                "test:hung-xml".into(),
+            )),
+            "xml" => Ok((Arc::new(FnOracle::new(xml_like)), "test:xml-like".into())),
+            other => Err(format!("unknown test spec {other:?}")),
+        }
+    });
+    let handle = Server::new(factory, ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    let (faulty, clean) = std::thread::scope(|s| {
+        let faulty = s.spawn(|| {
+            client_run(&socket, &OpenRequest::new("hung-xml"), std::slice::from_ref(&seeds_faulty))
+        });
+        let clean = s.spawn(|| {
+            client_run(&socket, &OpenRequest::new("xml"), std::slice::from_ref(&seeds_clean))
+        });
+        (faulty.join().expect("faulty tenant"), clean.join().expect("clean tenant"))
+    });
+
+    assert_eq!(faulty.0, faulty_solo_grammar, "faults degrade deterministically");
+    assert_eq!(count_fields(&faulty.1), count_fields(&faulty_solo_stats));
+    assert!(faulty.1.oracle_failures > 0);
+
+    assert_eq!(clean.0, clean_solo_grammar, "the clean tenant never sees the hang");
+    assert_eq!(count_fields(&clean.1), count_fields(&clean_solo_stats));
+    assert_eq!(clean.1.oracle_failures, 0, "fault attribution is per tenant");
+
+    handle.shutdown().expect("server shutdown");
+}
+
+#[test]
+fn shared_flaky_oracle_attributes_faults_per_tenant() {
+    let _watchdog = Watchdog::arm("shared_flaky_oracle_attributes_faults_per_tenant");
+    let dir = scratch_dir("fault-shared");
+    let socket = dir.join("sock");
+    let seed_sets: Vec<Vec<Vec<u8>>> =
+        vec![vec![b"<a>hi</a>".to_vec()], vec![b"<a><a>deep</a></a>".to_vec()]];
+
+    // Content-addressed faults (crash_permille hashes the query bytes, not
+    // a call counter), so each tenant's fault set is a pure function of
+    // its own deterministic query stream — even on one shared oracle.
+    let plan = || FaultPlan::new().crash_permille(10).seed(7);
+    let baselines: Vec<(String, SynthesisStats)> = seed_sets
+        .iter()
+        .map(|seeds| {
+            solo_run(
+                &FaultyOracle::new(FnOracle::new(xml_like), plan()),
+                std::slice::from_ref(seeds),
+            )
+        })
+        .collect();
+
+    let factory = Arc::new(move |spec: &str| -> Result<(Arc<dyn Oracle>, String), String> {
+        match spec {
+            "flaky-xml" => Ok((
+                Arc::new(FaultyOracle::new(FnOracle::new(xml_like), plan())),
+                "test:flaky-xml".into(),
+            )),
+            other => Err(format!("unknown test spec {other:?}")),
+        }
+    });
+    let handle = Server::new(factory, ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    let outcomes: Vec<(String, SynthesisStats, Vec<SynthEvent>)> = std::thread::scope(|s| {
+        let joins: Vec<_> = seed_sets
+            .iter()
+            .map(|seeds| {
+                let socket = socket.clone();
+                s.spawn(move || {
+                    client_run(&socket, &OpenRequest::new("flaky-xml"), std::slice::from_ref(seeds))
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+    });
+
+    for (tenant, ((grammar, stats, _), (solo_grammar, solo_stats))) in
+        outcomes.iter().zip(&baselines).enumerate()
+    {
+        assert_eq!(
+            grammar, solo_grammar,
+            "tenant {tenant}: shared-oracle faults must not change the bytes"
+        );
+        assert_eq!(
+            count_fields(stats),
+            count_fields(solo_stats),
+            "tenant {tenant}: fault attribution must match the solo run"
+        );
+    }
+
+    handle.shutdown().expect("server shutdown");
+}
+
+#[test]
+fn persistent_caches_namespace_by_fingerprint_and_survive_restart() {
+    let _watchdog = Watchdog::arm("persistent_caches_namespace_by_fingerprint_and_survive_restart");
+    let dir = scratch_dir("cache");
+    let socket = dir.join("sock");
+    let cache_dir = dir.join("caches");
+    std::fs::create_dir_all(&cache_dir).expect("create cache dir");
+    let config = ServeConfig { cache_dir: Some(cache_dir.clone()), ..ServeConfig::default() };
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let mut request = OpenRequest::new("xml");
+    request.cache = true;
+
+    // Cold run on a fresh server.
+    let handle = Server::new(test_factory(), config.clone()).spawn(&socket).expect("first spawn");
+    let (cold_grammar, cold_stats, _) = client_run(&socket, &request, std::slice::from_ref(&seeds));
+    assert_eq!(cold_stats.new_unique_queries, GOLDEN_UNIQUE_ON, "cold start fills the cache");
+    handle.shutdown().expect("first shutdown");
+
+    let cache_files = || {
+        let mut files: Vec<_> = std::fs::read_dir(&cache_dir)
+            .expect("read cache dir")
+            .map(|e| e.expect("dir entry").file_name().into_string().expect("utf-8 name"))
+            .collect();
+        files.sort();
+        files
+    };
+    let after_cold = cache_files();
+    assert_eq!(after_cold.len(), 1, "one fingerprint, one cache file: {after_cold:?}");
+    assert!(after_cold[0].ends_with(".glade-cache"));
+
+    // Warm run on a *new* server over the same cache directory: the
+    // snapshot must be found by fingerprint and re-pay nothing.
+    let handle = Server::new(test_factory(), config.clone()).spawn(&socket).expect("second spawn");
+    let (warm_grammar, warm_stats, _) = client_run(&socket, &request, std::slice::from_ref(&seeds));
+    assert_eq!(warm_grammar, cold_grammar, "warm start reproduces the bytes");
+    assert_eq!(warm_stats.new_unique_queries, 0, "warm start re-pays no queries");
+
+    // A campaign against a different oracle gets its own namespace: it
+    // must start cold and leave a second cache file behind.
+    let mut sc_request = OpenRequest::new("xml-sc");
+    sc_request.cache = true;
+    let (_, sc_stats, _) = client_run(&socket, &sc_request, std::slice::from_ref(&seeds));
+    assert!(sc_stats.new_unique_queries > 0, "a different fingerprint never warm-starts");
+    handle.shutdown().expect("second shutdown");
+    assert_eq!(cache_files().len(), 2, "each fingerprint owns one cache file");
+}
+
+#[test]
+fn rejected_seeds_and_empty_runs_leave_the_campaign_usable() {
+    let _watchdog = Watchdog::arm("rejected_seeds_and_empty_runs_leave_the_campaign_usable");
+    let dir = scratch_dir("rejected");
+    let socket = dir.join("sock");
+    let handle =
+        Server::new(test_factory(), ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    let mut client = ServeClient::connect(&socket).expect("connect");
+    client.open(&OpenRequest::new("xml")).expect("open");
+
+    // An empty first batch has nothing to synthesize from.
+    let empty = client.synthesize(&[], |_| {}).expect_err("no seeds yet");
+    assert_eq!(empty.kind(), std::io::ErrorKind::InvalidData);
+
+    // A seed the oracle rejects errors without poisoning the campaign.
+    let rejected = client.synthesize(&[b"<a>HI</a>".to_vec()], |_| {}).expect_err("bad seed");
+    assert_eq!(rejected.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        rejected.to_string().contains("reject"),
+        "the server's message names the rejection: {rejected}"
+    );
+
+    // The same campaign then completes a normal run with the golden pins
+    // (+1: the rejected seed's admission check stays in the session cache).
+    let outcome = client.synthesize(&[b"<a>hi</a>".to_vec()], |_| {}).expect("recovered run");
+    assert_eq!(outcome.stats.unique_queries, GOLDEN_UNIQUE_ON + 1);
+    assert_eq!(outcome.stats.total_queries, GOLDEN_TOTAL_ON);
+    client.close().expect("close");
+
+    handle.shutdown().expect("server shutdown");
+}
+
+#[test]
+fn unknown_oracle_specs_are_rejected_by_name() {
+    let _watchdog = Watchdog::arm("unknown_oracle_specs_are_rejected_by_name");
+    let dir = scratch_dir("unknown-spec");
+    let socket = dir.join("sock");
+    let handle =
+        Server::new(test_factory(), ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    let mut client = ServeClient::connect(&socket).expect("connect");
+    let err = client.open(&OpenRequest::new("no-such-spec")).expect_err("unknown spec");
+    assert!(err.to_string().contains("no-such-spec"), "the error names the spec: {err}");
+
+    handle.shutdown().expect("server shutdown");
+}

@@ -10,6 +10,10 @@
 //! glade fuzz   --grammar grammar.txt --seed FILE... [--count N]    # splice fuzzing
 //! glade worker NAME [--wire-v1]                    # serve a built-in subject
 //! glade targets                                    # list built-in targets
+//! glade serve  --socket PATH [--pool N] [--oracle-timeout S] [--cache-dir DIR]
+//!              [--max-queries N]                   # multi-tenant synthesis daemon
+//! glade client --socket PATH --oracle SPEC --seed FILE... [-o OUT]
+//!              [--max-queries N] [--no-memo] [--no-events] [--cache]
 //! ```
 //!
 //! The oracle is either an external command (exit status 0 = valid input,
@@ -40,10 +44,23 @@
 //! with the oracle's identity (command line or target name); loading a
 //! snapshot produced by a *different* oracle is refused rather than
 //! silently replaying stale verdicts.
+//!
+//! `glade serve` runs the multi-tenant synthesis daemon (`glade-serve v1`
+//! over a unix socket; see `glade_core::serve`): concurrent clients open
+//! campaigns against `target:NAME` (in-process built-ins, same names as
+//! `glade worker`) or `cmd:CMDLINE` (a pooled worker command) oracles,
+//! stream seed batches, and receive live synthesis events plus grammars
+//! that are byte-identical to local runs. `glade client` drives one
+//! campaign from the command line, printing event wire lines to stderr
+//! and the grammar to stdout. `glade synth --events` prints the same
+//! event wire lines for purely local runs.
 
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+use glade_repro::core::serve::{OpenRequest, OracleFactory, ServeClient, ServeConfig, Server};
 use glade_repro::core::{
-    serve_oracle_worker, serve_oracle_worker_v1, CachingOracle, GladeBuilder, GladeConfig,
-    InputMode, Oracle, PooledProcessOracle, ProcessOracle,
+    serve_oracle_worker, serve_oracle_worker_v1, CachingOracle, CancelToken, GladeBuilder,
+    GladeConfig, InputMode, Oracle, PooledProcessOracle, ProcessOracle, SynthEvent,
+    SynthesisObserver,
 };
 use glade_repro::fuzz::{Fuzzer, GrammarFuzzer};
 use glade_repro::grammar::{grammar_from_text, grammar_to_text, Earley, Grammar, Sampler};
@@ -62,6 +79,10 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("worker") => return cmd_worker(&args[1..]),
+        #[cfg(any(target_os = "linux", target_os = "macos"))]
+        Some("serve") => cmd_serve(&args[1..]),
+        #[cfg(any(target_os = "linux", target_os = "macos"))]
+        Some("client") => cmd_client(&args[1..]),
         Some("targets") => {
             for t in all_targets() {
                 println!(
@@ -97,12 +118,18 @@ USAGE:
                [--cache FILE] [--stdin|--tempfile|--pool N] [--frame-batch N]
                [--wire-v1] [--oracle-timeout SECS] [--max-respawns N]
                [--max-queries N] [--no-chargen] [--no-phase2] [--no-memo]
+               [--events]
   glade sample --grammar FILE [--count N] [--max-depth D] [--seed-rng S]
   glade check  --grammar FILE [INPUT-FILE]
   glade fuzz   --grammar FILE --seed FILE... [--count N] [--seed-rng S]
   glade worker NAME [--wire-v1]    # serve a built-in subject over the
                                    # pooled-oracle protocol (for --pool)
   glade targets
+  glade serve  --socket PATH [--pool N] [--oracle-timeout SECS]
+               [--cache-dir DIR] [--max-queries N]
+  glade client --socket PATH --oracle SPEC --seed FILE... [-o OUT]
+               [--max-queries N] [--no-memo] [--no-events] [--cache]
+               # SPEC: target:NAME (built-in) or cmd:CMDLINE (pooled worker)
 ";
 
 /// Minimal argument cursor.
@@ -150,6 +177,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let mut frame_batch: Option<usize> = None;
     let mut wire_v1 = false;
     let mut max_respawns: Option<u32> = None;
+    let mut events = false;
     let mut config = GladeConfig::default();
 
     while let Some(flag) = args.next() {
@@ -215,6 +243,7 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
             "--no-chargen" => config.character_generalization = false,
             "--no-phase2" => config.phase2 = false,
             "--no-memo" => config.memoize_byte_classes = false,
+            "--events" => events = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -274,11 +303,11 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
             if pool.is_some() {
                 return Err("--pool applies to --cmd oracles (targets run in-process)".into());
             }
-            let target = target_by_name(&name)
+            // Same namespace as `glade worker` and serve's `target:` specs:
+            // instrumented programs first, then the `-lang` languages.
+            let oracle = subject_oracle(&name)
                 .ok_or_else(|| format!("unknown target `{name}` (see `glade targets`)"))?;
-            // Leak is fine for a one-shot CLI process.
-            let target: &'static dyn glade_repro::targets::Target = Box::leak(target);
-            (Box::new(TargetOracle::new(target)), format!("target:{name}"))
+            (oracle, format!("target:{name}"))
         }
         (Some(_), Some(_)) => return Err("--cmd and --target are mutually exclusive".into()),
         (None, None) => return Err("one of --cmd or --target is required".into()),
@@ -286,8 +315,11 @@ fn cmd_synth(argv: &[String]) -> Result<(), String> {
     let oracle = CachingOracle::new(oracle);
 
     let start = std::time::Instant::now();
-    let mut session =
-        GladeBuilder::from_config(config).oracle_fingerprint(fingerprint).session(&oracle);
+    let mut builder = GladeBuilder::from_config(config).oracle_fingerprint(fingerprint);
+    if events {
+        builder = builder.observer(StderrEvents);
+    }
+    let mut session = builder.session(&oracle);
     if let Some(path) = &cache_path {
         if std::path::Path::new(path).exists() {
             let loaded = session.load_cache(path).map_err(|e| format!("{path}: {e}"))?;
@@ -366,26 +398,11 @@ fn cmd_worker(argv: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let oracle: Box<dyn Oracle> = if let Some(target) = target_by_name(name) {
-        // Leak is fine for a one-shot worker process.
-        let target: &'static dyn glade_repro::targets::Target = Box::leak(target);
-        Box::new(TargetOracle::new(target))
-    } else {
-        let mut languages = section82_languages();
-        languages.push(toy_xml());
-        let found = languages.into_iter().find(|l| {
-            if l.name() == "toy-xml" {
-                l.name() == name
-            } else {
-                name.strip_suffix("-lang").is_some_and(|stem| stem == l.name())
-            }
-        });
-        match found {
-            Some(language) => Box::new(language.oracle()),
-            None => {
-                eprintln!("glade worker: unknown subject `{name}` (see `glade targets`)");
-                return ExitCode::FAILURE;
-            }
+    let oracle: Box<dyn Oracle> = match subject_oracle(name) {
+        Some(oracle) => oracle,
+        None => {
+            eprintln!("glade worker: unknown subject `{name}` (see `glade targets`)");
+            return ExitCode::FAILURE;
         }
     };
     let served = if wire_v1 {
@@ -400,6 +417,196 @@ fn cmd_worker(argv: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Resolves a built-in subject name to an in-process oracle: instrumented
+/// targets first, then the Section 8.2 languages suffixed `-lang` (except
+/// `toy-xml`). Shared by `glade worker` and the `glade serve` oracle
+/// factory so `target:` specs and worker names agree.
+fn subject_oracle(name: &str) -> Option<Box<dyn Oracle>> {
+    if let Some(target) = target_by_name(name) {
+        // Leak is fine: worker processes and serve daemons hold their
+        // oracles for the whole process lifetime.
+        let target: &'static dyn glade_repro::targets::Target = Box::leak(target);
+        return Some(Box::new(TargetOracle::new(target)));
+    }
+    let mut languages = section82_languages();
+    languages.push(toy_xml());
+    let found = languages.into_iter().find(|l| {
+        if l.name() == "toy-xml" {
+            l.name() == name
+        } else {
+            name.strip_suffix("-lang").is_some_and(|stem| stem == l.name())
+        }
+    });
+    found.map(|language| Box::new(language.oracle()) as Box<dyn Oracle>)
+}
+
+/// Prints every synthesis event as a wire line on stderr (`--events`).
+struct StderrEvents;
+
+impl SynthesisObserver for StderrEvents {
+    fn on_event(&self, event: &SynthEvent) {
+        eprintln!("{}", event.to_wire_line());
+    }
+}
+
+/// The `glade serve` oracle factory: `target:NAME` resolves a built-in
+/// subject in-process, `cmd:CMDLINE` spawns a pooled worker command.
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+struct CliOracleFactory {
+    pool: Option<usize>,
+}
+
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+impl OracleFactory for CliOracleFactory {
+    fn create(&self, spec: &str) -> Result<(std::sync::Arc<dyn Oracle>, String), String> {
+        if let Some(name) = spec.strip_prefix("target:") {
+            let oracle = subject_oracle(name)
+                .ok_or_else(|| format!("unknown subject `{name}` (see `glade targets`)"))?;
+            Ok((std::sync::Arc::from(oracle), format!("target:{name}")))
+        } else if let Some(cmd) = spec.strip_prefix("cmd:") {
+            let mut parts = cmd.split_whitespace();
+            let prog = parts.next().ok_or_else(|| "empty worker command".to_owned())?;
+            let mut oracle = PooledProcessOracle::new(prog);
+            for arg in parts {
+                oracle = oracle.arg(arg);
+            }
+            if let Some(n) = self.pool {
+                oracle = oracle.pool_size(n);
+            }
+            let fingerprint = oracle.fingerprint();
+            Ok((std::sync::Arc::new(oracle), fingerprint))
+        } else {
+            Err("oracle spec must be target:NAME or cmd:CMDLINE".into())
+        }
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+fn cmd_serve(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let mut socket: Option<String> = None;
+    let mut pool: Option<usize> = None;
+    let mut config = ServeConfig::default();
+    while let Some(flag) = args.next() {
+        match flag {
+            "--socket" => socket = Some(args.value("--socket")?.to_owned()),
+            "--pool" => {
+                let n: usize = args
+                    .value("--pool")?
+                    .parse()
+                    .map_err(|_| "--pool needs a worker count".to_owned())?;
+                if n == 0 {
+                    return Err("--pool needs at least one worker".into());
+                }
+                pool = Some(n);
+            }
+            "--oracle-timeout" => {
+                let secs: f64 = args
+                    .value("--oracle-timeout")?
+                    .parse()
+                    .map_err(|_| "--oracle-timeout needs seconds".to_owned())?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--oracle-timeout needs a positive number of seconds".into());
+                }
+                config.oracle_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(args.value("--cache-dir")?.into());
+            }
+            "--max-queries" => {
+                config.default_max_queries = Some(
+                    args.value("--max-queries")?
+                        .parse()
+                        .map_err(|_| "--max-queries needs an integer".to_owned())?,
+                )
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let socket = socket.ok_or("--socket PATH is required")?;
+    if let Some(dir) = &config.cache_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let server = Server::new(std::sync::Arc::new(CliOracleFactory { pool }), config);
+    let _ = std::fs::remove_file(&socket);
+    let listener = std::os::unix::net::UnixListener::bind(&socket)
+        .map_err(|e| format!("cannot bind {socket}: {e}"))?;
+    eprintln!("glade serve: listening on {socket} (glade-serve v1)");
+    // Runs until the process is killed; the socket file is cleaned up by
+    // the next bind.
+    server.run(listener, CancelToken::new()).map_err(|e| format!("serve: {e}"))
+}
+
+#[cfg(any(target_os = "linux", target_os = "macos"))]
+fn cmd_client(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::new(argv);
+    let mut socket: Option<String> = None;
+    let mut seeds: Vec<Vec<u8>> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut request: Option<OpenRequest> = None;
+    let mut max_queries: Option<usize> = None;
+    let mut memoize = true;
+    let mut events = true;
+    let mut cache = false;
+    while let Some(flag) = args.next() {
+        match flag {
+            "--socket" => socket = Some(args.value("--socket")?.to_owned()),
+            "--oracle" => request = Some(OpenRequest::new(args.value("--oracle")?)),
+            "--seed" => seeds.push(read_file(args.value("--seed")?)?),
+            "-o" | "--out" => out = Some(args.value("-o")?.to_owned()),
+            "--max-queries" => {
+                max_queries = Some(
+                    args.value("--max-queries")?
+                        .parse()
+                        .map_err(|_| "--max-queries needs an integer".to_owned())?,
+                )
+            }
+            "--no-memo" => memoize = false,
+            "--no-events" => events = false,
+            "--cache" => cache = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let socket = socket.ok_or("--socket PATH is required")?;
+    let mut request = request.ok_or("--oracle SPEC is required (target:NAME or cmd:CMDLINE)")?;
+    if seeds.is_empty() {
+        return Err("at least one --seed FILE is required".into());
+    }
+    request.max_queries = max_queries;
+    request.memoize = memoize;
+    request.events = events;
+    request.cache = cache;
+
+    let mut client =
+        ServeClient::connect(&socket).map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    let (campaign, fingerprint) = client.open(&request).map_err(|e| e.to_string())?;
+    eprintln!("campaign {campaign} open against {fingerprint}");
+    let outcome = client
+        .synthesize(&seeds, |event| eprintln!("{}", event.to_wire_line()))
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "synthesized with {} oracle queries ({} new this run)",
+        outcome.stats.unique_queries, outcome.stats.new_unique_queries
+    );
+    if outcome.stats.cancelled {
+        eprintln!("warning: run was cancelled server-side; the grammar is degraded");
+    }
+    if outcome.stats.budget_exhausted {
+        eprintln!("warning: query budget exhausted; the grammar is under-generalized");
+    }
+    client.close().map_err(|e| e.to_string())?;
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &outcome.grammar_text)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("grammar written to {path}");
+        }
+        None => print!("{}", outcome.grammar_text),
+    }
+    Ok(())
 }
 
 fn cmd_sample(argv: &[String]) -> Result<(), String> {
