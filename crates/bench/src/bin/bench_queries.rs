@@ -951,6 +951,73 @@ fn main() {
         j.int("unique_queries", served_stats.unique_queries);
         j.int("total_queries", served_stats.total_queries);
         j.close_obj();
+
+        // ---- Experiment 10: serve_restart — crash-safe campaign resume.
+        // A campaign runs cold (filling the journal + persistent cache),
+        // the server dies without a clean close, a fresh server over the
+        // same cache dir replays the campaign via RESUME. The replay must
+        // reproduce the grammar byte-for-byte while re-paying zero unique
+        // oracle queries — the whole point of the journal.
+        let factory: Arc<dyn OracleFactory> =
+            Arc::new(|spec: &str| -> Result<(Arc<dyn Oracle>, String), String> {
+                match spec {
+                    "toy-xml" => Ok((Arc::new(toy_xml().oracle()), "bench:toy-xml".into())),
+                    other => Err(format!("unknown bench spec {other:?}")),
+                }
+            });
+        let cache_dir =
+            std::env::temp_dir().join(format!("glade-bench-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        std::fs::create_dir_all(&cache_dir).expect("create bench cache dir");
+        let config = ServeConfig { cache_dir: Some(cache_dir.clone()), ..ServeConfig::default() };
+
+        let server = Server::new(Arc::clone(&factory), config.clone())
+            .spawn(&socket)
+            .expect("spawn restart-bench server");
+        let start = Instant::now();
+        let mut client = ServeClient::connect(&socket).expect("connect cold client");
+        let mut request = OpenRequest::new("toy-xml");
+        request.events = false;
+        request.cache = true;
+        let (campaign, _) = client.open(&request).expect("open cold campaign");
+        let cold = client.synthesize(&seeds, |_| {}).expect("cold run");
+        let cold_secs = secs(start.elapsed());
+        // No close(): the campaign stays open in the journal, like a crash.
+        drop(client);
+        server.shutdown().expect("restart-bench server shutdown");
+
+        let server =
+            Server::new(factory, config).spawn(&socket).expect("respawn restart-bench server");
+        let start = Instant::now();
+        let mut client = ServeClient::connect(&socket).expect("connect resume client");
+        client.resume(campaign).expect("resume campaign");
+        let resumed = client.resume_result(|_| {}).expect("replay result");
+        let resume_secs = secs(start.elapsed());
+        client.close().expect("close resume client");
+        server.shutdown().expect("respawned server shutdown");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+
+        eprintln!(
+            "[bench-queries] serve_restart: cold {:.3}s ({} unique), resume {:.3}s \
+             ({} new unique queries re-paid)",
+            cold_secs, cold.stats.unique_queries, resume_secs, resumed.stats.new_unique_queries,
+        );
+        assert_eq!(
+            resumed.grammar_text, cold.grammar_text,
+            "resumed grammar drifted from the interrupted campaign"
+        );
+        assert_eq!(
+            resumed.stats.new_unique_queries, 0,
+            "a checkpointed campaign must re-pay zero unique queries on resume"
+        );
+        j.open_obj(Some("serve_restart"));
+        j.string("target", "toy-xml running example (journal + cache resume across restart)");
+        j.num("cold_secs", cold_secs);
+        j.num("resume_secs", resume_secs);
+        j.int("cold_unique_queries", cold.stats.unique_queries);
+        j.int("resume_new_unique_queries", resumed.stats.new_unique_queries);
+        j.boolean("grammar_identical", resumed.grammar_text == cold.grammar_text);
+        j.close_obj();
     }
 
     j.close_obj();

@@ -195,6 +195,17 @@ pub enum SynthEvent {
     /// The run's [`CancelToken`] was observed mid-run; remaining checks
     /// answer `false` (fail closed), like budget exhaustion.
     Cancelled,
+    /// A `glade serve` connection fell so far behind reading its event
+    /// stream that the server's bounded per-connection event queue
+    /// overflowed: the queued events were discarded and the connection was
+    /// demoted to result-only delivery (see the serve module's
+    /// backpressure docs). Emitted by the server, never by the local
+    /// engine; it precedes the run's `RESULT` so the reader learns how
+    /// much of the stream it missed.
+    EventsDropped {
+        /// Events discarded since the stream was last healthy.
+        dropped: usize,
+    },
 }
 
 impl SynthPhase {
@@ -300,6 +311,7 @@ impl SynthEvent {
             }
             SynthEvent::BudgetExhausted => "budget-exhausted".to_string(),
             SynthEvent::Cancelled => "cancelled".to_string(),
+            SynthEvent::EventsDropped { dropped } => format!("events-dropped {dropped}"),
             // `#[non_exhaustive]` forward arm: a newer engine variant this
             // serializer predates still produces a valid, skippable line.
             #[allow(unreachable_patterns)]
@@ -387,6 +399,7 @@ impl SynthEvent {
             },
             "budget-exhausted" => SynthEvent::BudgetExhausted,
             "cancelled" => SynthEvent::Cancelled,
+            "events-dropped" => SynthEvent::EventsDropped { dropped: num!("bad dropped count") },
             // Unknown tag from a newer peer: well-formed, skip it.
             _ => return Ok(None),
         };
@@ -394,6 +407,15 @@ impl SynthEvent {
             return Err(EventLineError::new(line, "trailing fields"));
         }
         Ok(Some(event))
+    }
+
+    /// Whether this event is a *query tally* — a high-frequency progress
+    /// ticker where only the most recent sample matters to a live reader.
+    /// `glade serve` collapses consecutive tallies in a slow connection's
+    /// bounded event queue (the newest replaces the queued one); every
+    /// other kind is a lifecycle event and is never coalesced.
+    pub fn is_query_tally(&self) -> bool {
+        matches!(self, SynthEvent::QueryBatch { .. })
     }
 }
 
@@ -599,7 +621,16 @@ mod tests {
             SynthEvent::BreakerRecovered { new_recoveries: 1, run_recoveries: 1 },
             SynthEvent::BudgetExhausted,
             SynthEvent::Cancelled,
+            SynthEvent::EventsDropped { dropped: 512 },
         ]
+    }
+
+    #[test]
+    fn query_tally_classification_is_stable() {
+        for event in every_event() {
+            let expect = matches!(event, SynthEvent::QueryBatch { .. });
+            assert_eq!(event.is_query_tally(), expect, "classification for {event:?}");
+        }
     }
 
     #[test]

@@ -333,6 +333,24 @@ pub(crate) mod sys {
     }
 }
 
+/// Shared exponential-backoff schedule with deterministic jitter: `None`
+/// for `strikes < 2` (the first retry is immediate), then
+/// `base · 2^(strikes−2)` (shift capped at 6) plus a per-(salt, strike)
+/// jitter ≤ `base/4`, so independent retriers sharing a schedule do not
+/// fire in lockstep yet stay reproducible. Used by the pooled oracle's
+/// respawn path and by the serve client's connect retry.
+pub(crate) fn retry_backoff_delay(base: Duration, salt: u64, strikes: u32) -> Option<Duration> {
+    if strikes < 2 {
+        return None;
+    }
+    let exp = (strikes - 2).min(6);
+    let mut h = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ u64::from(strikes).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 31;
+    let jitter = Duration::from_nanos((base.as_nanos() as u64 / 1024).saturating_mul(h % 256));
+    Some(base.saturating_mul(1 << exp).saturating_add(jitter))
+}
+
 /// Blackbox membership access to a target language.
 ///
 /// # Contract
@@ -1537,16 +1555,7 @@ impl PooledProcessOracle {
     /// plus a deterministic per-(slot, strike) jitter ≤ `base/4` so the
     /// slots of a crashing pool do not respawn in lockstep.
     fn backoff_delay(&self, slot: usize, strikes: u32) -> Option<Duration> {
-        if strikes < 2 {
-            return None;
-        }
-        let base = self.inner.backoff_base;
-        let exp = (strikes - 2).min(6);
-        let mut h = (slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            ^ u64::from(strikes).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        h ^= h >> 31;
-        let jitter = Duration::from_nanos((base.as_nanos() as u64 / 1024).saturating_mul(h % 256));
-        Some(base.saturating_mul(1 << exp).saturating_add(jitter))
+        retry_backoff_delay(self.inner.backoff_base, slot as u64, strikes)
     }
 
     /// Breaker cool-down before the `trips`-th open slot half-opens:

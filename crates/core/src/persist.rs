@@ -62,6 +62,7 @@
 
 use glade_grammar::CharClass;
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Errors from loading a cache snapshot.
 ///
@@ -310,6 +311,40 @@ pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
 /// Returns a [`CacheError`] describing the first malformed line.
 pub fn cache_from_text(text: &str) -> Result<Vec<(Vec<u8>, bool)>, CacheError> {
     snapshot_from_text(text).map(|s| s.entries)
+}
+
+/// Durably replaces `path` with `bytes` via `tmp`: write the temporary
+/// file, `fsync` it, rename it over `path`, then `fsync` the containing
+/// directory so the rename itself survives power loss. Without the first
+/// sync an atomic rename can still publish a *truncated* snapshot (the
+/// rename's metadata can reach disk before the tmp file's data); without
+/// the second the rename may simply vanish on crash, which is safe but
+/// loses the save. Used by every cache/journal save path that must never
+/// leave a torn file behind.
+pub(crate) fn write_durable(path: &Path, tmp: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let result = (|| {
+        let mut file = std::fs::File::create(tmp)?;
+        std::io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+        std::fs::rename(tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(tmp);
+        return result;
+    }
+    fsync_dir_of(path)
+}
+
+/// Fsyncs the directory containing `path` (best effort on platforms or
+/// filesystems where directories cannot be opened for sync).
+pub(crate) fn fsync_dir_of(path: &Path) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    match std::fs::File::open(dir) {
+        Ok(handle) => handle.sync_all(),
+        // A directory that cannot be opened (exotic fs) degrades to the
+        // pre-durability behavior rather than failing the save.
+        Err(_) => Ok(()),
+    }
 }
 
 /// Decodes one hex field, byte-wise (not via `str` slicing, which would

@@ -1,23 +1,25 @@
-//! A blocking `glade-serve v1` client.
+//! A blocking `glade-serve v2` client.
 //!
-//! [`ServeClient`] drives one campaign over a unix socket: connect, open,
-//! then any number of [`synthesize`](ServeClient::synthesize) calls, each
-//! streaming live [`SynthEvent`](crate::SynthEvent)s into a callback and
-//! returning the final grammar text plus run statistics. A
-//! [`CancelHandle`] (a second handle on the same socket) can cancel the
-//! campaign from another thread while `synthesize` is blocked reading the
-//! event stream.
+//! [`ServeClient`] drives one campaign over a unix socket: connect, open
+//! (or [`resume`](ServeClient::resume) a journaled campaign after a
+//! server restart), then any number of
+//! [`synthesize`](ServeClient::synthesize) calls, each streaming live
+//! [`SynthEvent`](crate::SynthEvent)s into a callback and returning the
+//! final grammar text plus run statistics. A [`CancelHandle`] (a second
+//! handle on the same socket) can cancel the campaign from another thread
+//! while `synthesize` is blocked reading the event stream.
 
 use super::protocol::{
-    decode_open_ack, decode_result, encode_frame, encode_seeds_body, read_frame, OpenRequest,
-    ProtocolError, SERVE_PROTOCOL, TAG_CANCEL, TAG_CLOSE, TAG_ERROR, TAG_EVENT, TAG_HELLO,
-    TAG_HELLO_ACK, TAG_OPEN, TAG_OPEN_ACK, TAG_RESULT, TAG_SEEDS,
+    decode_open_ack, decode_result, encode_frame, encode_resume, encode_seeds_body, read_frame,
+    OpenRequest, ProtocolError, SERVE_PROTOCOL, TAG_CANCEL, TAG_CLOSE, TAG_ERROR, TAG_EVENT,
+    TAG_HELLO, TAG_HELLO_ACK, TAG_OPEN, TAG_OPEN_ACK, TAG_RESULT, TAG_RESUME, TAG_SEEDS,
 };
 use crate::events::SynthEvent;
 use crate::synth::SynthesisStats;
 use std::io::Write;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 /// The outcome of one server-side synthesis run.
 #[derive(Debug, Clone)]
@@ -52,7 +54,7 @@ impl CancelHandle {
     }
 }
 
-/// A connected `glade-serve v1` client driving one campaign.
+/// A connected `glade-serve v2` client driving one campaign.
 #[derive(Debug)]
 pub struct ServeClient {
     stream: UnixStream,
@@ -75,6 +77,102 @@ impl ServeClient {
                     .into())
             }
         }
+    }
+
+    /// Connects like [`connect`](ServeClient::connect), retrying while the
+    /// socket does not exist or refuses connections (a restarting server).
+    ///
+    /// Up to `retries` re-attempts after the first failure, spaced by the
+    /// engine's standard backoff curve seeded from `backoff_base`
+    /// (deterministic exponential growth with bounded jitter — the same
+    /// schedule the pooled oracle uses for worker respawns). Other errors
+    /// (including a protocol mismatch) fail immediately; exhaustion
+    /// returns the last connect error annotated with the attempt count.
+    pub fn connect_with_retry(
+        socket: impl AsRef<Path>,
+        retries: u32,
+        backoff_base: Duration,
+    ) -> std::io::Result<Self> {
+        let socket = socket.as_ref();
+        // Stable per-path salt so concurrent clients de-synchronize.
+        let salt =
+            socket.as_os_str().as_encoded_bytes().iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+            });
+        let mut attempt: u32 = 0;
+        loop {
+            match Self::connect(socket) {
+                Ok(client) => return Ok(client),
+                Err(e)
+                    if attempt < retries
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::NotFound | std::io::ErrorKind::ConnectionRefused
+                        ) =>
+                {
+                    attempt += 1;
+                    // strikes starts at 2 so the very first retry already
+                    // waits one base period.
+                    if let Some(delay) =
+                        crate::oracle::retry_backoff_delay(backoff_base, salt, attempt + 1)
+                    {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Err(e) if attempt > 0 => {
+                    return Err(std::io::Error::new(
+                        e.kind(),
+                        format!("{e} (after {} connect attempts)", attempt + 1),
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Resumes a journaled campaign interrupted by a server crash or
+    /// restart (`glade-serve v2`); returns the campaign id and oracle
+    /// fingerprint, exactly like [`open`](ServeClient::open).
+    ///
+    /// The server replays the campaign's journaled seed batches over its
+    /// warm persistent cache; call
+    /// [`synthesize`](ServeClient::synthesize)`(&[], ..)` (an empty
+    /// batch... or any new batch) afterwards, or read the replay's result
+    /// first via [`resume_result`](ServeClient::resume_result).
+    pub fn resume(&mut self, campaign: u32) -> std::io::Result<(u32, String)> {
+        if self.campaign.is_some() {
+            return Err(std::io::Error::other("campaign already open"));
+        }
+        let mut frame = Vec::new();
+        encode_frame(TAG_RESUME, &encode_resume(campaign), &mut frame);
+        self.stream.write_all(&frame)?;
+        let (tag, body) = read_frame(&mut self.stream).map_err(std::io::Error::from)?;
+        match tag {
+            TAG_OPEN_ACK => {
+                let (id, fingerprint) = decode_open_ack(&body).map_err(std::io::Error::from)?;
+                self.campaign = Some((id, fingerprint.clone()));
+                Ok((id, fingerprint))
+            }
+            TAG_ERROR => Err(server_error(&body)),
+            _ => {
+                Err(ProtocolError::Malformed(format!("unexpected frame {tag:#04x} to RESUME"))
+                    .into())
+            }
+        }
+    }
+
+    /// Reads the replay outcome a [`resume`](ServeClient::resume) leaves
+    /// in flight: blocks until the server's replay `RESULT`, feeding
+    /// streamed events to `on_event`. The grammar is byte-identical to an
+    /// uninterrupted run over the campaign's journaled seed batches.
+    pub fn resume_result(
+        &mut self,
+        on_event: impl FnMut(SynthEvent),
+    ) -> std::io::Result<RunOutcome> {
+        if self.campaign.is_none() {
+            return Err(std::io::Error::other("no campaign open"));
+        }
+        self.read_run_outcome(on_event)
     }
 
     /// Opens the connection's campaign; returns the campaign id and the
@@ -121,7 +219,7 @@ impl ServeClient {
     pub fn synthesize(
         &mut self,
         seeds: &[Vec<u8>],
-        mut on_event: impl FnMut(SynthEvent),
+        on_event: impl FnMut(SynthEvent),
     ) -> std::io::Result<RunOutcome> {
         if self.campaign.is_none() {
             return Err(std::io::Error::other("no campaign open"));
@@ -130,6 +228,14 @@ impl ServeClient {
         let mut frame = Vec::new();
         encode_frame(TAG_SEEDS, &body, &mut frame);
         self.stream.write_all(&frame)?;
+        self.read_run_outcome(on_event)
+    }
+
+    /// Reads event frames until the in-flight run's `RESULT` (or `ERROR`).
+    fn read_run_outcome(
+        &mut self,
+        mut on_event: impl FnMut(SynthEvent),
+    ) -> std::io::Result<RunOutcome> {
         loop {
             let (tag, payload) = read_frame(&mut self.stream).map_err(std::io::Error::from)?;
             match tag {

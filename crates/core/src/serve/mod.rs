@@ -22,7 +22,7 @@
 //! [`PooledProcessOracle`](crate::PooledProcessOracle) worker pool) through
 //! the **fair scheduler** below.
 //!
-//! # Wire format (`glade-serve v1`)
+//! # Wire format (`glade-serve v2`)
 //!
 //! Every frame, both directions, is a `u32` little-endian payload length
 //! followed by the payload; the payload's first byte is the frame tag and
@@ -31,32 +31,100 @@
 //!
 //! | tag | name | body |
 //! |---|---|---|
-//! | `0x01` | `HELLO` | the literal bytes `glade-serve v1` |
+//! | `0x01` | `HELLO` | the literal bytes `glade-serve v2` (or `glade-serve v1`; see versioning below) |
 //! | `0x02` | `OPEN` | UTF-8 option lines, see below |
 //! | `0x03` | `SEEDS` | `u32` LE seed count, then per seed a `u32` LE length and the seed bytes (the [`wire`](crate::wire) batch body; a zero count is a legal empty re-synthesis batch) |
 //! | `0x04` | `CANCEL` | empty |
 //! | `0x05` | `CLOSE` | empty |
+//! | `0x06` | `RESUME` | `u32` LE campaign id of an interrupted campaign (v2) |
 //!
 //! Server tags:
 //!
 //! | tag | name | body |
 //! |---|---|---|
-//! | `0x81` | `HELLO_ACK` | the literal bytes `glade-serve v1` |
+//! | `0x81` | `HELLO_ACK` | echo of the client's `HELLO` banner |
 //! | `0x82` | `OPEN_ACK` | `u32` LE campaign id, then the oracle fingerprint (UTF-8) |
 //! | `0x83` | `EVENT` | one [`SynthEvent`](crate::SynthEvent) wire line (UTF-8, no newline) |
 //! | `0x84` | `RESULT` | `u32` LE stats length, then the stats text, then the grammar text (UTF-8) |
 //! | `0x85` | `ERROR` | UTF-8 message |
 //!
-//! A session is: `HELLO`/`HELLO_ACK`, one `OPEN`/`OPEN_ACK`, then any
-//! number of `SEEDS` requests, each answered by zero or more `EVENT`
-//! frames followed by exactly one `RESULT` (or one `ERROR` for a rejected
-//! request, e.g. a seed the oracle rejects — the campaign stays usable).
-//! `OPEN` bodies are newline-separated `key value` lines: `oracle <spec>`
-//! (required; the spec's meaning is up to the server's [`OracleFactory`]),
-//! and optional `max-queries <n>`, `memo off`, `events off`, `cache on`.
-//! Unknown option lines and unknown event tags are skipped, and unknown
-//! *frame* tags are answered with `ERROR` — a v1 peer never wedges on a
-//! newer peer's traffic.
+//! A session is: `HELLO`/`HELLO_ACK`, one `OPEN`/`OPEN_ACK` (or one
+//! `RESUME`/`OPEN_ACK`), then any number of `SEEDS` requests, each
+//! answered by zero or more `EVENT` frames followed by exactly one
+//! `RESULT` (or one `ERROR` for a rejected request, e.g. a seed the oracle
+//! rejects — the campaign stays usable). `OPEN` bodies are
+//! newline-separated `key value` lines: `oracle <spec>` (required; the
+//! spec's meaning is up to the server's [`OracleFactory`]), and optional
+//! `max-queries <n>`, `memo off`, `events off`, `cache on`. Unknown
+//! option lines and unknown event tags are skipped, and unknown *frame*
+//! tags are answered with `ERROR` — a peer never wedges on a newer peer's
+//! traffic.
+//!
+//! **Versioning.** v2 adds only the `RESUME` frame; every v1 frame is
+//! unchanged. The server accepts either banner and echoes back the one
+//! the client sent, so v1 clients interoperate untouched (a v1 client
+//! that somehow sent `0x06` would get the ordinary unknown-tag `ERROR`
+//! from a v1 server, and a real `RESUME` reply from this one).
+//!
+//! # Campaign journal and restart resume
+//!
+//! When [`ServeConfig::cache_dir`] is set the server keeps an append-only
+//! **campaign journal** (`serve.journal` in the cache dir, format
+//! `glade-journal v1`) recording, per campaign: the `OPEN` request (`o`
+//! record, written before the campaign thread exists), every accepted
+//! seed batch (`s` record, written at `SEEDS` *receipt*, before the batch
+//! runs), each completed batch (`c` checkpoint record with the
+//! unique-query count, written by the campaign thread after the cache
+//! snapshot is durably saved), and clean closure (`x` record). Every
+//! append is a single `write(2)` followed by `fdatasync`; a torn trailing
+//! record (crash mid-append) is ignored on replay, and a malformed record
+//! stops the parse keeping the valid prefix — journal recovery never
+//! fails startup. An `n` record persists the campaign-id high-water mark
+//! so ids are never reused across restarts, and startup compacts the
+//! journal (rewrites live state durably) so it does not grow without
+//! bound.
+//!
+//! On startup the server replays the journal: campaigns with an `o` but
+//! no `x` become **resumable**. A v2 client claims one with
+//! `RESUME <id>`; the server re-resolves the oracle, replays the
+//! journaled seed batches in order through
+//! [`Session::add_seeds`](crate::Session::add_seeds) over the warm
+//! per-fingerprint persistent cache, and answers with the final `RESULT`.
+//! Because batch construction is cache-state-driven, the resumed grammar
+//! is **byte-identical** to an uninterrupted run, and every check already
+//! answered before the crash is a cache hit — a fully-checkpointed
+//! campaign re-pays zero unique oracle queries. A claim removes the
+//! campaign from the resumable set (a second `RESUME` gets an `ERROR`);
+//! if the oracle fails to resolve, the claim is returned.
+//!
+//! # Graceful drain
+//!
+//! The accept loop runs a three-state machine: **serving** → **draining**
+//! → **stopped**. Cancelling the drain token ([`ServerHandle::drain`], or
+//! the first `SIGTERM`/`SIGINT` in the CLI via [`install_drain_signals`])
+//! moves serving → draining: the listener stops accepting, new
+//! `OPEN`/`RESUME` frames get `ERROR "server is draining"`, and running
+//! campaigns continue. The loop exits when every connection is idle
+//! (nothing buffered, nothing pending) or after
+//! [`ServeConfig::drain_timeout`]; campaigns still running at the
+//! deadline are preempted along the engine's fail-closed
+//! [`CancelToken`](crate::CancelToken) path (their journal entries stay
+//! open, so they are resumable after restart). Cancelling the shutdown
+//! token (second signal in the CLI) hard-stops from either state. On the
+//! way out the server cancels and joins every campaign thread and unlinks
+//! its socket file.
+//!
+//! # Slow readers and backpressure
+//!
+//! Events for each connection pass through a bounded queue
+//! ([`ServeConfig::max_event_buffer`]) before serialization, and move into
+//! the socket buffer only while the reader keeps up. Consecutive
+//! query-tally events coalesce (newest wins — they are cumulative);
+//! lifecycle events are never coalesced. A reader stuck past the bound is
+//! *demoted* to result-only: queued events drop, the campaign thread is
+//! never blocked, and an `events-dropped <n>` event is delivered before
+//! the next `RESULT` so the client knows its stream has a gap. `RESULT`
+//! and `ERROR` frames are never dropped.
 //!
 //! # Scheduling and fairness
 //!
@@ -93,14 +161,39 @@
 //! [`ServeConfig::cache_dir`] is set and the client opts in (`cache on`):
 //! snapshots are namespaced by oracle fingerprint (hashed into the file
 //! name, and validated again on load by the snapshot header), so a cache
-//! can never replay verdicts from a different oracle.
+//! can never replay verdicts from a different oracle. Snapshot saves are
+//! crash-safe: bytes are written to a temp file, fsync'd, renamed over
+//! the live snapshot, and the directory entry fsync'd.
+//!
+//! # Ops runbook
+//!
+//! * **Start:** `glade serve --socket PATH --cache-dir DIR`. The cache
+//!   dir holds per-fingerprint cache snapshots (`<hash>.glade-cache`) and
+//!   the campaign journal (`serve.journal`). Without `--cache-dir` there
+//!   is no journal and nothing is resumable.
+//! * **Stop (graceful):** send one `SIGTERM` (or `SIGINT`/ctrl-C). The
+//!   server drains: running campaigns finish or checkpoint within
+//!   `--drain-timeout` (default 10s), caches save, the socket unlinks.
+//! * **Stop (hard):** send a second signal. In-flight campaigns are
+//!   preempted fail-closed; their journal entries stay open.
+//! * **Crash recovery:** restart with the same `--cache-dir`. The log
+//!   line `N resumable campaign(s)` lists interrupted ids; clients
+//!   re-attach with `glade client --resume <id>` and receive the same
+//!   grammar bytes the uninterrupted run would have produced, re-paying
+//!   ~zero unique oracle queries.
+//! * **Stuck clients** cannot wedge the server: slow readers are demoted
+//!   to result-only, and a disconnected client's campaign is preempted
+//!   (and resumable after restart, if journaled).
 
 mod client;
+mod journal;
 mod protocol;
 mod scheduler;
 mod server;
 
 pub use client::{CancelHandle, RunOutcome, ServeClient};
-pub use protocol::{OpenRequest, ProtocolError, SERVE_PROTOCOL};
+pub use protocol::{OpenRequest, ProtocolError, SERVE_PROTOCOL, SERVE_PROTOCOL_V1};
 pub use scheduler::{FairScheduler, ScheduledOracle, TurnGuard};
-pub use server::{OracleFactory, ServeConfig, Server, ServerHandle};
+pub use server::{
+    drain_signal_count, install_drain_signals, OracleFactory, ServeConfig, Server, ServerHandle,
+};

@@ -1,4 +1,4 @@
-//! Frame codec and option/stats text formats for `glade-serve v1`.
+//! Frame codec and option/stats text formats for `glade-serve v2`.
 //!
 //! See the [module docs](super) for the wire-format table. Everything here
 //! is pure encode/decode — no sockets — so both sides of the protocol and
@@ -9,8 +9,15 @@ use crate::wire::{decode_batch_frame_after_count, encode_batch_frame, FrameError
 use std::io::Read;
 use std::time::Duration;
 
-/// The protocol banner exchanged in `HELLO`/`HELLO_ACK`.
-pub const SERVE_PROTOCOL: &[u8] = b"glade-serve v1";
+/// The current protocol banner exchanged in `HELLO`/`HELLO_ACK`.
+/// Version 2 adds the `RESUME` frame; everything a v1 peer sends means
+/// the same thing in v2.
+pub const SERVE_PROTOCOL: &[u8] = b"glade-serve v2";
+
+/// The version-1 banner. The server still accepts it (`HELLO_ACK` echoes
+/// the banner the client sent), so v1 clients keep working unchanged; a
+/// v1 session simply has no `RESUME`.
+pub const SERVE_PROTOCOL_V1: &[u8] = b"glade-serve v1";
 
 /// Largest payload (tag byte + body) a peer will accept. Matches the
 /// batched worker protocol's frame cap: the bound exists to fail fast on a
@@ -23,6 +30,7 @@ pub(crate) const TAG_OPEN: u8 = 0x02;
 pub(crate) const TAG_SEEDS: u8 = 0x03;
 pub(crate) const TAG_CANCEL: u8 = 0x04;
 pub(crate) const TAG_CLOSE: u8 = 0x05;
+pub(crate) const TAG_RESUME: u8 = 0x06; // v2
 
 // Server → client frame tags.
 pub(crate) const TAG_HELLO_ACK: u8 = 0x81;
@@ -31,7 +39,7 @@ pub(crate) const TAG_EVENT: u8 = 0x83;
 pub(crate) const TAG_RESULT: u8 = 0x84;
 pub(crate) const TAG_ERROR: u8 = 0x85;
 
-/// A `glade-serve v1` peer sent something unintelligible.
+/// A `glade-serve` peer sent something unintelligible.
 #[derive(Debug)]
 pub enum ProtocolError {
     /// The underlying stream failed.
@@ -258,6 +266,19 @@ pub(crate) fn decode_seeds_body(body: &[u8]) -> Result<Vec<Vec<u8>>, ProtocolErr
     Ok(seeds)
 }
 
+/// Encodes a `RESUME` body: the journaled campaign id to re-attach.
+pub(crate) fn encode_resume(campaign: u32) -> Vec<u8> {
+    campaign.to_le_bytes().to_vec()
+}
+
+/// Decodes a `RESUME` body.
+pub(crate) fn decode_resume(body: &[u8]) -> Result<u32, ProtocolError> {
+    let bytes: [u8; 4] = body
+        .try_into()
+        .map_err(|_| ProtocolError::Malformed("RESUME body must be a u32 campaign id".into()))?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
 /// Encodes an `OPEN_ACK` body: campaign id then fingerprint.
 pub(crate) fn encode_open_ack(campaign: u32, fingerprint: &str) -> Vec<u8> {
     let mut body = campaign.to_le_bytes().to_vec();
@@ -462,6 +483,20 @@ mod tests {
         let empty = encode_seeds_body(&[]).expect("encodes");
         assert_eq!(decode_seeds_body(&empty).expect("decodes"), Vec::<Vec<u8>>::new());
         assert!(decode_seeds_body(b"\x01\x00").is_err(), "truncated body rejected");
+    }
+
+    #[test]
+    fn resume_body_round_trips() {
+        assert_eq!(decode_resume(&encode_resume(0)).expect("decodes"), 0);
+        assert_eq!(decode_resume(&encode_resume(u32::MAX)).expect("decodes"), u32::MAX);
+        assert!(decode_resume(b"abc").is_err(), "short body rejected");
+        assert!(decode_resume(b"abcde").is_err(), "long body rejected");
+    }
+
+    #[test]
+    fn banners_are_distinct_and_versioned() {
+        assert_eq!(SERVE_PROTOCOL, b"glade-serve v2");
+        assert_eq!(SERVE_PROTOCOL_V1, b"glade-serve v1");
     }
 
     #[test]

@@ -7,24 +7,26 @@
 //! dispatcher). Campaigns run on their own threads and communicate with
 //! the loop through channels plus a wake pipe.
 
+use super::journal::{Journal, JournaledCampaign};
 use super::protocol::{
-    decode_seeds_body, drain_frames, encode_frame, encode_open_ack, encode_result, OpenRequest,
-    SERVE_PROTOCOL, TAG_CANCEL, TAG_CLOSE, TAG_ERROR, TAG_EVENT, TAG_HELLO, TAG_HELLO_ACK,
-    TAG_OPEN, TAG_OPEN_ACK, TAG_RESULT, TAG_SEEDS,
+    decode_resume, decode_seeds_body, drain_frames, encode_frame, encode_open_ack, encode_result,
+    OpenRequest, SERVE_PROTOCOL, SERVE_PROTOCOL_V1, TAG_CANCEL, TAG_CLOSE, TAG_ERROR, TAG_EVENT,
+    TAG_HELLO, TAG_HELLO_ACK, TAG_OPEN, TAG_OPEN_ACK, TAG_RESULT, TAG_RESUME, TAG_SEEDS,
 };
 use super::scheduler::{FairScheduler, ScheduledOracle};
 use crate::events::{CancelToken, SynthEvent, SynthesisObserver};
 use crate::oracle::{sys, Oracle};
 use crate::session::{GladeBuilder, Session};
 use crate::synth::SynthesisStats;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Creates the oracle behind a campaign's `oracle <spec>` line.
 ///
@@ -54,6 +56,20 @@ where
     }
 }
 
+/// How long a draining server waits for running campaigns before giving
+/// up and cancelling them (overridable via [`ServeConfig::drain_timeout`]).
+pub(crate) const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default bound on a connection's queued outbound events (overridable
+/// via [`ServeConfig::max_event_buffer`]).
+pub(crate) const DEFAULT_MAX_EVENT_BUFFER: usize = 4096;
+
+/// Soft cap on a connection's serialized output buffer: queued events move
+/// from the bounded event queue into the byte buffer only while it is
+/// below this, so a stalled reader backs events up into the (bounded,
+/// coalescing) queue instead of an unbounded byte buffer.
+const OUTBUF_SOFT_CAP: usize = 1 << 16;
+
 /// Server-wide policy knobs.
 #[derive(Debug, Clone, Default)]
 pub struct ServeConfig {
@@ -62,19 +78,97 @@ pub struct ServeConfig {
     /// policy, see [`ScheduledOracle`]).
     pub oracle_timeout: Option<Duration>,
     /// Directory for per-campaign persistent query caches, namespaced by
-    /// oracle fingerprint. `None` disables persistence even for campaigns
-    /// that request `cache on`.
+    /// oracle fingerprint, and for the campaign journal that makes open
+    /// campaigns survive a restart. `None` disables persistence (and
+    /// journaling) even for campaigns that request `cache on`.
     pub cache_dir: Option<PathBuf>,
     /// Default per-run distinct-query budget for campaigns that do not set
     /// `max-queries` themselves.
     pub default_max_queries: Option<usize>,
+    /// How long a drain (first SIGTERM/SIGINT, or
+    /// [`ServerHandle::drain`]) waits for running campaigns to finish and
+    /// checkpoint before cancelling them. `None` means
+    /// 10 seconds.
+    pub drain_timeout: Option<Duration>,
+    /// Bound on a connection's queued outbound events. A reader that falls
+    /// further behind than this is demoted to result-only delivery (see
+    /// the [module docs](super) on backpressure). `None` means 4096;
+    /// `Some(0)` demotes every connection immediately (result-only
+    /// service).
+    pub max_event_buffer: Option<usize>,
 }
 
 /// What a campaign thread sends back to the accept loop.
 enum Outbound {
-    Event(String),
+    Event { line: String, tally: bool },
     Result { stats: SynthesisStats, grammar: String },
     Error(String),
+}
+
+/// Bounded, coalescing queue of outbound event lines for one connection.
+///
+/// Query-tally events (see [`SynthEvent::is_query_tally`]) collapse — a
+/// newly arriving tally replaces a queued one, because only the latest
+/// sample matters to a live progress reader — while lifecycle events are
+/// never coalesced. If the queue still overflows `cap`, the connection is
+/// *demoted*: everything queued is discarded, future events are dropped on
+/// arrival, and the reader only receives `RESULT`/`ERROR` frames plus one
+/// [`SynthEvent::EventsDropped`] notice before each result. Demotion is
+/// sticky for the connection — a reader that stalled once has proven it
+/// cannot keep up, and flapping between live and demoted would make the
+/// stream's gaps unpredictable.
+struct EventQueue {
+    queue: VecDeque<String>,
+    /// Whether the newest queued line is a coalescible tally.
+    back_is_tally: bool,
+    cap: usize,
+    demoted: bool,
+    dropped: usize,
+}
+
+impl EventQueue {
+    fn new(cap: usize) -> Self {
+        EventQueue { queue: VecDeque::new(), back_is_tally: false, cap, demoted: false, dropped: 0 }
+    }
+
+    fn push(&mut self, line: String, tally: bool) {
+        if self.demoted {
+            self.dropped += 1;
+            return;
+        }
+        if tally && self.back_is_tally {
+            if let Some(back) = self.queue.back_mut() {
+                *back = line;
+                return;
+            }
+        }
+        if self.queue.len() >= self.cap {
+            self.dropped += self.queue.len() + 1;
+            self.queue.clear();
+            self.back_is_tally = false;
+            self.demoted = true;
+            return;
+        }
+        self.queue.push_back(line);
+        self.back_is_tally = tally;
+    }
+
+    fn pop(&mut self) -> Option<String> {
+        let line = self.queue.pop_front();
+        if self.queue.is_empty() {
+            self.back_is_tally = false;
+        }
+        line
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Takes (and resets) the count of events lost to demotion.
+    fn take_dropped(&mut self) -> usize {
+        std::mem::take(&mut self.dropped)
+    }
 }
 
 /// Wakes the accept loop out of its poll sleep. Writes never block (the
@@ -99,7 +193,9 @@ struct StreamObserver {
 
 impl SynthesisObserver for StreamObserver {
     fn on_event(&self, event: &SynthEvent) {
-        let _ = self.out.send((self.conn, Outbound::Event(event.to_wire_line())));
+        let outbound =
+            Outbound::Event { line: event.to_wire_line(), tally: event.is_query_tally() };
+        let _ = self.out.send((self.conn, outbound));
         self.wake.wake();
     }
 }
@@ -108,6 +204,10 @@ impl SynthesisObserver for StreamObserver {
 struct CampaignSeat {
     cmd_tx: mpsc::Sender<Vec<Vec<u8>>>,
     cancel: CancelToken,
+    /// The campaign's stable (journal-visible) id.
+    id: u32,
+    /// Index the next journaled seed batch gets (counts replayed batches).
+    next_batch: usize,
     /// Seed batches forwarded minus results/errors delivered.
     pending: usize,
 }
@@ -117,6 +217,8 @@ struct Conn {
     stream: UnixStream,
     inbuf: Vec<u8>,
     outbuf: Vec<u8>,
+    /// Bounded, coalescing buffer between campaign events and `outbuf`.
+    events: EventQueue,
     greeted: bool,
     /// `CLOSE` received: stop reading, finish pending runs, flush, drop.
     closing: bool,
@@ -126,11 +228,12 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: UnixStream) -> Self {
+    fn new(stream: UnixStream, max_event_buffer: usize) -> Self {
         Conn {
             stream,
             inbuf: Vec::new(),
             outbuf: Vec::new(),
+            events: EventQueue::new(max_event_buffer),
             greeted: false,
             closing: false,
             dead: false,
@@ -140,6 +243,38 @@ impl Conn {
 
     fn queue(&mut self, tag: u8, body: &[u8]) {
         encode_frame(tag, body, &mut self.outbuf);
+    }
+
+    /// Moves queued events into `outbuf` while it stays below the soft
+    /// cap, so a healthy reader streams live while a stalled one backs
+    /// events up into the bounded queue.
+    fn pump_events(&mut self) {
+        while self.outbuf.len() < OUTBUF_SOFT_CAP {
+            let Some(line) = self.events.pop() else { break };
+            self.queue(TAG_EVENT, line.as_bytes());
+        }
+    }
+
+    /// Flushes *all* queued events ahead of a `RESULT`/`ERROR` frame (the
+    /// queue is bounded, so this cannot balloon `outbuf`), and reports a
+    /// demoted connection's losses with one `events-dropped` notice.
+    fn drain_events_before_result(&mut self) {
+        while let Some(line) = self.events.pop() {
+            self.queue(TAG_EVENT, line.as_bytes());
+        }
+        let dropped = self.events.take_dropped();
+        if dropped > 0 {
+            let notice = SynthEvent::EventsDropped { dropped };
+            self.queue(TAG_EVENT, notice.to_wire_line().as_bytes());
+        }
+    }
+
+    /// Whether nothing is pending on this connection (drain-mode exit
+    /// test): no running batch, nothing buffered, nothing queued.
+    fn is_idle(&self) -> bool {
+        self.outbuf.is_empty()
+            && self.events.is_empty()
+            && self.campaign.as_ref().is_none_or(|seat| seat.pending == 0)
     }
 
     fn fail(&mut self, message: &str) {
@@ -184,6 +319,7 @@ impl Conn {
 struct CampaignCtx {
     conn: u64,
     tenant: u64,
+    campaign_id: u32,
     oracle: Arc<dyn Oracle>,
     fingerprint: String,
     sched: Arc<FairScheduler>,
@@ -193,19 +329,50 @@ struct CampaignCtx {
     cancel: CancelToken,
     out: mpsc::Sender<(u64, Outbound)>,
     wake: WakeHandle,
+    journal: Option<Arc<Mutex<Journal>>>,
+    /// Whether this campaign re-attaches a journaled campaign (`RESUME`)
+    /// rather than opening a fresh one.
+    is_resume: bool,
+    /// Journaled seed batches to re-run before serving new ones (restart
+    /// resume); empty for fresh campaigns.
+    replay: Vec<Vec<Vec<u8>>>,
+    /// The cumulative unique-query count the journal's last checkpoint
+    /// recorded, when the checkpoint covered every journaled batch — used
+    /// purely as a post-replay consistency check.
+    replay_expect_unique: Option<usize>,
 }
 
-fn save_cache_atomic(session: &Session<'_>, path: &Path, tenant: u64) {
+fn save_cache_atomic(session: &Session<'_>, path: &Path, campaign: u32) {
     let text = session.export_cache();
-    let tmp = path.with_extension(format!("tmp{tenant}"));
-    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_err() {
-        let _ = std::fs::remove_file(&tmp);
+    let tmp = path.with_extension(format!("tmp{campaign}"));
+    if let Err(e) = crate::persist::write_durable(path, &tmp, text.as_bytes()) {
+        eprintln!("glade serve: campaign {campaign}: cache save failed: {e}");
+    }
+}
+
+/// Appends one journal record, downgrading failures to a warning: a
+/// campaign must keep serving even when its crash insurance lapses.
+fn journal_append(
+    journal: &Option<Arc<Mutex<Journal>>>,
+    campaign: u32,
+    append: impl FnOnce(&mut Journal) -> std::io::Result<()>,
+) {
+    let Some(journal) = journal else { return };
+    let mut journal = journal.lock().expect("campaign journal poisoned");
+    if let Err(e) = append(&mut journal) {
+        eprintln!(
+            "glade serve: campaign {campaign}: journal append failed ({}): {e}",
+            journal.path().display()
+        );
     }
 }
 
 /// Body of one campaign thread: a private [`Session`] over the shared
 /// oracle (through the fair scheduler), fed seed batches until the accept
-/// loop drops the channel.
+/// loop drops the channel. A resumed campaign first re-runs its journaled
+/// batches (over the warm persistent cache, so completed work re-pays no
+/// oracle queries) and answers with a single `RESULT` for the replayed
+/// state.
 fn run_campaign(ctx: CampaignCtx, seeds_rx: mpsc::Receiver<Vec<Vec<u8>>>) {
     let oracle = ScheduledOracle::new(ctx.oracle, ctx.sched, ctx.tenant);
     let mut builder = GladeBuilder::new()
@@ -231,19 +398,76 @@ fn run_campaign(ctx: CampaignCtx, seeds_rx: mpsc::Receiver<Vec<Vec<u8>>>) {
             let _ = session.load_cache(path);
         }
     }
-    while let Ok(seeds) = seeds_rx.recv() {
-        let outcome = match session.add_seeds(&seeds) {
+
+    // One completed batch = one add_seeds call = one journal index; the
+    // counter spans replayed and fresh batches so checkpoint records line
+    // up with the `s` records the accept loop wrote at receipt.
+    let mut batch_index = 0usize;
+    let mut run_batch = |session: &mut Session<'_>, seeds: &[Vec<u8>]| {
+        let outcome = match session.add_seeds(seeds) {
             Ok(result) => {
                 if let Some(path) = &ctx.cache_path {
-                    save_cache_atomic(&session, path, ctx.tenant);
+                    save_cache_atomic(session, path, ctx.campaign_id);
                 }
+                journal_append(&ctx.journal, ctx.campaign_id, |j| {
+                    j.append_checkpoint(ctx.campaign_id, batch_index, result.stats.unique_queries)
+                });
                 Outbound::Result {
                     stats: result.stats,
                     grammar: glade_grammar::grammar_to_text(&result.grammar),
                 }
             }
+            // A rejected batch (e.g. a seed the oracle refuses) leaves the
+            // session state untouched; on replay it re-rejects identically.
             Err(e) => Outbound::Error(e.to_string()),
         };
+        batch_index += 1;
+        outcome
+    };
+
+    if ctx.is_resume {
+        // Restart resume: replay every journaled batch in order, then
+        // answer with exactly one frame describing the replayed state —
+        // the latest successful result, or the first error if nothing
+        // succeeded.
+        let mut last: Option<Outbound> = None;
+        let mut last_unique: Option<usize> = None;
+        for seeds in &ctx.replay {
+            match run_batch(&mut session, seeds) {
+                result @ Outbound::Result { .. } => {
+                    if let Outbound::Result { stats, .. } = &result {
+                        last_unique = Some(stats.unique_queries);
+                    }
+                    last = Some(result);
+                }
+                error => {
+                    if last.is_none() {
+                        last = Some(error);
+                    }
+                }
+            }
+        }
+        if let (Some(expect), Some(got)) = (ctx.replay_expect_unique, last_unique) {
+            if expect != got {
+                eprintln!(
+                    "glade serve: campaign {}: replay disagreed with the journal checkpoint \
+                     ({got} unique queries, checkpoint said {expect}) — the oracle or cache \
+                     may have changed since the campaign was journaled",
+                    ctx.campaign_id
+                );
+            }
+        }
+        let outcome = last.unwrap_or_else(|| {
+            Outbound::Error("campaign has no journaled seed batches to replay".into())
+        });
+        if ctx.out.send((ctx.conn, outcome)).is_err() {
+            return;
+        }
+        ctx.wake.wake();
+    }
+
+    while let Ok(seeds) = seeds_rx.recv() {
+        let outcome = run_batch(&mut session, &seeds);
         if ctx.out.send((ctx.conn, outcome)).is_err() {
             break;
         }
@@ -275,17 +499,52 @@ pub struct Server {
     config: ServeConfig,
     sched: Arc<FairScheduler>,
     registry: Mutex<HashMap<String, OracleEntry>>,
+    /// The campaign journal (present when `cache_dir` is set and usable).
+    journal: Option<Arc<Mutex<Journal>>>,
+    /// Journaled campaigns awaiting a `RESUME` claim, loaded at startup.
+    resumable: Mutex<HashMap<u32, JournaledCampaign>>,
+    /// Next fresh campaign id; starts past everything the journal has
+    /// ever recorded so ids stay stable across restarts.
+    next_campaign: AtomicU32,
 }
 
 impl Server {
-    /// Creates a server (no socket yet).
+    /// Creates a server (no socket yet). When
+    /// [`cache_dir`](ServeConfig::cache_dir) is set, the campaign journal
+    /// in that directory is replayed: campaigns that were open when the
+    /// previous server died become claimable via `RESUME`. A journal that
+    /// cannot be opened disables journaling (with a warning) rather than
+    /// failing the server.
     pub fn new(factory: Arc<dyn OracleFactory>, config: ServeConfig) -> Self {
+        let (journal, resumable, max_seen_id) = match &config.cache_dir {
+            Some(dir) => match Journal::open(dir) {
+                Ok((journal, state)) => {
+                    (Some(Arc::new(Mutex::new(journal))), state.campaigns, state.max_seen_id)
+                }
+                Err(e) => {
+                    eprintln!("glade serve: campaign journal disabled ({}): {e}", dir.display());
+                    (None, HashMap::new(), 0)
+                }
+            },
+            None => (None, HashMap::new(), 0),
+        };
         Server {
             factory,
             config,
             sched: Arc::new(FairScheduler::new()),
             registry: Mutex::new(HashMap::new()),
+            journal,
+            resumable: Mutex::new(resumable),
+            next_campaign: AtomicU32::new(max_seen_id.saturating_add(1)),
         }
+    }
+
+    /// Ids of journaled campaigns currently claimable via `RESUME`.
+    pub fn resumable_campaigns(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> =
+            self.resumable.lock().expect("resumable registry poisoned").keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Resolves `spec` to a shared oracle, creating (and deadline-
@@ -311,8 +570,59 @@ impl Server {
         Some(dir.join(format!("{:016x}.glade-cache", fnv1a64(fingerprint.as_bytes()))))
     }
 
+    /// Spawns one campaign thread (fresh `OPEN` or `RESUME` replay) and
+    /// seats it on `conn`, answering with `OPEN_ACK`.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_campaign(
+        &self,
+        conn_id: u64,
+        conn: &mut Conn,
+        campaign_id: u32,
+        req: OpenRequest,
+        oracle: Arc<dyn Oracle>,
+        fingerprint: String,
+        out_tx: &mpsc::Sender<(u64, Outbound)>,
+        wake: &WakeHandle,
+        replay: Vec<Vec<Vec<u8>>>,
+        replay_expect_unique: Option<usize>,
+        is_resume: bool,
+    ) -> JoinHandle<()> {
+        let tenant = self.sched.register();
+        let cancel = CancelToken::new();
+        let cache_path = self.cache_path_for(&fingerprint, req.cache);
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let next_batch = replay.len();
+        // A resume owes the client one RESULT (or ERROR) for the replay.
+        let pending = usize::from(is_resume);
+        let ctx = CampaignCtx {
+            conn: conn_id,
+            tenant,
+            campaign_id,
+            oracle,
+            fingerprint: fingerprint.clone(),
+            sched: Arc::clone(&self.sched),
+            req,
+            default_max_queries: self.config.default_max_queries,
+            cache_path,
+            cancel: cancel.clone(),
+            out: out_tx.clone(),
+            wake: wake.clone(),
+            journal: self.journal.clone(),
+            is_resume,
+            replay,
+            replay_expect_unique,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("glade-serve-campaign-{campaign_id}"))
+            .spawn(move || run_campaign(ctx, cmd_rx))
+            .expect("spawn campaign thread");
+        conn.campaign = Some(CampaignSeat { cmd_tx, cancel, id: campaign_id, next_batch, pending });
+        conn.queue(TAG_OPEN_ACK, &encode_open_ack(campaign_id, &fingerprint));
+        join
+    }
+
     /// Handles one parsed frame for `conn`. Returns the campaign thread's
-    /// join handle when the frame opened a campaign.
+    /// join handle when the frame opened (or resumed) a campaign.
     #[allow(clippy::too_many_arguments)]
     fn handle_frame(
         &self,
@@ -322,16 +632,19 @@ impl Server {
         body: Vec<u8>,
         out_tx: &mpsc::Sender<(u64, Outbound)>,
         wake: &WakeHandle,
+        draining: bool,
     ) -> Option<JoinHandle<()>> {
         match tag {
             TAG_HELLO => {
-                if body != SERVE_PROTOCOL {
+                if body != SERVE_PROTOCOL && body != SERVE_PROTOCOL_V1 {
                     conn.fail("unsupported protocol version");
                 } else if conn.greeted {
                     conn.fail("duplicate HELLO");
                 } else {
+                    // Echo the banner the client sent: a v1 client keeps
+                    // its v1 session, a v2 client gets v2.
                     conn.greeted = true;
-                    conn.queue(TAG_HELLO_ACK, SERVE_PROTOCOL);
+                    conn.queue(TAG_HELLO_ACK, &body);
                 }
                 None
             }
@@ -342,6 +655,10 @@ impl Server {
             TAG_OPEN => {
                 if conn.campaign.is_some() {
                     conn.fail("campaign already open on this connection");
+                    return None;
+                }
+                if draining {
+                    conn.fail("server is draining; no new campaigns");
                     return None;
                 }
                 let req = match OpenRequest::from_body(&body) {
@@ -358,31 +675,78 @@ impl Server {
                         return None;
                     }
                 };
-                let tenant = self.sched.register();
-                let campaign_id = tenant as u32;
-                let cancel = CancelToken::new();
-                let cache_path = self.cache_path_for(&fingerprint, req.cache);
-                let (cmd_tx, cmd_rx) = mpsc::channel();
-                let ctx = CampaignCtx {
-                    conn: conn_id,
-                    tenant,
-                    oracle,
-                    fingerprint: fingerprint.clone(),
-                    sched: Arc::clone(&self.sched),
+                let campaign_id = self.next_campaign.fetch_add(1, Ordering::SeqCst);
+                // Journal the open before the campaign exists, so no `s`
+                // or `c` record can ever precede its `o`.
+                journal_append(&self.journal, campaign_id, |j| j.append_open(campaign_id, &req));
+                Some(self.spawn_campaign(
+                    conn_id,
+                    conn,
+                    campaign_id,
                     req,
-                    default_max_queries: self.config.default_max_queries,
-                    cache_path,
-                    cancel: cancel.clone(),
-                    out: out_tx.clone(),
-                    wake: wake.clone(),
+                    oracle,
+                    fingerprint,
+                    out_tx,
+                    wake,
+                    Vec::new(),
+                    None,
+                    false,
+                ))
+            }
+            TAG_RESUME => {
+                if conn.campaign.is_some() {
+                    conn.fail("campaign already open on this connection");
+                    return None;
+                }
+                if draining {
+                    conn.fail("server is draining; no new campaigns");
+                    return None;
+                }
+                let id = match decode_resume(&body) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        conn.fail(&e.to_string());
+                        return None;
+                    }
                 };
-                let join = std::thread::Builder::new()
-                    .name(format!("glade-serve-campaign-{campaign_id}"))
-                    .spawn(move || run_campaign(ctx, cmd_rx))
-                    .expect("spawn campaign thread");
-                conn.campaign = Some(CampaignSeat { cmd_tx, cancel, pending: 0 });
-                conn.queue(TAG_OPEN_ACK, &encode_open_ack(campaign_id, &fingerprint));
-                Some(join)
+                let Some(entry) =
+                    self.resumable.lock().expect("resumable registry poisoned").remove(&id)
+                else {
+                    conn.fail(&format!("campaign {id} is not resumable on this server"));
+                    return None;
+                };
+                let (oracle, fingerprint) = match self.resolve_oracle(&entry.req.oracle_spec) {
+                    Ok(resolved) => resolved,
+                    Err(e) => {
+                        let spec = entry.req.oracle_spec.clone();
+                        // Put the claim back: a transient factory failure
+                        // should not burn the campaign.
+                        self.resumable
+                            .lock()
+                            .expect("resumable registry poisoned")
+                            .insert(id, entry);
+                        conn.fail(&format!("oracle {spec:?}: {e}"));
+                        return None;
+                    }
+                };
+                let expect = if entry.checkpointed == entry.batches.len() {
+                    entry.last_unique
+                } else {
+                    None
+                };
+                Some(self.spawn_campaign(
+                    conn_id,
+                    conn,
+                    id,
+                    entry.req,
+                    oracle,
+                    fingerprint,
+                    out_tx,
+                    wake,
+                    entry.batches,
+                    expect,
+                    true,
+                ))
             }
             TAG_SEEDS => {
                 let Some(seat) = conn.campaign.as_mut() else {
@@ -391,6 +755,12 @@ impl Server {
                 };
                 match decode_seeds_body(&body) {
                     Ok(seeds) => {
+                        // Journal at receipt, before the run: a crash
+                        // mid-run must not lose the batch.
+                        journal_append(&self.journal, seat.id, |j| {
+                            j.append_seeds(seat.id, seat.next_batch, &seeds)
+                        });
+                        seat.next_batch += 1;
                         if seat.cmd_tx.send(seeds).is_ok() {
                             seat.pending += 1;
                         } else {
@@ -427,6 +797,35 @@ impl Server {
     /// Runs the accept loop until `shutdown` is cancelled or the listener
     /// fails. Campaign threads are cancelled and joined before returning.
     pub fn run(&self, listener: UnixListener, shutdown: CancelToken) -> std::io::Result<()> {
+        self.run_with(listener, shutdown, CancelToken::new(), None)
+    }
+
+    /// Runs the accept loop with a drain control: cancelling `drain` stops
+    /// accepting connections and rejects new `OPEN`/`RESUME` frames, but
+    /// lets running campaigns finish (bounded by
+    /// [`ServeConfig::drain_timeout`]) before the loop exits, caches are
+    /// saved, and `socket_path` (when given) is unlinked. Cancelling
+    /// `shutdown` still hard-stops immediately via the fail-closed path.
+    pub fn run_with(
+        &self,
+        listener: UnixListener,
+        shutdown: CancelToken,
+        drain: CancelToken,
+        socket_path: Option<&Path>,
+    ) -> std::io::Result<()> {
+        let result = self.run_inner(listener, shutdown, drain);
+        if let Some(path) = socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+
+    fn run_inner(
+        &self,
+        listener: UnixListener,
+        shutdown: CancelToken,
+        drain: CancelToken,
+    ) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
         let (wake_rx, wake_tx) = UnixStream::pair()?;
         wake_rx.set_nonblocking(true)?;
@@ -436,12 +835,36 @@ impl Server {
         let mut conns: HashMap<u64, Conn> = HashMap::new();
         let mut campaign_joins: Vec<JoinHandle<()>> = Vec::new();
         let mut next_conn: u64 = 1;
+        let drain_timeout = self.config.drain_timeout.unwrap_or(DEFAULT_DRAIN_TIMEOUT);
+        let max_event_buffer = self.config.max_event_buffer.unwrap_or(DEFAULT_MAX_EVENT_BUFFER);
+        let mut drain_deadline: Option<Instant> = None;
 
         while !shutdown.is_cancelled() {
+            // Entering drain mode: stop accepting, start the clock.
+            let draining = drain.is_cancelled();
+            if draining && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + drain_timeout);
+            }
+            if let Some(deadline) = drain_deadline {
+                let all_idle = conns.values().all(Conn::is_idle);
+                if all_idle || Instant::now() >= deadline {
+                    // Campaigns checkpointed (every finished batch is in
+                    // the journal + cache); anything still running rides
+                    // the fail-closed cancel path below.
+                    break;
+                }
+            }
+
             // Poll: listener, wake pipe, then every connection (write
-            // interest only while output is queued).
+            // interest only while output is queued). While draining the
+            // listener stays in the set with no interest bits so the
+            // index math (`fds[2 + slot]`) is unchanged.
             let mut fds = vec![
-                sys::PollFd { fd: listener.as_raw_fd(), events: sys::POLLIN, revents: 0 },
+                sys::PollFd {
+                    fd: listener.as_raw_fd(),
+                    events: if draining { 0 } else { sys::POLLIN },
+                    revents: 0,
+                },
                 sys::PollFd { fd: wake_rx.as_raw_fd(), events: sys::POLLIN, revents: 0 },
             ];
             let mut order: Vec<u64> = Vec::with_capacity(conns.len());
@@ -453,8 +876,8 @@ impl Server {
                 fds.push(sys::PollFd { fd: conn.stream.as_raw_fd(), events, revents: 0 });
                 order.push(id);
             }
-            // Bounded sleep so a shutdown request is noticed promptly even
-            // with no traffic.
+            // Bounded sleep so a shutdown or drain request is noticed
+            // promptly even with no traffic.
             sys::poll_ready(&mut fds, Some(Duration::from_millis(100)))?;
 
             // Drain wake bytes (their only job was ending the sleep).
@@ -467,29 +890,35 @@ impl Server {
             while let Ok((conn_id, outbound)) = out_rx.try_recv() {
                 let Some(conn) = conns.get_mut(&conn_id) else { continue };
                 match outbound {
-                    Outbound::Event(line) => conn.queue(TAG_EVENT, line.as_bytes()),
+                    // Events land in the bounded per-connection queue, not
+                    // the outbuf: a stuck reader fills the queue (which
+                    // coalesces and eventually demotes) instead of growing
+                    // server memory without bound.
+                    Outbound::Event { line, tally } => conn.events.push(line, tally),
                     Outbound::Result { stats, grammar } => {
                         if let Some(seat) = conn.campaign.as_mut() {
                             seat.pending = seat.pending.saturating_sub(1);
                         }
+                        conn.drain_events_before_result();
                         conn.queue(TAG_RESULT, &encode_result(&stats, &grammar));
                     }
                     Outbound::Error(message) => {
                         if let Some(seat) = conn.campaign.as_mut() {
                             seat.pending = seat.pending.saturating_sub(1);
                         }
+                        conn.drain_events_before_result();
                         conn.queue(TAG_ERROR, message.as_bytes());
                     }
                 }
             }
 
             // New connections.
-            if fds[0].revents & sys::POLLIN != 0 {
+            if !draining && fds[0].revents & sys::POLLIN != 0 {
                 loop {
                     match listener.accept() {
                         Ok((stream, _addr)) => {
                             stream.set_nonblocking(true)?;
-                            conns.insert(next_conn, Conn::new(stream));
+                            conns.insert(next_conn, Conn::new(stream, max_event_buffer));
                             next_conn += 1;
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -520,9 +949,9 @@ impl Server {
                                 if conn.dead || conn.closing {
                                     break;
                                 }
-                                if let Some(join) = self
-                                    .handle_frame(conn_id, conn, tag, frame_body, &out_tx, &wake)
-                                {
+                                if let Some(join) = self.handle_frame(
+                                    conn_id, conn, tag, frame_body, &out_tx, &wake, draining,
+                                ) {
                                     campaign_joins.push(join);
                                 }
                             }
@@ -530,6 +959,9 @@ impl Server {
                         Err(e) => conn.fail(&e.to_string()),
                     }
                 }
+                // Move queued events into the outbuf only while the reader
+                // is keeping up (soft cap on outbuf size).
+                conn.pump_events();
                 if !conn.outbuf.is_empty() && !conn.flush() {
                     conn.outbuf.clear();
                     conn.dead = true;
@@ -547,8 +979,14 @@ impl Server {
                     if let Some(seat) = conn.campaign {
                         if conn.dead {
                             // Disconnect/error preemption; a graceful CLOSE
-                            // already drained every pending run.
+                            // already drained every pending run. The journal
+                            // entry stays open, so the campaign is resumable
+                            // after a server restart.
                             seat.cancel.cancel();
+                        } else {
+                            // Clean close: retire the campaign from the
+                            // journal so a restart won't offer it.
+                            journal_append(&self.journal, seat.id, |j| j.append_closed(seat.id));
                         }
                         drop(seat.cmd_tx);
                     }
@@ -576,11 +1014,14 @@ impl Server {
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         let shutdown = CancelToken::new();
+        let drain = CancelToken::new();
         let token = shutdown.clone();
+        let drain_token = drain.clone();
+        let run_path = path.clone();
         let join = std::thread::Builder::new()
             .name("glade-serve".into())
-            .spawn(move || self.run(listener, token))?;
-        Ok(ServerHandle { shutdown, join: Some(join), path })
+            .spawn(move || self.run_with(listener, token, drain_token, Some(&run_path)))?;
+        Ok(ServerHandle { shutdown, drain, join: Some(join), path })
     }
 }
 
@@ -589,6 +1030,7 @@ impl Server {
 #[derive(Debug)]
 pub struct ServerHandle {
     shutdown: CancelToken,
+    drain: CancelToken,
     join: Option<JoinHandle<std::io::Result<()>>>,
     path: PathBuf,
 }
@@ -602,6 +1044,30 @@ impl ServerHandle {
     /// A token that stops the accept loop when cancelled.
     pub fn cancel_token(&self) -> CancelToken {
         self.shutdown.clone()
+    }
+
+    /// A token that puts the server into drain mode when cancelled.
+    pub fn drain_token(&self) -> CancelToken {
+        self.drain.clone()
+    }
+
+    /// Asks the server to drain: stop accepting work, finish (or
+    /// checkpoint) running campaigns, then exit. Non-blocking; pair with
+    /// [`wait`](ServerHandle::wait).
+    pub fn drain(&self) {
+        self.drain.cancel();
+    }
+
+    /// Waits for the accept loop to exit without forcing a shutdown.
+    pub fn wait(mut self) -> std::io::Result<()> {
+        let result = match self.join.take() {
+            Some(join) => join
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("serve accept loop panicked"))),
+            None => Ok(()),
+        };
+        let _ = std::fs::remove_file(&self.path);
+        result
     }
 
     /// Stops the server and waits for the accept loop (and every campaign
@@ -628,5 +1094,100 @@ impl Drop for ServerHandle {
         if self.join.is_some() {
             let _ = self.finish();
         }
+    }
+}
+
+/// Signals received since [`install_drain_signals`]; written from the
+/// handler, so reads must tolerate any count.
+static DRAIN_SIGNALS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+extern "C" fn count_drain_signal(_signum: std::os::raw::c_int) {
+    // Lock-free atomic increment: async-signal-safe.
+    DRAIN_SIGNALS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Installs `SIGTERM`/`SIGINT` handlers that only count deliveries; the
+/// caller polls [`drain_signal_count`] and applies its policy (the CLI
+/// drains on the first signal and hard-stops on the second). Counting in
+/// the handler keeps the handler trivially async-signal-safe and leaves
+/// all real work on an ordinary thread.
+pub fn install_drain_signals() {
+    const SIGINT: std::os::raw::c_int = 2;
+    const SIGTERM: std::os::raw::c_int = 15;
+    extern "C" {
+        fn signal(
+            signum: std::os::raw::c_int,
+            handler: extern "C" fn(std::os::raw::c_int),
+        ) -> usize;
+    }
+    // SAFETY: installs a handler that only touches a static atomic.
+    unsafe {
+        signal(SIGTERM, count_drain_signal);
+        signal(SIGINT, count_drain_signal);
+    }
+}
+
+/// How many `SIGTERM`/`SIGINT` deliveries have been counted since
+/// [`install_drain_signals`].
+pub fn drain_signal_count() -> usize {
+    DRAIN_SIGNALS.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tally(n: usize) -> String {
+        SynthEvent::QueryBatch { checks: n, cached: 0, posed: n }.to_wire_line()
+    }
+
+    #[test]
+    fn event_queue_coalesces_consecutive_tallies() {
+        let mut q = EventQueue::new(8);
+        q.push("phase start".into(), false);
+        q.push(tally(10), true);
+        q.push(tally(20), true);
+        q.push(tally(30), true);
+        q.push("phase done".into(), false);
+        let drained: Vec<String> = std::iter::from_fn(|| q.pop()).collect();
+        // The three tallies collapse to the most recent one; lifecycle
+        // events all survive.
+        assert_eq!(drained, vec!["phase start".to_string(), tally(30), "phase done".into()]);
+        assert_eq!(q.take_dropped(), 0);
+    }
+
+    #[test]
+    fn event_queue_does_not_coalesce_across_lifecycle_events() {
+        let mut q = EventQueue::new(8);
+        q.push(tally(10), true);
+        q.push("phase done".into(), false);
+        q.push(tally(20), true);
+        let drained: Vec<String> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![tally(10), "phase done".to_string(), tally(20)]);
+    }
+
+    #[test]
+    fn event_queue_overflow_demotes_and_counts_drops() {
+        let mut q = EventQueue::new(2);
+        q.push("a".into(), false);
+        q.push("b".into(), false);
+        // Third push overflows: the queue empties, and every later push is
+        // dropped too (demotion is sticky).
+        q.push("c".into(), false);
+        assert!(q.pop().is_none());
+        q.push("d".into(), false);
+        assert!(q.pop().is_none());
+        assert_eq!(q.take_dropped(), 4);
+        // The counter resets once reported, but demotion persists.
+        q.push("e".into(), false);
+        assert_eq!(q.take_dropped(), 1);
+    }
+
+    #[test]
+    fn event_queue_cap_zero_is_result_only() {
+        let mut q = EventQueue::new(0);
+        q.push("a".into(), false);
+        assert!(q.pop().is_none());
+        assert_eq!(q.take_dropped(), 1);
     }
 }

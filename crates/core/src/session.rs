@@ -775,13 +775,20 @@ impl<'o> Session<'o> {
         Ok(count)
     }
 
-    /// Writes the cache snapshot to `path`.
+    /// Writes the cache snapshot to `path`, atomically and durably: the
+    /// snapshot is written to a sibling temporary file, fsynced, renamed
+    /// over `path`, and the directory entry is fsynced — a crash or power
+    /// loss mid-save leaves either the old snapshot or the new one, never
+    /// a truncated hybrid.
     ///
     /// # Errors
     ///
     /// Returns [`CacheError::Io`] if the file cannot be written.
     pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
-        std::fs::write(path, self.export_cache())?;
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        crate::persist::write_durable(path, Path::new(&tmp), self.export_cache().as_bytes())?;
         Ok(())
     }
 

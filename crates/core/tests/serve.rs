@@ -528,6 +528,9 @@ fn persistent_caches_namespace_by_fingerprint_and_survive_restart() {
         let mut files: Vec<_> = std::fs::read_dir(&cache_dir)
             .expect("read cache dir")
             .map(|e| e.expect("dir entry").file_name().into_string().expect("utf-8 name"))
+            // The campaign journal shares the directory; only cache
+            // snapshots count here.
+            .filter(|name| name.ends_with(".glade-cache"))
             .collect();
         files.sort();
         files
@@ -584,6 +587,218 @@ fn rejected_seeds_and_empty_runs_leave_the_campaign_usable() {
     client.close().expect("close");
 
     handle.shutdown().expect("server shutdown");
+}
+
+#[test]
+fn interrupted_campaign_resumes_byte_identical_after_restart() {
+    let _watchdog = Watchdog::arm("interrupted_campaign_resumes_byte_identical_after_restart");
+    let dir = scratch_dir("resume");
+    let socket = dir.join("sock");
+    let cache_dir = dir.join("caches");
+    std::fs::create_dir_all(&cache_dir).expect("create cache dir");
+    let config = ServeConfig { cache_dir: Some(cache_dir.clone()), ..ServeConfig::default() };
+    let batches =
+        vec![vec![b"<a>hi</a>".to_vec()], vec![b"<a><a>deep</a></a>".to_vec(), b"ok".to_vec()]];
+    let (solo_grammar, solo_stats) = solo_run(&FnOracle::new(xml_like), &batches);
+    let mut request = OpenRequest::new("xml");
+    request.cache = true;
+
+    // Server A: run both batches, then die abruptly — the client never
+    // sends CLOSE, so the journal keeps the campaign open.
+    let handle = Server::new(test_factory(), config.clone()).spawn(&socket).expect("first spawn");
+    let campaign_id = {
+        let mut client = ServeClient::connect(&socket).expect("connect");
+        let (id, _) = client.open(&request).expect("open");
+        let first = client.synthesize(&batches[0], |_| {}).expect("first batch");
+        assert_eq!(first.stats.unique_queries, GOLDEN_UNIQUE_ON);
+        assert_eq!(first.stats.total_queries, GOLDEN_TOTAL_ON);
+        client.synthesize(&batches[1], |_| {}).expect("second batch");
+        id
+        // `client` drops here without close(), like a killed process.
+    };
+    handle.shutdown().expect("first shutdown");
+
+    // Server B over the same cache dir offers the campaign for resume.
+    let server = Server::new(test_factory(), config.clone());
+    assert_eq!(server.resumable_campaigns(), vec![campaign_id], "journal lists the campaign");
+    let handle = server.spawn(&socket).expect("second spawn");
+
+    let mut client = ServeClient::connect(&socket).expect("reconnect");
+    let (resumed_id, fingerprint) = client.resume(campaign_id).expect("resume");
+    assert_eq!(resumed_id, campaign_id);
+    assert_eq!(fingerprint, "test:xml-like");
+    let replayed = client.resume_result(|_| {}).expect("replay result");
+    assert_eq!(replayed.grammar_text, solo_grammar, "resume reproduces the bytes");
+    assert_eq!(
+        replayed.stats.unique_queries, solo_stats.unique_queries,
+        "replay re-runs the same deterministic query stream"
+    );
+    assert_eq!(
+        replayed.stats.new_unique_queries, 0,
+        "a checkpointed campaign re-pays no oracle queries on resume"
+    );
+
+    // A second claim on the same id must fail (the first client owns it).
+    // A rejected RESUME ends that connection, so each probe gets its own.
+    let mut second = ServeClient::connect(&socket).expect("second connect");
+    let err = second.resume(campaign_id).expect_err("double resume");
+    assert!(err.to_string().contains("not resumable"), "claim is exclusive: {err}");
+    let mut third = ServeClient::connect(&socket).expect("third connect");
+    let err = third.resume(9999).expect_err("unknown id");
+    assert!(err.to_string().contains("not resumable"), "unknown ids are rejected: {err}");
+
+    // The resumed campaign keeps serving: an empty batch re-synthesizes.
+    let again = client.synthesize(&[], |_| {}).expect("re-synthesis after resume");
+    assert_eq!(again.grammar_text, solo_grammar);
+    client.close().expect("clean close");
+    handle.shutdown().expect("second shutdown");
+
+    // The clean close retired the journal entry: server C offers nothing.
+    let server = Server::new(test_factory(), config);
+    assert!(server.resumable_campaigns().is_empty(), "closed campaigns are not resumable");
+}
+
+#[test]
+fn draining_server_finishes_campaigns_and_rejects_new_ones() {
+    let _watchdog = Watchdog::arm("draining_server_finishes_campaigns_and_rejects_new_ones");
+    let dir = scratch_dir("drain");
+    let socket = dir.join("sock");
+    let gate = Arc::new(GateOracle::new(50));
+    let (solo_grammar, solo_stats) =
+        solo_run(&FnOracle::new(xml_like), &[vec![b"<a>hi</a>".to_vec()]]);
+
+    let factory_gate = Arc::clone(&gate);
+    let factory = Arc::new(move |spec: &str| -> Result<(Arc<dyn Oracle>, String), String> {
+        match spec {
+            "gated-xml" => {
+                Ok((Arc::clone(&factory_gate) as Arc<dyn Oracle>, "test:gated-xml".into()))
+            }
+            "xml" => Ok((Arc::new(FnOracle::new(xml_like)), "test:xml-like".into())),
+            other => Err(format!("unknown test spec {other:?}")),
+        }
+    });
+    let handle = Server::new(factory, ServeConfig::default()).spawn(&socket).expect("spawn");
+
+    let mut client_a = ServeClient::connect(&socket).expect("connect A");
+    client_a.open(&OpenRequest::new("gated-xml")).expect("open A");
+    let mut client_b = ServeClient::connect(&socket).expect("connect B");
+
+    let outcome = std::thread::scope(|s| {
+        let running = s.spawn(move || {
+            let outcome = client_a.synthesize(&[b"<a>hi</a>".to_vec()], |_| {}).expect("run A");
+            // A draining server retires the connection the instant the
+            // final result is flushed — it must not wait on a client that
+            // might never say goodbye — so this CLOSE can lose the race
+            // and hit a closed socket. Best-effort by design.
+            let _ = client_a.close();
+            outcome
+        });
+        gate.wait_until_parked();
+        // The campaign is provably mid-flight. Drain now.
+        handle.drain();
+        // Give the accept loop a poll cycle to observe the drain flag,
+        // then verify new work is refused on an already-open connection.
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let err = client_b.open(&OpenRequest::new("xml")).expect_err("open while draining");
+        assert!(err.to_string().contains("drain"), "rejection names the drain: {err}");
+        gate.release();
+        running.join().expect("running campaign thread")
+    });
+
+    // The in-flight campaign finished normally under drain — full result,
+    // no cancellation, byte-identical grammar.
+    assert!(!outcome.stats.cancelled, "draining must not cancel a finishing campaign");
+    assert_eq!(outcome.grammar_text, solo_grammar);
+    assert_eq!(count_fields(&outcome.stats), count_fields(&solo_stats));
+
+    // With every connection retired the drained loop exits on its own and
+    // unlinks the socket.
+    handle.wait().expect("drained server exits cleanly");
+    assert!(!socket.exists(), "drained server unlinks its socket");
+}
+
+#[test]
+fn slow_reader_is_demoted_to_result_only() {
+    let _watchdog = Watchdog::arm("slow_reader_is_demoted_to_result_only");
+    let dir = scratch_dir("demote");
+    let socket = dir.join("sock");
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let (solo_grammar, solo_stats) =
+        solo_run(&FnOracle::new(xml_like), std::slice::from_ref(&seeds));
+
+    // `max_event_buffer: 0` is the deterministic worst case: every reader
+    // is "too slow" immediately, so the whole event stream must collapse
+    // into one events-dropped notice without perturbing the campaign.
+    let config = ServeConfig { max_event_buffer: Some(0), ..ServeConfig::default() };
+    let handle = Server::new(test_factory(), config).spawn(&socket).expect("spawn");
+
+    let (grammar, stats, events) =
+        client_run(&socket, &OpenRequest::new("xml"), std::slice::from_ref(&seeds));
+    assert_eq!(grammar, solo_grammar, "demotion never changes the grammar bytes");
+    assert_eq!(count_fields(&stats), count_fields(&solo_stats));
+    assert_eq!(stats.unique_queries, GOLDEN_UNIQUE_ON);
+    assert_eq!(
+        events.len(),
+        1,
+        "a demoted connection gets exactly one events-dropped notice: {events:?}"
+    );
+    let SynthEvent::EventsDropped { dropped } = events[0] else {
+        panic!("expected an events-dropped notice, got {:?}", events[0]);
+    };
+    assert!(dropped > 0, "the notice counts the losses");
+
+    handle.shutdown().expect("shutdown");
+}
+
+/// Writes one `glade-serve` frame (length prefix + tag + body) raw.
+fn write_raw_frame(stream: &mut std::os::unix::net::UnixStream, tag: u8, body: &[u8]) {
+    use std::io::Write as _;
+    let mut payload = Vec::with_capacity(1 + body.len());
+    payload.push(tag);
+    payload.extend_from_slice(body);
+    stream.write_all(&u32::try_from(payload.len()).unwrap().to_le_bytes()).expect("write len");
+    stream.write_all(&payload).expect("write payload");
+}
+
+/// Reads one raw frame: (tag, body).
+fn read_raw_frame(stream: &mut std::os::unix::net::UnixStream) -> (u8, Vec<u8>) {
+    use std::io::Read as _;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("read len");
+    let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut payload).expect("read payload");
+    let body = payload.split_off(1);
+    (payload[0], body)
+}
+
+#[test]
+fn v1_clients_still_interoperate() {
+    let _watchdog = Watchdog::arm("v1_clients_still_interoperate");
+    let dir = scratch_dir("v1-compat");
+    let socket = dir.join("sock");
+    let handle = Server::new(test_factory(), ServeConfig::default()).spawn(&socket).expect("spawn");
+
+    // A hand-rolled v1 session: the v2 server accepts the old banner and
+    // echoes it back, and every v1 frame behaves as before.
+    let mut stream = std::os::unix::net::UnixStream::connect(&socket).expect("connect");
+    write_raw_frame(&mut stream, 0x01, b"glade-serve v1");
+    let (tag, body) = read_raw_frame(&mut stream);
+    assert_eq!(tag, 0x81, "HELLO_ACK");
+    assert_eq!(body, b"glade-serve v1", "the server echoes the v1 banner to a v1 client");
+    write_raw_frame(&mut stream, 0x02, b"oracle xml\n");
+    let (tag, body) = read_raw_frame(&mut stream);
+    assert_eq!(tag, 0x82, "OPEN_ACK");
+    assert!(body.len() > 4, "OPEN_ACK carries id + fingerprint");
+    write_raw_frame(&mut stream, 0x05, b"");
+
+    // An unrecognized banner is still refused.
+    let mut bad = std::os::unix::net::UnixStream::connect(&socket).expect("connect bad");
+    write_raw_frame(&mut bad, 0x01, b"glade-serve v3");
+    let (tag, body) = read_raw_frame(&mut bad);
+    assert_eq!(tag, 0x85, "ERROR");
+    assert!(String::from_utf8_lossy(&body).contains("protocol"));
+
+    handle.shutdown().expect("shutdown");
 }
 
 #[test]

@@ -11,9 +11,11 @@
 //! glade worker NAME [--wire-v1]                    # serve a built-in subject
 //! glade targets                                    # list built-in targets
 //! glade serve  --socket PATH [--pool N] [--oracle-timeout S] [--cache-dir DIR]
-//!              [--max-queries N]                   # multi-tenant synthesis daemon
-//! glade client --socket PATH --oracle SPEC --seed FILE... [-o OUT]
-//!              [--max-queries N] [--no-memo] [--no-events] [--cache]
+//!              [--max-queries N] [--drain-timeout S] [--max-event-buffer N]
+//!                                                  # multi-tenant synthesis daemon
+//! glade client --socket PATH (--oracle SPEC | --resume ID) [--seed FILE...]
+//!              [-o OUT] [--max-queries N] [--no-memo] [--no-events] [--cache]
+//!              [--connect-retries N] [--connect-backoff SECS]
 //! ```
 //!
 //! The oracle is either an external command (exit status 0 = valid input,
@@ -45,7 +47,7 @@
 //! snapshot produced by a *different* oracle is refused rather than
 //! silently replaying stale verdicts.
 //!
-//! `glade serve` runs the multi-tenant synthesis daemon (`glade-serve v1`
+//! `glade serve` runs the multi-tenant synthesis daemon (`glade-serve v2`
 //! over a unix socket; see `glade_core::serve`): concurrent clients open
 //! campaigns against `target:NAME` (in-process built-ins, same names as
 //! `glade worker`) or `cmd:CMDLINE` (a pooled worker command) oracles,
@@ -54,9 +56,23 @@
 //! campaign from the command line, printing event wire lines to stderr
 //! and the grammar to stdout. `glade synth --events` prints the same
 //! event wire lines for purely local runs.
+//!
+//! With `--cache-dir` the server keeps a crash-safe campaign journal:
+//! campaigns interrupted by a crash or restart are listed at startup and
+//! re-attachable with `glade client --resume ID`, which replays the
+//! journaled seed batches over the warm persistent cache and returns the
+//! identical grammar while re-paying ~zero unique oracle queries. The
+//! first `SIGTERM`/`SIGINT` drains the server (no new campaigns, running
+//! ones finish or checkpoint within `--drain-timeout`); a second signal
+//! hard-stops it. `--max-event-buffer` bounds each client's queued event
+//! stream — a stalled reader is demoted to result-only instead of ever
+//! blocking a campaign.
 
 #[cfg(any(target_os = "linux", target_os = "macos"))]
-use glade_repro::core::serve::{OpenRequest, OracleFactory, ServeClient, ServeConfig, Server};
+use glade_repro::core::serve::{
+    drain_signal_count, install_drain_signals, OpenRequest, OracleFactory, ServeClient,
+    ServeConfig, Server,
+};
 use glade_repro::core::{
     serve_oracle_worker, serve_oracle_worker_v1, CachingOracle, CancelToken, GladeBuilder,
     GladeConfig, InputMode, Oracle, PooledProcessOracle, ProcessOracle, SynthEvent,
@@ -126,10 +142,15 @@ USAGE:
                                    # pooled-oracle protocol (for --pool)
   glade targets
   glade serve  --socket PATH [--pool N] [--oracle-timeout SECS]
-               [--cache-dir DIR] [--max-queries N]
-  glade client --socket PATH --oracle SPEC --seed FILE... [-o OUT]
-               [--max-queries N] [--no-memo] [--no-events] [--cache]
+               [--cache-dir DIR] [--max-queries N] [--drain-timeout SECS]
+               [--max-event-buffer N]
+               # SIGTERM/SIGINT drains (campaigns finish or checkpoint);
+               # a second signal hard-stops
+  glade client --socket PATH (--oracle SPEC | --resume ID) [--seed FILE...]
+               [-o OUT] [--max-queries N] [--no-memo] [--no-events] [--cache]
+               [--connect-retries N] [--connect-backoff SECS]
                # SPEC: target:NAME (built-in) or cmd:CMDLINE (pooled worker)
+               # --resume re-attaches a journaled campaign after a restart
 ";
 
 /// Minimal argument cursor.
@@ -522,6 +543,23 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
                         .map_err(|_| "--max-queries needs an integer".to_owned())?,
                 )
             }
+            "--drain-timeout" => {
+                let secs: f64 = args
+                    .value("--drain-timeout")?
+                    .parse()
+                    .map_err(|_| "--drain-timeout needs seconds".to_owned())?;
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    return Err("--drain-timeout needs a non-negative number of seconds".into());
+                }
+                config.drain_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--max-event-buffer" => {
+                config.max_event_buffer = Some(
+                    args.value("--max-event-buffer")?
+                        .parse()
+                        .map_err(|_| "--max-event-buffer needs an integer".to_owned())?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -531,13 +569,55 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     }
     let server = Server::new(std::sync::Arc::new(CliOracleFactory { pool }), config);
+    let resumable = server.resumable_campaigns();
     let _ = std::fs::remove_file(&socket);
     let listener = std::os::unix::net::UnixListener::bind(&socket)
         .map_err(|e| format!("cannot bind {socket}: {e}"))?;
-    eprintln!("glade serve: listening on {socket} (glade-serve v1)");
-    // Runs until the process is killed; the socket file is cleaned up by
-    // the next bind.
-    server.run(listener, CancelToken::new()).map_err(|e| format!("serve: {e}"))
+    eprintln!("glade serve: listening on {socket} (glade-serve v2)");
+    if !resumable.is_empty() {
+        let ids: Vec<String> = resumable.iter().map(u32::to_string).collect();
+        eprintln!(
+            "glade serve: {} resumable campaign(s) from the journal: {} \
+             (re-attach with `glade client --resume ID`)",
+            ids.len(),
+            ids.join(" ")
+        );
+    }
+    // First SIGTERM/SIGINT drains (campaigns finish or checkpoint, caches
+    // save, socket unlinks); a second signal hard-stops fail-closed.
+    let shutdown = CancelToken::new();
+    let drain = CancelToken::new();
+    install_drain_signals();
+    {
+        let shutdown = shutdown.clone();
+        let drain = drain.clone();
+        std::thread::Builder::new()
+            .name("glade-serve-signals".into())
+            .spawn(move || {
+                let mut announced = false;
+                loop {
+                    let signals = drain_signal_count();
+                    if signals >= 2 {
+                        eprintln!("glade serve: second signal; stopping now");
+                        shutdown.cancel();
+                        return;
+                    }
+                    if signals >= 1 && !announced {
+                        eprintln!(
+                            "glade serve: drain requested; finishing campaigns \
+                             (signal again to force-stop)"
+                        );
+                        drain.cancel();
+                        announced = true;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            })
+            .map_err(|e| format!("cannot spawn signal watcher: {e}"))?;
+    }
+    server
+        .run_with(listener, shutdown, drain, Some(std::path::Path::new(&socket)))
+        .map_err(|e| format!("serve: {e}"))
 }
 
 #[cfg(any(target_os = "linux", target_os = "macos"))]
@@ -547,14 +627,24 @@ fn cmd_client(argv: &[String]) -> Result<(), String> {
     let mut seeds: Vec<Vec<u8>> = Vec::new();
     let mut out: Option<String> = None;
     let mut request: Option<OpenRequest> = None;
+    let mut resume: Option<u32> = None;
     let mut max_queries: Option<usize> = None;
     let mut memoize = true;
     let mut events = true;
     let mut cache = false;
+    let mut connect_retries: u32 = 0;
+    let mut connect_backoff = std::time::Duration::from_millis(500);
     while let Some(flag) = args.next() {
         match flag {
             "--socket" => socket = Some(args.value("--socket")?.to_owned()),
             "--oracle" => request = Some(OpenRequest::new(args.value("--oracle")?)),
+            "--resume" => {
+                resume = Some(
+                    args.value("--resume")?
+                        .parse()
+                        .map_err(|_| "--resume needs a campaign id".to_owned())?,
+                )
+            }
             "--seed" => seeds.push(read_file(args.value("--seed")?)?),
             "-o" | "--out" => out = Some(args.value("-o")?.to_owned()),
             "--max-queries" => {
@@ -567,26 +657,59 @@ fn cmd_client(argv: &[String]) -> Result<(), String> {
             "--no-memo" => memoize = false,
             "--no-events" => events = false,
             "--cache" => cache = true,
+            "--connect-retries" => {
+                connect_retries = args
+                    .value("--connect-retries")?
+                    .parse()
+                    .map_err(|_| "--connect-retries needs an integer".to_owned())?
+            }
+            "--connect-backoff" => {
+                let secs: f64 = args
+                    .value("--connect-backoff")?
+                    .parse()
+                    .map_err(|_| "--connect-backoff needs seconds".to_owned())?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--connect-backoff needs a positive number of seconds".into());
+                }
+                connect_backoff = std::time::Duration::from_secs_f64(secs);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let socket = socket.ok_or("--socket PATH is required")?;
-    let mut request = request.ok_or("--oracle SPEC is required (target:NAME or cmd:CMDLINE)")?;
-    if seeds.is_empty() {
+    if request.is_some() && resume.is_some() {
+        return Err("--oracle and --resume are mutually exclusive".into());
+    }
+    if request.is_none() && resume.is_none() {
+        return Err("--oracle SPEC or --resume ID is required".into());
+    }
+    if resume.is_none() && seeds.is_empty() {
         return Err("at least one --seed FILE is required".into());
     }
-    request.max_queries = max_queries;
-    request.memoize = memoize;
-    request.events = events;
-    request.cache = cache;
 
-    let mut client =
-        ServeClient::connect(&socket).map_err(|e| format!("cannot connect to {socket}: {e}"))?;
-    let (campaign, fingerprint) = client.open(&request).map_err(|e| e.to_string())?;
-    eprintln!("campaign {campaign} open against {fingerprint}");
-    let outcome = client
-        .synthesize(&seeds, |event| eprintln!("{}", event.to_wire_line()))
-        .map_err(|e| e.to_string())?;
+    let mut client = ServeClient::connect_with_retry(&socket, connect_retries, connect_backoff)
+        .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    let on_event = |event: SynthEvent| eprintln!("{}", event.to_wire_line());
+    let outcome = if let Some(id) = resume {
+        let (campaign, fingerprint) = client.resume(id).map_err(|e| e.to_string())?;
+        eprintln!("campaign {campaign} resumed against {fingerprint}");
+        let replayed = client.resume_result(on_event).map_err(|e| e.to_string())?;
+        if seeds.is_empty() {
+            replayed
+        } else {
+            // New seeds after the replay extend the resumed campaign.
+            client.synthesize(&seeds, on_event).map_err(|e| e.to_string())?
+        }
+    } else {
+        let mut request = request.expect("checked above");
+        request.max_queries = max_queries;
+        request.memoize = memoize;
+        request.events = events;
+        request.cache = cache;
+        let (campaign, fingerprint) = client.open(&request).map_err(|e| e.to_string())?;
+        eprintln!("campaign {campaign} open against {fingerprint}");
+        client.synthesize(&seeds, on_event).map_err(|e| e.to_string())?
+    };
     eprintln!(
         "synthesized with {} oracle queries ({} new this run)",
         outcome.stats.unique_queries, outcome.stats.new_unique_queries

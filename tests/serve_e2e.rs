@@ -164,6 +164,141 @@ fn concurrent_clients_match_local_synth_byte_for_byte() {
 }
 
 #[test]
+fn sigkilled_campaign_resumes_byte_identical_on_restart() {
+    let _watchdog = Watchdog::arm("sigkilled_campaign_resumes_byte_identical_on_restart");
+    let dir = scratch_dir("crash-resume");
+    let socket = dir.join("serve.sock");
+    let cache_dir = dir.join("caches");
+    let seed = dir.join("seed.xml");
+    std::fs::write(&seed, b"<a>hi</a>").expect("write seed");
+
+    // The uninterrupted local baseline the resumed grammar must match.
+    synth_local("toy-xml", &seed, &dir.join("local.txt"));
+
+    let mut server = glade()
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .arg("--cache-dir")
+        .arg(&cache_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn glade serve");
+    wait_for_socket(&socket);
+
+    // Drive the campaign with the in-process client so the server can be
+    // SIGKILLed while the campaign is still open (no CLOSE ever sent —
+    // exactly what a crashed deployment looks like).
+    use glade_repro::core::serve::{OpenRequest, ServeClient};
+    let mut request = OpenRequest::new("target:toy-xml");
+    request.cache = true;
+    let mut client = ServeClient::connect(&socket).expect("connect");
+    let (campaign, _fingerprint) = client.open(&request).expect("open");
+    let first = client.synthesize(&[b"<a>hi</a>".to_vec()], |_| {}).expect("first batch");
+    assert_eq!(first.stats.unique_queries, 965, "golden memo-on unique pin");
+    assert_eq!(first.stats.total_queries, 985, "golden memo-on total pin");
+
+    // SIGKILL mid-campaign: no drain, no flush, no goodbye.
+    server.kill().expect("SIGKILL glade serve");
+    let _ = server.wait();
+    drop(client);
+
+    // Restart over the same cache dir. The resume client starts before
+    // waiting for the socket, exercising --connect-retries for real.
+    let server = ServerGuard(
+        glade()
+            .args(["serve", "--socket"])
+            .arg(&socket)
+            .arg("--cache-dir")
+            .arg(&cache_dir)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("respawn glade serve"),
+    );
+    let resumed_out = dir.join("resumed.txt");
+    let output = glade()
+        .args(["client", "--socket"])
+        .arg(&socket)
+        .args([
+            "--resume",
+            &campaign.to_string(),
+            "--connect-retries",
+            "40",
+            "--connect-backoff",
+            "0.05",
+            "--no-events",
+            "-o",
+        ])
+        .arg(&resumed_out)
+        .output()
+        .expect("run glade client --resume");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "resume client failed: {stderr}");
+    assert!(
+        stderr.contains(&format!("campaign {campaign} resumed")),
+        "the client reports the resumed campaign: {stderr}"
+    );
+    assert!(
+        stderr.contains("synthesized with 965 oracle queries (0 new this run)"),
+        "the replay keeps the golden pin and re-pays no queries: {stderr}"
+    );
+
+    let local = std::fs::read(dir.join("local.txt")).expect("local grammar");
+    let resumed = std::fs::read(&resumed_out).expect("resumed grammar");
+    assert!(!local.is_empty(), "the baseline grammar must be non-trivial");
+    assert_eq!(local, resumed, "the resumed grammar is byte-identical to an uninterrupted run");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_drains_cleanly_and_unlinks_the_socket() {
+    let _watchdog = Watchdog::arm("sigterm_drains_cleanly_and_unlinks_the_socket");
+    let dir = scratch_dir("drain");
+    let socket = dir.join("serve.sock");
+    let seed = dir.join("seed.xml");
+    std::fs::write(&seed, b"<a>hi</a>").expect("write seed");
+
+    let server = ServerGuard(
+        glade()
+            .args(["serve", "--socket"])
+            .arg(&socket)
+            .args(["--drain-timeout", "30"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn glade serve"),
+    );
+    wait_for_socket(&socket);
+
+    // Warm the server with one complete campaign first, so the drain runs
+    // on a server that has actually served.
+    let out = dir.join("served.txt");
+    let mut client = spawn_client(&socket, "toy-xml", &seed, &out, false);
+    assert!(client.wait().expect("wait for client").success(), "warm-up campaign failed");
+
+    // One SIGTERM must be enough: drain, then exit 0 on its own.
+    let mut server = server;
+    let pid = server.0.id().to_string();
+    let sent = Command::new("kill").args(["-TERM", &pid]).status().expect("send SIGTERM");
+    assert!(sent.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = server.0.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not exit after SIGTERM");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "a drained server exits cleanly, got {status}");
+    assert!(!socket.exists(), "the drained server unlinks its socket");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn client_reports_server_side_seed_rejection() {
     let _watchdog = Watchdog::arm("client_reports_server_side_seed_rejection");
     let dir = scratch_dir("rejection");
