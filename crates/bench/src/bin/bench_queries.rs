@@ -1,7 +1,7 @@
 //! `bench-queries` — machine-readable benchmark of the membership-query
 //! engine, emitted as `BENCH_queries.json`.
 //!
-//! Eight experiment families, so the perf trajectory of the query layer
+//! Eleven experiment families, so the perf trajectory of the query layer
 //! is recorded in-repo:
 //!
 //! 1. **`parallel_speedup`** — the full pipeline on the paper's running
@@ -61,6 +61,18 @@
 //!    the spawn-per-query fallback), and a hangy pool (`--hangy-worker`
 //!    hangs after 64 answers; only the deadline unwedges it). Every
 //!    verdict in every cell must match the in-process reference.
+//! 9. **`serve_overhead`** — the multi-tenant `glade serve` path versus a
+//!    direct in-process session on the running example; the served
+//!    grammar must be byte-identical and within 1.5× of direct.
+//! 10. **`serve_restart`** — crash-safe campaign resume: cold run through
+//!     a journaling server, abrupt restart, `RESUME` replay. Asserts the
+//!     replay re-pays zero unique queries and reproduces the bytes.
+//! 11. **`cache_scale`** — the binary snapshot codec at production cache
+//!     sizes (`GLADE_BENCH_CACHE_N` synthetic entries, default 100 000):
+//!     timed full loads in both formats plus the indexed partial-load
+//!     path over a sparse query set. Asserts the binary full load is
+//!     ≥ 5× faster than text (at the default size) and that the sparse
+//!     partial load touches < 10% of the file.
 //!
 //! Usage: `cargo run --release -p glade-bench --bin bench-queries`
 //! (writes `BENCH_queries.json` to the current directory, override with
@@ -69,11 +81,13 @@
 //! `GLADE_BENCH_SKEW_BASE_US`, `GLADE_BENCH_MEMO_SEEDS`,
 //! `GLADE_BENCH_SPAWN_QUERIES`,
 //! `GLADE_BENCH_POOLED_QUERIES`, `GLADE_BENCH_FRAME_QUERIES`,
-//! `GLADE_BENCH_FAULT_QUERIES`, `GLADE_BENCH_FAULT_TIMEOUT_MS`.
+//! `GLADE_BENCH_FAULT_QUERIES`, `GLADE_BENCH_FAULT_TIMEOUT_MS`,
+//! `GLADE_BENCH_CACHE_N`.
 
 use glade_core::{
-    serve_faulty_worker, serve_oracle_worker, serve_oracle_worker_v1, FaultPlan, FnOracle,
-    GladeBuilder, Oracle, PooledProcessOracle, ProcessOracle, SynthesisStats,
+    serve_faulty_worker, serve_oracle_worker, serve_oracle_worker_v1, snapshot_from_binary_reader,
+    snapshot_from_reader, snapshot_to_binary, snapshot_to_text_with_memo, BinaryCacheFile,
+    FaultPlan, FnOracle, GladeBuilder, Oracle, PooledProcessOracle, ProcessOracle, SynthesisStats,
 };
 use glade_eval::sample_seeds;
 use glade_grammar::grammar_to_text;
@@ -1017,6 +1031,116 @@ fn main() {
         j.int("cold_unique_queries", cold.stats.unique_queries);
         j.int("resume_new_unique_queries", resumed.stats.new_unique_queries);
         j.boolean("grammar_identical", resumed.grammar_text == cold.grammar_text);
+        j.close_obj();
+    }
+
+    // ---- Experiment 11: cache_scale — the binary snapshot codec at
+    // production cache sizes. A synthetic cache of `GLADE_BENCH_CACHE_N`
+    // entries (deterministic ~36-byte queries, the scale of a long-lived
+    // serve deployment) is written in both formats; full loads are timed
+    // best-of-3, then the indexed partial-load path answers a sparse query
+    // set through `BinaryCacheFile` and reports the fraction of the file
+    // it touched. Pins (enforced at the full default size): binary full
+    // load ≥5x faster than text, partial load touches <10% of the file.
+    {
+        let n = env_usize("GLADE_BENCH_CACHE_N", 100_000);
+        eprintln!("[bench-queries] cache_scale: {n} synthetic cache entries");
+        let mut entries: Vec<(Vec<u8>, bool)> = (0..n)
+            .map(|i| {
+                // Deterministic, realistic-length queries (~36 bytes, the
+                // running example's context-wrapped candidate shape).
+                let pad = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                (format!("<tag id=\"{i:08}\" pad=\"{pad:016x}\"/>").into_bytes(), i % 3 != 0)
+            })
+            .collect();
+        entries.sort();
+        let fingerprint = Some("bench:cache-scale");
+        let text = snapshot_to_text_with_memo(&entries, &[], fingerprint);
+        let binary = snapshot_to_binary(&entries, &[], fingerprint);
+        let dir = std::env::temp_dir();
+        let text_path = dir.join(format!("glade-bench-cache-{}.txt", std::process::id()));
+        let bin_path = dir.join(format!("glade-bench-cache-{}.bin", std::process::id()));
+        std::fs::write(&text_path, &text).expect("write text snapshot");
+        std::fs::write(&bin_path, &binary).expect("write binary snapshot");
+
+        let best_of = |load: &dyn Fn() -> usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let loaded = load();
+                let wall = secs(start.elapsed());
+                assert_eq!(loaded, n, "full load must decode every entry");
+                if wall < best {
+                    best = wall;
+                }
+            }
+            best
+        };
+        let text_secs = best_of(&|| {
+            let file = std::fs::File::open(&text_path).expect("open text snapshot");
+            snapshot_from_reader(std::io::BufReader::new(file)).expect("text load").entries.len()
+        });
+        let bin_secs = best_of(&|| {
+            let file = std::fs::File::open(&bin_path).expect("open binary snapshot");
+            snapshot_from_binary_reader(&mut std::io::BufReader::new(file))
+                .expect("binary load")
+                .entries
+                .len()
+        });
+        let speedup = text_secs / bin_secs;
+
+        // Sparse warm start: a campaign that re-poses only a handful of
+        // its historical queries should fault in a sliver of the file.
+        let lookups = (n / 400).clamp(4, 256);
+        let mut file = BinaryCacheFile::open(&bin_path).expect("open for partial load");
+        let mut agree = true;
+        for k in 0..lookups {
+            // Half present (spread across the key space), half absent.
+            if k % 2 == 0 {
+                let (query, verdict) = &entries[(k * entries.len()) / lookups];
+                agree &= file.lookup(query).expect("present lookup") == Some(*verdict);
+            } else {
+                let absent = format!("<absent id=\"{k:08}\"/>").into_bytes();
+                agree &= file.lookup(&absent).expect("absent lookup").is_none();
+            }
+        }
+        let fraction = file.bytes_touched() as f64 / file.file_len() as f64;
+        let _ = std::fs::remove_file(&text_path);
+        let _ = std::fs::remove_file(&bin_path);
+
+        eprintln!(
+            "[bench-queries] cache_scale: text load {:.1}ms, binary load {:.1}ms ({speedup:.1}x), \
+             {lookups} sparse lookups touched {:.2}% of the file",
+            text_secs * 1e3,
+            bin_secs * 1e3,
+            fraction * 100.0,
+        );
+        assert!(agree, "partial-load verdicts disagreed with the snapshot contents");
+        assert!(
+            fraction < 0.10,
+            "sparse partial load touched {:.1}% of the file (pin: <10%)",
+            fraction * 100.0
+        );
+        // The speedup pin only binds at production scale — tiny CI smoke
+        // sizes are dominated by per-call constants, not decode rate.
+        if n >= 100_000 {
+            assert!(
+                speedup >= 5.0,
+                "binary load was only {speedup:.1}x faster than text at {n} entries (pin: >=5x)"
+            );
+        }
+        j.open_obj(Some("cache_scale"));
+        j.string("target", "synthetic query cache (binary vs text snapshot codecs)");
+        j.int("entries", n);
+        j.int("text_bytes", text.len());
+        j.int("binary_bytes", binary.len());
+        j.num("text_load_secs", text_secs);
+        j.num("binary_load_secs", bin_secs);
+        j.num("binary_load_speedup", speedup);
+        j.int("partial_lookups", lookups);
+        j.int("partial_bytes_touched", file.bytes_touched() as usize);
+        j.num("partial_file_fraction", fraction);
+        j.boolean("partial_verdicts_agree", agree);
         j.close_obj();
     }
 

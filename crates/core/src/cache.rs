@@ -1,23 +1,47 @@
-//! Mutex-striped concurrent query cache.
+//! Mutex-striped concurrent query cache with a negative-lookup filter and
+//! optional residency caps.
 //!
 //! Both [`CachingOracle`](crate::CachingOracle) and the internal
 //! `QueryRunner` memoize membership queries. The single-threaded seed
 //! implementation used `RefCell<HashMap>`; to let checks fan out across
 //! worker threads the cache is now sharded: keys are distributed over N
 //! independently locked `HashMap` shards by hash, so concurrent lookups and
-//! inserts of different keys almost never contend on the same mutex. The
-//! entry count is tracked with a relaxed atomic incremented on successful
-//! insert, making `len()` lock-free.
+//! inserts of different keys almost never contend on the same mutex.
+//!
+//! Two production-scale layers sit on top of the shards:
+//!
+//! * **Negative-lookup filter** — synthesis is miss-dominated (most checks
+//!   are posed exactly once), so the hot path of `get` consults a
+//!   fixed-size lock-free bloom filter first and returns without touching
+//!   any mutex when the key was definitely never inserted. The filter is
+//!   marked on every insert (including snapshot loads, which go through
+//!   `insert`); false positives merely fall through to the shard lock,
+//!   false negatives cannot occur because marking precedes map insertion.
+//! * **Residency cap** — [`ShardedCache::with_max_entries`] bounds the
+//!   number of resident entries per cache for long-lived campaigns,
+//!   evicting with a second-chance (clock) sweep over each shard's
+//!   deterministic iteration order. Eviction can only cause a later
+//!   re-query (same verdict — oracles are deterministic), never a changed
+//!   answer, so grammars are unaffected. [`ShardedCache::len`] counts
+//!   *distinct keys ever inserted* — an 8-byte per-key ledger survives
+//!   eviction so `unique_queries` accounting stays exact.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Number of mutex stripes. 16 keeps contention negligible for the worker
 /// counts this crate spawns (bounded by available cores) at trivial memory
 /// cost.
 const SHARD_COUNT: usize = 16;
+
+/// Negative-lookup filter size: 2²¹ bits (256 KiB) with two probes per
+/// key keeps the false-positive rate under ~1% at 10⁵ entries. Past ~10⁶
+/// entries the filter saturates and `get` degrades gracefully to the
+/// always-lock behavior.
+const FILTER_WORDS: usize = 1 << 15;
+const FILTER_BITS: u64 = (FILTER_WORDS as u64) * 64;
 
 /// Deterministic (unkeyed) hasher: shard choice and dedup hashing must not
 /// vary between runs, so synthesis stays reproducible.
@@ -28,62 +52,187 @@ pub(crate) fn hash_query(key: &[u8]) -> u64 {
     FixedState::default().hash_one(key)
 }
 
+/// One cached verdict plus its second-chance reference bit.
+#[derive(Debug)]
+struct Slot {
+    verdict: bool,
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<Vec<u8>, Slot, FixedState>,
+    /// Hashes of every key ever inserted into this shard. Maintained only
+    /// when a residency cap is set: it is what keeps distinct-key counting
+    /// (and therefore `unique_queries`) exact after evictions, at 8 bytes
+    /// per distinct key instead of the key bytes themselves.
+    seen: HashSet<u64, FixedState>,
+}
+
 /// A `Sync` map from query strings to oracle verdicts.
 #[derive(Debug)]
 pub(crate) struct ShardedCache {
-    shards: Vec<Mutex<HashMap<Vec<u8>, bool, FixedState>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Lock-free negative-lookup filter over every key ever inserted.
+    filter: Box<[AtomicU64]>,
+    /// Distinct keys ever inserted (never decremented by eviction).
     len: AtomicUsize,
+    /// Resident-entry cap per shard (`usize::MAX` = uncapped).
+    shard_cap: usize,
+    evictions: AtomicUsize,
+    /// `get` calls answered "absent" by the filter alone (no lock taken).
+    filter_negatives: AtomicUsize,
 }
 
 impl ShardedCache {
     pub fn new() -> Self {
+        ShardedCache::with_max_entries(None)
+    }
+
+    /// A cache whose resident entries are capped at roughly
+    /// `max_entries` (rounded up to a per-shard cap; `None` = unbounded).
+    /// See the module docs for the eviction policy and its guarantees.
+    pub fn with_max_entries(max_entries: Option<usize>) -> Self {
         ShardedCache {
-            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::default())).collect(),
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::default())).collect(),
+            filter: (0..FILTER_WORDS).map(|_| AtomicU64::new(0)).collect(),
             len: AtomicUsize::new(0),
+            shard_cap: max_entries.map_or(usize::MAX, |n| n.div_ceil(SHARD_COUNT).max(1)),
+            evictions: AtomicUsize::new(0),
+            filter_negatives: AtomicUsize::new(0),
         }
     }
 
-    fn shard(&self, key: &[u8]) -> &Mutex<HashMap<Vec<u8>, bool, FixedState>> {
+    fn shard_index(h: u64) -> usize {
         // High bits: the low bits also pick the HashMap bucket.
-        let h = hash_query(key);
-        &self.shards[(h >> 59) as usize % SHARD_COUNT]
+        (h >> 59) as usize % SHARD_COUNT
     }
 
-    /// Looks up a cached verdict.
+    /// The filter's two probe positions for a key hash: disjoint bit
+    /// ranges of the (already well-mixed) 64-bit hash.
+    fn filter_probes(h: u64) -> [(usize, u64); 2] {
+        let b1 = h & (FILTER_BITS - 1);
+        let b2 = (h >> 21) & (FILTER_BITS - 1);
+        [((b1 / 64) as usize, 1u64 << (b1 % 64)), ((b2 / 64) as usize, 1u64 << (b2 % 64))]
+    }
+
+    /// Whether `h` might have been inserted. `false` is definitive.
+    fn filter_maybe_contains(&self, h: u64) -> bool {
+        Self::filter_probes(h)
+            .iter()
+            .all(|&(word, bit)| self.filter[word].load(Ordering::Relaxed) & bit != 0)
+    }
+
+    fn filter_mark(&self, h: u64) {
+        for (word, bit) in Self::filter_probes(h) {
+            self.filter[word].fetch_or(bit, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up a cached verdict. Keys never inserted are usually
+    /// answered by the negative filter without locking any shard.
     pub fn get(&self, key: &[u8]) -> Option<bool> {
-        self.shard(key).lock().expect("cache shard poisoned").get(key).copied()
+        let h = hash_query(key);
+        if !self.filter_maybe_contains(h) {
+            self.filter_negatives.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shards[Self::shard_index(h)].lock().expect("cache shard poisoned");
+        let slot = shard.map.get_mut(key)?;
+        slot.referenced = true;
+        Some(slot.verdict)
     }
 
-    /// Records a verdict; returns `true` if the key was not cached before.
-    /// An already-present key keeps its original verdict (oracles are
-    /// deterministic, so both verdicts agree).
+    /// Records a verdict; returns `true` if the key was never cached
+    /// before (an evicted-and-reinserted key is *not* fresh — it was
+    /// already counted). An already-resident key keeps its original
+    /// verdict (oracles are deterministic, so both verdicts agree).
     pub fn insert(&self, key: Vec<u8>, verdict: bool) -> bool {
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
-        let mut fresh = false;
-        shard.entry(key).or_insert_with(|| {
-            fresh = true;
-            verdict
-        });
-        drop(shard);
+        let h = hash_query(&key);
+        // Mark before the map insert: a concurrent `get` that sees the
+        // map entry must also see the filter bits.
+        self.filter_mark(h);
+        let mut guard = self.shards[Self::shard_index(h)].lock().expect("cache shard poisoned");
+        let shard = &mut *guard;
+        if shard.map.contains_key(&key) {
+            return false;
+        }
+        if shard.map.len() >= self.shard_cap {
+            Self::evict_one(shard, &self.evictions);
+        }
+        let fresh = if self.shard_cap == usize::MAX { true } else { shard.seen.insert(h) };
+        shard.map.insert(key, Slot { verdict, referenced: false });
+        drop(guard);
         if fresh {
             self.len.fetch_add(1, Ordering::Relaxed);
         }
         fresh
     }
 
-    /// Number of distinct cached queries.
+    /// Evicts one entry from a full shard: a second-chance sweep in the
+    /// map's iteration order (deterministic — the hasher is fixed) clears
+    /// reference bits until it finds an unreferenced entry; if every
+    /// entry had its second chance pending, the first entry goes (its bit
+    /// was just cleared, making the next sweep a plain clock pass).
+    fn evict_one(shard: &mut Shard, evictions: &AtomicUsize) {
+        let mut victim: Option<Vec<u8>> = None;
+        for (key, slot) in shard.map.iter_mut() {
+            if slot.referenced {
+                slot.referenced = false;
+            } else {
+                victim = Some(key.clone());
+                break;
+            }
+        }
+        let victim = match victim.or_else(|| shard.map.keys().next().cloned()) {
+            Some(v) => v,
+            None => return,
+        };
+        shard.map.remove(&victim);
+        evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of distinct cached queries ever inserted. Not decremented
+    /// by eviction: this is the session's `unique_queries` ledger, and an
+    /// evicted entry was still a distinct query.
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
     }
 
-    /// Copies every `(query, verdict)` entry out, in unspecified order
-    /// (serialization via `persist::cache_to_text` sorts; sorting here too
-    /// would be a redundant O(n log n) pass on every snapshot).
+    /// Number of entries currently resident (equals [`ShardedCache::len`]
+    /// for uncapped caches; at most the configured cap otherwise).
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Entries evicted by the residency cap so far.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// `get` calls answered "absent" by the negative filter alone, i.e.
+    /// without taking any shard lock.
+    pub fn filter_negatives(&self) -> usize {
+        self.filter_negatives.load(Ordering::Relaxed)
+    }
+
+    /// Copies every resident `(query, verdict)` entry out, in unspecified
+    /// order (serialization via `persist::cache_to_text` sorts; sorting
+    /// here too would be a redundant O(n log n) pass on every snapshot).
+    ///
+    /// The pass is consistent: **all** shard locks are acquired — in
+    /// ascending shard-index order, the crate's only multi-shard lock
+    /// site — before any entry is copied, and the output is sized from
+    /// the locked shards' actual lengths. (The previous implementation
+    /// sized from the lock-free `len()` hint and locked shards one at a
+    /// time, so a concurrent insert could both stale the size hint and
+    /// let the copy observe a key in two states across shards.)
     pub fn snapshot(&self) -> Vec<(Vec<u8>, bool)> {
-        let mut out = Vec::with_capacity(self.len());
-        for shard in &self.shards {
-            let shard = shard.lock().expect("cache shard poisoned");
-            out.extend(shard.iter().map(|(k, &v)| (k.clone(), v)));
+        let guards: Vec<MutexGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.lock().expect("cache shard poisoned")).collect();
+        let mut out = Vec::with_capacity(guards.iter().map(|g| g.map.len()).sum());
+        for guard in &guards {
+            out.extend(guard.map.iter().map(|(k, slot)| (k.clone(), slot.verdict)));
         }
         out
     }
@@ -102,6 +251,8 @@ mod tests {
         assert_eq!(c.get(b"x"), Some(true), "first verdict wins");
         assert!(c.insert(b"y".to_vec(), false));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.resident(), 2);
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]
@@ -132,6 +283,92 @@ mod tests {
             snap,
             vec![(b"a".to_vec(), false), (b"mm".to_vec(), true), (b"zz".to_vec(), true)]
         );
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_inserts_is_well_formed() {
+        // Regression for the stale-capacity/inconsistent-pass bug: snapshot
+        // while writers insert; every snapshotted key must appear exactly
+        // once with a valid verdict, and the size must equal its contents.
+        let c = ShardedCache::new();
+        std::thread::scope(|s| {
+            let c = &c;
+            s.spawn(move || {
+                for i in 0..2000u32 {
+                    c.insert(i.to_le_bytes().to_vec(), i % 2 == 0);
+                }
+            });
+            for _ in 0..50 {
+                let snap = c.snapshot();
+                let mut keys: Vec<&Vec<u8>> = snap.iter().map(|(k, _)| k).collect();
+                keys.sort();
+                keys.dedup();
+                assert_eq!(keys.len(), snap.len(), "a key appeared in two states");
+            }
+        });
+        assert_eq!(c.snapshot().len(), 2000);
+    }
+
+    #[test]
+    fn negative_filter_answers_absent_keys_without_locking() {
+        let c = ShardedCache::new();
+        c.insert(b"present".to_vec(), true);
+        assert_eq!(c.get(b"present"), Some(true));
+        let before = c.filter_negatives();
+        for i in 0..100u32 {
+            assert_eq!(c.get(format!("absent-{i}").as_bytes()), None);
+        }
+        // With 2 probes over 2^21 bits and one insert, essentially every
+        // absent key is filtered; tolerate a stray false positive.
+        assert!(c.filter_negatives() - before >= 99, "{}", c.filter_negatives() - before);
+        // Present keys are never filtered (no false negatives).
+        assert_eq!(c.get(b"present"), Some(true));
+    }
+
+    #[test]
+    fn residency_cap_evicts_but_len_counts_distinct_ever() {
+        let cap = 64;
+        let c = ShardedCache::with_max_entries(Some(cap));
+        let n = 1000u32;
+        for i in 0..n {
+            c.insert(format!("key-{i:04}").into_bytes(), i % 2 == 0);
+        }
+        assert_eq!(c.len(), n as usize, "distinct-ever ledger ignores eviction");
+        // Per-shard cap is ceil(64/16) = 4, so at most 64 stay resident.
+        assert!(c.resident() <= cap, "resident {} exceeds cap {cap}", c.resident());
+        assert!(c.evictions() >= (n as usize) - cap);
+        // Evicted keys read as absent; re-inserting one is not fresh and
+        // does not grow the distinct count.
+        let resident_before = c.resident();
+        assert!(!c.insert(b"key-0000".to_vec(), true), "reinsert of an evicted key is not fresh");
+        assert_eq!(c.len(), n as usize);
+        assert!(c.resident() <= resident_before.max(cap));
+        assert_eq!(c.get(b"key-0000"), Some(true), "reinserted key is resident again");
+    }
+
+    #[test]
+    fn second_chance_prefers_unreferenced_victims() {
+        // One shard's worth of traffic: keys that were `get`-referenced
+        // survive the next eviction sweep; an untouched key goes first.
+        let c = ShardedCache::with_max_entries(Some(SHARD_COUNT * 2)); // 2 per shard
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        // Find three keys landing in the same shard.
+        let mut i = 0u32;
+        while keys.len() < 3 {
+            let k = format!("probe-{i}").into_bytes();
+            if ShardedCache::shard_index(hash_query(&k)) == 0 {
+                keys.push(k);
+            }
+            i += 1;
+        }
+        c.insert(keys[0].clone(), true);
+        c.insert(keys[1].clone(), false);
+        // Reference key[0] so it has a second chance; key[1] does not.
+        assert_eq!(c.get(&keys[0]), Some(true));
+        c.insert(keys[2].clone(), true);
+        assert_eq!(c.get(&keys[0]), Some(true), "referenced key survived");
+        assert_eq!(c.get(&keys[1]), None, "unreferenced key was evicted");
+        assert_eq!(c.get(&keys[2]), Some(true));
     }
 
     #[test]

@@ -167,8 +167,10 @@ pub use oracle::{
     PooledProcessOracle, ProcessOracle,
 };
 pub use persist::{
-    cache_from_text, cache_to_text, snapshot_from_text, snapshot_to_text,
-    snapshot_to_text_with_memo, CacheError, CacheSnapshot, MemoEntry,
+    cache_from_text, cache_to_text, is_binary_snapshot, snapshot_from_binary,
+    snapshot_from_binary_reader, snapshot_from_reader, snapshot_from_text, snapshot_to_binary,
+    snapshot_to_text, snapshot_to_text_with_memo, BinaryCacheFile, CacheError, CacheFormat,
+    CacheSnapshot, IntoEntries, MemoEntry, SnapshotEntries,
 };
 pub use session::{GladeBuilder, Session};
 pub use synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};

@@ -59,9 +59,59 @@
 //! with file I/O; [`cache_to_text`], [`cache_from_text`], and the
 //! fingerprint-aware [`CacheSnapshot`] round-trip expose the text layer
 //! directly.
+//!
+//! # Binary snapshots (`glade-cachebin v1`)
+//!
+//! The text format is built for inspection and diffing, not for the 10⁷+
+//! entries a long-lived `glade serve` fleet accumulates: hex doubles every
+//! query byte and parsing decodes them one nibble at a time. The binary
+//! format stores the same [`CacheSnapshot`] — entries, memo table, oracle
+//! fingerprint — in an indexed, length-prefixed layout. All integers are
+//! little-endian; sections are laid out back to back:
+//!
+//! | section | offset | layout |
+//! |---|---|---|
+//! | magic | 0 | the 18 bytes `glade-cachebin v1\n` |
+//! | header | 18 | `u32` fingerprint length, `u64` entry count, `u64` memo count, `u64` index offset, `u64` records offset, `u64` memo offset, `u64` total length |
+//! | fingerprint | 70 | UTF-8 fingerprint bytes (absent when length is 0) |
+//! | index | header's index offset | entry count × (`u64` query hash, `u64` absolute record offset), sorted by (hash, offset) |
+//! | records | header's records offset | entry count × (`u8` verdict, `u32` query length, query bytes), sorted by query bytes |
+//! | memo | header's memo offset | memo count × (16-byte key, `u32` class count, classes), keys sorted; each class is a `u32` member count followed by its member bytes |
+//!
+//! Entries and the index are sorted, so equal caches serialize to
+//! byte-identical snapshots — the same stability guarantee as the text
+//! format. The header's total length and per-section offsets make every
+//! truncation detectable up front ([`CacheError::Corrupt`]), and the
+//! sorted hash index lets [`BinaryCacheFile`] answer point lookups by
+//! binary-searching the index *on disk* — a multi-gigabyte snapshot is
+//! opened by reading ~100 bytes of header and faulted in one record at a
+//! time. [`is_binary_snapshot`] sniffs the magic so load paths accept
+//! either format transparently; text v1–v3 snapshots keep loading forever.
+//!
+//! # Ops note: cache sizing and eviction
+//!
+//! A cache entry costs its query bytes plus map overhead, and the engine's
+//! in-memory tier ([`GladeBuilder::max_cache_entries`](crate::GladeBuilder::max_cache_entries))
+//! can cap residency for long-lived campaigns. Trade-offs to size by:
+//!
+//! * **Uncapped** (the default) never re-pays a query but holds every
+//!   distinct query string for the session's lifetime. Right for
+//!   single-campaign runs and anything below ~10⁶ entries.
+//! * **Capped** bounds key-byte residency with second-chance eviction; an
+//!   evicted entry re-queried later re-pays one oracle call with an
+//!   identical verdict, so grammars and `unique_queries` are unchanged —
+//!   only oracle traffic can grow. An 8-byte-per-distinct-query ledger
+//!   remains so `unique_queries` stays exact under eviction.
+//! * **Partial load** ([`BinaryCacheFile`] via
+//!   [`Session::attach_cache`](crate::Session::attach_cache)) keeps the
+//!   snapshot on disk entirely and faults verdicts in on demand — pair it
+//!   with a residency cap to serve warm starts from snapshots much larger
+//!   than memory.
 
+use crate::cache::hash_query;
 use glade_grammar::CharClass;
 use std::fmt::Write as _;
+use std::io::{BufRead, Read, Seek, SeekFrom};
 use std::path::Path;
 
 /// Errors from loading a cache snapshot.
@@ -78,6 +128,13 @@ pub enum CacheError {
     BadLine(usize),
     /// A directive has a malformed verdict or hex field.
     BadField(usize),
+    /// A binary snapshot is truncated or structurally inconsistent.
+    Corrupt {
+        /// Byte offset of the first inconsistency.
+        offset: u64,
+        /// What was wrong there.
+        what: &'static str,
+    },
     /// The snapshot was produced by a different oracle than the session is
     /// using: replaying its verdicts would silently corrupt synthesis.
     OracleMismatch {
@@ -95,6 +152,9 @@ impl std::fmt::Display for CacheError {
             CacheError::BadHeader => write!(f, "missing or unsupported cache header"),
             CacheError::BadLine(n) => write!(f, "unrecognized cache directive on line {n}"),
             CacheError::BadField(n) => write!(f, "malformed cache field on line {n}"),
+            CacheError::Corrupt { offset, what } => {
+                write!(f, "corrupt binary cache snapshot at byte {offset}: {what}")
+            }
             CacheError::OracleMismatch { snapshot, expected } => write!(
                 f,
                 "cache snapshot was produced by a different oracle \
@@ -129,9 +189,127 @@ pub struct CacheSnapshot {
     /// Identity of the oracle the verdicts are facts about, when recorded.
     pub oracle_fingerprint: Option<String>,
     /// The cached `(query, verdict)` entries.
-    pub entries: Vec<(Vec<u8>, bool)>,
+    pub entries: SnapshotEntries,
     /// Persisted byte-class memo entries (empty for v1/v2 snapshots).
     pub memo: Vec<MemoEntry>,
+}
+
+/// Decoded `(query, verdict)` entries, backed by a single arena buffer.
+///
+/// Decoding a snapshot is O(1) allocations, not one per query: the
+/// binary loader adopts the raw record section as the arena and records
+/// a span per entry, so loading a 10⁵-entry cache is bounded by the
+/// file read, not by 10⁵ small allocations (which would otherwise
+/// dominate it). Owned query bytes are materialized only when a
+/// consumer takes them — iterating by reference ([`iter`]) is free,
+/// [`into_iter`](IntoIterator) / [`to_vec`] copy one query at a time.
+///
+/// [`iter`]: SnapshotEntries::iter
+/// [`to_vec`]: SnapshotEntries::to_vec
+#[derive(Clone, Default)]
+pub struct SnapshotEntries {
+    arena: Vec<u8>,
+    spans: Vec<EntrySpan>,
+}
+
+#[derive(Clone, Copy)]
+struct EntrySpan {
+    off: usize,
+    len: usize,
+    verdict: bool,
+}
+
+impl SnapshotEntries {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterates the entries as borrowed `(query, verdict)` pairs,
+    /// in stored (sorted) order, without copying the query bytes.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (&[u8], bool)> + '_ {
+        self.spans.iter().map(|s| (&self.arena[s.off..s.off + s.len], s.verdict))
+    }
+
+    /// Copies the entries into the owned form the serializers accept.
+    pub fn to_vec(&self) -> Vec<(Vec<u8>, bool)> {
+        self.iter().map(|(q, v)| (q.to_vec(), v)).collect()
+    }
+
+    /// Consumes the entries into owned `(query, verdict)` pairs.
+    pub fn into_vec(self) -> Vec<(Vec<u8>, bool)> {
+        self.to_vec()
+    }
+}
+
+impl From<Vec<(Vec<u8>, bool)>> for SnapshotEntries {
+    fn from(entries: Vec<(Vec<u8>, bool)>) -> Self {
+        let total = entries.iter().map(|(q, _)| q.len()).sum();
+        let mut arena = Vec::with_capacity(total);
+        let mut spans = Vec::with_capacity(entries.len());
+        for (query, verdict) in &entries {
+            spans.push(EntrySpan { off: arena.len(), len: query.len(), verdict: *verdict });
+            arena.extend_from_slice(query);
+        }
+        SnapshotEntries { arena, spans }
+    }
+}
+
+impl IntoIterator for SnapshotEntries {
+    type Item = (Vec<u8>, bool);
+    type IntoIter = IntoEntries;
+    fn into_iter(self) -> IntoEntries {
+        IntoEntries { entries: self, next: 0 }
+    }
+}
+
+/// Owning iterator over [`SnapshotEntries`]; each query is copied out of
+/// the shared arena as it is yielded.
+pub struct IntoEntries {
+    entries: SnapshotEntries,
+    next: usize,
+}
+
+impl Iterator for IntoEntries {
+    type Item = (Vec<u8>, bool);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let s = *self.entries.spans.get(self.next)?;
+        self.next += 1;
+        Some((self.entries.arena[s.off..s.off + s.len].to_vec(), s.verdict))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.entries.spans.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for IntoEntries {}
+
+impl PartialEq for SnapshotEntries {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for SnapshotEntries {}
+
+impl PartialEq<Vec<(Vec<u8>, bool)>> for SnapshotEntries {
+    fn eq(&self, other: &Vec<(Vec<u8>, bool)>) -> bool {
+        self.iter().eq(other.iter().map(|(q, v)| (q.as_slice(), *v)))
+    }
+}
+
+impl std::fmt::Debug for SnapshotEntries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
 }
 
 /// One persisted byte-class memo entry: a memoized character-generalization
@@ -239,33 +417,93 @@ pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
     let Some((_, header)) = lines.next() else {
         return Err(CacheError::BadHeader);
     };
-    let version: u8 = match header.trim() {
-        "glade-cache v1" => 1,
-        "glade-cache v2" => 2,
-        "glade-cache v3" => 3,
-        _ => return Err(CacheError::BadHeader),
-    };
-    let mut fingerprint: Option<String> = None;
-    let mut entries = Vec::new();
-    let mut memo = Vec::new();
+    let mut parser = TextParser::new(header)?;
     for (lineno, raw) in lines {
+        parser.line(lineno + 1, raw)?;
+    }
+    Ok(parser.finish())
+}
+
+/// Parses snapshot text (v1, v2, or v3) from a buffered reader, one line
+/// at a time — the file is never materialized in memory, so loading a
+/// large snapshot costs the entries alone instead of ~2× their size
+/// (file text plus decoded entries). Error values — including
+/// [`CacheError::BadLine`]/[`CacheError::BadField`] line numbers and the
+/// handling of a torn final line — are identical to
+/// [`snapshot_from_text`] on the same bytes.
+///
+/// # Errors
+///
+/// Returns a [`CacheError`] describing the first malformed line, or
+/// [`CacheError::Io`] for read failures (including non-UTF-8 content,
+/// exactly as a whole-file read would report it).
+pub fn snapshot_from_reader(mut reader: impl BufRead) -> Result<CacheSnapshot, CacheError> {
+    // `str::lines` semantics, line by line: split on `\n`, strip one
+    // trailing `\r`, and surface a final line without a newline as-is.
+    let mut buf = String::new();
+    let mut read_line = |buf: &mut String| -> Result<bool, CacheError> {
+        buf.clear();
+        let n = reader.read_line(buf)?;
+        if buf.ends_with('\n') {
+            buf.pop();
+            if buf.ends_with('\r') {
+                buf.pop();
+            }
+        }
+        Ok(n > 0)
+    };
+    if !read_line(&mut buf)? {
+        return Err(CacheError::BadHeader);
+    }
+    let mut parser = TextParser::new(&buf)?;
+    let mut lineno = 1;
+    while read_line(&mut buf)? {
+        lineno += 1;
+        parser.line(lineno, &buf)?;
+    }
+    Ok(parser.finish())
+}
+
+/// Shared per-line logic of [`snapshot_from_text`] and
+/// [`snapshot_from_reader`]: one parser, two line sources, so the
+/// streaming path can never drift from the in-memory path's error
+/// numbering or directive handling.
+struct TextParser {
+    version: u8,
+    fingerprint: Option<String>,
+    entries: Vec<(Vec<u8>, bool)>,
+    memo: Vec<MemoEntry>,
+}
+
+impl TextParser {
+    fn new(header: &str) -> Result<Self, CacheError> {
+        let version: u8 = match header.trim() {
+            "glade-cache v1" => 1,
+            "glade-cache v2" => 2,
+            "glade-cache v3" => 3,
+            _ => return Err(CacheError::BadHeader),
+        };
+        Ok(TextParser { version, fingerprint: None, entries: Vec::new(), memo: Vec::new() })
+    }
+
+    fn line(&mut self, lineno: usize, raw: &str) -> Result<(), CacheError> {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
-            continue;
+            return Ok(());
         }
-        let lineno = lineno + 1;
         if let Some(hex) = line.strip_prefix("oracle ") {
             // The directive is v2+-only and at most one is meaningful.
-            if version < 2 || fingerprint.is_some() {
+            if self.version < 2 || self.fingerprint.is_some() {
                 return Err(CacheError::BadLine(lineno));
             }
             let bytes = decode_hex(hex, lineno)?;
-            fingerprint = Some(String::from_utf8(bytes).map_err(|_| CacheError::BadField(lineno))?);
-            continue;
+            self.fingerprint =
+                Some(String::from_utf8(bytes).map_err(|_| CacheError::BadField(lineno))?);
+            return Ok(());
         }
         if let Some(rest) = line.strip_prefix("m ") {
             // Memo entries are v3-only.
-            if version < 3 {
+            if self.version < 3 {
                 return Err(CacheError::BadLine(lineno));
             }
             let Some((key_hex, classes_hex)) = rest.split_once(' ') else {
@@ -282,8 +520,8 @@ pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
                 }
                 classes.push(CharClass::from_bytes(&decode_hex(class_hex, lineno)?));
             }
-            memo.push(MemoEntry { key, classes });
-            continue;
+            self.memo.push(MemoEntry { key, classes });
+            return Ok(());
         }
         let Some(rest) = line.strip_prefix("q ") else {
             return Err(CacheError::BadLine(lineno));
@@ -298,9 +536,17 @@ pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
             "1" => true,
             _ => return Err(CacheError::BadField(lineno)),
         };
-        entries.push((decode_hex(hex, lineno)?, verdict));
+        self.entries.push((decode_hex(hex, lineno)?, verdict));
+        Ok(())
     }
-    Ok(CacheSnapshot { oracle_fingerprint: fingerprint, entries, memo })
+
+    fn finish(self) -> CacheSnapshot {
+        CacheSnapshot {
+            oracle_fingerprint: self.fingerprint,
+            entries: self.entries.into(),
+            memo: self.memo,
+        }
+    }
 }
 
 /// Parses snapshot text (v1, v2, or v3) back into `(query, verdict)`
@@ -310,7 +556,488 @@ pub fn snapshot_from_text(text: &str) -> Result<CacheSnapshot, CacheError> {
 ///
 /// Returns a [`CacheError`] describing the first malformed line.
 pub fn cache_from_text(text: &str) -> Result<Vec<(Vec<u8>, bool)>, CacheError> {
-    snapshot_from_text(text).map(|s| s.entries)
+    snapshot_from_text(text).map(|s| s.entries.into_vec())
+}
+
+/// On-disk cache snapshot format selector (see the module docs for both
+/// layouts). Load paths sniff the format from the file itself
+/// ([`is_binary_snapshot`]); this enum picks the format on *save*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CacheFormat {
+    /// Line-oriented `glade-cache v1`–`v3` text: grep-able, diff-able,
+    /// and readable by every historical consumer. The default.
+    #[default]
+    Text,
+    /// Indexed `glade-cachebin v1`: compact, fast to load, and partially
+    /// loadable through [`BinaryCacheFile`].
+    Binary,
+}
+
+impl CacheFormat {
+    /// Parses the CLI/env spelling: `text`, or `binary`/`bin`.
+    pub fn parse(s: &str) -> Option<CacheFormat> {
+        match s {
+            "text" => Some(CacheFormat::Text),
+            "binary" | "bin" => Some(CacheFormat::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheFormat::Text => "text",
+            CacheFormat::Binary => "binary",
+        })
+    }
+}
+
+/// Magic prefix of a `glade-cachebin v1` snapshot. Deliberately *not* a
+/// valid text header ("glade-cachebin v1" matches no text version), so
+/// feeding either format to the other parser fails cleanly.
+const BINARY_MAGIC: &[u8; 18] = b"glade-cachebin v1\n";
+/// Fixed header bytes after the magic: `u32` fingerprint length plus six
+/// `u64` fields (entry count, memo count, index/records/memo offsets,
+/// total length).
+const BIN_HEADER_LEN: usize = 4 + 6 * 8;
+/// One index slot: `u64` query hash, `u64` absolute record offset.
+const BIN_INDEX_SLOT: usize = 16;
+
+/// Whether `prefix` begins a `glade-cachebin v1` snapshot. Callers sniff
+/// the first [`BufRead::fill_buf`] of a snapshot file to route between
+/// [`snapshot_from_binary_reader`] and [`snapshot_from_reader`].
+pub fn is_binary_snapshot(prefix: &[u8]) -> bool {
+    prefix.len() >= BINARY_MAGIC.len() && &prefix[..BINARY_MAGIC.len()] == BINARY_MAGIC
+}
+
+/// Serializes entries, memo entries, and an optional oracle fingerprint
+/// to a `glade-cachebin v1` snapshot (layout table in the module docs).
+///
+/// Entries are sorted by query bytes and the index by (hash, offset), so
+/// — like [`snapshot_to_text_with_memo`] — equal caches serialize to
+/// byte-identical snapshots regardless of insertion order.
+pub fn snapshot_to_binary(
+    entries: &[(Vec<u8>, bool)],
+    memo: &[MemoEntry],
+    oracle_fingerprint: Option<&str>,
+) -> Vec<u8> {
+    let mut sorted: Vec<&(Vec<u8>, bool)> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut memo_sorted: Vec<&MemoEntry> = memo.iter().collect();
+    memo_sorted.sort_by_key(|m| m.key);
+    let fp = oracle_fingerprint.map_or(&b""[..], str::as_bytes);
+
+    let index_off = (BINARY_MAGIC.len() + BIN_HEADER_LEN + fp.len()) as u64;
+    let records_off = index_off + (sorted.len() * BIN_INDEX_SLOT) as u64;
+    let mut records = Vec::new();
+    let mut index: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+    for (query, verdict) in &sorted {
+        index.push((hash_query(query), records_off + records.len() as u64));
+        records.push(u8::from(*verdict));
+        records
+            .extend_from_slice(&u32::try_from(query.len()).expect("query > 4 GiB").to_le_bytes());
+        records.extend_from_slice(query);
+    }
+    index.sort_unstable();
+    let memo_off = records_off + records.len() as u64;
+    let mut memo_bytes = Vec::new();
+    for entry in memo_sorted {
+        memo_bytes.extend_from_slice(&entry.key);
+        memo_bytes.extend_from_slice(&(entry.classes.len() as u32).to_le_bytes());
+        for class in &entry.classes {
+            let members: Vec<u8> = class.iter().collect();
+            memo_bytes.extend_from_slice(&(members.len() as u32).to_le_bytes());
+            memo_bytes.extend_from_slice(&members);
+        }
+    }
+    let total_len = memo_off + memo_bytes.len() as u64;
+
+    let mut out = Vec::with_capacity(total_len as usize);
+    out.extend_from_slice(BINARY_MAGIC);
+    out.extend_from_slice(&(fp.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(sorted.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(memo.len() as u64).to_le_bytes());
+    out.extend_from_slice(&index_off.to_le_bytes());
+    out.extend_from_slice(&records_off.to_le_bytes());
+    out.extend_from_slice(&memo_off.to_le_bytes());
+    out.extend_from_slice(&total_len.to_le_bytes());
+    out.extend_from_slice(fp);
+    for (hash, offset) in index {
+        out.extend_from_slice(&hash.to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+    out.extend_from_slice(&records);
+    out.extend_from_slice(&memo_bytes);
+    debug_assert_eq!(out.len() as u64, total_len);
+    out
+}
+
+/// Parsed and validated `glade-cachebin v1` header.
+#[derive(Debug)]
+struct BinHeader {
+    fingerprint: Option<String>,
+    entry_count: u64,
+    memo_count: u64,
+    index_off: u64,
+    records_off: u64,
+    memo_off: u64,
+    total_len: u64,
+}
+
+fn corrupt(offset: u64, what: &'static str) -> CacheError {
+    CacheError::Corrupt { offset, what }
+}
+
+/// Reads `buf.len()` bytes at the reader's current position (`pos` is the
+/// position, for error attribution only); a short read is a truncation.
+fn read_bin<R: Read>(r: &mut R, pos: u64, buf: &mut [u8]) -> Result<(), CacheError> {
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => corrupt(pos, "unexpected end of snapshot"),
+        _ => CacheError::Io(e),
+    })
+}
+
+/// Reads and cross-validates the magic, header, and fingerprint. Every
+/// section offset is checked against the neighbors and the real stream
+/// length, so truncation — at any cut — and header corruption surface
+/// here as [`CacheError::Corrupt`], never as a panic or a huge
+/// allocation downstream.
+fn read_binary_header<R: Read + Seek>(r: &mut R) -> Result<BinHeader, CacheError> {
+    let stream_len = r.seek(SeekFrom::End(0))?;
+    r.seek(SeekFrom::Start(0))?;
+    let mut magic = [0u8; BINARY_MAGIC.len()];
+    read_bin(r, 0, &mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(CacheError::BadHeader);
+    }
+    let mut header = [0u8; BIN_HEADER_LEN];
+    read_bin(r, BINARY_MAGIC.len() as u64, &mut header)?;
+    let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().unwrap());
+    let fp_len = u32_at(0) as u64;
+    let h = BinHeader {
+        fingerprint: None,
+        entry_count: u64_at(4),
+        memo_count: u64_at(12),
+        index_off: u64_at(20),
+        records_off: u64_at(28),
+        memo_off: u64_at(36),
+        total_len: u64_at(44),
+    };
+    let header_end = (BINARY_MAGIC.len() + BIN_HEADER_LEN) as u64;
+    if h.total_len != stream_len {
+        return Err(corrupt(stream_len, "snapshot length does not match header"));
+    }
+    if h.index_off != header_end + fp_len {
+        return Err(corrupt(h.index_off, "index offset disagrees with fingerprint length"));
+    }
+    if h.entry_count.checked_mul(BIN_INDEX_SLOT as u64).and_then(|len| h.index_off.checked_add(len))
+        != Some(h.records_off)
+    {
+        return Err(corrupt(h.records_off, "records offset disagrees with entry count"));
+    }
+    // Each record is at least 5 bytes, each memo entry at least 20: a
+    // count that cannot fit its section is corruption (and would
+    // otherwise drive a huge `with_capacity`).
+    if !(h.records_off <= h.memo_off && h.memo_off <= h.total_len) {
+        return Err(corrupt(h.memo_off, "memo offset outside snapshot"));
+    }
+    if h.entry_count.checked_mul(5).is_none_or(|min| min > h.memo_off - h.records_off) {
+        return Err(corrupt(h.records_off, "entry count cannot fit the record section"));
+    }
+    if h.memo_count.checked_mul(20).is_none_or(|min| min > h.total_len - h.memo_off) {
+        return Err(corrupt(h.memo_off, "memo count cannot fit the memo section"));
+    }
+    let fingerprint = if fp_len == 0 {
+        None
+    } else {
+        let mut fp = vec![0u8; fp_len as usize];
+        read_bin(r, header_end, &mut fp)?;
+        Some(String::from_utf8(fp).map_err(|_| corrupt(header_end, "fingerprint is not UTF-8"))?)
+    };
+    Ok(BinHeader { fingerprint, ..h })
+}
+
+/// Parses one memo entry at `pos`, bounded by `limit` (the snapshot end).
+fn read_bin_memo<R: Read>(r: &mut R, pos: &mut u64, limit: u64) -> Result<MemoEntry, CacheError> {
+    let mut head = [0u8; 20];
+    read_bin(r, *pos, &mut head)?;
+    let key: [u8; 16] = head[..16].try_into().unwrap();
+    let class_count = u64::from(u32::from_le_bytes(head[16..20].try_into().unwrap()));
+    *pos += 20;
+    // Each class is at least 5 bytes (length plus one member).
+    if class_count.checked_mul(5).is_none_or(|min| *pos + min > limit) {
+        return Err(corrupt(*pos, "memo class count cannot fit the memo section"));
+    }
+    let mut classes = Vec::with_capacity(class_count as usize);
+    for _ in 0..class_count {
+        let mut len_buf = [0u8; 4];
+        read_bin(r, *pos, &mut len_buf)?;
+        let members_len = u64::from(u32::from_le_bytes(len_buf));
+        if members_len == 0 {
+            // Parity with the text parser: a learned class always
+            // contains at least the original byte.
+            return Err(corrupt(*pos, "empty byte-class member set"));
+        }
+        if pos.checked_add(4 + members_len).is_none_or(|end| end > limit) {
+            return Err(corrupt(*pos, "byte class overruns the memo section"));
+        }
+        let mut members = vec![0u8; members_len as usize];
+        read_bin(r, *pos + 4, &mut members)?;
+        *pos += 4 + members_len;
+        classes.push(CharClass::from_bytes(&members));
+    }
+    Ok(MemoEntry { key, classes })
+}
+
+/// Fully loads a `glade-cachebin v1` snapshot from a seekable reader into
+/// a [`CacheSnapshot`]. The load is sequential and streaming — the index
+/// section is skipped (it is derived data), and nothing beyond the
+/// decoded entries is materialized.
+///
+/// # Errors
+///
+/// [`CacheError::BadHeader`] when the magic is absent,
+/// [`CacheError::Corrupt`] for any truncation or structural
+/// inconsistency, [`CacheError::Io`] for read failures.
+pub fn snapshot_from_binary_reader<R: Read + Seek>(r: &mut R) -> Result<CacheSnapshot, CacheError> {
+    let h = read_binary_header(r)?;
+    r.seek(SeekFrom::Start(h.records_off))?;
+    // One bulk read of the record and memo sections (the index is derived
+    // data and skipped), which then *becomes* the entry arena: decoding
+    // allocates the body buffer, the span table, and nothing else. This
+    // is most of the binary format's load-speed advantage at production
+    // cache sizes — the text path pays an allocation per query, which
+    // dominates its decode at 10⁵ entries. The header already validated
+    // `total_len` against the real stream length, so a short read here
+    // means the file shrank underneath us.
+    let body_len = (h.total_len - h.records_off) as usize;
+    let mut body = Vec::with_capacity(body_len);
+    let got = r.by_ref().take(body_len as u64).read_to_end(&mut body)?;
+    if got < body_len {
+        return Err(corrupt(h.records_off + got as u64, "unexpected end of snapshot"));
+    }
+
+    let local = |p: u64| (p - h.records_off) as usize;
+    let mut pos = h.records_off;
+    let mut spans = Vec::with_capacity(h.entry_count as usize);
+    for _ in 0..h.entry_count {
+        let Some(head) = body.get(local(pos)..local(pos) + 5) else {
+            return Err(corrupt(pos, "unexpected end of snapshot"));
+        };
+        let verdict = match head[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt(pos, "record verdict byte is neither 0 nor 1")),
+        };
+        let qlen = u64::from(u32::from_le_bytes(head[1..5].try_into().unwrap()));
+        if pos.checked_add(5 + qlen).is_none_or(|end| end > h.memo_off) {
+            return Err(corrupt(pos, "record overruns its section"));
+        }
+        spans.push(EntrySpan { off: local(pos + 5), len: qlen as usize, verdict });
+        pos += 5 + qlen;
+    }
+    if pos != h.memo_off {
+        return Err(corrupt(pos, "record section size mismatch"));
+    }
+    // Memo entries are few and structurally richer; the streaming parser
+    // (shared with `BinaryCacheFile::load_memo`) handles them over the
+    // in-memory section.
+    let mut cursor = std::io::Cursor::new(&body[local(pos)..]);
+    let mut memo = Vec::with_capacity(h.memo_count as usize);
+    for _ in 0..h.memo_count {
+        memo.push(read_bin_memo(&mut cursor, &mut pos, h.total_len)?);
+    }
+    if pos != h.total_len {
+        return Err(corrupt(pos, "memo section size mismatch"));
+    }
+    Ok(CacheSnapshot {
+        oracle_fingerprint: h.fingerprint,
+        entries: SnapshotEntries { arena: body, spans },
+        memo,
+    })
+}
+
+/// Fully loads a `glade-cachebin v1` snapshot from a byte slice. See
+/// [`snapshot_from_binary_reader`].
+///
+/// # Errors
+///
+/// As [`snapshot_from_binary_reader`].
+pub fn snapshot_from_binary(bytes: &[u8]) -> Result<CacheSnapshot, CacheError> {
+    snapshot_from_binary_reader(&mut std::io::Cursor::new(bytes))
+}
+
+/// An opened `glade-cachebin v1` snapshot answering point lookups without
+/// loading the file — the index-first partial-load path.
+///
+/// [`open`](BinaryCacheFile::open) reads and validates only the magic,
+/// header, and fingerprint (~100 bytes); [`lookup`](BinaryCacheFile::lookup)
+/// binary-searches the sorted on-disk hash index and faults in candidate
+/// records one at a time. A campaign can therefore warm-start from a
+/// snapshot far larger than memory, paying I/O only for the queries it
+/// actually poses — [`bytes_touched`](BinaryCacheFile::bytes_touched)
+/// measures exactly how little (the `cache_scale` bench pins it under 10%
+/// of the file for sparse query sets). Sessions wire this in through
+/// [`Session::attach_cache`](crate::Session::attach_cache).
+#[derive(Debug)]
+pub struct BinaryCacheFile {
+    file: std::fs::File,
+    header: BinHeader,
+    bytes_touched: u64,
+}
+
+impl BinaryCacheFile {
+    /// Opens a binary snapshot, reading only its header.
+    ///
+    /// # Errors
+    ///
+    /// As [`snapshot_from_binary_reader`] (the header carries enough
+    /// redundancy that truncation anywhere is detected here).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CacheError> {
+        let mut file = std::fs::File::open(path)?;
+        let header = read_binary_header(&mut file)?;
+        // Everything open() read: magic + header + fingerprint.
+        let bytes_touched = header.index_off;
+        Ok(BinaryCacheFile { file, header, bytes_touched })
+    }
+
+    /// Number of cached query entries in the snapshot.
+    pub fn len(&self) -> usize {
+        self.header.entry_count as usize
+    }
+
+    /// Whether the snapshot holds no query entries.
+    pub fn is_empty(&self) -> bool {
+        self.header.entry_count == 0
+    }
+
+    /// Number of byte-class memo entries in the snapshot.
+    pub fn memo_len(&self) -> usize {
+        self.header.memo_count as usize
+    }
+
+    /// The oracle fingerprint the snapshot was tagged with, if any.
+    pub fn fingerprint(&self) -> Option<&str> {
+        self.header.fingerprint.as_deref()
+    }
+
+    /// Total snapshot size in bytes (as recorded in the header).
+    pub fn file_len(&self) -> u64 {
+        self.header.total_len
+    }
+
+    /// Bytes read from the snapshot so far, including the header read by
+    /// [`open`](BinaryCacheFile::open) — the partial-load cost metric.
+    pub fn bytes_touched(&self) -> u64 {
+        self.bytes_touched
+    }
+
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> Result<(), CacheError> {
+        self.file.seek(SeekFrom::Start(off))?;
+        read_bin(&mut self.file, off, buf)?;
+        self.bytes_touched += buf.len() as u64;
+        Ok(())
+    }
+
+    /// The `i`-th on-disk index slot: (query hash, record offset).
+    fn index_slot(&mut self, i: u64) -> Result<(u64, u64), CacheError> {
+        let mut slot = [0u8; BIN_INDEX_SLOT];
+        self.read_at(self.header.index_off + i * BIN_INDEX_SLOT as u64, &mut slot)?;
+        Ok((
+            u64::from_le_bytes(slot[..8].try_into().unwrap()),
+            u64::from_le_bytes(slot[8..].try_into().unwrap()),
+        ))
+    }
+
+    /// Whether the record at `off` caches exactly `query`; returns its
+    /// verdict if so. The query bytes are only read when the lengths
+    /// already match.
+    fn record_matches(&mut self, off: u64, query: &[u8]) -> Result<Option<bool>, CacheError> {
+        if !(self.header.records_off..self.header.memo_off).contains(&off) {
+            return Err(corrupt(off, "index points outside the record section"));
+        }
+        let mut head = [0u8; 5];
+        self.read_at(off, &mut head)?;
+        let verdict = match head[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt(off, "record verdict byte is neither 0 nor 1")),
+        };
+        let qlen = u64::from(u32::from_le_bytes(head[1..5].try_into().unwrap()));
+        if qlen != query.len() as u64 {
+            return Ok(None);
+        }
+        if off.checked_add(5 + qlen).is_none_or(|end| end > self.header.memo_off) {
+            return Err(corrupt(off, "record overruns its section"));
+        }
+        let mut bytes = vec![0u8; qlen as usize];
+        self.read_at(off + 5, &mut bytes)?;
+        Ok((bytes == query).then_some(verdict))
+    }
+
+    /// Looks up the cached verdict for `query`, faulting in at most the
+    /// index slots on one binary-search path plus the records whose hash
+    /// collides with the query's — `O(log n)` reads, independent of
+    /// snapshot size.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] for read failures, [`CacheError::Corrupt`] if
+    /// the index or a record is inconsistent. Absence is `Ok(None)`.
+    pub fn lookup(&mut self, query: &[u8]) -> Result<Option<bool>, CacheError> {
+        let target = hash_query(query);
+        // Lower bound of `target` in the sorted (hash, offset) index.
+        let (mut lo, mut hi) = (0u64, self.header.entry_count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (hash, _) = self.index_slot(mid)?;
+            if hash < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Scan the (almost always singleton) run of colliding hashes.
+        while lo < self.header.entry_count {
+            let (hash, off) = self.index_slot(lo)?;
+            if hash != target {
+                break;
+            }
+            if let Some(verdict) = self.record_matches(off, query)? {
+                return Ok(Some(verdict));
+            }
+            lo += 1;
+        }
+        Ok(None)
+    }
+
+    /// Loads the snapshot's byte-class memo entries (the memo section is
+    /// small relative to the record section, so partial loading reads it
+    /// eagerly rather than faulting per key).
+    ///
+    /// # Errors
+    ///
+    /// As [`snapshot_from_binary_reader`].
+    pub fn load_memo(&mut self) -> Result<Vec<MemoEntry>, CacheError> {
+        let mut section = vec![0u8; (self.header.total_len - self.header.memo_off) as usize];
+        self.read_at(self.header.memo_off, &mut section)?;
+        let mut cursor = std::io::Cursor::new(&section[..]);
+        let mut pos = self.header.memo_off;
+        let mut memo = Vec::with_capacity(self.header.memo_count as usize);
+        for _ in 0..self.header.memo_count {
+            // `pos` is tracked in absolute file offsets for error
+            // attribution; the cursor reads the in-memory copy.
+            let before = pos - self.header.memo_off;
+            cursor.set_position(before);
+            memo.push(read_bin_memo(&mut cursor, &mut pos, self.header.total_len)?);
+        }
+        if pos != self.header.total_len {
+            return Err(corrupt(pos, "memo section size mismatch"));
+        }
+        Ok(memo)
+    }
 }
 
 /// Durably replaces `path` with `bytes` via `tmp`: write the temporary
@@ -409,7 +1136,10 @@ mod tests {
         assert_eq!(snap.oracle_fingerprint.as_deref(), Some("process:xmllint"));
         assert_eq!(snap.entries, entries);
         // Byte-stable through a rewrite.
-        assert_eq!(snapshot_to_text(&snap.entries, snap.oracle_fingerprint.as_deref()), text);
+        assert_eq!(
+            snapshot_to_text(&snap.entries.to_vec(), snap.oracle_fingerprint.as_deref()),
+            text
+        );
     }
 
     #[test]
@@ -507,7 +1237,10 @@ mod tests {
         assert_eq!(snap.memo[1].key, [0xab; 16]);
         assert!(snap.memo[1].classes[0].contains(b'h'));
         // Byte-stable through a rewrite.
-        assert_eq!(snapshot_to_text_with_memo(&snap.entries, &snap.memo, Some("target:toy")), text);
+        assert_eq!(
+            snapshot_to_text_with_memo(&snap.entries.to_vec(), &snap.memo, Some("target:toy")),
+            text
+        );
         // No fingerprint: still v3 when memo entries exist.
         let untagged = snapshot_to_text_with_memo(&entries, &memo, None);
         assert!(untagged.starts_with("glade-cache v3\nm "), "{untagged}");
@@ -575,5 +1308,248 @@ mod tests {
         let mismatch = CacheError::OracleMismatch { snapshot: "a".into(), expected: "b".into() };
         assert!(mismatch.to_string().contains("different oracle"));
         assert!(mismatch.source().is_none());
+        let corrupt = CacheError::Corrupt { offset: 42, what: "testing" };
+        assert!(corrupt.to_string().contains("byte 42"));
+        assert!(corrupt.to_string().contains("testing"));
+        assert!(corrupt.source().is_none());
+    }
+
+    #[test]
+    fn reader_parse_matches_text_parse() {
+        // "oracle" carries the fingerprint hex-encoded ("74" = "t").
+        let text = "glade-cache v3\noracle 74\n# comment\n\nq 1 61\nq 0 6262\n\
+                    m 000102030405060708090a0b0c0d0e0f 6162,63\n";
+        let from_text = snapshot_from_text(text).unwrap();
+        let from_reader = snapshot_from_reader(std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(from_text, from_reader);
+        // Torn tail (no trailing newline) parses identically too.
+        let torn = "glade-cache v1\nq 1 61\nq 0 62";
+        assert_eq!(
+            snapshot_from_text(torn).unwrap(),
+            snapshot_from_reader(std::io::Cursor::new(torn.as_bytes())).unwrap()
+        );
+        // CRLF line endings are tolerated the same way `str::lines` does.
+        let crlf = "glade-cache v1\r\nq 1 61\r\n";
+        assert_eq!(
+            snapshot_from_text(crlf).unwrap().entries,
+            snapshot_from_reader(std::io::Cursor::new(crlf.as_bytes())).unwrap().entries
+        );
+    }
+
+    #[test]
+    fn reader_parse_preserves_error_line_numbers() {
+        for (text, want_text, want_reader) in [
+            ("nope\n", "BadHeader", "BadHeader"),
+            ("glade-cache v1\nbogus\n", "BadLine(2)", "BadLine(2)"),
+            ("glade-cache v1\nq 9 61\n", "BadField(2)", "BadField(2)"),
+            ("glade-cache v2\noracle 74\nq 1 zz\n", "BadField(3)", "BadField(3)"),
+            ("glade-cache v2\noracle zz\n", "BadField(2)", "BadField(2)"),
+        ] {
+            let a = snapshot_from_text(text).unwrap_err();
+            let b = snapshot_from_reader(std::io::Cursor::new(text.as_bytes())).unwrap_err();
+            assert_eq!(format!("{a:?}"), want_text, "{text:?}");
+            assert_eq!(format!("{b:?}"), want_reader, "{text:?}");
+        }
+        // Invalid UTF-8 surfaces as an I/O error from the reader path,
+        // mirroring what `read_to_string` + `snapshot_from_text` produced.
+        let bad = b"glade-cache v1\nq 1 61\n\xff\xfe\n";
+        assert!(matches!(
+            snapshot_from_reader(std::io::Cursor::new(&bad[..])).unwrap_err(),
+            CacheError::Io(_)
+        ));
+    }
+
+    fn sample_memo() -> Vec<MemoEntry> {
+        vec![
+            MemoEntry {
+                key: *b"0123456789abcdef",
+                classes: vec![CharClass::from_bytes(b"ab"), CharClass::from_bytes(b"c")],
+            },
+            MemoEntry { key: [0u8; 16], classes: vec![CharClass::from_bytes(b"\x00\xff")] },
+        ]
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let entries = vec![
+            (b"<a>hi</a>".to_vec(), true),
+            (b"".to_vec(), true),
+            (vec![0x00, 0xff, 0x0a], false),
+        ];
+        let memo = sample_memo();
+        let bin = snapshot_to_binary(&entries, &memo, Some("process:xmllint"));
+        assert!(is_binary_snapshot(&bin));
+        let snap = snapshot_from_binary(&bin).unwrap();
+        assert_eq!(snap.oracle_fingerprint.as_deref(), Some("process:xmllint"));
+        let mut expected = entries.clone();
+        expected.sort();
+        assert_eq!(snap.entries, expected, "entries come back sorted by query bytes");
+        let mut memo_expected = memo.clone();
+        memo_expected.sort_by_key(|m| m.key);
+        assert_eq!(snap.memo, memo_expected, "memo comes back sorted by key");
+        // Byte-stable: re-serializing the parse reproduces the snapshot,
+        // and insertion order never matters.
+        assert_eq!(
+            snapshot_to_binary(&snap.entries.to_vec(), &snap.memo, Some("process:xmllint")),
+            bin
+        );
+        let mut shuffled = entries;
+        shuffled.reverse();
+        assert_eq!(snapshot_to_binary(&shuffled, &memo, Some("process:xmllint")), bin);
+    }
+
+    #[test]
+    fn binary_snapshot_without_fingerprint_or_memo() {
+        let bin = snapshot_to_binary(&[(b"a".to_vec(), true)], &[], None);
+        let snap = snapshot_from_binary(&bin).unwrap();
+        assert_eq!(snap.oracle_fingerprint, None);
+        assert_eq!(snap.entries, vec![(b"a".to_vec(), true)]);
+        assert!(snap.memo.is_empty());
+        // Empty snapshot is valid too.
+        let empty = snapshot_to_binary(&[], &[], None);
+        assert_eq!(snapshot_from_binary(&empty).unwrap().entries, vec![]);
+    }
+
+    #[test]
+    fn format_sniffing_and_cross_feeding() {
+        let bin = snapshot_to_binary(&[(b"a".to_vec(), true)], &[], None);
+        let text = snapshot_to_text(&[(b"a".to_vec(), true)], None);
+        assert!(is_binary_snapshot(&bin));
+        assert!(!is_binary_snapshot(text.as_bytes()));
+        assert!(!is_binary_snapshot(b"glade-cachebin v"));
+        // Feeding either format to the other parser is a clean BadHeader.
+        assert!(matches!(
+            snapshot_from_binary(text.as_bytes()).unwrap_err(),
+            CacheError::BadHeader | CacheError::Corrupt { .. }
+        ));
+        let as_text = String::from_utf8_lossy(&bin);
+        assert!(matches!(snapshot_from_text(&as_text).unwrap_err(), CacheError::BadHeader));
+    }
+
+    #[test]
+    fn binary_and_text_decode_to_the_same_snapshot() {
+        let entries =
+            vec![(b"<a>x</a>".to_vec(), true), (b"!".to_vec(), false), (b"".to_vec(), true)];
+        let memo = sample_memo();
+        let text = snapshot_to_text_with_memo(&entries, &memo, Some("t"));
+        let bin = snapshot_to_binary(&entries, &memo, Some("t"));
+        let a = snapshot_from_text(&text).unwrap();
+        let b = snapshot_from_binary(&bin).unwrap();
+        assert_eq!(a.oracle_fingerprint, b.oracle_fingerprint);
+        let mut ae = a.entries.into_vec();
+        ae.sort();
+        let mut be = b.entries.into_vec();
+        be.sort();
+        assert_eq!(ae, be);
+        let mut am = a.memo;
+        am.sort_by_key(|m| m.key);
+        let mut bm = b.memo;
+        bm.sort_by_key(|m| m.key);
+        assert_eq!(am, bm);
+    }
+
+    #[test]
+    fn binary_truncation_at_every_cut_is_a_clean_error() {
+        let entries = vec![(b"hello".to_vec(), true), (b"world!".to_vec(), false)];
+        let bin = snapshot_to_binary(&entries, &sample_memo(), Some("fp"));
+        for cut in 0..bin.len() {
+            let err = snapshot_from_binary(&bin[..cut])
+                .expect_err(&format!("truncation at {cut} of {} parsed", bin.len()));
+            assert!(
+                matches!(err, CacheError::Corrupt { .. } | CacheError::BadHeader),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_structural_corruption() {
+        let bin = snapshot_to_binary(&[(b"abc".to_vec(), true)], &[], None);
+        // Flip the verdict byte to garbage.
+        let records_off = BINARY_MAGIC.len() + BIN_HEADER_LEN + BIN_INDEX_SLOT;
+        let mut bad = bin.clone();
+        bad[records_off] = 7;
+        assert!(matches!(
+            snapshot_from_binary(&bad).unwrap_err(),
+            CacheError::Corrupt { what: "record verdict byte is neither 0 nor 1", .. }
+        ));
+        // Grow the declared entry count without the bytes to back it.
+        let mut bad = bin.clone();
+        bad[BINARY_MAGIC.len() + 4] = 0xff;
+        assert!(snapshot_from_binary(&bad).is_err());
+        // Appending junk breaks the total-length cross-check.
+        let mut bad = bin;
+        bad.push(0);
+        assert!(matches!(snapshot_from_binary(&bad).unwrap_err(), CacheError::Corrupt { .. }));
+    }
+
+    fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("glade-persist-{}-{name}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn binary_file_lookup_agrees_with_full_load() {
+        let entries: Vec<(Vec<u8>, bool)> =
+            (0..500u32).map(|i| (format!("query-{i:04}").into_bytes(), i % 3 == 0)).collect();
+        let bin = snapshot_to_binary(&entries, &[], Some("fp"));
+        let path = write_temp("lookup.glade-cache", &bin);
+        let mut file = BinaryCacheFile::open(&path).unwrap();
+        assert_eq!(file.len(), 500);
+        assert!(!file.is_empty());
+        assert_eq!(file.fingerprint(), Some("fp"));
+        assert_eq!(file.file_len(), bin.len() as u64);
+        for (query, verdict) in &entries {
+            assert_eq!(file.lookup(query).unwrap(), Some(*verdict));
+        }
+        for absent in ["query-0500", "query-", "", "nope"] {
+            assert_eq!(file.lookup(absent.as_bytes()).unwrap(), None);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_file_partial_load_touches_a_fraction_of_the_file() {
+        let entries: Vec<(Vec<u8>, bool)> = (0..2000u32)
+            .map(|i| (format!("some-longer-query-string-{i:06}").into_bytes(), i % 2 == 0))
+            .collect();
+        let bin = snapshot_to_binary(&entries, &[], None);
+        let path = write_temp("sparse.glade-cache", &bin);
+        let mut file = BinaryCacheFile::open(&path).unwrap();
+        let header_cost = file.bytes_touched();
+        assert!(header_cost < 256, "open() read {header_cost} bytes");
+        // A sparse probe set: 5 present, 5 absent.
+        for i in (0..10u32).map(|i| i * 199) {
+            file.lookup(format!("some-longer-query-string-{i:06}").as_bytes()).unwrap();
+            file.lookup(format!("absent-{i}").as_bytes()).unwrap();
+        }
+        let frac = file.bytes_touched() as f64 / file.file_len() as f64;
+        assert!(frac < 0.10, "sparse lookups touched {:.1}% of the file", frac * 100.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_file_load_memo_matches_full_load() {
+        let memo = sample_memo();
+        let bin = snapshot_to_binary(&[(b"q".to_vec(), true)], &memo, None);
+        let path = write_temp("memo.glade-cache", &bin);
+        let mut file = BinaryCacheFile::open(&path).unwrap();
+        assert_eq!(file.memo_len(), 2);
+        let loaded = file.load_memo().unwrap();
+        assert_eq!(loaded, snapshot_from_binary(&bin).unwrap().memo);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_format_parses_and_displays() {
+        assert_eq!(CacheFormat::parse("text"), Some(CacheFormat::Text));
+        assert_eq!(CacheFormat::parse("binary"), Some(CacheFormat::Binary));
+        assert_eq!(CacheFormat::parse("bin"), Some(CacheFormat::Binary));
+        assert_eq!(CacheFormat::parse("hex"), None);
+        assert_eq!(CacheFormat::Text.to_string(), "text");
+        assert_eq!(CacheFormat::Binary.to_string(), "binary");
+        assert_eq!(CacheFormat::default(), CacheFormat::Text);
     }
 }

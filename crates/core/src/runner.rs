@@ -14,6 +14,12 @@
 //! * callers describe checks as segment lists ([`CheckSpec`]) instead of
 //!   pre-concatenated strings, so check construction writes into one
 //!   reusable scratch buffer and allocates only for genuine cache misses;
+//! * a partially loaded binary snapshot ([`BackingStore`], see
+//!   `persist::BinaryCacheFile`) sits between the in-memory cache and the
+//!   oracle: misses consult its on-disk index before paying an oracle
+//!   call, and hits are faulted into the cache on demand — so a multi-GB
+//!   warm-start snapshot costs index probes for the entries a campaign
+//!   actually revisits instead of an up-front full materialization;
 //! * [`QueryRunner::accepts_batch`] deduplicates a batch, consults the
 //!   cache once per distinct check, and fans the remaining misses out
 //!   across a scoped worker pool (`std::thread::scope` — no dependencies);
@@ -48,10 +54,12 @@
 
 use crate::cache::{hash_query, ShardedCache};
 use crate::events::{CancelToken, SynthEvent, SynthesisObserver};
+use crate::persist::BinaryCacheFile;
 use crate::tree::Context;
 use crate::Oracle;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Maximum number of byte-slice segments in a [`CheckSpec`].
@@ -113,6 +121,31 @@ impl<'a> CheckSpec<'a> {
     }
 }
 
+/// A partially loaded binary cache snapshot serving as a read-only
+/// second cache level.
+///
+/// Opened by [`Session::attach_cache`](crate::Session::attach_cache): the
+/// snapshot's index stays on disk and entries are faulted into the
+/// in-memory [`ShardedCache`] the first time a run revisits them.
+/// `faulted` counts the *distinct* backing entries materialized so far, so
+/// `unique_queries` accounting stays exact: distinct queries known to the
+/// session = `cache.len() + (file.len() - faulted)` — every backing entry
+/// is either still pending on disk or has been faulted (and is then
+/// counted by the cache's distinct-ever ledger, which survives eviction).
+#[derive(Debug)]
+pub(crate) struct BackingStore {
+    pub file: BinaryCacheFile,
+    /// Distinct backing entries faulted into the in-memory cache.
+    pub faulted: usize,
+}
+
+impl BackingStore {
+    /// Backing entries not yet faulted into the in-memory cache.
+    pub fn pending(&self) -> usize {
+        self.file.len().saturating_sub(self.faulted)
+    }
+}
+
 /// Construction-time knobs for a [`QueryRunner`], separate from the
 /// borrowed oracle and cache so call sites stay readable.
 pub(crate) struct RunnerOptions<'s> {
@@ -127,6 +160,8 @@ pub(crate) struct RunnerOptions<'s> {
     pub observer: Option<&'s dyn SynthesisObserver>,
     /// Cooperative cancellation flag checked between and inside batches.
     pub cancel: Option<&'s CancelToken>,
+    /// Session-owned partially loaded snapshot consulted on cache misses.
+    pub backing: Option<&'s Mutex<BackingStore>>,
 }
 
 impl Default for RunnerOptions<'_> {
@@ -137,6 +172,7 @@ impl Default for RunnerOptions<'_> {
             workers: 1,
             observer: None,
             cancel: None,
+            backing: None,
         }
     }
 }
@@ -159,6 +195,9 @@ pub(crate) struct QueryRunner<'s> {
     oracle: &'s dyn Oracle,
     /// Session-owned cache; shared across the runs of one session.
     cache: &'s ShardedCache,
+    /// Partially loaded snapshot consulted on cache misses (see
+    /// [`BackingStore`]).
+    backing: Option<&'s Mutex<BackingStore>>,
     observer: Option<&'s dyn SynthesisObserver>,
     cancel: Option<&'s CancelToken>,
     /// All queries, including cache hits.
@@ -200,6 +239,7 @@ impl<'s> QueryRunner<'s> {
         QueryRunner {
             oracle,
             cache,
+            backing: opts.backing,
             observer: opts.observer,
             cancel: opts.cancel,
             total: AtomicUsize::new(0),
@@ -336,6 +376,26 @@ impl<'s> QueryRunner<'s> {
         reserved
     }
 
+    /// Consults the partially loaded backing snapshot for a cache miss.
+    /// Hits are faulted into the in-memory cache (so later lookups answer
+    /// lock-free) and charged to the store's `faulted` ledger exactly once
+    /// per distinct entry — a re-fault after eviction is answered but not
+    /// re-counted. I/O errors on a damaged file degrade to a miss: the
+    /// oracle re-answers, trading queries for availability.
+    fn backing_lookup(&self, key: &[u8]) -> Option<bool> {
+        let store = self.backing?;
+        let mut store = store.lock().expect("backing cache poisoned");
+        match store.file.lookup(key) {
+            Ok(Some(v)) => {
+                if self.cache.insert(key.to_vec(), v) {
+                    store.faulted += 1;
+                }
+                Some(v)
+            }
+            Ok(None) | Err(_) => None,
+        }
+    }
+
     /// Budget-aware membership query (single-check form of
     /// [`QueryRunner::accepts_batch`]; the synthesis phases all batch, so
     /// production builds reach this only through the batch path).
@@ -343,6 +403,10 @@ impl<'s> QueryRunner<'s> {
     pub fn accepts(&self, input: &[u8]) -> bool {
         self.total.fetch_add(1, Ordering::Relaxed);
         if let Some(v) = self.cache.get(input) {
+            return v;
+        }
+        // Backing-snapshot hits are warm answers: not budgeted.
+        if let Some(v) = self.backing_lookup(input) {
             return v;
         }
         if !self.reserve_budget() {
@@ -400,6 +464,14 @@ impl<'s> QueryRunner<'s> {
                     miss_targets[m].push(i);
                     continue;
                 }
+            }
+            // Backing-snapshot hits are warm answers: counted as cached,
+            // not budgeted, never posed. The fault inserts the entry into
+            // the cache, so later duplicates in this batch hit there.
+            if let Some(v) = self.backing_lookup(&scratch) {
+                results[i] = v;
+                cached += 1;
+                continue;
             }
             if !self.reserve_budget() {
                 // Over budget: this check (and its later duplicates, which
@@ -533,6 +605,9 @@ impl<'s> QueryRunner<'s> {
         if let Some(v) = self.cache.get(input) {
             return v;
         }
+        if let Some(v) = self.backing_lookup(input) {
+            return v;
+        }
         // A seed whose validation *execution* fails is rejected (the
         // premise `E_in ⊆ L*` cannot be confirmed) without caching the
         // non-verdict.
@@ -541,9 +616,14 @@ impl<'s> QueryRunner<'s> {
         v
     }
 
-    /// Distinct inputs cached so far (cumulative across the session).
+    /// Distinct inputs known so far (cumulative across the session):
+    /// the in-memory cache's distinct-ever count plus the backing
+    /// snapshot's not-yet-faulted entries, so partial and full loads of
+    /// the same snapshot report identical `unique_queries`.
     pub fn unique_queries(&self) -> usize {
-        self.cache.len()
+        let pending =
+            self.backing.map_or(0, |b| b.lock().expect("backing cache poisoned").pending());
+        self.cache.len() + pending
     }
 
     /// Total queries posed through this runner, including cache hits.

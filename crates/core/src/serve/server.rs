@@ -16,6 +16,7 @@ use super::protocol::{
 use super::scheduler::{FairScheduler, ScheduledOracle};
 use crate::events::{CancelToken, SynthEvent, SynthesisObserver};
 use crate::oracle::{sys, Oracle};
+use crate::persist::CacheFormat;
 use crate::session::{GladeBuilder, Session};
 use crate::synth::SynthesisStats;
 use std::collections::{HashMap, VecDeque};
@@ -96,6 +97,14 @@ pub struct ServeConfig {
     /// `Some(0)` demotes every connection immediately (result-only
     /// service).
     pub max_event_buffer: Option<usize>,
+    /// On-disk format for per-campaign cache checkpoints under
+    /// [`cache_dir`](ServeConfig::cache_dir). `None` means
+    /// [`CacheFormat::Binary`] — the indexed format loads in one header
+    /// read plus on-demand record faults, which is what a daemon
+    /// checkpointing after every batch wants. Loads always sniff the
+    /// magic, so flipping the format (or pointing at a directory of old
+    /// text snapshots) never loses a warm start.
+    pub cache_format: Option<CacheFormat>,
 }
 
 /// What a campaign thread sends back to the accept loop.
@@ -326,6 +335,7 @@ struct CampaignCtx {
     req: OpenRequest,
     default_max_queries: Option<usize>,
     cache_path: Option<PathBuf>,
+    cache_format: CacheFormat,
     cancel: CancelToken,
     out: mpsc::Sender<(u64, Outbound)>,
     wake: WakeHandle,
@@ -342,10 +352,13 @@ struct CampaignCtx {
     replay_expect_unique: Option<usize>,
 }
 
-fn save_cache_atomic(session: &Session<'_>, path: &Path, campaign: u32) {
-    let text = session.export_cache();
+fn save_cache_atomic(session: &Session<'_>, path: &Path, campaign: u32, format: CacheFormat) {
+    let bytes = match format {
+        CacheFormat::Text => session.export_cache().into_bytes(),
+        CacheFormat::Binary => session.export_cache_binary(),
+    };
     let tmp = path.with_extension(format!("tmp{campaign}"));
-    if let Err(e) = crate::persist::write_durable(path, &tmp, text.as_bytes()) {
+    if let Err(e) = crate::persist::write_durable(path, &tmp, &bytes) {
         eprintln!("glade serve: campaign {campaign}: cache save failed: {e}");
     }
 }
@@ -407,7 +420,7 @@ fn run_campaign(ctx: CampaignCtx, seeds_rx: mpsc::Receiver<Vec<Vec<u8>>>) {
         let outcome = match session.add_seeds(seeds) {
             Ok(result) => {
                 if let Some(path) = &ctx.cache_path {
-                    save_cache_atomic(session, path, ctx.campaign_id);
+                    save_cache_atomic(session, path, ctx.campaign_id, ctx.cache_format);
                 }
                 journal_append(&ctx.journal, ctx.campaign_id, |j| {
                     j.append_checkpoint(ctx.campaign_id, batch_index, result.stats.unique_queries)
@@ -604,6 +617,7 @@ impl Server {
             req,
             default_max_queries: self.config.default_max_queries,
             cache_path,
+            cache_format: self.config.cache_format.unwrap_or(CacheFormat::Binary),
             cancel: cancel.clone(),
             out: out_tx.clone(),
             wake: wake.clone(),
@@ -709,6 +723,17 @@ impl Server {
                         return None;
                     }
                 };
+                // A server started without `--cache-dir` keeps no journal,
+                // so *nothing* is resumable — tell the client that, not a
+                // generic "unknown campaign": the fix is restarting the
+                // server with persistence, not retrying another id.
+                if self.journal.is_none() {
+                    conn.fail(&format!(
+                        "server has no journal (started without --cache-dir): \
+                         campaign {id} is not resumable"
+                    ));
+                    return None;
+                }
                 let Some(entry) =
                     self.resumable.lock().expect("resumable registry poisoned").remove(&id)
                 else {

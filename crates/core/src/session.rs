@@ -39,14 +39,19 @@ use crate::cache::ShardedCache;
 use crate::chargen::{apply_char_probes, apply_staged_classes, plan_char_probes, StagedChargen};
 use crate::events::{CancelToken, SynthEvent, SynthPhase, SynthesisObserver};
 use crate::memo::ByteClassMemo;
-use crate::persist::{snapshot_from_text, snapshot_to_text_with_memo, CacheError, MemoEntry};
+use crate::persist::{
+    is_binary_snapshot, snapshot_from_binary_reader, snapshot_from_reader, snapshot_from_text,
+    snapshot_to_binary, snapshot_to_text_with_memo, BinaryCacheFile, CacheError, CacheFormat,
+    CacheSnapshot, MemoEntry,
+};
 use crate::phase1::Phase1;
 use crate::phase2::{apply_merge_verdicts, plan_merge_checks, StagedMerge};
-use crate::runner::{CheckSpec, QueryRunner, RunnerOptions};
+use crate::runner::{BackingStore, CheckSpec, QueryRunner, RunnerOptions};
 use crate::synth::{Glade, GladeConfig, Synthesis, SynthesisError, SynthesisStats};
 use crate::tree::{trees_to_grammar, Node, UnionFind};
 use crate::Oracle;
 use glade_grammar::Regex;
+use std::io::BufRead;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -82,6 +87,9 @@ pub struct GladeBuilder {
     /// Oracle identity written into (and checked against) persisted cache
     /// snapshots; see [`GladeBuilder::oracle_fingerprint`].
     fingerprint: Option<String>,
+    /// Resident-entry cap for the session cache; see
+    /// [`GladeBuilder::max_cache_entries`].
+    max_cache_entries: Option<usize>,
 }
 
 impl std::fmt::Debug for GladeBuilder {
@@ -91,6 +99,7 @@ impl std::fmt::Debug for GladeBuilder {
             .field("observer", &self.observer.as_ref().map(|_| "dyn SynthesisObserver"))
             .field("cancel", &self.cancel)
             .field("fingerprint", &self.fingerprint)
+            .field("max_cache_entries", &self.max_cache_entries)
             .finish()
     }
 }
@@ -236,6 +245,20 @@ impl GladeBuilder {
         self
     }
 
+    /// Caps the session cache's *resident* entries at roughly `limit`,
+    /// evicting with a second-chance sweep once a shard fills (see the
+    /// `persist.rs` ops note for sizing guidance). For long-lived serve
+    /// campaigns whose cache would otherwise grow without bound: eviction
+    /// may make the session re-pay an oracle query it once knew, but the
+    /// oracle is deterministic, so verdicts — and grammar bytes — never
+    /// change, and `unique_queries` accounting stays exact (distinct keys
+    /// are counted by a ledger that survives eviction). Unbounded by
+    /// default.
+    pub fn max_cache_entries(mut self, limit: usize) -> Self {
+        self.max_cache_entries = Some(limit);
+        self
+    }
+
     /// The configuration assembled so far.
     pub fn config(&self) -> &GladeConfig {
         &self.config
@@ -250,7 +273,8 @@ impl GladeBuilder {
             observer: self.observer,
             cancel: self.cancel.unwrap_or_default(),
             fingerprint: self.fingerprint,
-            cache: ShardedCache::new(),
+            cache: ShardedCache::with_max_entries(self.max_cache_entries),
+            backing: None,
             memo: Mutex::new(ByteClassMemo::new()),
             trees: Vec::new(),
             chargen_done: 0,
@@ -316,6 +340,10 @@ pub struct Session<'o> {
     fingerprint: Option<String>,
     /// Session-lifetime membership-query cache (snapshot-able).
     cache: ShardedCache,
+    /// Partially loaded binary snapshot attached by
+    /// [`Session::attach_cache`]: a read-only second cache level whose
+    /// entries fault into `cache` on first use.
+    backing: Option<Mutex<BackingStore>>,
     /// Session-lifetime byte-class memo table (snapshot-able alongside the
     /// cache; see `memo.rs`). Behind a mutex so [`Session::import_cache`]
     /// — which takes `&self`, like the cache it feeds — can extend it.
@@ -343,7 +371,7 @@ impl std::fmt::Debug for Session<'_> {
         f.debug_struct("Session")
             .field("config", &self.config)
             .field("seeds", &self.seeds.len())
-            .field("unique_queries", &self.cache.len())
+            .field("unique_queries", &self.unique_queries())
             .field("star_count", &self.next_star_id)
             .finish()
     }
@@ -366,9 +394,35 @@ impl<'o> Session<'o> {
         &self.seeds
     }
 
-    /// Distinct membership queries cached so far.
+    /// Distinct membership queries known so far: every distinct key ever
+    /// inserted into the in-memory cache, plus the entries of an attached
+    /// binary snapshot not yet faulted in — so a partial load reports the
+    /// same count as a full load of the same snapshot.
     pub fn unique_queries(&self) -> usize {
-        self.cache.len()
+        let pending = self
+            .backing
+            .as_ref()
+            .map_or(0, |b| b.lock().expect("backing cache poisoned").pending());
+        self.cache.len() + pending
+    }
+
+    /// Entries currently resident in the in-memory cache. Differs from
+    /// [`Session::unique_queries`] only under a
+    /// [`GladeBuilder::max_cache_entries`] cap or an attached snapshot.
+    pub fn cache_resident(&self) -> usize {
+        self.cache.resident()
+    }
+
+    /// Entries evicted by the [`GladeBuilder::max_cache_entries`] cap so
+    /// far.
+    pub fn cache_evictions(&self) -> usize {
+        self.cache.evictions()
+    }
+
+    /// Cache lookups answered "absent" by the negative filter alone,
+    /// without taking a shard lock — the hot-miss fast path.
+    pub fn cache_filter_negatives(&self) -> usize {
+        self.cache.filter_negatives()
     }
 
     /// Extends the synthesis with `seeds` and returns the full result over
@@ -414,9 +468,10 @@ impl<'o> Session<'o> {
                 workers,
                 observer,
                 cancel: Some(&self.cancel),
+                backing: self.backing.as_ref(),
             },
         );
-        let unique_before = self.cache.len();
+        let unique_before = runner.unique_queries();
         // Validate all new seeds before touching session state, so a
         // rejected seed leaves the session usable.
         for seed in seeds {
@@ -720,19 +775,39 @@ impl<'o> Session<'o> {
     /// plain `glade-cache v1`. Entries are sorted, so equal sessions
     /// produce byte-identical snapshots.
     pub fn export_cache(&self) -> String {
-        let memo_entries: Vec<MemoEntry> = self
-            .memo
+        snapshot_to_text_with_memo(
+            &self.cache.snapshot(),
+            &self.memo_entries(),
+            self.fingerprint.as_deref(),
+        )
+    }
+
+    /// Serializes the session's query cache and memo table to a
+    /// `glade-cachebin v1` binary snapshot — same contents as
+    /// [`Session::export_cache`] in the compact indexed format (see
+    /// `persist.rs`), and equally canonical: equal sessions produce
+    /// byte-identical snapshots.
+    ///
+    /// Both exports serialize the *resident* cache: entries evicted by a
+    /// [`GladeBuilder::max_cache_entries`] cap, or never faulted in from
+    /// an attached snapshot, are not re-exported (the attached file still
+    /// holds the latter).
+    pub fn export_cache_binary(&self) -> Vec<u8> {
+        snapshot_to_binary(
+            &self.cache.snapshot(),
+            &self.memo_entries(),
+            self.fingerprint.as_deref(),
+        )
+    }
+
+    fn memo_entries(&self) -> Vec<MemoEntry> {
+        self.memo
             .lock()
             .expect("memo mutex poisoned")
             .entries_sorted()
             .into_iter()
             .map(|(key, classes)| MemoEntry { key: key.to_be_bytes(), classes })
-            .collect();
-        snapshot_to_text_with_memo(
-            &self.cache.snapshot(),
-            &memo_entries,
-            self.fingerprint.as_deref(),
-        )
+            .collect()
     }
 
     /// Loads snapshot text (v1, v2, or v3) into the session cache,
@@ -751,17 +826,14 @@ impl<'o> Session<'o> {
     /// replaying them would silently corrupt synthesis). Untagged v1
     /// snapshots always load.
     pub fn import_cache(&self, text: &str) -> Result<usize, CacheError> {
-        let snapshot = snapshot_from_text(text)?;
-        if let (Some(expected), Some(found)) =
-            (self.fingerprint.as_deref(), snapshot.oracle_fingerprint.as_deref())
-        {
-            if expected != found {
-                return Err(CacheError::OracleMismatch {
-                    snapshot: found.to_owned(),
-                    expected: expected.to_owned(),
-                });
-            }
-        }
+        self.import_snapshot(snapshot_from_text(text)?)
+    }
+
+    /// Validates a parsed snapshot's fingerprint against the session's
+    /// and folds its entries and memo classes in — the shared tail of
+    /// every load path (text or binary, slice or stream).
+    fn import_snapshot(&self, snapshot: CacheSnapshot) -> Result<usize, CacheError> {
+        self.check_fingerprint(snapshot.oracle_fingerprint.as_deref())?;
         let count = snapshot.entries.len();
         for (query, verdict) in snapshot.entries {
             self.cache.insert(query, verdict);
@@ -775,6 +847,20 @@ impl<'o> Session<'o> {
         Ok(count)
     }
 
+    /// [`CacheError::OracleMismatch`] when both the session and a snapshot
+    /// declare fingerprints and they differ.
+    fn check_fingerprint(&self, found: Option<&str>) -> Result<(), CacheError> {
+        if let (Some(expected), Some(found)) = (self.fingerprint.as_deref(), found) {
+            if expected != found {
+                return Err(CacheError::OracleMismatch {
+                    snapshot: found.to_owned(),
+                    expected: expected.to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Writes the cache snapshot to `path`, atomically and durably: the
     /// snapshot is written to a sibling temporary file, fsynced, renamed
     /// over `path`, and the directory entry is fsynced — a crash or power
@@ -785,23 +871,87 @@ impl<'o> Session<'o> {
     ///
     /// Returns [`CacheError::Io`] if the file cannot be written.
     pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
+        self.save_cache_as(path, CacheFormat::Text)
+    }
+
+    /// [`Session::save_cache`] with an explicit on-disk format: text
+    /// (`glade-cache v1`–`v3`) or binary (`glade-cachebin v1`). Both are
+    /// written with the same atomic-and-durable protocol, and
+    /// [`Session::load_cache`] reads either back by sniffing the magic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::Io`] if the file cannot be written.
+    pub fn save_cache_as(
+        &self,
+        path: impl AsRef<Path>,
+        format: CacheFormat,
+    ) -> Result<(), CacheError> {
         let path = path.as_ref();
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
-        crate::persist::write_durable(path, Path::new(&tmp), self.export_cache().as_bytes())?;
+        let bytes = match format {
+            CacheFormat::Text => self.export_cache().into_bytes(),
+            CacheFormat::Binary => self.export_cache_binary(),
+        };
+        crate::persist::write_durable(path, Path::new(&tmp), &bytes)?;
         Ok(())
     }
 
     /// Reads a cache snapshot from `path` into the session cache,
-    /// returning the number of entries read.
+    /// returning the number of entries read. The format is sniffed from
+    /// the file's magic: `glade-cachebin v1` snapshots take the binary
+    /// loader, anything else the streaming text parser (v1–v3) — so
+    /// every historical snapshot keeps loading unchanged. Either way the
+    /// file is streamed, not slurped: peak memory is the decoded entries,
+    /// not entries plus the raw file.
     ///
     /// # Errors
     ///
     /// Returns [`CacheError::Io`] if the file cannot be read, or a format
     /// error for a malformed snapshot.
     pub fn load_cache(&self, path: impl AsRef<Path>) -> Result<usize, CacheError> {
-        let text = std::fs::read_to_string(path)?;
-        self.import_cache(&text)
+        let file = std::fs::File::open(path)?;
+        let mut reader = std::io::BufReader::new(file);
+        let snapshot = if is_binary_snapshot(reader.fill_buf()?) {
+            snapshot_from_binary_reader(&mut reader)?
+        } else {
+            snapshot_from_reader(reader)?
+        };
+        self.import_snapshot(snapshot)
+    }
+
+    /// Attaches a binary snapshot as a read-only second cache level
+    /// *without* loading its entries: the header is validated (and its
+    /// fingerprint checked like [`Session::load_cache`]), memo entries
+    /// load eagerly (they are few and all consulted up front), and query
+    /// entries fault into the in-memory cache on first use via the
+    /// snapshot's on-disk index — the partial-load path for snapshots
+    /// larger than memory. Returns the snapshot's entry count.
+    ///
+    /// Grammar bytes and `unique_queries` are identical to a full
+    /// [`Session::load_cache`] of the same snapshot; only I/O differs.
+    /// At most one snapshot is attached — a second call replaces the
+    /// first — and attaching a snapshot that was *also* fully loaded into
+    /// this session would double-count its entries; use one or the other.
+    ///
+    /// # Errors
+    ///
+    /// As [`BinaryCacheFile::open`], plus
+    /// [`CacheError::OracleMismatch`] on fingerprint mismatch.
+    pub fn attach_cache(&mut self, path: impl AsRef<Path>) -> Result<usize, CacheError> {
+        let mut file = BinaryCacheFile::open(path)?;
+        self.check_fingerprint(file.fingerprint())?;
+        if file.memo_len() > 0 {
+            let entries = file.load_memo()?;
+            let mut memo = self.memo.lock().expect("memo mutex poisoned");
+            for entry in entries {
+                memo.insert(u128::from_be_bytes(entry.key), entry.classes);
+            }
+        }
+        let count = file.len();
+        self.backing = Some(Mutex::new(BackingStore { file, faulted: 0 }));
+        Ok(count)
     }
 }
 
@@ -1144,5 +1294,144 @@ mod tests {
         let glade = Glade::with_config(GladeConfig::phase1_only());
         let builder = GladeBuilder::from(glade);
         assert!(!builder.config().phase2);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("glade-session-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn binary_save_load_warm_starts_with_zero_new_queries() {
+        let oracle = FnOracle::new(xml_like);
+        let mut warm = GladeBuilder::new().session(&oracle);
+        let first = warm.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let path = temp_path("binary-roundtrip.glade-cache");
+        warm.save_cache_as(&path, crate::persist::CacheFormat::Binary).unwrap();
+
+        let counted = AtomicUsize::new(0);
+        let counting_oracle = FnOracle::new(|i: &[u8]| {
+            counted.fetch_add(1, Ordering::Relaxed);
+            xml_like(i)
+        });
+        let mut cold = GladeBuilder::new().session(&counting_oracle);
+        let loaded = cold.load_cache(&path).unwrap();
+        assert_eq!(loaded, first.stats.unique_queries);
+        let second = cold.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert_eq!(second.stats.new_unique_queries, 0, "binary warm start re-paid queries");
+        assert_eq!(counted.load(Ordering::Relaxed), 0, "oracle never consulted");
+        assert_eq!(second.stats.unique_queries, first.stats.unique_queries);
+        assert_eq!(
+            glade_grammar::grammar_to_text(&first.grammar),
+            glade_grammar::grammar_to_text(&second.grammar)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_and_binary_snapshots_load_identically() {
+        let oracle = FnOracle::new(xml_like);
+        let mut warm = GladeBuilder::new().session(&oracle);
+        warm.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let text_path = temp_path("fmt-equiv.text.glade-cache");
+        let bin_path = temp_path("fmt-equiv.bin.glade-cache");
+        warm.save_cache(&text_path).unwrap();
+        warm.save_cache_as(&bin_path, crate::persist::CacheFormat::Text).unwrap();
+        // Explicit Text equals the default save byte-for-byte.
+        assert_eq!(std::fs::read(&text_path).unwrap(), std::fs::read(&bin_path).unwrap());
+        warm.save_cache_as(&bin_path, crate::persist::CacheFormat::Binary).unwrap();
+
+        let via_text = GladeBuilder::new().session(&oracle);
+        let via_bin = GladeBuilder::new().session(&oracle);
+        assert_eq!(
+            via_text.load_cache(&text_path).unwrap(),
+            via_bin.load_cache(&bin_path).unwrap(),
+            "formats disagree on entry count"
+        );
+        assert_eq!(via_text.unique_queries(), via_bin.unique_queries());
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn attached_partial_load_matches_full_load() {
+        let oracle = FnOracle::new(xml_like);
+        let mut warm = GladeBuilder::new().session(&oracle);
+        let first = warm.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let path = temp_path("partial.glade-cache");
+        warm.save_cache_as(&path, crate::persist::CacheFormat::Binary).unwrap();
+
+        let counted = AtomicUsize::new(0);
+        let counting_oracle = FnOracle::new(|i: &[u8]| {
+            counted.fetch_add(1, Ordering::Relaxed);
+            xml_like(i)
+        });
+        let mut partial = GladeBuilder::new().session(&counting_oracle);
+        let attached = partial.attach_cache(&path).unwrap();
+        assert_eq!(attached, first.stats.unique_queries);
+        assert_eq!(partial.unique_queries(), first.stats.unique_queries, "pending count");
+        let replay = partial.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        assert_eq!(counted.load(Ordering::Relaxed), 0, "every check faulted from the snapshot");
+        assert_eq!(replay.stats.new_unique_queries, 0);
+        assert_eq!(replay.stats.unique_queries, first.stats.unique_queries);
+        assert!(replay.stats.memo_hits > 0, "attached memo entries unused");
+        assert_eq!(
+            glade_grammar::grammar_to_text(&first.grammar),
+            glade_grammar::grammar_to_text(&replay.grammar)
+        );
+        // Not every snapshot entry is revisited by the replay, so faulting
+        // stayed partial.
+        assert!(
+            partial.cache_resident() < first.stats.unique_queries,
+            "partial load materialized everything ({} of {})",
+            partial.cache_resident(),
+            first.stats.unique_queries
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn attach_cache_rejects_fingerprint_mismatch() {
+        let oracle = FnOracle::new(xml_like);
+        let mut tagged = GladeBuilder::new().oracle_fingerprint("target:toy-xml").session(&oracle);
+        tagged.add_seeds(&[b"<a>hi</a>".to_vec()]).unwrap();
+        let path = temp_path("fp.glade-cache");
+        tagged.save_cache_as(&path, crate::persist::CacheFormat::Binary).unwrap();
+
+        let mut other = GladeBuilder::new().oracle_fingerprint("target:lisp").session(&oracle);
+        let err = other.attach_cache(&path).unwrap_err();
+        assert!(
+            matches!(&err, CacheError::OracleMismatch { snapshot, expected }
+                if snapshot == "target:toy-xml" && expected == "target:lisp"),
+            "{err}"
+        );
+        assert_eq!(other.unique_queries(), 0);
+        // Same fingerprint attaches, and the binary loader validates the
+        // tag through load_cache as well.
+        let mut same = GladeBuilder::new().oracle_fingerprint("target:toy-xml").session(&oracle);
+        assert!(same.attach_cache(&path).unwrap() > 0);
+        let same_full = GladeBuilder::new().oracle_fingerprint("target:toy-xml").session(&oracle);
+        assert!(same_full.load_cache(&path).unwrap() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_cap_changes_neither_grammar_nor_unique_queries() {
+        let seeds = [b"<a>hi</a>".to_vec(), b"<a><a>x</a></a>".to_vec()];
+        let oracle = FnOracle::new(xml_like);
+        let mut uncapped = GladeBuilder::new().session(&oracle);
+        let mut capped = GladeBuilder::new().max_cache_entries(64).session(&oracle);
+        let free = uncapped.add_seeds(&seeds).unwrap();
+        let tight = capped.add_seeds(&seeds).unwrap();
+        assert_eq!(
+            glade_grammar::grammar_to_text(&free.grammar),
+            glade_grammar::grammar_to_text(&tight.grammar),
+            "eviction changed grammar bytes"
+        );
+        assert_eq!(free.stats.unique_queries, tight.stats.unique_queries);
+        assert!(capped.cache_evictions() > 0, "cap of 64 never evicted");
+        assert!(capped.cache_resident() <= 64);
+        assert_eq!(uncapped.cache_evictions(), 0);
+        // Eviction may only raise re-paid (total) queries, never verdicts.
+        assert!(tight.stats.total_queries >= free.stats.total_queries);
     }
 }

@@ -15,8 +15,8 @@
 
 use glade_core::testing::xml_like;
 use glade_core::{
-    CachingOracle, CancelToken, EventLog, FnOracle, GladeBuilder, Oracle, PooledProcessOracle,
-    ProcessOracle, SynthEvent, SynthesisStats,
+    is_binary_snapshot, CacheFormat, CachingOracle, CancelToken, EventLog, FnOracle, GladeBuilder,
+    Oracle, PooledProcessOracle, ProcessOracle, SynthEvent, SynthesisStats,
 };
 use glade_eval::sample_seeds;
 use glade_grammar::grammar_to_text;
@@ -45,6 +45,17 @@ const GOLDEN_TOTAL_ON: usize = 985;
 /// `GladeConfig::default`.
 fn matrix_memo() -> bool {
     !matches!(std::env::var("GLADE_TEST_MEMO").as_deref(), Ok("off") | Ok("0") | Ok("false"))
+}
+
+/// Cache snapshot format for the matrix; `GLADE_TEST_CACHE_FMT=bin` (or
+/// `binary`) runs the persistence round-trips through the indexed binary
+/// format (the CI matrix sweeps it). Default: text, matching
+/// `Session::save_cache`.
+fn matrix_cache_format() -> CacheFormat {
+    match std::env::var("GLADE_TEST_CACHE_FMT").as_deref() {
+        Ok("bin") | Ok("binary") => CacheFormat::Binary,
+        _ => CacheFormat::Text,
+    }
 }
 
 /// The golden distinct-query count for the matrix's memo mode.
@@ -1030,14 +1041,23 @@ fn cancellation_mid_phase_still_yields_seed_accepting_grammar() {
 #[test]
 fn cache_snapshot_roundtrip_answers_full_run_with_zero_new_queries() {
     // The acceptance invariant for persistent caches: save → load → re-run
-    // answers the entire running-example run from the snapshot.
+    // answers the entire running-example run from the snapshot. The
+    // snapshot format comes from the matrix (`GLADE_TEST_CACHE_FMT`), so
+    // CI proves the invariant for text and binary alike.
+    let format = matrix_cache_format();
     let oracle = FnOracle::new(xml_like);
     let mut warm = GladeBuilder::new().memoize_byte_classes(matrix_memo()).session(&oracle);
     let first = warm.add_seeds(&[b"<a>hi</a>".to_vec()]).expect("valid seed");
     assert_eq!(first.stats.unique_queries, golden_unique());
 
     let path = std::env::temp_dir().join(format!("glade-cache-test-{}.txt", std::process::id()));
-    warm.save_cache(&path).expect("snapshot written");
+    warm.save_cache_as(&path, format).expect("snapshot written");
+    let on_disk = std::fs::read(&path).expect("snapshot readable");
+    assert_eq!(
+        is_binary_snapshot(&on_disk),
+        format == CacheFormat::Binary,
+        "the snapshot on disk must be in the matrix's format"
+    );
 
     // The cold session's oracle counts calls: it must never be consulted.
     let calls = AtomicUsize::new(0);

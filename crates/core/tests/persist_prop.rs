@@ -1,0 +1,154 @@
+//! Property-based tests of the cache snapshot codecs: the text and binary
+//! formats must be lossless, mutually equivalent, byte-stable across
+//! re-serialization, and *clean* under truncation — a torn binary
+//! snapshot may only ever produce a [`CacheError`], never a panic or a
+//! silently short load. The indexed partial-load path
+//! ([`BinaryCacheFile`]) must agree with a full load on every key.
+
+use glade_core::{
+    is_binary_snapshot, snapshot_from_binary, snapshot_from_reader, snapshot_from_text,
+    snapshot_to_binary, snapshot_to_text_with_memo, BinaryCacheFile, CacheSnapshot, MemoEntry,
+};
+use glade_grammar::CharClass;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Distinct queries with arbitrary bytes (including empty and non-UTF-8),
+/// in the sorted order every serializer normalizes to.
+fn arb_entries() -> impl Strategy<Value = Vec<(Vec<u8>, bool)>> {
+    proptest::collection::vec((proptest::collection::vec(any::<u8>(), 0..24), any::<bool>()), 0..40)
+        .prop_map(|raw| {
+            // Last verdict wins on duplicate queries, matching cache
+            // semantics; BTreeMap yields the canonical sorted order.
+            raw.into_iter().collect::<std::collections::BTreeMap<_, _>>().into_iter().collect()
+        })
+}
+
+/// Memo entries with distinct keys; every byte class has at least one
+/// member (the memo layer never records an empty class).
+fn arb_memo() -> impl Strategy<Value = Vec<MemoEntry>> {
+    let class = proptest::collection::vec(any::<u8>(), 1..6).prop_map(|members| {
+        let set: std::collections::BTreeSet<u8> = members.into_iter().collect();
+        let bytes: Vec<u8> = set.into_iter().collect();
+        CharClass::from_bytes(&bytes)
+    });
+    let key = proptest::collection::vec(any::<u8>(), 16usize..=16)
+        .prop_map(|k| <[u8; 16]>::try_from(k).expect("sixteen bytes"));
+    proptest::collection::vec((key, proptest::collection::vec(class, 1..4)), 0..5).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(key, classes)| (key, MemoEntry { key, classes }))
+            .collect::<std::collections::BTreeMap<_, _>>()
+            .into_values()
+            .collect()
+    })
+}
+
+/// Optional nonempty fingerprint (an empty fingerprint is not a thing —
+/// both formats encode "no fingerprint" as its absence).
+fn arb_fingerprint() -> impl Strategy<Value = Option<String>> {
+    (any::<bool>(), proptest::collection::vec(any::<u8>(), 1..12))
+        .prop_map(|(present, bytes)| present.then(|| String::from_utf8_lossy(&bytes).into_owned()))
+}
+
+/// The canonical form both decoders must produce: entries sorted by query
+/// bytes, memo sorted by key (generator output is already sorted).
+fn expected(entries: &[(Vec<u8>, bool)], memo: &[MemoEntry], fp: &Option<String>) -> CacheSnapshot {
+    CacheSnapshot {
+        oracle_fingerprint: fp.clone(),
+        entries: entries.to_vec().into(),
+        memo: memo.to_vec(),
+    }
+}
+
+fn scratch_file(bytes: &[u8]) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "glade-persist-prop-{}-{}.bin",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).expect("write scratch snapshot");
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary roundtrip is lossless, and re-serializing the parse is
+    /// byte-identical (the format is canonical: one cache, one encoding).
+    #[test]
+    fn binary_roundtrip_is_lossless_and_byte_stable(
+        entries in arb_entries(), memo in arb_memo(), fp in arb_fingerprint()
+    ) {
+        let bytes = snapshot_to_binary(&entries, &memo, fp.as_deref());
+        prop_assert!(is_binary_snapshot(&bytes));
+        let parsed = snapshot_from_binary(&bytes).expect("roundtrip parses");
+        prop_assert_eq!(&parsed, &expected(&entries, &memo, &fp));
+        let again =
+            snapshot_to_binary(&parsed.entries.to_vec(), &parsed.memo, parsed.oracle_fingerprint.as_deref());
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// The text and binary codecs decode to the same snapshot — flipping
+    /// a cache file's format can never change a verdict, a memo class, or
+    /// the fingerprint.
+    #[test]
+    fn text_and_binary_formats_are_equivalent(
+        entries in arb_entries(), memo in arb_memo(), fp in arb_fingerprint()
+    ) {
+        let text = snapshot_to_text_with_memo(&entries, &memo, fp.as_deref());
+        prop_assert!(!is_binary_snapshot(text.as_bytes()));
+        let from_text = snapshot_from_text(&text).expect("text parses");
+        let from_reader = snapshot_from_reader(text.as_bytes()).expect("reader parses");
+        let bin = snapshot_to_binary(&entries, &memo, fp.as_deref());
+        let from_binary = snapshot_from_binary(&bin).expect("binary parses");
+        prop_assert_eq!(&from_text, &from_binary);
+        prop_assert_eq!(&from_reader, &from_binary);
+        prop_assert_eq!(&from_binary, &expected(&entries, &memo, &fp));
+    }
+
+    /// Truncating a binary snapshot at *any* byte boundary is a clean
+    /// [`CacheError`](glade_core::CacheError) — never a panic, and never
+    /// a successful short parse (the header's redundant offsets make
+    /// every cut detectable).
+    #[test]
+    fn binary_truncation_at_any_cut_is_a_clean_error(
+        entries in arb_entries(), memo in arb_memo(), fp in arb_fingerprint()
+    ) {
+        let bytes = snapshot_to_binary(&entries, &memo, fp.as_deref());
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                snapshot_from_binary(&bytes[..cut]).is_err(),
+                "truncation to {cut}/{} bytes must not parse",
+                bytes.len()
+            );
+        }
+    }
+
+    /// The indexed on-disk lookup path agrees with a full load: every
+    /// stored query answers its verdict, absent queries answer `None`,
+    /// and the eagerly-loaded memo section matches.
+    #[test]
+    fn indexed_lookups_agree_with_full_load(
+        entries in arb_entries(), memo in arb_memo(), fp in arb_fingerprint(),
+        absents in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 0..8)
+    ) {
+        let bytes = snapshot_to_binary(&entries, &memo, fp.as_deref());
+        let path = scratch_file(&bytes);
+        let mut file = BinaryCacheFile::open(&path).expect("open snapshot");
+        prop_assert_eq!(file.len(), entries.len());
+        prop_assert_eq!(file.memo_len(), memo.len());
+        prop_assert_eq!(file.fingerprint(), fp.as_deref());
+        for (query, verdict) in &entries {
+            prop_assert_eq!(file.lookup(query).expect("lookup"), Some(*verdict));
+        }
+        for query in &absents {
+            let stored = entries.iter().find(|(q, _)| q == query).map(|(_, v)| *v);
+            prop_assert_eq!(file.lookup(query).expect("absent lookup"), stored);
+        }
+        let loaded_memo = file.load_memo().expect("load memo");
+        prop_assert_eq!(loaded_memo, memo);
+        drop(file);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -659,6 +659,80 @@ fn interrupted_campaign_resumes_byte_identical_after_restart() {
 }
 
 #[test]
+fn resume_against_a_journalless_server_names_the_missing_journal() {
+    let _watchdog = Watchdog::arm("resume_against_a_journalless_server_names_the_missing_journal");
+    let dir = scratch_dir("nojournal");
+    let socket = dir.join("sock");
+    // No cache_dir: the server keeps no journal, so RESUME can never work —
+    // the error must say *why* (no journal), not just "unknown campaign".
+    let handle =
+        Server::new(test_factory(), ServeConfig::default()).spawn(&socket).expect("spawn server");
+
+    let mut client = ServeClient::connect(&socket).expect("connect");
+    let err = client.resume(1).expect_err("resume without a journal");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "clean ERROR frame, not a hangup");
+    assert!(
+        err.to_string().contains("no journal") && err.to_string().contains("--cache-dir"),
+        "the error names the missing journal and its cause: {err}"
+    );
+
+    handle.shutdown().expect("server shutdown");
+}
+
+#[test]
+fn serve_cache_format_flip_keeps_warm_starts() {
+    let _watchdog = Watchdog::arm("serve_cache_format_flip_keeps_warm_starts");
+    let dir = scratch_dir("cachefmt");
+    let socket = dir.join("sock");
+    let cache_dir = dir.join("caches");
+    std::fs::create_dir_all(&cache_dir).expect("create cache dir");
+    let seeds = vec![b"<a>hi</a>".to_vec()];
+    let mut request = OpenRequest::new("xml");
+    request.cache = true;
+
+    // Cold run on a server checkpointing in *text* format.
+    let text_config = ServeConfig {
+        cache_dir: Some(cache_dir.clone()),
+        cache_format: Some(glade_core::CacheFormat::Text),
+        ..ServeConfig::default()
+    };
+    let handle = Server::new(test_factory(), text_config).spawn(&socket).expect("first spawn");
+    let (cold_grammar, cold_stats, _) = client_run(&socket, &request, std::slice::from_ref(&seeds));
+    assert_eq!(cold_stats.new_unique_queries, GOLDEN_UNIQUE_ON, "cold start fills the cache");
+    handle.shutdown().expect("first shutdown");
+
+    let snapshot_is_binary = || {
+        let entry = std::fs::read_dir(&cache_dir)
+            .expect("read cache dir")
+            .map(|e| e.expect("dir entry").path())
+            .find(|p| p.extension().is_some_and(|e| e == "glade-cache"))
+            .expect("one cache snapshot");
+        let bytes = std::fs::read(entry).expect("read snapshot");
+        glade_core::is_binary_snapshot(&bytes)
+    };
+    assert!(!snapshot_is_binary(), "the first server checkpointed in text");
+
+    // Warm run on a server with the default (binary) checkpoint format:
+    // the text snapshot loads via format sniffing, re-pays nothing, and
+    // the next checkpoint rewrites it as binary.
+    let bin_config = ServeConfig { cache_dir: Some(cache_dir.clone()), ..ServeConfig::default() };
+    let handle = Server::new(test_factory(), bin_config.clone()).spawn(&socket).expect("respawn");
+    let (warm_grammar, warm_stats, _) = client_run(&socket, &request, std::slice::from_ref(&seeds));
+    assert_eq!(warm_grammar, cold_grammar, "text snapshot warm-starts a binary server");
+    assert_eq!(warm_stats.new_unique_queries, 0, "warm start re-pays no queries");
+    handle.shutdown().expect("second shutdown");
+    assert!(snapshot_is_binary(), "the binary server rewrote the checkpoint");
+
+    // And back: the binary snapshot warm-starts the next server too.
+    let handle = Server::new(test_factory(), bin_config).spawn(&socket).expect("third spawn");
+    let (rewarm_grammar, rewarm_stats, _) =
+        client_run(&socket, &request, std::slice::from_ref(&seeds));
+    assert_eq!(rewarm_grammar, cold_grammar, "binary snapshot reproduces the bytes");
+    assert_eq!(rewarm_stats.new_unique_queries, 0, "binary warm start re-pays no queries");
+    handle.shutdown().expect("third shutdown");
+}
+
+#[test]
 fn draining_server_finishes_campaigns_and_rejects_new_ones() {
     let _watchdog = Watchdog::arm("draining_server_finishes_campaigns_and_rejects_new_ones");
     let dir = scratch_dir("drain");
